@@ -1,0 +1,57 @@
+"""E4 -- Claim C4 + Figure 2: π-iteration time complexity per port scheme.
+
+The paper: O(3n) memory cycles on single-port RAM; 2n on dual-port RAM
+(both reads of a sub-iteration issued simultaneously, Figure 2); the
+QuadPort multi-LFSR scheme of §4 runs two automata concurrently.  This
+bench measures actual cycle counts on the simulator across a size sweep
+and checks the 1.5x / 3x speedup series.
+"""
+
+import pytest
+
+from repro.analysis import dual_port_cycles, quad_port_cycles, single_port_cycles
+from repro.memory import DualPortRAM, QuadPortRAM, SinglePortRAM
+from repro.prt import DualPortPiIteration, PiIteration, QuadPortPiIteration
+
+SIZES = (64, 256, 1024)
+
+
+def measure(n):
+    sp = SinglePortRAM(n)
+    PiIteration(seed=(0, 1)).run(sp)
+    dp = DualPortRAM(n)
+    DualPortPiIteration(seed=(0, 1)).run(dp)
+    qp = QuadPortRAM(n)
+    QuadPortPiIteration(seed=(0, 1)).run(qp)
+    return sp.stats.cycles, dp.stats.cycles, qp.stats.cycles
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_port_scheme_cycles(benchmark, n):
+    sp, dp, qp = benchmark(measure, n)
+
+    # Exact counts match the analytic model (and the paper's orders).
+    assert sp == single_port_cycles(n) == 3 * n + 4
+    assert dp == dual_port_cycles(n) == 2 * n + 2
+    assert qp == quad_port_cycles(n) == n + 2
+
+    # Speedups: 1.5x for dual-port (the paper's 3n -> 2n), 3x for quad.
+    assert abs(sp / dp - 1.5) < 0.05
+    assert abs(sp / qp - 3.0) < 0.1
+
+    benchmark.extra_info["row"] = {
+        "n": n, "single": sp, "dual": dp, "quad": qp,
+        "speedup_2p": round(sp / dp, 4), "speedup_4p": round(sp / qp, 4),
+    }
+
+
+def test_speedup_converges_to_limits():
+    """The asymptotic series: speedups approach exactly 1.5 and 3."""
+    prev_2p_err = prev_4p_err = None
+    for n in (16, 64, 256, 1024, 4096):
+        err_2p = abs(single_port_cycles(n) / dual_port_cycles(n) - 1.5)
+        err_4p = abs(single_port_cycles(n) / quad_port_cycles(n) - 3.0)
+        if prev_2p_err is not None:
+            assert err_2p <= prev_2p_err
+            assert err_4p <= prev_4p_err
+        prev_2p_err, prev_4p_err = err_2p, err_4p

@@ -1,0 +1,65 @@
+"""E12 (infrastructure) -- simulator throughput scaling.
+
+Not a paper figure: this bench tracks the *simulator's* own cost so the
+experiment suite stays runnable as memories grow.  It pins the linear
+scaling of the π-test engine and the March engine in n (any accidental
+quadratic behaviour in the RAM/fault plumbing would show up here first).
+"""
+
+import pytest
+
+from repro.march import run_march
+from repro.march.library import MARCH_C_MINUS
+from repro.memory import SinglePortRAM
+from repro.prt import PiIteration, standard_schedule
+
+
+@pytest.mark.parametrize("n", (256, 1024, 4096))
+def test_pi_iteration_throughput(benchmark, n):
+    iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+
+    def run():
+        return iteration.run(SinglePortRAM(n))
+
+    result = benchmark(run)
+    assert result.passed
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["operations"] = result.operations
+
+
+@pytest.mark.parametrize("n", (256, 1024))
+def test_march_c_throughput(benchmark, n):
+    def run():
+        return run_march(MARCH_C_MINUS, SinglePortRAM(n))
+
+    result = benchmark(run)
+    assert result.passed
+    benchmark.extra_info["n"] = n
+
+
+def test_schedule_throughput_wom(benchmark):
+    from repro.gf2 import poly_from_string
+    from repro.gf2m import GF2m
+
+    field = GF2m(poly_from_string("1+z+z^4"))
+    schedule = standard_schedule(field=field, n=255)
+
+    def run():
+        return schedule.run(SinglePortRAM(255, m=4))
+
+    result = benchmark(run)
+    assert result.passed
+    benchmark.extra_info["operations"] = result.operations
+
+
+def test_linear_scaling_sanity():
+    """Operations grow linearly in n -- the engines have no hidden
+    super-linear term."""
+    iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+    ops = {}
+    for n in (100, 200, 400):
+        ram = SinglePortRAM(n)
+        ops[n] = iteration.run(ram).operations
+    assert ops[200] - ops[100] == ops[400] - ops[200] - (ops[200] - ops[100])  \
+        or (ops[200] / ops[100]) < 2.1
+    assert ops[400] < 4.2 * ops[100]

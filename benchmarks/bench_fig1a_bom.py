@@ -1,0 +1,57 @@
+"""E1 -- Figure 1(a): the bit-oriented π-test iteration.
+
+The paper's figure shows a BOM whose cells, after one π-iteration, hold
+the stream of the virtual bit LFSR, with Init and Fin windows at the two
+ends of the (cyclic) array.  This bench regenerates the cell stream,
+checks it against the reference LFSR bit-for-bit, and confirms the
+pseudo-ring closure when the array length is a multiple of the period.
+"""
+
+from repro.lfsr import BitLFSR
+from repro.memory import SinglePortRAM
+from repro.prt import PiIteration
+
+
+N = 999  # multiple of the g = 1+x+x^2 period (3)
+
+
+def run_iteration():
+    ram = SinglePortRAM(N)
+    iteration = PiIteration(seed=(0, 1))
+    result = iteration.run(ram, record=True)
+    return ram, iteration, result
+
+
+def test_fig1a_bom_stream(benchmark):
+    ram, iteration, result = benchmark(run_iteration)
+
+    # The cells hold the virtual LFSR's output stream.
+    reference = BitLFSR(0b111, seed=[0, 1])
+    reference.run(2)  # skip the seed window; cells hold s_2 onward
+    assert result.written_stream == reference.sequence(N)
+
+    # Pseudo-ring: period 3 divides N, so Fin == Init == Fin*.
+    assert result.ring_closed
+    assert result.passed
+    assert result.init_state == (0, 1)
+
+    # Complexity: the paper's O(3n) -- exactly 3n + 4 operations.
+    assert result.operations == 3 * N + 4
+
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["stream_prefix"] = result.written_stream[:8]
+    benchmark.extra_info["ring_closed"] = result.ring_closed
+    benchmark.extra_info["operations"] = result.operations
+
+
+def test_fig1a_ring_requires_period_alignment(benchmark):
+    def run_misaligned():
+        # 1000 is not a multiple of 3: the automaton does not return to
+        # Init, but the test still passes because Fin* is computed for
+        # exactly n steps.
+        ram = SinglePortRAM(1000)
+        return PiIteration(seed=(0, 1)).run(ram)
+
+    result = benchmark(run_misaligned)
+    assert result.passed
+    assert not result.ring_closed

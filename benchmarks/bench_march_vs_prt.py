@@ -1,0 +1,109 @@
+"""E9 -- Baseline comparison: March tests vs PRT.
+
+The paper's §1 frames PRT against the March family.  This bench runs both
+over the same standard fault universe and regenerates the comparison:
+cost (operations per cell) against per-class coverage -- who wins, by what
+factor, where the crossovers fall.
+"""
+
+from repro.analysis import (
+    compare_tests,
+    march_operations,
+    march_runner,
+    schedule_runner,
+)
+from repro.faults import standard_universe
+from repro.march.library import MARCH_B, MARCH_C_MINUS, MARCH_X, MATS_PLUS
+from repro.prt import extended_schedule, standard_schedule
+
+N = 28
+
+
+def run_comparison():
+    universe = standard_universe(N)
+    pure = standard_schedule(n=N, verify=False)
+    verifying = standard_schedule(n=N, verify=True)
+    extended = extended_schedule(n=N, verify=True)
+    return compare_tests(
+        [
+            ("PRT-3 pure", schedule_runner(pure), pure.operation_count(N)),
+            ("PRT-3 verify", schedule_runner(verifying),
+             verifying.operation_count(N)),
+            ("PRT-5 ext", schedule_runner(extended),
+             extended.operation_count(N)),
+            ("MATS+", march_runner(MATS_PLUS),
+             march_operations(MATS_PLUS, N)),
+            ("March X", march_runner(MARCH_X), march_operations(MARCH_X, N)),
+            ("March C-", march_runner(MARCH_C_MINUS),
+             march_operations(MARCH_C_MINUS, N)),
+            ("March B", march_runner(MARCH_B), march_operations(MARCH_B, N)),
+        ],
+        universe, N,
+    )
+
+
+def test_march_vs_prt_table(benchmark):
+    rows = benchmark(run_comparison)
+    by_name = {row.name: row for row in rows}
+
+    # Cost ordering: pure PRT (9n) < March C- (10n) < PRT verify (12n)
+    # < March B (17n) < PRT-5 (20n).
+    assert by_name["PRT-3 pure"].ops_per_cell < by_name["March C-"].ops_per_cell
+    assert by_name["PRT-3 verify"].ops_per_cell < by_name["March B"].ops_per_cell
+
+    # Coverage shape:
+    # - verifying PRT-3 matches March C- on the single-cell classes;
+    assert by_name["PRT-3 verify"].coverage("SAF") == 1.0
+    assert by_name["PRT-3 verify"].coverage("TF") == 1.0
+    assert by_name["March C-"].coverage("SAF") == 1.0
+    # - PRT's LFSR background beats MATS+ overall;
+    assert by_name["PRT-3 verify"].overall > by_name["MATS+"].overall
+    # - March B (17n) still leads on the full universe: the CFid gap.
+    assert by_name["March B"].overall >= by_name["PRT-3 verify"].overall
+    # - the extended PRT closes most of it.
+    assert by_name["PRT-5 ext"].overall > by_name["PRT-3 verify"].overall
+
+    benchmark.extra_info["table"] = [
+        {
+            "test": row.name,
+            "ops_per_cell": round(row.ops_per_cell, 2),
+            "overall": round(row.overall, 4),
+            **{c: round(row.coverage(c), 3) for c in row.report.classes},
+        }
+        for row in rows
+    ]
+
+
+def test_wom_comparison(benchmark):
+    """Word-oriented memory: March pays the background multiplier
+    (ceil(log2 m) + 1 passes); PRT's word automaton does not."""
+    n, m = 16, 4
+    universe = standard_universe(n, m)
+
+    def run():
+        from repro.gf2 import poly_from_string
+        from repro.gf2m import GF2m
+
+        field = GF2m(poly_from_string("1+z+z^4"))
+        verifying = standard_schedule(field=field, n=n, verify=True)
+        return compare_tests(
+            [
+                ("PRT-3 verify", schedule_runner(verifying),
+                 verifying.operation_count(n)),
+                ("March C-", march_runner(MARCH_C_MINUS),
+                 march_operations(MARCH_C_MINUS, n, m=m)),
+            ],
+            universe, n, m=m,
+        )
+
+    rows = benchmark(run)
+    by_name = {row.name: row for row in rows}
+    # March C- on a WOM costs 3x its BOM cost (3 backgrounds); PRT doesn't.
+    assert by_name["March C-"].ops_per_cell == 30.0
+    assert by_name["PRT-3 verify"].ops_per_cell < 15.0
+    assert by_name["PRT-3 verify"].coverage("SAF") == 1.0
+    benchmark.extra_info["wom_table"] = [
+        {"test": row.name, "ops_per_cell": row.ops_per_cell,
+         "overall": round(row.overall, 4)}
+        for row in rows
+    ]

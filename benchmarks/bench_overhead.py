@@ -1,0 +1,60 @@
+"""E5 -- Claim C5: BIST hardware overhead < 2^-20 of memory capacity.
+
+The paper prices the dual-port PRT additions ("conversion of the existent
+address registers into counters and a specific XOR-logic") at a ponder of
+order < 2^-20 relative to the memory.  Our transistor-level cost model --
+XOR networks from the synthesizer, counter conversion, window register,
+comparator, against a 6T cell array -- reproduces the shape: the ratio
+falls roughly as 1/n and crosses 2^-20 at n = 2^26 words.
+"""
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import GF2m
+from repro.prt import BistOverheadModel
+
+FIELD = GF2m(poly_from_string("1+z+z^4"))
+
+
+def sweep():
+    model = BistOverheadModel(FIELD, (1, 2, 2), ports=2)
+    rows = []
+    for log2n in range(10, 31, 4):
+        n = 1 << log2n
+        rows.append((log2n, model.overhead_ratio(n)))
+    return model, rows
+
+
+def test_overhead_sweep(benchmark):
+    model, rows = benchmark(sweep)
+
+    ratios = [ratio for _log2n, ratio in rows]
+    # Monotone decrease with capacity.
+    assert ratios == sorted(ratios, reverse=True)
+    # The paper's bound holds at large capacity...
+    assert ratios[-1] < 2**-20
+    # ...but not at small capacity (the claim is asymptotic).
+    assert ratios[0] > 2**-20
+
+    crossover = model.crossover_capacity()
+    assert 1 << 22 <= crossover <= 1 << 30
+
+    benchmark.extra_info["ratio_by_log2n"] = [
+        (log2n, f"{ratio:.3e}") for log2n, ratio in rows
+    ]
+    benchmark.extra_info["crossover_log2n"] = crossover.bit_length() - 1
+
+
+def test_overhead_bom_vs_wom(benchmark):
+    """Wider words pay more XOR logic but amortize over more bits: the
+    crossover moves earlier for the WOM."""
+
+    def both():
+        bom = BistOverheadModel(GF2m(0b11), (1, 1, 1), ports=2)
+        wom8 = BistOverheadModel(GF2m(primitive_polynomial(8)), (1, 2, 3),
+                                 ports=2)
+        return bom.crossover_capacity(), wom8.crossover_capacity()
+
+    bom_cross, wom_cross = benchmark(both)
+    assert wom_cross <= bom_cross
+    benchmark.extra_info["bom_crossover"] = bom_cross
+    benchmark.extra_info["wom8_crossover"] = wom_cross

@@ -1,0 +1,158 @@
+"""E10 -- Claim C1 ablation: the three π-test quality factors.
+
+The paper: "There are three factors that influence on π-test quality ...
+1 -- LFSR structure (generator polynomial); 2 -- initial values; 3 -- LFSR
+trajectory (random or deterministic)."  This bench ablates each factor on
+a single-iteration coverage campaign, plus the signature ablation
+(window-compare vs MISR compaction).
+"""
+
+from repro.faults import single_cell_universe
+from repro.prt import MISR, PiIteration, ascending, descending, random_trajectory
+
+from conftest import coverage_of
+
+N = 28
+
+
+def iteration_coverage(iteration):
+    universe = single_cell_universe(N, classes=("SAF", "TF"))
+    return coverage_of(lambda ram: not iteration.run(ram).passed, universe, N)
+
+
+def test_factor1_generator_structure(benchmark):
+    """The generator polynomial sets the automaton period (the pseudo-ring
+    alignment constraint) and shifts *which* faults a single pass excites.
+
+    Ablation finding worth recording: once the schedule's TDB uses
+    inversion pairs (B, ~B), the *coverage totals* become insensitive to
+    the generator -- the polarity guarantee dominates.  What the generator
+    still controls is the period (memory sizes with Fin* = Init) and the
+    per-iteration detected *sets* (diversity across iterations).
+    """
+
+    def sweep():
+        weak = PiIteration(generator=(1, 1, 1), seed=(0, 1))          # period 3
+        strong = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))  # period 7
+        weak_report = iteration_coverage(weak)
+        strong_report = iteration_coverage(strong)
+        return weak, strong, weak_report, strong_report
+
+    weak, strong, weak_report, strong_report = benchmark(sweep)
+
+    # Structure -> period: the ring-closure sizes differ (N = 28 aligns
+    # with the period-7 generator but not the period-3 one).
+    assert weak.period == 3
+    assert strong.period == 7
+    assert not weak.ring_closes_for(N)
+    assert strong.ring_closes_for(N)
+    benchmark.extra_info["period3_coverage"] = round(weak_report.overall, 3)
+    benchmark.extra_info["period7_coverage"] = round(strong_report.overall, 3)
+    # Structure -> different detected sets (the diversity that multi-
+    # iteration schedules exploit).
+    assert set(weak_report.missed_faults) != set(strong_report.missed_faults)
+
+
+def test_factor2_initial_values(benchmark):
+    """Different seeds shift the stream phase: the detected fault *sets*
+    differ, which is why the multi-iteration schedules vary the data."""
+
+    def sweep():
+        missed = []
+        for seed in ((0, 0, 1), (1, 0, 0), (1, 1, 1)):
+            iteration = PiIteration(generator=(1, 0, 1, 1), seed=seed)
+            report = iteration_coverage(iteration)
+            missed.append(frozenset(report.missed_faults))
+        return missed
+
+    missed_sets = benchmark(sweep)
+    # At least two seeds must miss different fault sets.
+    assert len(set(missed_sets)) > 1
+    # And their intersection is smaller than any single miss set:
+    # combining seeds genuinely helps.
+    intersection = missed_sets[0] & missed_sets[1] & missed_sets[2]
+    assert len(intersection) < min(len(s) for s in missed_sets)
+    benchmark.extra_info["missed_by_seed"] = [len(s) for s in missed_sets]
+    benchmark.extra_info["missed_intersection"] = len(intersection)
+
+
+def test_factor3_trajectory(benchmark):
+    """Ascending, descending and random trajectories all pass healthy
+    memory and are interchangeable on single-cell faults; their role is
+    the aggressor/victim ordering for coupling faults (see E3)."""
+
+    def sweep():
+        out = {}
+        for trajectory in (ascending(N), descending(N),
+                           random_trajectory(N, seed=9)):
+            iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1),
+                                    trajectory=trajectory)
+            out[trajectory.name] = iteration_coverage(iteration).overall
+        return out
+
+    by_trajectory = benchmark(sweep)
+    values = list(by_trajectory.values())
+    assert all(v > 0.3 for v in values)
+    benchmark.extra_info["coverage_by_trajectory"] = {
+        name: round(v, 3) for name, v in by_trajectory.items()
+    }
+
+
+def test_signature_ablation_misr_vs_window(benchmark):
+    """Extension: compact a full read-back of the final background into a
+    MISR instead of comparing only the k-cell window.
+
+    This ablation demonstrates a real BIST pitfall the window compare is
+    immune to: a fault's error pattern in the background is periodic with
+    the *generator's* period (7 here), and the array holds 28 = 4 x 7
+    cells.  A MISR whose feedback polynomial also has period 7
+    (``x^3 + x + 1``) absorbs the four identical period-contributions,
+    which cancel mod 2 -- systematic aliasing.  A MISR with a period
+    coprime to the error structure (``x^4 + x + 1``, period 15) performs
+    on par with the window compare, with only residual ~2^-m aliasing.
+    """
+    from repro.faults import FaultInjector, single_cell_universe
+    from repro.memory import SinglePortRAM
+
+    universe = single_cell_universe(N, classes=("SAF",))
+    iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+
+    def misr_of_readback(ram, poly) -> int:
+        misr = MISR(poly)
+        misr.absorb_all(ram.read(addr) for addr in range(N))
+        return misr.signature
+
+    def campaign():
+        goldens = {}
+        for poly in (0b1011, 0b10011):
+            golden_misr = MISR(poly)
+            golden_misr.absorb_all(iteration.background_after(N))
+            goldens[poly] = golden_misr.signature
+        window_detected = 0
+        aligned_detected = 0   # period-7 MISR: aligned with error period
+        coprime_detected = 0   # period-15 MISR
+        for fault in universe:
+            ram = SinglePortRAM(N)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            result = iteration.run(ram)
+            if not result.passed:
+                window_detected += 1
+            if misr_of_readback(ram, 0b1011) != goldens[0b1011]:
+                aligned_detected += 1
+            if misr_of_readback(ram, 0b10011) != goldens[0b10011]:
+                coprime_detected += 1
+            injector.remove(ram)
+        return window_detected, aligned_detected, coprime_detected
+
+    window, aligned, coprime = benchmark(campaign)
+    # The period-aligned MISR aliases systematically...
+    assert aligned < coprime
+    # ...while the well-chosen MISR matches the window compare up to its
+    # small residual aliasing (neither scheme dominates: the window is
+    # exact but narrow, the MISR is wide but can alias).
+    assert coprime >= window - 2
+    benchmark.extra_info["window_detected"] = window
+    benchmark.extra_info["aligned_misr_detected"] = aligned
+    benchmark.extra_info["coprime_misr_detected"] = coprime
+    benchmark.extra_info["universe"] = len(universe)

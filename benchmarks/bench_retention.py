@@ -1,0 +1,92 @@
+"""E11 (extension) -- data-retention faults need pauses, in March and PRT
+alike.
+
+The paper's fault taxonomy (via van de Goor [1]) includes data-retention
+faults; neither plain March tests nor plain π-iterations can see them,
+because a leaky cell only decays while it sits idle.  Both frameworks fix
+this the same way: March inserts ``Del`` elements (MATS+R), PRT pauses
+between iterations and lets the verify pass read the decayed background.
+This bench measures the DRF coverage of both, with and without pauses.
+"""
+
+from repro.faults import DataRetentionFault, FaultInjector, single_cell_universe
+from repro.march import MATS_PLUS, MATS_PLUS_RETENTION, run_march
+from repro.memory import SinglePortRAM
+from repro.prt import standard_schedule
+
+from conftest import coverage_of
+
+N = 14
+RETENTION = 64
+
+
+def march_runner(test):
+    return lambda ram: not run_march(test, ram).passed
+
+
+def schedule_runner(schedule):
+    return lambda ram: schedule.run(ram).detected
+
+
+def run_all():
+    universe = single_cell_universe(N, classes=("DRF",), retention=RETENTION)
+    results = {}
+    results["MATS+ (no pause)"] = coverage_of(
+        march_runner(MATS_PLUS), universe, N).overall
+    results["MATS+R (Del 256)"] = coverage_of(
+        march_runner(MATS_PLUS_RETENTION), universe, N).overall
+    results["PRT-3 (no pause)"] = coverage_of(
+        schedule_runner(standard_schedule(n=N, verify=True)), universe, N
+    ).overall
+    results["PRT-3 (pause 256)"] = coverage_of(
+        schedule_runner(standard_schedule(n=N, verify=True, pause_between=256)),
+        universe, N,
+    ).overall
+    return results
+
+
+def test_retention_requires_pause(benchmark):
+    results = benchmark(run_all)
+
+    # Without pauses, DRFs are essentially invisible to both frameworks.
+    assert results["MATS+ (no pause)"] < 0.5
+    # With pauses, both reach full coverage of the retention universe.
+    assert results["MATS+R (Del 256)"] == 1.0
+    assert results["PRT-3 (pause 256)"] == 1.0
+    # PRT's pause knob mirrors March's Del element.
+    assert results["PRT-3 (pause 256)"] > results["PRT-3 (no pause)"]
+
+    benchmark.extra_info["coverage"] = {
+        k: round(v, 3) for k, v in results.items()
+    }
+
+
+def test_pause_length_must_exceed_retention(benchmark):
+    """A pause much shorter than the retention interval doesn't help.
+    The crossover sits near the fault's retention time minus the sweep's
+    own duration (the iteration's ~3n cycles also count as elapsed time
+    for the idle cell)."""
+
+    def sweep():
+        out = []
+        for pause in (16, 32, 64, 128, 256):
+            ram = SinglePortRAM(N)
+            injector = FaultInjector(
+                [DataRetentionFault(5, retention=100)]
+            )
+            injector.install(ram)
+            schedule = standard_schedule(n=N, verify=True, pause_between=pause)
+            out.append((pause, schedule.run(ram).detected))
+            injector.remove(ram)
+        return out
+
+    outcomes = benchmark(sweep)
+    by_pause = dict(outcomes)
+    assert not by_pause[16]
+    assert not by_pause[32]
+    assert by_pause[128]
+    assert by_pause[256]
+    # Monotone: once a pause suffices, longer pauses keep detecting.
+    flags = [detected for _pause, detected in outcomes]
+    assert flags == sorted(flags)
+    benchmark.extra_info["detected_by_pause"] = outcomes

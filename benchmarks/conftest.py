@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one figure/claim of the paper (see the
+experiment index in DESIGN.md and the measured results in
+EXPERIMENTS.md).  The pytest-benchmark fixture times the core computation;
+the assertions pin the *shape* of the paper's result; ``extra_info``
+carries the regenerated rows so they land in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.coverage import CoverageReport
+from repro.faults.injector import FaultInjector
+from repro.memory.ram import SinglePortRAM
+
+
+def coverage_of(runner, universe, n: int, m: int = 1) -> CoverageReport:
+    """Tiny inline coverage campaign used by several benches."""
+    report = CoverageReport(test_name="bench")
+    for fault in universe:
+        ram = SinglePortRAM(n, m=m)
+        injector = FaultInjector([fault])
+        injector.install(ram)
+        detected = runner(ram)
+        injector.remove(ram)
+        report.record(fault.fault_class, fault.name, detected)
+    return report

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fault-coverage study: pure vs verifying PRT vs the March family.
+
+Reproduces the heart of the paper's evaluation on a small memory:
+
+1. build the standard single-fault universe (stuck-at, transition,
+   stuck-open, coupling, bridging, address-decoder faults),
+2. run the paper's pure 3-iteration π-test, the verifying variant, the
+   5-iteration extended schedule, and three March baselines,
+3. print per-class coverage and cost for each.
+
+Run:  python examples/fault_coverage_study.py
+"""
+
+from repro import SinglePortRAM, extended_schedule, standard_schedule
+from repro.analysis import (
+    compare_tests,
+    march_operations,
+    march_runner,
+    schedule_runner,
+)
+from repro.faults import standard_universe
+from repro.march.library import MARCH_B, MARCH_C_MINUS, MATS_PLUS
+
+
+def main() -> None:
+    n = 28  # multiple of the default generator's period 7
+    universe = standard_universe(n)
+    print(f"memory: {n} cells (bit-oriented); universe: {universe!r}\n")
+
+    pure = standard_schedule(n=n, verify=False)
+    verifying = standard_schedule(n=n, verify=True)
+    extended = extended_schedule(n=n, verify=True)
+
+    rows = compare_tests(
+        [
+            ("PRT-3 pure", schedule_runner(pure), pure.operation_count(n)),
+            ("PRT-3 verify", schedule_runner(verifying),
+             verifying.operation_count(n)),
+            ("PRT-5 extended", schedule_runner(extended),
+             extended.operation_count(n)),
+            ("MATS+", march_runner(MATS_PLUS),
+             march_operations(MATS_PLUS, n)),
+            ("March C-", march_runner(MARCH_C_MINUS),
+             march_operations(MARCH_C_MINUS, n)),
+            ("March B", march_runner(MARCH_B), march_operations(MARCH_B, n)),
+        ],
+        universe, n,
+    )
+
+    classes = rows[0].report.classes
+    header = f"{'test':>15} {'ops/cell':>9} {'overall':>8}"
+    for c in classes:
+        header += f" {c:>6}"
+    print(header)
+    for row in rows:
+        line = f"{row.name:>15} {row.ops_per_cell:>9.1f} {row.overall:>8.1%}"
+        for c in classes:
+            line += f" {row.coverage(c):>6.0%}"
+        print(line)
+
+    print("\nreading the table:")
+    print(" - the paper's pure signature-only PRT (9n) trades coverage for")
+    print("   speed: corruption landing after a cell's final sweep read is")
+    print("   overwritten unobserved;")
+    print(" - transparent verification (12n) closes the single-cell, decoder")
+    print("   and bridging classes completely at 3 iterations (claim C3);")
+    print(" - the CFid remainder needs more activation diversity: the")
+    print("   5-iteration extension (20n) approaches March B territory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Intra-word faults in a word-oriented memory (the paper's claim C7).
+
+A WOM cell is an m-bit word; coupling can happen *between bits of the same
+word*, which word-level tests with uniform backgrounds never see.  The
+paper proposes m parallel bit-slice π-tests with either parallel or
+"random" (permuted) lane wiring.  This example injects an intra-word
+coupling universe and compares the two wirings.
+
+Run:  python examples/wom_intra_word.py
+"""
+
+from repro import BitSlicePiIteration, SinglePortRAM
+from repro.analysis import run_coverage
+from repro.faults import intra_word_universe
+
+
+def slice_runner(mode: str, wiring_seed: int, repeats: int = 3):
+    """A runner performing several bit-slice iterations with distinct
+    wirings (random mode re-programs the lane permutation per pass)."""
+
+    def runner(ram) -> bool:
+        for r in range(repeats):
+            iteration = BitSlicePiIteration(
+                m=ram.m, mode=mode,
+                wiring_seed=wiring_seed + r if mode == "random" else 0,
+            )
+            if not iteration.run(ram).passed:
+                return True
+        return False
+
+    return runner
+
+
+def main() -> None:
+    n, m = 21, 4
+    universe = intra_word_universe(n, m, max_cells=n)
+    print(f"memory: {n} words x {m} bits; intra-word universe: {universe!r}\n")
+
+    for mode in ("parallel", "random"):
+        report = run_coverage(
+            slice_runner(mode, wiring_seed=1), universe, n, m=m,
+            test_name=f"bit-slice/{mode}",
+        )
+        print(f"{mode:>9} wiring: overall {report.overall:.1%}")
+        for fault_class, detected, total, ratio in report.rows():
+            print(f"           {fault_class:>5}: {detected:>3}/{total:<3} {ratio:.0%}")
+
+    print("\nthe permuted (\"random trajectory\") wiring routes each bit")
+    print("slice through different source lanes, so aggressor and victim")
+    print("bits land in different automata and the corruption de-")
+    print("synchronizes the signature -- the paper's programmable-overhead")
+    print("knob made concrete.")
+
+
+if __name__ == "__main__":
+    main()

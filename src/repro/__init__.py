@@ -1,0 +1,89 @@
+"""repro -- a reproduction of "New Schemes for Self-Testing RAM"
+(Gh. Bodean, D. Bodean, A. Labunetz, DATE 2005).
+
+Pseudo-ring testing (PRT) turns the memory array itself into a linear
+automaton over a Galois field: each π-test sub-iteration reads neighbouring
+cells and writes their GF(2^m)-linear combination onward, so the array
+fills with an LFSR stream whose final state is predictable a priori.
+
+Top-level quickstart::
+
+    from repro import GF2m, PiIteration, SinglePortRAM, poly_from_string
+
+    ram = SinglePortRAM(255, m=4)
+    pi = PiIteration(field=GF2m(poly_from_string("1+z+z^4")),
+                     generator=(1, 2, 2), seed=(0, 1))
+    result = pi.run(ram)
+    assert result.passed and result.ring_closed
+
+Subpackages
+-----------
+``repro.gf2``      polynomials over GF(2)
+``repro.gf2m``     extension fields, constant multipliers, XOR synthesis
+``repro.lfsr``     bit- and word-oriented reference LFSRs
+``repro.memory``   behavioural RAM (single/dual/quad port, decoder, trace)
+``repro.faults``   van de Goor fault models + injection
+``repro.march``    March notation, engine, standard test library
+``repro.prt``      the paper's contribution: π-tests, schedules, ports
+``repro.analysis`` coverage campaigns, Markov model, complexity tables
+"""
+
+from repro.gf2 import poly_from_string, poly_to_string, primitive_polynomial
+from repro.gf2m import GF2m, FieldElement
+from repro.lfsr import BitLFSR, WordLFSR
+from repro.memory import (
+    SinglePortRAM,
+    DualPortRAM,
+    QuadPortRAM,
+    MemoryArray,
+    AddressDecoder,
+)
+from repro.faults import FaultInjector, standard_universe
+from repro.march import parse_march, run_march, ALL_MARCH_TESTS
+from repro.prt import (
+    PiIteration,
+    PiTestSchedule,
+    standard_schedule,
+    extended_schedule,
+    DualPortPiIteration,
+    QuadPortPiIteration,
+    BitSlicePiIteration,
+    BistOverheadModel,
+    ascending,
+    descending,
+    random_trajectory,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "poly_from_string",
+    "poly_to_string",
+    "primitive_polynomial",
+    "GF2m",
+    "FieldElement",
+    "BitLFSR",
+    "WordLFSR",
+    "SinglePortRAM",
+    "DualPortRAM",
+    "QuadPortRAM",
+    "MemoryArray",
+    "AddressDecoder",
+    "FaultInjector",
+    "standard_universe",
+    "parse_march",
+    "run_march",
+    "ALL_MARCH_TESTS",
+    "PiIteration",
+    "PiTestSchedule",
+    "standard_schedule",
+    "extended_schedule",
+    "DualPortPiIteration",
+    "QuadPortPiIteration",
+    "BitSlicePiIteration",
+    "BistOverheadModel",
+    "ascending",
+    "descending",
+    "random_trajectory",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Analysis harnesses: coverage campaigns, Markov models, complexity and
+comparison tables.
+
+These are the instruments behind the experiment suite (EXPERIMENTS.md):
+
+* :mod:`repro.analysis.coverage` -- single-fault injection campaigns:
+  inject every fault of a universe, run a test, tally detection per fault
+  class (experiments E3, E8, E10),
+* :mod:`repro.analysis.markov` -- the Markov-chain detection model of
+  claim C2, plus the Monte-Carlo fault simulation it is validated
+  against (E6),
+* :mod:`repro.analysis.complexity` -- operation/cycle accounting for the
+  3n / 2n / n port-scheme claims (E4) and March cost comparison,
+* :mod:`repro.analysis.compare` -- PRT vs March head-to-head tables (E9).
+"""
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    run_coverage,
+    march_runner,
+    schedule_runner,
+    iteration_runner,
+)
+from repro.analysis.markov import (
+    DetectionMarkovChain,
+    monte_carlo_detection,
+    fit_detection_chain,
+)
+from repro.analysis.complexity import (
+    pi_test_operations,
+    dual_port_cycles,
+    quad_port_cycles,
+    single_port_cycles,
+    march_operations,
+    port_scheme_table,
+)
+from repro.analysis.compare import ComparisonRow, compare_tests
+
+__all__ = [
+    "CoverageReport",
+    "run_coverage",
+    "march_runner",
+    "schedule_runner",
+    "iteration_runner",
+    "DetectionMarkovChain",
+    "monte_carlo_detection",
+    "fit_detection_chain",
+    "pi_test_operations",
+    "dual_port_cycles",
+    "quad_port_cycles",
+    "single_port_cycles",
+    "march_operations",
+    "port_scheme_table",
+    "ComparisonRow",
+    "compare_tests",
+]

@@ -1,0 +1,71 @@
+"""PRT vs March head-to-head comparison (experiment E9).
+
+The paper positions pseudo-ring testing against the March family; this
+module runs both over the same fault universe and produces rows of
+(test, cost, per-class coverage) -- who wins, by what factor, and where
+the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    Runner,
+    run_coverage,
+)
+from repro.faults.universe import FaultUniverse
+
+__all__ = ["ComparisonRow", "compare_tests"]
+
+
+@dataclass
+class ComparisonRow:
+    """One comparison-table row: a test's cost and coverage."""
+
+    name: str
+    operations: int
+    report: CoverageReport
+
+    @property
+    def ops_per_cell(self) -> float:
+        """Cost normalized to memory size (filled by :func:`compare_tests`)."""
+        return self._ops_per_cell
+
+    def coverage(self, fault_class: str) -> float:
+        """Coverage of one fault class."""
+        return self.report.coverage_of(fault_class)
+
+    @property
+    def overall(self) -> float:
+        """Overall coverage."""
+        return self.report.overall
+
+
+def compare_tests(entries: list[tuple[str, Runner, int]],
+                  universe: FaultUniverse, n: int, m: int = 1) -> list[ComparisonRow]:
+    """Run each (name, runner, operation_count) entry over the universe.
+
+    ``operation_count`` is the test's cost on the n-cell memory (exact
+    counts from :mod:`repro.analysis.complexity` or the engines' own
+    accounting).
+
+    >>> from repro.analysis.coverage import march_runner
+    >>> from repro.analysis.complexity import march_operations
+    >>> from repro.faults import single_cell_universe
+    >>> from repro.march.library import MATS
+    >>> universe = single_cell_universe(8, classes=("SAF",))
+    >>> rows = compare_tests(
+    ...     [("MATS", march_runner(MATS), march_operations(MATS, 8))],
+    ...     universe, 8)
+    >>> rows[0].coverage("SAF")
+    1.0
+    """
+    rows = []
+    for name, runner, operations in entries:
+        report = run_coverage(runner, universe, n, m=m, test_name=name)
+        row = ComparisonRow(name=name, operations=operations, report=report)
+        row._ops_per_cell = operations / n
+        rows.append(row)
+    return rows

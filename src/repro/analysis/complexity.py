@@ -1,0 +1,101 @@
+"""Operation/cycle accounting for the paper's complexity claims (E4).
+
+Claim C4: a π-test iteration costs O(3n) memory cycles on single-port RAM
+and 2n on dual-port RAM (Figure 2); the quad-port multi-LFSR scheme of §4
+halves that again.  These helpers compute exact counts -- both analytically
+and by running the engines against instrumented memories -- and produce the
+table/series the E4 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from repro.march.engine import word_backgrounds
+from repro.march.model import MarchTest
+
+__all__ = [
+    "pi_test_operations",
+    "single_port_cycles",
+    "dual_port_cycles",
+    "quad_port_cycles",
+    "march_operations",
+    "port_scheme_table",
+]
+
+
+def pi_test_operations(n: int, k: int = 2, reads_per_subiteration: int | None = None) -> int:
+    """Memory operations of one single-port π-iteration.
+
+    ``(reads + 1) * n + 2k``: the init writes, the sweep, the signature
+    reads.  Defaults to the paper's 2-read sub-iteration: ``3n + 4``.
+
+    >>> pi_test_operations(1024)
+    3076
+    """
+    if n < k + 1:
+        raise ValueError(f"memory must have more than k={k} cells")
+    reads = reads_per_subiteration if reads_per_subiteration is not None else k
+    return (reads + 1) * n + 2 * k
+
+
+def single_port_cycles(n: int, k: int = 2) -> int:
+    """Cycles on a single-port RAM: one per operation (the 3n claim)."""
+    return pi_test_operations(n, k)
+
+
+def dual_port_cycles(n: int) -> int:
+    """Cycles of the Figure 2 dual-port scheme: ``2n + 2`` (the 2n claim).
+
+    >>> dual_port_cycles(1024)
+    2050
+    """
+    if n < 3:
+        raise ValueError("memory must have more than 2 cells")
+    return 2 * n + 2
+
+
+def quad_port_cycles(n: int) -> int:
+    """Cycles of the quad-port two-automata scheme: ``n + 2``.
+
+    >>> quad_port_cycles(1024)
+    1026
+    """
+    if n < 6 or n % 2:
+        raise ValueError("quad-port scheme needs an even n >= 6")
+    return n + 2
+
+
+def march_operations(test: MarchTest, n: int, m: int = 1) -> int:
+    """Total operations of a March test on an n x m memory, including the
+    standard word backgrounds for m > 1.
+
+    >>> from repro.march.library import MARCH_C_MINUS
+    >>> march_operations(MARCH_C_MINUS, 1024)
+    10240
+    """
+    backgrounds = 1 if m == 1 else len(word_backgrounds(m))
+    return test.ops_per_cell * n * backgrounds
+
+
+def port_scheme_table(n_values: list[int]) -> list[dict[str, int | float]]:
+    """The E4 series: cycles per scheme and speedups, one row per n.
+
+    >>> rows = port_scheme_table([64])
+    >>> round(rows[0]["speedup_2p"], 4)   # (3n+4)/(2n+2) -> 1.5
+    1.5077
+    """
+    rows = []
+    for n in n_values:
+        sp = single_port_cycles(n)
+        dp = dual_port_cycles(n)
+        qp = quad_port_cycles(n) if n % 2 == 0 and n >= 6 else None
+        row: dict[str, int | float] = {
+            "n": n,
+            "single_port": sp,
+            "dual_port": dp,
+            "speedup_2p": sp / dp,
+        }
+        if qp is not None:
+            row["quad_port"] = qp
+            row["speedup_4p"] = sp / qp
+        rows.append(row)
+    return rows

@@ -1,0 +1,146 @@
+"""Single-fault-injection coverage campaigns.
+
+The standard methodology (as in van de Goor's coverage tables and the
+paper's §3): for every fault in a universe, instantiate a fresh memory,
+install the fault, run the test under evaluation, and record whether it
+flagged a failure.  The per-class detection ratios are the "fault
+coverage" the paper's quality claims are about.
+
+A *runner* is any callable ``runner(ram) -> bool`` returning True when the
+test detected a fault.  Adapters wrap March tests
+(:func:`march_runner`), π-test schedules (:func:`schedule_runner`) and
+single π-iterations (:func:`iteration_runner`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+from repro.march.engine import run_march
+from repro.march.model import MarchTest
+from repro.memory.ram import SinglePortRAM
+
+__all__ = [
+    "CoverageReport",
+    "run_coverage",
+    "march_runner",
+    "schedule_runner",
+    "iteration_runner",
+]
+
+Runner = Callable[[SinglePortRAM], bool]
+
+
+@dataclass
+class CoverageReport:
+    """Outcome of a coverage campaign.
+
+    >>> report = CoverageReport(test_name="t")
+    >>> report.record("SAF", "SA0(cell=0)", detected=True)
+    >>> report.record("SAF", "SA1(cell=0)", detected=False)
+    >>> report.coverage_of("SAF")
+    0.5
+    """
+
+    test_name: str
+    detected: dict[str, int] = field(default_factory=dict)
+    total: dict[str, int] = field(default_factory=dict)
+    missed_faults: list[str] = field(default_factory=list)
+
+    def record(self, fault_class: str, fault_name: str, detected: bool) -> None:
+        """Tally one injection outcome."""
+        self.total[fault_class] = self.total.get(fault_class, 0) + 1
+        if detected:
+            self.detected[fault_class] = self.detected.get(fault_class, 0) + 1
+        else:
+            self.missed_faults.append(fault_name)
+
+    def coverage_of(self, fault_class: str) -> float:
+        """Detection ratio for one class (1.0 when the class is absent)."""
+        total = self.total.get(fault_class, 0)
+        if total == 0:
+            return 1.0
+        return self.detected.get(fault_class, 0) / total
+
+    @property
+    def overall(self) -> float:
+        """Detection ratio across all injected faults."""
+        total = sum(self.total.values())
+        if total == 0:
+            return 1.0
+        return sum(self.detected.values()) / total
+
+    @property
+    def classes(self) -> list[str]:
+        """Fault classes present, sorted."""
+        return sorted(self.total)
+
+    def rows(self) -> list[tuple[str, int, int, float]]:
+        """``(class, detected, total, ratio)`` rows for tabular output."""
+        return [
+            (c, self.detected.get(c, 0), self.total[c], self.coverage_of(c))
+            for c in self.classes
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageReport({self.test_name!r}, "
+            f"overall={self.overall:.1%}, classes={len(self.total)})"
+        )
+
+
+def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
+                 m: int = 1, test_name: str = "test",
+                 ram_factory: Callable[[], object] | None = None) -> CoverageReport:
+    """Inject each universe fault into a fresh RAM and run the test.
+
+    ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
+    multi-port factory to evaluate the port schemes).
+
+    >>> from repro.faults import single_cell_universe
+    >>> from repro.march.library import MARCH_C_MINUS
+    >>> universe = single_cell_universe(8, classes=("SAF",))
+    >>> report = run_coverage(march_runner(MARCH_C_MINUS), universe, 8)
+    >>> report.coverage_of("SAF")
+    1.0
+    """
+    report = CoverageReport(test_name=test_name)
+    for fault in universe:
+        ram = ram_factory() if ram_factory is not None else SinglePortRAM(n, m=m)
+        injector = FaultInjector([fault])
+        injector.install(ram)
+        detected = runner(ram)
+        injector.remove(ram)
+        report.record(fault.fault_class, fault.name, detected)
+    return report
+
+
+def march_runner(test: MarchTest, backgrounds: list[int] | None = None) -> Runner:
+    """Runner adapter for a March test (failure = detection)."""
+
+    def runner(ram) -> bool:
+        return not run_march(test, ram, backgrounds=backgrounds).passed
+
+    return runner
+
+
+def schedule_runner(schedule) -> Runner:
+    """Runner adapter for a :class:`~repro.prt.schedule.PiTestSchedule`."""
+
+    def runner(ram) -> bool:
+        return schedule.run(ram).detected
+
+    return runner
+
+
+def iteration_runner(iteration) -> Runner:
+    """Runner adapter for a single π-iteration (or any object whose
+    ``run(ram)`` result has a ``passed`` attribute)."""
+
+    def runner(ram) -> bool:
+        return not iteration.run(ram).passed
+
+    return runner

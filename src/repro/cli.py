@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``selftest``   run a PRT schedule on a simulated memory (optionally with
+               an injected fault) and report the verdict,
+``march``      run a March test given in formal notation,
+``coverage``   single-fault-injection coverage campaign for one test,
+``compare``    the March-vs-PRT comparison table (experiment E9),
+``overhead``   the BIST hardware-overhead sweep (experiment E5).
+
+Examples
+--------
+::
+
+    python -m repro selftest --n 255 --m 4 --schedule standard
+    python -m repro selftest --n 28 --inject SAF:5:1
+    python -m repro march --notation "{c(w0); u(r0,w1); d(r1,w0)}" --n 64
+    python -m repro coverage --n 28 --test prt3
+    python -m repro compare --n 28
+    python -m repro overhead --ports 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    compare_tests,
+    march_operations,
+    march_runner,
+    run_coverage,
+    schedule_runner,
+)
+from repro.faults import (
+    DataRetentionFault,
+    FaultInjector,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+    standard_universe,
+)
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import GF2m
+from repro.march import parse_march, run_march
+from repro.march.library import MARCH_B, MARCH_C_MINUS, MATS_PLUS
+from repro.memory import SinglePortRAM
+from repro.prt import BistOverheadModel, extended_schedule, standard_schedule
+
+__all__ = ["main"]
+
+
+def _build_field(m: int, poly_text: str | None) -> GF2m | None:
+    if m == 1 and poly_text is None:
+        return None  # PiIteration defaults to GF(2)
+    if poly_text is not None:
+        return GF2m(poly_from_string(poly_text))
+    return GF2m(primitive_polynomial(m))
+
+
+def _parse_fault(spec: str):
+    """Parse ``CLASS:args`` fault specs, e.g. ``SAF:5:1`` (cell 5 stuck at
+    1), ``TF:3:up``, ``SOF:7``, ``DRF:2:100``."""
+    parts = spec.split(":")
+    kind = parts[0].upper()
+    try:
+        if kind == "SAF":
+            return StuckAtFault(int(parts[1]), int(parts[2]))
+        if kind == "TF":
+            return TransitionFault(int(parts[1]), rising=parts[2] == "up")
+        if kind == "SOF":
+            return StuckOpenFault(int(parts[1]))
+        if kind == "DRF":
+            return DataRetentionFault(int(parts[1]), retention=int(parts[2]))
+    except (IndexError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(f"bad fault spec {spec!r}: {exc}")
+    raise argparse.ArgumentTypeError(
+        f"unknown fault class {kind!r} (use SAF/TF/SOF/DRF)"
+    )
+
+
+def _schedule_for(args, n: int):
+    field = _build_field(args.m, args.poly)
+    builder = standard_schedule if args.schedule == "standard" else extended_schedule
+    return builder(field=field, n=n, verify=not args.pure,
+                   **({"pause_between": args.pause} if args.pause else {}))
+
+
+def _cmd_selftest(args) -> int:
+    ram = SinglePortRAM(args.n, m=args.m)
+    injector = None
+    if args.inject:
+        injector = FaultInjector([_parse_fault(args.inject)])
+        injector.install(ram)
+        print(f"injected: {injector.faults[0].name}")
+    schedule = _schedule_for(args, args.n)
+    result = schedule.run(ram)
+    print(f"schedule : {schedule.name} ({len(schedule)} iterations, "
+          f"{'pure' if args.pure else 'verifying'})")
+    print(f"memory   : {args.n} cells x {args.m} bit(s)")
+    print(f"operations: {result.operations}")
+    for index, it_result in enumerate(result.iteration_results):
+        status = "PASS" if it_result.passed else "FAIL"
+        print(f"  iteration {index}: {status}  Fin={it_result.final_state} "
+              f"Fin*={it_result.expected_final} "
+              f"verify_mismatches={it_result.verify_mismatches}")
+    verdict = "MEMORY OK" if result.passed else "FAULT DETECTED"
+    print(f"verdict  : {verdict}")
+    if injector is not None:
+        injector.remove(ram)
+    return 0 if result.passed == (args.inject is None) else 1
+
+
+def _cmd_march(args) -> int:
+    test = parse_march(args.notation, name="cli")
+    ram = SinglePortRAM(args.n, m=args.m)
+    injector = None
+    if args.inject:
+        injector = FaultInjector([_parse_fault(args.inject)])
+        injector.install(ram)
+        print(f"injected: {injector.faults[0].name}")
+    result = run_march(test, ram)
+    print(f"test      : {test}   ({test.ops_per_cell}n)")
+    print(f"operations: {result.operations}")
+    print(f"verdict   : {'MEMORY OK' if result.passed else 'FAULT DETECTED'}")
+    for background, element, addr, expected, actual in result.failures[:10]:
+        print(f"  bg={background:#x} element={element} addr={addr} "
+              f"expected={expected} read={actual}")
+    if injector is not None:
+        injector.remove(ram)
+    return 0 if result.passed == (args.inject is None) else 1
+
+
+def _cmd_coverage(args) -> int:
+    universe = standard_universe(args.n, args.m)
+    if args.test == "prt3":
+        schedule = standard_schedule(field=_build_field(args.m, args.poly),
+                                     n=args.n, verify=not args.pure)
+        runner = schedule_runner(schedule)
+    elif args.test == "prt5":
+        schedule = extended_schedule(field=_build_field(args.m, args.poly),
+                                     n=args.n, verify=not args.pure)
+        runner = schedule_runner(schedule)
+    else:
+        by_name = {"mats+": MATS_PLUS, "march-c": MARCH_C_MINUS,
+                   "march-b": MARCH_B}
+        runner = march_runner(by_name[args.test])
+    report = run_coverage(runner, universe, args.n, m=args.m,
+                          test_name=args.test)
+    print(f"test    : {args.test}")
+    print(f"universe: {universe!r}")
+    print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
+    for fault_class, detected, total, ratio in report.rows():
+        print(f"{fault_class:>6} {detected:>9} {total:>6} {ratio:>9.1%}")
+    print(f"overall : {report.overall:.1%}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    n = args.n
+    universe = standard_universe(n, args.m)
+    field = _build_field(args.m, args.poly)
+    verifying = standard_schedule(field=field, n=n, verify=True)
+    extended = extended_schedule(field=field, n=n, verify=True)
+    rows = compare_tests(
+        [
+            ("PRT-3", schedule_runner(verifying), verifying.operation_count(n)),
+            ("PRT-5", schedule_runner(extended), extended.operation_count(n)),
+            ("MATS+", march_runner(MATS_PLUS),
+             march_operations(MATS_PLUS, n, m=args.m)),
+            ("March C-", march_runner(MARCH_C_MINUS),
+             march_operations(MARCH_C_MINUS, n, m=args.m)),
+            ("March B", march_runner(MARCH_B),
+             march_operations(MARCH_B, n, m=args.m)),
+        ],
+        universe, n, m=args.m,
+    )
+    classes = rows[0].report.classes
+    header = f"{'test':>10} {'ops/cell':>9} {'overall':>8}"
+    for c in classes:
+        header += f" {c:>5}"
+    print(header)
+    for row in rows:
+        line = f"{row.name:>10} {row.ops_per_cell:>9.1f} {row.overall:>8.1%}"
+        for c in classes:
+            line += f" {row.coverage(c):>5.0%}"
+        print(line)
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    field = _build_field(args.m, args.poly) or GF2m(0b11)
+    generator = (1, 2, 2) if field.m >= 2 else (1, 1, 1)
+    model = BistOverheadModel(field, generator, ports=args.ports)
+    print(f"field GF(2^{field.m}), {args.ports} port(s)")
+    print(f"{'capacity':>10} {'ratio':>12} {'< 2^-20':>8}")
+    for log2n in range(10, 31, 2):
+        ratio = model.overhead_ratio(1 << log2n)
+        print(f"  2^{log2n:<6} {ratio:>12.3e} "
+              f"{'yes' if ratio < 2**-20 else 'no':>8}")
+    crossover = model.crossover_capacity()
+    print(f"crossover: n = 2^{crossover.bit_length() - 1}")
+    return 0
+
+
+def _add_memory_args(parser, default_n=255, default_m=1):
+    parser.add_argument("--n", type=int, default=default_n,
+                        help="number of cells")
+    parser.add_argument("--m", type=int, default=default_m,
+                        help="bits per cell (1 = bit-oriented)")
+    parser.add_argument("--poly", type=str, default=None,
+                        help='field modulus, e.g. "1+z+z^4" (default: '
+                             "tabulated primitive polynomial)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pseudo-ring RAM self-test (DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("selftest", help="run a PRT schedule")
+    _add_memory_args(p)
+    p.add_argument("--schedule", choices=("standard", "extended"),
+                   default="standard")
+    p.add_argument("--pure", action="store_true",
+                   help="paper-exact signature-only mode (no verification)")
+    p.add_argument("--pause", type=int, default=0,
+                   help="idle cycles between iterations (retention testing)")
+    p.add_argument("--inject", type=str, default=None,
+                   help="fault spec, e.g. SAF:5:1, TF:3:up, SOF:7, DRF:2:100")
+    p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser("march", help="run a March test from notation")
+    _add_memory_args(p, default_n=64)
+    p.add_argument("--notation", type=str, required=True,
+                   help='e.g. "{c(w0); u(r0,w1); d(r1,w0)}"')
+    p.add_argument("--inject", type=str, default=None)
+    p.set_defaults(func=_cmd_march)
+
+    p = sub.add_parser("coverage", help="fault-coverage campaign")
+    _add_memory_args(p, default_n=28)
+    p.add_argument("--test",
+                   choices=("prt3", "prt5", "mats+", "march-c", "march-b"),
+                   default="prt3")
+    p.add_argument("--pure", action="store_true")
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("compare", help="March vs PRT table (E9)")
+    _add_memory_args(p, default_n=28)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("overhead", help="BIST overhead sweep (E5)")
+    _add_memory_args(p, default_m=4)
+    p.add_argument("--ports", type=int, default=2)
+    p.set_defaults(func=_cmd_overhead)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Fault interface.
+
+Every fault model implements a handful of hooks that the
+:class:`~repro.faults.injector.FaultInjector` calls at the right points of a
+memory cycle:
+
+* :meth:`Fault.read_value` -- perturb the value sensed from a cell,
+* :meth:`Fault.transform_write` -- perturb (or block) the value a write
+  stores into a cell,
+* :meth:`Fault.after_write` -- react to a *committed* transition of a cell
+  (coupling faults fire here),
+* :meth:`Fault.settle` -- enforce steady-state conditions after each cycle
+  (state coupling, bridges, pattern-sensitive faults),
+* :meth:`Fault.decoder_overrides` -- contribute faulty address mappings.
+
+Faults carrying internal analogue state (stuck-open latches, retention
+timers) implement :meth:`Fault.reset` so one fault object can be reused
+across many test runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.array import MemoryArray
+
+__all__ = ["Fault", "BitLocation"]
+
+
+@dataclass(frozen=True, order=True)
+class BitLocation:
+    """A single bit of a single cell: the unit coupling faults act on.
+
+    For a bit-oriented memory every location has ``bit == 0``.
+
+    >>> BitLocation(3, 1)
+    BitLocation(cell=3, bit=1)
+    """
+
+    cell: int
+    bit: int = 0
+
+    def read(self, array: MemoryArray) -> int:
+        """Current value of this bit in the array."""
+        return array.read_bit(self.cell, self.bit)
+
+    def write(self, array: MemoryArray, value: int) -> None:
+        """Force this bit in the array."""
+        array.write_bit(self.cell, self.bit, value)
+
+
+class Fault:
+    """Base class for all fault models.  Subclasses override what they need.
+
+    The default implementation is a no-op fault (healthy behaviour).
+    """
+
+    #: short class tag, e.g. "SAF", "CFin"; overridden by subclasses.
+    fault_class: str = "NONE"
+
+    @property
+    def name(self) -> str:
+        """Human-readable identity used in coverage reports."""
+        return repr(self)
+
+    def cells(self) -> tuple[int, ...]:
+        """Physical cells this fault involves (for reporting)."""
+        return ()
+
+    # -- hooks -----------------------------------------------------------------
+
+    def read_value(self, array: MemoryArray, cell: int, stored: int,
+                   time: int) -> int:
+        """Value sensed when reading ``cell`` whose array content is
+        ``stored``.  Default: faithful."""
+        return stored
+
+    def transform_write(self, array: MemoryArray, cell: int, old: int,
+                        new: int, time: int) -> int:
+        """Value actually stored when writing ``new`` over ``old``.
+        Default: faithful."""
+        return new
+
+    def after_write(self, array: MemoryArray, cell: int, old: int,
+                    committed: int, time: int) -> None:
+        """React to the committed write ``old -> committed`` on ``cell``
+        (coupling faults mutate their victims here).  Default: nothing."""
+
+    def settle(self, array: MemoryArray, time: int) -> None:
+        """Enforce steady-state conditions after a cycle.  Default: nothing."""
+
+    def decoder_overrides(self) -> dict[int, tuple[int, ...]]:
+        """Address-decoder rewiring contributed by this fault.
+        Default: none."""
+        return {}
+
+    def reset(self) -> None:
+        """Clear internal analogue state (latches, timers).  Default: none."""

@@ -1,0 +1,107 @@
+"""The fault injector: faulty cell semantics behind the CellBehavior plug.
+
+A :class:`FaultInjector` owns a set of :class:`~repro.faults.base.Fault`
+objects and implements :class:`~repro.memory.behavior.CellBehavior`, so it
+can be attached to any RAM front-end (single- or multi-port).  Decoder
+faults additionally rewire the RAM's :class:`~repro.memory.decoder
+.AddressDecoder`; :meth:`FaultInjector.install` / :meth:`FaultInjector
+.remove` handle both pieces.
+
+Hook order within one write::
+
+    value -> [transform_write of every fault on the cell] -> committed
+    committed stored in the array
+    [after_write of every fault]    (coupling faults fire on the transition)
+    [settle of every fault]         (state conditions re-enforced)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.faults.base import Fault
+from repro.memory.array import MemoryArray
+from repro.memory.behavior import CellBehavior
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(CellBehavior):
+    """Cell semantics with a set of active faults.
+
+    Examples
+    --------
+    >>> from repro.memory import SinglePortRAM
+    >>> from repro.faults import StuckAtFault
+    >>> ram = SinglePortRAM(8)
+    >>> injector = FaultInjector([StuckAtFault(3, 0)])
+    >>> injector.install(ram)
+    >>> ram.write(3, 1)
+    >>> ram.read(3)
+    0
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._faults: list[Fault] = list(faults)
+        self._installed_overrides: list[int] = []
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        """The active faults."""
+        return tuple(self._faults)
+
+    def add(self, fault: Fault) -> None:
+        """Add one more fault (before installing)."""
+        self._faults.append(fault)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:
+        classes = sorted({f.fault_class for f in self._faults})
+        return f"FaultInjector({len(self._faults)} faults: {', '.join(classes)})"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def install(self, ram) -> None:
+        """Attach to a RAM front-end: behaviour plug + decoder overrides."""
+        for fault in self._faults:
+            fault.reset()
+            for addr, cells in fault.decoder_overrides().items():
+                ram.decoder.set_override(addr, cells)
+                self._installed_overrides.append(addr)
+        ram.attach_behavior(self)
+
+    def remove(self, ram) -> None:
+        """Detach from a RAM front-end, restoring healthy behaviour."""
+        for addr in self._installed_overrides:
+            ram.decoder.clear_override(addr)
+        self._installed_overrides.clear()
+        ram.detach_behavior()
+
+    def reset(self) -> None:
+        """Reset internal state of every fault (for test-campaign reuse)."""
+        for fault in self._faults:
+            fault.reset()
+
+    # -- CellBehavior ------------------------------------------------------------
+
+    def read_cell(self, array: MemoryArray, cell: int, time: int) -> int:
+        value = array.read(cell)
+        for fault in self._faults:
+            value = fault.read_value(array, cell, value, time)
+        return value
+
+    def write_cell(self, array: MemoryArray, cell: int, value: int,
+                   time: int) -> None:
+        old = array.read(cell)
+        committed = value
+        for fault in self._faults:
+            committed = fault.transform_write(array, cell, old, committed, time)
+        array.write(cell, committed)
+        for fault in self._faults:
+            fault.after_write(array, cell, old, committed, time)
+
+    def settle(self, array: MemoryArray, time: int) -> None:
+        for fault in self._faults:
+            fault.settle(array, time)

@@ -1,0 +1,172 @@
+"""Linked faults: multiple coupling faults sharing a victim.
+
+Two coupling faults are *linked* when they target the same victim bit and
+their effects can mask each other -- e.g. two inversion couplings whose
+aggressors both transition between the victim's write and its read flip
+the victim twice, leaving it correct at observation time.  Van de Goor
+distinguishes tests by whether they detect linked faults: March C- covers
+all *unlinked* two-cell coupling faults but misses certain linked pairs;
+March A/B add the write-heavy elements precisely for them.
+
+Mechanically a linked fault is just several fault objects installed
+together (the injector composes them in order), so this module provides
+the canonical linked *pairs* and a universe generator; detection campaigns
+treat the pair as one composite fault.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.base import BitLocation, Fault
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+)
+from repro.faults.universe import FaultUniverse
+from repro.memory.array import MemoryArray
+
+__all__ = ["LinkedFault", "linked_cfin_pair", "linked_cfid_pair", "linked_universe"]
+
+
+class LinkedFault(Fault):
+    """A composite of component faults acting together on shared cells.
+
+    The components fire in order on every hook, exactly as if they were
+    separately installed in one injector -- the wrapper exists so coverage
+    campaigns can treat the linked pair as a single unit with one name.
+
+    >>> fault = linked_cfin_pair(1, 5, 3)
+    >>> fault.fault_class
+    'LF'
+    >>> sorted(fault.cells())
+    [1, 3, 5]
+    """
+
+    fault_class = "LF"
+
+    def __init__(self, components: list[Fault], subtype: str = "LF"):
+        if len(components) < 2:
+            raise ValueError("a linked fault needs at least two components")
+        self._components = list(components)
+        self._subtype = subtype
+
+    @property
+    def components(self) -> tuple[Fault, ...]:
+        """The component faults, in firing order."""
+        return tuple(self._components)
+
+    @property
+    def name(self) -> str:
+        inner = " & ".join(c.name for c in self._components)
+        return f"{self._subtype}[{inner}]"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def cells(self) -> tuple[int, ...]:
+        touched: set[int] = set()
+        for component in self._components:
+            touched.update(component.cells())
+        return tuple(sorted(touched))
+
+    def read_value(self, array: MemoryArray, cell: int, stored: int,
+                   time: int) -> int:
+        for component in self._components:
+            stored = component.read_value(array, cell, stored, time)
+        return stored
+
+    def transform_write(self, array: MemoryArray, cell: int, old: int,
+                        new: int, time: int) -> int:
+        for component in self._components:
+            new = component.transform_write(array, cell, old, new, time)
+        return new
+
+    def after_write(self, array: MemoryArray, cell: int, old: int,
+                    committed: int, time: int) -> None:
+        for component in self._components:
+            component.after_write(array, cell, old, committed, time)
+
+    def settle(self, array: MemoryArray, time: int) -> None:
+        for component in self._components:
+            component.settle(array, time)
+
+    def decoder_overrides(self) -> dict[int, tuple[int, ...]]:
+        overrides: dict[int, tuple[int, ...]] = {}
+        for component in self._components:
+            overrides.update(component.decoder_overrides())
+        return overrides
+
+    def reset(self) -> None:
+        for component in self._components:
+            component.reset()
+
+
+def linked_cfin_pair(aggressor1: int, aggressor2: int, victim: int,
+                     rising1: bool = True, rising2: bool = True) -> LinkedFault:
+    """Two inversion couplings sharing a victim: the masking pair.
+
+    When both aggressors fire between the victim's write and read, the two
+    inversions cancel -- the classical linked CFin that defeats March C-.
+
+    >>> linked_cfin_pair(0, 4, 2).name
+    'LF-CFin[CFin-up(aggr=(0,0), victim=(2,0)) & CFin-up(aggr=(4,0), victim=(2,0))]'
+    """
+    if len({aggressor1, aggressor2, victim}) != 3:
+        raise ValueError("linked pair needs three distinct cells")
+    return LinkedFault(
+        [
+            InversionCouplingFault(BitLocation(aggressor1), BitLocation(victim),
+                                   rising=rising1),
+            InversionCouplingFault(BitLocation(aggressor2), BitLocation(victim),
+                                   rising=rising2),
+        ],
+        subtype="LF-CFin",
+    )
+
+
+def linked_cfid_pair(aggressor1: int, aggressor2: int, victim: int,
+                     rising1: bool = True, rising2: bool = True) -> LinkedFault:
+    """Two idempotent couplings with opposite forced values on one victim.
+
+    The second aggressor's force can restore the value the first one
+    destroyed, hiding both.
+
+    >>> fault = linked_cfid_pair(0, 4, 2)
+    >>> len(fault.components)
+    2
+    """
+    if len({aggressor1, aggressor2, victim}) != 3:
+        raise ValueError("linked pair needs three distinct cells")
+    return LinkedFault(
+        [
+            IdempotentCouplingFault(BitLocation(aggressor1), BitLocation(victim),
+                                    rising=rising1, force_to=1),
+            IdempotentCouplingFault(BitLocation(aggressor2), BitLocation(victim),
+                                    rising=rising2, force_to=0),
+        ],
+        subtype="LF-CFid",
+    )
+
+
+def linked_universe(n: int, max_victims: int = 8, seed: int = 0) -> FaultUniverse:
+    """Linked CFin and CFid pairs over victims with two flanking
+    aggressors (the layout where masking actually happens).
+
+    >>> linked_universe(8, max_victims=2).counts()
+    {'LF': 16}
+    """
+    if n < 3:
+        raise ValueError("linked faults need at least three cells")
+    rng = random.Random(seed)
+    victims = list(range(1, n - 1))
+    if len(victims) > max_victims:
+        victims = sorted(rng.sample(victims, max_victims))
+    faults: list[Fault] = []
+    for victim in victims:
+        a1, a2 = victim - 1, victim + 1
+        for rising1 in (True, False):
+            for rising2 in (True, False):
+                faults.append(linked_cfin_pair(a1, a2, victim, rising1, rising2))
+                faults.append(linked_cfid_pair(a1, a2, victim, rising1, rising2))
+    return FaultUniverse(faults)

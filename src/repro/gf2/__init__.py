@@ -1,0 +1,107 @@
+"""Polynomial arithmetic over GF(2).
+
+Polynomials over GF(2) are represented as non-negative Python integers whose
+binary expansion holds the coefficients: bit ``i`` of the integer is the
+coefficient of ``x**i``.  For example ``0b10011`` is ``x^4 + x + 1``.
+
+This encoding makes addition a single XOR and keeps the rest of the library
+(LFSRs, GF(2^m) fields, multiplier synthesis) fast and allocation-free.
+
+The subpackage provides:
+
+* :mod:`repro.gf2.poly` -- core ring operations (add, mul, divmod, gcd,
+  modular exponentiation, formatting and parsing),
+* :mod:`repro.gf2.irreducible` -- irreducibility (Ben-Or/Rabin) and
+  primitivity tests, the multiplicative order of ``x`` modulo a polynomial,
+  and search helpers,
+* :mod:`repro.gf2.factor` -- square-free / distinct-degree / equal-degree
+  (Cantor--Zassenhaus) factorization over GF(2),
+* :mod:`repro.gf2.tables` -- a curated table of primitive polynomials used as
+  default moduli by the rest of the library,
+* :mod:`repro.gf2.intfactor` -- small integer factorization utilities needed
+  for multiplicative-order computations.
+"""
+
+from repro.gf2.poly import (
+    PolyParseError,
+    degree,
+    poly_add,
+    poly_sub,
+    poly_mul,
+    poly_divmod,
+    poly_div,
+    poly_mod,
+    poly_gcd,
+    poly_egcd,
+    poly_modmul,
+    poly_modexp,
+    poly_modinv,
+    poly_derivative,
+    poly_eval,
+    poly_from_coeffs,
+    poly_to_coeffs,
+    poly_from_exponents,
+    poly_to_exponents,
+    poly_from_string,
+    poly_to_string,
+    poly_weight,
+    reciprocal,
+)
+from repro.gf2.irreducible import (
+    is_irreducible,
+    is_primitive,
+    order_of_x,
+    find_irreducible,
+    find_primitive,
+    iter_irreducible,
+    iter_primitive,
+)
+from repro.gf2.factor import (
+    squarefree_part,
+    distinct_degree_factorization,
+    equal_degree_factorization,
+    factorize,
+)
+from repro.gf2.intfactor import factorize_int, divisors
+from repro.gf2.tables import PRIMITIVE_POLYNOMIALS, primitive_polynomial
+
+__all__ = [
+    "PolyParseError",
+    "degree",
+    "poly_add",
+    "poly_sub",
+    "poly_mul",
+    "poly_divmod",
+    "poly_div",
+    "poly_mod",
+    "poly_gcd",
+    "poly_egcd",
+    "poly_modmul",
+    "poly_modexp",
+    "poly_modinv",
+    "poly_derivative",
+    "poly_eval",
+    "poly_from_coeffs",
+    "poly_to_coeffs",
+    "poly_from_exponents",
+    "poly_to_exponents",
+    "poly_from_string",
+    "poly_to_string",
+    "poly_weight",
+    "reciprocal",
+    "is_irreducible",
+    "is_primitive",
+    "order_of_x",
+    "find_irreducible",
+    "find_primitive",
+    "iter_irreducible",
+    "iter_primitive",
+    "squarefree_part",
+    "distinct_degree_factorization",
+    "equal_degree_factorization",
+    "factorize",
+    "factorize_int",
+    "divisors",
+    "PRIMITIVE_POLYNOMIALS",
+    "primitive_polynomial",
+]

@@ -1,0 +1,212 @@
+"""Factorization of polynomials over GF(2).
+
+The classic three-stage pipeline:
+
+1. :func:`squarefree_part` -- strip repeated factors using the formal
+   derivative,
+2. :func:`distinct_degree_factorization` -- split a square-free polynomial
+   into products of irreducibles of equal degree,
+3. :func:`equal_degree_factorization` -- Cantor--Zassenhaus splitting of each
+   equal-degree product into its irreducible factors.
+
+:func:`factorize` runs the full pipeline and returns irreducible factors with
+multiplicities.  Factorization backs the period analysis of non-irreducible
+LFSR feedback polynomials (`repro.lfsr.period`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gf2.poly import (
+    degree,
+    poly_derivative,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_modexp,
+    poly_modmul,
+    poly_mul,
+)
+
+__all__ = [
+    "squarefree_part",
+    "squarefree_decomposition",
+    "distinct_degree_factorization",
+    "equal_degree_factorization",
+    "factorize",
+]
+
+
+def _poly_sqrt(p: int) -> int:
+    """Square root of a GF(2) polynomial that is a perfect square.
+
+    Over GF(2), ``(sum a_i x^i)^2 = sum a_i x^(2i)``, so a perfect square has
+    coefficients only at even positions and its root keeps every other bit.
+    """
+    root = 0
+    i = 0
+    while p >> (2 * i):
+        if (p >> (2 * i)) & 1:
+            root |= 1 << i
+        i += 1
+    return root
+
+
+def squarefree_part(f: int) -> int:
+    """Largest square-free divisor of ``f``.
+
+    >>> from repro.gf2.poly import poly_mul
+    >>> squarefree_part(poly_mul(0b111, 0b111))   # (x^2+x+1)^2
+    7
+    """
+    if f == 0:
+        raise ValueError("zero polynomial has no square-free part")
+    result = 1
+    for factor, _mult in squarefree_decomposition(f):
+        result = poly_mul(result, factor)
+    return result
+
+
+def squarefree_decomposition(f: int) -> list[tuple[int, int]]:
+    """Yun-style square-free decomposition adapted to characteristic 2.
+
+    Returns ``[(g_i, e_i), ...]`` with ``f = prod g_i**e_i``, each ``g_i``
+    square-free and pairwise coprime, ``e_i`` strictly increasing.
+    """
+    if f == 0:
+        raise ValueError("cannot decompose the zero polynomial")
+    if degree(f) <= 0:
+        return []
+    out: list[tuple[int, int]] = []
+    _squarefree_rec(f, 1, out)
+    # Merge identical multiplicities produced by the p-th power recursion.
+    merged: dict[int, int] = {}
+    for g, e in out:
+        if degree(g) > 0:
+            merged[e] = poly_mul(merged.get(e, 1), g)
+    return sorted(((g, e) for e, g in merged.items()), key=lambda item: item[1])
+
+
+def _squarefree_rec(f: int, scale: int, out: list[tuple[int, int]]) -> None:
+    fp = poly_derivative(f)
+    if fp == 0:
+        # f is a perfect square: f = h(x)^2; recurse with doubled multiplicity.
+        _squarefree_rec(_poly_sqrt(f), scale * 2, out)
+        return
+    c = poly_gcd(f, fp)
+    w = poly_divmod(f, c)[0]
+    multiplicity = 1
+    while degree(w) > 0:
+        y = poly_gcd(w, c)
+        part = poly_divmod(w, y)[0]
+        if degree(part) > 0:
+            out.append((part, multiplicity * scale))
+        w = y
+        c = poly_divmod(c, y)[0]
+        multiplicity += 1
+    if degree(c) > 0:
+        # The residual carries only even multiplicities, so it is a perfect
+        # square; take the root before doubling the scale (recursing on c
+        # itself would double-count once more inside the fp == 0 branch).
+        _squarefree_rec(_poly_sqrt(c), scale * 2, out)
+
+
+def distinct_degree_factorization(f: int) -> list[tuple[int, int]]:
+    """Split square-free ``f`` into ``[(product, d), ...]`` pieces.
+
+    Each returned ``product`` is the product of all irreducible factors of
+    degree exactly ``d``.
+
+    >>> from repro.gf2.poly import poly_mul
+    >>> distinct_degree_factorization(poly_mul(0b11, 0b111))
+    [(3, 1), (7, 2)]
+    """
+    if f == 0:
+        raise ValueError("cannot factorize the zero polynomial")
+    pieces: list[tuple[int, int]] = []
+    h = poly_mod(2, f)  # x mod f
+    remaining = f
+    d = 0
+    while degree(remaining) > 2 * d:
+        d += 1
+        h = poly_modexp(h, 2, remaining)  # h = x^(2^d) mod remaining
+        g = poly_gcd(h ^ poly_mod(2, remaining), remaining)
+        if degree(g) > 0:
+            pieces.append((g, d))
+            remaining = poly_divmod(remaining, g)[0]
+            h = poly_mod(h, remaining)
+    if degree(remaining) > 0:
+        pieces.append((remaining, degree(remaining)))
+    return pieces
+
+
+def equal_degree_factorization(
+    f: int, d: int, rng: random.Random | None = None
+) -> list[int]:
+    """Cantor--Zassenhaus: split ``f`` into irreducible factors of degree ``d``.
+
+    ``f`` must be square-free with all irreducible factors of degree exactly
+    ``d`` (the output of :func:`distinct_degree_factorization`).
+
+    >>> from repro.gf2.poly import poly_mul
+    >>> sorted(equal_degree_factorization(poly_mul(0b1011, 0b1101), 3))
+    [11, 13]
+    """
+    if rng is None:
+        rng = random.Random(0xC0FFEE)
+    n = degree(f)
+    if n == d:
+        return [f]
+    if n % d != 0:
+        raise ValueError(f"degree {n} is not a multiple of factor degree {d}")
+    factors = [f]
+    target = n // d
+    # Over GF(2) the CZ splitter uses the trace map
+    # T(a) = a + a^2 + a^4 + ... + a^(2^(d-1)).
+    while len(factors) < target:
+        g = factors.pop(rng.randrange(len(factors)))
+        if degree(g) == d:
+            factors.append(g)
+            continue
+        a = rng.randrange(1, 1 << degree(g))
+        trace = 0
+        term = poly_mod(a, g)
+        for _ in range(d):
+            trace ^= term
+            term = poly_modmul(term, term, g)
+        h = poly_gcd(trace, g)
+        if 0 < degree(h) < degree(g):
+            factors.append(h)
+            factors.append(poly_divmod(g, h)[0])
+        else:
+            factors.append(g)
+    return factors
+
+
+def factorize(f: int) -> dict[int, int]:
+    """Full factorization: ``{irreducible_factor: multiplicity}``.
+
+    ``x`` factors (trailing zero coefficients) are handled explicitly.
+
+    >>> from repro.gf2.poly import poly_mul
+    >>> factorize(poly_mul(0b110, 0b111))   # x(x+1)(x^2+x+1)
+    {2: 1, 3: 1, 7: 1}
+    """
+    if f == 0:
+        raise ValueError("cannot factorize the zero polynomial")
+    result: dict[int, int] = {}
+    # Pull out powers of x.
+    x_mult = 0
+    while f & 1 == 0:
+        f >>= 1
+        x_mult += 1
+    if x_mult:
+        result[2] = x_mult
+    if degree(f) <= 0:
+        return dict(sorted(result.items()))
+    for squarefree, multiplicity in squarefree_decomposition(f):
+        for product, d in distinct_degree_factorization(squarefree):
+            for irreducible in equal_degree_factorization(product, d):
+                result[irreducible] = result.get(irreducible, 0) + multiplicity
+    return dict(sorted(result.items()))

@@ -1,0 +1,111 @@
+"""Small-integer factorization helpers.
+
+Multiplicative-order computations over GF(2^m) need the prime factorization
+of ``2**m - 1``.  For the field sizes this library targets (m up to ~64)
+trial division plus Pollard's rho is more than fast enough and keeps the
+package dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["factorize_int", "divisors", "is_prime"]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers.
+
+    Uses a witness set proven sufficient for ``n < 3.3 * 10**24``.
+
+    >>> is_prime(2**13 - 1)
+    True
+    >>> is_prime(2**11 - 1)   # 2047 = 23 * 89
+    False
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # Witnesses sufficient for n < 3,317,044,064,679,887,385,961,981.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _pollard_rho(n: int) -> int:
+    """Return a non-trivial factor of composite odd ``n``."""
+    if n % 2 == 0:
+        return 2
+    for c in range(1, 100):
+        x = 2
+        y = 2
+        d = 1
+        while d == 1:
+            x = (x * x + c) % n
+            y = (y * y + c) % n
+            y = (y * y + c) % n
+            d = math.gcd(abs(x - y), n)
+        if d != n:
+            return d
+    raise ArithmeticError(f"pollard rho failed for {n}")  # pragma: no cover
+
+
+def factorize_int(n: int) -> dict[int, int]:
+    """Prime factorization as ``{prime: multiplicity}``.
+
+    >>> factorize_int(2**4 - 1)
+    {3: 1, 5: 1}
+    >>> factorize_int(1)
+    {}
+    """
+    if n < 1:
+        raise ValueError(f"can only factorize positive integers, got {n}")
+    factors: dict[int, int] = {}
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
+    return dict(sorted(factors.items()))
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in increasing order.
+
+    >>> divisors(15)
+    [1, 3, 5, 15]
+    """
+    result = [1]
+    for p, k in factorize_int(n).items():
+        result = [d * p**i for d in result for i in range(k + 1)]
+    return sorted(result)

@@ -1,0 +1,149 @@
+"""Irreducibility and primitivity of polynomials over GF(2).
+
+A degree-``m`` polynomial ``f`` is *irreducible* when it has no non-trivial
+factors; it is *primitive* when additionally the residue class of ``x``
+generates the full multiplicative group of GF(2^m), i.e. the order of ``x``
+modulo ``f`` equals ``2**m - 1``.  Primitive polynomials give LFSRs of
+maximal period, which is what the pseudo-ring construction relies on to make
+the virtual automaton return to its initial state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.gf2.intfactor import factorize_int
+from repro.gf2.poly import (
+    degree,
+    poly_gcd,
+    poly_mod,
+    poly_modexp,
+)
+
+__all__ = [
+    "is_irreducible",
+    "is_primitive",
+    "order_of_x",
+    "find_irreducible",
+    "find_primitive",
+    "iter_irreducible",
+    "iter_primitive",
+]
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin's irreducibility test.
+
+    ``f`` of degree ``m`` is irreducible iff ``x**(2**m) == x (mod f)`` and
+    for every prime divisor ``q`` of ``m``, ``gcd(x**(2**(m//q)) - x, f) == 1``.
+
+    Degree-0 polynomials (constants) are not irreducible by convention.
+
+    >>> is_irreducible(0b10011)   # x^4 + x + 1
+    True
+    >>> is_irreducible(0b10101)   # x^4 + x^2 + 1 = (x^2+x+1)^2
+    False
+    """
+    m = degree(f)
+    if m <= 0:
+        return False
+    if m == 1:
+        return True
+    if f & 1 == 0:  # divisible by x
+        return False
+    for q in factorize_int(m):
+        n_q = m // q
+        h = poly_modexp(2, 1 << n_q, f) ^ 2  # x^(2^(m/q)) - x mod f
+        if poly_gcd(h, f) != 1:
+            return False
+    return poly_modexp(2, 1 << m, f) == poly_mod(2, f)
+
+
+def order_of_x(f: int) -> int:
+    """Multiplicative order of ``x`` modulo an irreducible ``f``.
+
+    This is the period of the maximal-length sequence produced by the LFSR
+    with characteristic polynomial ``f`` (for a primitive ``f`` it equals
+    ``2**deg(f) - 1``).
+
+    >>> order_of_x(0b10011)        # primitive of degree 4
+    15
+    >>> order_of_x(0b11111)        # x^4+x^3+x^2+x+1 is irreducible, order 5
+    5
+    """
+    if not is_irreducible(f):
+        raise ValueError("order_of_x requires an irreducible polynomial")
+    m = degree(f)
+    group = (1 << m) - 1
+    order = group
+    for p, k in factorize_int(group).items():
+        for _ in range(k):
+            candidate = order // p
+            if poly_modexp(2, candidate, f) == 1:
+                order = candidate
+            else:
+                break
+    return order
+
+
+def is_primitive(f: int) -> bool:
+    """True when ``f`` is primitive (irreducible with maximal order of x).
+
+    >>> is_primitive(0b10011)   # x^4 + x + 1
+    True
+    >>> is_primitive(0b11111)   # irreducible but order 5 != 15
+    False
+    """
+    if not is_irreducible(f):
+        return False
+    m = degree(f)
+    return order_of_x(f) == (1 << m) - 1
+
+
+def iter_irreducible(m: int) -> Iterator[int]:
+    """Yield all irreducible degree-``m`` polynomials in increasing order.
+
+    >>> list(iter_irreducible(2))
+    [7]
+    """
+    if m < 1:
+        raise ValueError("degree must be >= 1")
+    # Candidates have the top bit and (for m >= 1) the constant term set;
+    # an even polynomial is divisible by x.
+    top = 1 << m
+    for middle in range(0, top, 2):
+        f = top | middle | 1
+        if is_irreducible(f):
+            yield f
+    if m == 1:
+        # x itself (0b10) is irreducible but has no constant term.
+        return
+
+
+def iter_primitive(m: int) -> Iterator[int]:
+    """Yield all primitive degree-``m`` polynomials in increasing order."""
+    for f in iter_irreducible(m):
+        if is_primitive(f):
+            yield f
+
+
+def find_irreducible(m: int) -> int:
+    """Smallest irreducible polynomial of degree ``m``.
+
+    >>> find_irreducible(4)
+    19
+    """
+    for f in iter_irreducible(m):
+        return f
+    raise ValueError(f"no irreducible polynomial of degree {m}")  # pragma: no cover
+
+
+def find_primitive(m: int) -> int:
+    """Smallest primitive polynomial of degree ``m``.
+
+    >>> find_primitive(4)
+    19
+    """
+    for f in iter_primitive(m):
+        return f
+    raise ValueError(f"no primitive polynomial of degree {m}")  # pragma: no cover

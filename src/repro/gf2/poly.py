@@ -1,0 +1,388 @@
+"""Core ring operations for polynomials over GF(2).
+
+A polynomial is a non-negative :class:`int`: bit ``i`` is the coefficient of
+``x**i``.  The zero polynomial is ``0`` and has degree ``-1`` by convention
+(see :func:`degree`).
+
+All functions are pure and operate on plain integers so they compose freely
+with the rest of the library.  Parsing/formatting helpers accept the
+human-readable notation used by the paper, e.g. ``"1+z+z^4"`` for
+``p(z) = 1 + z + z^4``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "PolyParseError",
+    "degree",
+    "poly_add",
+    "poly_sub",
+    "poly_mul",
+    "poly_divmod",
+    "poly_div",
+    "poly_mod",
+    "poly_gcd",
+    "poly_egcd",
+    "poly_modmul",
+    "poly_modexp",
+    "poly_modinv",
+    "poly_derivative",
+    "poly_eval",
+    "poly_from_coeffs",
+    "poly_to_coeffs",
+    "poly_from_exponents",
+    "poly_to_exponents",
+    "poly_from_string",
+    "poly_to_string",
+    "poly_weight",
+    "reciprocal",
+]
+
+
+class PolyParseError(ValueError):
+    """Raised when a polynomial string cannot be parsed."""
+
+
+def _check_poly(p: int, name: str = "polynomial") -> None:
+    if not isinstance(p, int) or isinstance(p, bool):
+        raise TypeError(f"{name} must be an int bit-mask, got {type(p).__name__}")
+    if p < 0:
+        raise ValueError(f"{name} must be non-negative, got {p}")
+
+
+def degree(p: int) -> int:
+    """Degree of ``p``; the zero polynomial has degree ``-1``.
+
+    >>> degree(0b10011)   # x^4 + x + 1
+    4
+    >>> degree(1)
+    0
+    >>> degree(0)
+    -1
+    """
+    _check_poly(p)
+    return p.bit_length() - 1
+
+
+def poly_weight(p: int) -> int:
+    """Number of non-zero coefficients (Hamming weight).
+
+    >>> poly_weight(0b10011)
+    3
+    """
+    _check_poly(p)
+    return bin(p).count("1")
+
+
+def poly_add(a: int, b: int) -> int:
+    """Sum of two GF(2) polynomials (coefficient-wise XOR)."""
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    return a ^ b
+
+
+def poly_sub(a: int, b: int) -> int:
+    """Difference; identical to :func:`poly_add` in characteristic 2."""
+    return poly_add(a, b)
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials.
+
+    >>> poly_to_string(poly_mul(0b11, 0b11))   # (x+1)^2 = x^2 + 1
+    'x^2 + 1'
+    """
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    result = 0
+    shift = 0
+    while b:
+        if b & 1:
+            result ^= a << shift
+        b >>= 1
+        shift += 1
+    return result
+
+
+def poly_divmod(a: int, b: int) -> tuple[int, int]:
+    """Quotient and remainder of ``a / b``.
+
+    Raises :class:`ZeroDivisionError` when ``b`` is the zero polynomial.
+
+    >>> q, r = poly_divmod(0b10011, 0b111)
+    >>> poly_mul(q, 0b111) ^ r == 0b10011
+    True
+    """
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    db = degree(b)
+    quotient = 0
+    remainder = a
+    while degree(remainder) >= db:
+        shift = degree(remainder) - db
+        quotient ^= 1 << shift
+        remainder ^= b << shift
+    return quotient, remainder
+
+
+def poly_div(a: int, b: int) -> int:
+    """Quotient of polynomial division."""
+    return poly_divmod(a, b)[0]
+
+
+def poly_mod(a: int, b: int) -> int:
+    """Remainder of polynomial division."""
+    return poly_divmod(a, b)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor (monic, i.e. plain bit-mask) of ``a``, ``b``.
+
+    >>> poly_gcd(poly_mul(0b111, 0b10), poly_mul(0b111, 0b11))
+    7
+    """
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended GCD: returns ``(g, s, t)`` with ``s*a + t*b = g``.
+
+    >>> g, s, t = poly_egcd(0b10011, 0b111)
+    >>> poly_mul(s, 0b10011) ^ poly_mul(t, 0b111) == g
+    True
+    """
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    r0, r1 = a, b
+    s0, s1 = 1, 0
+    t0, t1 = 0, 1
+    while r1:
+        q, r = poly_divmod(r0, r1)
+        r0, r1 = r1, r
+        s0, s1 = s1, s0 ^ poly_mul(q, s1)
+        t0, t1 = t1, t0 ^ poly_mul(q, t1)
+    return r0, s0, t0
+
+
+def poly_modmul(a: int, b: int, modulus: int) -> int:
+    """Product ``a * b mod modulus``.
+
+    The inputs need not be reduced beforehand.
+    """
+    _check_poly(a, "a")
+    _check_poly(b, "b")
+    if modulus == 0:
+        raise ZeroDivisionError("zero modulus")
+    return poly_mod(poly_mul(a, b), modulus)
+
+
+def poly_modexp(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent mod modulus`` by square-and-multiply.
+
+    >>> poly_modexp(0b10, 4, 0b10011)  # x^4 mod (x^4+x+1) = x + 1
+    3
+    """
+    _check_poly(base, "base")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    if modulus == 0:
+        raise ZeroDivisionError("zero modulus")
+    result = poly_mod(1, modulus)
+    acc = poly_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = poly_modmul(result, acc, modulus)
+        acc = poly_modmul(acc, acc, modulus)
+        exponent >>= 1
+    return result
+
+
+def poly_modinv(a: int, modulus: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``modulus``.
+
+    Raises :class:`ZeroDivisionError` if ``a`` is not invertible (i.e. shares
+    a factor with the modulus).
+    """
+    _check_poly(a, "a")
+    if modulus == 0:
+        raise ZeroDivisionError("zero modulus")
+    a = poly_mod(a, modulus)
+    g, s, _t = poly_egcd(a, modulus)
+    if g != 1:
+        raise ZeroDivisionError(
+            f"{poly_to_string(a)} is not invertible mod {poly_to_string(modulus)}"
+        )
+    return poly_mod(s, modulus)
+
+
+def poly_derivative(p: int) -> int:
+    """Formal derivative over GF(2): odd-degree terms survive, shifted down.
+
+    >>> poly_to_string(poly_derivative(0b10011))  # d/dx (x^4+x+1) = 1
+    '1'
+    """
+    _check_poly(p)
+    # Coefficient of x^i in p' is (i+1 mod 2) * coeff of x^{i+1}: keep odd
+    # positions of p and shift right once.
+    odd_mask = 0
+    bit = 2  # x^1 position
+    while bit <= p:
+        odd_mask |= bit
+        bit <<= 2
+    return (p & odd_mask) >> 1
+
+
+def poly_eval(p: int, x: int) -> int:
+    """Evaluate ``p`` at a GF(2) point ``x`` in {0, 1}.
+
+    >>> poly_eval(0b10011, 1)   # three terms -> 1 over GF(2)
+    1
+    """
+    _check_poly(p)
+    if x not in (0, 1):
+        raise ValueError("GF(2) point must be 0 or 1")
+    if x == 0:
+        return p & 1
+    return poly_weight(p) & 1
+
+
+def poly_from_coeffs(coeffs: list[int] | tuple[int, ...]) -> int:
+    """Build a polynomial from a low-to-high coefficient list.
+
+    >>> poly_from_coeffs([1, 1, 0, 0, 1])   # 1 + x + x^4
+    19
+    """
+    p = 0
+    for i, c in enumerate(coeffs):
+        if c not in (0, 1):
+            raise ValueError(f"coefficient {c!r} at position {i} is not in GF(2)")
+        if c:
+            p |= 1 << i
+    return p
+
+
+def poly_to_coeffs(p: int) -> list[int]:
+    """Low-to-high coefficient list; the zero polynomial gives ``[0]``.
+
+    >>> poly_to_coeffs(0b10011)
+    [1, 1, 0, 0, 1]
+    """
+    _check_poly(p)
+    if p == 0:
+        return [0]
+    return [(p >> i) & 1 for i in range(p.bit_length())]
+
+
+def poly_from_exponents(exponents: list[int] | tuple[int, ...] | set[int]) -> int:
+    """Build a polynomial from the set of exponents with coefficient 1.
+
+    >>> poly_from_exponents([0, 1, 4])
+    19
+    """
+    p = 0
+    for e in exponents:
+        if e < 0:
+            raise ValueError(f"exponent must be non-negative, got {e}")
+        if p & (1 << e):
+            raise ValueError(f"duplicate exponent {e}")
+        p |= 1 << e
+    return p
+
+
+def poly_to_exponents(p: int) -> list[int]:
+    """Sorted (descending) list of exponents with non-zero coefficient."""
+    _check_poly(p)
+    return [i for i in range(p.bit_length() - 1, -1, -1) if (p >> i) & 1]
+
+
+_TERM_RE = re.compile(
+    r"^\s*(?:(?P<zero>0)|(?P<one>1)|(?P<var>[a-zA-Z])(?:\s*\^\s*(?P<exp>\d+))?)\s*$"
+)
+
+
+def poly_from_string(text: str) -> int:
+    """Parse notation like ``"x^4 + x + 1"`` or ``"1+z+z^4"``.
+
+    Any single letter works as the variable; repeated terms cancel (GF(2)
+    addition), matching the algebra.
+
+    >>> poly_from_string("1 + z + z^4")
+    19
+    >>> poly_from_string("x^2+x^2") == 0
+    True
+    """
+    if not text or not text.strip():
+        raise PolyParseError("empty polynomial string")
+    p = 0
+    variable = None
+    for raw_term in text.split("+"):
+        match = _TERM_RE.match(raw_term)
+        if match is None:
+            raise PolyParseError(f"cannot parse term {raw_term.strip()!r}")
+        if match.group("zero"):
+            continue
+        if match.group("one"):
+            p ^= 1
+            continue
+        var = match.group("var")
+        if variable is None:
+            variable = var
+        elif var != variable:
+            raise PolyParseError(
+                f"mixed variables {variable!r} and {var!r} in {text!r}"
+            )
+        exp = int(match.group("exp")) if match.group("exp") else 1
+        p ^= 1 << exp
+    return p
+
+
+def poly_to_string(p: int, variable: str = "x") -> str:
+    """Format as human-readable text, highest degree first.
+
+    >>> poly_to_string(19)
+    'x^4 + x + 1'
+    >>> poly_to_string(19, variable="z")
+    'z^4 + z + 1'
+    >>> poly_to_string(0)
+    '0'
+    """
+    _check_poly(p)
+    if p == 0:
+        return "0"
+    terms = []
+    for e in poly_to_exponents(p):
+        if e == 0:
+            terms.append("1")
+        elif e == 1:
+            terms.append(variable)
+        else:
+            terms.append(f"{variable}^{e}")
+    return " + ".join(terms)
+
+
+def reciprocal(p: int) -> int:
+    """Reciprocal (bit-reversed) polynomial ``x^deg(p) * p(1/x)``.
+
+    The reciprocal of an irreducible polynomial is irreducible; LFSRs built
+    on reciprocal polynomials generate time-reversed sequences.
+
+    >>> poly_to_string(reciprocal(0b10011))   # x^4+x+1 -> x^4+x^3+1
+    'x^4 + x^3 + 1'
+    """
+    _check_poly(p)
+    if p == 0:
+        return 0
+    n = p.bit_length()
+    out = 0
+    for i in range(n):
+        if (p >> i) & 1:
+            out |= 1 << (n - 1 - i)
+    return out

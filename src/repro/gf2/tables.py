@@ -1,0 +1,73 @@
+"""Curated table of primitive polynomials over GF(2).
+
+One primitive polynomial per degree 1..32, chosen with few terms (the usual
+LFSR taps from Peterson & Weldon / Xilinx app-note tables).  These are the
+default field moduli and LFSR feedback polynomials used across the library;
+every entry is verified primitive by the test suite using
+:func:`repro.gf2.irreducible.is_primitive`.
+
+The paper's word-oriented example uses ``p(z) = 1 + z + z^4`` (our degree-4
+entry) as the GF(2^4) modulus.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.poly import poly_from_exponents
+
+__all__ = ["PRIMITIVE_POLYNOMIALS", "primitive_polynomial"]
+
+# degree -> exponent tuple (highest first, always ending in 0).
+_PRIMITIVE_EXPONENTS: dict[int, tuple[int, ...]] = {
+    1: (1, 0),
+    2: (2, 1, 0),
+    3: (3, 1, 0),
+    4: (4, 1, 0),
+    5: (5, 2, 0),
+    6: (6, 1, 0),
+    7: (7, 1, 0),
+    8: (8, 4, 3, 2, 0),
+    9: (9, 4, 0),
+    10: (10, 3, 0),
+    11: (11, 2, 0),
+    12: (12, 6, 4, 1, 0),
+    13: (13, 4, 3, 1, 0),
+    14: (14, 10, 6, 1, 0),
+    15: (15, 1, 0),
+    16: (16, 12, 3, 1, 0),
+    17: (17, 3, 0),
+    18: (18, 7, 0),
+    19: (19, 5, 2, 1, 0),
+    20: (20, 3, 0),
+    21: (21, 2, 0),
+    22: (22, 1, 0),
+    23: (23, 5, 0),
+    24: (24, 7, 2, 1, 0),
+    25: (25, 3, 0),
+    26: (26, 6, 2, 1, 0),
+    27: (27, 5, 2, 1, 0),
+    28: (28, 3, 0),
+    29: (29, 2, 0),
+    30: (30, 23, 2, 1, 0),
+    31: (31, 3, 0),
+    32: (32, 22, 2, 1, 0),
+}
+
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    m: poly_from_exponents(exps) for m, exps in _PRIMITIVE_EXPONENTS.items()
+}
+"""Mapping ``degree -> primitive polynomial`` (bit-mask encoding)."""
+
+
+def primitive_polynomial(m: int) -> int:
+    """Default primitive polynomial of degree ``m`` (1 <= m <= 32).
+
+    >>> primitive_polynomial(4)   # 1 + z + z^4, the paper's p(z)
+    19
+    """
+    try:
+        return PRIMITIVE_POLYNOMIALS[m]
+    except KeyError:
+        raise ValueError(
+            f"no tabulated primitive polynomial of degree {m}; "
+            f"use repro.gf2.find_primitive for arbitrary degrees"
+        ) from None

@@ -1,0 +1,88 @@
+"""Finite fields GF(2^m) and constant-multiplier hardware synthesis.
+
+The paper's word-oriented pseudo-ring test treats each m-bit memory word as
+an element of GF(2^m) (the running example uses m = 4 with modulus
+``p(z) = 1 + z + z^4``) and each step of the virtual word LFSR multiplies
+words by the *constant* coefficients of the generator polynomial ``g(x)``.
+
+This subpackage provides:
+
+* :class:`repro.gf2m.field.GF2m` -- the field itself, with table-driven
+  arithmetic, element orders, generators and minimal polynomials,
+* :class:`repro.gf2m.element.FieldElement` -- an ergonomic element wrapper
+  with operator overloading,
+* :mod:`repro.gf2m.multiplier` -- the GF(2)-linear bit-matrix of a constant
+  multiplier (multiplication by a constant is linear over GF(2), which is
+  why the paper can implement it "inherently in the memory circuit" with
+  XOR gates only),
+* :mod:`repro.gf2m.xor_synth` -- XOR-network synthesis for those matrices:
+  the naive column method and a greedy common-subexpression-elimination
+  optimizer (Paar's heuristic), reproducing the paper's claim C6 that an
+  optimal (minimum-gate) multiplier-by-constant can be designed.
+"""
+
+from repro.gf2m.field import GF2m
+from repro.gf2m.element import FieldElement
+from repro.gf2m.multiplier import (
+    constant_multiplier_matrix,
+    apply_matrix,
+    matrix_to_rows,
+    identity_matrix,
+    matrix_mul,
+)
+from repro.gf2m.poly_ext import (
+    wpoly,
+    wpoly_degree,
+    wpoly_add,
+    wpoly_scale,
+    wpoly_mul,
+    wpoly_divmod,
+    wpoly_mod,
+    wpoly_gcd,
+    wpoly_monic,
+    wpoly_modexp,
+    wpoly_eval,
+    wpoly_roots,
+    wpoly_is_irreducible,
+    wpoly_to_string,
+    wpoly_x_pow_order,
+)
+from repro.gf2m.xor_synth import (
+    XorGate,
+    XorNetwork,
+    synthesize_naive,
+    synthesize_greedy,
+    synthesize,
+    network_cost_summary,
+)
+
+__all__ = [
+    "GF2m",
+    "FieldElement",
+    "constant_multiplier_matrix",
+    "apply_matrix",
+    "matrix_to_rows",
+    "identity_matrix",
+    "matrix_mul",
+    "wpoly",
+    "wpoly_degree",
+    "wpoly_add",
+    "wpoly_scale",
+    "wpoly_mul",
+    "wpoly_divmod",
+    "wpoly_mod",
+    "wpoly_gcd",
+    "wpoly_monic",
+    "wpoly_modexp",
+    "wpoly_eval",
+    "wpoly_roots",
+    "wpoly_is_irreducible",
+    "wpoly_to_string",
+    "wpoly_x_pow_order",
+    "XorGate",
+    "XorNetwork",
+    "synthesize_naive",
+    "synthesize_greedy",
+    "synthesize",
+    "network_cost_summary",
+]

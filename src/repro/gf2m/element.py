@@ -1,0 +1,160 @@
+"""Operator-overloaded wrapper for GF(2^m) elements.
+
+:class:`FieldElement` pairs a value with its :class:`~repro.gf2m.field.GF2m`
+field so algebraic expressions read naturally::
+
+    F = GF2m(poly_from_string("1+z+z^4"))
+    a = FieldElement(F, 0b0010)           # z
+    b = a ** 3 + a                        # z^3 + z
+    int(b)                                # back to the word encoding
+
+The raw ``int`` API on :class:`GF2m` remains the hot path used by the LFSR
+and PRT engines; this wrapper is for exploratory and example code.
+"""
+
+from __future__ import annotations
+
+from repro.gf2m.field import GF2m
+
+__all__ = ["FieldElement"]
+
+
+class FieldElement:
+    """An element of a specific GF(2^m) field.
+
+    Immutable; all operators return new elements.  Mixed-field arithmetic is
+    rejected because the bit patterns of different fields are incompatible.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> z = FieldElement(F, 0b0010)
+    >>> int(z ** 4)            # z^4 = z + 1
+    3
+    >>> (z * z.inverse()).value
+    1
+    """
+
+    __slots__ = ("_field", "_value")
+
+    def __init__(self, field: GF2m, value: int):
+        if value not in field:
+            raise ValueError(
+                f"value {value!r} is not an element of GF(2^{field.m})"
+            )
+        self._field = field
+        self._value = value
+
+    @property
+    def field(self) -> GF2m:
+        """The field this element belongs to."""
+        return self._field
+
+    @property
+    def value(self) -> int:
+        """Word encoding of the element."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldElement(GF(2^{self._field.m}), "
+            f"{self._field.element_poly_string(self._value)!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self._field == other._field and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._field, self._value))
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def _coerce(self, other: object) -> int:
+        if isinstance(other, FieldElement):
+            if other._field != self._field:
+                raise ValueError(
+                    f"cannot mix elements of GF(2^{self._field.m}) "
+                    f"and GF(2^{other._field.m})"
+                )
+            return other._value
+        if isinstance(other, int) and not isinstance(other, bool):
+            if other not in self._field:
+                raise ValueError(
+                    f"integer {other} is not an element of GF(2^{self._field.m})"
+                )
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    def _wrap(self, value: int) -> FieldElement:
+        return FieldElement(self._field, value)
+
+    def __add__(self, other: object) -> FieldElement:
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return self._wrap(self._field.add(self._value, v))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> FieldElement:
+        return self.__add__(other)  # characteristic 2
+
+    __rsub__ = __sub__
+
+    def __mul__(self, other: object) -> FieldElement:
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return self._wrap(self._field.mul(self._value, v))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> FieldElement:
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return self._wrap(self._field.div(self._value, v))
+
+    def __rtruediv__(self, other: object) -> FieldElement:
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return self._wrap(self._field.div(v, self._value))
+
+    def __pow__(self, exponent: int) -> FieldElement:
+        if not isinstance(exponent, int) or isinstance(exponent, bool):
+            return NotImplemented
+        return self._wrap(self._field.pow(self._value, exponent))
+
+    def __neg__(self) -> FieldElement:
+        return self  # -a == a in characteristic 2
+
+    def inverse(self) -> FieldElement:
+        """Multiplicative inverse; raises :class:`ZeroDivisionError` on 0."""
+        return self._wrap(self._field.inv(self._value))
+
+    def order(self) -> int:
+        """Multiplicative order; raises :class:`ValueError` on 0."""
+        return self._field.order(self._value)
+
+    def trace(self) -> int:
+        """Absolute trace into GF(2)."""
+        return self._field.trace(self._value)
+
+    def minimal_polynomial(self) -> int:
+        """Minimal polynomial over GF(2) (bit-mask encoded)."""
+        return self._field.minimal_polynomial(self._value)
+
+    def as_poly_string(self) -> str:
+        """Human-readable polynomial form, e.g. ``'z^2 + z'``."""
+        return self._field.element_poly_string(self._value)

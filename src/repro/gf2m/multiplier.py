@@ -1,0 +1,114 @@
+"""Bit-matrices of constant multipliers in GF(2^m).
+
+Multiplication by a fixed constant ``c`` is a GF(2)-linear map on the m-bit
+word encoding: ``mul(c, x ^ y) == mul(c, x) ^ mul(c, y)``.  It can therefore
+be written as an ``m x m`` binary matrix and realized in hardware with XOR
+gates only -- this is why the paper can embed the word-LFSR coefficient
+multipliers "inherently in the memory circuit" (claim C6).
+
+A matrix is encoded as a list of ``m`` integers, one *row bit-mask* per
+output bit: bit ``j`` of ``matrix[i]`` is 1 when output bit ``i`` depends on
+input bit ``j``.  :func:`apply_matrix` then computes each output bit as the
+parity of a masked input.
+"""
+
+from __future__ import annotations
+
+from repro.gf2m.field import GF2m
+
+__all__ = [
+    "constant_multiplier_matrix",
+    "apply_matrix",
+    "matrix_to_rows",
+    "identity_matrix",
+    "matrix_mul",
+]
+
+
+def constant_multiplier_matrix(field: GF2m, constant: int) -> list[int]:
+    """Matrix of the map ``x -> constant * x`` in the given field.
+
+    Column ``j`` of the matrix is ``constant * z^j``, i.e. the image of the
+    ``j``-th basis vector.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> M = constant_multiplier_matrix(F, 0b0010)        # multiply by z
+    >>> apply_matrix(M, 0b1000) == F.mul(0b0010, 0b1000)  # z * z^3 = z + 1
+    True
+    """
+    if constant not in field:
+        raise ValueError(f"constant {constant} is not in GF(2^{field.m})")
+    m = field.m
+    rows = [0] * m
+    for j in range(m):
+        image = field.mul(constant, 1 << j)
+        for i in range(m):
+            if (image >> i) & 1:
+                rows[i] |= 1 << j
+    return rows
+
+
+def apply_matrix(matrix: list[int], x: int) -> int:
+    """Apply a binary matrix (row bit-masks) to an input word.
+
+    Output bit ``i`` is the XOR (parity) of the input bits selected by row
+    ``i``.
+
+    >>> apply_matrix([0b01, 0b11], 0b11)   # [[1,0],[1,1]] * (1,1)
+    1
+    """
+    y = 0
+    for i, row in enumerate(matrix):
+        if bin(x & row).count("1") & 1:
+            y |= 1 << i
+    return y
+
+
+def matrix_to_rows(matrix: list[int], m: int | None = None) -> list[list[int]]:
+    """Expand row bit-masks into explicit 0/1 lists (for display/tests).
+
+    >>> matrix_to_rows([0b01, 0b11], 2)
+    [[1, 0], [1, 1]]
+    """
+    if m is None:
+        m = max((row.bit_length() for row in matrix), default=0)
+        m = max(m, len(matrix))
+    return [[(row >> j) & 1 for j in range(m)] for row in matrix]
+
+
+def identity_matrix(m: int) -> list[int]:
+    """The ``m x m`` identity in row bit-mask encoding."""
+    if m < 1:
+        raise ValueError("matrix dimension must be >= 1")
+    return [1 << i for i in range(m)]
+
+
+def matrix_mul(a: list[int], b: list[int]) -> list[int]:
+    """Product ``a @ b`` of two square row bit-mask matrices over GF(2).
+
+    ``apply_matrix(matrix_mul(a, b), x) == apply_matrix(a, apply_matrix(b, x))``.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> Mz = constant_multiplier_matrix(F, 2)
+    >>> Mz2 = constant_multiplier_matrix(F, 4)
+    >>> matrix_mul(Mz, Mz) == Mz2
+    True
+    """
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    m = len(a)
+    # Column j of the product is a applied to column j of b.
+    b_cols = [0] * m
+    for i, row in enumerate(b):
+        for j in range(m):
+            if (row >> j) & 1:
+                b_cols[j] |= 1 << i
+    out = [0] * m
+    for j in range(m):
+        image = apply_matrix(a, b_cols[j])
+        for i in range(m):
+            if (image >> i) & 1:
+                out[i] |= 1 << j
+    return out

@@ -1,0 +1,284 @@
+"""Polynomials with coefficients in GF(2^m).
+
+The paper's word-oriented virtual LFSR is defined by a generator polynomial
+``g(x)`` whose coefficients are GF(2^m) *elements* (the running example is
+``g(x) = 1 + 2x + 2x^2`` over GF(2^4)).  Verifying the paper's claim that
+this ``g`` "is irreducible in the field GF(2^4)" and predicting the period of
+the word LFSR require polynomial arithmetic over the extension field, which
+this module provides.
+
+A polynomial is a tuple of field elements, low degree first, normalized so
+the last entry is non-zero (the zero polynomial is the empty tuple).  All
+functions take the :class:`~repro.gf2m.field.GF2m` field as their first
+argument.
+"""
+
+from __future__ import annotations
+
+from repro.gf2m.field import GF2m
+
+__all__ = [
+    "wpoly",
+    "wpoly_degree",
+    "wpoly_add",
+    "wpoly_scale",
+    "wpoly_mul",
+    "wpoly_divmod",
+    "wpoly_mod",
+    "wpoly_gcd",
+    "wpoly_monic",
+    "wpoly_modexp",
+    "wpoly_eval",
+    "wpoly_roots",
+    "wpoly_is_irreducible",
+    "wpoly_to_string",
+    "wpoly_x_pow_order",
+]
+
+Wpoly = tuple[int, ...]
+
+
+def wpoly(coeffs: list[int] | tuple[int, ...]) -> Wpoly:
+    """Normalize a low-to-high coefficient sequence (strip leading zeros).
+
+    >>> wpoly([1, 2, 2, 0])
+    (1, 2, 2)
+    >>> wpoly([0, 0])
+    ()
+    """
+    coeffs = tuple(coeffs)
+    end = len(coeffs)
+    while end > 0 and coeffs[end - 1] == 0:
+        end -= 1
+    return coeffs[:end]
+
+
+def wpoly_degree(p: Wpoly) -> int:
+    """Degree; the zero polynomial has degree -1."""
+    return len(p) - 1
+
+
+def wpoly_add(field: GF2m, a: Wpoly, b: Wpoly) -> Wpoly:
+    """Coefficient-wise field addition (XOR)."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, c in enumerate(b):
+        out[i] = field.add(out[i], c)
+    return wpoly(out)
+
+
+def wpoly_scale(field: GF2m, a: Wpoly, c: int) -> Wpoly:
+    """Multiply every coefficient by the field constant ``c``."""
+    if c == 0:
+        return ()
+    return wpoly([field.mul(coef, c) for coef in a])
+
+
+def wpoly_mul(field: GF2m, a: Wpoly, b: Wpoly) -> Wpoly:
+    """Polynomial product over the field.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> wpoly_mul(F, (1, 1), (1, 1))   # (x+1)^2 = x^2 + 1 in char 2
+    (1, 0, 1)
+    """
+    if not a or not b:
+        return ()
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            if cb:
+                out[i + j] = field.add(out[i + j], field.mul(ca, cb))
+    return wpoly(out)
+
+
+def wpoly_divmod(field: GF2m, a: Wpoly, b: Wpoly) -> tuple[Wpoly, Wpoly]:
+    """Quotient and remainder; raises on division by the zero polynomial."""
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    remainder = list(a)
+    db = wpoly_degree(b)
+    lead_inv = field.inv(b[-1])
+    if wpoly_degree(a) < db:
+        return (), a
+    quotient = [0] * (len(a) - db)
+    for shift in range(len(a) - db - 1, -1, -1):
+        coef = remainder[shift + db]
+        if coef == 0:
+            continue
+        q = field.mul(coef, lead_inv)
+        quotient[shift] = q
+        for i, cb in enumerate(b):
+            remainder[shift + i] = field.add(
+                remainder[shift + i], field.mul(q, cb)
+            )
+    return wpoly(quotient), wpoly(remainder)
+
+
+def wpoly_mod(field: GF2m, a: Wpoly, b: Wpoly) -> Wpoly:
+    """Remainder of polynomial division."""
+    return wpoly_divmod(field, a, b)[1]
+
+
+def wpoly_monic(field: GF2m, a: Wpoly) -> Wpoly:
+    """Scale so the leading coefficient is 1 (zero polynomial unchanged)."""
+    if not a or a[-1] == 1:
+        return a
+    return wpoly_scale(field, a, field.inv(a[-1]))
+
+
+def wpoly_gcd(field: GF2m, a: Wpoly, b: Wpoly) -> Wpoly:
+    """Monic greatest common divisor."""
+    while b:
+        a, b = b, wpoly_mod(field, a, b)
+    return wpoly_monic(field, a)
+
+
+def wpoly_modexp(field: GF2m, base: Wpoly, exponent: int, modulus: Wpoly) -> Wpoly:
+    """``base ** exponent mod modulus`` by square-and-multiply."""
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    if not modulus:
+        raise ZeroDivisionError("zero modulus")
+    result = wpoly_mod(field, (1,), modulus)
+    acc = wpoly_mod(field, base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = wpoly_mod(field, wpoly_mul(field, result, acc), modulus)
+        acc = wpoly_mod(field, wpoly_mul(field, acc, acc), modulus)
+        exponent >>= 1
+    return result
+
+
+def wpoly_eval(field: GF2m, p: Wpoly, x: int) -> int:
+    """Evaluate at a field point by Horner's rule.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> wpoly_eval(F, (1, 2, 2), 0)    # g(0) = 1
+    1
+    """
+    acc = 0
+    for coef in reversed(p):
+        acc = field.add(field.mul(acc, x), coef)
+    return acc
+
+
+def wpoly_roots(field: GF2m, p: Wpoly) -> list[int]:
+    """All roots in the coefficient field (exhaustive scan; fields are small).
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> wpoly_roots(F, (2, 3, 1))   # x^2 + 3x + 2 = (x+1)(x+2)
+    [1, 2]
+    """
+    if not p:
+        raise ValueError("the zero polynomial vanishes everywhere")
+    return [x for x in field.elements() if wpoly_eval(field, p, x) == 0]
+
+
+def wpoly_is_irreducible(field: GF2m, p: Wpoly) -> bool:
+    """Ben-Or irreducibility test over GF(q), q = field.size.
+
+    ``p`` of degree ``k`` is irreducible iff for every ``1 <= i <= k // 2``,
+    ``gcd(x^(q^i) - x, p) == 1``.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> wpoly_is_irreducible(F, (1, 2, 2))   # the paper's g(x)
+    True
+    """
+    k = wpoly_degree(p)
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    if p[0] == 0:  # x divides p
+        return False
+    q = field.size
+    x = (0, 1)
+    h = wpoly_mod(field, x, p)
+    for _ in range(k // 2):
+        h = wpoly_modexp(field, h, q, p)
+        g = wpoly_gcd(field, wpoly_add(field, h, x), p)
+        if wpoly_degree(g) > 0:
+            return False
+    return True
+
+
+def wpoly_x_pow_order(field: GF2m, p: Wpoly, max_order: int | None = None) -> int:
+    """Multiplicative order of ``x`` modulo ``p`` (requires gcd(x, p) = 1).
+
+    This is the period of the word-oriented LFSR whose characteristic
+    polynomial is ``p`` -- the quantity the pseudo-ring construction needs
+    so the memory size can be chosen "multiple by the period of LFSR".
+
+    For irreducible ``p`` of degree ``k`` the order divides ``q**k - 1`` and
+    is found by divisor descent; otherwise it falls back to iteration (bounded
+    by ``max_order``, default ``q**k``).
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> wpoly_x_pow_order(F, (1, 2, 2))   # period of the paper's g(x)
+    255
+    """
+    if not p:
+        raise ZeroDivisionError("zero modulus")
+    if p[0] == 0:
+        raise ValueError("x is not invertible modulo p (p has a root at 0)")
+    k = wpoly_degree(p)
+    q = field.size
+    if wpoly_is_irreducible(field, p):
+        from repro.gf2.intfactor import factorize_int
+
+        group = q**k - 1
+        order = group
+        for prime, mult in factorize_int(group).items():
+            for _ in range(mult):
+                candidate = order // prime
+                if wpoly_modexp(field, (0, 1), candidate, p) == (1,):
+                    order = candidate
+                else:
+                    break
+        return order
+    # Reducible modulus: iterate until x^t = 1 (or give up at the bound).
+    bound = max_order if max_order is not None else q**k
+    acc = wpoly_mod(field, (0, 1), p)
+    power = acc
+    for t in range(1, bound + 1):
+        if power == (1,):
+            return t
+        power = wpoly_mod(field, wpoly_mul(field, power, acc), p)
+    raise ValueError(
+        f"x has no order <= {bound} modulo p "
+        f"(p may share a factor with x or the bound is too small)"
+    )
+
+
+def wpoly_to_string(p: Wpoly, variable: str = "x") -> str:
+    """Human-readable form with hex coefficients, matching the paper's style.
+
+    >>> wpoly_to_string((1, 2, 2))
+    '1 + 2x + 2x^2'
+    >>> wpoly_to_string(())
+    '0'
+    """
+    if not p:
+        return "0"
+    terms = []
+    for i, coef in enumerate(p):
+        if coef == 0:
+            continue
+        coef_text = format(coef, "X")
+        if i == 0:
+            terms.append(coef_text)
+        elif i == 1:
+            terms.append(f"{variable}" if coef == 1 else f"{coef_text}{variable}")
+        else:
+            terms.append(
+                f"{variable}^{i}" if coef == 1 else f"{coef_text}{variable}^{i}"
+            )
+    return " + ".join(terms)

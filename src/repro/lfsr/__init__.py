@@ -1,0 +1,43 @@
+"""Linear feedback shift registers, bit- and word-oriented.
+
+The pseudo-ring test emulates an LFSR *in the memory array itself*: each
+π-test sub-iteration advances a "virtual" LFSR whose state lives in k
+neighbouring memory cells.  This subpackage provides the reference automata
+that the memory-resident emulation is checked against:
+
+* :class:`repro.lfsr.bit_lfsr.BitLFSR` -- bit-oriented LFSR (the paper's
+  BOM case, one bit per stage), in both Fibonacci (external XOR) and Galois
+  (internal XOR) forms,
+* :class:`repro.lfsr.word_lfsr.WordLFSR` -- word-oriented LFSR over
+  GF(2^m) (the paper's WOM case, one m-bit word per stage), defined by a
+  generator polynomial ``g(x)`` with field coefficients,
+* :mod:`repro.lfsr.period` -- measured and algebraically predicted periods;
+  the pseudo-ring property ("automaton returns to the initial state") holds
+  exactly when the array length is a multiple of the period.
+"""
+
+from repro.lfsr.bit_lfsr import BitLFSR
+from repro.lfsr.word_lfsr import WordLFSR
+from repro.lfsr.period import (
+    measure_period,
+    bit_lfsr_period,
+    word_lfsr_period,
+    is_maximal_length,
+)
+from repro.lfsr.berlekamp_massey import (
+    berlekamp_massey,
+    berlekamp_massey_word,
+    linear_complexity,
+)
+
+__all__ = [
+    "BitLFSR",
+    "WordLFSR",
+    "measure_period",
+    "bit_lfsr_period",
+    "word_lfsr_period",
+    "is_maximal_length",
+    "berlekamp_massey",
+    "berlekamp_massey_word",
+    "linear_complexity",
+]

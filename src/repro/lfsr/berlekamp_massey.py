@@ -1,0 +1,121 @@
+"""Berlekamp--Massey: shortest LFSR for a given sequence.
+
+Given a bit sequence, find the shortest LFSR (its length and feedback
+polynomial) that generates it.  Two uses in this library:
+
+* *validation* -- the test-data background a π-iteration lays into memory
+  must have linear complexity exactly k (the virtual automaton's stage
+  count); anything else means the engine's recurrence is wrong;
+* *analysis* -- the linear complexity of an observed (possibly corrupted)
+  background reveals whether a fault disturbed the stream structure, a
+  diagnostic PRT gets for free.
+
+The word-oriented generalization runs the same algorithm over GF(2^m)
+using the field arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.gf2m.field import GF2m
+
+__all__ = ["berlekamp_massey", "berlekamp_massey_word", "linear_complexity"]
+
+
+def berlekamp_massey(bits: list[int] | tuple[int, ...]) -> tuple[int, int]:
+    """Shortest bit LFSR generating ``bits``.
+
+    Returns ``(L, poly)``: the linear complexity ``L`` and the feedback
+    polynomial (bit-mask, degree <= L, constant term 1) such that
+
+        s[t] = sum_{i=1..L} poly_i * s[t-i]   for t >= L.
+
+    >>> berlekamp_massey([0, 1, 1, 0, 1, 1, 0, 1, 1])   # s[t+2]=s[t+1]^s[t]
+    (2, 7)
+    >>> berlekamp_massey([0, 0, 0])
+    (0, 1)
+    """
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"sequence element {b!r} is not a bit")
+    n = len(bits)
+    c = 1  # current connection polynomial C(x), bit i = coeff of x^i
+    b = 1  # previous C before last length change
+    length = 0
+    m = -1  # index of last length change
+    for t in range(n):
+        # discrepancy: s_t + sum_{i=1..L} c_i s_{t-i}
+        d = bits[t]
+        for i in range(1, length + 1):
+            if (c >> i) & 1:
+                d ^= bits[t - i]
+        if d == 0:
+            continue
+        previous_c = c
+        c ^= b << (t - m)
+        if 2 * length <= t:
+            length = t + 1 - length
+            m = t
+            b = previous_c
+    return length, c
+
+
+def berlekamp_massey_word(field: GF2m,
+                          words: list[int] | tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+    """Shortest word LFSR over GF(2^m) generating ``words``.
+
+    Returns ``(L, connection)`` where ``connection`` is the tuple
+    ``(1, c_1, ..., c_L)`` with
+
+        s[t] = -(c_1 s[t-1] + ... + c_L s[t-L])  (minus = plus in char 2).
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> stream = [0, 1, 2, 6, 8, 15, 14, 2, 11, 1]   # the paper's Fig 1b
+    >>> L, conn = berlekamp_massey_word(F, stream)
+    >>> L
+    2
+    """
+    for w in words:
+        if w not in field:
+            raise ValueError(f"sequence element {w!r} is not in GF(2^{field.m})")
+    n = len(words)
+    c = [1] + [0] * n  # connection polynomial coefficients
+    b = [1] + [0] * n
+    length = 0
+    m = 1
+    delta_b = 1  # discrepancy at the last length change
+    for t in range(n):
+        # discrepancy
+        d = words[t]
+        for i in range(1, length + 1):
+            if c[i] and words[t - i]:
+                d = field.add(d, field.mul(c[i], words[t - i]))
+        if d == 0:
+            m += 1
+            continue
+        if 2 * length <= t:
+            previous_c = list(c)
+            coef = field.mul(d, field.inv(delta_b))
+            for i in range(0, n - m + 1):
+                if b[i]:
+                    c[i + m] = field.add(c[i + m], field.mul(coef, b[i]))
+            length = t + 1 - length
+            b = previous_c
+            delta_b = d
+            m = 1
+        else:
+            coef = field.mul(d, field.inv(delta_b))
+            for i in range(0, n - m + 1):
+                if b[i]:
+                    c[i + m] = field.add(c[i + m], field.mul(coef, b[i]))
+            m += 1
+    return length, tuple(c[: length + 1])
+
+
+def linear_complexity(bits: list[int] | tuple[int, ...]) -> int:
+    """Linear complexity of a bit sequence (the L of Berlekamp--Massey).
+
+    >>> linear_complexity([1, 0, 0, 1, 0, 0, 1, 0, 0])
+    3
+    """
+    return berlekamp_massey(bits)[0]

@@ -1,0 +1,197 @@
+"""Bit-oriented linear feedback shift registers.
+
+The recurrence convention matches the paper's π-test: a feedback polynomial
+``g(x) = a_0 + a_1 x + ... + a_k x^k`` (bit-mask encoded, ``a_0 = a_k = 1``)
+defines the output stream
+
+    s[t+k] = a_1 s[t+k-1] XOR a_2 s[t+k-2] XOR ... XOR a_k s[t]
+
+so for the degree-2 polynomial ``g(x) = 1 + x + x^2`` the recurrence is
+``s[t+2] = s[t+1] XOR s[t]`` -- exactly the paper's sub-iteration
+``w_{i+2} = r_i XOR r_{i+1}`` for the bit-oriented memory.
+
+Two hardware forms are provided:
+
+* *Fibonacci* (external XOR): the state window is k consecutive stream bits,
+  which is precisely how the pseudo-ring test lays the automaton into
+  memory cells;
+* *Galois* (internal XOR): the common BIST implementation; same period and
+  same set of sequences, different state encoding.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.poly import degree, poly_to_string
+
+__all__ = ["BitLFSR"]
+
+
+class BitLFSR:
+    """A bit-oriented LFSR.
+
+    Parameters
+    ----------
+    poly:
+        Feedback polynomial, bit-mask encoded (bit i = coefficient of x^i).
+        Must have degree >= 1 and a non-zero constant term (``a_0 = 1``),
+        otherwise the automaton is singular (not invertible).
+    seed:
+        Initial state: either an int whose low k bits are
+        ``s[0] .. s[k-1]`` (bit i = s[i]) or an iterable of k bits.
+    form:
+        ``"fibonacci"`` (default) or ``"galois"``.
+
+    Examples
+    --------
+    >>> lfsr = BitLFSR(0b111, seed=0b10)       # g = 1+x+x^2, s0=0, s1=1
+    >>> lfsr.sequence(8)
+    [0, 1, 1, 0, 1, 1, 0, 1]
+    >>> BitLFSR(0b10011, seed=1).period()      # primitive degree 4 -> 15
+    15
+    """
+
+    def __init__(self, poly: int, seed: int | list[int] | tuple[int, ...] = 1,
+                 form: str = "fibonacci"):
+        k = degree(poly)
+        if k < 1:
+            raise ValueError(
+                f"feedback polynomial must have degree >= 1, "
+                f"got {poly_to_string(poly)}"
+            )
+        if poly & 1 == 0:
+            raise ValueError(
+                "feedback polynomial needs a non-zero constant term "
+                "(a singular LFSR loses state)"
+            )
+        if form not in ("fibonacci", "galois"):
+            raise ValueError(f"unknown LFSR form {form!r}")
+        self._poly = poly
+        self._k = k
+        self._form = form
+        self._state = self._normalize_seed(seed)
+        self._initial_state = self._state
+        # Fibonacci recurrence taps: s[t+k] = XOR of s[t+j] where a_{k-j} = 1.
+        self._tap_mask = 0
+        for j in range(k):
+            if (poly >> (k - j)) & 1:
+                self._tap_mask |= 1 << j
+
+    def _normalize_seed(self, seed: int | list[int] | tuple[int, ...]) -> int:
+        if isinstance(seed, (list, tuple)):
+            if len(seed) != self._k:
+                raise ValueError(
+                    f"seed needs exactly {self._k} bits, got {len(seed)}"
+                )
+            value = 0
+            for i, bit in enumerate(seed):
+                if bit not in (0, 1):
+                    raise ValueError(f"seed bit {bit!r} is not 0/1")
+                value |= bit << i
+            return value
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise TypeError(f"seed must be int or bit sequence, got {seed!r}")
+        if not 0 <= seed < (1 << self._k):
+            raise ValueError(
+                f"seed {seed} out of range for a {self._k}-stage register"
+            )
+        return seed
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def poly(self) -> int:
+        """Feedback polynomial (bit-mask)."""
+        return self._poly
+
+    @property
+    def k(self) -> int:
+        """Number of register stages (degree of the polynomial)."""
+        return self._k
+
+    @property
+    def form(self) -> str:
+        """``"fibonacci"`` or ``"galois"``."""
+        return self._form
+
+    @property
+    def state(self) -> int:
+        """Current state as an int (bit i = stage i)."""
+        return self._state
+
+    @property
+    def state_bits(self) -> tuple[int, ...]:
+        """Current state as a bit tuple ``(s[t], ..., s[t+k-1])``."""
+        return tuple((self._state >> i) & 1 for i in range(self._k))
+
+    def __repr__(self) -> str:
+        return (
+            f"BitLFSR(poly={poly_to_string(self._poly)!r}, "
+            f"state={self._state:#0{self._k + 2}b}, form={self._form!r})"
+        )
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance one step and return the output bit.
+
+        Fibonacci form: output ``s[t]``, shift in the new recurrence bit.
+        Galois form: output the low bit, conditionally XOR the taps in.
+        """
+        if self._form == "fibonacci":
+            out = self._state & 1
+            feedback = bin(self._state & self._tap_mask).count("1") & 1
+            self._state = (self._state >> 1) | (feedback << (self._k - 1))
+            return out
+        out = self._state & 1
+        self._state >>= 1
+        if out:
+            self._state ^= self._poly >> 1
+        return out
+
+    def sequence(self, n: int) -> list[int]:
+        """The next ``n`` output bits (advances the register).
+
+        >>> BitLFSR(0b111, seed=0b10).sequence(6)
+        [0, 1, 1, 0, 1, 1]
+        """
+        if n < 0:
+            raise ValueError("sequence length must be non-negative")
+        return [self.step() for _ in range(n)]
+
+    def run(self, n: int) -> None:
+        """Advance ``n`` steps, discarding output."""
+        for _ in range(n):
+            self.step()
+
+    def reset(self) -> None:
+        """Restore the seed state."""
+        self._state = self._initial_state
+
+    def period(self, bound: int | None = None) -> int:
+        """Measured period of the state cycle from the current seed.
+
+        Returns 0 for the all-zero seed (fixed point).  ``bound`` defaults
+        to ``2**k`` (the state-space size, always sufficient).
+        """
+        if self._initial_state == 0:
+            return 0
+        if bound is None:
+            bound = 1 << self._k
+        saved = self._state
+        self._state = self._initial_state
+        try:
+            for t in range(1, bound + 1):
+                self.step()
+                if self._state == self._initial_state:
+                    return t
+            raise AssertionError(  # pragma: no cover - bound always suffices
+                "LFSR state did not recur within the state-space bound"
+            )
+        finally:
+            self._state = saved
+
+    def copy(self) -> BitLFSR:
+        """Independent copy with the same polynomial, state and form."""
+        clone = BitLFSR(self._poly, seed=self._initial_state, form=self._form)
+        clone._state = self._state
+        return clone

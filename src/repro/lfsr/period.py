@@ -1,0 +1,107 @@
+"""Period prediction and measurement for LFSRs.
+
+The pseudo-ring property -- the virtual automaton returning to its initial
+state after one pass of the memory -- holds exactly when the number of
+automaton steps is a multiple of the state-cycle period.  These helpers
+predict that period algebraically and cross-check it by direct simulation.
+
+For a bit LFSR with feedback polynomial ``f``:
+
+* ``f`` irreducible: every non-zero state lies on one cycle of length
+  ``ord(x mod f)`` (equal to ``2^k - 1`` iff ``f`` is primitive);
+* ``f = prod f_i^{e_i}``: the generic (maximal) cycle length is
+  ``lcm_i(ord(x mod f_i)) * 2^ceil(log2(max e_i))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gf2.factor import factorize
+from repro.gf2.irreducible import is_primitive, order_of_x
+from repro.gf2.poly import degree
+from repro.gf2m.field import GF2m
+from repro.gf2m.poly_ext import wpoly, wpoly_x_pow_order
+
+__all__ = [
+    "measure_period",
+    "bit_lfsr_period",
+    "word_lfsr_period",
+    "is_maximal_length",
+]
+
+
+def measure_period(stepper, initial_state, bound: int) -> int:
+    """Generic cycle measurement.
+
+    ``stepper`` is called repeatedly with no arguments and must advance some
+    stateful object; ``initial_state`` is compared (by ``==``) against a
+    ``state()`` callable attribute... to stay simple we accept a pair:
+    ``stepper()`` advances and returns the *new* state.  The period is the
+    first ``t >= 1`` with state == initial_state; raises if not found
+    within ``bound`` steps.
+
+    >>> state = [0]
+    >>> def step():
+    ...     state[0] = (state[0] + 1) % 5
+    ...     return state[0]
+    >>> measure_period(step, 0, 10)
+    5
+    """
+    for t in range(1, bound + 1):
+        if stepper() == initial_state:
+            return t
+    raise ValueError(f"no recurrence within {bound} steps")
+
+
+def bit_lfsr_period(poly: int) -> int:
+    """Predicted maximal state-cycle length for feedback polynomial ``poly``.
+
+    For an irreducible polynomial this is the order of ``x``; for a product
+    it is the lcm of factor orders times the smallest power of two covering
+    the largest multiplicity.  (States on shorter sub-cycles exist for
+    reducible polynomials; this is the generic cycle a random non-zero seed
+    lands on, and an upper bound for all seeds.)
+
+    >>> bit_lfsr_period(0b10011)     # primitive, degree 4
+    15
+    >>> bit_lfsr_period(0b11111)     # irreducible non-primitive, degree 4
+    5
+    """
+    if degree(poly) < 1:
+        raise ValueError("feedback polynomial must have degree >= 1")
+    if poly & 1 == 0:
+        raise ValueError("feedback polynomial needs a non-zero constant term")
+    factors = factorize(poly)
+    period = 1
+    max_multiplicity = 1
+    for factor, multiplicity in factors.items():
+        period = math.lcm(period, order_of_x(factor))
+        max_multiplicity = max(max_multiplicity, multiplicity)
+    power_of_two = 1
+    while power_of_two < max_multiplicity:
+        power_of_two <<= 1
+    return period * power_of_two
+
+
+def word_lfsr_period(field: GF2m, coeffs: tuple[int, ...] | list[int]) -> int:
+    """Predicted period of a word LFSR: order of ``x`` modulo ``g``.
+
+    >>> from repro.gf2 import poly_from_string
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> word_lfsr_period(F, (1, 2, 2))   # the paper's WOM example
+    255
+    """
+    return wpoly_x_pow_order(field, wpoly(coeffs))
+
+
+def is_maximal_length(poly: int) -> bool:
+    """True when the bit LFSR with this polynomial is maximal-length
+    (i.e. the polynomial is primitive: period ``2^k - 1``).
+
+    >>> is_maximal_length(0b10011)
+    True
+    >>> is_maximal_length(0b11111)
+    False
+    """
+    return is_primitive(poly)

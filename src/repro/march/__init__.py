@@ -1,0 +1,59 @@
+"""March test engine and standard test library (the paper's baseline).
+
+March algorithms are the industry-standard RAM tests the paper positions
+pseudo-ring testing against.  A March test is a sequence of *March
+elements*; each element traverses the whole address space in a fixed order
+(``⇑`` ascending, ``⇓`` descending, ``c`` don't-care) applying the same
+read/write sequence at every address.  The paper's §1 example:
+
+    MarchA = {c(w0); ⇑(r0w1); ⇓(r1w0)}     (which is actually MATS+)
+
+This subpackage provides:
+
+* :mod:`repro.march.notation` -- a parser for the formal notation of [1]
+  (both Unicode ``⇑⇓c`` and ASCII ``u d a`` arrows),
+* :mod:`repro.march.model` -- the March data model and complexity
+  accounting,
+* :mod:`repro.march.engine` -- execution over the behavioural RAM with
+  read-expectation checking and word-background support,
+* :mod:`repro.march.library` -- MATS, MATS+, MATS++, March X/Y/C-/A/B.
+"""
+
+from repro.march.model import MarchOperation, MarchElement, MarchDelay, MarchTest
+from repro.march.notation import parse_march, format_march, MarchParseError
+from repro.march.engine import run_march, MarchResult, word_backgrounds
+from repro.march.library import (
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    MARCH_X,
+    MARCH_Y,
+    MARCH_C_MINUS,
+    MARCH_A,
+    MARCH_B,
+    MATS_PLUS_RETENTION,
+    ALL_MARCH_TESTS,
+)
+
+__all__ = [
+    "MarchOperation",
+    "MarchElement",
+    "MarchDelay",
+    "MarchTest",
+    "parse_march",
+    "format_march",
+    "MarchParseError",
+    "run_march",
+    "MarchResult",
+    "word_backgrounds",
+    "MATS",
+    "MATS_PLUS",
+    "MATS_PLUS_PLUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MARCH_C_MINUS",
+    "MARCH_A",
+    "MARCH_B",
+    "MATS_PLUS_RETENTION",
+    "ALL_MARCH_TESTS",
+]

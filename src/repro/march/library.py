@@ -1,0 +1,98 @@
+"""The standard March test library.
+
+The classical algorithms, in increasing strength/cost, with their formal
+notation and per-cell operation counts:
+
+==========  ==========================  =====  ===============================
+test        notation                    ops/N  covers (single-fault)
+==========  ==========================  =====  ===============================
+MATS        {c(w0);c(r0,w1);c(r1)}        4n   SAF
+MATS+       {c(w0);⇑(r0,w1);⇓(r1,w0)}     5n   SAF, AF
+MATS++      {c(w0);⇑(r0,w1);⇓(r1,w0,r0)}  6n   SAF, AF, TF
+March X     + final read                  6n   SAF, AF, TF, CFin
+March Y     + read-after-write            8n   SAF, AF, TF, CFin, linked TF
+March C-    4 marching elements + reads  10n   SAF, AF, TF, all 2-cell CFs
+March A     write-heavy elements         15n   SAF, AF, TF, CFin, some CFid
+March B     March A + extra reads        17n   March A + linked faults
+==========  ==========================  =====  ===============================
+
+(The paper's §1 example "MarchA = {c(w0); ⇑(r0w1); ⇓(r1w0)}" is actually
+MATS+ in van de Goor's naming; we follow van de Goor.)
+"""
+
+from __future__ import annotations
+
+from repro.march.model import MarchTest
+from repro.march.notation import parse_march
+
+__all__ = [
+    "MATS",
+    "MATS_PLUS",
+    "MATS_PLUS_PLUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MARCH_C_MINUS",
+    "MARCH_A",
+    "MARCH_B",
+    "MATS_PLUS_RETENTION",
+    "ALL_MARCH_TESTS",
+]
+
+MATS: MarchTest = parse_march("{c(w0); c(r0,w1); c(r1)}", name="MATS")
+"""MATS, 4n: the minimal stuck-at test."""
+
+MATS_PLUS: MarchTest = parse_march("{c(w0); ⇑(r0,w1); ⇓(r1,w0)}", name="MATS+")
+"""MATS+, 5n: adds address-order marching (detects AFs).  This is the
+algorithm the paper's introduction quotes."""
+
+MATS_PLUS_PLUS: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}", name="MATS++"
+)
+"""MATS++, 6n: MATS+ plus a trailing read for transition faults."""
+
+MARCH_X: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1); ⇓(r1,w0); c(r0)}", name="March X"
+)
+"""March X, 6n: detects inversion coupling faults."""
+
+MARCH_Y: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); c(r0)}", name="March Y"
+)
+"""March Y, 8n: March X with read-after-write (linked TFs)."""
+
+MARCH_C_MINUS: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}", name="March C-"
+)
+"""March C-, 10n: the workhorse -- all unlinked two-cell coupling faults."""
+
+MARCH_A: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    name="March A",
+)
+"""March A, 15n: write-heavy element structure for linked coupling faults."""
+
+MARCH_B: MarchTest = parse_march(
+    "{c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    name="March B",
+)
+"""March B, 17n: March A plus extra verifying reads."""
+
+MATS_PLUS_RETENTION: MarchTest = parse_march(
+    "{c(w0); D256; c(r0,w1); D256; c(r1,w0); ⇑(r0,w1); ⇓(r1,w0)}",
+    name="MATS+R",
+)
+"""MATS+ with retention pauses (the industrial ``Del`` add-on): each
+background rests 256 idle cycles before its verifying read, so leaky
+cells (DRFs with retention below the pause) decay and are caught."""
+
+ALL_MARCH_TESTS: tuple[MarchTest, ...] = (
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    MARCH_X,
+    MARCH_Y,
+    MARCH_C_MINUS,
+    MARCH_A,
+    MARCH_B,
+)
+"""All delay-free library tests, weakest first."""

@@ -1,0 +1,149 @@
+"""Data model for March tests.
+
+A :class:`MarchTest` is a list of :class:`MarchElement`; an element has an
+address order (ascending / descending / don't-care) and a list of
+:class:`MarchOperation` applied at every address.  Operations carry the
+symbolic data value ``d`` in {0, 1}; for word-oriented memories the engine
+maps ``0`` to the current data background and ``1`` to its complement
+(van de Goor's standard WOM extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MarchOperation", "MarchElement", "MarchDelay", "MarchTest"]
+
+_ORDERS = ("up", "down", "any")
+
+
+@dataclass(frozen=True)
+class MarchDelay:
+    """A delay ("pause") element: the memory idles for ``cycles`` cycles.
+
+    Retention tests insert delays so leaky cells have time to decay
+    before the verifying read (van de Goor's ``Del`` element).
+
+    >>> str(MarchDelay(100))
+    'D100'
+    """
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError(f"delay must be >= 1 cycle, got {self.cycles}")
+
+    def __str__(self) -> str:
+        return f"D{self.cycles}"
+
+
+@dataclass(frozen=True)
+class MarchOperation:
+    """``r0 / r1 / w0 / w1``: read-expect or write of d / complement-of-d.
+
+    >>> MarchOperation("r", 0).symbol
+    'r0'
+    """
+
+    kind: str  # "r" or "w"
+    data: int  # 0 = background, 1 = complemented background
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"operation kind must be 'r'/'w', got {self.kind!r}")
+        if self.data not in (0, 1):
+            raise ValueError(f"operation data must be 0/1, got {self.data!r}")
+
+    @property
+    def symbol(self) -> str:
+        """Compact notation, e.g. ``'w1'``."""
+        return f"{self.kind}{self.data}"
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One March element: an address order plus per-address operations.
+
+    >>> element = MarchElement("up", (MarchOperation("r", 0),
+    ...                               MarchOperation("w", 1)))
+    >>> str(element)
+    '⇑(r0,w1)'
+    """
+
+    order: str  # "up", "down" or "any"
+    ops: tuple[MarchOperation, ...]
+
+    def __post_init__(self) -> None:
+        if self.order not in _ORDERS:
+            raise ValueError(
+                f"order must be one of {_ORDERS}, got {self.order!r}"
+            )
+        if not self.ops:
+            raise ValueError("a March element needs at least one operation")
+
+    @property
+    def arrow(self) -> str:
+        """Unicode arrow for this element's order."""
+        return {"up": "⇑", "down": "⇓", "any": "c"}[self.order]
+
+    def addresses(self, n: int) -> range:
+        """The address sequence this element walks over ``n`` cells.
+
+        Don't-care order is executed ascending by convention.
+        """
+        if self.order == "down":
+            return range(n - 1, -1, -1)
+        return range(n)
+
+    def __str__(self) -> str:
+        return f"{self.arrow}({','.join(op.symbol for op in self.ops)})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A complete March algorithm (marching elements + optional delays).
+
+    >>> from repro.march import parse_march
+    >>> test = parse_march("{c(w0); u(r0,w1); d(r1,w0)}", name="MATS+")
+    >>> test.ops_per_cell
+    5
+    >>> test.operation_count(1024)
+    5120
+    """
+
+    name: str
+    elements: tuple[MarchElement | MarchDelay, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a March test needs at least one element")
+        if not any(isinstance(e, MarchElement) for e in self.elements):
+            raise ValueError("a March test needs at least one marching element")
+
+    @property
+    def march_elements(self) -> tuple[MarchElement, ...]:
+        """Only the marching (non-delay) elements."""
+        return tuple(e for e in self.elements if isinstance(e, MarchElement))
+
+    @property
+    def ops_per_cell(self) -> int:
+        """Total operations applied to each cell (the k in "kN test")."""
+        return sum(len(element.ops) for element in self.march_elements)
+
+    @property
+    def delay_cycles(self) -> int:
+        """Total idle cycles contributed by delay elements."""
+        return sum(e.cycles for e in self.elements if isinstance(e, MarchDelay))
+
+    def operation_count(self, n: int) -> int:
+        """Total memory operations for an n-cell memory (delays excluded:
+        they cost time, not operations)."""
+        return self.ops_per_cell * n
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(element) for element in self.elements)
+        return f"{{{inner}}}"

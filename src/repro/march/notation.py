@@ -1,0 +1,102 @@
+"""Parser/formatter for the formal March notation of van de Goor [1].
+
+Grammar (whitespace-insensitive)::
+
+    march    := "{" element (";" element)* "}"
+    element  := order "(" op ("," op)* ")" | delay
+    order    := "⇑" | "⇓" | "c" | "u" | "d" | "a" | "↑" | "↓"
+    op       := ("r" | "w") ("0" | "1")
+    delay    := "D" digits            -- idle cycles (retention pause)
+
+Both the paper's Unicode arrows and plain-ASCII aliases are accepted; ops
+may also be juxtaposed without commas (the paper writes ``(r0w1)``).
+
+>>> test = parse_march("{c(w0); ⇑(r0w1); ⇓(r1w0)}", name="MATS+")
+>>> test.ops_per_cell
+5
+>>> format_march(test)
+'{c(w0); ⇑(r0,w1); ⇓(r1,w0)}'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.march.model import MarchDelay, MarchElement, MarchOperation, MarchTest
+
+__all__ = ["parse_march", "format_march", "MarchParseError"]
+
+_DELAY_RE = re.compile(r"^\s*D\s*(?P<cycles>\d+)\s*$")
+
+
+class MarchParseError(ValueError):
+    """Raised when a March notation string cannot be parsed."""
+
+
+_ORDER_SYMBOLS = {
+    "⇑": "up",
+    "↑": "up",
+    "u": "up",
+    "⇓": "down",
+    "↓": "down",
+    "d": "down",
+    "c": "any",
+    "a": "any",
+}
+
+_ELEMENT_RE = re.compile(r"^\s*(?P<order>[⇑⇓↑↓udca])\s*\(\s*(?P<ops>[^)]*)\)\s*$")
+_OP_RE = re.compile(r"([rw])\s*([01])")
+
+
+def parse_march(text: str, name: str = "unnamed") -> MarchTest:
+    """Parse a March algorithm from its formal notation.
+
+    >>> parse_march("{u(w0)}").elements[0].order
+    'up'
+    """
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise MarchParseError(f"March notation must be brace-wrapped: {text!r}")
+    body = text[1:-1].strip()
+    if not body:
+        raise MarchParseError("empty March test")
+    elements = []
+    for chunk in body.split(";"):
+        delay_match = _DELAY_RE.match(chunk)
+        if delay_match is not None:
+            elements.append(MarchDelay(int(delay_match.group("cycles"))))
+            continue
+        match = _ELEMENT_RE.match(chunk)
+        if match is None:
+            raise MarchParseError(f"cannot parse March element {chunk.strip()!r}")
+        order = _ORDER_SYMBOLS[match.group("order")]
+        ops_text = match.group("ops").strip()
+        ops = _parse_ops(ops_text, chunk)
+        elements.append(MarchElement(order, ops))
+    return MarchTest(name=name, elements=tuple(elements))
+
+
+def _parse_ops(ops_text: str, context: str) -> tuple[MarchOperation, ...]:
+    if not ops_text:
+        raise MarchParseError(f"element {context.strip()!r} has no operations")
+    # Strip separators, then verify the remaining text is exactly a run of
+    # r/w-digit pairs (rejects garbage like "x0" or dangling characters).
+    cleaned = re.sub(r"[\s,]+", "", ops_text)
+    matched = "".join(m.group(0) for m in _OP_RE.finditer(cleaned))
+    if matched != cleaned:
+        raise MarchParseError(
+            f"unrecognized operation text {ops_text!r} in {context.strip()!r}"
+        )
+    return tuple(
+        MarchOperation(kind, int(data)) for kind, data in _OP_RE.findall(cleaned)
+    )
+
+
+def format_march(test: MarchTest) -> str:
+    """Canonical Unicode notation for a March test.
+
+    >>> from repro.march.library import MATS
+    >>> format_march(MATS)
+    '{c(w0); c(r0,w1); c(r1)}'
+    """
+    return str(test)

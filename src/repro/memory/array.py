@@ -1,0 +1,166 @@
+"""Raw memory-cell storage.
+
+:class:`MemoryArray` is the physical cell matrix: ``n`` cells of ``m`` bits
+each, with *no* decoder, ports, faults or accounting -- those layers wrap it.
+Cell values are ints in ``range(2**m)``; for a bit-oriented memory (the
+paper's BOM) ``m == 1`` and values are 0/1, for a word-oriented memory (WOM)
+``m > 1`` and a cell value is a GF(2^m) element in the word encoding used by
+:mod:`repro.gf2m`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["MemoryArray"]
+
+
+class MemoryArray:
+    """``n`` cells of ``m`` bits.
+
+    Parameters
+    ----------
+    n:
+        Number of cells (>= 1).
+    m:
+        Bits per cell (>= 1).  ``m == 1`` models a bit-oriented memory.
+    fill:
+        Initial value for every cell (default 0).
+
+    Examples
+    --------
+    >>> array = MemoryArray(8, m=4, fill=0xF)
+    >>> array.read(3)
+    15
+    >>> array.write(3, 0b0110)
+    >>> array.read(3)
+    6
+    """
+
+    __slots__ = ("_n", "_m", "_mask", "_cells")
+
+    def __init__(self, n: int, m: int = 1, fill: int = 0):
+        if n < 1:
+            raise ValueError(f"memory needs at least one cell, got n={n}")
+        if m < 1:
+            raise ValueError(f"cell width must be >= 1 bit, got m={m}")
+        self._n = n
+        self._m = m
+        self._mask = (1 << m) - 1
+        self._check_value(fill)
+        self._cells = [fill] * n
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of cells."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Bits per cell."""
+        return self._m
+
+    @property
+    def is_bit_oriented(self) -> bool:
+        """True for a BOM (m == 1)."""
+        return self._m == 1
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage in bits, ``n * m``."""
+        return self._n * self._m
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        kind = "BOM" if self.is_bit_oriented else f"WOM(m={self._m})"
+        return f"MemoryArray(n={self._n}, {kind})"
+
+    # -- validation ------------------------------------------------------------
+
+    def _check_cell(self, cell: int) -> None:
+        if not isinstance(cell, int) or isinstance(cell, bool):
+            raise TypeError(f"cell index must be int, got {type(cell).__name__}")
+        if not 0 <= cell < self._n:
+            raise IndexError(f"cell {cell} out of range [0, {self._n})")
+
+    def _check_value(self, value: int) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"cell value must be int, got {type(value).__name__}")
+        if not 0 <= value <= self._mask:
+            raise ValueError(
+                f"value {value} does not fit in {self._m}-bit cell "
+                f"(max {self._mask})"
+            )
+
+    # -- access ----------------------------------------------------------------
+
+    def read(self, cell: int) -> int:
+        """Raw read of a physical cell."""
+        self._check_cell(cell)
+        return self._cells[cell]
+
+    def write(self, cell: int, value: int) -> None:
+        """Raw write of a physical cell."""
+        self._check_cell(cell)
+        self._check_value(value)
+        self._cells[cell] = value
+
+    def read_bit(self, cell: int, bit: int) -> int:
+        """Read one bit of a cell (used by intra-word fault models).
+
+        >>> array = MemoryArray(2, m=4, fill=0b1010)
+        >>> array.read_bit(0, 1)
+        1
+        """
+        self._check_cell(cell)
+        if not 0 <= bit < self._m:
+            raise IndexError(f"bit {bit} out of range for {self._m}-bit cell")
+        return (self._cells[cell] >> bit) & 1
+
+    def write_bit(self, cell: int, bit: int, value: int) -> None:
+        """Write one bit of a cell, leaving the others untouched."""
+        self._check_cell(cell)
+        if not 0 <= bit < self._m:
+            raise IndexError(f"bit {bit} out of range for {self._m}-bit cell")
+        if value not in (0, 1):
+            raise ValueError(f"bit value must be 0/1, got {value!r}")
+        if value:
+            self._cells[cell] |= 1 << bit
+        else:
+            self._cells[cell] &= ~(1 << bit)
+
+    # -- bulk ------------------------------------------------------------------
+
+    def fill(self, value: int) -> None:
+        """Set every cell to ``value``."""
+        self._check_value(value)
+        for i in range(self._n):
+            self._cells[i] = value
+
+    def load(self, values: Iterable[int]) -> None:
+        """Replace the whole contents; must supply exactly ``n`` values."""
+        values = list(values)
+        if len(values) != self._n:
+            raise ValueError(
+                f"load needs exactly {self._n} values, got {len(values)}"
+            )
+        for v in values:
+            self._check_value(v)
+        self._cells = values
+
+    def dump(self) -> list[int]:
+        """Snapshot of the whole contents (a copy)."""
+        return list(self._cells)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cells)
+
+    def copy(self) -> MemoryArray:
+        """Independent deep copy."""
+        clone = MemoryArray(self._n, self._m)
+        clone._cells = list(self._cells)
+        return clone

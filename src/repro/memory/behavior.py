@@ -1,0 +1,56 @@
+"""Pluggable cell-access semantics.
+
+The RAM front-ends route every physical-cell access through a
+:class:`CellBehavior`.  The default :class:`TransparentBehavior` is a perfect
+memory; :class:`repro.faults.injector.FaultInjector` implements the same
+interface with fault semantics (stuck-at, coupling, ...), so test engines
+run unmodified on healthy and faulty memories alike -- mirroring how a real
+March/PRT controller cannot see whether the silicon under it is good.
+"""
+
+from __future__ import annotations
+
+from repro.memory.array import MemoryArray
+
+__all__ = ["CellBehavior", "TransparentBehavior"]
+
+
+class CellBehavior:
+    """Interface for cell-access semantics.
+
+    Subclasses override any of the three hooks.  ``time`` is the RAM's
+    cycle counter at the moment of access (used by data-retention faults).
+    """
+
+    def read_cell(self, array: MemoryArray, cell: int, time: int) -> int:
+        """Value returned when physical ``cell`` is sensed."""
+        raise NotImplementedError
+
+    def write_cell(self, array: MemoryArray, cell: int, value: int,
+                   time: int) -> None:
+        """Effect of driving ``value`` into physical ``cell``."""
+        raise NotImplementedError
+
+    def settle(self, array: MemoryArray, time: int) -> None:
+        """Called after each memory cycle completes (state faults settle)."""
+
+
+class TransparentBehavior(CellBehavior):
+    """Perfect memory: reads and writes hit the raw array directly.
+
+    >>> array = MemoryArray(4, m=1)
+    >>> behavior = TransparentBehavior()
+    >>> behavior.write_cell(array, 2, 1, time=0)
+    >>> behavior.read_cell(array, 2, time=1)
+    1
+    """
+
+    def read_cell(self, array: MemoryArray, cell: int, time: int) -> int:
+        return array.read(cell)
+
+    def write_cell(self, array: MemoryArray, cell: int, value: int,
+                   time: int) -> None:
+        array.write(cell, value)
+
+    def settle(self, array: MemoryArray, time: int) -> None:
+        pass

@@ -1,0 +1,116 @@
+"""Address decoder model.
+
+In a real RAM the decoder turns a logical address into word-line activations.
+Modelling it as an explicit stage lets the fault library inject van de
+Goor's address-decoder faults (AFs):
+
+* AF-A -- an address activates *no* cell,
+* AF-B -- a cell is activated by *no* address,
+* AF-C -- an address activates *multiple* cells,
+* AF-D -- a cell is activated by *multiple* addresses.
+
+A healthy decoder is the identity: address ``a`` activates exactly cell
+``a``.  Faulty mappings are expressed as overrides: ``addr -> tuple of
+physical cells`` (possibly empty).
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressDecoder"]
+
+
+class AddressDecoder:
+    """Maps logical addresses to tuples of activated physical cells.
+
+    Parameters
+    ----------
+    n:
+        Number of addresses (equals the number of cells in a healthy RAM).
+    overrides:
+        Optional mapping ``address -> tuple(cells)`` replacing the identity
+        mapping for specific addresses.
+
+    Examples
+    --------
+    >>> dec = AddressDecoder(4)
+    >>> dec.map(2)
+    (2,)
+    >>> dec = AddressDecoder(4, overrides={1: (), 2: (2, 3)})
+    >>> dec.map(1), dec.map(2)
+    ((), (2, 3))
+    """
+
+    def __init__(self, n: int, overrides: dict[int, tuple[int, ...]] | None = None):
+        if n < 1:
+            raise ValueError(f"decoder needs at least one address, got {n}")
+        self._n = n
+        self._overrides: dict[int, tuple[int, ...]] = {}
+        if overrides:
+            for addr, cells in overrides.items():
+                self.set_override(addr, cells)
+
+    @property
+    def n(self) -> int:
+        """Number of logical addresses."""
+        return self._n
+
+    @property
+    def overrides(self) -> dict[int, tuple[int, ...]]:
+        """Copy of the active overrides."""
+        return dict(self._overrides)
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when no overrides are installed (identity mapping)."""
+        return not self._overrides
+
+    def _check_addr(self, addr: int) -> None:
+        if not isinstance(addr, int) or isinstance(addr, bool):
+            raise TypeError(f"address must be int, got {type(addr).__name__}")
+        if not 0 <= addr < self._n:
+            raise IndexError(f"address {addr} out of range [0, {self._n})")
+
+    def map(self, addr: int) -> tuple[int, ...]:
+        """Physical cells activated by ``addr`` (may be empty or multiple)."""
+        self._check_addr(addr)
+        override = self._overrides.get(addr)
+        if override is not None:
+            return override
+        return (addr,)
+
+    def set_override(self, addr: int, cells: tuple[int, ...] | list[int]) -> None:
+        """Install a faulty mapping for one address."""
+        self._check_addr(addr)
+        cells = tuple(cells)
+        for cell in cells:
+            if not isinstance(cell, int) or isinstance(cell, bool):
+                raise TypeError(f"cell must be int, got {type(cell).__name__}")
+            if not 0 <= cell < self._n:
+                raise IndexError(f"cell {cell} out of range [0, {self._n})")
+        if len(set(cells)) != len(cells):
+            raise ValueError(f"duplicate cells in override for address {addr}")
+        self._overrides[addr] = cells
+
+    def clear_override(self, addr: int) -> None:
+        """Restore the identity mapping for one address."""
+        self._check_addr(addr)
+        self._overrides.pop(addr, None)
+
+    def clear(self) -> None:
+        """Restore the identity mapping everywhere."""
+        self._overrides.clear()
+
+    def unreached_cells(self) -> set[int]:
+        """Cells no address activates (AF-B victims).
+
+        >>> AddressDecoder(3, overrides={1: ()}).unreached_cells()
+        {1}
+        """
+        reached: set[int] = set()
+        for addr in range(self._n):
+            reached.update(self.map(addr))
+        return set(range(self._n)) - reached
+
+    def __repr__(self) -> str:
+        status = "healthy" if self.is_healthy else f"{len(self._overrides)} overrides"
+        return f"AddressDecoder(n={self._n}, {status})"

@@ -1,0 +1,258 @@
+"""Multi-port RAM front-ends.
+
+A multi-port RAM performs one operation *per port* in a single memory cycle.
+The paper's dual-port π-test (Figure 2) exploits this: the two reads of a
+sub-iteration issue simultaneously on the two ports, cutting the iteration
+from 3n cycles to 2n.  The "QuadPort DSE family" mentioned in §4 is modelled
+by the 4-port variant.
+
+Conflict semantics (per cycle):
+
+* several reads of the same cell -- fine, all see the stored value;
+* read + write of the same cell -- the read returns the *old* value
+  (read-before-write, the common dual-port SRAM discipline);
+* two writes to the same cell -- :class:`PortConflictError`: the result is
+  undefined on real silicon, so tests must never do it;
+* at most one operation per port per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.behavior import CellBehavior, TransparentBehavior
+from repro.memory.decoder import AddressDecoder
+from repro.memory.ram import RamStats
+from repro.memory.array import MemoryArray
+from repro.memory.trace import Operation, OperationTrace
+
+__all__ = ["PortOp", "PortConflictError", "MultiPortRAM", "DualPortRAM", "QuadPortRAM"]
+
+
+class PortConflictError(Exception):
+    """Raised when a cycle's port operations have undefined semantics."""
+
+
+@dataclass(frozen=True)
+class PortOp:
+    """One port operation inside a cycle.
+
+    ``kind`` is ``"r"`` or ``"w"``; ``value`` is required for writes and
+    must be None for reads.
+    """
+
+    port: int
+    kind: str
+    addr: int
+    value: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"kind must be 'r' or 'w', got {self.kind!r}")
+        if self.kind == "w" and self.value is None:
+            raise ValueError("write operations need a value")
+        if self.kind == "r" and self.value is not None:
+            raise ValueError("read operations must not carry a value")
+
+
+class MultiPortRAM:
+    """RAM with ``ports`` independent ports (see module docstring).
+
+    Examples
+    --------
+    >>> ram = MultiPortRAM(8, ports=2)
+    >>> ram.cycle([PortOp(0, "w", 3, 1)])
+    {}
+    >>> ram.cycle([PortOp(0, "r", 3), PortOp(1, "r", 3)])
+    {0: 1, 1: 1}
+    >>> ram.stats.cycles
+    2
+    """
+
+    def __init__(self, n: int, m: int = 1, ports: int = 2,
+                 decoder: AddressDecoder | None = None,
+                 behavior: CellBehavior | None = None,
+                 trace: bool = False,
+                 wired: str = "and"):
+        if ports < 1:
+            raise ValueError(f"need at least one port, got {ports}")
+        if wired not in ("and", "or"):
+            raise ValueError(f"wired rule must be 'and' or 'or', got {wired!r}")
+        self._array = MemoryArray(n, m)
+        self._decoder = decoder if decoder is not None else AddressDecoder(n)
+        if self._decoder.n != n:
+            raise ValueError(
+                f"decoder covers {self._decoder.n} addresses, RAM has {n}"
+            )
+        self._behavior: CellBehavior = (
+            behavior if behavior is not None else TransparentBehavior()
+        )
+        self._ports = ports
+        self._trace = OperationTrace() if trace else None
+        self._wired = wired
+        self._sense = [0] * ports  # per-port sense amplifiers
+        self.stats = RamStats()
+
+    # -- geometry / plumbing ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of addresses."""
+        return self._array.n
+
+    @property
+    def m(self) -> int:
+        """Bits per cell."""
+        return self._array.m
+
+    @property
+    def ports(self) -> int:
+        """Number of independent ports."""
+        return self._ports
+
+    @property
+    def array(self) -> MemoryArray:
+        """The underlying physical cell array."""
+        return self._array
+
+    @property
+    def decoder(self) -> AddressDecoder:
+        """The address decoder stage (shared by all ports)."""
+        return self._decoder
+
+    @property
+    def trace(self) -> OperationTrace | None:
+        """The operation trace, or None when tracing is disabled."""
+        return self._trace
+
+    def attach_behavior(self, behavior: CellBehavior) -> None:
+        """Swap in new cell semantics (e.g. a fault injector)."""
+        self._behavior = behavior
+
+    def detach_behavior(self) -> None:
+        """Restore perfect-memory semantics."""
+        self._behavior = TransparentBehavior()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, m={self.m}, ports={self._ports})"
+
+    # -- cycle execution ---------------------------------------------------------
+
+    def cycle(self, ops: list[PortOp]) -> dict[int, int]:
+        """Execute one memory cycle with up to one operation per port.
+
+        Returns ``{port: value}`` for the read operations.  All reads see
+        the state *before* any write of the same cycle commits.
+        """
+        self._validate_cycle(ops)
+        time = self.stats.cycles
+        results: dict[int, int] = {}
+        # Phase 1: all reads sense the pre-cycle state.
+        for op in ops:
+            if op.kind == "r":
+                results[op.port] = self._read_internal(op.port, op.addr, time)
+                self.stats.reads += 1
+        # Phase 2: writes commit.
+        for op in ops:
+            if op.kind == "w":
+                self._write_internal(op.addr, op.value, time)  # type: ignore[arg-type]
+                self.stats.writes += 1
+        self.stats.cycles += 1
+        if self._trace is not None:
+            for op in ops:
+                value = results[op.port] if op.kind == "r" else op.value
+                self._trace.record(
+                    Operation(time, op.port, op.kind, op.addr, value)  # type: ignore[arg-type]
+                )
+        self._behavior.settle(self._array, self.stats.cycles)
+        return results
+
+    def _validate_cycle(self, ops: list[PortOp]) -> None:
+        if len(ops) > self._ports:
+            raise PortConflictError(
+                f"{len(ops)} operations issued on a {self._ports}-port RAM"
+            )
+        seen_ports: set[int] = set()
+        write_cells: set[int] = set()
+        for op in ops:
+            if not 0 <= op.port < self._ports:
+                raise PortConflictError(
+                    f"port {op.port} out of range [0, {self._ports})"
+                )
+            if op.port in seen_ports:
+                raise PortConflictError(f"port {op.port} used twice in one cycle")
+            seen_ports.add(op.port)
+            if op.kind == "w":
+                for cell in self._decoder.map(op.addr):
+                    if cell in write_cells:
+                        raise PortConflictError(
+                            f"two simultaneous writes touch cell {cell}"
+                        )
+                    write_cells.add(cell)
+
+    def _read_internal(self, port: int, addr: int, time: int) -> int:
+        cells = self._decoder.map(addr)
+        if not cells:
+            return self._sense[port]
+        values = [
+            self._behavior.read_cell(self._array, cell, time) for cell in cells
+        ]
+        value = values[0]
+        for v in values[1:]:
+            value = (value & v) if self._wired == "and" else (value | v)
+        self._sense[port] = value
+        return value
+
+    def _write_internal(self, addr: int, value: int, time: int) -> None:
+        self._array._check_value(value)
+        for cell in self._decoder.map(addr):
+            self._behavior.write_cell(self._array, cell, value, time)
+
+    def idle(self, cycles: int) -> None:
+        """Let ``cycles`` memory cycles pass without any operation
+        (see :meth:`repro.memory.ram.SinglePortRAM.idle`)."""
+        if cycles < 0:
+            raise ValueError(f"idle cycles must be non-negative, got {cycles}")
+        self.stats.cycles += cycles
+        self._behavior.settle(self._array, self.stats.cycles)
+
+    # -- sequential convenience (each call = one full cycle) ---------------------
+
+    def read(self, addr: int, port: int = 0) -> int:
+        """Single read occupying a whole cycle."""
+        return self.cycle([PortOp(port, "r", addr)])[port]
+
+    def write(self, addr: int, value: int, port: int = 0) -> None:
+        """Single write occupying a whole cycle."""
+        self.cycle([PortOp(port, "w", addr, value)])
+
+    def fill(self, value: int) -> None:
+        """Direct (un-counted, fault-free) initialization of all cells."""
+        self._array.fill(value)
+
+    def dump(self) -> list[int]:
+        """Snapshot of physical cell contents (bypasses faults)."""
+        return self._array.dump()
+
+
+class DualPortRAM(MultiPortRAM):
+    """Two-port RAM (the paper's 2P case, Figure 2).
+
+    >>> ram = DualPortRAM(8)
+    >>> ram.ports
+    2
+    """
+
+    def __init__(self, n: int, m: int = 1, **kwargs):
+        super().__init__(n, m, ports=2, **kwargs)
+
+
+class QuadPortRAM(MultiPortRAM):
+    """Four-port RAM modelling the paper's "QuadPort DSE family".
+
+    >>> QuadPortRAM(8).ports
+    4
+    """
+
+    def __init__(self, n: int, m: int = 1, **kwargs):
+        super().__init__(n, m, ports=4, **kwargs)

@@ -1,0 +1,228 @@
+"""Single-port RAM front-end.
+
+Combines the raw :class:`~repro.memory.array.MemoryArray`, an
+:class:`~repro.memory.decoder.AddressDecoder`, a pluggable
+:class:`~repro.memory.behavior.CellBehavior` (perfect or faulty) and
+operation accounting.  One read or write takes one memory cycle -- the unit
+in which the paper states its 3n (single-port) and 2n (dual-port) π-test
+complexities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.array import MemoryArray
+from repro.memory.behavior import CellBehavior, TransparentBehavior
+from repro.memory.decoder import AddressDecoder
+from repro.memory.trace import Operation, OperationTrace
+
+__all__ = ["SinglePortRAM", "RamStats"]
+
+
+@dataclass
+class RamStats:
+    """Operation counters for a RAM front-end.
+
+    ``cycles`` counts memory cycles; for a single-port RAM it equals
+    ``reads + writes``, for a multi-port RAM concurrent operations share a
+    cycle (which is where the dual-port π-test saves its n cycles).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    cycles: int = 0
+
+    @property
+    def operations(self) -> int:
+        """Total reads + writes."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.cycles = 0
+
+
+class SinglePortRAM:
+    """A single-port RAM: one read *or* write per cycle.
+
+    Parameters
+    ----------
+    n:
+        Number of addresses/cells.
+    m:
+        Bits per cell (1 = bit-oriented).
+    decoder:
+        Optional pre-built decoder (shared with fault models); default is a
+        healthy identity decoder.
+    behavior:
+        Cell-access semantics; default perfect memory.
+    trace:
+        Record an :class:`OperationTrace` when True.
+    wired:
+        Combining rule when a faulty decoder activates several cells on a
+        read: ``"and"`` (default) or ``"or"``.
+
+    Examples
+    --------
+    >>> ram = SinglePortRAM(8, m=4)
+    >>> ram.write(3, 0xA)
+    >>> ram.read(3)
+    10
+    >>> ram.stats.cycles
+    2
+    """
+
+    def __init__(self, n: int, m: int = 1,
+                 decoder: AddressDecoder | None = None,
+                 behavior: CellBehavior | None = None,
+                 trace: bool = False,
+                 wired: str = "and",
+                 scrambler=None):
+        if wired not in ("and", "or"):
+            raise ValueError(f"wired rule must be 'and' or 'or', got {wired!r}")
+        self._array = MemoryArray(n, m)
+        self._decoder = decoder if decoder is not None else AddressDecoder(n)
+        if self._decoder.n != n:
+            raise ValueError(
+                f"decoder covers {self._decoder.n} addresses, RAM has {n}"
+            )
+        if scrambler is not None and scrambler.size != n:
+            raise ValueError(
+                f"scrambler covers {scrambler.size} addresses, RAM has {n}"
+            )
+        self._scrambler = scrambler
+        self._behavior: CellBehavior = (
+            behavior if behavior is not None else TransparentBehavior()
+        )
+        self._trace = OperationTrace() if trace else None
+        self._wired = wired
+        self._sense = 0  # last value latched by the sense amplifier
+        self.stats = RamStats()
+
+    # -- geometry / plumbing ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of addresses."""
+        return self._array.n
+
+    @property
+    def m(self) -> int:
+        """Bits per cell."""
+        return self._array.m
+
+    @property
+    def array(self) -> MemoryArray:
+        """The underlying physical cell array."""
+        return self._array
+
+    @property
+    def decoder(self) -> AddressDecoder:
+        """The address decoder stage."""
+        return self._decoder
+
+    @property
+    def behavior(self) -> CellBehavior:
+        """Current cell-access semantics."""
+        return self._behavior
+
+    @property
+    def trace(self) -> OperationTrace | None:
+        """The operation trace, or None when tracing is disabled."""
+        return self._trace
+
+    def attach_behavior(self, behavior: CellBehavior) -> None:
+        """Swap in new cell semantics (e.g. a fault injector)."""
+        self._behavior = behavior
+
+    def detach_behavior(self) -> None:
+        """Restore perfect-memory semantics."""
+        self._behavior = TransparentBehavior()
+
+    def __repr__(self) -> str:
+        kind = "BOM" if self.m == 1 else f"WOM(m={self.m})"
+        return f"SinglePortRAM(n={self.n}, {kind})"
+
+    # -- access ----------------------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        """Read logical address ``addr`` (one cycle)."""
+        value = self._read_internal(addr)
+        self.stats.reads += 1
+        self.stats.cycles += 1
+        if self._trace is not None:
+            self._trace.record(
+                Operation(self.stats.cycles - 1, 0, "r", addr, value)
+            )
+        self._behavior.settle(self._array, self.stats.cycles)
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        """Write ``value`` to logical address ``addr`` (one cycle)."""
+        self._write_internal(addr, value)
+        self.stats.writes += 1
+        self.stats.cycles += 1
+        if self._trace is not None:
+            self._trace.record(
+                Operation(self.stats.cycles - 1, 0, "w", addr, value)
+            )
+        self._behavior.settle(self._array, self.stats.cycles)
+
+    @property
+    def scrambler(self):
+        """The address scrambler, or None (identity mapping)."""
+        return self._scrambler
+
+    def _map_addr(self, addr: int) -> int:
+        if self._scrambler is not None:
+            return self._scrambler.map(addr)
+        return addr
+
+    def _read_internal(self, addr: int) -> int:
+        cells = self._decoder.map(self._map_addr(addr))
+        if not cells:
+            # AF-A: no cell activated; the sense amp keeps its last value.
+            return self._sense
+        values = [
+            self._behavior.read_cell(self._array, cell, self.stats.cycles)
+            for cell in cells
+        ]
+        value = values[0]
+        for v in values[1:]:
+            value = (value & v) if self._wired == "and" else (value | v)
+        self._sense = value
+        return value
+
+    def _write_internal(self, addr: int, value: int) -> None:
+        self._array._check_value(value)
+        for cell in self._decoder.map(self._map_addr(addr)):
+            self._behavior.write_cell(self._array, cell, value, self.stats.cycles)
+
+    def idle(self, cycles: int) -> None:
+        """Let ``cycles`` memory cycles pass without any operation.
+
+        Models the pause ("delay element") retention tests insert between
+        writing and reading: data-retention faults decay during idle time,
+        which is measured on the same cycle counter all operations use.
+        """
+        if cycles < 0:
+            raise ValueError(f"idle cycles must be non-negative, got {cycles}")
+        self.stats.cycles += cycles
+        self._behavior.settle(self._array, self.stats.cycles)
+
+    # -- convenience -----------------------------------------------------------
+
+    def fill(self, value: int) -> None:
+        """Direct (un-counted, fault-free) initialization of all cells.
+
+        Test engines must *not* use this -- it models the factory state, not
+        a test operation.
+        """
+        self._array.fill(value)
+
+    def dump(self) -> list[int]:
+        """Snapshot of physical cell contents (bypasses faults)."""
+        return self._array.dump()

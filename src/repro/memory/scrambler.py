@@ -1,0 +1,123 @@
+"""Address scrambling: the logical-to-topological address map.
+
+Real memories do not place logically adjacent addresses in physically
+adjacent cells: row/column decoders permute and fold the address bits
+("address scrambling").  Adjacency-based fault models (coupling between
+neighbours, NPSF neighbourhoods) are defined on *physical* cells, so a
+test walking logical addresses sweeps physical space in scrambled order.
+
+:class:`AddressScrambler` models the standard hardware forms -- an XOR
+mask plus a permutation of the address bits -- both of which are
+bijections cheap enough to sit in the decode path.  The RAM front-ends
+apply the scrambler before the decoder; for the pseudo-ring test a
+scrambled walk is simply a different trajectory, so PRT's guarantees
+survive scrambling unchanged (tested in the suite).
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressScrambler"]
+
+
+class AddressScrambler:
+    """Bijective address transform: bit permutation then XOR mask.
+
+    Parameters
+    ----------
+    bits:
+        Address width; the scrambler acts on ``range(2**bits)``.
+    xor_mask:
+        XORed into the (permuted) address -- models inverted decoder
+        select lines.
+    bit_permutation:
+        ``bit_permutation[i]`` is the source bit of output bit ``i`` --
+        models swapped row/column address lines.  Default identity.
+
+    Examples
+    --------
+    >>> scrambler = AddressScrambler(3, xor_mask=0b001)
+    >>> [scrambler.map(a) for a in range(8)]
+    [1, 0, 3, 2, 5, 4, 7, 6]
+    >>> swap = AddressScrambler(3, bit_permutation=(1, 0, 2))
+    >>> swap.map(0b001), swap.map(0b010)
+    (2, 1)
+    """
+
+    def __init__(self, bits: int, xor_mask: int = 0,
+                 bit_permutation: tuple[int, ...] | None = None):
+        if bits < 1:
+            raise ValueError(f"address width must be >= 1 bit, got {bits}")
+        self._bits = bits
+        self._size = 1 << bits
+        if not 0 <= xor_mask < self._size:
+            raise ValueError(
+                f"xor mask {xor_mask:#x} does not fit {bits} address bits"
+            )
+        if bit_permutation is None:
+            bit_permutation = tuple(range(bits))
+        else:
+            bit_permutation = tuple(bit_permutation)
+            if sorted(bit_permutation) != list(range(bits)):
+                raise ValueError(
+                    f"bit permutation must be a permutation of range({bits})"
+                )
+        self._xor_mask = xor_mask
+        self._permutation = bit_permutation
+
+    @property
+    def bits(self) -> int:
+        """Address width."""
+        return self._bits
+
+    @property
+    def size(self) -> int:
+        """Number of addresses, ``2**bits``."""
+        return self._size
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the scrambler changes nothing."""
+        return (self._xor_mask == 0
+                and self._permutation == tuple(range(self._bits)))
+
+    def map(self, addr: int) -> int:
+        """Logical address -> physical (topological) address."""
+        if not 0 <= addr < self._size:
+            raise IndexError(f"address {addr} out of range [0, {self._size})")
+        permuted = 0
+        for out_bit, src_bit in enumerate(self._permutation):
+            if (addr >> src_bit) & 1:
+                permuted |= 1 << out_bit
+        return permuted ^ self._xor_mask
+
+    def inverse_map(self, physical: int) -> int:
+        """Physical address -> the logical address selecting it.
+
+        >>> scrambler = AddressScrambler(4, xor_mask=0b0110,
+        ...                              bit_permutation=(2, 3, 0, 1))
+        >>> all(scrambler.inverse_map(scrambler.map(a)) == a
+        ...     for a in range(16))
+        True
+        """
+        if not 0 <= physical < self._size:
+            raise IndexError(
+                f"address {physical} out of range [0, {self._size})"
+            )
+        unmasked = physical ^ self._xor_mask
+        logical = 0
+        for out_bit, src_bit in enumerate(self._permutation):
+            if (unmasked >> out_bit) & 1:
+                logical |= 1 << src_bit
+        return logical
+
+    def mapping(self) -> list[int]:
+        """The full logical->physical table (for tests and displays)."""
+        return [self.map(a) for a in range(self._size)]
+
+    def __repr__(self) -> str:
+        if self.is_identity:
+            return f"AddressScrambler({self._bits} bits, identity)"
+        return (
+            f"AddressScrambler({self._bits} bits, mask={self._xor_mask:#x}, "
+            f"perm={self._permutation})"
+        )

@@ -1,0 +1,102 @@
+"""Operation traces for memory accesses.
+
+A trace records every port operation with its cycle stamp.  Traces back the
+figures that show test data backgrounds evolving in the array, and the
+operation-count accounting behind the paper's 3n / 2n complexity claims.
+Tracing is off by default (RAM front-ends take ``trace=True``) so fault
+simulation campaigns stay fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["Operation", "OperationTrace"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One memory operation as seen at a port.
+
+    Attributes
+    ----------
+    cycle:
+        Memory cycle in which the operation completed.
+    port:
+        Port index (0 for single-port RAM).
+    kind:
+        ``"r"`` or ``"w"``.
+    addr:
+        Logical address presented to the decoder.
+    value:
+        Data read or written.
+    """
+
+    cycle: int
+    port: int
+    kind: str
+    addr: int
+    value: int
+
+    def __str__(self) -> str:
+        return f"@{self.cycle} P{self.port} {self.kind}{self.value}[{self.addr}]"
+
+
+class OperationTrace:
+    """An append-only list of :class:`Operation` with query helpers.
+
+    >>> trace = OperationTrace()
+    >>> trace.record(Operation(0, 0, "w", 3, 1))
+    >>> trace.record(Operation(1, 0, "r", 3, 1))
+    >>> len(trace), trace.reads, trace.writes
+    (2, 1, 1)
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[Operation] = []
+
+    def record(self, op: Operation) -> None:
+        """Append one operation."""
+        if op.kind not in ("r", "w"):
+            raise ValueError(f"operation kind must be 'r' or 'w', got {op.kind!r}")
+        self._ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._ops[index]
+
+    @property
+    def reads(self) -> int:
+        """Number of read operations."""
+        return sum(1 for op in self._ops if op.kind == "r")
+
+    @property
+    def writes(self) -> int:
+        """Number of write operations."""
+        return sum(1 for op in self._ops if op.kind == "w")
+
+    @property
+    def cycles(self) -> int:
+        """Number of distinct cycles covered by the trace."""
+        return len({op.cycle for op in self._ops})
+
+    def for_address(self, addr: int) -> list[Operation]:
+        """All operations touching a logical address, in order."""
+        return [op for op in self._ops if op.addr == addr]
+
+    def for_port(self, port: int) -> list[Operation]:
+        """All operations issued on one port, in order."""
+        return [op for op in self._ops if op.port == port]
+
+    def clear(self) -> None:
+        """Drop all recorded operations."""
+        self._ops.clear()
+
+    def __repr__(self) -> str:
+        return f"OperationTrace({len(self._ops)} ops, {self.cycles} cycles)"

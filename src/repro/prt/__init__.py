@@ -1,0 +1,76 @@
+"""Pseudo-ring testing (PRT) -- the paper's contribution.
+
+PRT tests a RAM by emulating a linear automaton *in the memory array
+itself*.  One π-test iteration seeds ``k`` cells, then walks the address
+space: each sub-iteration reads ``k`` neighbouring cells (along a
+*trajectory*) and writes their GF(2^m)-linear combination -- defined by a
+generator polynomial ``g(x)`` -- into the next cell.  The written stream
+equals the output of a "virtual" LFSR, so the expected final state ``Fin*``
+is computable a priori, and when the pass length is a multiple of the LFSR
+period the automaton returns to its initial state (the *pseudo-ring*).
+
+Modules:
+
+* :mod:`repro.prt.trajectory` -- ascending / descending / seeded-random
+  address orders (quality factor 3 of claim C1),
+* :mod:`repro.prt.pi_test` -- the single-port π-iteration engine for BOM
+  and WOM (Figure 1; complexity 3n + O(1), claim C4),
+* :mod:`repro.prt.schedule` -- multi-iteration plans, including the
+  3-iteration schedule behind claim C3,
+* :mod:`repro.prt.dual_port` -- the two-port scheme of Figure 2 (2n
+  cycles) and the quad-port multi-LFSR scheme (n + O(1) cycles),
+* :mod:`repro.prt.parallel` -- parallel bit-slice WOM testing with
+  identity or permuted lane wiring (intra-word faults, claim C7),
+* :mod:`repro.prt.misr` -- an optional MISR response compactor used by the
+  aliasing ablation,
+* :mod:`repro.prt.bist` -- the BIST hardware-overhead model (claim C5:
+  overhead < 2^-20 of memory capacity).
+"""
+
+from repro.prt.trajectory import (
+    Trajectory,
+    ascending,
+    descending,
+    random_trajectory,
+)
+from repro.prt.pi_test import PiIteration, PiIterationResult
+from repro.prt.schedule import (
+    PiTestSchedule,
+    ScheduleResult,
+    standard_schedule,
+    extended_schedule,
+)
+from repro.prt.dual_port import DualPortPiIteration, QuadPortPiIteration
+from repro.prt.parallel import BitSlicePiIteration, lane_permutations
+from repro.prt.misr import MISR
+from repro.prt.bist import BistOverheadModel
+from repro.prt.diagnosis import DiagnosisReport, diagnose_iteration
+from repro.prt.sizing import (
+    iter_two_tap_generators,
+    ring_aligned_generators,
+    ring_alignment_report,
+)
+
+__all__ = [
+    "Trajectory",
+    "ascending",
+    "descending",
+    "random_trajectory",
+    "PiIteration",
+    "PiIterationResult",
+    "PiTestSchedule",
+    "ScheduleResult",
+    "standard_schedule",
+    "extended_schedule",
+    "DualPortPiIteration",
+    "QuadPortPiIteration",
+    "BitSlicePiIteration",
+    "lane_permutations",
+    "MISR",
+    "BistOverheadModel",
+    "DiagnosisReport",
+    "diagnose_iteration",
+    "iter_two_tap_generators",
+    "ring_aligned_generators",
+    "ring_alignment_report",
+]

@@ -1,0 +1,166 @@
+"""BIST hardware-overhead model (claim C5).
+
+The paper prices the PRT additions for a dual-port RAM -- "conversion of
+the existent address registers into counters and a specific XOR-logic" --
+at less than ``2^-20`` of the memory capacity.  This module reproduces
+that ratio analytically from gate counts:
+
+* the address registers become counters: one increment stage
+  (~half-adder + mux) per address bit per port;
+* the recurrence XOR network: the constant-multiplier XOR gates (from the
+  synthesizer in :mod:`repro.gf2m.xor_synth`) plus the k-way word adder;
+* a k*m-bit state/compare register and an equality comparator;
+* a small fixed control FSM.
+
+Costs are expressed in transistors (CMOS: 4T per 2-input XOR/NAND-ish
+gate, 24T per DFF bit) and normalized to a 6T-SRAM cell array, so the
+"ponder of the hardware overhead in comparison with the memory capacity"
+is a pure ratio, no silicon needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gf2m.field import GF2m
+from repro.gf2m.multiplier import constant_multiplier_matrix
+from repro.gf2m.xor_synth import synthesize_greedy
+
+__all__ = ["BistOverheadModel"]
+
+_T_PER_XOR = 4  # transistors per 2-input gate (transmission-gate XOR)
+_T_PER_DFF = 24  # transistors per flip-flop bit
+_T_PER_SRAM_BIT = 6  # 6T SRAM cell
+_CONTROL_FSM_T = 200  # fixed small control overhead
+
+
+@dataclass
+class BistOverheadModel:
+    """Gate/transistor cost of the PRT BIST additions.
+
+    Parameters
+    ----------
+    field:
+        The word field GF(2^m) (GF(2) for bit-oriented memories).
+    generator:
+        Generator polynomial coefficients ``(a_0, ..., a_k)``.
+    ports:
+        Number of RAM ports whose address registers become counters.
+
+    Examples
+    --------
+    >>> from repro.gf2 import poly_from_string
+    >>> model = BistOverheadModel(GF2m(poly_from_string("1+z+z^4")),
+    ...                           (1, 2, 2), ports=2)
+    >>> model.overhead_ratio(n=1 << 26) < 2**-20
+    True
+    """
+
+    field: GF2m
+    generator: tuple[int, ...]
+    ports: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.generator) < 2:
+            raise ValueError("generator polynomial must have degree >= 1")
+        if self.ports < 1:
+            raise ValueError("need at least one port")
+
+    @property
+    def k(self) -> int:
+        """Automaton stages."""
+        return len(self.generator) - 1
+
+    @property
+    def m(self) -> int:
+        """Word width."""
+        return self.field.m
+
+    # -- gate counts -----------------------------------------------------------
+
+    def multiplier_xor_gates(self) -> int:
+        """XOR gates of all recurrence constant multipliers, after greedy
+        common-subexpression synthesis (claim C6's "optimal" multipliers)."""
+        field = self.field
+        inv_a0 = field.inv(self.generator[0])
+        total = 0
+        for a in self.generator[1:]:
+            constant = field.mul(inv_a0, a)
+            matrix = constant_multiplier_matrix(field, constant)
+            total += synthesize_greedy(matrix).gate_count
+        return total
+
+    def adder_xor_gates(self) -> int:
+        """The k-way GF(2^m) word adder: ``(k - 1) * m`` XOR gates."""
+        return (self.k - 1) * self.m
+
+    def comparator_gates(self) -> int:
+        """Equality compare of the k*m-bit window: XOR per bit + OR tree."""
+        bits = self.k * self.m
+        return bits + max(0, bits - 1)
+
+    def counter_bits(self, n: int) -> int:
+        """Address-counter bits across all ports for an n-cell memory."""
+        if n < 2:
+            raise ValueError("memory must have at least 2 cells")
+        return self.ports * math.ceil(math.log2(n))
+
+    def state_register_bits(self) -> int:
+        """Window/compare register: k words of m bits."""
+        return self.k * self.m
+
+    # -- transistor totals -------------------------------------------------------
+
+    def bist_transistors(self, n: int) -> int:
+        """Total transistors of the PRT additions for an n-cell memory."""
+        gate_t = _T_PER_XOR * (
+            self.multiplier_xor_gates()
+            + self.adder_xor_gates()
+            + self.comparator_gates()
+        )
+        # Counter: the register bits already exist (address registers);
+        # the *conversion* adds an increment stage per bit, priced like a
+        # gate pair, plus the window register which is genuinely new.
+        counter_t = 2 * _T_PER_XOR * self.counter_bits(n)
+        register_t = _T_PER_DFF * self.state_register_bits()
+        return gate_t + counter_t + register_t + _CONTROL_FSM_T
+
+    def memory_transistors(self, n: int) -> int:
+        """The 6T cell array: ``6 * n * m`` transistors."""
+        return _T_PER_SRAM_BIT * n * self.m
+
+    def overhead_ratio(self, n: int) -> float:
+        """BIST transistors / memory transistors (the paper's "ponder").
+
+        Decreases ~1/n (the counter term grows only as log n); crosses the
+        paper's ``2^-20`` bound around n = 2^24..2^26 cells.
+        """
+        return self.bist_transistors(n) / self.memory_transistors(n)
+
+    def crossover_capacity(self, bound: float = 2**-20,
+                           max_log2n: int = 40) -> int:
+        """Smallest power-of-two n with ``overhead_ratio(n) < bound``."""
+        for log2n in range(1, max_log2n + 1):
+            n = 1 << log2n
+            if self.overhead_ratio(n) < bound:
+                return n
+        raise ValueError(
+            f"overhead never drops below {bound} up to n = 2^{max_log2n}"
+        )
+
+    def report(self, n: int) -> dict[str, float]:
+        """All cost components for one memory size (used by bench E5)."""
+        return {
+            "n": n,
+            "m": self.m,
+            "ports": self.ports,
+            "multiplier_xor_gates": self.multiplier_xor_gates(),
+            "adder_xor_gates": self.adder_xor_gates(),
+            "comparator_gates": self.comparator_gates(),
+            "counter_bits": self.counter_bits(n),
+            "state_register_bits": self.state_register_bits(),
+            "bist_transistors": self.bist_transistors(n),
+            "memory_transistors": self.memory_transistors(n),
+            "overhead_ratio": self.overhead_ratio(n),
+        }

@@ -1,0 +1,110 @@
+"""Fault localization from a π-test run.
+
+A failing signature says *that* the memory is faulty; the recorded write
+stream says *where*.  Because the engine knows the expected stream a
+priori, the first sub-iteration whose written value diverges pinpoints the
+reads that fed it -- a suspect set of k+1 cells around the fault.  This is
+diagnosis the pseudo-ring construction provides essentially for free (the
+paper's "high degree of mobility to control the π-test experiments"), and
+it narrows a follow-up bit-level probe from n cells to a constant-size
+neighbourhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prt.pi_test import PiIteration
+
+__all__ = ["DiagnosisReport", "diagnose_iteration"]
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """Outcome of a localization run.
+
+    Attributes
+    ----------
+    detected:
+        True when anything diverged (stream, verify read or signature).
+    first_divergence:
+        Index of the first sweep write whose value was wrong, or None
+        when the stream itself stayed clean.
+    suspect_cells:
+        The cells whose reads fed the first diverging write (plus the
+        written cell); empty when nothing diverged.
+    observed, expected:
+        The diverging written value and its fault-free counterpart.
+    """
+
+    detected: bool
+    first_divergence: int | None
+    suspect_cells: tuple[int, ...]
+    observed: int | None
+    expected: int | None
+
+    def __repr__(self) -> str:
+        if not self.detected:
+            return "DiagnosisReport(clean)"
+        if self.first_divergence is None:
+            return f"DiagnosisReport(signature-only, suspects={self.suspect_cells})"
+        return (
+            f"DiagnosisReport(divergence@{self.first_divergence}, "
+            f"suspects={self.suspect_cells}, "
+            f"observed={self.observed}, expected={self.expected})"
+        )
+
+
+def diagnose_iteration(iteration: PiIteration, ram) -> DiagnosisReport:
+    """Run ``iteration`` on ``ram`` with recording and localize the first
+    divergence.
+
+    The suspect set contains the cells read by the first diverging
+    sub-iteration (the fault corrupted one of those reads) plus the cell
+    the diverging value was written to (relevant for write-side faults
+    like a decoder redirect).
+
+    >>> from repro.faults import FaultInjector, StuckAtFault
+    >>> from repro.memory import SinglePortRAM
+    >>> iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+    >>> ram = SinglePortRAM(21)
+    >>> FaultInjector([StuckAtFault(9, 0)]).install(ram)
+    >>> report = diagnose_iteration(iteration, ram)
+    >>> report.detected and 9 in report.suspect_cells
+    True
+    """
+    n = ram.n
+    result = iteration.run(ram, record=True)
+    expected = iteration.expected_stream(n)
+    traj = iteration.trajectory_for(n)
+    k = iteration.k
+    assert result.written_stream is not None
+    for j, (observed, want) in enumerate(zip(result.written_stream, expected)):
+        if observed != want:
+            read_cells = {traj[j + i] for i in range(k)}
+            suspects = tuple(sorted(read_cells | {traj[j + k]}))
+            return DiagnosisReport(
+                detected=True,
+                first_divergence=j,
+                suspect_cells=suspects,
+                observed=observed,
+                expected=want,
+            )
+    if not result.passed:
+        # Stream clean but the signature reads disagreed: the fault sits
+        # in the final window cells themselves.
+        suspects = tuple(sorted(traj[n + i] for i in range(k)))
+        return DiagnosisReport(
+            detected=True,
+            first_divergence=None,
+            suspect_cells=suspects,
+            observed=None,
+            expected=None,
+        )
+    return DiagnosisReport(
+        detected=False,
+        first_divergence=None,
+        suspect_cells=(),
+        observed=None,
+        expected=None,
+    )

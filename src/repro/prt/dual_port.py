@@ -1,0 +1,284 @@
+"""Multi-port π-test schemes (paper §4, Figure 2).
+
+**Dual-port** (Figure 2): the two reads of a sub-iteration issue
+*simultaneously* on the two ports; the write follows in the next cycle.
+A k=2 π-iteration then takes ``2n`` cycles instead of ``3n`` -- the paper's
+claim C4 for 2P RAM.  (The hardware cost is the "conversion of the existing
+address registers into counters and a specific XOR-logic" priced by
+:mod:`repro.prt.bist`.)
+
+**Quad-port** ("QuadPort DSE family"): a *multi-LFSR* scheme -- two
+independent virtual automata sweep the two halves of the array
+concurrently, each pair of ports serving one automaton.  Per cycle the RAM
+performs either 4 reads or 2 writes, so a full pass takes ``2 * (n/2) = n``
+cycles: another 2x over dual-port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gf2m.field import GF2m
+from repro.memory.multiport import MultiPortRAM, PortOp
+from repro.prt.pi_test import GF2, PiIterationResult
+from repro.lfsr.word_lfsr import WordLFSR
+from repro.prt.trajectory import Trajectory, ascending
+
+__all__ = ["DualPortPiIteration", "QuadPortPiIteration", "QuadPortResult"]
+
+
+class DualPortPiIteration:
+    """The Figure 2 dual-port π-iteration (k = 2 only: the paper
+    recommends this scheme "when polynomial g(x) has 2 terms" of feedback).
+
+    Cycle pattern per sub-iteration ``j``::
+
+        cycle 2j:     port0 reads traj[j],   port1 reads traj[j+1]
+        cycle 2j+1:   port0 writes traj[j+2]
+
+    >>> from repro.memory import DualPortRAM
+    >>> from repro.gf2 import poly_from_string
+    >>> from repro.gf2m import GF2m
+    >>> F = GF2m(poly_from_string("1+z+z^4"))
+    >>> it = DualPortPiIteration(field=F, generator=(1, 2, 2), seed=(0, 1))
+    >>> ram = DualPortRAM(255, m=4)
+    >>> result = it.run(ram)
+    >>> result.passed
+    True
+    >>> ram.stats.cycles     # 2n sweep + 1 init + 1 signature cycle
+    512
+    """
+
+    def __init__(self, field: GF2m | None = None,
+                 generator: tuple[int, ...] = (1, 1, 1),
+                 seed: tuple[int, ...] = (0, 1),
+                 trajectory: Trajectory | None = None):
+        self._field = field if field is not None else GF2
+        generator = tuple(generator)
+        seed = tuple(seed)
+        if len(generator) != 3:
+            raise ValueError(
+                "the Figure 2 dual-port scheme needs a degree-2 generator "
+                f"(k = 2); got degree {len(generator) - 1}"
+            )
+        self._reference = WordLFSR(self._field, generator, seed)
+        if all(s == 0 for s in seed):
+            raise ValueError("the all-zero seed exercises nothing")
+        self._generator = generator
+        self._seed = seed
+        self._trajectory = trajectory
+
+    @property
+    def field(self) -> GF2m:
+        """The coefficient field."""
+        return self._field
+
+    @property
+    def generator(self) -> tuple[int, ...]:
+        """Generator polynomial coefficients."""
+        return self._generator
+
+    @property
+    def seed(self) -> tuple[int, ...]:
+        """The initial window."""
+        return self._seed
+
+    def trajectory_for(self, n: int) -> Trajectory:
+        """The trajectory used on an n-cell memory (default ascending)."""
+        if self._trajectory is not None:
+            if self._trajectory.n != n:
+                raise ValueError(
+                    f"trajectory covers {self._trajectory.n} addresses, "
+                    f"memory has {n}"
+                )
+            return self._trajectory
+        return ascending(n)
+
+    def cycle_count(self, n: int) -> int:
+        """Cycles per iteration: ``2n + 2`` (init + 2-per-sub-iteration +
+        signature) -- the paper's 2n (claim C4 for 2P RAM)."""
+        return 2 * n + 2
+
+    def expected_final(self, n: int) -> tuple[int, ...]:
+        """``Fin*`` after the n-step pass."""
+        reference = self._reference.copy()
+        reference.reset()
+        reference.run(n)
+        return reference.state
+
+    def run(self, ram: MultiPortRAM) -> PiIterationResult:
+        """Execute on a RAM with at least two ports."""
+        if getattr(ram, "ports", 1) < 2:
+            raise ValueError("the dual-port scheme needs >= 2 ports")
+        if ram.m != self._field.m:
+            raise ValueError(
+                f"RAM cell width m={ram.m} does not match field "
+                f"GF(2^{self._field.m})"
+            )
+        n = ram.n
+        if n < 3:
+            raise ValueError(f"memory must have more than 2 cells, got {n}")
+        traj = self.trajectory_for(n)
+        field = self._field
+        mult = self._reference.recurrence_multipliers
+        operations = 0
+        # Init: both seed words in one cycle (two ports, two cells).
+        ram.cycle([
+            PortOp(0, "w", traj[0], self._seed[0]),
+            PortOp(1, "w", traj[1], self._seed[1]),
+        ])
+        operations += 2
+        # Sweep: each sub-iteration is a double-read cycle then a write cycle.
+        for j in range(n):
+            reads = ram.cycle([
+                PortOp(0, "r", traj[j]),
+                PortOp(1, "r", traj[j + 1]),
+            ])
+            operations += 2
+            acc = 0
+            for i, r in enumerate((reads[0], reads[1])):
+                if mult[i] and r:
+                    acc = field.add(acc, field.mul(mult[i], r))
+            ram.cycle([PortOp(0, "w", traj[j + 2], acc)])
+            operations += 1
+        # Signature: both final-window reads in one cycle.
+        final = ram.cycle([
+            PortOp(0, "r", traj[n]),
+            PortOp(1, "r", traj[n + 1]),
+        ])
+        operations += 2
+        return PiIterationResult(
+            init_state=self._seed,
+            final_state=(final[0], final[1]),
+            expected_final=self.expected_final(n),
+            operations=operations,
+        )
+
+
+@dataclass
+class QuadPortResult:
+    """Outcome of the quad-port multi-LFSR iteration: one
+    :class:`PiIterationResult` per concurrent automaton."""
+
+    halves: tuple[PiIterationResult, PiIterationResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when both automata matched their expected final states."""
+        return all(r.passed for r in self.halves)
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"QuadPortResult({status})"
+
+
+class QuadPortPiIteration:
+    """Multi-LFSR scheme on a 4-port RAM: two automata sweep the two array
+    halves concurrently.
+
+    Cycle pattern per sub-iteration ``j`` (j over n/2)::
+
+        cycle 2j:   ports 0,1 read automaton A's window,
+                    ports 2,3 read automaton B's window
+        cycle 2j+1: port 0 writes A's new word, port 2 writes B's
+
+    Total: ``n + 2`` cycles for the full array -- half the dual-port time.
+
+    >>> from repro.memory import QuadPortRAM
+    >>> it = QuadPortPiIteration(seed=(0, 1))
+    >>> ram = QuadPortRAM(12)
+    >>> it.run(ram).passed
+    True
+    >>> ram.stats.cycles
+    14
+    """
+
+    def __init__(self, field: GF2m | None = None,
+                 generator: tuple[int, ...] = (1, 1, 1),
+                 seed: tuple[int, ...] = (0, 1)):
+        self._field = field if field is not None else GF2
+        generator = tuple(generator)
+        seed = tuple(seed)
+        if len(generator) != 3:
+            raise ValueError(
+                "the quad-port scheme is defined for k = 2 generators"
+            )
+        self._reference = WordLFSR(self._field, generator, seed)
+        if all(s == 0 for s in seed):
+            raise ValueError("the all-zero seed exercises nothing")
+        self._generator = generator
+        self._seed = seed
+
+    def cycle_count(self, n: int) -> int:
+        """Cycles per iteration: ``n + 2`` for an even n."""
+        return n + 2
+
+    def run(self, ram: MultiPortRAM) -> QuadPortResult:
+        """Execute on a 4-port RAM with an even number of cells."""
+        if getattr(ram, "ports", 1) < 4:
+            raise ValueError("the quad-port scheme needs >= 4 ports")
+        if ram.m != self._field.m:
+            raise ValueError(
+                f"RAM cell width m={ram.m} does not match field "
+                f"GF(2^{self._field.m})"
+            )
+        n = ram.n
+        if n % 2 != 0 or n < 6:
+            raise ValueError(
+                f"the two-automata scheme needs an even n >= 6, got {n}"
+            )
+        half = n // 2
+        # Automaton A sweeps cells [0, half), B sweeps [half, n).
+        base = {0: 0, 1: half}
+        field = self._field
+        mult = self._reference.recurrence_multipliers
+        seed = self._seed
+
+        def cell(automaton: int, j: int) -> int:
+            return base[automaton] + (j % half)
+
+        ram.cycle([
+            PortOp(0, "w", cell(0, 0), seed[0]),
+            PortOp(1, "w", cell(0, 1), seed[1]),
+            PortOp(2, "w", cell(1, 0), seed[0]),
+            PortOp(3, "w", cell(1, 1), seed[1]),
+        ])
+        for j in range(half):
+            reads = ram.cycle([
+                PortOp(0, "r", cell(0, j)),
+                PortOp(1, "r", cell(0, j + 1)),
+                PortOp(2, "r", cell(1, j)),
+                PortOp(3, "r", cell(1, j + 1)),
+            ])
+            values = []
+            for automaton in (0, 1):
+                acc = 0
+                pair = (reads[2 * automaton], reads[2 * automaton + 1])
+                for i, r in enumerate(pair):
+                    if mult[i] and r:
+                        acc = field.add(acc, field.mul(mult[i], r))
+                values.append(acc)
+            ram.cycle([
+                PortOp(0, "w", cell(0, j + 2), values[0]),
+                PortOp(2, "w", cell(1, j + 2), values[1]),
+            ])
+        final = ram.cycle([
+            PortOp(0, "r", cell(0, half)),
+            PortOp(1, "r", cell(0, half + 1)),
+            PortOp(2, "r", cell(1, half)),
+            PortOp(3, "r", cell(1, half + 1)),
+        ])
+        reference = self._reference.copy()
+        reference.reset()
+        reference.run(half)
+        expected = reference.state
+        halves = tuple(
+            PiIterationResult(
+                init_state=seed,
+                final_state=(final[2 * automaton], final[2 * automaton + 1]),
+                expected_final=expected,
+                operations=0,  # accounted on the shared RAM stats
+            )
+            for automaton in (0, 1)
+        )
+        return QuadPortResult(halves=halves)  # type: ignore[arg-type]

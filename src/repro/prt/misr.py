@@ -1,0 +1,90 @@
+"""Multiple-input signature register (MISR) -- optional response compactor.
+
+The paper compares ``Fin`` against ``Fin*`` directly (a k-word window), so
+no compaction is strictly needed.  Industrial BIST often compacts *every*
+read response into a MISR instead; that trades comparator width for a small
+aliasing probability (a corrupted response sequence mapping to the golden
+signature), classically ``2^-m`` for an m-bit MISR with a primitive
+feedback polynomial.  The E10 ablation uses this class to measure aliasing
+of window-compare vs MISR-compare.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.irreducible import is_irreducible
+from repro.gf2.poly import degree
+
+__all__ = ["MISR"]
+
+
+class MISR:
+    """An m-bit MISR with feedback polynomial ``poly`` (degree m).
+
+    Each :meth:`absorb` shifts the register (Galois form) and XORs an m-bit
+    response word in.
+
+    >>> misr = MISR(0b10011)
+    >>> for word in (0x3, 0xA, 0xF):
+    ...     misr.absorb(word)
+    >>> misr.signature != MISR(0b10011).signature
+    True
+    """
+
+    def __init__(self, poly: int, initial: int = 0):
+        m = degree(poly)
+        if m < 1:
+            raise ValueError("feedback polynomial must have degree >= 1")
+        if not is_irreducible(poly):
+            raise ValueError(
+                "MISR feedback polynomial should be irreducible "
+                "(aliasing guarantees depend on it)"
+            )
+        self._poly = poly
+        self._m = m
+        self._mask = (1 << m) - 1
+        if not 0 <= initial <= self._mask:
+            raise ValueError(f"initial state {initial:#x} does not fit {m} bits")
+        self._state = initial
+        self._initial = initial
+        self._absorbed = 0
+
+    @property
+    def m(self) -> int:
+        """Register width in bits."""
+        return self._m
+
+    @property
+    def signature(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def absorbed(self) -> int:
+        """Number of words absorbed so far."""
+        return self._absorbed
+
+    def absorb(self, word: int) -> None:
+        """Clock the register once with an m-bit response word."""
+        if not 0 <= word <= self._mask:
+            raise ValueError(f"response word {word:#x} does not fit {self._m} bits")
+        # Galois shift: multiply state by x mod poly, then add the input.
+        carry = (self._state >> (self._m - 1)) & 1
+        self._state = (self._state << 1) & self._mask
+        if carry:
+            self._state ^= self._poly & self._mask
+        self._state ^= word
+        self._absorbed += 1
+
+    def absorb_all(self, words) -> int:
+        """Absorb an iterable of words; returns the final signature."""
+        for word in words:
+            self.absorb(word)
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the initial state and counter."""
+        self._state = self._initial
+        self._absorbed = 0
+
+    def __repr__(self) -> str:
+        return f"MISR(m={self._m}, signature={self._state:#x}, absorbed={self._absorbed})"

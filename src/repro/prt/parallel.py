@@ -1,0 +1,249 @@
+"""Parallel bit-slice π-testing for word-oriented memories (claim C7).
+
+The paper's WOM scheme for *intra-word* faults: view the m-bit memory as m
+independent bit planes and run m bit-oriented π-tests simultaneously --
+every word read feeds m bit recurrences at once, every word write commits m
+new bits.  Two wirings are offered (the paper: "two different π-testing can
+be performed: (1) with parallel or (2) with random trajectories ...
+controlled by a small hardware overhead that can be programmed
+externally"):
+
+* **parallel** -- slice ``l`` of the new word depends on slice ``l`` of the
+  two read words (identity lane wiring).  Cheap, but bit planes never
+  interact, so a symmetric intra-word coupling can corrupt two planes
+  consistently and hide;
+* **random** -- a seeded lane permutation wires slice ``l``'s recurrence to
+  *different* source slices of the read words.  Planes cross, so intra-word
+  aggressor/victim pairs land in different automata and the corruption
+  de-synchronizes the signatures.
+
+Both wirings are GF(2)-linear, so the expected final window is still
+computable a priori by the mirror-image software model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.prt.trajectory import Trajectory, ascending
+
+__all__ = ["BitSlicePiIteration", "BitSliceResult", "lane_permutations"]
+
+
+def lane_permutations(m: int, mode: str, seed: int = 0) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Lane wirings ``(sigma, tau)`` for the two read operands.
+
+    ``mode="parallel"`` gives identity wirings; ``mode="random"`` gives two
+    seeded permutations (guaranteed not both identity for m >= 2).
+
+    >>> lane_permutations(4, "parallel")
+    ((0, 1, 2, 3), (0, 1, 2, 3))
+    """
+    identity = tuple(range(m))
+    if mode == "parallel":
+        return identity, identity
+    if mode != "random":
+        raise ValueError(f"mode must be 'parallel' or 'random', got {mode!r}")
+    rng = random.Random(seed)
+    while True:
+        sigma = list(identity)
+        tau = list(identity)
+        rng.shuffle(sigma)
+        rng.shuffle(tau)
+        if m < 2 or tuple(sigma) != identity or tuple(tau) != identity:
+            return tuple(sigma), tuple(tau)
+
+
+@dataclass
+class BitSliceResult:
+    """Outcome of a bit-slice π-iteration.
+
+    ``final_state`` / ``expected_final`` are whole memory words; the m bit
+    automata are judged together (their k-cell windows share addresses).
+    ``failing_slices`` pinpoints which bit planes mismatched.
+    """
+
+    init_state: tuple[int, ...]
+    final_state: tuple[int, ...]
+    expected_final: tuple[int, ...]
+    operations: int
+
+    @property
+    def passed(self) -> bool:
+        """True when every slice's final window matched."""
+        return self.final_state == self.expected_final
+
+    @property
+    def failing_slices(self) -> list[int]:
+        """Bit positions whose plane mismatched somewhere in the window."""
+        out = []
+        width = max(
+            (v.bit_length() for v in self.final_state + self.expected_final),
+            default=0,
+        )
+        for bit in range(width):
+            for got, want in zip(self.final_state, self.expected_final):
+                if ((got >> bit) & 1) != ((want >> bit) & 1):
+                    out.append(bit)
+                    break
+        return out
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else f"FAIL(slices={self.failing_slices})"
+        return f"BitSliceResult({status})"
+
+
+class BitSlicePiIteration:
+    """m parallel bit-oriented π-tests over a WOM (k = 2 per slice).
+
+    Each slice ``l`` follows the BOM recurrence
+    ``new[l] = r_a[sigma(l)] XOR r_b[tau(l)]`` where ``r_a, r_b`` are the
+    two words read by the sub-iteration and ``(sigma, tau)`` is the lane
+    wiring.
+
+    Parameters
+    ----------
+    m:
+        Word width (number of slices).
+    seed:
+        Two seed *words* ``(d_0, d_1)``; slice ``l`` of the automata is
+        seeded with their ``l``-th bits, and every slice pair must be
+        non-zero (an all-zero slice idles).  Default is the checkerboard
+        pair ``(0101..., 1010...)``: adjacent slices run phase-shifted
+        streams, so the words are non-uniform and the lane wiring has
+        real mixing to do.  (Uniform seeds like ``(0, 1111)`` degenerate:
+        every word is all-0s or all-1s and permuting lanes changes
+        nothing.)
+    mode:
+        ``"parallel"`` or ``"random"`` lane wiring.
+    wiring_seed:
+        Seed for the random lane permutations (the "external programming").
+
+    Examples
+    --------
+    >>> from repro.memory import SinglePortRAM
+    >>> it = BitSlicePiIteration(m=4, mode="random", wiring_seed=3)
+    >>> it.run(SinglePortRAM(16, m=4)).passed
+    True
+    """
+
+    def __init__(self, m: int, seed: tuple[int, int] | None = None,
+                 mode: str = "parallel", wiring_seed: int = 0,
+                 trajectory: Trajectory | None = None):
+        if m < 1:
+            raise ValueError(f"word width must be >= 1, got {m}")
+        self._m = m
+        self._mask = (1 << m) - 1
+        if seed is None:
+            checker = 0
+            for bit in range(0, m, 2):
+                checker |= 1 << bit
+            seed = (checker, checker ^ self._mask)
+        seed = tuple(seed)
+        if len(seed) != 2:
+            raise ValueError("bit-slice scheme uses k = 2: two seed words")
+        for s in seed:
+            if not 0 <= s <= self._mask:
+                raise ValueError(f"seed word {s:#x} does not fit {m} bits")
+        if any((seed[0] >> l) & 1 == 0 and (seed[1] >> l) & 1 == 0
+               for l in range(m)):
+            raise ValueError(
+                "every bit slice needs a non-zero seed pair; "
+                f"seeds {seed[0]:#x},{seed[1]:#x} leave a slice all-zero"
+            )
+        self._seed = seed
+        self._mode = mode
+        self._sigma, self._tau = lane_permutations(m, mode, wiring_seed)
+        self._trajectory = trajectory
+
+    @property
+    def m(self) -> int:
+        """Word width / number of slices."""
+        return self._m
+
+    @property
+    def mode(self) -> str:
+        """``"parallel"`` or ``"random"``."""
+        return self._mode
+
+    @property
+    def wiring(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The lane permutations ``(sigma, tau)``."""
+        return self._sigma, self._tau
+
+    @property
+    def seed(self) -> tuple[int, int]:
+        """The two seed words."""
+        return self._seed
+
+    def _next_word(self, r_a: int, r_b: int) -> int:
+        word = 0
+        for l in range(self._m):
+            bit = ((r_a >> self._sigma[l]) & 1) ^ ((r_b >> self._tau[l]) & 1)
+            if bit:
+                word |= 1 << l
+        return word
+
+    def expected_stream(self, n: int) -> list[int]:
+        """Fault-free written words, in trajectory order (software mirror)."""
+        window = list(self._seed)
+        out = []
+        for _ in range(n):
+            new = self._next_word(window[0], window[1])
+            out.append(new)
+            window = [window[1], new]
+        return out
+
+    def expected_final(self, n: int) -> tuple[int, ...]:
+        """Expected final 2-word window after the n-step pass."""
+        window = list(self._seed)
+        for _ in range(n):
+            window = [window[1], self._next_word(window[0], window[1])]
+        return tuple(window)
+
+    def trajectory_for(self, n: int) -> Trajectory:
+        """The (shared-address) trajectory on an n-cell memory."""
+        if self._trajectory is not None:
+            if self._trajectory.n != n:
+                raise ValueError(
+                    f"trajectory covers {self._trajectory.n} addresses, "
+                    f"memory has {n}"
+                )
+            return self._trajectory
+        return ascending(n)
+
+    def run(self, ram) -> BitSliceResult:
+        """Execute on a single-port WOM front-end."""
+        if ram.m != self._m:
+            raise ValueError(
+                f"RAM cell width m={ram.m} does not match scheme width {self._m}"
+            )
+        n = ram.n
+        if n < 3:
+            raise ValueError(f"memory must have more than 2 cells, got {n}")
+        traj = self.trajectory_for(n)
+        operations = 0
+        for i, value in enumerate(self._seed):
+            ram.write(traj[i], value)
+            operations += 1
+        for j in range(n):
+            r_a = ram.read(traj[j])
+            r_b = ram.read(traj[j + 1])
+            operations += 2
+            ram.write(traj[j + 2], self._next_word(r_a, r_b))
+            operations += 1
+        final = (ram.read(traj[n]), ram.read(traj[n + 1]))
+        operations += 2
+        return BitSliceResult(
+            init_state=self._seed,
+            final_state=final,
+            expected_final=self.expected_final(n),
+            operations=operations,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BitSlicePiIteration(m={self._m}, mode={self._mode!r}, "
+            f"seed=({self._seed[0]:#x}, {self._seed[1]:#x}))"
+        )

@@ -1,0 +1,109 @@
+"""Ring sizing: match generator polynomials to memory sizes.
+
+The pseudo-ring property -- ``Fin == Init`` with no stored golden value --
+requires the array length to be a multiple of the virtual LFSR's period
+(paper §2: "If the memory array size is multiple by the period of LFSR
+then virtual automaton will return to the initial state").  Real memories
+have power-of-two sizes, so the BIST designer goes the other way: given
+``n``, find a generator whose period divides it.  These helpers search the
+(small) space of candidate generators.
+
+When no ring-aligned generator exists (e.g. n = 2^k has only odd-period
+LFSR divisors... in fact any n coprime to all achievable periods), the
+signature comparator simply stores ``Fin*`` -- the π-test still works, it
+just loses the Init-compare convenience; :func:`ring_alignment_report`
+says which situation a given configuration is in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.gf2m.field import GF2m
+from repro.gf2m.poly_ext import wpoly, wpoly_is_irreducible, wpoly_x_pow_order
+
+__all__ = [
+    "iter_two_tap_generators",
+    "ring_aligned_generators",
+    "ring_alignment_report",
+]
+
+
+def iter_two_tap_generators(field: GF2m, k: int) -> Iterator[tuple[int, ...]]:
+    """All degree-k irreducible generators with exactly two non-zero
+    feedback taps (so sub-iterations keep the paper's 2-reads+1-write,
+    O(3n) shape).
+
+    A "two-tap" generator has non-zero ``a_0`` and ``a_k`` plus at most
+    one more non-zero coefficient... precisely: the recurrence multipliers
+    ``a_0^{-1} a_{k-j}`` for ``j = 0..k-1`` must have exactly two non-zero
+    entries, i.e. exactly one interior coefficient is non-zero -- or none,
+    when k = ... k >= 2 needs a_k plus one interior tap; the pure binomial
+    ``a_0 + a_k x^k`` has a single tap and degenerates to a word copier,
+    so it is excluded.
+
+    >>> GF2 = GF2m(0b11)
+    >>> list(iter_two_tap_generators(GF2, 2))
+    [(1, 1, 1)]
+    """
+    if k < 2:
+        raise ValueError("two-tap generators need degree k >= 2")
+    size = field.size
+    for a0 in range(1, size):
+        for ak in range(1, size):
+            for interior_pos in range(1, k):
+                for interior in range(1, size):
+                    coeffs = [a0] + [0] * (k - 1) + [ak]
+                    coeffs[interior_pos] = interior
+                    candidate = tuple(coeffs)
+                    if wpoly_is_irreducible(field, wpoly(candidate)):
+                        yield candidate
+
+
+def ring_aligned_generators(field: GF2m, n: int, k: int,
+                            limit: int = 10) -> list[tuple[tuple[int, ...], int]]:
+    """Two-tap degree-k generators whose period divides ``n``.
+
+    Returns up to ``limit`` pairs ``(generator, period)``, shortest period
+    first (shorter periods divide more sizes but lay less diverse data).
+
+    >>> GF2 = GF2m(0b11)
+    >>> ring_aligned_generators(GF2, 21, 3)
+    [((1, 0, 1, 1), 7), ((1, 1, 0, 1), 7)]
+    """
+    if n < 2:
+        raise ValueError("memory size must be >= 2")
+    found = []
+    seen: set[tuple[int, ...]] = set()
+    for candidate in iter_two_tap_generators(field, k):
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        period = wpoly_x_pow_order(field, wpoly(candidate))
+        if n % period == 0:
+            found.append((candidate, period))
+    found.sort(key=lambda item: (item[1], item[0]))
+    return found[:limit]
+
+
+def ring_alignment_report(field: GF2m, generator: tuple[int, ...],
+                          n: int) -> dict[str, object]:
+    """How a (generator, memory size) pair stands w.r.t. the ring property.
+
+    >>> GF2 = GF2m(0b11)
+    >>> report = ring_alignment_report(GF2, (1, 1, 1), 9)
+    >>> report["ring_closes"], report["period"]
+    (True, 3)
+    """
+    period = wpoly_x_pow_order(field, wpoly(generator))
+    closes = n % period == 0
+    report: dict[str, object] = {
+        "period": period,
+        "n": n,
+        "ring_closes": closes,
+    }
+    if not closes:
+        # The nearest aligned sizes, for designers who can pad/partition.
+        report["previous_aligned_n"] = (n // period) * period
+        report["next_aligned_n"] = ((n // period) + 1) * period
+    return report

@@ -1,0 +1,113 @@
+"""Trajectories: the address order a π-test walks.
+
+The paper names the LFSR trajectory as quality factor 3 (claim C1): the
+virtual automaton can sweep the array in increasing or decreasing address
+order, or along a (hardware-programmable, hence seeded and reproducible)
+random permutation.  A trajectory visits every address exactly once; the
+π-test indexes it cyclically, so ``traj[j + k]`` wraps around -- that wrap
+is what closes the pseudo-ring.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+__all__ = ["Trajectory", "ascending", "descending", "random_trajectory"]
+
+
+class Trajectory:
+    """A permutation of the ``n`` addresses, indexed cyclically.
+
+    >>> traj = ascending(4)
+    >>> traj[3], traj[4], traj[5]
+    (3, 0, 1)
+    >>> descending(4).addresses
+    (3, 2, 1, 0)
+    """
+
+    def __init__(self, addresses: Sequence[int], name: str = "custom"):
+        addresses = tuple(addresses)
+        if not addresses:
+            raise ValueError("a trajectory needs at least one address")
+        if sorted(addresses) != list(range(len(addresses))):
+            raise ValueError(
+                "a trajectory must be a permutation of range(n); "
+                f"got {addresses[:8]}..."
+            )
+        self._addresses = addresses
+        self._name = name
+
+    @property
+    def n(self) -> int:
+        """Number of addresses."""
+        return len(self._addresses)
+
+    @property
+    def name(self) -> str:
+        """Human-readable trajectory kind."""
+        return self._name
+
+    @property
+    def addresses(self) -> tuple[int, ...]:
+        """The full visiting order."""
+        return self._addresses
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __getitem__(self, index: int) -> int:
+        """Cyclic indexing: ``traj[j]`` for any non-negative j."""
+        return self._addresses[index % len(self._addresses)]
+
+    def __iter__(self):
+        return iter(self._addresses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self._addresses == other._addresses
+
+    def __hash__(self) -> int:
+        return hash(self._addresses)
+
+    def reversed(self) -> Trajectory:
+        """The same addresses walked backwards."""
+        return Trajectory(tuple(reversed(self._addresses)),
+                          name=f"reversed({self._name})")
+
+    def rotated(self, offset: int) -> Trajectory:
+        """Start the walk ``offset`` positions later (same cyclic order).
+
+        >>> ascending(4).rotated(1).addresses
+        (1, 2, 3, 0)
+        """
+        offset %= len(self._addresses)
+        rotated = self._addresses[offset:] + self._addresses[:offset]
+        return Trajectory(rotated, name=f"{self._name}+{offset}")
+
+    def __repr__(self) -> str:
+        return f"Trajectory({self._name}, n={self.n})"
+
+
+def ascending(n: int) -> Trajectory:
+    """Increasing address order (the paper's deterministic ⇑ mode)."""
+    return Trajectory(range(n), name="ascending")
+
+
+def descending(n: int) -> Trajectory:
+    """Decreasing address order (the paper's deterministic ⇓ mode)."""
+    return Trajectory(range(n - 1, -1, -1), name="descending")
+
+
+def random_trajectory(n: int, seed: int = 0) -> Trajectory:
+    """Seeded random permutation (the paper's "random trajectory",
+    programmable externally -- the seed is the programming).
+
+    >>> random_trajectory(8, seed=1) == random_trajectory(8, seed=1)
+    True
+    """
+    rng = random.Random(seed)
+    addresses = list(range(n))
+    rng.shuffle(addresses)
+    return Trajectory(addresses, name=f"random(seed={seed})")

@@ -1,0 +1,123 @@
+"""Tests for complexity accounting and the comparison harness."""
+
+import pytest
+
+from repro.analysis import (
+    compare_tests,
+    dual_port_cycles,
+    march_operations,
+    march_runner,
+    pi_test_operations,
+    port_scheme_table,
+    quad_port_cycles,
+    schedule_runner,
+    single_port_cycles,
+)
+from repro.faults import single_cell_universe
+from repro.march.library import MARCH_C_MINUS, MATS
+from repro.memory import DualPortRAM, QuadPortRAM, SinglePortRAM
+from repro.prt import (
+    DualPortPiIteration,
+    PiIteration,
+    QuadPortPiIteration,
+    standard_schedule,
+)
+
+
+class TestAnalyticCounts:
+    def test_pi_test_3n(self):
+        assert pi_test_operations(1024) == 3 * 1024 + 4
+
+    def test_pi_test_validation(self):
+        with pytest.raises(ValueError):
+            pi_test_operations(2)
+
+    def test_dual_port_2n(self):
+        assert dual_port_cycles(1024) == 2 * 1024 + 2
+
+    def test_quad_port_n(self):
+        assert quad_port_cycles(1024) == 1024 + 2
+
+    def test_quad_port_validation(self):
+        with pytest.raises(ValueError):
+            quad_port_cycles(13)
+        with pytest.raises(ValueError):
+            dual_port_cycles(2)
+
+    def test_march_operations_bom(self):
+        assert march_operations(MARCH_C_MINUS, 512) == 10 * 512
+
+    def test_march_operations_wom_backgrounds(self):
+        # m=4 -> 3 backgrounds
+        assert march_operations(MATS, 128, m=4) == 4 * 128 * 3
+
+
+class TestAnalyticMatchesEngines:
+    """The analytic formulas must match what the engines actually do."""
+
+    def test_single_port(self):
+        n = 60
+        ram = SinglePortRAM(n)
+        PiIteration(seed=(0, 1)).run(ram)
+        assert ram.stats.cycles == single_port_cycles(n)
+
+    def test_dual_port(self):
+        n = 60
+        ram = DualPortRAM(n)
+        DualPortPiIteration(seed=(0, 1)).run(ram)
+        assert ram.stats.cycles == dual_port_cycles(n)
+
+    def test_quad_port(self):
+        n = 60
+        ram = QuadPortRAM(n)
+        QuadPortPiIteration(seed=(0, 1)).run(ram)
+        assert ram.stats.cycles == quad_port_cycles(n)
+
+
+class TestPortSchemeTable:
+    def test_speedups(self):
+        rows = port_scheme_table([256, 1024])
+        for row in rows:
+            assert 1.4 < row["speedup_2p"] < 1.6
+            assert 2.8 < row["speedup_4p"] < 3.2
+
+    def test_odd_n_skips_quad(self):
+        rows = port_scheme_table([15])
+        assert "quad_port" not in rows[0]
+
+    def test_speedups_approach_limits(self):
+        small = port_scheme_table([16])[0]
+        large = port_scheme_table([1 << 16])[0]
+        assert abs(large["speedup_2p"] - 1.5) < abs(small["speedup_2p"] - 1.5)
+        assert abs(large["speedup_4p"] - 3.0) < abs(small["speedup_4p"] - 3.0)
+
+
+class TestCompare:
+    def test_compare_march_vs_prt(self):
+        n = 14
+        universe = single_cell_universe(n, classes=("SAF", "TF"))
+        schedule = standard_schedule(n=n)
+        rows = compare_tests(
+            [
+                ("March C-", march_runner(MARCH_C_MINUS),
+                 march_operations(MARCH_C_MINUS, n)),
+                ("PRT-3", schedule_runner(schedule),
+                 schedule.operation_count(n)),
+            ],
+            universe, n,
+        )
+        by_name = {row.name: row for row in rows}
+        assert by_name["March C-"].coverage("SAF") == 1.0
+        assert by_name["PRT-3"].coverage("SAF") == 1.0
+        assert by_name["PRT-3"].coverage("TF") == 1.0
+        assert by_name["March C-"].ops_per_cell == 10.0
+
+    def test_row_overall(self):
+        n = 8
+        universe = single_cell_universe(n, classes=("SAF",))
+        rows = compare_tests(
+            [("MATS", march_runner(MATS), march_operations(MATS, n))],
+            universe, n,
+        )
+        assert rows[0].overall == 1.0
+        assert rows[0].operations == 4 * n

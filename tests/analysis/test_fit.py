@@ -1,0 +1,42 @@
+"""Tests for fitting the detection chain to empirical curves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DetectionMarkovChain, fit_detection_chain
+
+
+class TestFitDetectionChain:
+    def test_exact_geometric_recovered(self):
+        chain = DetectionMarkovChain(0.5)
+        fitted = fit_detection_chain(chain.detection_curve(6))
+        assert abs(fitted.p_detect - 0.5) < 1e-4
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_roundtrip_any_probability(self, p):
+        chain = DetectionMarkovChain(p)
+        fitted = fit_detection_chain(chain.detection_curve(8))
+        assert abs(fitted.p_detect - p) < 1e-3
+
+    def test_noisy_curve_close(self):
+        curve = [0.49, 0.74, 0.84, 0.915, 0.97, 0.975]  # the E6 data
+        fitted = fit_detection_chain(curve)
+        assert 0.4 < fitted.p_detect < 0.6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_detection_chain([])
+
+    def test_non_probability_rejected(self):
+        with pytest.raises(ValueError):
+            fit_detection_chain([0.5, 1.2])
+
+    def test_all_ones(self):
+        fitted = fit_detection_chain([1.0, 1.0, 1.0])
+        assert fitted.p_detect > 0.99
+
+    def test_all_zeros(self):
+        fitted = fit_detection_chain([0.0, 0.0, 0.0])
+        assert fitted.p_detect < 0.01

@@ -1,0 +1,190 @@
+"""Tests for coupling faults: CFin, CFid, CFst, intra-word."""
+
+import pytest
+
+from repro.faults import (
+    BitLocation,
+    FaultInjector,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.memory import SinglePortRAM
+
+
+def faulty_ram(fault, n=8, m=1):
+    ram = SinglePortRAM(n, m=m)
+    FaultInjector([fault]).install(ram)
+    return ram
+
+
+class TestInversionCoupling:
+    def test_rising_transition_inverts_victim(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=True))
+        ram.write(3, 1)
+        ram.write(1, 1)  # 0->1 on aggressor inverts victim
+        assert ram.read(3) == 0
+
+    def test_falling_transition_inverts_victim(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=False))
+        ram.write(1, 1)
+        ram.write(3, 1)
+        ram.write(1, 0)  # 1->0 fires
+        assert ram.read(3) == 0
+
+    def test_wrong_direction_no_effect(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=True))
+        ram.write(1, 1)
+        ram.write(3, 1)
+        ram.write(1, 0)  # falling, fault wants rising
+        assert ram.read(3) == 1
+
+    def test_no_transition_no_effect(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=True))
+        ram.write(3, 1)
+        ram.write(1, 0)  # 0->0: no transition
+        assert ram.read(3) == 1
+
+    def test_double_fire_restores(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=True))
+        ram.write(3, 1)
+        ram.write(1, 1)
+        ram.write(1, 0)
+        ram.write(1, 1)  # second rising inversion
+        assert ram.read(3) == 1
+
+    def test_victim_write_unaffected(self):
+        ram = faulty_ram(InversionCouplingFault(1, 3, rising=True))
+        ram.write(3, 1)
+        assert ram.read(3) == 1
+
+    def test_same_location_rejected(self):
+        with pytest.raises(ValueError):
+            InversionCouplingFault(2, 2, rising=True)
+
+    def test_metadata(self):
+        fault = InversionCouplingFault(1, 3, rising=True)
+        assert fault.fault_class == "CFin"
+        assert fault.cells() == (1, 3)
+        assert not fault.is_intra_word
+        assert fault.aggressor == BitLocation(1, 0)
+        assert fault.victim == BitLocation(3, 0)
+
+
+class TestIdempotentCoupling:
+    def test_forces_victim_value(self):
+        ram = faulty_ram(IdempotentCouplingFault(0, 2, rising=True, force_to=1))
+        ram.write(0, 1)
+        assert ram.read(2) == 1
+
+    def test_idempotent_repeat(self):
+        ram = faulty_ram(IdempotentCouplingFault(0, 2, rising=True, force_to=1))
+        ram.write(0, 1)
+        ram.write(0, 0)
+        ram.write(0, 1)  # fires again; victim already 1 -> stays 1
+        assert ram.read(2) == 1
+
+    def test_falling_variant(self):
+        ram = faulty_ram(IdempotentCouplingFault(0, 2, rising=False, force_to=0))
+        ram.write(2, 1)
+        ram.write(0, 1)
+        assert ram.read(2) == 1  # rising does not fire
+        ram.write(0, 0)
+        assert ram.read(2) == 0  # falling fires
+
+    def test_force_validation(self):
+        with pytest.raises(ValueError):
+            IdempotentCouplingFault(0, 1, rising=True, force_to=2)
+
+    def test_metadata(self):
+        fault = IdempotentCouplingFault(0, 2, rising=False, force_to=1)
+        assert fault.fault_class == "CFid"
+        assert "CFid-down->1" in fault.name
+
+
+class TestStateCoupling:
+    def test_victim_forced_while_state_holds(self):
+        ram = faulty_ram(StateCouplingFault(1, 3, aggressor_state=1, force_to=0))
+        ram.write(1, 1)
+        ram.write(3, 1)  # write happens, then settle forces victim back
+        assert ram.read(3) == 0
+
+    def test_victim_free_when_state_released(self):
+        ram = faulty_ram(StateCouplingFault(1, 3, aggressor_state=1, force_to=0))
+        ram.write(1, 0)
+        ram.write(3, 1)
+        assert ram.read(3) == 1
+
+    def test_state_zero_variant(self):
+        ram = faulty_ram(StateCouplingFault(1, 3, aggressor_state=0, force_to=1))
+        # aggressor starts 0: victim immediately forced at first settle
+        ram.write(3, 0)
+        assert ram.read(3) == 1
+
+    def test_enforced_when_aggressor_enters_state(self):
+        ram = faulty_ram(StateCouplingFault(1, 3, aggressor_state=1, force_to=0))
+        ram.write(3, 1)
+        assert ram.read(3) == 1
+        ram.write(1, 1)  # aggressor enters coupling state
+        assert ram.read(3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateCouplingFault(0, 1, aggressor_state=2, force_to=0)
+        with pytest.raises(ValueError):
+            StateCouplingFault(0, 1, aggressor_state=0, force_to=9)
+
+    def test_metadata(self):
+        fault = StateCouplingFault(1, 3, aggressor_state=1, force_to=0)
+        assert fault.fault_class == "CFst"
+        assert "CFst<1->0>" in fault.name
+
+
+class TestIntraWordCoupling:
+    """Aggressor and victim bits inside the same word (claim C7)."""
+
+    def test_cfin_within_word(self):
+        fault = InversionCouplingFault(
+            BitLocation(2, 0), BitLocation(2, 3), rising=True
+        )
+        ram = faulty_ram(fault, m=4)
+        assert fault.is_intra_word
+        ram.write(2, 0b1000)  # set victim bit 3
+        ram.write(2, 0b1001)  # aggressor bit 0 rises -> bit 3 inverted
+        assert ram.read(2) == 0b0001
+
+    def test_cfid_within_word(self):
+        fault = IdempotentCouplingFault(
+            BitLocation(1, 1), BitLocation(1, 2), rising=True, force_to=1
+        )
+        ram = faulty_ram(fault, m=4)
+        ram.write(1, 0b0010)  # bit 1 rises -> bit 2 forced to 1
+        assert ram.read(1) == 0b0110
+
+    def test_cfst_within_word(self):
+        fault = StateCouplingFault(
+            BitLocation(0, 0), BitLocation(0, 1), aggressor_state=1, force_to=0
+        )
+        ram = faulty_ram(fault, m=4)
+        ram.write(0, 0b0011)  # bit0=1 holds bit1 at 0
+        assert ram.read(0) == 0b0001
+
+    def test_simultaneous_transition_write(self):
+        # One word write moves aggressor and victim at once: the committed
+        # word is written first, then the coupling corrupts the victim.
+        fault = InversionCouplingFault(
+            BitLocation(0, 0), BitLocation(0, 1), rising=True
+        )
+        ram = faulty_ram(fault, m=2)
+        ram.write(0, 0b11)  # wants bits (1,1); aggressor rise flips victim
+        assert ram.read(0) == 0b01
+
+    def test_same_bit_rejected(self):
+        with pytest.raises(ValueError):
+            InversionCouplingFault(BitLocation(0, 1), BitLocation(0, 1), rising=True)
+
+    def test_cells_single_for_intra_word(self):
+        fault = InversionCouplingFault(
+            BitLocation(2, 0), BitLocation(2, 1), rising=True
+        )
+        assert fault.cells() == (2,)

@@ -1,0 +1,122 @@
+"""Tests for linked (masking) coupling faults."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    InversionCouplingFault,
+    LinkedFault,
+    linked_cfid_pair,
+    linked_cfin_pair,
+    linked_universe,
+)
+from repro.march import run_march
+from repro.march.library import MARCH_B
+from repro.memory import SinglePortRAM
+from repro.prt import extended_schedule, standard_schedule
+
+
+class TestLinkedFaultModel:
+    def test_needs_two_components(self):
+        with pytest.raises(ValueError):
+            LinkedFault([InversionCouplingFault(0, 1, rising=True)])
+
+    def test_distinct_cells_required(self):
+        with pytest.raises(ValueError):
+            linked_cfin_pair(1, 1, 3)
+        with pytest.raises(ValueError):
+            linked_cfid_pair(1, 3, 3)
+
+    def test_metadata(self):
+        fault = linked_cfin_pair(0, 4, 2)
+        assert fault.fault_class == "LF"
+        assert fault.cells() == (0, 2, 4)
+        assert "LF-CFin" in fault.name
+        assert len(fault.components) == 2
+
+    def test_masking_behaviour(self):
+        """Both aggressors firing the same direction flip the victim
+        twice: the stored value ends up correct (the mask)."""
+        fault = linked_cfin_pair(0, 4, 2, rising1=True, rising2=True)
+        ram = SinglePortRAM(8)
+        injector = FaultInjector([fault])
+        injector.install(ram)
+        ram.write(2, 1)  # victim
+        ram.write(0, 1)  # first inversion: victim -> 0
+        assert ram.read(2) == 0
+        ram.write(4, 1)  # second inversion: victim -> 1 (masked!)
+        assert ram.read(2) == 1
+        injector.remove(ram)
+
+    def test_cfid_pair_restores(self):
+        fault = linked_cfid_pair(0, 4, 2)  # force 1 then force 0
+        ram = SinglePortRAM(8)
+        injector = FaultInjector([fault])
+        injector.install(ram)
+        ram.write(0, 1)  # victim forced to 1
+        assert ram.read(2) == 1
+        ram.write(4, 1)  # victim forced back to 0
+        assert ram.read(2) == 0
+        injector.remove(ram)
+
+    def test_reset_propagates(self):
+        fault = linked_cfin_pair(0, 4, 2)
+        fault.reset()  # must not raise
+
+    def test_decoder_overrides_merge(self):
+        from repro.faults import af_no_access
+
+        composite = LinkedFault([af_no_access(1), af_no_access(2)])
+        assert composite.decoder_overrides() == {1: (), 2: ()}
+
+
+class TestLinkedUniverse:
+    def test_counts(self):
+        # per victim: 4 direction combos x 2 kinds = 8
+        assert len(linked_universe(8, max_victims=2)) == 16
+
+    def test_class_tag(self):
+        assert linked_universe(8).classes() == ["LF"]
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            linked_universe(2)
+
+    def test_deterministic(self):
+        a = linked_universe(20, max_victims=4, seed=1)
+        b = linked_universe(20, max_victims=4, seed=1)
+        assert [f.name for f in a] == [f.name for f in b]
+
+
+class TestLinkedCoverage:
+    """Measured on this simulator: March B and the 5-iteration PRT cover
+    the flanking-aggressor linked universe completely; the 3-iteration
+    PRT leaves a gap (consistent with its CFid analysis in E3)."""
+
+    def coverage(self, runner, n=14):
+        universe = linked_universe(n, max_victims=n)
+        detected = 0
+        for fault in universe:
+            ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            if runner(ram):
+                detected += 1
+            injector.remove(ram)
+        return detected, len(universe)
+
+    def test_march_b_full(self):
+        detected, total = self.coverage(
+            lambda ram: not run_march(MARCH_B, ram).passed
+        )
+        assert detected == total
+
+    def test_prt5_full(self):
+        schedule = extended_schedule(n=14)
+        detected, total = self.coverage(lambda ram: schedule.run(ram).detected)
+        assert detected == total
+
+    def test_prt3_partial(self):
+        schedule = standard_schedule(n=14)
+        detected, total = self.coverage(lambda ram: schedule.run(ram).detected)
+        assert 0 < detected < total

@@ -1,0 +1,227 @@
+"""Tests for single-cell fault models: SAF, TF, SOF, DRF."""
+
+import pytest
+
+from repro.faults import (
+    DataRetentionFault,
+    FaultInjector,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+)
+from repro.memory import SinglePortRAM
+
+
+def faulty_ram(fault, n=8, m=1):
+    ram = SinglePortRAM(n, m=m)
+    injector = FaultInjector([fault])
+    injector.install(ram)
+    return ram
+
+
+class TestStuckAt:
+    def test_sa0_write_lost(self):
+        ram = faulty_ram(StuckAtFault(3, 0))
+        ram.write(3, 1)
+        assert ram.read(3) == 0
+
+    def test_sa1_reads_one(self):
+        ram = faulty_ram(StuckAtFault(3, 1))
+        assert ram.read(3) == 1
+        ram.write(3, 0)
+        assert ram.read(3) == 1
+
+    def test_other_cells_healthy(self):
+        ram = faulty_ram(StuckAtFault(3, 0))
+        ram.write(2, 1)
+        assert ram.read(2) == 1
+
+    def test_word_bit_stuck(self):
+        ram = faulty_ram(StuckAtFault(2, 0, bit=1), m=4)
+        ram.write(2, 0b1111)
+        assert ram.read(2) == 0b1101
+
+    def test_word_other_bits_work(self):
+        ram = faulty_ram(StuckAtFault(2, 1, bit=3), m=4)
+        ram.write(2, 0b0000)
+        assert ram.read(2) == 0b1000
+        ram.write(2, 0b0101)
+        assert ram.read(2) == 0b1101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 2)
+        with pytest.raises(ValueError):
+            StuckAtFault(-1, 0)
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 0, bit=-1)
+
+    def test_metadata(self):
+        fault = StuckAtFault(5, 1, bit=2)
+        assert fault.fault_class == "SAF"
+        assert fault.cells() == (5,)
+        assert fault.stuck_value == 1
+        assert "SA1" in fault.name
+
+    def test_settle_repins_after_coupling_write(self):
+        # Direct array writes (as coupling faults do) get re-pinned at settle.
+        ram = faulty_ram(StuckAtFault(3, 0))
+        ram.array.write(3, 1)
+        ram.read(0)  # any cycle triggers settle
+        assert ram.array.read(3) == 0
+
+
+class TestTransition:
+    def test_tf_up_blocks_rise(self):
+        ram = faulty_ram(TransitionFault(3, rising=True))
+        ram.write(3, 1)
+        assert ram.read(3) == 0
+
+    def test_tf_up_allows_fall(self):
+        ram = faulty_ram(TransitionFault(3, rising=True))
+        ram.array.write(3, 1)  # arrange state 1 directly
+        ram.write(3, 0)
+        assert ram.read(3) == 0
+
+    def test_tf_down_blocks_fall(self):
+        ram = faulty_ram(TransitionFault(3, rising=False))
+        ram.array.write(3, 1)
+        ram.write(3, 0)
+        assert ram.read(3) == 1
+
+    def test_tf_down_allows_rise(self):
+        ram = faulty_ram(TransitionFault(3, rising=False))
+        ram.write(3, 1)
+        assert ram.read(3) == 1
+
+    def test_same_value_write_unaffected(self):
+        ram = faulty_ram(TransitionFault(3, rising=True))
+        ram.write(3, 0)
+        assert ram.read(3) == 0
+
+    def test_word_bit(self):
+        ram = faulty_ram(TransitionFault(1, rising=True, bit=2), m=4)
+        ram.write(1, 0b0100)
+        assert ram.read(1) == 0
+        ram.write(1, 0b1011)
+        assert ram.read(1) == 0b1011
+
+    def test_metadata(self):
+        fault = TransitionFault(2, rising=False, bit=1)
+        assert fault.fault_class == "TF"
+        assert not fault.rising
+        assert "TF-down" in fault.name
+        assert fault.cells() == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitionFault(-1, rising=True)
+
+
+class TestStuckOpen:
+    def test_read_returns_previous_sense(self):
+        ram = faulty_ram(StuckOpenFault(3))
+        ram.write(2, 1)
+        ram.read(2)  # sense latch <- 1
+        assert ram.read(3) == 1  # open cell: stale sense value
+
+    def test_initial_sense(self):
+        ram = faulty_ram(StuckOpenFault(3, initial_sense=1))
+        assert ram.read(3) == 1
+
+    def test_write_lost(self):
+        ram = faulty_ram(StuckOpenFault(3))
+        ram.write(3, 1)
+        assert ram.array.read(3) == 0
+
+    def test_double_read_signature(self):
+        """The classic SOF symptom: two reads of different cells then the
+        open cell mirrors the last good read."""
+        ram = faulty_ram(StuckOpenFault(5))
+        ram.write(0, 1)
+        ram.write(1, 0)
+        ram.read(0)
+        assert ram.read(5) == 1
+        ram.read(1)
+        assert ram.read(5) == 0
+
+    def test_reset_restores_latch(self):
+        fault = StuckOpenFault(3)
+        ram = faulty_ram(fault)
+        ram.write(0, 1)
+        ram.read(0)
+        assert ram.read(3) == 1
+        fault.reset()
+        assert ram.read(3) == 0
+
+    def test_metadata(self):
+        fault = StuckOpenFault(4)
+        assert fault.fault_class == "SOF"
+        assert fault.cells() == (4,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckOpenFault(-2)
+        with pytest.raises(ValueError):
+            StuckOpenFault(0, initial_sense=-1)
+
+
+class TestDataRetention:
+    def test_decays_after_idle(self):
+        ram = faulty_ram(DataRetentionFault(3, retention=5))
+        ram.write(3, 1)
+        for _ in range(10):  # 10 idle cycles elsewhere
+            ram.read(0)
+        assert ram.read(3) == 0
+
+    def test_survives_within_retention(self):
+        ram = faulty_ram(DataRetentionFault(3, retention=100))
+        ram.write(3, 1)
+        for _ in range(10):
+            ram.read(0)
+        assert ram.read(3) == 1
+
+    def test_access_refreshes(self):
+        ram = faulty_ram(DataRetentionFault(3, retention=6))
+        ram.write(3, 1)
+        for _ in range(20):
+            assert ram.read(3) == 1  # each read refreshes
+
+    def test_decay_is_destructive(self):
+        ram = faulty_ram(DataRetentionFault(3, retention=2))
+        ram.write(3, 1)
+        for _ in range(5):
+            ram.read(0)
+        ram.read(3)  # triggers decay
+        assert ram.array.read(3) == 0
+
+    def test_decay_to_custom_value(self):
+        ram = faulty_ram(DataRetentionFault(3, retention=2, decay_to=1))
+        ram.write(3, 0)
+        for _ in range(5):
+            ram.read(0)
+        assert ram.read(3) == 1
+
+    def test_reset_clears_timer(self):
+        fault = DataRetentionFault(3, retention=2)
+        ram = faulty_ram(fault)
+        ram.write(3, 1)
+        fault.reset()
+        for _ in range(10):
+            ram.read(0)
+        # With no recorded access the cell never decays.
+        assert ram.read(3) == 1
+
+    def test_metadata(self):
+        fault = DataRetentionFault(2, retention=64)
+        assert fault.fault_class == "DRF"
+        assert fault.retention == 64
+        assert fault.cells() == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, retention=0)
+        with pytest.raises(ValueError):
+            DataRetentionFault(-1, retention=5)
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, retention=5, decay_to=-1)

@@ -1,0 +1,203 @@
+"""Tests for bridging, decoder and NPSF faults, and the injector."""
+
+import pytest
+
+from repro.faults import (
+    BridgingFault,
+    FaultInjector,
+    StaticNPSF,
+    StuckAtFault,
+    af_multi_access,
+    af_no_access,
+    af_shared_cell,
+    af_unreached_cell,
+)
+from repro.memory import SinglePortRAM
+
+
+def faulty_ram(fault, n=8, m=1, **kwargs):
+    ram = SinglePortRAM(n, m=m, **kwargs)
+    injector = FaultInjector([fault])
+    injector.install(ram)
+    return ram
+
+
+class TestBridging:
+    def test_and_bridge_pulls_down(self):
+        ram = faulty_ram(BridgingFault(2, 3, kind="and"))
+        ram.write(2, 1)
+        assert ram.read(2) == 0  # bridged with cell 3 (0): AND -> 0
+
+    def test_and_bridge_both_ones(self):
+        ram = faulty_ram(BridgingFault(2, 3, kind="and"))
+        ram.write(3, 1)  # first write: AND(0,1) pulls both to 0... must order
+        ram.write(2, 1)
+        # After writing both cells the bridge resolves each write against
+        # the other cell's (already merged) value: final state is 0.
+        assert ram.read(2) == 0
+
+    def test_or_bridge_pulls_up(self):
+        ram = faulty_ram(BridgingFault(2, 3, kind="or"))
+        ram.write(2, 1)
+        assert ram.read(3) == 1
+
+    def test_wordwise_bridge(self):
+        ram = faulty_ram(BridgingFault(0, 1, kind="and"), m=4)
+        ram.array.load([0b1100, 0b1010] + [0] * 6)
+        ram.read(0)  # settle merges
+        assert ram.array.read(0) == 0b1000
+        assert ram.array.read(1) == 0b1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BridgingFault(1, 1)
+        with pytest.raises(ValueError):
+            BridgingFault(0, 1, kind="xor")
+        with pytest.raises(ValueError):
+            BridgingFault(-1, 0)
+
+    def test_metadata(self):
+        fault = BridgingFault(5, 2, kind="or")
+        assert fault.fault_class == "BF"
+        assert fault.cells() == (2, 5)  # sorted
+        assert fault.kind == "or"
+
+
+class TestDecoderFaults:
+    def test_af_a_write_lost(self):
+        ram = faulty_ram(af_no_access(3))
+        ram.write(3, 1)
+        assert ram.array.read(3) == 0
+
+    def test_af_b_cell_unreachable(self):
+        ram = faulty_ram(af_unreached_cell(2, 5))
+        ram.write(2, 1)  # goes to cell 5 instead
+        assert ram.array.read(2) == 0
+        assert ram.array.read(5) == 1
+
+    def test_af_c_multi_write(self):
+        ram = faulty_ram(af_multi_access(1, (4,)))
+        ram.write(1, 1)
+        assert ram.array.read(1) == 1
+        assert ram.array.read(4) == 1
+
+    def test_af_d_two_addresses_one_cell(self):
+        ram = faulty_ram(af_shared_cell(0, 1))
+        ram.write(1, 1)
+        assert ram.array.read(0) == 1
+        assert ram.array.read(1) == 0
+
+    def test_remove_restores_decoder(self):
+        ram = SinglePortRAM(8)
+        injector = FaultInjector([af_no_access(3)])
+        injector.install(ram)
+        assert not ram.decoder.is_healthy
+        injector.remove(ram)
+        assert ram.decoder.is_healthy
+        ram.write(3, 1)
+        assert ram.read(3) == 1
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            af_unreached_cell(2, 2)
+        with pytest.raises(ValueError):
+            af_multi_access(1, ())
+        with pytest.raises(ValueError):
+            af_multi_access(1, (1,))
+        with pytest.raises(ValueError):
+            af_shared_cell(3, 3)
+
+    def test_metadata(self):
+        fault = af_multi_access(1, (4,))
+        assert fault.fault_class == "AF"
+        assert fault.subtype == "AF-C"
+        assert set(fault.cells()) == {1, 4}
+
+
+class TestNPSF:
+    def test_pattern_forces_victim(self):
+        fault = StaticNPSF(victim=2, neighbors=(1, 3), pattern=(1, 1), force_to=0)
+        ram = faulty_ram(fault)
+        ram.write(2, 1)
+        ram.write(1, 1)
+        ram.write(3, 1)  # pattern complete -> victim forced
+        assert ram.read(2) == 0
+
+    def test_partial_pattern_no_effect(self):
+        fault = StaticNPSF(victim=2, neighbors=(1, 3), pattern=(1, 1), force_to=0)
+        ram = faulty_ram(fault)
+        ram.write(2, 1)
+        ram.write(1, 1)
+        assert ram.read(2) == 1
+
+    def test_victim_write_while_active_is_overridden(self):
+        fault = StaticNPSF(victim=2, neighbors=(1,), pattern=(1,), force_to=0)
+        ram = faulty_ram(fault)
+        ram.write(1, 1)
+        ram.write(2, 1)
+        assert ram.read(2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticNPSF(victim=2, neighbors=(), pattern=(), force_to=0)
+        with pytest.raises(ValueError):
+            StaticNPSF(victim=2, neighbors=(1,), pattern=(1, 0), force_to=0)
+        with pytest.raises(ValueError):
+            StaticNPSF(victim=2, neighbors=(2,), pattern=(1,), force_to=0)
+        with pytest.raises(ValueError):
+            StaticNPSF(victim=2, neighbors=(1, 1), pattern=(0, 0), force_to=0)
+
+    def test_metadata(self):
+        fault = StaticNPSF(victim=2, neighbors=(1, 3), pattern=(1, 0), force_to=1)
+        assert fault.fault_class == "NPSF"
+        assert fault.cells() == (2, 1, 3)
+
+
+class TestInjector:
+    def test_multiple_faults(self):
+        ram = SinglePortRAM(8)
+        injector = FaultInjector([StuckAtFault(0, 1), StuckAtFault(1, 0)])
+        injector.install(ram)
+        ram.write(1, 1)
+        assert ram.read(0) == 1
+        assert ram.read(1) == 0
+
+    def test_add_before_install(self):
+        injector = FaultInjector()
+        injector.add(StuckAtFault(2, 1))
+        assert len(injector) == 1
+        ram = SinglePortRAM(4)
+        injector.install(ram)
+        assert ram.read(2) == 1
+
+    def test_faults_tuple(self):
+        fault = StuckAtFault(0, 1)
+        injector = FaultInjector([fault])
+        assert injector.faults == (fault,)
+
+    def test_repr_lists_classes(self):
+        injector = FaultInjector([StuckAtFault(0, 1), BridgingFault(0, 1)])
+        assert "SAF" in repr(injector)
+        assert "BF" in repr(injector)
+
+    def test_install_resets_fault_state(self):
+        from repro.faults import StuckOpenFault
+
+        fault = StuckOpenFault(3)
+        ram1 = SinglePortRAM(8)
+        injector = FaultInjector([fault])
+        injector.install(ram1)
+        ram1.write(0, 1)
+        ram1.read(0)  # latch = 1
+        injector.remove(ram1)
+        ram2 = SinglePortRAM(8)
+        injector.install(ram2)  # reset: latch back to 0
+        assert ram2.read(3) == 0
+
+    def test_works_with_multiport(self):
+        from repro.memory import DualPortRAM, PortOp
+
+        ram = DualPortRAM(8)
+        FaultInjector([StuckAtFault(3, 1)]).install(ram)
+        results = ram.cycle([PortOp(0, "r", 3)])
+        assert results[0] == 1

@@ -1,0 +1,119 @@
+"""Tests for polynomial factorization over GF(2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import (
+    distinct_degree_factorization,
+    equal_degree_factorization,
+    factorize,
+    is_irreducible,
+    poly_mul,
+    squarefree_part,
+)
+from repro.gf2.factor import squarefree_decomposition
+
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 16) - 1)
+
+
+def rebuild(factors: dict[int, int]) -> int:
+    product = 1
+    for f, mult in factors.items():
+        for _ in range(mult):
+            product = poly_mul(product, f)
+    return product
+
+
+class TestSquarefree:
+    def test_square_stripped(self):
+        assert squarefree_part(poly_mul(0b111, 0b111)) == 0b111
+
+    def test_already_squarefree(self):
+        f = poly_mul(0b11, 0b111)
+        assert squarefree_part(f) == f
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            squarefree_part(0)
+
+    def test_decomposition_multiplicities(self):
+        # (x+1)^3 * (x^2+x+1)
+        f = poly_mul(poly_mul(poly_mul(0b11, 0b11), 0b11), 0b111)
+        decomp = dict((e, g) for g, e in squarefree_decomposition(f))
+        assert decomp[3] == 0b11
+        assert decomp[1] == 0b111
+
+    def test_fourth_power(self):
+        f = 0b11
+        for _ in range(3):
+            f = poly_mul(f, 0b11)
+        decomp = squarefree_decomposition(f)
+        assert decomp == [(0b11, 4)]
+
+
+class TestDistinctDegree:
+    def test_mixed_degrees(self):
+        f = poly_mul(0b11, 0b111)  # deg1 * deg2
+        assert distinct_degree_factorization(f) == [(0b11, 1), (0b111, 2)]
+
+    def test_single_irreducible(self):
+        assert distinct_degree_factorization(0b10011) == [(0b10011, 4)]
+
+    def test_two_same_degree(self):
+        f = poly_mul(0b1011, 0b1101)
+        assert distinct_degree_factorization(f) == [(f, 3)]
+
+
+class TestEqualDegree:
+    def test_splits_pair(self):
+        f = poly_mul(0b1011, 0b1101)
+        assert sorted(equal_degree_factorization(f, 3)) == [0b1011, 0b1101]
+
+    def test_single_factor_fast_path(self):
+        assert equal_degree_factorization(0b10011, 4) == [0b10011]
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ValueError):
+            equal_degree_factorization(0b10011, 3)
+
+    def test_three_way_split(self):
+        # all three irreducible quadratics... there is only one; use cubics
+        f = poly_mul(poly_mul(0b1011, 0b1101), 1)
+        parts = equal_degree_factorization(f, 3)
+        assert sorted(parts) == [0b1011, 0b1101]
+
+
+class TestFactorize:
+    def test_paper_style_example(self):
+        f = poly_mul(poly_mul(0b10, 0b11), 0b111)  # x(x+1)(x^2+x+1)
+        assert factorize(f) == {0b10: 1, 0b11: 1, 0b111: 1}
+
+    def test_with_multiplicity(self):
+        f = poly_mul(poly_mul(0b11, 0b11), 0b10011)
+        assert factorize(f) == {0b11: 2, 0b10011: 1}
+
+    def test_irreducible_is_its_own_factorization(self):
+        assert factorize(0b10011) == {0b10011: 1}
+
+    def test_one(self):
+        assert factorize(1) == {}
+
+    def test_pure_x_power(self):
+        assert factorize(0b1000) == {0b10: 3}
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @settings(max_examples=50)
+    @given(nonzero_polys)
+    def test_factorization_rebuilds_input(self, f):
+        factors = factorize(f)
+        assert rebuild(factors) == f
+
+    @settings(max_examples=50)
+    @given(nonzero_polys)
+    def test_all_factors_irreducible(self, f):
+        for factor in factorize(f):
+            assert is_irreducible(factor)

@@ -1,0 +1,75 @@
+"""Tests for integer factorization utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import divisors, factorize_int
+from repro.gf2.intfactor import is_prime
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 91, 2047):
+            assert not is_prime(n)
+
+    def test_mersenne(self):
+        assert is_prime(2**13 - 1)
+        assert is_prime(2**31 - 1)
+        assert not is_prime(2**11 - 1)
+        assert not is_prime(2**23 - 1)
+
+    def test_carmichael(self):
+        assert not is_prime(561)
+        assert not is_prime(41041)
+
+
+class TestFactorizeInt:
+    def test_known(self):
+        assert factorize_int(2**4 - 1) == {3: 1, 5: 1}
+        assert factorize_int(2**8 - 1) == {3: 1, 5: 1, 17: 1}
+        assert factorize_int(360) == {2: 3, 3: 2, 5: 1}
+
+    def test_one(self):
+        assert factorize_int(1) == {}
+
+    def test_prime(self):
+        assert factorize_int(8191) == {8191: 1}
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            factorize_int(0)
+
+    def test_large_mersenne_composite(self):
+        # 2^29 - 1 = 233 * 1103 * 2089
+        assert factorize_int(2**29 - 1) == {233: 1, 1103: 1, 2089: 1}
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_product_reconstructs(self, n):
+        product = 1
+        for p, k in factorize_int(n).items():
+            assert is_prime(p)
+            product *= p**k
+        assert product == n
+
+
+class TestDivisors:
+    def test_known(self):
+        assert divisors(15) == [1, 3, 5, 15]
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    @given(st.integers(min_value=1, max_value=10**4))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        # divisor count from factorization
+        expected = math.prod(k + 1 for k in factorize_int(n).values())
+        assert len(ds) == expected

@@ -1,0 +1,112 @@
+"""Tests for irreducibility, primitivity and order computations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import (
+    find_irreducible,
+    find_primitive,
+    is_irreducible,
+    is_primitive,
+    iter_irreducible,
+    iter_primitive,
+    order_of_x,
+    poly_from_string,
+    poly_mul,
+)
+
+
+class TestIsIrreducible:
+    def test_paper_modulus_is_irreducible(self):
+        assert is_irreducible(poly_from_string("1+z+z^4"))
+
+    def test_known_reducible(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2
+        assert not is_irreducible(0b10101)
+
+    def test_product_is_reducible(self):
+        assert not is_irreducible(poly_mul(0b111, 0b1011))
+
+    def test_degree_one(self):
+        assert is_irreducible(0b11)  # x + 1
+        assert is_irreducible(0b10)  # x
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_even_polynomial_reducible(self):
+        assert not is_irreducible(0b10010)  # divisible by x
+
+    def test_counts_by_degree(self):
+        # Number of irreducible polynomials of degree m over GF(2):
+        # (1/m) * sum_{d|m} mu(m/d) 2^d -> 1,2,3 for m=2,3,4 (excluding x for m=1)
+        assert len(list(iter_irreducible(2))) == 1
+        assert len(list(iter_irreducible(3))) == 2
+        assert len(list(iter_irreducible(4))) == 3
+        assert len(list(iter_irreducible(5))) == 6
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_products_never_irreducible(self, m):
+        f = find_irreducible(m)
+        assert not is_irreducible(poly_mul(f, 0b11))
+
+
+class TestOrderOfX:
+    def test_primitive_degree_4(self):
+        assert order_of_x(0b10011) == 15
+
+    def test_non_primitive_degree_4(self):
+        # x^4+x^3+x^2+x+1 divides x^5 - 1: order 5
+        assert order_of_x(0b11111) == 5
+
+    def test_degree_one(self):
+        assert order_of_x(0b11) == 1  # x = 1 mod (x+1)
+
+    def test_rejects_reducible(self):
+        with pytest.raises(ValueError):
+            order_of_x(0b10101)
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_order_divides_group_size(self, m):
+        for f in iter_irreducible(m):
+            assert ((1 << m) - 1) % order_of_x(f) == 0
+
+
+class TestIsPrimitive:
+    def test_paper_modulus_primitive(self):
+        assert is_primitive(poly_from_string("1+z+z^4"))
+
+    def test_irreducible_non_primitive(self):
+        assert is_irreducible(0b11111)
+        assert not is_primitive(0b11111)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(0b10101)
+
+    def test_counts_by_degree(self):
+        # phi(2^m - 1)/m primitive polynomials of degree m: 2 for m=3, 2 for m=4, 6 for m=5
+        assert len(list(iter_primitive(3))) == 2
+        assert len(list(iter_primitive(4))) == 2
+        assert len(list(iter_primitive(5))) == 6
+
+    def test_mersenne_prime_degree_all_primitive(self):
+        # 2^5 - 1 = 31 is prime, so every irreducible of degree 5 is primitive
+        assert list(iter_irreducible(5)) == list(iter_primitive(5))
+
+
+class TestSearch:
+    def test_find_irreducible_smallest(self):
+        assert find_irreducible(4) == 0b10011
+
+    def test_find_primitive_smallest(self):
+        assert find_primitive(4) == 0b10011
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_found_primitive_is_primitive(self, m):
+        assert is_primitive(find_primitive(m))
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            next(iter_irreducible(0))

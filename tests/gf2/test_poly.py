@@ -1,0 +1,282 @@
+"""Unit and property tests for repro.gf2.poly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import (
+    PolyParseError,
+    degree,
+    poly_add,
+    poly_derivative,
+    poly_divmod,
+    poly_egcd,
+    poly_eval,
+    poly_from_coeffs,
+    poly_from_exponents,
+    poly_from_string,
+    poly_gcd,
+    poly_mod,
+    poly_modexp,
+    poly_modinv,
+    poly_modmul,
+    poly_mul,
+    poly_sub,
+    poly_to_coeffs,
+    poly_to_exponents,
+    poly_to_string,
+    poly_weight,
+    reciprocal,
+)
+
+polys = st.integers(min_value=0, max_value=(1 << 24) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 24) - 1)
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert degree(0) == -1
+
+    def test_constant(self):
+        assert degree(1) == 0
+
+    def test_paper_modulus(self):
+        assert degree(poly_from_string("1+z+z^4")) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            degree(-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            degree("x^2")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            degree(True)
+
+
+class TestAddSub:
+    def test_add_is_xor(self):
+        assert poly_add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_equals_add(self):
+        assert poly_sub(0b1010, 0b0110) == poly_add(0b1010, 0b0110)
+
+    @given(polys, polys)
+    def test_add_commutative(self, a, b):
+        assert poly_add(a, b) == poly_add(b, a)
+
+    @given(polys)
+    def test_add_self_inverse(self, a):
+        assert poly_add(a, a) == 0
+
+
+class TestMul:
+    def test_times_zero(self):
+        assert poly_mul(0b1011, 0) == 0
+
+    def test_times_one(self):
+        assert poly_mul(0b1011, 1) == 0b1011
+
+    def test_times_x_is_shift(self):
+        assert poly_mul(0b1011, 0b10) == 0b10110
+
+    def test_freshmans_dream(self):
+        # (x+1)^2 = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    @given(polys, polys)
+    def test_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @given(polys, polys, polys)
+    def test_distributive(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @given(nonzero_polys, nonzero_polys)
+    def test_degree_adds(self, a, b):
+        assert degree(poly_mul(a, b)) == degree(a) + degree(b)
+
+
+class TestDivMod:
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(0b101, 0)
+
+    def test_exact_division(self):
+        product = poly_mul(0b111, 0b1011)
+        q, r = poly_divmod(product, 0b111)
+        assert (q, r) == (0b1011, 0)
+
+    @given(polys, nonzero_polys)
+    def test_divmod_identity(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert poly_mul(q, b) ^ r == a
+        assert degree(r) < degree(b)
+
+    def test_mod_smaller_is_identity(self):
+        assert poly_mod(0b11, 0b10011) == 0b11
+
+
+class TestGcd:
+    def test_gcd_with_zero(self):
+        assert poly_gcd(0b1011, 0) == 0b1011
+
+    def test_common_factor(self):
+        a = poly_mul(0b111, 0b10)
+        b = poly_mul(0b111, 0b11)
+        assert poly_gcd(a, b) == 0b111
+
+    @given(polys, polys)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        if g:
+            assert poly_mod(a, g) == 0
+            assert poly_mod(b, g) == 0
+
+    @given(nonzero_polys, nonzero_polys)
+    def test_egcd_bezout(self, a, b):
+        g, s, t = poly_egcd(a, b)
+        assert poly_mul(s, a) ^ poly_mul(t, b) == g
+        assert g == poly_gcd(a, b)
+
+
+class TestModularArithmetic:
+    MOD = 0b10011  # x^4 + x + 1, primitive
+
+    def test_modexp_x4(self):
+        # x^4 = x + 1 mod (x^4+x+1)
+        assert poly_modexp(0b10, 4, self.MOD) == 0b11
+
+    def test_modexp_full_cycle(self):
+        # order of x is 15 for a degree-4 primitive polynomial
+        assert poly_modexp(0b10, 15, self.MOD) == 1
+
+    def test_modexp_zero_exponent(self):
+        assert poly_modexp(0b1101, 0, self.MOD) == 1
+
+    def test_modexp_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            poly_modexp(0b10, -1, self.MOD)
+
+    @given(st.integers(min_value=1, max_value=15))
+    def test_modinv(self, a):
+        inv = poly_modinv(a, self.MOD)
+        assert poly_modmul(a, inv, self.MOD) == 1
+
+    def test_modinv_zero_fails(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_modinv(0, self.MOD)
+
+    def test_modinv_shared_factor_fails(self):
+        # x is not invertible modulo x^2 (shares the factor x)
+        with pytest.raises(ZeroDivisionError):
+            poly_modinv(0b10, 0b100)
+
+
+class TestDerivativeEval:
+    def test_derivative_paper_modulus(self):
+        # d/dz (1 + z + z^4) = 1 over GF(2)
+        assert poly_derivative(poly_from_string("1+z+z^4")) == 1
+
+    def test_derivative_of_square_is_zero(self):
+        assert poly_derivative(poly_mul(0b111, 0b111)) == 0
+
+    @given(polys, polys)
+    def test_derivative_is_linear(self, a, b):
+        assert poly_derivative(a ^ b) == poly_derivative(a) ^ poly_derivative(b)
+
+    def test_eval_at_zero_is_constant_term(self):
+        assert poly_eval(0b1011, 0) == 1
+        assert poly_eval(0b1010, 0) == 0
+
+    def test_eval_at_one_is_parity(self):
+        assert poly_eval(0b10011, 1) == 1  # weight 3
+        assert poly_eval(0b1001, 1) == 0  # weight 2
+
+    def test_eval_rejects_non_gf2_point(self):
+        with pytest.raises(ValueError):
+            poly_eval(0b101, 2)
+
+
+class TestConversions:
+    def test_coeffs_roundtrip(self):
+        coeffs = [1, 1, 0, 0, 1]
+        assert poly_to_coeffs(poly_from_coeffs(coeffs)) == coeffs
+
+    def test_coeffs_zero(self):
+        assert poly_to_coeffs(0) == [0]
+
+    def test_coeffs_reject_non_binary(self):
+        with pytest.raises(ValueError):
+            poly_from_coeffs([1, 2])
+
+    def test_exponents_roundtrip(self):
+        assert poly_from_exponents([4, 1, 0]) == 0b10011
+        assert poly_to_exponents(0b10011) == [4, 1, 0]
+
+    def test_exponents_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            poly_from_exponents([1, 1])
+
+    def test_exponents_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poly_from_exponents([-1])
+
+    @given(polys)
+    def test_coeffs_roundtrip_property(self, p):
+        assert poly_from_coeffs(poly_to_coeffs(p)) == p
+
+
+class TestStringFormat:
+    def test_parse_paper_p(self):
+        assert poly_from_string("1 + z + z^4") == 0b10011
+
+    def test_parse_compact(self):
+        assert poly_from_string("x^4+x+1") == 0b10011
+
+    def test_parse_cancellation(self):
+        assert poly_from_string("x^2 + x^2") == 0
+
+    def test_parse_bare_variable(self):
+        assert poly_from_string("x") == 0b10
+
+    def test_parse_mixed_variables_rejected(self):
+        with pytest.raises(PolyParseError):
+            poly_from_string("x + z^2")
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(PolyParseError):
+            poly_from_string("  ")
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(PolyParseError):
+            poly_from_string("x^")
+
+    def test_format_zero(self):
+        assert poly_to_string(0) == "0"
+
+    def test_format_with_variable(self):
+        assert poly_to_string(0b10011, variable="z") == "z^4 + z + 1"
+
+    @given(polys)
+    def test_string_roundtrip(self, p):
+        assert poly_from_string(poly_to_string(p)) == p or p == 0
+
+
+class TestReciprocal:
+    def test_paper_polynomial(self):
+        assert reciprocal(0b10011) == 0b11001  # x^4+x+1 -> x^4+x^3+1
+
+    def test_zero(self):
+        assert reciprocal(0) == 0
+
+    @given(st.integers(min_value=1, max_value=(1 << 20) - 1).filter(lambda p: p & 1))
+    def test_involution_for_odd_constant_term(self, p):
+        # reciprocal is an involution when the constant term is non-zero
+        assert reciprocal(reciprocal(p)) == p
+
+    @given(nonzero_polys)
+    def test_weight_preserved(self, p):
+        assert poly_weight(reciprocal(p)) == poly_weight(p)

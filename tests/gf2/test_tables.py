@@ -1,0 +1,30 @@
+"""Every tabulated polynomial must actually be primitive."""
+
+import pytest
+
+from repro.gf2 import PRIMITIVE_POLYNOMIALS, degree, is_primitive, primitive_polynomial
+
+
+class TestTable:
+    def test_covers_degrees_1_to_32(self):
+        assert sorted(PRIMITIVE_POLYNOMIALS) == list(range(1, 33))
+
+    def test_degrees_match_keys(self):
+        for m, f in PRIMITIVE_POLYNOMIALS.items():
+            assert degree(f) == m
+
+    @pytest.mark.parametrize("m", range(1, 17))
+    def test_primitive_small_degrees(self, m):
+        # Full primitivity check is cheap up to degree 16.
+        assert is_primitive(PRIMITIVE_POLYNOMIALS[m])
+
+    @pytest.mark.parametrize("m", (17, 20, 24, 32))
+    def test_primitive_larger_degrees(self, m):
+        assert is_primitive(PRIMITIVE_POLYNOMIALS[m])
+
+    def test_paper_modulus_is_the_degree_4_entry(self):
+        assert primitive_polynomial(4) == 0b10011  # 1 + z + z^4
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(ValueError):
+            primitive_polynomial(33)

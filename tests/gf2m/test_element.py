@@ -1,0 +1,124 @@
+"""Tests for the FieldElement wrapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import FieldElement, GF2m
+
+F = GF2m(poly_from_string("1+z+z^4"))
+F8 = GF2m(primitive_polynomial(3))
+
+elements = st.integers(min_value=0, max_value=15)
+nonzero = st.integers(min_value=1, max_value=15)
+
+
+class TestConstruction:
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            FieldElement(F, 16)
+        with pytest.raises(ValueError):
+            FieldElement(F, -1)
+
+    def test_value_and_int(self):
+        z = FieldElement(F, 2)
+        assert z.value == 2
+        assert int(z) == 2
+        assert z.field is F
+
+    def test_index_protocol(self):
+        # __index__ lets elements index lists directly
+        assert [10, 11, 12][FieldElement(F, 1)] == 11
+
+    def test_repr(self):
+        assert "z" in repr(FieldElement(F, 2))
+
+    def test_bool(self):
+        assert not FieldElement(F, 0)
+        assert FieldElement(F, 1)
+
+
+class TestOperators:
+    def test_paper_z4(self):
+        z = FieldElement(F, 2)
+        assert int(z**4) == 3  # z^4 = z + 1
+
+    def test_add_int(self):
+        assert int(FieldElement(F, 0b1010) + 0b0110) == 0b1100
+
+    def test_radd(self):
+        assert int(0b0110 + FieldElement(F, 0b1010)) == 0b1100
+
+    def test_sub_is_add(self):
+        a = FieldElement(F, 9)
+        assert int(a - 5) == int(a + 5)
+
+    def test_neg_identity(self):
+        a = FieldElement(F, 9)
+        assert -a == a
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(ValueError):
+            FieldElement(F, 1) + FieldElement(F8, 1)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            FieldElement(F, 1) + 99
+
+    def test_div(self):
+        a = FieldElement(F, 9)
+        b = FieldElement(F, 5)
+        assert (a / b) * b == a
+
+    def test_rtruediv(self):
+        b = FieldElement(F, 5)
+        assert int((9 / b) * b) == 9
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FieldElement(F, 3) / FieldElement(F, 0)
+
+    @given(elements, elements)
+    def test_add_matches_field(self, a, b):
+        assert int(FieldElement(F, a) + FieldElement(F, b)) == F.add(a, b)
+
+    @given(elements, elements)
+    def test_mul_matches_field(self, a, b):
+        assert int(FieldElement(F, a) * FieldElement(F, b)) == F.mul(a, b)
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        e = FieldElement(F, a)
+        assert int(e * e.inverse()) == 1
+
+    def test_pow_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            FieldElement(F, 3) ** "2"
+
+
+class TestEqualityAndHash:
+    def test_eq_int(self):
+        assert FieldElement(F, 7) == 7
+        assert FieldElement(F, 7) != 8
+
+    def test_eq_other_field(self):
+        assert FieldElement(F, 1) != FieldElement(F8, 1)
+
+    def test_hashable(self):
+        s = {FieldElement(F, 1), FieldElement(F, 1), FieldElement(F, 2)}
+        assert len(s) == 2
+
+
+class TestStructureDelegation:
+    def test_order(self):
+        assert FieldElement(F, 2).order() == 15
+
+    def test_trace(self):
+        assert FieldElement(F, 0).trace() == 0
+
+    def test_minimal_polynomial(self):
+        assert FieldElement(F, 2).minimal_polynomial() == F.modulus
+
+    def test_as_poly_string(self):
+        assert FieldElement(F, 0b0110).as_poly_string() == "z^2 + z"

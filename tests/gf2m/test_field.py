@@ -1,0 +1,215 @@
+"""Tests for the GF(2^m) field implementation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import GF2m
+
+PAPER_P = poly_from_string("1+z+z^4")  # the paper's GF(2^4) modulus
+
+
+@pytest.fixture(scope="module")
+def f16():
+    return GF2m(PAPER_P)
+
+
+@pytest.fixture(scope="module")
+def f256():
+    return GF2m(primitive_polynomial(8))
+
+
+elements16 = st.integers(min_value=0, max_value=15)
+nonzero16 = st.integers(min_value=1, max_value=15)
+
+
+class TestConstruction:
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(0b10101)  # (x^2+x+1)^2
+
+    def test_properties(self, f16):
+        assert f16.m == 4
+        assert f16.size == 16
+        assert f16.modulus == PAPER_P
+
+    def test_primitive_modulus_detected(self, f16):
+        assert f16.is_primitive_modulus()
+
+    def test_non_primitive_irreducible_modulus_works(self):
+        # x^4+x^3+x^2+x+1 is irreducible but not primitive; field must
+        # still be correct via a non-z generator.
+        field = GF2m(0b11111)
+        assert not field.is_primitive_modulus()
+        assert field.mul(field.inv(7), 7) == 1
+        assert field.order(field.generator) == 15
+
+    def test_equality_and_hash(self, f16):
+        assert f16 == GF2m(PAPER_P)
+        assert hash(f16) == hash(GF2m(PAPER_P))
+        assert f16 != GF2m(primitive_polynomial(8))
+
+    def test_contains(self, f16):
+        assert 0 in f16
+        assert 15 in f16
+        assert 16 not in f16
+        assert "z" not in f16
+
+    def test_elements_enumeration(self, f16):
+        assert list(f16.elements()) == list(range(16))
+
+
+class TestArithmetic:
+    def test_paper_example_z4(self, f16):
+        # z^4 = z + 1 mod (1 + z + z^4)
+        assert f16.mul(0b1000, 0b0010) == 0b0011
+
+    def test_mul_by_zero(self, f16):
+        assert f16.mul(0, 7) == 0
+
+    def test_mul_by_one(self, f16):
+        assert f16.mul(1, 7) == 7
+
+    def test_out_of_range_rejected(self, f16):
+        with pytest.raises(ValueError):
+            f16.mul(16, 1)
+        with pytest.raises(TypeError):
+            f16.add(1.5, 2)
+        with pytest.raises(TypeError):
+            f16.mul(True, 2)
+
+    @given(elements16, elements16)
+    def test_mul_commutative(self, a, b):
+        field = GF2m(PAPER_P)
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(elements16, elements16, elements16)
+    def test_mul_associative(self, a, b, c):
+        field = GF2m(PAPER_P)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(elements16, elements16, elements16)
+    def test_distributive(self, a, b, c):
+        field = GF2m(PAPER_P)
+        assert field.mul(a, field.add(b, c)) == field.add(
+            field.mul(a, b), field.mul(a, c)
+        )
+
+    @given(nonzero16)
+    def test_inverse(self, a):
+        field = GF2m(PAPER_P)
+        assert field.mul(a, field.inv(a)) == 1
+
+    def test_inv_zero_fails(self, f16):
+        with pytest.raises(ZeroDivisionError):
+            f16.inv(0)
+
+    def test_div(self, f16):
+        for a in range(16):
+            for b in range(1, 16):
+                assert f16.mul(f16.div(a, b), b) == a
+
+    def test_table_and_polynomial_paths_agree(self):
+        # Compare table-driven f16 against the raw polynomial fallback.
+        from repro.gf2.poly import poly_modmul
+
+        field = GF2m(PAPER_P)
+        for a in range(16):
+            for b in range(16):
+                assert field.mul(a, b) == poly_modmul(a, b, PAPER_P)
+
+
+class TestPow:
+    def test_z_order_15(self, f16):
+        assert f16.pow(2, 15) == 1
+        assert all(f16.pow(2, e) != 1 for e in range(1, 15))
+
+    def test_zero_powers(self, f16):
+        assert f16.pow(0, 0) == 1
+        assert f16.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            f16.pow(0, -1)
+
+    @given(nonzero16, st.integers(min_value=-20, max_value=40))
+    def test_negative_exponent(self, a, e):
+        field = GF2m(PAPER_P)
+        assert field.mul(field.pow(a, e), field.pow(a, -e)) == 1
+
+    @given(nonzero16, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    def test_exponent_addition(self, a, e1, e2):
+        field = GF2m(PAPER_P)
+        assert field.pow(a, e1 + e2) == field.mul(field.pow(a, e1), field.pow(a, e2))
+
+
+class TestStructure:
+    def test_order_of_z(self, f16):
+        assert f16.order(2) == 15
+
+    def test_order_divides_group(self, f256):
+        for a in range(1, 256):
+            assert 255 % f256.order(a) == 0
+
+    def test_order_zero_rejected(self, f16):
+        with pytest.raises(ValueError):
+            f16.order(0)
+
+    def test_generator_count(self, f16):
+        # phi(15) = 8 generators in GF(16)*
+        assert sum(f16.is_generator(a) for a in range(16)) == 8
+
+    def test_trace_balanced(self, f16):
+        # Trace takes each value in GF(2) exactly 2^(m-1) times.
+        traces = [f16.trace(a) for a in f16.elements()]
+        assert traces.count(0) == 8
+        assert traces.count(1) == 8
+
+    @given(elements16, elements16)
+    def test_trace_linear(self, a, b):
+        field = GF2m(PAPER_P)
+        assert field.trace(a ^ b) == field.trace(a) ^ field.trace(b)
+
+    def test_minimal_polynomial_of_z(self, f16):
+        assert f16.minimal_polynomial(2) == PAPER_P
+
+    def test_minimal_polynomial_of_one(self, f16):
+        assert f16.minimal_polynomial(1) == 0b11  # x + 1
+
+    def test_minimal_polynomial_of_zero(self, f16):
+        assert f16.minimal_polynomial(0) == 0b10  # x
+
+    @given(elements16)
+    def test_minimal_polynomial_annihilates(self, a):
+        # Evaluate min poly at a inside the field: must give 0.
+        field = GF2m(PAPER_P)
+        poly = field.minimal_polynomial(a)
+        acc = 0
+        power = 1
+        for i in range(poly.bit_length()):
+            if (poly >> i) & 1:
+                acc = field.add(acc, power)
+            power = field.mul(power, a)
+        assert acc == 0
+
+    def test_reduce(self, f16):
+        assert f16.reduce(0b10000) == 0b0011  # z^4 -> z+1
+
+    def test_element_poly_string(self, f16):
+        assert f16.element_poly_string(0b0110) == "z^2 + z"
+        assert f16.element_poly_string(0) == "0"
+
+    def test_repr_mentions_modulus(self, f16):
+        assert "z^4" in repr(f16)
+
+
+class TestLargerFields:
+    def test_gf256_inverse_roundtrip(self, f256):
+        for a in (1, 2, 100, 255):
+            assert f256.mul(a, f256.inv(a)) == 1
+
+    def test_gf2_12_spot_check(self):
+        field = GF2m(primitive_polynomial(12))
+        assert field.order(2) == 4095
+        a = 0b101010101010
+        assert field.mul(a, field.inv(a)) == 1

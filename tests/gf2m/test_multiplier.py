@@ -1,0 +1,90 @@
+"""Tests for constant-multiplier matrices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import (
+    GF2m,
+    apply_matrix,
+    constant_multiplier_matrix,
+    identity_matrix,
+    matrix_mul,
+    matrix_to_rows,
+)
+
+F = GF2m(poly_from_string("1+z+z^4"))
+
+elements = st.integers(min_value=0, max_value=15)
+
+
+class TestConstantMultiplierMatrix:
+    def test_identity_constant(self):
+        assert constant_multiplier_matrix(F, 1) == identity_matrix(4)
+
+    def test_zero_constant(self):
+        assert constant_multiplier_matrix(F, 0) == [0, 0, 0, 0]
+
+    def test_out_of_field_rejected(self):
+        with pytest.raises(ValueError):
+            constant_multiplier_matrix(F, 16)
+
+    @given(elements, elements)
+    def test_matrix_matches_field_mul(self, c, x):
+        matrix = constant_multiplier_matrix(F, c)
+        assert apply_matrix(matrix, x) == F.mul(c, x)
+
+    def test_exhaustive_gf16(self):
+        for c in range(16):
+            matrix = constant_multiplier_matrix(F, c)
+            for x in range(16):
+                assert apply_matrix(matrix, x) == F.mul(c, x)
+
+    def test_gf256_sample(self):
+        field = GF2m(primitive_polynomial(8))
+        for c in (2, 3, 0x1D, 0xFF):
+            matrix = constant_multiplier_matrix(field, c)
+            for x in (0, 1, 0x80, 0xAB):
+                assert apply_matrix(matrix, x) == field.mul(c, x)
+
+    @given(elements, elements, elements)
+    def test_linearity(self, c, x, y):
+        matrix = constant_multiplier_matrix(F, c)
+        assert apply_matrix(matrix, x ^ y) == apply_matrix(matrix, x) ^ apply_matrix(
+            matrix, y
+        )
+
+
+class TestMatrixOps:
+    def test_identity(self):
+        assert identity_matrix(3) == [0b001, 0b010, 0b100]
+        for x in range(8):
+            assert apply_matrix(identity_matrix(3), x) == x
+
+    def test_identity_dimension_check(self):
+        with pytest.raises(ValueError):
+            identity_matrix(0)
+
+    def test_matrix_to_rows(self):
+        assert matrix_to_rows([0b01, 0b11], 2) == [[1, 0], [1, 1]]
+
+    def test_matrix_to_rows_infers_width(self):
+        assert matrix_to_rows([0b01, 0b11]) == [[1, 0], [1, 1]]
+
+    @given(elements, elements)
+    def test_matrix_mul_composes(self, c1, c2):
+        m1 = constant_multiplier_matrix(F, c1)
+        m2 = constant_multiplier_matrix(F, c2)
+        composed = matrix_mul(m1, m2)
+        expected = constant_multiplier_matrix(F, F.mul(c1, c2))
+        assert composed == expected
+
+    def test_matrix_mul_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix_mul([0b1], [0b01, 0b10])
+
+    def test_matrix_mul_identity(self):
+        m = constant_multiplier_matrix(F, 7)
+        assert matrix_mul(m, identity_matrix(4)) == m
+        assert matrix_mul(identity_matrix(4), m) == m

@@ -1,0 +1,177 @@
+"""Tests for polynomial algebra over GF(2^m) (the paper's g(x) machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import (
+    GF2m,
+    wpoly,
+    wpoly_add,
+    wpoly_degree,
+    wpoly_divmod,
+    wpoly_eval,
+    wpoly_gcd,
+    wpoly_is_irreducible,
+    wpoly_modexp,
+    wpoly_monic,
+    wpoly_mul,
+    wpoly_roots,
+    wpoly_scale,
+    wpoly_to_string,
+    wpoly_x_pow_order,
+)
+
+F = GF2m(poly_from_string("1+z+z^4"))
+PAPER_G = (1, 2, 2)  # g(x) = 1 + 2x + 2x^2
+
+coeff = st.integers(min_value=0, max_value=15)
+wpolys = st.lists(coeff, min_size=0, max_size=5).map(wpoly)
+nonzero_wpolys = wpolys.filter(lambda p: p != ())
+
+
+class TestNormalization:
+    def test_strip_leading_zeros(self):
+        assert wpoly([1, 2, 2, 0, 0]) == (1, 2, 2)
+
+    def test_zero(self):
+        assert wpoly([0, 0, 0]) == ()
+        assert wpoly_degree(()) == -1
+
+    def test_degree(self):
+        assert wpoly_degree(PAPER_G) == 2
+
+
+class TestArithmetic:
+    def test_add_cancels(self):
+        assert wpoly_add(F, PAPER_G, PAPER_G) == ()
+
+    def test_add_different_lengths(self):
+        assert wpoly_add(F, (1,), (0, 1)) == (1, 1)
+
+    def test_scale_by_zero(self):
+        assert wpoly_scale(F, PAPER_G, 0) == ()
+
+    def test_mul_freshman(self):
+        assert wpoly_mul(F, (1, 1), (1, 1)) == (1, 0, 1)
+
+    def test_mul_by_zero(self):
+        assert wpoly_mul(F, PAPER_G, ()) == ()
+
+    @settings(max_examples=50)
+    @given(wpolys, wpolys)
+    def test_mul_commutative(self, a, b):
+        assert wpoly_mul(F, a, b) == wpoly_mul(F, b, a)
+
+    @settings(max_examples=50)
+    @given(wpolys, nonzero_wpolys)
+    def test_divmod_identity(self, a, b):
+        q, r = wpoly_divmod(F, a, b)
+        assert wpoly_add(F, wpoly_mul(F, q, b), r) == a
+        assert wpoly_degree(r) < wpoly_degree(b)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            wpoly_divmod(F, PAPER_G, ())
+
+    def test_monic(self):
+        monic = wpoly_monic(F, PAPER_G)
+        assert monic[-1] == 1
+        assert wpoly_degree(monic) == 2
+
+    @settings(max_examples=30)
+    @given(nonzero_wpolys, nonzero_wpolys)
+    def test_gcd_divides(self, a, b):
+        g = wpoly_gcd(F, a, b)
+        assert wpoly_divmod(F, a, g)[1] == ()
+        assert wpoly_divmod(F, b, g)[1] == ()
+
+
+class TestEvalRoots:
+    def test_eval_constant_term(self):
+        assert wpoly_eval(F, PAPER_G, 0) == 1
+
+    def test_eval_horner(self):
+        # g(1) = 1 + 2 + 2 = 1 over GF(16)
+        assert wpoly_eval(F, PAPER_G, 1) == 1
+
+    def test_roots_of_factored(self):
+        # (x+1)(x+2) = x^2 + 3x + 2
+        assert wpoly_roots(F, (2, 3, 1)) == [1, 2]
+
+    def test_paper_g_has_no_roots(self):
+        assert wpoly_roots(F, PAPER_G) == []
+
+    def test_roots_zero_poly_rejected(self):
+        with pytest.raises(ValueError):
+            wpoly_roots(F, ())
+
+
+class TestIrreducibility:
+    def test_paper_g_irreducible(self):
+        """The paper's claim: g(x)=1+2x+2x^2 is irreducible over GF(2^4)."""
+        assert wpoly_is_irreducible(F, PAPER_G)
+
+    def test_product_reducible(self):
+        assert not wpoly_is_irreducible(F, wpoly_mul(F, (1, 1), (2, 1)))
+
+    def test_degree_one_irreducible(self):
+        assert wpoly_is_irreducible(F, (5, 1))
+
+    def test_constant_not_irreducible(self):
+        assert not wpoly_is_irreducible(F, (1,))
+        assert not wpoly_is_irreducible(F, ())
+
+    def test_x_multiple_reducible(self):
+        assert not wpoly_is_irreducible(F, (0, 1, 1))
+
+    def test_quadratic_root_criterion(self):
+        # A quadratic is irreducible iff it has no roots.
+        for a0 in range(1, 16):
+            for a1 in range(16):
+                p = (a0, a1, 1)
+                assert wpoly_is_irreducible(F, p) == (wpoly_roots(F, p) == [])
+
+
+class TestOrder:
+    def test_paper_g_order_255(self):
+        """g(x) is primitive over GF(16): the virtual LFSR has period 255."""
+        assert wpoly_x_pow_order(F, PAPER_G) == 255
+
+    def test_linear_factor_order(self):
+        # x = 1 mod (x + 1): order 1
+        assert wpoly_x_pow_order(F, (1, 1)) == 1
+
+    def test_order_of_non_primitive(self):
+        # x + 3: order of element 3 in GF(16)* fields x = 3 mod (x+3)
+        assert wpoly_x_pow_order(F, (3, 1)) == F.order(3)
+
+    def test_reducible_modulus_fallback(self):
+        # (x+1)(x+2): order of x = lcm(order mod each factor) = lcm(1, ord(2))
+        p = wpoly_mul(F, (1, 1), (2, 1))
+        assert wpoly_x_pow_order(F, p) == F.order(2)
+
+    def test_x_divides_rejected(self):
+        with pytest.raises(ValueError):
+            wpoly_x_pow_order(F, (0, 1, 1))
+
+    def test_order_consistent_with_modexp(self):
+        t = wpoly_x_pow_order(F, PAPER_G)
+        assert wpoly_modexp(F, (0, 1), t, PAPER_G) == (1,)
+        for d in (3, 5, 15, 17, 51, 85):
+            assert wpoly_modexp(F, (0, 1), d, PAPER_G) != (1,)
+
+
+class TestFormatting:
+    def test_paper_style(self):
+        assert wpoly_to_string(PAPER_G) == "1 + 2x + 2x^2"
+
+    def test_zero(self):
+        assert wpoly_to_string(()) == "0"
+
+    def test_hex_coefficients(self):
+        assert wpoly_to_string((10, 1, 15)) == "A + x + Fx^2"
+
+    def test_unit_coefficients_suppressed(self):
+        assert wpoly_to_string((0, 1, 0, 1)) == "x + x^3"

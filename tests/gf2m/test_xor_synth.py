@@ -1,0 +1,175 @@
+"""Tests for XOR-network synthesis (claim C6 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import (
+    GF2m,
+    XorGate,
+    XorNetwork,
+    apply_matrix,
+    constant_multiplier_matrix,
+    network_cost_summary,
+    synthesize,
+    synthesize_greedy,
+    synthesize_naive,
+)
+
+F = GF2m(poly_from_string("1+z+z^4"))
+
+matrices4 = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=6
+)
+
+
+class TestXorNetworkBasics:
+    def test_evaluate_simple(self):
+        net = XorNetwork(2, [XorGate(2, 0, 1)], [2, 0])
+        assert net.evaluate(0b01) == 0b11
+        assert net.evaluate(0b11) == 0b10  # x0^x1 = 0, pass-through x0 = 1
+
+    def test_constant_zero_output(self):
+        net = XorNetwork(2, [], [None, 0])
+        assert net.evaluate(0b01) == 0b10
+        assert net.depth == 0
+
+    def test_validate_good(self):
+        net = XorNetwork(2, [XorGate(2, 0, 1)], [2])
+        net.validate()
+
+    def test_validate_bad_order(self):
+        net = XorNetwork(2, [XorGate(5, 0, 1)], [2])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_validate_undefined_input(self):
+        net = XorNetwork(2, [XorGate(2, 0, 3)], [2])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_validate_undefined_output(self):
+        net = XorNetwork(2, [], [5])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_depth_chain(self):
+        # ((x0^x1)^x2)^x3: depth 3
+        net = synthesize_naive([0b1111], 4)
+        assert net.depth == 3
+
+
+class TestNaive:
+    def test_gate_count_formula(self):
+        matrix = [0b011, 0b110, 0b101, 0b111]
+        net = synthesize_naive(matrix, 3)
+        assert net.gate_count == sum(bin(r).count("1") - 1 for r in matrix)
+
+    def test_wire_only_row(self):
+        net = synthesize_naive([0b010], 3)
+        assert net.gate_count == 0
+        assert net.evaluate(0b010) == 1
+
+    def test_functional_equivalence_gf16(self):
+        for c in range(16):
+            matrix = constant_multiplier_matrix(F, c)
+            net = synthesize_naive(matrix)
+            net.validate()
+            for x in range(16):
+                assert net.evaluate(x) == F.mul(c, x)
+
+    def test_rejects_wide_rows(self):
+        with pytest.raises(ValueError):
+            synthesize_naive([0b100], 2)
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            synthesize_naive([], 0)
+
+
+class TestGreedy:
+    def test_shares_common_pair(self):
+        # Both rows contain x0^x1; greedy uses 2 gates, naive needs 3.
+        matrix = [0b011, 0b111]
+        assert synthesize_greedy(matrix, 3).gate_count == 2
+        assert synthesize_naive(matrix, 3).gate_count == 3
+
+    def test_functional_equivalence_gf16(self):
+        for c in range(16):
+            matrix = constant_multiplier_matrix(F, c)
+            net = synthesize_greedy(matrix)
+            net.validate()
+            for x in range(16):
+                assert net.evaluate(x) == F.mul(c, x)
+
+    def test_never_worse_than_naive_gf16(self):
+        for c in range(16):
+            matrix = constant_multiplier_matrix(F, c)
+            assert (
+                synthesize_greedy(matrix).gate_count
+                <= synthesize_naive(matrix).gate_count
+            )
+
+    def test_gf256_equivalence_sample(self):
+        field = GF2m(primitive_polynomial(8))
+        for c in (2, 0x1D, 0x53, 0xCA):
+            matrix = constant_multiplier_matrix(field, c)
+            net = synthesize_greedy(matrix)
+            for x in (0, 1, 0x3C, 0xFF, 0xA5):
+                assert net.evaluate(x) == field.mul(c, x)
+
+    def test_deterministic(self):
+        matrix = [0b1011, 0b1110, 0b0111]
+        a = synthesize_greedy(matrix, 4)
+        b = synthesize_greedy(matrix, 4)
+        assert a.gates == b.gates
+        assert a.outputs == b.outputs
+
+    @settings(max_examples=60)
+    @given(matrices4)
+    def test_equivalence_random_matrices(self, matrix):
+        naive = synthesize_naive(matrix, 4)
+        greedy = synthesize_greedy(matrix, 4)
+        for x in range(16):
+            assert greedy.evaluate(x) == naive.evaluate(x)
+
+    @settings(max_examples=60)
+    @given(matrices4)
+    def test_greedy_never_worse(self, matrix):
+        assert (
+            synthesize_greedy(matrix, 4).gate_count
+            <= synthesize_naive(matrix, 4).gate_count
+        )
+
+
+class TestDispatch:
+    def test_methods(self):
+        matrix = [0b11, 0b10]
+        assert synthesize(matrix, 2, method="naive").gate_count == 1
+        assert synthesize(matrix, 2, method="greedy").gate_count == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            synthesize([0b1], 1, method="magic")
+
+    def test_cost_summary(self):
+        summary = network_cost_summary(synthesize_naive([0b111], 3))
+        assert summary == {"xor_gates": 2, "depth": 2, "inputs": 3, "outputs": 1}
+
+
+class TestPaperExample:
+    """The paper's g(x) = 1 + 2x + 2x^2 over GF(2^4) uses multiply-by-z."""
+
+    def test_multiply_by_z_cost(self):
+        # x -> z*x in GF(16)/(1+z+z^4): output bits
+        # y0=x3, y1=x0^x3, y2=x1, y3=x2 -> exactly 1 XOR gate.
+        matrix = constant_multiplier_matrix(F, 2)
+        net = synthesize_greedy(matrix)
+        assert net.gate_count == 1
+
+    def test_all_gf16_constants_cheap(self):
+        # No constant multiplier in GF(2^4) needs more than 6 XORs naive.
+        for c in range(16):
+            matrix = constant_multiplier_matrix(F, c)
+            assert synthesize_greedy(matrix).gate_count <= 6

@@ -1,0 +1,180 @@
+"""Tests for the bit-oriented LFSR."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf2 import iter_primitive, primitive_polynomial
+from repro.lfsr import BitLFSR, bit_lfsr_period
+
+
+class TestConstruction:
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            BitLFSR(1)
+
+    def test_singular_poly_rejected(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b110)  # no constant term
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b111, form="lagged")
+
+    def test_seed_from_bits(self):
+        lfsr = BitLFSR(0b111, seed=[0, 1])
+        assert lfsr.state == 0b10
+        assert lfsr.state_bits == (0, 1)
+
+    def test_seed_wrong_length(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b111, seed=[0, 1, 1])
+
+    def test_seed_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b111, seed=[0, 2])
+
+    def test_seed_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b111, seed=4)
+
+    def test_seed_bad_type(self):
+        with pytest.raises(TypeError):
+            BitLFSR(0b111, seed="01")
+
+    def test_repr(self):
+        assert "x^2" in repr(BitLFSR(0b111))
+
+
+class TestFibonacciSequence:
+    def test_paper_bom_recurrence(self):
+        """g = 1+x+x^2: s[t+2] = s[t+1] ^ s[t], the pi-test BOM recurrence."""
+        lfsr = BitLFSR(0b111, seed=[0, 1])
+        assert lfsr.sequence(9) == [0, 1, 1, 0, 1, 1, 0, 1, 1]
+
+    def test_degree4_primitive_msequence(self):
+        lfsr = BitLFSR(0b10011, seed=1)
+        seq = lfsr.sequence(15)
+        # m-sequence balance: 8 ones, 7 zeros per period for k=4
+        assert seq.count(1) == 8
+        assert seq.count(0) == 7
+
+    def test_sequence_satisfies_recurrence(self):
+        poly = 0b10011  # s[t+4] = s[t+3] ^ s[t]
+        lfsr = BitLFSR(poly, seed=0b1011)
+        seq = lfsr.sequence(40)
+        for t in range(len(seq) - 4):
+            assert seq[t + 4] == seq[t + 3] ^ seq[t]
+
+    def test_zero_seed_fixed_point(self):
+        lfsr = BitLFSR(0b10011, seed=0)
+        assert lfsr.sequence(10) == [0] * 10
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitLFSR(0b111).sequence(-1)
+
+    @given(st.integers(min_value=1, max_value=15))
+    def test_state_window_equals_stream(self, seed):
+        """Fibonacci state is a sliding window of the output stream."""
+        lfsr = BitLFSR(0b10011, seed=seed)
+        probe = BitLFSR(0b10011, seed=seed)
+        stream = probe.sequence(30)
+        for t in range(20):
+            assert lfsr.state_bits == tuple(stream[t : t + 4])
+            lfsr.step()
+
+
+class TestPeriod:
+    def test_primitive_period(self):
+        assert BitLFSR(0b10011, seed=1).period() == 15
+
+    def test_non_primitive_period(self):
+        assert BitLFSR(0b11111, seed=1).period() == 5
+
+    def test_zero_seed_period(self):
+        assert BitLFSR(0b10011, seed=0).period() == 0
+
+    def test_period_preserves_state(self):
+        lfsr = BitLFSR(0b10011, seed=1)
+        lfsr.run(3)
+        before = lfsr.state
+        lfsr.period()
+        assert lfsr.state == before
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6, 7, 8])
+    def test_all_primitives_maximal(self, m):
+        for poly in iter_primitive(m):
+            assert BitLFSR(poly, seed=1).period() == (1 << m) - 1
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_period_independent_of_seed_for_primitive(self, seed):
+        lfsr = BitLFSR(primitive_polynomial(8), seed=seed)
+        assert lfsr.period() == 255
+
+
+class TestGaloisForm:
+    def test_same_period_as_fibonacci(self):
+        for poly in (0b111, 0b1011, 0b10011, 0b11111):
+            fib = BitLFSR(poly, seed=1, form="fibonacci")
+            gal = BitLFSR(poly, seed=1, form="galois")
+            assert fib.period() == gal.period()
+
+    def test_msequence_balance(self):
+        seq = BitLFSR(0b10011, seed=1, form="galois").sequence(15)
+        assert seq.count(1) == 8
+
+    def test_galois_output_satisfies_recurrence(self):
+        # Both forms realize the same characteristic polynomial, so the
+        # output stream obeys the same linear recurrence.
+        seq = BitLFSR(0b10011, seed=0b1001, form="galois").sequence(40)
+        for t in range(len(seq) - 4):
+            assert seq[t + 4] == seq[t + 3] ^ seq[t]
+
+
+class TestUtilities:
+    def test_reset(self):
+        lfsr = BitLFSR(0b10011, seed=5)
+        lfsr.run(7)
+        lfsr.reset()
+        assert lfsr.state == 5
+
+    def test_copy_independent(self):
+        lfsr = BitLFSR(0b10011, seed=5)
+        clone = lfsr.copy()
+        lfsr.run(3)
+        assert clone.state == 5
+        assert clone.poly == lfsr.poly
+
+    def test_run_advances(self):
+        a = BitLFSR(0b10011, seed=5)
+        b = BitLFSR(0b10011, seed=5)
+        a.run(6)
+        b.sequence(6)
+        assert a.state == b.state
+
+
+class TestPredictedPeriod:
+    def test_matches_measured_irreducible(self):
+        for poly in (0b111, 0b1011, 0b10011, 0b11111):
+            assert bit_lfsr_period(poly) == BitLFSR(poly, seed=1).period()
+
+    def test_reducible_upper_bounds_all_seeds(self):
+        # (x+1)(x^2+x+1) = x^3 + 1: predicted lcm(1, 3) = 3
+        poly = 0b1001
+        predicted = bit_lfsr_period(poly)
+        for seed in range(1, 8):
+            measured = BitLFSR(poly, seed=seed).period()
+            assert predicted % measured == 0
+
+    def test_repeated_factor(self):
+        # (x^2+x+1)^2: order 3, multiplicity 2 -> period 6
+        assert bit_lfsr_period(0b10101) == 6
+        measured = BitLFSR(0b10101, seed=1).period()
+        assert 6 % measured == 0
+
+    def test_rejects_bad_polys(self):
+        with pytest.raises(ValueError):
+            bit_lfsr_period(1)
+        with pytest.raises(ValueError):
+            bit_lfsr_period(0b110)

@@ -1,0 +1,141 @@
+"""Tests for delay elements and data-retention testing (March + PRT)."""
+
+import pytest
+
+from repro.faults import DataRetentionFault, FaultInjector, single_cell_universe
+from repro.march import (
+    MATS_PLUS,
+    MATS_PLUS_RETENTION,
+    MarchDelay,
+    format_march,
+    parse_march,
+    run_march,
+)
+from repro.memory import DualPortRAM, SinglePortRAM
+from repro.prt import standard_schedule
+
+
+class TestMarchDelayModel:
+    def test_str(self):
+        assert str(MarchDelay(100)) == "D100"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarchDelay(0)
+
+    def test_parse_delay(self):
+        test = parse_march("{c(w0); D64; c(r0)}")
+        assert isinstance(test.elements[1], MarchDelay)
+        assert test.elements[1].cycles == 64
+
+    def test_delay_not_counted_in_ops(self):
+        test = parse_march("{c(w0); D64; c(r0)}")
+        assert test.ops_per_cell == 2
+        assert test.delay_cycles == 64
+
+    def test_format_roundtrip(self):
+        text = "{c(w0); D64; c(r0)}"
+        assert format_march(parse_march(text)) == text
+
+    def test_delay_only_test_rejected(self):
+        from repro.march.model import MarchTest
+
+        with pytest.raises(ValueError):
+            MarchTest(name="x", elements=(MarchDelay(5),))
+
+    def test_lowercase_d_is_still_down(self):
+        test = parse_march("{d(r0)}")
+        assert test.elements[0].order == "down"
+
+
+class TestRamIdle:
+    def test_idle_advances_cycles(self):
+        ram = SinglePortRAM(8)
+        ram.idle(100)
+        assert ram.stats.cycles == 100
+        assert ram.stats.operations == 0
+
+    def test_idle_validation(self):
+        with pytest.raises(ValueError):
+            SinglePortRAM(8).idle(-1)
+
+    def test_multiport_idle(self):
+        ram = DualPortRAM(8)
+        ram.idle(50)
+        assert ram.stats.cycles == 50
+        with pytest.raises(ValueError):
+            ram.idle(-2)
+
+
+class TestMarchRetention:
+    def make_faulty(self, retention=100):
+        ram = SinglePortRAM(16)
+        injector = FaultInjector([DataRetentionFault(5, retention=retention)])
+        injector.install(ram)
+        return ram
+
+    def test_mats_plus_misses_drf(self):
+        """Without a pause, the cell never sits idle long enough."""
+        ram = self.make_faulty(retention=1000)
+        assert run_march(MATS_PLUS, ram).passed
+
+    def test_retention_variant_catches_drf(self):
+        ram = self.make_faulty(retention=100)
+        assert not run_march(MATS_PLUS_RETENTION, ram).passed
+
+    def test_retention_variant_passes_healthy(self):
+        assert run_march(MATS_PLUS_RETENTION, SinglePortRAM(16)).passed
+
+    def test_delay_covers_drf_universe(self):
+        universe = single_cell_universe(16, classes=("DRF",), retention=64)
+        detected = 0
+        for fault in universe:
+            ram = SinglePortRAM(16)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            if not run_march(MATS_PLUS_RETENTION, ram).passed:
+                detected += 1
+            injector.remove(ram)
+        assert detected == len(universe)
+
+
+class TestPrtRetentionPause:
+    def test_pause_validation(self):
+        from repro.prt import PiIteration, PiTestSchedule
+
+        with pytest.raises(ValueError):
+            PiTestSchedule([PiIteration(seed=(0, 1))], pause_between=-1)
+
+    def test_pause_property(self):
+        sched = standard_schedule(n=14, pause_between=256)
+        assert sched.pause_between == 256
+
+    def test_paused_schedule_passes_healthy(self):
+        sched = standard_schedule(n=14, pause_between=256)
+        assert sched.run(SinglePortRAM(14)).passed
+
+    def test_unpaused_schedule_misses_long_retention_drf(self):
+        ram = SinglePortRAM(14)
+        FaultInjector([DataRetentionFault(5, retention=5000)]).install(ram)
+        assert not standard_schedule(n=14).run(ram).detected
+
+    def test_paused_schedule_catches_drf(self):
+        """The PRT counterpart of the March Del element: pause between
+        iterations, then the verify pass reads the decayed cell."""
+        ram = SinglePortRAM(14)
+        FaultInjector([DataRetentionFault(5, retention=500)]).install(ram)
+        sched = standard_schedule(n=14, verify=True, pause_between=1000)
+        assert sched.run(ram).detected
+
+    def test_paused_drf_universe_coverage(self):
+        universe = single_cell_universe(14, classes=("DRF",), retention=64)
+        sched = standard_schedule(n=14, verify=True, pause_between=256)
+        detected = 0
+        for fault in universe:
+            ram = SinglePortRAM(14)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            if sched.run(ram).detected:
+                detected += 1
+            injector.remove(ram)
+        assert detected == len(universe)

@@ -1,0 +1,142 @@
+"""Tests for March execution, backgrounds, and library complexities."""
+
+import pytest
+
+from repro.faults import FaultInjector, StuckAtFault, TransitionFault
+from repro.march import (
+    ALL_MARCH_TESTS,
+    MARCH_C_MINUS,
+    MATS,
+    MATS_PLUS,
+    MarchResult,
+    run_march,
+    word_backgrounds,
+)
+from repro.memory import SinglePortRAM
+
+
+class TestWordBackgrounds:
+    def test_bit_oriented(self):
+        assert word_backgrounds(1) == [0]
+
+    def test_m4(self):
+        assert word_backgrounds(4) == [0b0000, 0b0101, 0b0011]
+
+    def test_m8(self):
+        assert word_backgrounds(8) == [0, 0b01010101, 0b00110011, 0b00001111]
+
+    def test_count_is_log2_plus_one(self):
+        for m in (1, 2, 4, 8, 16):
+            assert len(word_backgrounds(m)) == m.bit_length()
+
+    def test_distinguishes_every_bit_pair(self):
+        """Any two bits differ in some background or its complement."""
+        m = 8
+        backgrounds = word_backgrounds(m)
+        for i in range(m):
+            for j in range(i + 1, m):
+                assert any(
+                    ((b >> i) & 1) != ((b >> j) & 1) for b in backgrounds
+                ), f"bits {i},{j} never distinguished"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            word_backgrounds(0)
+
+
+class TestRunMarch:
+    def test_passes_on_healthy_bom(self):
+        for test in ALL_MARCH_TESTS:
+            assert run_march(test, SinglePortRAM(32)).passed
+
+    def test_passes_on_healthy_wom(self):
+        for test in ALL_MARCH_TESTS:
+            assert run_march(test, SinglePortRAM(16, m=4)).passed
+
+    def test_operation_count_bom(self):
+        ram = SinglePortRAM(32)
+        result = run_march(MATS_PLUS, ram)
+        assert result.operations == 5 * 32
+        assert ram.stats.operations == 5 * 32
+
+    def test_operation_count_wom_backgrounds(self):
+        ram = SinglePortRAM(16, m=4)
+        result = run_march(MATS, ram)
+        # 3 backgrounds x 4n
+        assert result.operations == 3 * 4 * 16
+
+    def test_detects_saf(self):
+        ram = SinglePortRAM(32)
+        FaultInjector([StuckAtFault(7, 0)]).install(ram)
+        result = run_march(MATS, ram)
+        assert not result.passed
+        assert any(failure[2] == 7 for failure in result.failures)
+
+    def test_detects_tf_with_matspp_not_mats(self):
+        # A TF-down needs w1...w0,r0; MATS's {c(w0);c(r0,w1);c(r1)} ends
+        # reading 1s and never re-reads a 0 after a 1->0 write.
+        from repro.march import MATS_PLUS_PLUS
+
+        ram = SinglePortRAM(16)
+        FaultInjector([TransitionFault(3, rising=False)]).install(ram)
+        assert not run_march(MATS_PLUS_PLUS, ram).passed
+
+    def test_stop_on_first_failure(self):
+        ram = SinglePortRAM(32)
+        FaultInjector([StuckAtFault(0, 1), StuckAtFault(1, 1)]).install(ram)
+        result = run_march(MARCH_C_MINUS, ram, stop_on_first_failure=True)
+        assert not result.passed
+        assert len(result.failures) == 1
+
+    def test_failure_record_shape(self):
+        ram = SinglePortRAM(8)
+        FaultInjector([StuckAtFault(2, 1)]).install(ram)
+        result = run_march(MATS, ram)
+        background, element_index, addr, expected, actual = result.failures[0]
+        assert background == 0
+        assert addr == 2
+        assert expected == 0
+        assert actual == 1
+        assert 0 <= element_index < len(MATS.elements)
+
+    def test_custom_backgrounds(self):
+        ram = SinglePortRAM(8, m=4)
+        result = run_march(MATS, ram, backgrounds=[0b1010])
+        assert result.passed
+        assert result.operations == 4 * 8
+
+    def test_background_out_of_range(self):
+        ram = SinglePortRAM(8, m=2)
+        with pytest.raises(ValueError):
+            run_march(MATS, ram, backgrounds=[7])
+
+    def test_result_repr(self):
+        assert "PASS" in repr(MarchResult())
+        failing = MarchResult(passed=False, failures=[(0, 0, 0, 0, 1)])
+        assert "FAIL" in repr(failing)
+
+
+class TestLibraryComplexities:
+    EXPECTED = {
+        "MATS": 4,
+        "MATS+": 5,
+        "MATS++": 6,
+        "March X": 6,
+        "March Y": 8,
+        "March C-": 10,
+        "March A": 15,
+        "March B": 17,
+    }
+
+    def test_ops_per_cell(self):
+        for test in ALL_MARCH_TESTS:
+            assert test.ops_per_cell == self.EXPECTED[test.name], test.name
+
+    def test_names_unique(self):
+        names = [t.name for t in ALL_MARCH_TESTS]
+        assert len(names) == len(set(names))
+
+    def test_all_start_with_initialization(self):
+        for test in ALL_MARCH_TESTS:
+            first = test.elements[0]
+            assert first.ops[0].kind == "w"

@@ -1,0 +1,115 @@
+"""Tests for March notation parsing and the data model."""
+
+import pytest
+
+from repro.march import (
+    MarchElement,
+    MarchOperation,
+    MarchParseError,
+    MarchTest,
+    format_march,
+    parse_march,
+)
+
+
+class TestMarchOperation:
+    def test_symbol(self):
+        assert MarchOperation("r", 0).symbol == "r0"
+        assert MarchOperation("w", 1).symbol == "w1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarchOperation("x", 0)
+        with pytest.raises(ValueError):
+            MarchOperation("r", 2)
+
+
+class TestMarchElement:
+    def test_addresses_up(self):
+        element = MarchElement("up", (MarchOperation("r", 0),))
+        assert list(element.addresses(4)) == [0, 1, 2, 3]
+
+    def test_addresses_down(self):
+        element = MarchElement("down", (MarchOperation("r", 0),))
+        assert list(element.addresses(4)) == [3, 2, 1, 0]
+
+    def test_addresses_any_is_up(self):
+        element = MarchElement("any", (MarchOperation("w", 0),))
+        assert list(element.addresses(3)) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarchElement("sideways", (MarchOperation("r", 0),))
+        with pytest.raises(ValueError):
+            MarchElement("up", ())
+
+    def test_str(self):
+        element = MarchElement(
+            "up", (MarchOperation("r", 0), MarchOperation("w", 1))
+        )
+        assert str(element) == "⇑(r0,w1)"
+
+
+class TestParse:
+    def test_paper_example(self):
+        """The paper's §1 notation parses exactly."""
+        test = parse_march("{c(w0); ⇑(r0w1); ⇓(r1w0)}", name="MarchA-paper")
+        assert len(test.elements) == 3
+        assert test.elements[0].order == "any"
+        assert test.elements[1].order == "up"
+        assert test.elements[2].order == "down"
+        assert test.ops_per_cell == 5
+
+    def test_ascii_aliases(self):
+        a = parse_march("{c(w0); u(r0,w1); d(r1,w0)}")
+        b = parse_march("{a(w0); ⇑(r0,w1); ⇓(r1,w0)}")
+        assert str(a) == str(b)
+
+    def test_single_arrows(self):
+        test = parse_march("{↑(w0); ↓(r0)}")
+        assert test.elements[0].order == "up"
+        assert test.elements[1].order == "down"
+
+    def test_juxtaposed_and_comma_ops_equal(self):
+        assert str(parse_march("{u(r0w1r1)}")) == str(parse_march("{u(r0,w1,r1)}"))
+
+    def test_whitespace_tolerant(self):
+        test = parse_march("{ c ( w0 ) ;  u ( r0 , w1 ) }")
+        assert test.ops_per_cell == 3
+
+    def test_missing_braces(self):
+        with pytest.raises(MarchParseError):
+            parse_march("c(w0)")
+
+    def test_empty_test(self):
+        with pytest.raises(MarchParseError):
+            parse_march("{}")
+
+    def test_empty_element(self):
+        with pytest.raises(MarchParseError):
+            parse_march("{u()}")
+
+    def test_garbage_ops(self):
+        with pytest.raises(MarchParseError):
+            parse_march("{u(x0)}")
+        with pytest.raises(MarchParseError):
+            parse_march("{u(r0w)}")
+
+    def test_bad_order_symbol(self):
+        with pytest.raises(MarchParseError):
+            parse_march("{z(r0)}")
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        text = "{c(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}"
+        assert format_march(parse_march(text)) == text
+
+    def test_complexity(self):
+        test = parse_march("{c(w0); ⇑(r0,w1); ⇓(r1,w0)}")
+        assert test.ops_per_cell == 5
+        assert test.operation_count(100) == 500
+
+    def test_empty_test_model_rejected(self):
+        with pytest.raises(ValueError):
+            MarchTest(name="x", elements=())

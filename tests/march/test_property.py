@@ -1,0 +1,76 @@
+"""Property-based tests for the March notation and engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.march import format_march, parse_march, run_march
+from repro.march.model import MarchElement, MarchOperation, MarchTest
+from repro.memory import SinglePortRAM
+
+operations = st.builds(
+    MarchOperation,
+    kind=st.sampled_from(["r", "w"]),
+    data=st.integers(0, 1),
+)
+elements = st.builds(
+    MarchElement,
+    order=st.sampled_from(["up", "down", "any"]),
+    ops=st.lists(operations, min_size=1, max_size=5).map(tuple),
+)
+march_tests = st.builds(
+    MarchTest,
+    name=st.just("generated"),
+    elements=st.lists(elements, min_size=1, max_size=6).map(tuple),
+)
+
+
+def _consistent(test: MarchTest) -> bool:
+    """A March test whose reads always match what was last written.
+
+    Track the symbolic cell state through the elements: an ``r d`` is
+    consistent only when the last write (in this element or any earlier
+    one) wrote ``d``.  Because every element applies the same op string to
+    every address, a single symbolic state suffices.
+    """
+    state = None
+    for element in test.elements:
+        for op in element.ops:
+            if op.kind == "w":
+                state = op.data
+            else:
+                if state is None or state != op.data:
+                    return False
+    return True
+
+
+class TestNotationRoundtrip:
+    @settings(max_examples=60)
+    @given(march_tests)
+    def test_format_parse_roundtrip(self, test):
+        assert parse_march(format_march(test)).elements == test.elements
+
+    @settings(max_examples=60)
+    @given(march_tests)
+    def test_ops_per_cell_consistent(self, test):
+        assert test.ops_per_cell == sum(len(e.ops) for e in test.elements)
+
+
+class TestEngineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(march_tests.filter(_consistent), st.integers(4, 24))
+    def test_consistent_tests_pass_healthy_memory(self, test, n):
+        """Any read-consistent March test passes a healthy memory."""
+        assert run_march(test, SinglePortRAM(n)).passed
+
+    @settings(max_examples=40, deadline=None)
+    @given(march_tests, st.integers(4, 16))
+    def test_operation_count_exact(self, test, n):
+        ram = SinglePortRAM(n)
+        result = run_march(test, ram)
+        assert result.operations == test.ops_per_cell * n
+        assert ram.stats.operations == result.operations
+
+    @settings(max_examples=30, deadline=None)
+    @given(march_tests.filter(_consistent), st.integers(4, 12))
+    def test_wom_backgrounds_pass_healthy(self, test, n):
+        assert run_march(test, SinglePortRAM(n, m=4)).passed

@@ -1,0 +1,140 @@
+"""Tests for the raw memory array."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import MemoryArray
+
+
+class TestConstruction:
+    def test_geometry(self):
+        array = MemoryArray(16, m=4)
+        assert array.n == 16
+        assert array.m == 4
+        assert len(array) == 16
+        assert array.capacity_bits == 64
+
+    def test_bit_oriented_flag(self):
+        assert MemoryArray(4).is_bit_oriented
+        assert not MemoryArray(4, m=2).is_bit_oriented
+
+    def test_fill_value(self):
+        assert MemoryArray(4, m=4, fill=0xF).dump() == [15, 15, 15, 15]
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArray(0)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArray(4, m=0)
+
+    def test_fill_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArray(4, m=2, fill=4)
+
+    def test_repr(self):
+        assert "BOM" in repr(MemoryArray(4))
+        assert "WOM" in repr(MemoryArray(4, m=8))
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        array = MemoryArray(8, m=4)
+        array.write(5, 0xB)
+        assert array.read(5) == 0xB
+        assert array.read(4) == 0
+
+    def test_index_bounds(self):
+        array = MemoryArray(8)
+        with pytest.raises(IndexError):
+            array.read(8)
+        with pytest.raises(IndexError):
+            array.write(-1, 0)
+
+    def test_value_bounds(self):
+        array = MemoryArray(8, m=2)
+        with pytest.raises(ValueError):
+            array.write(0, 4)
+
+    def test_type_checks(self):
+        array = MemoryArray(8)
+        with pytest.raises(TypeError):
+            array.read("0")
+        with pytest.raises(TypeError):
+            array.write(0, True)
+        with pytest.raises(TypeError):
+            array.read(False)
+
+    @given(st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=15))
+    def test_roundtrip_property(self, cell, value):
+        array = MemoryArray(8, m=4)
+        array.write(cell, value)
+        assert array.read(cell) == value
+
+
+class TestBitAccess:
+    def test_read_bit(self):
+        array = MemoryArray(2, m=4, fill=0b1010)
+        assert [array.read_bit(0, i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_write_bit_set_and_clear(self):
+        array = MemoryArray(2, m=4)
+        array.write_bit(0, 2, 1)
+        assert array.read(0) == 0b0100
+        array.write_bit(0, 2, 0)
+        assert array.read(0) == 0
+
+    def test_write_bit_preserves_others(self):
+        array = MemoryArray(1, m=4, fill=0b1001)
+        array.write_bit(0, 1, 1)
+        assert array.read(0) == 0b1011
+
+    def test_bit_bounds(self):
+        array = MemoryArray(2, m=4)
+        with pytest.raises(IndexError):
+            array.read_bit(0, 4)
+        with pytest.raises(IndexError):
+            array.write_bit(0, 5, 1)
+        with pytest.raises(ValueError):
+            array.write_bit(0, 0, 2)
+
+
+class TestBulk:
+    def test_fill(self):
+        array = MemoryArray(4, m=4)
+        array.fill(0x5)
+        assert array.dump() == [5, 5, 5, 5]
+
+    def test_load_and_dump(self):
+        array = MemoryArray(4, m=4)
+        array.load([1, 2, 3, 4])
+        assert array.dump() == [1, 2, 3, 4]
+
+    def test_load_wrong_length(self):
+        with pytest.raises(ValueError):
+            MemoryArray(4).load([0, 1])
+
+    def test_load_out_of_range(self):
+        with pytest.raises(ValueError):
+            MemoryArray(4, m=1).load([0, 1, 2, 0])
+
+    def test_dump_is_copy(self):
+        array = MemoryArray(4)
+        snapshot = array.dump()
+        snapshot[0] = 1
+        assert array.read(0) == 0
+
+    def test_iter(self):
+        array = MemoryArray(3, m=4)
+        array.load([7, 8, 9])
+        assert list(array) == [7, 8, 9]
+
+    def test_copy_independent(self):
+        array = MemoryArray(3, m=4)
+        array.load([7, 8, 9])
+        clone = array.copy()
+        array.write(0, 0)
+        assert clone.read(0) == 7

@@ -1,0 +1,81 @@
+"""Tests for the address decoder model."""
+
+import pytest
+
+from repro.memory import AddressDecoder
+
+
+class TestHealthyDecoder:
+    def test_identity(self):
+        dec = AddressDecoder(8)
+        for addr in range(8):
+            assert dec.map(addr) == (addr,)
+
+    def test_is_healthy(self):
+        assert AddressDecoder(4).is_healthy
+
+    def test_bounds(self):
+        dec = AddressDecoder(4)
+        with pytest.raises(IndexError):
+            dec.map(4)
+        with pytest.raises(TypeError):
+            dec.map("0")
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AddressDecoder(0)
+
+    def test_no_unreached_cells(self):
+        assert AddressDecoder(8).unreached_cells() == set()
+
+
+class TestOverrides:
+    def test_af_a_no_access(self):
+        dec = AddressDecoder(4, overrides={1: ()})
+        assert dec.map(1) == ()
+        assert not dec.is_healthy
+
+    def test_af_c_multi_access(self):
+        dec = AddressDecoder(4, overrides={2: (2, 3)})
+        assert dec.map(2) == (2, 3)
+
+    def test_af_d_shared_cell(self):
+        dec = AddressDecoder(4, overrides={1: (0,)})
+        assert dec.map(0) == (0,)
+        assert dec.map(1) == (0,)
+
+    def test_af_b_unreached(self):
+        dec = AddressDecoder(4, overrides={1: (2,)})
+        assert dec.unreached_cells() == {1}
+
+    def test_override_validation(self):
+        dec = AddressDecoder(4)
+        with pytest.raises(IndexError):
+            dec.set_override(0, (4,))
+        with pytest.raises(ValueError):
+            dec.set_override(0, (1, 1))
+        with pytest.raises(TypeError):
+            dec.set_override(0, (True,))
+        with pytest.raises(IndexError):
+            dec.set_override(9, (0,))
+
+    def test_clear_override(self):
+        dec = AddressDecoder(4, overrides={1: ()})
+        dec.clear_override(1)
+        assert dec.map(1) == (1,)
+        assert dec.is_healthy
+
+    def test_clear_all(self):
+        dec = AddressDecoder(4, overrides={1: (), 2: (0, 1)})
+        dec.clear()
+        assert dec.is_healthy
+
+    def test_overrides_copy(self):
+        dec = AddressDecoder(4, overrides={1: ()})
+        snapshot = dec.overrides
+        snapshot[2] = (0,)
+        assert dec.map(2) == (2,)
+
+    def test_repr(self):
+        assert "healthy" in repr(AddressDecoder(4))
+        assert "1 overrides" in repr(AddressDecoder(4, overrides={0: ()}))

@@ -1,0 +1,146 @@
+"""Tests for dual- and quad-port RAM semantics."""
+
+import pytest
+
+from repro.memory import (
+    AddressDecoder,
+    DualPortRAM,
+    MultiPortRAM,
+    PortConflictError,
+    PortOp,
+    QuadPortRAM,
+)
+
+
+class TestPortOpValidation:
+    def test_write_needs_value(self):
+        with pytest.raises(ValueError):
+            PortOp(0, "w", 1)
+
+    def test_read_rejects_value(self):
+        with pytest.raises(ValueError):
+            PortOp(0, "r", 1, 1)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            PortOp(0, "x", 1)
+
+
+class TestCycleSemantics:
+    def test_simultaneous_reads_same_cell(self):
+        ram = DualPortRAM(8)
+        ram.fill(1)
+        results = ram.cycle([PortOp(0, "r", 3), PortOp(1, "r", 3)])
+        assert results == {0: 1, 1: 1}
+        assert ram.stats.cycles == 1
+
+    def test_read_before_write(self):
+        """A read racing a write to the same cell returns the old value."""
+        ram = DualPortRAM(8)
+        results = ram.cycle([PortOp(0, "r", 3), PortOp(1, "w", 3, 1)])
+        assert results[0] == 0
+        assert ram.read(3) == 1
+
+    def test_parallel_read_write_different_cells(self):
+        ram = DualPortRAM(8)
+        ram.fill(1)
+        results = ram.cycle([PortOp(0, "r", 0), PortOp(1, "w", 5, 0)])
+        assert results == {0: 1}
+        assert ram.array.read(5) == 0
+
+    def test_write_write_conflict(self):
+        ram = DualPortRAM(8)
+        with pytest.raises(PortConflictError):
+            ram.cycle([PortOp(0, "w", 3, 1), PortOp(1, "w", 3, 0)])
+
+    def test_write_write_different_cells_ok(self):
+        ram = DualPortRAM(8)
+        ram.cycle([PortOp(0, "w", 3, 1), PortOp(1, "w", 4, 1)])
+        assert ram.array.read(3) == 1
+        assert ram.array.read(4) == 1
+
+    def test_same_port_twice_rejected(self):
+        ram = DualPortRAM(8)
+        with pytest.raises(PortConflictError):
+            ram.cycle([PortOp(0, "r", 0), PortOp(0, "r", 1)])
+
+    def test_too_many_ops(self):
+        ram = DualPortRAM(8)
+        with pytest.raises(PortConflictError):
+            ram.cycle([PortOp(0, "r", 0), PortOp(1, "r", 1), PortOp(0, "r", 2)])
+
+    def test_port_out_of_range(self):
+        ram = DualPortRAM(8)
+        with pytest.raises(PortConflictError):
+            ram.cycle([PortOp(2, "r", 0)])
+
+    def test_write_conflict_through_decoder(self):
+        # AF-C makes two addresses overlap physically: conflict is physical.
+        dec = AddressDecoder(8, overrides={1: (1, 2)})
+        ram = DualPortRAM(8, decoder=dec)
+        with pytest.raises(PortConflictError):
+            ram.cycle([PortOp(0, "w", 1, 1), PortOp(1, "w", 2, 0)])
+
+    def test_empty_cycle_counts(self):
+        ram = DualPortRAM(8)
+        ram.cycle([])
+        assert ram.stats.cycles == 1
+
+
+class TestAccounting:
+    def test_dual_port_halves_cycles(self):
+        """2 reads/cycle: 10 reads in 5 cycles on 2P, 10 cycles on sequential."""
+        ram = DualPortRAM(16)
+        for i in range(5):
+            ram.cycle([PortOp(0, "r", 2 * i), PortOp(1, "r", 2 * i + 1)])
+        assert ram.stats.reads == 10
+        assert ram.stats.cycles == 5
+
+    def test_sequential_convenience(self):
+        ram = DualPortRAM(8)
+        ram.write(3, 1, port=1)
+        assert ram.read(3, port=0) == 1
+        assert ram.stats.cycles == 2
+
+    def test_trace_multi_port(self):
+        ram = DualPortRAM(8, trace=True)
+        ram.cycle([PortOp(0, "r", 0), PortOp(1, "w", 1, 1)])
+        ops = list(ram.trace)
+        assert len(ops) == 2
+        assert {op.port for op in ops} == {0, 1}
+        assert ops[0].cycle == ops[1].cycle == 0
+        assert ram.trace.cycles == 1
+
+
+class TestVariants:
+    def test_dual_port_is_two_ports(self):
+        assert DualPortRAM(8).ports == 2
+
+    def test_quad_port_is_four_ports(self):
+        ram = QuadPortRAM(8)
+        assert ram.ports == 4
+        ram.cycle([
+            PortOp(0, "r", 0), PortOp(1, "r", 1),
+            PortOp(2, "w", 2, 1), PortOp(3, "w", 3, 1),
+        ])
+        assert ram.stats.cycles == 1
+        assert ram.stats.operations == 4
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPortRAM(8, ports=0)
+
+    def test_decoder_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPortRAM(8, decoder=AddressDecoder(4))
+
+    def test_af_a_per_port_sense(self):
+        dec = AddressDecoder(8, overrides={1: ()})
+        ram = DualPortRAM(8, decoder=dec)
+        ram.fill(1)
+        ram.read(0, port=0)  # port 0 sense = 1
+        assert ram.read(1, port=0) == 1  # stale sense on port 0
+        assert ram.read(1, port=1) == 0  # port 1 sense untouched
+
+    def test_repr(self):
+        assert "ports=4" in repr(QuadPortRAM(8))

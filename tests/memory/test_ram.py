@@ -1,0 +1,148 @@
+"""Tests for the single-port RAM front-end."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import (
+    AddressDecoder,
+    CellBehavior,
+    SinglePortRAM,
+    TransparentBehavior,
+)
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        ram = SinglePortRAM(8, m=4)
+        ram.write(3, 0xA)
+        assert ram.read(3) == 0xA
+
+    def test_initial_zero(self):
+        assert SinglePortRAM(4).read(2) == 0
+
+    def test_stats(self):
+        ram = SinglePortRAM(8)
+        ram.write(0, 1)
+        ram.write(1, 0)
+        ram.read(0)
+        assert ram.stats.reads == 1
+        assert ram.stats.writes == 2
+        assert ram.stats.cycles == 3
+        assert ram.stats.operations == 3
+
+    def test_stats_reset(self):
+        ram = SinglePortRAM(8)
+        ram.write(0, 1)
+        ram.stats.reset()
+        assert ram.stats.cycles == 0
+
+    def test_value_validation(self):
+        ram = SinglePortRAM(8, m=2)
+        with pytest.raises(ValueError):
+            ram.write(0, 4)
+
+    def test_repr(self):
+        assert "BOM" in repr(SinglePortRAM(4))
+        assert "WOM" in repr(SinglePortRAM(4, m=4))
+
+    def test_decoder_size_mismatch(self):
+        with pytest.raises(ValueError):
+            SinglePortRAM(8, decoder=AddressDecoder(4))
+
+    def test_bad_wired_rule(self):
+        with pytest.raises(ValueError):
+            SinglePortRAM(8, wired="xor")
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 15)), max_size=30))
+    def test_matches_reference_dict(self, operations):
+        """The RAM behaves like a plain dict under any write sequence."""
+        ram = SinglePortRAM(8, m=4)
+        reference = {addr: 0 for addr in range(8)}
+        for addr, value in operations:
+            ram.write(addr, value)
+            reference[addr] = value
+        for addr in range(8):
+            assert ram.read(addr) == reference[addr]
+
+
+class TestDecoderInteraction:
+    def test_af_a_write_lost_read_senses_latch(self):
+        ram = SinglePortRAM(4, decoder=AddressDecoder(4, overrides={1: ()}))
+        ram.write(1, 1)  # lost
+        assert ram.array.dump() == [0, 0, 0, 0]
+        ram.write(0, 1)
+        ram.read(0)  # sense latch now 1
+        assert ram.read(1) == 1  # AF-A read returns stale sense value
+
+    def test_af_c_write_hits_both(self):
+        ram = SinglePortRAM(4, decoder=AddressDecoder(4, overrides={2: (2, 3)}))
+        ram.write(2, 1)
+        assert ram.array.read(2) == 1
+        assert ram.array.read(3) == 1
+
+    def test_af_c_read_wired_and(self):
+        ram = SinglePortRAM(4, decoder=AddressDecoder(4, overrides={2: (2, 3)}))
+        ram.array.write(2, 1)
+        ram.array.write(3, 0)
+        assert ram.read(2) == 0
+
+    def test_af_c_read_wired_or(self):
+        ram = SinglePortRAM(
+            4, decoder=AddressDecoder(4, overrides={2: (2, 3)}), wired="or"
+        )
+        ram.array.write(2, 1)
+        ram.array.write(3, 0)
+        assert ram.read(2) == 1
+
+    def test_af_d_aliasing(self):
+        ram = SinglePortRAM(4, decoder=AddressDecoder(4, overrides={1: (0,)}))
+        ram.write(1, 1)
+        assert ram.read(0) == 1
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        assert SinglePortRAM(4).trace is None
+
+    def test_records_operations(self):
+        ram = SinglePortRAM(4, trace=True)
+        ram.write(2, 1)
+        ram.read(2)
+        trace = ram.trace
+        assert len(trace) == 2
+        assert trace[0].kind == "w"
+        assert trace[0].addr == 2
+        assert trace[1].kind == "r"
+        assert trace[1].value == 1
+
+    def test_cycle_stamps_increase(self):
+        ram = SinglePortRAM(4, trace=True)
+        for addr in range(4):
+            ram.write(addr, 0)
+        stamps = [op.cycle for op in ram.trace]
+        assert stamps == [0, 1, 2, 3]
+
+
+class TestBehaviorPlug:
+    def test_attach_detach(self):
+        class InvertingBehavior(CellBehavior):
+            def read_cell(self, array, cell, time):
+                return array.read(cell) ^ 1
+
+            def write_cell(self, array, cell, value, time):
+                array.write(cell, value)
+
+        ram = SinglePortRAM(4)
+        ram.write(0, 1)
+        ram.attach_behavior(InvertingBehavior())
+        assert ram.read(0) == 0
+        ram.detach_behavior()
+        assert ram.read(0) == 1
+        assert isinstance(ram.behavior, TransparentBehavior)
+
+    def test_fill_bypasses_behavior_and_stats(self):
+        ram = SinglePortRAM(4)
+        ram.fill(1)
+        assert ram.stats.cycles == 0
+        assert ram.dump() == [1, 1, 1, 1]

@@ -1,0 +1,61 @@
+"""Tests for the operation trace."""
+
+import pytest
+
+from repro.memory import Operation, OperationTrace
+
+
+class TestOperation:
+    def test_str(self):
+        op = Operation(5, 1, "w", 3, 9)
+        assert str(op) == "@5 P1 w9[3]"
+
+    def test_frozen(self):
+        op = Operation(0, 0, "r", 0, 0)
+        with pytest.raises(AttributeError):
+            op.cycle = 1
+
+
+class TestOperationTrace:
+    def make_trace(self):
+        trace = OperationTrace()
+        trace.record(Operation(0, 0, "w", 0, 1))
+        trace.record(Operation(1, 0, "r", 0, 1))
+        trace.record(Operation(1, 1, "r", 2, 0))
+        return trace
+
+    def test_counts(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert trace.reads == 2
+        assert trace.writes == 1
+        assert trace.cycles == 2
+
+    def test_bad_kind_rejected(self):
+        trace = OperationTrace()
+        with pytest.raises(ValueError):
+            trace.record(Operation(0, 0, "x", 0, 0))
+
+    def test_for_address(self):
+        trace = self.make_trace()
+        assert len(trace.for_address(0)) == 2
+        assert len(trace.for_address(2)) == 1
+        assert trace.for_address(7) == []
+
+    def test_for_port(self):
+        trace = self.make_trace()
+        assert len(trace.for_port(0)) == 2
+        assert len(trace.for_port(1)) == 1
+
+    def test_indexing_and_iter(self):
+        trace = self.make_trace()
+        assert trace[0].kind == "w"
+        assert [op.kind for op in trace] == ["w", "r", "r"]
+
+    def test_clear(self):
+        trace = self.make_trace()
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_repr(self):
+        assert "3 ops" in repr(self.make_trace())

@@ -1,0 +1,101 @@
+"""Tests for π-test fault localization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    BridgingFault,
+    FaultInjector,
+    StuckAtFault,
+    TransitionFault,
+    af_shared_cell,
+)
+from repro.memory import SinglePortRAM
+from repro.prt import PiIteration, diagnose_iteration
+from repro.prt.trajectory import descending
+
+N = 21
+ITERATION = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+
+
+def diagnose_with(fault, iteration=ITERATION, n=N):
+    ram = SinglePortRAM(n)
+    injector = FaultInjector([fault])
+    injector.install(ram)
+    report = diagnose_iteration(iteration, ram)
+    injector.remove(ram)
+    return report
+
+
+class TestCleanMemory:
+    def test_clean_report(self):
+        report = diagnose_iteration(ITERATION, SinglePortRAM(N))
+        assert not report.detected
+        assert report.suspect_cells == ()
+        assert report.first_divergence is None
+        assert "clean" in repr(report)
+
+
+class TestLocalization:
+    def test_saf_localized(self):
+        background = ITERATION.background_after(N)
+        cell = background.index(1, 3)
+        report = diagnose_with(StuckAtFault(cell, 0))
+        assert report.detected
+        assert cell in report.suspect_cells
+        assert len(report.suspect_cells) <= 4  # k + 1 suspects for k = 3
+
+    def test_suspect_set_small(self):
+        for cell in (5, 9, 14):
+            report = diagnose_with(StuckAtFault(cell, 1))
+            if report.detected and report.first_divergence is not None:
+                assert len(report.suspect_cells) <= 4
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=3, max_value=N - 1))
+    def test_activated_saf_always_localized(self, cell):
+        """Any activated stuck-at lands inside the suspect set."""
+        background = ITERATION.background_after(N)
+        stuck = background[cell] ^ 1  # guaranteed activation
+        report = diagnose_with(StuckAtFault(cell, stuck))
+        assert report.detected
+        if report.first_divergence is not None:
+            assert cell in report.suspect_cells
+
+    def test_observed_expected_fields(self):
+        background = ITERATION.background_after(N)
+        cell = background.index(1, 3)
+        report = diagnose_with(StuckAtFault(cell, 0))
+        if report.first_divergence is not None:
+            assert report.observed != report.expected
+            assert "divergence@" in repr(report)
+
+    def test_tf_localized(self):
+        background = ITERATION.background_after(N)
+        cell = background.index(1, 3)  # TF-up blocks 0 -> 1
+        report = diagnose_with(TransitionFault(cell, rising=True))
+        assert report.detected
+        assert cell in report.suspect_cells
+
+    def test_bridge_suspects_intersect_bridge(self):
+        report = diagnose_with(BridgingFault(8, 9, kind="and"))
+        if report.detected and report.first_divergence is not None:
+            assert {8, 9} & set(report.suspect_cells)
+
+    def test_decoder_fault_localized(self):
+        report = diagnose_with(af_shared_cell(6, 7))
+        if report.detected and report.first_divergence is not None:
+            assert {6, 7} & set(report.suspect_cells)
+
+    def test_descending_trajectory(self):
+        iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1),
+                                trajectory=descending(N))
+        background = iteration.background_after(N)
+        cell = background.index(1)
+        # Skip seed cells of the descending walk (N-1, N-2, N-3).
+        if cell >= N - 3:
+            cell = next(c for c in range(N - 4, -1, -1) if background[c] == 1)
+        report = diagnose_with(StuckAtFault(cell, 0), iteration=iteration)
+        assert report.detected
+        assert cell in report.suspect_cells

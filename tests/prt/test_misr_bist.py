@@ -1,0 +1,134 @@
+"""Tests for the MISR compactor and the BIST overhead model."""
+
+import pytest
+
+from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2m import GF2m
+from repro.prt import MISR, BistOverheadModel
+
+F16 = GF2m(poly_from_string("1+z+z^4"))
+
+
+class TestMISR:
+    def test_reducible_poly_rejected(self):
+        with pytest.raises(ValueError):
+            MISR(0b10101)
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MISR(1)
+
+    def test_initial_out_of_range(self):
+        with pytest.raises(ValueError):
+            MISR(0b10011, initial=16)
+
+    def test_word_out_of_range(self):
+        misr = MISR(0b10011)
+        with pytest.raises(ValueError):
+            misr.absorb(16)
+
+    def test_signature_changes(self):
+        misr = MISR(0b10011)
+        misr.absorb(0x3)
+        assert misr.signature != 0
+        assert misr.absorbed == 1
+
+    def test_deterministic(self):
+        a = MISR(0b10011)
+        b = MISR(0b10011)
+        words = [3, 10, 15, 0, 7]
+        assert a.absorb_all(words) == b.absorb_all(words)
+
+    def test_order_sensitive(self):
+        a = MISR(0b10011)
+        b = MISR(0b10011)
+        assert a.absorb_all([1, 2]) != b.absorb_all([2, 1])
+
+    def test_reset(self):
+        misr = MISR(0b10011, initial=5)
+        misr.absorb_all([1, 2, 3])
+        misr.reset()
+        assert misr.signature == 5
+        assert misr.absorbed == 0
+
+    def test_distinguishes_single_bit_flip(self):
+        words = [3, 10, 15, 0, 7, 9]
+        golden = MISR(0b10011).absorb_all(words)
+        corrupted = list(words)
+        corrupted[2] ^= 0b0100
+        assert MISR(0b10011).absorb_all(corrupted) != golden
+
+    def test_zero_stream_keeps_zero(self):
+        misr = MISR(0b10011)
+        misr.absorb_all([0] * 20)
+        assert misr.signature == 0
+
+    def test_repr(self):
+        assert "m=4" in repr(MISR(0b10011))
+
+
+class TestBistOverheadModel:
+    def make(self, ports=2):
+        return BistOverheadModel(F16, (1, 2, 2), ports=ports)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BistOverheadModel(F16, (1,), ports=2)
+        with pytest.raises(ValueError):
+            BistOverheadModel(F16, (1, 2, 2), ports=0)
+
+    def test_geometry(self):
+        model = self.make()
+        assert model.k == 2
+        assert model.m == 4
+
+    def test_multiplier_gates_positive(self):
+        assert self.make().multiplier_xor_gates() > 0
+
+    def test_counter_bits_scale_with_log_n(self):
+        model = self.make()
+        assert model.counter_bits(1 << 10) == 2 * 10
+        assert model.counter_bits(1 << 20) == 2 * 20
+
+    def test_counter_bits_validation(self):
+        with pytest.raises(ValueError):
+            self.make().counter_bits(1)
+
+    def test_overhead_decreases_with_capacity(self):
+        model = self.make()
+        ratios = [model.overhead_ratio(1 << e) for e in (10, 16, 22, 28)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_claim_c5_bound(self):
+        """The paper's claim: overhead < 2^-20 of memory capacity.
+        Our cost model crosses that bound at large-but-realistic sizes."""
+        model = self.make()
+        assert model.overhead_ratio(1 << 26) < 2**-20
+
+    def test_crossover_capacity(self):
+        model = self.make()
+        crossover = model.crossover_capacity()
+        assert model.overhead_ratio(crossover) < 2**-20
+        assert model.overhead_ratio(crossover // 2) >= 2**-20
+
+    def test_crossover_unreachable_raises(self):
+        model = self.make()
+        with pytest.raises(ValueError):
+            model.crossover_capacity(bound=1e-30, max_log2n=12)
+
+    def test_report_fields(self):
+        report = self.make().report(1 << 20)
+        assert report["n"] == 1 << 20
+        assert report["overhead_ratio"] > 0
+        assert report["bist_transistors"] < report["memory_transistors"]
+
+    def test_bom_model(self):
+        model = BistOverheadModel(GF2m(0b11), (1, 1, 1), ports=1)
+        assert model.m == 1
+        assert model.overhead_ratio(1 << 30) < 2**-20
+
+    def test_gf256_model(self):
+        field = GF2m(primitive_polynomial(8))
+        model = BistOverheadModel(field, (1, 2, 3), ports=2)
+        assert model.multiplier_xor_gates() > 0
+        assert model.overhead_ratio(1 << 28) < 2**-20

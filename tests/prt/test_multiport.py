@@ -1,0 +1,153 @@
+"""Tests for the dual- and quad-port π-test schemes (paper §4, Fig. 2)."""
+
+import pytest
+
+from repro.faults import FaultInjector, StuckAtFault
+from repro.gf2 import poly_from_string
+from repro.gf2m import GF2m
+from repro.memory import DualPortRAM, QuadPortRAM, SinglePortRAM
+from repro.prt import (
+    DualPortPiIteration,
+    PiIteration,
+    QuadPortPiIteration,
+    descending,
+)
+
+F16 = GF2m(poly_from_string("1+z+z^4"))
+
+
+class TestDualPort:
+    def test_requires_k2(self):
+        with pytest.raises(ValueError):
+            DualPortPiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            DualPortPiIteration(seed=(0, 0))
+
+    def test_needs_two_ports(self):
+        it = DualPortPiIteration(seed=(0, 1))
+        with pytest.raises(ValueError):
+            it.run(SinglePortRAM(9))
+
+    def test_field_mismatch(self):
+        it = DualPortPiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        with pytest.raises(ValueError):
+            it.run(DualPortRAM(16, m=1))
+
+    def test_memory_too_small(self):
+        with pytest.raises(ValueError):
+            DualPortPiIteration(seed=(0, 1)).run(DualPortRAM(2))
+
+    def test_healthy_bom_passes(self):
+        assert DualPortPiIteration(seed=(0, 1)).run(DualPortRAM(9)).passed
+
+    def test_healthy_wom_passes_and_ring_closes(self):
+        it = DualPortPiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        result = it.run(DualPortRAM(255, m=4))
+        assert result.passed
+        assert result.ring_closed
+
+    def test_cycle_count_is_2n_claim_c4(self):
+        """The paper's claim: dual-port PRT runs in 2n cycles."""
+        it = DualPortPiIteration(seed=(0, 1))
+        ram = DualPortRAM(50)
+        it.run(ram)
+        assert ram.stats.cycles == 2 * 50 + 2 == it.cycle_count(50)
+
+    def test_single_vs_dual_port_speedup(self):
+        """3n single-port cycles vs 2n dual-port cycles: ratio -> 1.5."""
+        n = 120
+        sp = SinglePortRAM(n)
+        PiIteration(seed=(0, 1)).run(sp)
+        dp = DualPortRAM(n)
+        DualPortPiIteration(seed=(0, 1)).run(dp)
+        assert sp.stats.cycles > dp.stats.cycles
+        ratio = sp.stats.cycles / dp.stats.cycles
+        assert 1.4 < ratio < 1.6
+
+    def test_same_stream_as_single_port(self):
+        n = 30
+        sp = SinglePortRAM(n)
+        PiIteration(seed=(0, 1)).run(sp)
+        dp = DualPortRAM(n)
+        DualPortPiIteration(seed=(0, 1)).run(dp)
+        assert sp.dump() == dp.dump()
+
+    def test_detects_fault(self):
+        it = DualPortPiIteration(generator=(1, 1, 1), seed=(1, 1))
+        background = {}
+        ram0 = DualPortRAM(9)
+        it.run(ram0)
+        cell = ram0.dump().index(1)
+        ram = DualPortRAM(9)
+        FaultInjector([StuckAtFault(cell, 0)]).install(ram)
+        assert not it.run(ram).passed
+
+    def test_custom_trajectory(self):
+        it = DualPortPiIteration(seed=(0, 1), trajectory=descending(9))
+        assert it.run(DualPortRAM(9)).passed
+
+    def test_trajectory_size_mismatch(self):
+        it = DualPortPiIteration(seed=(0, 1), trajectory=descending(8))
+        with pytest.raises(ValueError):
+            it.run(DualPortRAM(9))
+
+    def test_properties(self):
+        it = DualPortPiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        assert it.field is F16
+        assert it.generator == (1, 2, 2)
+        assert it.seed == (0, 1)
+
+
+class TestQuadPort:
+    def test_requires_k2(self):
+        with pytest.raises(ValueError):
+            QuadPortPiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+
+    def test_needs_four_ports(self):
+        with pytest.raises(ValueError):
+            QuadPortPiIteration(seed=(0, 1)).run(DualPortRAM(12))
+
+    def test_needs_even_n(self):
+        with pytest.raises(ValueError):
+            QuadPortPiIteration(seed=(0, 1)).run(QuadPortRAM(13))
+
+    def test_healthy_passes(self):
+        result = QuadPortPiIteration(seed=(0, 1)).run(QuadPortRAM(12))
+        assert result.passed
+
+    def test_cycle_count_is_n(self):
+        """Two concurrent automata: a full pass in n + 2 cycles."""
+        it = QuadPortPiIteration(seed=(0, 1))
+        ram = QuadPortRAM(40)
+        it.run(ram)
+        assert ram.stats.cycles == 40 + 2 == it.cycle_count(40)
+
+    def test_detects_fault_in_either_half(self):
+        for cell in (2, 8):  # first and second half of a 12-cell array
+            probe = QuadPortRAM(12)
+            QuadPortPiIteration(seed=(1, 1)).run(probe)
+            target = probe.dump()[cell] ^ 1
+            ram = QuadPortRAM(12)
+            FaultInjector([StuckAtFault(cell, target)]).install(ram)
+            result = QuadPortPiIteration(seed=(1, 1)).run(ram)
+            assert not result.passed
+
+    def test_halves_report_separately(self):
+        ram = QuadPortRAM(12)
+        FaultInjector([StuckAtFault(1, 1)]).install(ram)
+        result = QuadPortPiIteration(seed=(0, 1)).run(ram)
+        # fault in first half only
+        if not result.passed:
+            statuses = [r.passed for r in result.halves]
+            assert statuses.count(False) >= 1
+
+    def test_field_mismatch(self):
+        it = QuadPortPiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        with pytest.raises(ValueError):
+            it.run(QuadPortRAM(12, m=1))
+
+    def test_result_repr(self):
+        result = QuadPortPiIteration(seed=(0, 1)).run(QuadPortRAM(12))
+        assert "PASS" in repr(result)

@@ -1,0 +1,166 @@
+"""Tests for parallel bit-slice WOM testing (claim C7)."""
+
+import pytest
+
+from repro.faults import (
+    BitLocation,
+    FaultInjector,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.memory import SinglePortRAM
+from repro.prt import BitSlicePiIteration, lane_permutations
+from repro.prt.trajectory import descending
+
+
+class TestLanePermutations:
+    def test_parallel_is_identity(self):
+        sigma, tau = lane_permutations(4, "parallel")
+        assert sigma == tau == (0, 1, 2, 3)
+
+    def test_random_reproducible(self):
+        assert lane_permutations(4, "random", seed=3) == lane_permutations(
+            4, "random", seed=3
+        )
+
+    def test_random_not_identity(self):
+        sigma, tau = lane_permutations(4, "random", seed=0)
+        assert sigma != (0, 1, 2, 3) or tau != (0, 1, 2, 3)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            lane_permutations(4, "diagonal")
+
+    def test_permutations_valid(self):
+        for seed in range(10):
+            sigma, tau = lane_permutations(8, "random", seed=seed)
+            assert sorted(sigma) == list(range(8))
+            assert sorted(tau) == list(range(8))
+
+
+class TestConstruction:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=0)
+
+    def test_seed_must_activate_every_slice(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=4, seed=(0b0001, 0b0010))
+
+    def test_default_seed_is_checkerboard(self):
+        it = BitSlicePiIteration(m=4)
+        assert it.seed == (0b0101, 0b1010)
+
+    def test_default_seed_activates_all_slices(self):
+        for m in (1, 2, 3, 4, 8):
+            it = BitSlicePiIteration(m=m)
+            s0, s1 = it.seed
+            for l in range(m):
+                assert (s0 >> l) & 1 or (s1 >> l) & 1
+
+    def test_seed_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=4, seed=(0, 16))
+
+    def test_seed_wrong_arity(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=4, seed=(1, 2, 3))
+
+    def test_repr(self):
+        assert "parallel" in repr(BitSlicePiIteration(m=4))
+
+
+class TestHealthyRuns:
+    def test_parallel_passes(self):
+        it = BitSlicePiIteration(m=4, mode="parallel")
+        assert it.run(SinglePortRAM(16, m=4)).passed
+
+    def test_random_passes(self):
+        for seed in range(5):
+            it = BitSlicePiIteration(m=4, mode="random", wiring_seed=seed)
+            assert it.run(SinglePortRAM(16, m=4)).passed
+
+    def test_custom_trajectory(self):
+        it = BitSlicePiIteration(m=4, trajectory=descending(16))
+        assert it.run(SinglePortRAM(16, m=4)).passed
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=4).run(SinglePortRAM(16, m=8))
+
+    def test_memory_too_small(self):
+        with pytest.raises(ValueError):
+            BitSlicePiIteration(m=4).run(SinglePortRAM(2, m=4))
+
+    def test_operation_count(self):
+        it = BitSlicePiIteration(m=4)
+        result = it.run(SinglePortRAM(16, m=4))
+        assert result.operations == 3 * 16 + 4
+
+    def test_expected_stream_matches_memory(self):
+        it = BitSlicePiIteration(m=4, mode="random", wiring_seed=2)
+        ram = SinglePortRAM(16, m=4)
+        it.run(ram)
+        stream = it.expected_stream(16)
+        # Cells 2..15 hold stream values 0..13 (the wrap rewrote 0, 1).
+        assert ram.dump()[2:] == stream[:14]
+
+
+class TestIntraWordDetection:
+    """Claim C7: random lane wiring catches intra-word coupling that
+    parallel wiring can miss."""
+
+    def intra_word_universe(self, n, m):
+        faults = []
+        for cell in range(0, n, 3):
+            for a_bit in range(m - 1):
+                faults.append(
+                    InversionCouplingFault(
+                        BitLocation(cell, a_bit),
+                        BitLocation(cell, a_bit + 1),
+                        rising=True,
+                    )
+                )
+                faults.append(
+                    StateCouplingFault(
+                        BitLocation(cell, a_bit),
+                        BitLocation(cell, a_bit + 1),
+                        aggressor_state=1,
+                        force_to=0,
+                    )
+                )
+        return faults
+
+    def count_detected(self, iteration, faults, n, m):
+        detected = 0
+        for fault in faults:
+            ram = SinglePortRAM(n, m=m)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            if not iteration.run(ram).passed:
+                detected += 1
+            injector.remove(ram)
+        return detected
+
+    def test_random_wiring_detects_intra_word(self):
+        n, m = 15, 4
+        faults = self.intra_word_universe(n, m)
+        random_it = BitSlicePiIteration(m=m, mode="random", wiring_seed=1)
+        detected = self.count_detected(random_it, faults, n, m)
+        assert detected > 0
+
+    def test_failing_slices_identified(self):
+        n, m = 15, 4
+        fault = InversionCouplingFault(
+            BitLocation(5, 0), BitLocation(5, 2), rising=True
+        )
+        it = BitSlicePiIteration(m=m, mode="random", wiring_seed=1)
+        ram = SinglePortRAM(n, m=m)
+        FaultInjector([fault]).install(ram)
+        result = it.run(ram)
+        if not result.passed:
+            assert result.failing_slices != []
+
+    def test_result_repr(self):
+        result = BitSlicePiIteration(m=4).run(SinglePortRAM(16, m=4))
+        assert "PASS" in repr(result)

@@ -1,0 +1,260 @@
+"""Tests for the π-test iteration engine (paper §2, Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultInjector, StuckAtFault
+from repro.gf2 import poly_from_string
+from repro.gf2m import GF2m
+from repro.memory import SinglePortRAM
+from repro.prt import PiIteration, ascending, descending, random_trajectory
+
+F16 = GF2m(poly_from_string("1+z+z^4"))
+
+
+class TestConstruction:
+    def test_defaults_are_paper_bom(self):
+        it = PiIteration()
+        assert it.generator == (1, 1, 1)
+        assert it.k == 2
+        assert it.field.m == 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            PiIteration(seed=(0, 0))
+
+    def test_generator_validated(self):
+        with pytest.raises(ValueError):
+            PiIteration(generator=(0, 1, 1), seed=(0, 1))
+
+    def test_field_mismatch(self):
+        it = PiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        with pytest.raises(ValueError):
+            it.run(SinglePortRAM(16, m=1))
+
+    def test_memory_too_small(self):
+        with pytest.raises(ValueError):
+            PiIteration(seed=(0, 1)).run(SinglePortRAM(2))
+
+    def test_trajectory_size_mismatch(self):
+        it = PiIteration(seed=(0, 1), trajectory=ascending(8))
+        with pytest.raises(ValueError):
+            it.run(SinglePortRAM(16))
+
+    def test_repr(self):
+        assert "1 + x + x^2" in repr(PiIteration())
+
+
+class TestBomIteration:
+    """Figure 1(a): the bit-oriented π-test."""
+
+    def test_healthy_memory_passes(self):
+        result = PiIteration(seed=(0, 1)).run(SinglePortRAM(9))
+        assert result.passed
+
+    def test_ring_closes_when_period_divides_n(self):
+        # g = 1+x+x^2 has period 3; 9 = 3*3
+        result = PiIteration(seed=(0, 1)).run(SinglePortRAM(9))
+        assert result.ring_closed
+
+    def test_ring_open_otherwise(self):
+        result = PiIteration(seed=(0, 1)).run(SinglePortRAM(10))
+        assert result.passed  # Fin* is computed for n steps; still passes
+        assert not result.ring_closed
+
+    def test_written_stream_is_lfsr_stream(self):
+        it = PiIteration(seed=(0, 1))
+        result = it.run(SinglePortRAM(9), record=True)
+        assert result.written_stream == [1, 0, 1, 1, 0, 1, 1, 0, 1]
+        assert result.written_stream == it.expected_stream(9)
+
+    def test_operation_count_is_3n_plus_4(self):
+        it = PiIteration(seed=(0, 1))
+        ram = SinglePortRAM(30)
+        result = it.run(ram)
+        assert result.operations == 3 * 30 + 4 == it.operation_count(30)
+        assert ram.stats.operations == result.operations
+
+    def test_two_tap_degree3_also_3n(self):
+        it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        assert it.reads_per_subiteration == 2
+        assert it.operation_count(30) == 3 * 30 + 6
+
+    def test_period_helpers(self):
+        assert PiIteration(seed=(0, 1)).period == 3
+        assert PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1)).period == 7
+        assert PiIteration(seed=(0, 1)).ring_closes_for(9)
+        assert not PiIteration(seed=(0, 1)).ring_closes_for(10)
+
+
+class TestWomIteration:
+    """Figure 1(b): the word-oriented π-test, m=4, g = 1 + 2x + 2x^2."""
+
+    def make(self, **kwargs):
+        return PiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1), **kwargs)
+
+    def test_figure_1b_stream_prefix(self):
+        result = self.make().run(SinglePortRAM(255, m=4), record=True)
+        assert result.written_stream[:4] == [2, 6, 8, 15]
+
+    def test_ring_closes_at_255(self):
+        result = self.make().run(SinglePortRAM(255, m=4))
+        assert result.ring_closed
+        assert result.passed
+
+    def test_passes_at_any_n(self):
+        for n in (10, 100, 200):
+            assert self.make().run(SinglePortRAM(n, m=4)).passed
+
+    def test_detects_word_stuck_bit(self):
+        ram = SinglePortRAM(100, m=4)
+        FaultInjector([StuckAtFault(37, 1, bit=2)]).install(ram)
+        assert not self.make().run(ram).passed
+
+
+class TestInversion:
+    def test_inverted_stream_is_complement(self):
+        base = PiIteration(seed=(0, 1))
+        inv = PiIteration(seed=(0, 1), invert=True)
+        assert inv.invert
+        assert [v ^ 1 for v in base.expected_stream(9)] == inv.expected_stream(9)
+
+    def test_inverted_background_is_complement(self):
+        base = PiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1))
+        inv = PiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1), invert=True)
+        assert [v ^ 0xF for v in base.background_after(16)] == inv.background_after(16)
+
+    def test_inverted_iteration_passes_healthy(self):
+        result = PiIteration(seed=(0, 1), invert=True).run(SinglePortRAM(9))
+        assert result.passed
+
+    def test_inverted_memory_contents(self):
+        ram = SinglePortRAM(9)
+        it = PiIteration(seed=(0, 1), invert=True)
+        it.run(ram)
+        assert ram.dump() == it.background_after(9)
+
+
+class TestBackgroundAfter:
+    def test_matches_memory_dump(self):
+        for traj in (ascending(12), descending(12), random_trajectory(12, seed=4)):
+            ram = SinglePortRAM(12)
+            it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1), trajectory=traj)
+            it.run(ram)
+            assert ram.dump() == it.background_after(12)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=5, max_value=40))
+    def test_matches_dump_any_n(self, n):
+        ram = SinglePortRAM(n)
+        it = PiIteration(seed=(0, 1))
+        it.run(ram)
+        assert ram.dump() == it.background_after(n)
+
+
+class TestVerification:
+    def test_wrong_background_length_rejected(self):
+        it = PiIteration(seed=(0, 1))
+        with pytest.raises(ValueError):
+            it.run(SinglePortRAM(9), previous_background=[0] * 5)
+
+    def test_healthy_chain_passes(self):
+        ram = SinglePortRAM(9)
+        it1 = PiIteration(seed=(0, 1))
+        it1.run(ram)
+        it2 = PiIteration(seed=(0, 1), invert=True)
+        result = it2.run(ram, previous_background=it1.background_after(9))
+        assert result.passed
+        assert result.verify_mismatches == 0
+
+    def test_verification_costs_one_read_per_write(self):
+        ram = SinglePortRAM(9)
+        it1 = PiIteration(seed=(0, 1))
+        r1 = it1.run(ram)
+        it2 = PiIteration(seed=(0, 1), invert=True)
+        r2 = it2.run(ram, previous_background=it1.background_after(9))
+        assert r2.operations == r1.operations + 9 + 2  # n + k extra reads
+
+    def test_verification_catches_latent_corruption(self):
+        """A value flipped after iteration 1 finished is invisible to the
+        pure scheme but caught by the verifying second iteration."""
+        ram = SinglePortRAM(9)
+        it1 = PiIteration(seed=(0, 1))
+        it1.run(ram)
+        ram.array.write(5, ram.array.read(5) ^ 1)  # latent corruption
+        it2 = PiIteration(seed=(0, 1), invert=True)
+        pure = it2.run(ram.array and SinglePortRAM(9))  # fresh RAM: baseline
+        assert pure.passed
+        result = it2.run(ram, previous_background=it1.background_after(9))
+        assert result.verify_mismatches == 1
+        assert not result.passed
+
+
+class TestTrajectories:
+    def test_descending_healthy(self):
+        it = PiIteration(seed=(0, 1), trajectory=descending(9))
+        assert it.run(SinglePortRAM(9)).passed
+
+    def test_random_healthy(self):
+        it = PiIteration(seed=(0, 1), trajectory=random_trajectory(9, seed=3))
+        assert it.run(SinglePortRAM(9)).passed
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_any_random_trajectory_passes_healthy(self, seed):
+        it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1),
+                         trajectory=random_trajectory(14, seed=seed))
+        assert it.run(SinglePortRAM(14)).passed
+
+
+class TestEngineMatchesReferenceAutomaton:
+    """Property: for ANY valid generator/seed over GF(16), the memory-
+    resident automaton reproduces the reference WordLFSR exactly --
+    the core correctness property of the whole PRT construction."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(1, 15),  # a_0
+            st.integers(0, 15),  # a_1
+            st.integers(1, 15),  # a_2
+        ),
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda s: s != (0, 0)
+        ),
+        st.integers(5, 40),
+    )
+    def test_stream_equals_reference(self, generator, seed, n):
+        from repro.lfsr import WordLFSR
+
+        iteration = PiIteration(field=F16, generator=generator, seed=seed)
+        result = iteration.run(SinglePortRAM(n, m=4), record=True)
+        reference = WordLFSR(F16, generator, seed)
+        reference.run(2)
+        assert result.written_stream == reference.sequence(n)
+        assert result.passed
+
+
+class TestFaultDetectionSingleIteration:
+    def test_saf_on_nonzero_background_cell(self):
+        it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        background = it.background_after(14)
+        # Pick a cell whose fault-free value is 1: SA0 must be detected.
+        cell = background.index(1)
+        ram = SinglePortRAM(14)
+        FaultInjector([StuckAtFault(cell, 0)]).install(ram)
+        assert not it.run(ram).passed
+
+    def test_detection_deterministic(self):
+        it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        outcomes = set()
+        for _ in range(3):
+            ram = SinglePortRAM(14)
+            FaultInjector([StuckAtFault(4, 0)]).install(ram)
+            outcomes.add(it.run(ram).passed)
+        assert len(outcomes) == 1
+
+    def test_result_repr(self):
+        result = PiIteration(seed=(0, 1)).run(SinglePortRAM(9))
+        assert "PASS" in repr(result)

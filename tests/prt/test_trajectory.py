@@ -1,0 +1,78 @@
+"""Tests for trajectories."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prt import Trajectory, ascending, descending, random_trajectory
+
+
+class TestConstruction:
+    def test_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            Trajectory([0, 0, 1])
+        with pytest.raises(ValueError):
+            Trajectory([1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([])
+
+    def test_properties(self):
+        traj = ascending(4)
+        assert traj.n == len(traj) == 4
+        assert traj.name == "ascending"
+        assert traj.addresses == (0, 1, 2, 3)
+
+
+class TestCyclicIndexing:
+    def test_wraps(self):
+        traj = ascending(4)
+        assert traj[3] == 3
+        assert traj[4] == 0
+        assert traj[9] == 1
+
+    def test_descending(self):
+        traj = descending(4)
+        assert traj.addresses == (3, 2, 1, 0)
+        assert traj[4] == 3
+
+    def test_iteration(self):
+        assert list(ascending(3)) == [0, 1, 2]
+
+
+class TestTransforms:
+    def test_reversed(self):
+        assert ascending(4).reversed().addresses == descending(4).addresses
+
+    def test_rotated(self):
+        assert ascending(4).rotated(1).addresses == (1, 2, 3, 0)
+        assert ascending(4).rotated(5).addresses == (1, 2, 3, 0)
+        assert ascending(4).rotated(0).addresses == (0, 1, 2, 3)
+
+    def test_equality_and_hash(self):
+        assert ascending(4) == Trajectory([0, 1, 2, 3])
+        assert ascending(4) != descending(4)
+        assert len({ascending(4), Trajectory(range(4))}) == 1
+
+    def test_eq_non_trajectory(self):
+        assert ascending(4) != [0, 1, 2, 3]
+
+
+class TestRandom:
+    def test_reproducible(self):
+        assert random_trajectory(16, seed=5) == random_trajectory(16, seed=5)
+
+    def test_seeds_differ(self):
+        assert random_trajectory(16, seed=1) != random_trajectory(16, seed=2)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 100))
+    def test_always_a_permutation(self, n, seed):
+        traj = random_trajectory(n, seed=seed)
+        assert sorted(traj.addresses) == list(range(n))
+
+    def test_name_encodes_seed(self):
+        assert "seed=7" in random_trajectory(8, seed=7).name
+
+    def test_repr(self):
+        assert "ascending" in repr(ascending(4))

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_fault, build_parser, main
+
+
+class TestFaultSpecParsing:
+    def test_saf(self):
+        fault = _parse_fault("SAF:5:1")
+        assert fault.fault_class == "SAF"
+        assert fault.cells() == (5,)
+        assert fault.stuck_value == 1
+
+    def test_tf(self):
+        fault = _parse_fault("TF:3:up")
+        assert fault.fault_class == "TF"
+        assert fault.rising
+
+    def test_tf_down(self):
+        assert not _parse_fault("TF:3:down").rising
+
+    def test_sof(self):
+        assert _parse_fault("SOF:7").fault_class == "SOF"
+
+    def test_drf(self):
+        fault = _parse_fault("DRF:2:100")
+        assert fault.fault_class == "DRF"
+        assert fault.retention == 100
+
+    def test_case_insensitive(self):
+        assert _parse_fault("saf:0:0").fault_class == "SAF"
+
+    def test_unknown_class(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("XYZ:1")
+
+    def test_missing_args(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("SAF:1")
+
+
+class TestSelftestCommand:
+    def test_healthy_memory_exit_zero(self, capsys):
+        code = main(["selftest", "--n", "28"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MEMORY OK" in out
+
+    def test_injected_fault_detected(self, capsys):
+        code = main(["selftest", "--n", "28", "--inject", "SAF:5:1"])
+        out = capsys.readouterr().out
+        assert code == 0  # detection of an injected fault = success
+        assert "FAULT DETECTED" in out
+
+    def test_pure_mode(self, capsys):
+        code = main(["selftest", "--n", "28", "--pure"])
+        assert code == 0
+        assert "pure" in capsys.readouterr().out
+
+    def test_wom(self, capsys):
+        code = main(["selftest", "--n", "255", "--m", "4",
+                     "--poly", "1+z+z^4"])
+        assert code == 0
+
+    def test_extended_schedule(self, capsys):
+        code = main(["selftest", "--n", "28", "--schedule", "extended"])
+        assert code == 0
+        assert "5 iterations" in capsys.readouterr().out
+
+    def test_pause(self, capsys):
+        code = main(["selftest", "--n", "14", "--pause", "256",
+                     "--inject", "DRF:3:100"])
+        assert code == 0
+        assert "FAULT DETECTED" in capsys.readouterr().out
+
+
+class TestMarchCommand:
+    def test_healthy(self, capsys):
+        code = main(["march", "--notation", "{c(w0); u(r0,w1); d(r1,w0)}",
+                     "--n", "16"])
+        assert code == 0
+        assert "5n" in capsys.readouterr().out
+
+    def test_detects_fault(self, capsys):
+        code = main(["march", "--notation",
+                     "{c(w0); u(r0,w1); d(r1,w0,r0)}",
+                     "--n", "16", "--inject", "TF:3:down"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAULT DETECTED" in out
+
+    def test_escaped_fault_exit_one(self, capsys):
+        # MATS+ cannot detect a TF-down: the CLI flags the escape.
+        code = main(["march", "--notation", "{c(w0); u(r0,w1); d(r1,w0)}",
+                     "--n", "16", "--inject", "TF:3:down"])
+        assert code == 1
+
+
+class TestCoverageCommand:
+    def test_prt3(self, capsys):
+        code = main(["coverage", "--n", "14", "--test", "prt3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overall" in out
+        assert "SAF" in out
+
+    def test_march_baseline(self, capsys):
+        code = main(["coverage", "--n", "14", "--test", "march-c"])
+        assert code == 0
+
+
+class TestCompareOverhead:
+    def test_compare(self, capsys):
+        code = main(["compare", "--n", "14"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "March B" in out
+        assert "PRT-3" in out
+
+    def test_overhead(self, capsys):
+        code = main(["overhead", "--m", "4", "--ports", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crossover" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

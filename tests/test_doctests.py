@@ -1,0 +1,39 @@
+"""Run every doctest in the library as part of the test suite.
+
+Doctests double as API documentation; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield info.name
+
+
+MODULES = sorted(set(_iter_module_names()))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
+
+
+def test_module_list_covers_packages():
+    """Sanity: the walker found every subpackage."""
+    found = {name.split(".")[1] for name in MODULES if "." in name}
+    assert {"gf2", "gf2m", "lfsr", "memory", "faults",
+            "march", "prt", "analysis"} <= found

@@ -1,0 +1,221 @@
+"""Cross-package integration tests: the whole stack working together.
+
+These exercise realistic end-to-end flows -- the kind a downstream user
+would script -- and pin cross-engine consistency properties that no
+single-package unit test can see.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    GF2m,
+    PiIteration,
+    SinglePortRAM,
+    extended_schedule,
+    poly_from_string,
+    run_march,
+    standard_schedule,
+)
+from repro.faults import (
+    FaultInjector,
+    StuckAtFault,
+    af_shared_cell,
+    coupling_universe,
+    single_cell_universe,
+    standard_universe,
+)
+from repro.lfsr import berlekamp_massey_word, linear_complexity
+from repro.march.library import MARCH_B, MARCH_C_MINUS
+from repro.memory import DualPortRAM
+from repro.prt import DualPortPiIteration, random_trajectory
+
+F16 = GF2m(poly_from_string("1+z+z^4"))
+
+
+class TestHealthyMemoryNeverFlagged:
+    """No test may ever flag a healthy memory (zero false positives)."""
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=7, max_value=60))
+    def test_standard_schedule(self, n):
+        assert standard_schedule(n=n).run(SinglePortRAM(n)).passed
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=7, max_value=40))
+    def test_extended_schedule(self, n):
+        assert extended_schedule(n=n).run(SinglePortRAM(n)).passed
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=5, max_value=40),
+           st.integers(min_value=0, max_value=50))
+    def test_any_random_trajectory(self, n, seed):
+        iteration = PiIteration(
+            generator=(1, 0, 1, 1), seed=(0, 0, 1),
+            trajectory=random_trajectory(n, seed=seed),
+        )
+        assert iteration.run(SinglePortRAM(n)).passed
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=4, max_value=32))
+    def test_wom_schedules(self, n):
+        schedule = standard_schedule(field=F16, n=n)
+        assert schedule.run(SinglePortRAM(n, m=4)).passed
+
+    def test_all_march_tests(self):
+        from repro.march import ALL_MARCH_TESTS
+
+        for test in ALL_MARCH_TESTS:
+            assert run_march(test, SinglePortRAM(24, m=4)).passed
+
+
+class TestCrossEngineConsistency:
+    """March and PRT must agree on the easy fault classes."""
+
+    def test_safs_detected_by_both(self):
+        n = 14
+        for fault in single_cell_universe(n, classes=("SAF",)):
+            march_ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(march_ram)
+            march_detected = not run_march(MARCH_C_MINUS, march_ram).passed
+            injector.remove(march_ram)
+
+            prt_ram = SinglePortRAM(n)
+            injector.install(prt_ram)
+            prt_detected = standard_schedule(n=n).run(prt_ram).detected
+            injector.remove(prt_ram)
+
+            assert march_detected and prt_detected, fault.name
+
+    def test_single_and_dual_port_prt_agree(self):
+        """The dual-port scheme is a timing optimization: it must detect
+        exactly the same faults as the single-port iteration."""
+        n = 21
+        universe = single_cell_universe(n, classes=("SAF", "TF"))
+        for fault in universe:
+            sp_ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(sp_ram)
+            sp_detected = not PiIteration(seed=(0, 1)).run(sp_ram).passed
+            injector.remove(sp_ram)
+
+            dp_ram = DualPortRAM(n)
+            injector.install(dp_ram)
+            dp_detected = not DualPortPiIteration(seed=(0, 1)).run(dp_ram).passed
+            injector.remove(dp_ram)
+
+            assert sp_detected == dp_detected, fault.name
+
+
+class TestFaultInjectionHygiene:
+    """Install/remove cycles must leave no residue."""
+
+    def test_remove_restores_clean_runs(self):
+        n = 14
+        ram = SinglePortRAM(n)
+        schedule = standard_schedule(n=n)
+        for fault in standard_universe(n).sample(40):
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            schedule.run(ram)
+            injector.remove(ram)
+        # After all that churn the memory must behave perfectly again.
+        assert schedule.run(ram).passed
+        assert ram.decoder.is_healthy
+
+    def test_detection_is_deterministic(self):
+        n = 14
+        schedule = standard_schedule(n=n)
+        fault = af_shared_cell(3, 4)
+        outcomes = set()
+        for _ in range(3):
+            ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            outcomes.add(schedule.run(ram).detected)
+            injector.remove(ram)
+        assert len(outcomes) == 1
+
+
+class TestStructuralInvariants:
+    """Whole-stack invariants of the PRT construction."""
+
+    def test_background_linear_complexity_equals_k(self):
+        """The TDB laid by any π-iteration has linear complexity exactly
+        k -- it IS a k-stage LFSR stream."""
+        n = 35
+        result = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1)).run(
+            SinglePortRAM(n), record=True
+        )
+        assert linear_complexity(result.written_stream) == 3
+
+        wom = PiIteration(field=F16, generator=(1, 2, 2), seed=(0, 1)).run(
+            SinglePortRAM(n, m=4), record=True
+        )
+        length, connection = berlekamp_massey_word(F16, wom.written_stream)
+        assert length == 2
+        assert connection == (1, 2, 2)
+
+    def test_fault_breaks_linear_complexity(self):
+        """A detected fault disturbs the stream structure: the observed
+        background's linear complexity exceeds k (the free diagnostic
+        PRT provides)."""
+        n = 35
+        iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        background = iteration.background_after(n)
+        # Skip the seed cells: killing a seed collapses the automaton to
+        # the all-zero stream (complexity 0) instead of raising it.
+        cell = background.index(1, 3)
+        ram = SinglePortRAM(n)
+        injector = FaultInjector([StuckAtFault(cell, 0)])
+        injector.install(ram)
+        result = iteration.run(ram, record=True)
+        injector.remove(ram)
+        assert not result.passed
+        assert linear_complexity(result.written_stream) > 3
+
+    def test_power_up_state_independence(self):
+        """The schedule's verdict must not depend on pre-test memory
+        contents (the BIST property the sweep structure guarantees)."""
+        n = 21
+        verdicts = []
+        for fill in (0, 1):
+            ram = SinglePortRAM(n)
+            ram.fill(fill)
+            verdicts.append(standard_schedule(n=n).run(ram).passed)
+        assert verdicts == [True, True]
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=0, max_value=30))
+    def test_coupling_detection_independent_of_extra_randomness(self, seed):
+        """Sampling more coupling faults never crashes the stack and all
+        results are booleans (smoke property over the whole pipeline)."""
+        n = 10
+        universe = coupling_universe(n, extra_random_pairs=3, seed=seed)
+        schedule = standard_schedule(n=n)
+        for fault in universe.sample(5, rng=__import__("random").Random(seed)):
+            ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            assert schedule.run(ram).detected in (True, False)
+            injector.remove(ram)
+
+
+class TestMarchBReference:
+    """March B is the full-coverage reference: everything the standard
+    universe contains, it must detect (sanity anchor for all coverage
+    numbers reported in EXPERIMENTS.md)."""
+
+    def test_march_b_full_coverage(self):
+        n = 14
+        missed = []
+        for fault in standard_universe(n):
+            ram = SinglePortRAM(n)
+            injector = FaultInjector([fault])
+            injector.install(ram)
+            if run_march(MARCH_B, ram).passed:
+                missed.append(fault.name)
+            injector.remove(ram)
+        assert missed == []
