@@ -1,0 +1,125 @@
+"""BENCH -- compiled campaign engine vs the legacy per-fault loop.
+
+Times single-fault coverage campaigns for March C- and the standard
+3-iteration PRT schedule over ``standard_universe(n)`` samples at
+n in {64, 256, 1024}, on three paths:
+
+* ``interpreted`` -- the seed behaviour: re-run the interpreted engine
+  for every fault (``run_coverage(engine="interpreted")``),
+* ``compiled``    -- compile once, replay with early abort (the default
+  ``repro.sim`` campaign path, single process),
+* ``compiled-mp`` -- the same with ``workers=2`` (omitted when the
+  platform cannot fork).
+
+Reports are cross-checked for equality on every path before a number is
+emitted.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_engine.py \
+        [--out benchmarks/out/bench_campaign_engine.json]
+
+The JSON summary records per-(test, n) wall-clock seconds and speedups,
+so the benchmark trajectory can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import march_runner, run_coverage, schedule_runner  # noqa: E402
+from repro.faults import standard_universe  # noqa: E402
+from repro.march.library import MARCH_C_MINUS  # noqa: E402
+from repro.prt import standard_schedule  # noqa: E402
+
+SIZES = (64, 256, 1024)
+SAMPLE = {64: None, 256: 400, 1024: 200}  # None = full universe
+
+
+def _report_key(report):
+    return (report.detected, report.total, report.missed_faults)
+
+
+def _time_coverage(runner, universe, n, **kwargs):
+    start = time.perf_counter()
+    report = run_coverage(runner, universe, n, **kwargs)
+    return time.perf_counter() - start, report
+
+
+def bench_one(name: str, runner_factory, n: int, workers: int) -> dict:
+    universe = standard_universe(n)
+    sample = SAMPLE[n]
+    if sample is not None and len(universe) > sample:
+        universe = universe.sample(sample)
+    t_int, r_int = _time_coverage(runner_factory(), universe, n,
+                                  engine="interpreted")
+    t_cmp, r_cmp = _time_coverage(runner_factory(), universe, n)
+    if _report_key(r_int) != _report_key(r_cmp):
+        raise AssertionError(
+            f"{name} n={n}: compiled campaign diverged from interpreted"
+        )
+    row = {
+        "test": name,
+        "n": n,
+        "faults": len(universe),
+        "coverage": round(r_int.overall, 4),
+        "interpreted_s": round(t_int, 3),
+        "compiled_s": round(t_cmp, 3),
+        "speedup": round(t_int / t_cmp, 2) if t_cmp else float("inf"),
+    }
+    if workers > 0:
+        t_mp, r_mp = _time_coverage(runner_factory(), universe, n,
+                                    workers=workers)
+        if _report_key(r_int) == _report_key(r_mp):
+            row["compiled_mp_s"] = round(t_mp, 3)
+            row["speedup_mp"] = round(t_int / t_mp, 2) if t_mp else float("inf")
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON summary here (default: stdout)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="processes for the multiprocessing row "
+                             "(0 disables it)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=list(SIZES))
+    args = parser.parse_args(argv)
+
+    rows = []
+    for n in args.sizes:
+        for name, factory in (
+            ("March C-", lambda: march_runner(MARCH_C_MINUS)),
+            ("PRT-3", lambda n=n: schedule_runner(standard_schedule(n=n))),
+        ):
+            row = bench_one(name, factory, n, args.workers)
+            rows.append(row)
+            speedup_mp = row.get("speedup_mp")
+            mp_text = f"  mp x{speedup_mp}" if speedup_mp else ""
+            print(f"{name:>9} n={n:<5} faults={row['faults']:<5} "
+                  f"interpreted {row['interpreted_s']:>7.3f}s  "
+                  f"compiled {row['compiled_s']:>7.3f}s  "
+                  f"x{row['speedup']}{mp_text}")
+    summary = {
+        "benchmark": "campaign_engine",
+        "python": sys.version.split()[0],
+        "rows": rows,
+        "min_single_process_speedup": min(r["speedup"] for r in rows),
+    }
+    text = json.dumps(summary, indent=2)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,22 @@ Subpackages
 ``repro.march``    March notation, engine, standard test library
 ``repro.prt``      the paper's contribution: π-tests, schedules, ports
 ``repro.analysis`` coverage campaigns, Markov model, complexity tables
+``repro.sim``      compile-once stimulus IR + batched fault-campaign engine
+
+The ``repro.sim`` kernel is what the execution layers route through: a
+test is lowered once to a flat :class:`~repro.sim.ir.OpStream`
+(:func:`~repro.sim.compilers.compile_march` /
+:func:`~repro.sim.compilers.compile_schedule`) and replayed against whole
+fault universes by :func:`~repro.sim.campaign.run_campaign` -- with a
+cached fault-free reference pass, early abort on first detection and an
+opt-in multiprocessing fan-out::
+
+    from repro import compile_march, run_campaign, standard_universe
+    from repro.march.library import MARCH_C_MINUS
+
+    stream = compile_march(MARCH_C_MINUS, 256)
+    result = run_campaign(stream, standard_universe(256))
+    print(result.detection_ratio)
 """
 
 from repro.gf2 import poly_from_string, poly_to_string, primitive_polynomial
@@ -52,6 +68,14 @@ from repro.prt import (
     ascending,
     descending,
     random_trajectory,
+)
+from repro.sim import (
+    OpStream,
+    compile_march,
+    compile_schedule,
+    compile_pi_iteration,
+    CampaignResult,
+    run_campaign,
 )
 
 __version__ = "0.1.0"
@@ -85,5 +109,11 @@ __all__ = [
     "ascending",
     "descending",
     "random_trajectory",
+    "OpStream",
+    "compile_march",
+    "compile_schedule",
+    "compile_pi_iteration",
+    "CampaignResult",
+    "run_campaign",
     "__version__",
 ]

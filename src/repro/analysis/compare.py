@@ -44,12 +44,15 @@ class ComparisonRow:
 
 
 def compare_tests(entries: list[tuple[str, Runner, int]],
-                  universe: FaultUniverse, n: int, m: int = 1) -> list[ComparisonRow]:
+                  universe: FaultUniverse, n: int, m: int = 1,
+                  workers: int = 0) -> list[ComparisonRow]:
     """Run each (name, runner, operation_count) entry over the universe.
 
     ``operation_count`` is the test's cost on the n-cell memory (exact
     counts from :mod:`repro.analysis.complexity` or the engines' own
-    accounting).
+    accounting).  Each compilable runner is lowered once and replayed by
+    the batched campaign engine; ``workers`` fans each campaign out over
+    that many processes (0 = in-process).
 
     >>> from repro.analysis.coverage import march_runner
     >>> from repro.analysis.complexity import march_operations
@@ -64,7 +67,8 @@ def compare_tests(entries: list[tuple[str, Runner, int]],
     """
     rows = []
     for name, runner, operations in entries:
-        report = run_coverage(runner, universe, n, m=m, test_name=name)
+        report = run_coverage(runner, universe, n, m=m, test_name=name,
+                              workers=workers)
         row = ComparisonRow(name=name, operations=operations, report=report)
         row._ops_per_cell = operations / n
         rows.append(row)

@@ -9,7 +9,12 @@ coverage" the paper's quality claims are about.
 A *runner* is any callable ``runner(ram) -> bool`` returning True when the
 test detected a fault.  Adapters wrap March tests
 (:func:`march_runner`), π-test schedules (:func:`schedule_runner`) and
-single π-iterations (:func:`iteration_runner`).
+single π-iterations (:func:`iteration_runner`).  The adapters are
+*compilable*: they also expose ``compile(n, m) -> OpStream``, which lets
+:func:`run_coverage` lower the test once and hand the whole universe to
+the batched campaign engine (:func:`repro.sim.campaign.run_campaign`)
+instead of re-interpreting the test per fault.  Opaque custom callables
+still work -- they just take the interpreted per-fault loop.
 """
 
 from __future__ import annotations
@@ -19,12 +24,19 @@ from dataclasses import dataclass, field
 
 from repro.faults.base import Fault
 from repro.faults.injector import FaultInjector
-from repro.march.engine import run_march
+from repro.march.engine import run_march_interpreted
 from repro.march.model import MarchTest
 from repro.memory.ram import SinglePortRAM
+from repro.sim.campaign import run_campaign
+from repro.sim.compilers import (
+    cached_march_stream,
+    cached_pi_iteration_stream,
+    cached_schedule_stream,
+)
 
 __all__ = [
     "CoverageReport",
+    "CompilableRunner",
     "run_coverage",
     "march_runner",
     "schedule_runner",
@@ -92,13 +104,56 @@ class CoverageReport:
         )
 
 
+class CompilableRunner:
+    """A runner that can also lower its test to a :class:`OpStream`.
+
+    Calling it runs the *interpreted* engine on one RAM (the legacy
+    contract, and the baseline the compiled path is measured against);
+    :meth:`compile` produces the stream :func:`run_coverage` hands to the
+    batched campaign engine.
+
+    >>> from repro.march.library import MATS
+    >>> from repro.memory import SinglePortRAM
+    >>> runner = march_runner(MATS)
+    >>> runner(SinglePortRAM(8))            # healthy memory: no detection
+    False
+    >>> runner.compile(8, 1).operation_count
+    32
+    """
+
+    def __init__(self, run: Runner, compiler: Callable[[int, int], object]):
+        self._run = run
+        self._compiler = compiler
+
+    def __call__(self, ram) -> bool:
+        return self._run(ram)
+
+    def compile(self, n: int, m: int = 1):
+        """Lower the wrapped test for an ``n x m``-bit memory."""
+        return self._compiler(n, m)
+
+
 def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
                  m: int = 1, test_name: str = "test",
-                 ram_factory: Callable[[], object] | None = None) -> CoverageReport:
+                 ram_factory: Callable[[], object] | None = None,
+                 workers: int = 0,
+                 engine: str = "auto") -> CoverageReport:
     """Inject each universe fault into a fresh RAM and run the test.
 
     ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
-    multi-port factory to evaluate the port schemes).
+    multi-port factory to evaluate the port schemes).  The factory's
+    geometry must match ``(n, m)`` -- the universe is generated for it --
+    and every engine rejects a mismatch with ``ValueError``.
+
+    When the runner is compilable (the :func:`march_runner` /
+    :func:`schedule_runner` / :func:`iteration_runner` adapters are), the
+    test is lowered once and the whole universe is replayed by
+    :func:`repro.sim.campaign.run_campaign` -- same per-fault verdicts,
+    far less work per fault.  ``engine`` selects the path: ``"auto"``
+    (compile when possible), ``"compiled"`` (require a compilable
+    runner), or ``"interpreted"`` (force the legacy per-fault loop).
+    ``workers > 0`` fans the compiled campaign out over that many
+    processes (requires a picklable ``ram_factory``).
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -107,9 +162,35 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     >>> report.coverage_of("SAF")
     1.0
     """
+    if engine not in ("auto", "compiled", "interpreted"):
+        raise ValueError(
+            f"engine must be 'auto', 'compiled' or 'interpreted', got {engine!r}"
+        )
+    compile_fn = getattr(runner, "compile", None)
+    if engine == "compiled" and compile_fn is None:
+        raise ValueError(
+            "engine='compiled' needs a compilable runner (one exposing "
+            "compile(n, m)); use march_runner/schedule_runner/"
+            "iteration_runner or engine='auto'"
+        )
     report = CoverageReport(test_name=test_name)
+    if engine != "interpreted" and compile_fn is not None:
+        stream = compile_fn(n, m)
+        campaign = run_campaign(stream, universe, ram_factory=ram_factory,
+                                workers=workers)
+        for fault, detected in campaign.outcomes:
+            report.record(fault.fault_class, fault.name, detected)
+        return report
     for fault in universe:
         ram = ram_factory() if ram_factory is not None else SinglePortRAM(n, m=m)
+        if ram.n != n or ram.m != m:
+            # Same guard the campaign engine applies: a universe generated
+            # for (n, m) injected into a different geometry gives garbage
+            # coverage numbers, and the two engines must agree on it.
+            raise ValueError(
+                f"ram_factory built a {ram.n}x{ram.m}-bit RAM but the "
+                f"campaign is for n={n}, m={m}"
+            )
         injector = FaultInjector([fault])
         injector.install(ram)
         detected = runner(ram)
@@ -118,29 +199,44 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     return report
 
 
-def march_runner(test: MarchTest, backgrounds: list[int] | None = None) -> Runner:
+def march_runner(test: MarchTest,
+                 backgrounds: list[int] | None = None) -> CompilableRunner:
     """Runner adapter for a March test (failure = detection)."""
 
     def runner(ram) -> bool:
-        return not run_march(test, ram, backgrounds=backgrounds).passed
+        return not run_march_interpreted(test, ram,
+                                         backgrounds=backgrounds).passed
 
-    return runner
+    return CompilableRunner(
+        runner,
+        lambda n, m: cached_march_stream(test, n, m, backgrounds=backgrounds),
+    )
 
 
-def schedule_runner(schedule) -> Runner:
+def schedule_runner(schedule) -> CompilableRunner:
     """Runner adapter for a :class:`~repro.prt.schedule.PiTestSchedule`."""
 
     def runner(ram) -> bool:
-        return schedule.run(ram).detected
+        return schedule.run_interpreted(ram).detected
 
-    return runner
+    return CompilableRunner(
+        runner, lambda n, m: cached_schedule_stream(schedule, n, m)
+    )
 
 
 def iteration_runner(iteration) -> Runner:
     """Runner adapter for a single π-iteration (or any object whose
-    ``run(ram)`` result has a ``passed`` attribute)."""
+    ``run(ram)`` result has a ``passed`` attribute).  For a true
+    :class:`~repro.prt.pi_test.PiIteration` the adapter is compilable;
+    other duck-typed objects get a plain interpreted runner."""
 
     def runner(ram) -> bool:
         return not iteration.run(ram).passed
 
-    return runner
+    from repro.prt.pi_test import PiIteration
+
+    if not isinstance(iteration, PiIteration):
+        return runner
+    return CompilableRunner(
+        runner, lambda n, m: cached_pi_iteration_stream(iteration, n, m)
+    )

@@ -147,7 +147,8 @@ def _cmd_coverage(args) -> int:
                    "march-b": MARCH_B}
         runner = march_runner(by_name[args.test])
     report = run_coverage(runner, universe, args.n, m=args.m,
-                          test_name=args.test)
+                          test_name=args.test, workers=args.workers,
+                          engine="interpreted" if args.interpreted else "auto")
     print(f"test    : {args.test}")
     print(f"universe: {universe!r}")
     print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
@@ -174,7 +175,7 @@ def _cmd_compare(args) -> int:
             ("March B", march_runner(MARCH_B),
              march_operations(MARCH_B, n, m=args.m)),
         ],
-        universe, n, m=args.m,
+        universe, n, m=args.m, workers=args.workers,
     )
     classes = rows[0].report.classes
     header = f"{'test':>10} {'ops/cell':>9} {'overall':>8}"
@@ -246,10 +247,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("prt3", "prt5", "mats+", "march-c", "march-b"),
                    default="prt3")
     p.add_argument("--pure", action="store_true")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan the campaign out over N processes (0 = serial)")
+    p.add_argument("--interpreted", action="store_true",
+                   help="force the legacy per-fault interpreted loop "
+                        "(A/B baseline for the compiled campaign engine)")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("compare", help="March vs PRT table (E9)")
     _add_memory_args(p, default_n=28)
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan each campaign out over N processes (0 = serial)")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("overhead", help="BIST overhead sweep (E5)")

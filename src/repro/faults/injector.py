@@ -44,6 +44,16 @@ class FaultInjector(CellBehavior):
     def __init__(self, faults: Iterable[Fault] = ()):
         self._faults: list[Fault] = list(faults)
         self._installed_overrides: list[int] = []
+        self._refresh_settle_faults()
+
+    def _refresh_settle_faults(self) -> None:
+        # settle() runs after *every* memory cycle; most fault models keep
+        # the base-class no-op, so hot campaign loops only visit the
+        # faults that actually override it.
+        self._settle_faults = [
+            fault for fault in self._faults
+            if type(fault).settle is not Fault.settle
+        ]
 
     @property
     def faults(self) -> tuple[Fault, ...]:
@@ -53,6 +63,7 @@ class FaultInjector(CellBehavior):
     def add(self, fault: Fault) -> None:
         """Add one more fault (before installing)."""
         self._faults.append(fault)
+        self._refresh_settle_faults()
 
     def __len__(self) -> int:
         return len(self._faults)
@@ -103,5 +114,5 @@ class FaultInjector(CellBehavior):
             fault.after_write(array, cell, old, committed, time)
 
     def settle(self, array: MemoryArray, time: int) -> None:
-        for fault in self._faults:
+        for fault in self._settle_faults:
             fault.settle(array, time)

@@ -21,7 +21,12 @@ This subpackage provides:
 
 from repro.march.model import MarchOperation, MarchElement, MarchDelay, MarchTest
 from repro.march.notation import parse_march, format_march, MarchParseError
-from repro.march.engine import run_march, MarchResult, word_backgrounds
+from repro.march.engine import (
+    run_march,
+    run_march_interpreted,
+    MarchResult,
+    word_backgrounds,
+)
 from repro.march.library import (
     MATS,
     MATS_PLUS,
@@ -44,6 +49,7 @@ __all__ = [
     "format_march",
     "MarchParseError",
     "run_march",
+    "run_march_interpreted",
     "MarchResult",
     "word_backgrounds",
     "MATS",

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.march.model import MarchDelay, MarchTest
 
-__all__ = ["MarchResult", "run_march", "word_backgrounds"]
+__all__ = ["MarchResult", "run_march", "run_march_interpreted",
+           "word_backgrounds"]
 
 
 @dataclass
@@ -73,8 +74,18 @@ def word_backgrounds(m: int) -> list[int]:
 
 
 def run_march(test: MarchTest, ram, backgrounds: list[int] | None = None,
-              stop_on_first_failure: bool = False) -> MarchResult:
+              stop_on_first_failure: bool = False,
+              compiled: bool = True) -> MarchResult:
     """Run a March test on a RAM front-end.
+
+    This is a thin adapter over :mod:`repro.sim`: the test is lowered to
+    a flat operation stream (:func:`repro.sim.compilers.compile_march`)
+    and replayed through the RAM's bulk ``apply_stream`` entry point,
+    producing a result identical to the interpreted walk (which remains
+    available as :func:`run_march_interpreted`, or via
+    ``compiled=False``).  Campaigns that run one test against many faults
+    should compile once and use :func:`repro.sim.campaign.run_campaign`
+    instead of calling this per fault.
 
     Parameters
     ----------
@@ -83,16 +94,48 @@ def run_march(test: MarchTest, ram, backgrounds: list[int] | None = None,
     ram:
         Any front-end exposing ``read(addr)``, ``write(addr, value)``,
         ``n`` and ``m`` (single-port, or a multi-port used sequentially).
+        Front-ends with an ``apply_stream`` bulk entry point get the
+        compiled replay; anything else falls back to the interpreted
+        walk automatically.
     backgrounds:
         Data backgrounds to run under.  Default: ``[0]`` for a BOM,
         :func:`word_backgrounds` for a WOM.
     stop_on_first_failure:
         Return at the first mismatch (test time then reflects
         abort-on-fail BIST); default runs to completion.
+    compiled:
+        Use the compile-and-replay path (default).  ``False`` forces the
+        legacy interpreted walk.
 
     >>> from repro.memory import SinglePortRAM
     >>> from repro.march.library import MATS_PLUS
     >>> run_march(MATS_PLUS, SinglePortRAM(16)).passed
+    True
+    """
+    if compiled and hasattr(ram, "apply_stream"):
+        from repro.sim.compilers import cached_march_stream
+        from repro.sim.replay import replay_march
+
+        stream = cached_march_stream(test, ram.n, ram.m,
+                                     backgrounds=backgrounds)
+        return replay_march(stream, ram,
+                            stop_on_first_failure=stop_on_first_failure)
+    return run_march_interpreted(test, ram, backgrounds=backgrounds,
+                                 stop_on_first_failure=stop_on_first_failure)
+
+
+def run_march_interpreted(test: MarchTest, ram,
+                          backgrounds: list[int] | None = None,
+                          stop_on_first_failure: bool = False) -> MarchResult:
+    """The original per-operation interpreted March walk.
+
+    Kept as the reference implementation the compiled path is
+    equivalence-tested against (``tests/sim/test_equivalence.py``) and as
+    the baseline of ``benchmarks/bench_campaign_engine.py``.
+
+    >>> from repro.memory import SinglePortRAM
+    >>> from repro.march.library import MATS_PLUS
+    >>> run_march_interpreted(MATS_PLUS, SinglePortRAM(16)).passed
     True
     """
     mask = (1 << ram.m) - 1

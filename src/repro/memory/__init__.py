@@ -23,6 +23,7 @@ from repro.memory.array import MemoryArray
 from repro.memory.behavior import CellBehavior, TransparentBehavior
 from repro.memory.decoder import AddressDecoder
 from repro.memory.scrambler import AddressScrambler
+from repro.memory.stream_exec import apply_stream_generic
 from repro.memory.trace import Operation, OperationTrace
 from repro.memory.ram import SinglePortRAM, RamStats
 from repro.memory.multiport import (
@@ -39,6 +40,7 @@ __all__ = [
     "TransparentBehavior",
     "AddressDecoder",
     "AddressScrambler",
+    "apply_stream_generic",
     "Operation",
     "OperationTrace",
     "SinglePortRAM",

@@ -82,12 +82,20 @@ class MemoryArray:
     # -- validation ------------------------------------------------------------
 
     def _check_cell(self, cell: int) -> None:
+        # Fast path first: an exact int in range (the class test is much
+        # cheaper than two isinstance calls and excludes bool).  The slow
+        # path preserves the original semantics for everything else,
+        # including int subclasses.
+        if cell.__class__ is int and 0 <= cell < self._n:
+            return
         if not isinstance(cell, int) or isinstance(cell, bool):
             raise TypeError(f"cell index must be int, got {type(cell).__name__}")
         if not 0 <= cell < self._n:
             raise IndexError(f"cell {cell} out of range [0, {self._n})")
 
     def _check_value(self, value: int) -> None:
+        if value.__class__ is int and 0 <= value <= self._mask:
+            return
         if not isinstance(value, int) or isinstance(value, bool):
             raise TypeError(f"cell value must be int, got {type(value).__name__}")
         if not 0 <= value <= self._mask:

@@ -24,6 +24,7 @@ from repro.memory.behavior import CellBehavior, TransparentBehavior
 from repro.memory.decoder import AddressDecoder
 from repro.memory.ram import RamStats
 from repro.memory.array import MemoryArray
+from repro.memory.stream_exec import apply_stream_generic
 from repro.memory.trace import Operation, OperationTrace
 
 __all__ = ["PortOp", "PortConflictError", "MultiPortRAM", "DualPortRAM", "QuadPortRAM"]
@@ -215,6 +216,28 @@ class MultiPortRAM:
             raise ValueError(f"idle cycles must be non-negative, got {cycles}")
         self.stats.cycles += cycles
         self._behavior.settle(self._array, self.stats.cycles)
+
+    def apply_stream(self, ops, tables=(), start: int = 0,
+                     end: int | None = None, stop_on_mismatch: bool = False,
+                     mismatches: list | None = None,
+                     captured: list | None = None) -> int:
+        """Bulk-execute compiled operation records, one op per cycle.
+
+        Same contract as :meth:`repro.memory.ram.SinglePortRAM
+        .apply_stream`; each record occupies a full cycle on its ``port``
+        (the sequential discipline the single-port test engines use on a
+        multi-port memory).  Delegates to :func:`repro.memory.stream_exec
+        .apply_stream_generic`, the shared portable executor.
+
+        >>> ram = DualPortRAM(4)
+        >>> ram.apply_stream([("w", 1, 2, 1, None, 0), ("r", 1, 2, None, 1, 0)])
+        2
+        """
+        return apply_stream_generic(
+            self, ops, tables=tables, start=start, end=end,
+            stop_on_mismatch=stop_on_mismatch, mismatches=mismatches,
+            captured=captured,
+        )
 
     # -- sequential convenience (each call = one full cycle) ---------------------
 

@@ -171,6 +171,140 @@ class SinglePortRAM:
             )
         self._behavior.settle(self._array, self.stats.cycles)
 
+    def apply_stream(self, ops, tables=(), start: int = 0,
+                     end: int | None = None, stop_on_mismatch: bool = False,
+                     mismatches: list | None = None,
+                     captured: list | None = None) -> int:
+        """Bulk-execute compiled operation records (the :mod:`repro.sim` IR).
+
+        Each record is ``(kind, port, addr, value, expected, idle)`` --
+        see :mod:`repro.sim.ir` for the kind tags.  Execution is
+        semantically identical to issuing the equivalent
+        ``read``/``write``/``idle`` calls one at a time (operation stats,
+        tracing and behaviour settling included); the point of the bulk
+        entry is the tight loop, which is what fault campaigns replay
+        thousands of times.
+
+        Parameters
+        ----------
+        ops:
+            Sequence of records (usually ``OpStream.ops``).
+        tables:
+            Constant-multiplier lookup tables for ``"ra"`` accumulator
+            arithmetic (``OpStream.tables``; only needed when the stream
+            contains ``"ra"`` records with non-identity multipliers).
+        start, end:
+            Half-open record range to execute (default: all).
+        stop_on_mismatch:
+            Return at the first checked read whose actual value differs
+            from its expectation (campaign early-abort).
+        mismatches:
+            Optional list collecting ``(record_index, actual)`` for every
+            mismatching checked read.
+        captured:
+            Optional list collecting the actual value of every ``"s"``
+            (signature) read, in order.
+
+        Returns the number of read/write operations executed (idles cost
+        cycles, not operations).
+
+        >>> ram = SinglePortRAM(4)
+        >>> ram.apply_stream([("w", 0, 2, 1, None, 0), ("r", 0, 2, None, 1, 0)])
+        2
+        >>> ram.stats.operations
+        2
+        """
+        if end is None:
+            end = len(ops)
+        # The loop below is _read_internal/_write_internal + the stats/
+        # trace/settle bookkeeping of read()/write()/idle(), inlined and
+        # with the per-op attribute traffic hoisted into locals.  Any
+        # semantic change here must be mirrored in those methods (the
+        # equivalence tests in tests/sim compare both paths op for op).
+        stats = self.stats
+        trace = self._trace
+        behavior = self._behavior
+        array = self._array
+        decoder_map = self._decoder.map
+        # Streams are validated at compile time (addresses come from
+        # range(n) walks / trajectory permutations), so the per-op decoder
+        # address re-check is elided: with no overrides installed the
+        # mapping is the identity, and the array's own cell check still
+        # rejects any out-of-range address a hand-built record smuggles in.
+        overrides = self._decoder._overrides
+        scrambler = self._scrambler
+        wired_and = self._wired == "and"
+        read_cell = behavior.read_cell
+        write_cell = behavior.write_cell
+        settle = behavior.settle
+        check_value = array._check_value
+        reads = writes = executed = acc = 0
+        cycles = stats.cycles
+        try:
+            for index in range(start, end):
+                kind, port, addr, value, expected, idle = ops[index]
+                if kind == "i":
+                    cycles += idle
+                    settle(array, cycles)
+                    continue
+                physical = addr if scrambler is None else scrambler.map(addr)
+                if kind == "w" or kind == "wa":
+                    if kind == "wa":
+                        value = acc ^ value  # encode the stored-data inversion
+                        acc = 0
+                    check_value(value)
+                    if not overrides:
+                        write_cell(array, physical, value, cycles)
+                    else:
+                        for cell in decoder_map(physical):
+                            write_cell(array, cell, value, cycles)
+                    writes += 1
+                    cycles += 1
+                    if trace is not None:
+                        trace.record(Operation(cycles - 1, 0, "w", addr, value))
+                    settle(array, cycles)
+                    executed += 1
+                elif kind == "r" or kind == "s" or kind == "ra":
+                    cells = (physical,) if not overrides else decoder_map(physical)
+                    if not cells:
+                        actual = self._sense  # AF-A: sense amp keeps last value
+                    elif len(cells) == 1:
+                        actual = read_cell(array, cells[0], cycles)
+                        self._sense = actual
+                    else:
+                        actual = read_cell(array, cells[0], cycles)
+                        for cell in cells[1:]:
+                            other = read_cell(array, cell, cycles)
+                            actual = (actual & other) if wired_and \
+                                else (actual | other)
+                        self._sense = actual
+                    reads += 1
+                    cycles += 1
+                    if trace is not None:
+                        trace.record(Operation(cycles - 1, 0, "r", addr, actual))
+                    settle(array, cycles)
+                    executed += 1
+                    if kind == "ra":
+                        actual ^= expected  # decode the stored-data inversion
+                        if actual:
+                            acc ^= actual if value is None \
+                                else tables[value][actual]
+                    else:
+                        if kind == "s" and captured is not None:
+                            captured.append(actual)
+                        if actual != expected:
+                            if mismatches is not None:
+                                mismatches.append((index, actual))
+                            if stop_on_mismatch:
+                                return executed
+                else:
+                    raise ValueError(f"unknown op kind {kind!r}")
+        finally:
+            stats.reads += reads
+            stats.writes += writes
+            stats.cycles = cycles
+        return executed
+
     @property
     def scrambler(self):
         """The address scrambler, or None (identity mapping)."""

@@ -1,0 +1,80 @@
+"""Portable executor for compiled operation records (the repro.sim IR).
+
+One generic loop over the ``(kind, port, addr, value, expected, idle)``
+records, driving any RAM front-end through its public
+``read``/``write``/``idle`` API.  :class:`~repro.memory.multiport
+.MultiPortRAM` delegates its ``apply_stream`` here, and any duck-typed
+front-end can do the same; :class:`~repro.memory.ram.SinglePortRAM`
+carries its own inlined copy of these semantics purely for speed (the
+campaign hot loop) -- the two are kept in lock-step by the equivalence
+suite in ``tests/sim``.
+"""
+
+from __future__ import annotations
+
+from inspect import signature
+
+__all__ = ["apply_stream_generic"]
+
+
+def _accepts_port(method) -> bool:
+    try:
+        return "port" in signature(method).parameters
+    except (TypeError, ValueError):  # builtins / C accelerators
+        return False
+
+
+def apply_stream_generic(ram, ops, tables=(), start: int = 0,
+                         end: int | None = None,
+                         stop_on_mismatch: bool = False,
+                         mismatches: list | None = None,
+                         captured: list | None = None) -> int:
+    """Execute op records through ``ram``'s public access methods.
+
+    Same contract as :meth:`repro.memory.ram.SinglePortRAM.apply_stream`
+    (see there for the parameters); each record costs one full
+    ``read``/``write`` call -- correct for any front-end (with or
+    without per-port access methods), just without the single-port fast
+    path.
+    """
+    if end is None:
+        end = len(ops)
+    ported = _accepts_port(ram.read)
+    executed = 0
+    acc = 0
+    for index in range(start, end):
+        kind, port, addr, value, expected, idle = ops[index]
+        if kind == "w":
+            if ported:
+                ram.write(addr, value, port=port)
+            else:
+                ram.write(addr, value)
+            executed += 1
+        elif kind == "r" or kind == "s" or kind == "ra":
+            actual = ram.read(addr, port=port) if ported else ram.read(addr)
+            executed += 1
+            if kind == "ra":
+                actual ^= expected  # decode the stored-data inversion
+                if actual:
+                    acc ^= actual if value is None else tables[value][actual]
+                continue
+            if kind == "s" and captured is not None:
+                captured.append(actual)
+            if actual != expected:
+                if mismatches is not None:
+                    mismatches.append((index, actual))
+                if stop_on_mismatch:
+                    return executed
+        elif kind == "wa":
+            stored = acc ^ value  # encode the stored-data inversion
+            if ported:
+                ram.write(addr, stored, port=port)
+            else:
+                ram.write(addr, stored)
+            executed += 1
+            acc = 0
+        elif kind == "i":
+            ram.idle(idle)
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+    return executed

@@ -168,6 +168,13 @@ class PiIteration:
         """True when the stored background is the complemented stream."""
         return self._invert
 
+    @property
+    def recurrence_multipliers(self) -> tuple[int, ...]:
+        """Per-window-slot multipliers ``a_0^{-1} a_{k-j}`` of the
+        recurrence (zero entries are null taps the sweep skips).  The
+        :mod:`repro.sim` compiler bakes these into ``"ra"`` records."""
+        return self._reference.recurrence_multipliers
+
     def _encode(self, value: int) -> int:
         """Automaton value -> stored cell value."""
         return value ^ self._mask if self._invert else value

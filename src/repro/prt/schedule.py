@@ -141,13 +141,36 @@ class PiTestSchedule:
             total += n
         return total
 
-    def run(self, ram, stop_on_failure: bool = False) -> ScheduleResult:
+    def run(self, ram, stop_on_failure: bool = False,
+            compiled: bool = True) -> ScheduleResult:
         """Execute all iterations; optionally abort at the first mismatch.
 
         In verifying mode a final read-back pass checks the last
         iteration's complete background (without it, a corruption landing
         after a cell's last sweep read in the *final* iteration would
         escape -- there is no later iteration to verify it).
+
+        This is a thin adapter over :mod:`repro.sim`: the schedule is
+        lowered once (:func:`repro.sim.compilers.compile_schedule`) and
+        replayed through the RAM's bulk ``apply_stream`` entry point;
+        ``compiled=False`` forces the original interpreted path
+        (:meth:`run_interpreted`), which stays byte-identical.  RAM
+        front-ends without ``apply_stream`` fall back to it
+        automatically.
+        """
+        if compiled and hasattr(ram, "apply_stream"):
+            from repro.sim.compilers import cached_schedule_stream
+            from repro.sim.replay import replay_schedule
+
+            stream = cached_schedule_stream(self, ram.n, ram.m)
+            return replay_schedule(stream, ram, stop_on_failure=stop_on_failure)
+        return self.run_interpreted(ram, stop_on_failure=stop_on_failure)
+
+    def run_interpreted(self, ram, stop_on_failure: bool = False) -> ScheduleResult:
+        """The original per-operation interpreted schedule execution.
+
+        Reference implementation for the equivalence tests and the
+        campaign-engine benchmark baseline.
         """
         result = ScheduleResult()
         previous_background: list[int] | None = None

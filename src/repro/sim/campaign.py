@@ -1,0 +1,249 @@
+"""The batched fault-campaign engine: one compiled stream, many faults.
+
+The standard single-fault-injection methodology re-runs the complete test
+for every fault of a universe.  Interpreted, that costs
+``O(|universe| * test_length)`` with a large per-operation Python
+constant (March element walks, LFSR stepping, background recomputation).
+:func:`run_campaign` replays a compiled :class:`~repro.sim.ir.OpStream`
+instead:
+
+* **compile once** -- addresses, data values, recurrence multipliers and
+  expected values are resolved a single time, not per fault;
+* **cached fault-free reference pass** -- the stream is validated once on
+  a healthy memory (zero mismatches) and the result cached on the stream;
+* **early abort** -- a fault is *detected* at the first mismatching
+  checked read, so the typical detected fault costs a short prefix of the
+  stream, not the full test;
+* **chunked execution** -- faults are processed in chunks, giving a
+  progress hook and the unit of work for the opt-in ``workers=N``
+  multiprocessing fan-out.
+
+Replay cost is ``O(|universe| * detection_prefix)`` -- for strong tests
+the mean prefix is a small fraction of the test length, which is where
+the engine's wall-clock win over the interpreted loop comes from (see
+``benchmarks/bench_campaign_engine.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+from repro.memory.ram import SinglePortRAM
+from repro.memory.stream_exec import apply_stream_generic
+from repro.sim.ir import OpStream
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one batched campaign.
+
+    ``outcomes`` preserves universe order: ``(fault, detected)`` pairs,
+    which is what lets :func:`repro.analysis.coverage.run_coverage` build
+    a report identical to the interpreted per-fault loop's.
+    """
+
+    stream_name: str
+    n: int
+    m: int
+    outcomes: list[tuple[Fault, bool]] = dataclass_field(default_factory=list)
+    operations_replayed: int = 0
+    reference_operations: int = 0
+    workers_used: int = 0
+
+    @property
+    def faults_total(self) -> int:
+        """Number of faults injected."""
+        return len(self.outcomes)
+
+    @property
+    def detected_total(self) -> int:
+        """Number of detected faults."""
+        return sum(1 for _, detected in self.outcomes if detected)
+
+    @property
+    def detection_ratio(self) -> float:
+        """Detected / total (1.0 for an empty campaign)."""
+        if not self.outcomes:
+            return 1.0
+        return self.detected_total / self.faults_total
+
+    @property
+    def missed(self) -> list[Fault]:
+        """The faults that escaped, in universe order."""
+        return [fault for fault, detected in self.outcomes if not detected]
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult({self.stream_name!r}, "
+            f"{self.detected_total}/{self.faults_total} detected, "
+            f"{self.operations_replayed} ops replayed)"
+        )
+
+
+def _default_ram_factory(n: int, m: int):
+    return SinglePortRAM(n, m=m)
+
+
+def _run_one(stream: OpStream, fault: Fault, ram_factory, n: int,
+             m: int) -> tuple[bool, int]:
+    """Inject one fault into a fresh RAM and replay with early abort."""
+    ram = ram_factory() if ram_factory is not None else SinglePortRAM(n, m=m)
+    if ram.n != n or ram.m != m:
+        # A stream compiled for one geometry replayed on another would
+        # silently test the wrong address space (or crash mid-replay).
+        raise ValueError(
+            f"ram_factory built a {ram.n}x{ram.m}-bit RAM but the stream "
+            f"{stream.name!r} was compiled for {n}x{m}"
+        )
+    injector = FaultInjector([fault])
+    injector.install(ram)
+    mismatches: list[tuple[int, int]] = []
+    apply = getattr(ram, "apply_stream", None)
+    if apply is not None:
+        executed = apply(stream.ops, tables=stream.tables,
+                         stop_on_mismatch=True, mismatches=mismatches)
+    else:
+        # Duck-typed front-end honouring only the read/write/idle
+        # contract: replay through the portable executor.
+        executed = apply_stream_generic(ram, stream.ops, tables=stream.tables,
+                                        stop_on_mismatch=True,
+                                        mismatches=mismatches)
+    injector.remove(ram)
+    return bool(mismatches), executed
+
+
+def _run_chunk(args) -> list[tuple[bool, int]]:
+    """Multiprocessing unit of work: one chunk of faults, one process."""
+    stream, faults, ram_factory, n, m = args
+    return [_run_one(stream, fault, ram_factory, n, m) for fault in faults]
+
+
+def _reference_pass(stream: OpStream, n: int, m: int) -> None:
+    """Fault-free replay on a canonical perfect memory; caches success
+    (and the stream's operation count) on the stream.
+
+    Uses a default ``SinglePortRAM`` rather than ``ram_factory`` so the
+    factory is called exactly once per fault (the legacy campaign
+    contract) and so the check answers the right question: is the stream
+    self-consistent on a *perfect* memory?
+    """
+    if stream.reference_verified:
+        return
+    ram = SinglePortRAM(n, m=m)
+    mismatches: list[tuple[int, int]] = []
+    executed = ram.apply_stream(stream.ops, tables=stream.tables,
+                                mismatches=mismatches)
+    if mismatches:
+        index, actual = mismatches[0]
+        record = stream.ops[index]
+        raise ValueError(
+            f"compiled stream {stream.name!r} fails on a fault-free memory: "
+            f"op {index} ({record[0]} addr={record[2]}) expected "
+            f"{record[4]} read {actual} -- the stream is not self-consistent "
+            f"(hand-built records, or a compiler bug)"
+        )
+    stream.reference_verified = True
+    stream.reference_operations = executed
+
+
+def run_campaign(stream: OpStream, universe: Iterable[Fault],
+                 ram_factory: Callable[[], object] | None = None,
+                 workers: int = 0, chunk_size: int = 128,
+                 progress: Callable[[int, int], None] | None = None,
+                 reference_check: bool = True) -> CampaignResult:
+    """Replay one compiled stream against every fault of a universe.
+
+    Parameters
+    ----------
+    stream:
+        The compiled test (see :mod:`repro.sim.compilers`).
+    universe:
+        Iterable of faults; injected one at a time (single-fault
+        methodology), outcome order preserved.
+    ram_factory:
+        Overrides the default ``SinglePortRAM(stream.n, m=stream.m)``.
+        With ``workers > 0`` it must be picklable (a module-level
+        function or functools.partial, not a lambda).
+    workers:
+        ``0`` (default) runs in-process.  ``N > 0`` fans chunks out to a
+        multiprocessing pool; falls back to in-process execution if the
+        platform cannot spawn workers (sandboxes, missing /dev/shm).
+    chunk_size:
+        Faults per unit of work (and per ``progress`` callback).
+    progress:
+        Optional ``progress(done, total)`` hook called after each chunk
+        (the universe is materialized up front, so ``total`` is always
+        its concrete size).
+    reference_check:
+        Validate the stream on a fault-free memory first (cached on the
+        stream, so repeated campaigns pay it once).
+
+    >>> from repro.faults import single_cell_universe
+    >>> from repro.march.library import MARCH_C_MINUS
+    >>> from repro.sim.compilers import compile_march
+    >>> stream = compile_march(MARCH_C_MINUS, 8)
+    >>> result = run_campaign(stream, single_cell_universe(8, classes=("SAF",)))
+    >>> result.detection_ratio
+    1.0
+    """
+    n, m = stream.n, stream.m
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    if reference_check:
+        _reference_pass(stream, n, m)
+    result = CampaignResult(stream_name=stream.name, n=n, m=m,
+                            reference_operations=stream.reference_operations or 0)
+    faults = list(universe)
+    chunks = [faults[i:i + chunk_size] for i in range(0, len(faults), chunk_size)]
+    outcomes: list[tuple[bool, int]] = []
+    if workers > 0 and len(faults) > 1:
+        outcomes = _run_parallel(stream, chunks, ram_factory, n, m,
+                                 workers, result, progress, len(faults))
+    if not outcomes:  # serial path, or parallel fan-out unavailable
+        done = 0
+        for chunk in chunks:
+            for fault in chunk:
+                outcomes.append(_run_one(stream, fault, ram_factory, n, m))
+            done += len(chunk)
+            if progress is not None:
+                progress(done, len(faults))
+    for fault, (detected, executed) in zip(faults, outcomes):
+        result.outcomes.append((fault, detected))
+        result.operations_replayed += executed
+    return result
+
+
+def _run_parallel(stream, chunks, ram_factory, n, m, workers, result,
+                  progress, total) -> list[tuple[bool, int]]:
+    """Fan chunks out to a process pool; empty list when unavailable.
+
+    Chunk results are consumed in order as workers finish them, so the
+    ``progress`` hook fires per chunk exactly like the serial path.
+    """
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        context = multiprocessing.get_context()
+    tasks = [(stream, chunk, ram_factory, n, m) for chunk in chunks]
+    outcomes: list[tuple[bool, int]] = []
+    try:
+        with context.Pool(processes=workers) as pool:
+            done = 0
+            for index, chunk_result in enumerate(pool.imap(_run_chunk, tasks)):
+                outcomes.extend(chunk_result)
+                done += len(chunks[index])
+                if progress is not None:
+                    progress(done, total)
+    except (OSError, PermissionError, ImportError):
+        # Restricted environments (no /dev/shm, seccomp'd fork): degrade
+        # to the serial path rather than failing the campaign.
+        return []
+    result.workers_used = workers
+    return outcomes

@@ -1,0 +1,310 @@
+"""Compilers: lower March tests and π-test schedules into an OpStream.
+
+The compilers walk the *same* control flow as the interpreted engines
+(:func:`repro.march.engine.run_march`, :meth:`repro.prt.schedule
+.PiTestSchedule.run`) but emit flat operation records instead of issuing
+RAM calls, so replaying the stream performs exactly the operation sequence
+the interpreted engine would -- same addresses, same order, same values,
+same cycle counts -- and therefore detects exactly the same faults.
+
+Compilation is O(test length) and happens once per campaign; everything
+fault-independent (address walks, data backgrounds, recurrence
+multipliers, expected backgrounds and signatures) is resolved here so the
+per-fault replay is a single flat loop.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.march.engine import word_backgrounds
+from repro.march.model import MarchDelay, MarchTest
+from repro.sim.ir import OpStream, Segment
+
+__all__ = [
+    "compile_march",
+    "compile_schedule",
+    "compile_pi_iteration",
+    "cached_march_stream",
+    "cached_schedule_stream",
+    "cached_pi_iteration_stream",
+]
+
+
+def compile_march(test: MarchTest, n: int, m: int = 1,
+                  backgrounds: list[int] | None = None) -> OpStream:
+    """Lower a March test to an :class:`OpStream`.
+
+    Mirrors :func:`repro.march.engine.run_march`: for every data
+    background, every element, every address in the element's order, emit
+    the element's operations with the background-resolved data values.
+    ``MarchDelay`` elements become idle records.  Per-op metadata is
+    ``(background, element_index)`` so replay can rebuild the exact
+    ``MarchResult.failures`` tuples.
+
+    >>> from repro.march.library import MATS_PLUS
+    >>> stream = compile_march(MATS_PLUS, 16)
+    >>> stream.operation_count == MATS_PLUS.operation_count(16)
+    True
+    """
+    mask = (1 << m) - 1
+    if backgrounds is None:
+        backgrounds = [0] if m == 1 else word_backgrounds(m)
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    for background in backgrounds:
+        if not 0 <= background <= mask:
+            raise ValueError(
+                f"background {background:#x} does not fit {m}-bit words"
+            )
+        for element_index, element in enumerate(test.elements):
+            if isinstance(element, MarchDelay):
+                ops.append(("i", 0, 0, 0, None, element.cycles))
+                info.append((background, element_index))
+                continue
+            for addr in element.addresses(n):
+                for op in element.ops:
+                    value = background if op.data == 0 else background ^ mask
+                    if op.kind == "w":
+                        ops.append(("w", 0, addr, value, None, 0))
+                    else:
+                        ops.append(("r", 0, addr, None, value, 0))
+                    info.append((background, element_index))
+    return OpStream(source="march", name=test.name, n=n, m=m,
+                    ops=tuple(ops), info=tuple(info))
+
+
+def _multiplier_table(field, multiplier: int, table_index: dict,
+                      tables: list[tuple[int, ...]]) -> int | None:
+    """Table id for ``field.mul(multiplier, .)``, or None for identity.
+
+    Constant GF(2^m) multiplication is lowered to a lookup table at
+    compile time, shared across iterations via ``(modulus, multiplier)``
+    keys -- this is also what lets one stream mix iterations over
+    different fields of the same width.
+    """
+    if multiplier == 1:
+        return None  # mul(1, r) == r: the replay adds the read directly
+    key = (field.modulus, multiplier)
+    index = table_index.get(key)
+    if index is None:
+        index = len(tables)
+        tables.append(tuple(field.mul(multiplier, r) for r in range(field.size)))
+        table_index[key] = index
+    return index
+
+
+def _compile_iteration(iteration, n: int, m: int,
+                       previous_background: list[int] | None,
+                       iteration_index: int,
+                       ops: list[tuple], info: list[tuple],
+                       table_index: dict,
+                       tables: list[tuple[int, ...]]) -> Segment:
+    """Emit one π-iteration's records; returns its :class:`Segment`.
+
+    Replicates :meth:`repro.prt.pi_test.PiIteration.run` step for step:
+    seed writes (with transparent verification when a previous background
+    is given), the n-sub-iteration sweep with null recurrence taps
+    skipped, and the final signature-window reads.
+    """
+    field = iteration.field
+    if m != field.m:
+        raise ValueError(
+            f"RAM cell width m={m} does not match field GF(2^{field.m})"
+        )
+    k = iteration.k
+    if n < k + 1:
+        raise ValueError(
+            f"memory must have more than k={k} cells, got {n}"
+        )
+    if previous_background is not None and len(previous_background) != n:
+        raise ValueError(
+            f"previous background must list all {n} cells, "
+            f"got {len(previous_background)}"
+        )
+    traj = iteration.trajectory_for(n)
+    mask = (1 << field.m) - 1
+    enc = mask if iteration.invert else 0
+    mult = iteration.recurrence_multipliers
+    start = len(ops)
+    # 1. Init: seed the first k trajectory cells.
+    for i, value in enumerate(iteration.seed):
+        if previous_background is not None:
+            cell = traj[i]
+            ops.append(("r", 0, cell, None, previous_background[cell], 0))
+            info.append((iteration_index, "verify"))
+        ops.append(("w", 0, traj[i], value ^ enc, None, 0))
+        info.append((iteration_index, "seed"))
+    # 2. Sweep with cyclic wrap: n sub-iterations.
+    tap_tables = [
+        _multiplier_table(field, multiplier, table_index, tables)
+        if multiplier else 0
+        for multiplier in mult
+    ]
+    expected_stream = iteration.expected_stream(n)
+    for j in range(n):
+        for i in range(k):
+            if mult[i] == 0:
+                continue  # null tap, skipped by the engine as well
+            ops.append(("ra", 0, traj[j + i], tap_tables[i], enc, 0))
+            info.append((iteration_index, "sweep"))
+        if previous_background is not None:
+            cell = traj[j + k]
+            if j < n - k:
+                expected = previous_background[cell]
+            else:
+                # Wrap writes overwrite this iteration's own seeds.
+                expected = iteration.seed[j + k - n] ^ enc
+            ops.append(("r", 0, cell, None, expected, 0))
+            info.append((iteration_index, "verify"))
+        ops.append(("wa", 0, traj[j + k], enc, expected_stream[j], 0))
+        info.append((iteration_index, "sweep"))
+    # 3. Signature: read the final window (wraps to the first k cells).
+    expected_final = iteration.expected_final(n)
+    for i in range(k):
+        ops.append(("s", 0, traj[n + i], None, expected_final[i], 0))
+        info.append((iteration_index, "sig"))
+    return Segment(
+        label="iteration", index=iteration_index, start=start, stop=len(ops),
+        init_state=tuple(value ^ enc for value in iteration.seed),
+        expected_final=expected_final,
+    )
+
+
+def compile_pi_iteration(iteration, n: int, m: int = 1) -> OpStream:
+    """Lower one standalone :class:`~repro.prt.pi_test.PiIteration`.
+
+    >>> from repro.prt import PiIteration
+    >>> it = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+    >>> stream = compile_pi_iteration(it, 14)
+    >>> stream.operation_count == it.operation_count(14)
+    True
+    """
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    segment = _compile_iteration(iteration, n, m, None, 0, ops, info,
+                                 {}, tables)
+    return OpStream(source="iteration", name=repr(iteration), n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=(segment,))
+
+
+def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
+    """Lower a :class:`~repro.prt.schedule.PiTestSchedule`.
+
+    Emits every iteration (chained through ``background_after`` when the
+    schedule verifies transparently), inter-iteration pauses, and the
+    final stride-2 read-back pass, exactly as
+    :meth:`~repro.prt.schedule.PiTestSchedule.run` executes them.
+
+    >>> from repro.prt import standard_schedule
+    >>> schedule = standard_schedule(n=14)
+    >>> stream = compile_schedule(schedule, 14)
+    >>> stream.operation_count == schedule.operation_count(14)
+    True
+    """
+    iterations = schedule.iterations
+    verify = schedule.verify
+    pause = schedule.pause_between
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    table_index: dict = {}
+    segments: list[Segment] = []
+    previous_background: list[int] | None = None
+    for index, iteration in enumerate(iterations):
+        start = len(ops)
+        if index and pause:
+            ops.append(("i", 0, 0, 0, None, pause))
+            info.append((index, "pause"))
+        segment = _compile_iteration(
+            iteration, n, m, previous_background, index, ops, info,
+            table_index, tables
+        )
+        # Fold the leading pause into the iteration's segment so a
+        # segment-wise replay issues it at the same point in time.
+        segments.append(Segment(
+            label="iteration", index=index, start=start, stop=segment.stop,
+            init_state=segment.init_state,
+            expected_final=segment.expected_final,
+        ))
+        if verify:
+            previous_background = iteration.background_after(n)
+    if verify and previous_background is not None:
+        last = len(iterations) - 1
+        start = len(ops)
+        if pause:
+            ops.append(("i", 0, 0, 0, None, pause))
+            info.append((last, "pause"))
+        # Stride-2 order (evens, then odds) -- see PiTestSchedule.run.
+        order = list(range(0, n, 2)) + list(range(1, n, 2))
+        for addr in order:
+            ops.append(("r", 0, addr, None, previous_background[addr], 0))
+            info.append((last, "readback"))
+        segments.append(Segment(label="readback", index=last,
+                                start=start, stop=len(ops)))
+    elif pause:
+        # Pure mode still idles after the last iteration when a pause is
+        # configured (PiTestSchedule.run does, before skipping read-back).
+        last = len(iterations) - 1
+        start = len(ops)
+        ops.append(("i", 0, 0, 0, None, pause))
+        info.append((last, "pause"))
+        segments.append(Segment(label="readback", index=last,
+                                start=start, stop=len(ops)))
+    return OpStream(source="schedule", name=schedule.name, n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=tuple(segments))
+
+
+# -- memoized entry points -----------------------------------------------------
+#
+# The thin adapters (run_march, PiTestSchedule.run, the run_coverage
+# runners) compile on every call; these caches make repeated runs of the
+# same test on the same geometry -- per-fault loops in benchmarks and
+# examples, the CLI compare table -- pay the lowering once.  Streams are
+# immutable apart from the reference-pass flag, which is *meant* to be
+# shared, so handing out the same object is safe.
+
+
+@lru_cache(maxsize=256)
+def _cached_march(test: MarchTest, n: int, m: int,
+                  backgrounds: tuple[int, ...] | None) -> OpStream:
+    return compile_march(
+        test, n, m,
+        backgrounds=None if backgrounds is None else list(backgrounds),
+    )
+
+
+def cached_march_stream(test: MarchTest, n: int, m: int = 1,
+                        backgrounds: list[int] | None = None) -> OpStream:
+    """Memoized :func:`compile_march` (keyed on test, geometry and
+    backgrounds).
+
+    >>> from repro.march.library import MATS
+    >>> cached_march_stream(MATS, 8) is cached_march_stream(MATS, 8)
+    True
+    """
+    key = None if backgrounds is None else tuple(backgrounds)
+    return _cached_march(test, n, m, key)
+
+
+@lru_cache(maxsize=256)
+def cached_schedule_stream(schedule, n: int, m: int = 1) -> OpStream:
+    """Memoized :func:`compile_schedule` (schedules are keyed by
+    identity -- they are configured once and never mutated).
+
+    >>> from repro.prt import standard_schedule
+    >>> schedule = standard_schedule(n=14)
+    >>> cached_schedule_stream(schedule, 14) is cached_schedule_stream(schedule, 14)
+    True
+    """
+    return compile_schedule(schedule, n, m)
+
+
+@lru_cache(maxsize=256)
+def cached_pi_iteration_stream(iteration, n: int, m: int = 1) -> OpStream:
+    """Memoized :func:`compile_pi_iteration` (keyed by iteration
+    identity)."""
+    return compile_pi_iteration(iteration, n, m)

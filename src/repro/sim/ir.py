@@ -1,0 +1,165 @@
+"""The operation-stream IR: a test compiled to flat memory operations.
+
+An :class:`OpStream` is the compile-once artefact of :mod:`repro.sim`:
+every memory operation a test will issue, lowered into a flat tuple of
+plain-tuple records so a campaign can replay the same test against
+thousands of faulty memories without re-interpreting March elements,
+LFSR recurrences or trajectories.
+
+Each record is the 6-tuple ``(kind, port, addr, value, expected, idle)``.
+The ``kind`` tag selects which slots are meaningful:
+
+=========  =================================================================
+kind       semantics
+=========  =================================================================
+``"w"``    write the constant ``value`` to ``addr``
+``"r"``    read ``addr`` and compare with ``expected`` (mismatch = detection)
+``"s"``    checked read that is also *captured* (signature-window reads:
+           the actual value is appended to the replay's ``captured`` list)
+``"ra"``   recurrence read: read ``addr``, XOR-decode with mask
+           ``expected``, multiply by the iteration's recurrence constant
+           and add into the replay accumulator (a π-test sweep read).
+           ``value`` is an index into :attr:`OpStream.tables` -- the
+           GF(2^m) constant multiplication is precompiled to a lookup
+           table per ``(field, multiplier)`` pair, so replay needs no
+           field arithmetic and per-iteration fields are honoured --
+           or ``None`` for a multiplier of 1 (identity)
+``"wa"``   recurrence write: XOR-encode the accumulator with mask
+           ``value``, write it to ``addr``, reset the accumulator;
+           ``expected`` records the fault-free stored value
+``"i"``    idle for ``idle`` memory cycles (March ``Del`` / PRT pause)
+=========  =================================================================
+
+``"ra"``/``"wa"`` keep compiled π-tests *exactly* equivalent to the
+interpreted engine: write data is still computed from the actual (possibly
+corrupted) reads, so fault effects propagate through the pseudo-ring the
+same way, while everything that is fault-independent -- addresses,
+multipliers, expected backgrounds, ``Fin*`` -- is precomputed once.
+
+Replay is performed by the RAM front-ends' bulk ``apply_stream`` entry
+point (:meth:`repro.memory.ram.SinglePortRAM.apply_stream`), which keeps
+stats/trace/settle semantics identical to issuing ``read``/``write``/
+``idle`` calls one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+__all__ = ["Op", "OpStream", "Segment", "OP_KINDS"]
+
+Op = tuple
+"""One operation record: ``(kind, port, addr, value, expected, idle)``."""
+
+OP_KINDS = ("w", "r", "s", "ra", "wa", "i")
+"""All valid record tags (see module docstring)."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous slice of an :class:`OpStream` with shared bookkeeping.
+
+    Schedule streams carry one segment per π-iteration (holding the
+    precomputed ``init_state``/``expected_final`` needed to rebuild a
+    :class:`~repro.prt.pi_test.PiIterationResult`) plus an optional
+    trailing ``"readback"`` segment for the final verification pass.
+    """
+
+    label: str  # "iteration" or "readback"
+    index: int  # iteration number (readback: index of the last iteration)
+    start: int  # first op record (inclusive)
+    stop: int  # last op record (exclusive)
+    init_state: tuple[int, ...] | None = None
+    expected_final: tuple[int, ...] | None = None
+
+
+@dataclass
+class OpStream:
+    """A compiled test: flat operation records plus result-mapping metadata.
+
+    Attributes
+    ----------
+    source:
+        What was compiled: ``"march"``, ``"schedule"`` or ``"iteration"``.
+    name:
+        Human-readable test name (for reports).
+    n, m:
+        Memory geometry the stream was compiled for.
+    ops:
+        The flat records (see :mod:`repro.sim.ir` docstring).
+    info:
+        Per-op metadata, parallel to ``ops``.  March streams carry
+        ``(background, element_index)``; schedule/iteration streams carry
+        ``(iteration_index, role)`` with role in ``{"seed", "sweep",
+        "verify", "sig", "pause", "readback"}``.
+    tables:
+        Constant-multiplier lookup tables referenced by ``"ra"`` records
+        (``tables[value][r] == field.mul(multiplier, r)``); empty for
+        pure constant streams such as March tests.
+    segments:
+        Iteration boundaries (schedule streams only).
+    reference_verified:
+        Set by the campaign engine once a fault-free reference replay of
+        this stream has passed (cached so repeated campaigns skip it).
+
+    >>> stream = OpStream(source="march", name="demo", n=2, m=1,
+    ...                   ops=(("w", 0, 0, 1, None, 0),
+    ...                        ("r", 0, 0, None, 1, 0),
+    ...                        ("i", 0, 0, 0, None, 8)),
+    ...                   info=((0, 0), (0, 1), (0, 2)))
+    >>> len(stream), stream.operation_count, stream.checked_reads
+    (3, 2, 1)
+    """
+
+    source: str
+    name: str
+    n: int
+    m: int
+    ops: tuple[Op, ...]
+    info: tuple[tuple, ...]
+    tables: tuple[tuple[int, ...], ...] = ()
+    segments: tuple[Segment, ...] = ()
+    reference_verified: bool = dataclass_field(default=False, repr=False)
+    reference_operations: int | None = dataclass_field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.ops) != len(self.info):
+            raise ValueError(
+                f"ops and info must be parallel: {len(self.ops)} records "
+                f"vs {len(self.info)} metadata entries"
+            )
+        for record in self.ops:
+            if record[0] not in OP_KINDS:
+                raise ValueError(f"unknown op kind {record[0]!r}")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def operation_count(self) -> int:
+        """Reads + writes in one replay (idles cost cycles, not operations)."""
+        return sum(1 for record in self.ops if record[0] != "i")
+
+    @property
+    def checked_reads(self) -> int:
+        """Observation points: reads whose mismatch means *detection*."""
+        return sum(1 for record in self.ops if record[0] in ("r", "s"))
+
+    @property
+    def idle_cycles(self) -> int:
+        """Total idle cycles contributed by ``"i"`` records."""
+        return sum(record[5] for record in self.ops if record[0] == "i")
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """``{kind: record_count}`` for diagnostics."""
+        out: dict[str, int] = {}
+        for record in self.ops:
+            out[record[0]] = out.get(record[0], 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}:{c}" for k, c in sorted(self.counts_by_kind().items()))
+        return (
+            f"OpStream({self.name!r}, {self.source}, n={self.n}, m={self.m}, "
+            f"{len(self.ops)} records [{inner}])"
+        )

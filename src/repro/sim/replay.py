@@ -1,0 +1,129 @@
+"""Replay: execute a compiled OpStream and rebuild engine-native results.
+
+These functions are the bridge between the IR and the legacy result
+types: byte-identical ``MarchResult`` / ``ScheduleResult`` /
+``PiIterationResult`` objects come out, so the thin adapters in
+:mod:`repro.march.engine` and :mod:`repro.prt.schedule` are drop-in.
+
+The actual op loop lives in the RAM front-ends' ``apply_stream`` bulk
+entry point; this module maps its mismatch/capture output back through the
+stream's per-op metadata.
+"""
+
+from __future__ import annotations
+
+from repro.prt.pi_test import PiIterationResult
+from repro.sim.ir import OpStream
+
+__all__ = ["replay_march", "replay_schedule", "replay_iteration",
+           "replay_detect"]
+
+
+def replay_detect(stream: OpStream, ram) -> bool:
+    """Replay with early abort; True when the stream detects a fault.
+
+    A fault is detected at the first checked read whose actual value
+    differs from the compiled expectation -- the replay stops there, which
+    is what makes campaign replays much shorter than full runs for the
+    (typical) detected fault.
+    """
+    mismatches: list[tuple[int, int]] = []
+    ram.apply_stream(stream.ops, tables=stream.tables,
+                     stop_on_mismatch=True, mismatches=mismatches)
+    return bool(mismatches)
+
+
+def replay_march(stream: OpStream, ram,
+                 stop_on_first_failure: bool = False):
+    """Replay a compiled March stream; returns a ``MarchResult``.
+
+    Identical to interpreting the test on ``ram``: same operation
+    sequence, same ``operations`` count, same ordered ``failures``
+    tuples ``(background, element_index, addr, expected, actual)``.
+    """
+    from repro.march.engine import MarchResult  # adapter imports us lazily
+
+    mismatches: list[tuple[int, int]] = []
+    executed = ram.apply_stream(
+        stream.ops, tables=stream.tables,
+        stop_on_mismatch=stop_on_first_failure, mismatches=mismatches,
+    )
+    result = MarchResult(operations=executed)
+    for op_index, actual in mismatches:
+        background, element_index = stream.info[op_index]
+        _, _, addr, _, expected, _ = stream.ops[op_index]
+        result.passed = False
+        result.failures.append(
+            (background, element_index, addr, expected, actual)
+        )
+    return result
+
+
+def replay_iteration(stream: OpStream, ram) -> PiIterationResult:
+    """Replay a compiled standalone π-iteration."""
+    segment = stream.segments[0]
+    mismatches: list[tuple[int, int]] = []
+    captured: list[int] = []
+    executed = ram.apply_stream(
+        stream.ops, tables=stream.tables,
+        mismatches=mismatches, captured=captured,
+    )
+    verify_mismatches = sum(
+        1 for op_index, _ in mismatches if stream.info[op_index][1] == "verify"
+    )
+    return PiIterationResult(
+        init_state=segment.init_state,
+        final_state=tuple(captured),
+        expected_final=segment.expected_final,
+        operations=executed,
+        written_stream=None,
+        verify_mismatches=verify_mismatches,
+    )
+
+
+def replay_schedule(stream: OpStream, ram, stop_on_failure: bool = False):
+    """Replay a compiled schedule stream; returns a ``ScheduleResult``.
+
+    Segments execute in order; ``stop_on_failure`` returns after the
+    first failing iteration exactly like the interpreted scheduler
+    (the iteration itself always completes -- its signature *is* the
+    verdict).  Read-back mismatches are attributed to the last
+    iteration's ``verify_mismatches``, as in the interpreted path.
+    """
+    from repro.prt.schedule import ScheduleResult  # adapter imports us lazily
+
+    result = ScheduleResult()
+    info = stream.info
+    for segment in stream.segments:
+        mismatches: list[tuple[int, int]] = []
+        if segment.label == "readback":
+            executed = ram.apply_stream(
+                stream.ops, tables=stream.tables,
+                start=segment.start, end=segment.stop, mismatches=mismatches,
+            )
+            result.operations += executed
+            if mismatches and result.iteration_results:
+                result.iteration_results[-1].verify_mismatches += len(mismatches)
+            continue
+        captured: list[int] = []
+        executed = ram.apply_stream(
+            stream.ops, tables=stream.tables,
+            start=segment.start, end=segment.stop,
+            mismatches=mismatches, captured=captured,
+        )
+        verify_mismatches = sum(
+            1 for op_index, _ in mismatches if info[op_index][1] == "verify"
+        )
+        iteration_result = PiIterationResult(
+            init_state=segment.init_state,
+            final_state=tuple(captured),
+            expected_final=segment.expected_final,
+            operations=executed,
+            written_stream=None,
+            verify_mismatches=verify_mismatches,
+        )
+        result.iteration_results.append(iteration_result)
+        result.operations += executed
+        if stop_on_failure and not iteration_result.passed:
+            return result
+    return result

@@ -1,0 +1,124 @@
+"""Tests for the OpStream IR and the compilers."""
+
+import pytest
+
+from repro.gf2 import poly_from_string
+from repro.gf2m import GF2m
+from repro.march import MATS_PLUS_RETENTION
+from repro.march.library import MARCH_C_MINUS, MATS_PLUS
+from repro.prt import PiIteration, PiTestSchedule, standard_schedule
+from repro.sim import (
+    OpStream,
+    compile_march,
+    compile_pi_iteration,
+    compile_schedule,
+)
+
+F16 = GF2m(poly_from_string("1+z+z^4"))
+
+
+class TestOpStream:
+    def test_parallel_metadata_enforced(self):
+        with pytest.raises(ValueError):
+            OpStream(source="march", name="bad", n=1, m=1,
+                     ops=(("w", 0, 0, 0, None, 0),), info=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            OpStream(source="march", name="bad", n=1, m=1,
+                     ops=(("x", 0, 0, 0, None, 0),), info=((0, 0),))
+
+    def test_counters(self):
+        stream = compile_march(MATS_PLUS_RETENTION, 8)
+        # Two D256 delay elements -> 512 idle cycles, zero operations.
+        assert stream.idle_cycles == 512
+        assert stream.operation_count == MATS_PLUS_RETENTION.operation_count(8)
+        assert len(stream) == stream.operation_count + 2
+        kinds = stream.counts_by_kind()
+        assert kinds["i"] == 2
+        assert kinds["r"] == stream.checked_reads
+
+    def test_repr(self):
+        assert "march" in repr(compile_march(MATS_PLUS, 8))
+
+
+class TestCompileMarch:
+    def test_operation_count_bom(self):
+        stream = compile_march(MARCH_C_MINUS, 32)
+        assert stream.operation_count == MARCH_C_MINUS.operation_count(32)
+
+    def test_wom_backgrounds_multiply_length(self):
+        bom = compile_march(MARCH_C_MINUS, 16, m=1)
+        wom = compile_march(MARCH_C_MINUS, 16, m=4)
+        # ceil(log2 4) + 1 = 3 standard backgrounds
+        assert wom.operation_count == 3 * bom.operation_count
+
+    def test_info_maps_background_and_element(self):
+        stream = compile_march(MATS_PLUS, 4)
+        backgrounds = {background for background, _ in stream.info}
+        elements = {element for _, element in stream.info}
+        assert backgrounds == {0}
+        assert elements == {0, 1, 2}
+
+    def test_bad_background_rejected(self):
+        with pytest.raises(ValueError):
+            compile_march(MATS_PLUS, 8, m=2, backgrounds=[7])
+
+
+class TestCompileSchedule:
+    def test_operation_count_matches_model(self):
+        for verify in (True, False):
+            schedule = standard_schedule(n=14, verify=verify)
+            stream = compile_schedule(schedule, 14)
+            assert stream.operation_count == schedule.operation_count(14)
+
+    def test_segments_cover_stream(self):
+        schedule = standard_schedule(n=14)
+        stream = compile_schedule(schedule, 14)
+        labels = [segment.label for segment in stream.segments]
+        assert labels == ["iteration"] * 3 + ["readback"]
+        assert stream.segments[0].start == 0
+        for previous, current in zip(stream.segments, stream.segments[1:]):
+            assert current.start == previous.stop
+        assert stream.segments[-1].stop == len(stream)
+
+    def test_pause_emits_idles(self):
+        schedule = standard_schedule(n=14, pause_between=99)
+        stream = compile_schedule(schedule, 14)
+        # Between each pair of iterations plus before the read-back.
+        assert stream.idle_cycles == 3 * 99
+
+    def test_m_mismatch_rejected(self):
+        schedule = standard_schedule(field=F16, n=16)
+        with pytest.raises(ValueError, match="does not match field"):
+            compile_schedule(schedule, 16, m=1)
+
+    def test_too_small_memory_rejected(self):
+        schedule = standard_schedule()
+        with pytest.raises(ValueError, match="more than"):
+            compile_schedule(schedule, 2)
+
+    def test_trajectory_size_mismatch_rejected(self):
+        schedule = standard_schedule(n=14)
+        with pytest.raises(ValueError, match="trajectory"):
+            compile_schedule(schedule, 21)
+
+
+class TestCompileIteration:
+    def test_operation_count(self):
+        iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        stream = compile_pi_iteration(iteration, 14)
+        assert stream.operation_count == iteration.operation_count(14)
+
+    def test_null_taps_skipped(self):
+        # g = 1 + x^2 + x^3 has one null tap: 2 reads + 1 write per
+        # sub-iteration, not 3 + 1.
+        iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1))
+        stream = compile_pi_iteration(iteration, 14)
+        assert stream.counts_by_kind()["ra"] == 2 * 14
+
+    def test_inverted_iteration_encodes_seed(self):
+        iteration = PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1),
+                                invert=True)
+        stream = compile_pi_iteration(iteration, 14)
+        assert stream.segments[0].init_state == (1, 1, 0)
