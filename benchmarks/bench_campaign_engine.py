@@ -1,15 +1,23 @@
-"""BENCH -- compiled campaign engine vs the legacy per-fault loop.
+"""BENCH -- campaign engines: interpreted vs compiled vs bit-packed.
 
 Times single-fault coverage campaigns for March C- and the standard
 3-iteration PRT schedule over ``standard_universe(n)`` samples at
-n in {64, 256, 1024}, on three paths:
+n in {64, 256, 1024}, on four paths:
 
 * ``interpreted`` -- the seed behaviour: re-run the interpreted engine
   for every fault (``run_coverage(engine="interpreted")``),
 * ``compiled``    -- compile once, replay with early abort (the default
   ``repro.sim`` campaign path, single process),
 * ``compiled-mp`` -- the same with ``workers=2`` (omitted when the
-  platform cannot fork).
+  platform cannot fork),
+* ``batched``     -- the bit-packed lane-parallel engine
+  (``repro.sim.batched``): one replay pass per vectorizable fault
+  class, scalar fallback for the rest.
+
+A second section times the batched engine on its home turf -- the full
+single-cell SAF/TF universe at n = 1024 (one lane per fault, zero scalar
+fallback) -- against the compiled single-process engine; that ratio is
+the headline ``single_cell_batched_speedup`` in the JSON summary.
 
 Reports are cross-checked for equality on every path before a number is
 emitted.  Run as a script::
@@ -32,7 +40,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis import march_runner, run_coverage, schedule_runner  # noqa: E402
-from repro.faults import standard_universe  # noqa: E402
+from repro.faults import single_cell_universe, standard_universe  # noqa: E402
 from repro.march.library import MARCH_C_MINUS  # noqa: E402
 from repro.prt import standard_schedule  # noqa: E402
 
@@ -62,6 +70,12 @@ def bench_one(name: str, runner_factory, n: int, workers: int) -> dict:
         raise AssertionError(
             f"{name} n={n}: compiled campaign diverged from interpreted"
         )
+    t_bat, r_bat = _time_coverage(runner_factory(), universe, n,
+                                  engine="batched")
+    if _report_key(r_int) != _report_key(r_bat):
+        raise AssertionError(
+            f"{name} n={n}: batched campaign diverged from interpreted"
+        )
     row = {
         "test": name,
         "n": n,
@@ -70,6 +84,8 @@ def bench_one(name: str, runner_factory, n: int, workers: int) -> dict:
         "interpreted_s": round(t_int, 3),
         "compiled_s": round(t_cmp, 3),
         "speedup": round(t_int / t_cmp, 2) if t_cmp else float("inf"),
+        "batched_s": round(t_bat, 3),
+        "speedup_batched": round(t_int / t_bat, 2) if t_bat else float("inf"),
     }
     if workers > 0:
         t_mp, r_mp = _time_coverage(runner_factory(), universe, n,
@@ -80,6 +96,40 @@ def bench_one(name: str, runner_factory, n: int, workers: int) -> dict:
     return row
 
 
+def bench_single_cell(n: int) -> list[dict]:
+    """The batched engine's home turf: a full single-cell SAF/TF universe
+    (one lane per fault, zero scalar fallback) vs the compiled engine."""
+    universe = single_cell_universe(n, classes=("SAF", "TF"))
+    rows = []
+    for name, factory in (
+        ("March C-", lambda: march_runner(MARCH_C_MINUS)),
+        ("PRT-3", lambda: schedule_runner(standard_schedule(n=n))),
+    ):
+        t_cmp, r_cmp = _time_coverage(factory(), universe, n)
+        t_bat, r_bat = _time_coverage(factory(), universe, n,
+                                      engine="batched")
+        if _report_key(r_cmp) != _report_key(r_bat):
+            raise AssertionError(
+                f"{name} n={n}: batched single-cell campaign diverged "
+                f"from compiled"
+            )
+        speedup = round(t_cmp / t_bat, 2) if t_bat else float("inf")
+        rows.append({
+            "test": name,
+            "n": n,
+            "universe": "single-cell SAF/TF",
+            "faults": len(universe),
+            "coverage": round(r_cmp.overall, 4),
+            "compiled_s": round(t_cmp, 3),
+            "batched_s": round(t_bat, 3),
+            "speedup_batched_vs_compiled": speedup,
+        })
+        print(f"{name:>9} n={n:<5} single-cell faults={len(universe):<5} "
+              f"compiled {t_cmp:>7.3f}s  batched {t_bat:>7.3f}s  "
+              f"x{speedup}")
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=str, default=None,
@@ -88,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="processes for the multiprocessing row "
                              "(0 disables it)")
     parser.add_argument("--sizes", type=int, nargs="*", default=list(SIZES))
+    parser.add_argument("--single-cell-n", type=int, default=1024,
+                        help="memory size for the single-cell batched "
+                             "headline row")
     args = parser.parse_args(argv)
 
     rows = []
@@ -103,12 +156,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:>9} n={n:<5} faults={row['faults']:<5} "
                   f"interpreted {row['interpreted_s']:>7.3f}s  "
                   f"compiled {row['compiled_s']:>7.3f}s  "
-                  f"x{row['speedup']}{mp_text}")
+                  f"x{row['speedup']}{mp_text}  "
+                  f"batched {row['batched_s']:>7.3f}s  "
+                  f"x{row['speedup_batched']}")
+    single_cell_rows = bench_single_cell(args.single_cell_n)
     summary = {
         "benchmark": "campaign_engine",
         "python": sys.version.split()[0],
         "rows": rows,
         "min_single_process_speedup": min(r["speedup"] for r in rows),
+        "single_cell_rows": single_cell_rows,
+        "single_cell_batched_speedup": min(
+            r["speedup_batched_vs_compiled"] for r in single_cell_rows
+        ),
     }
     text = json.dumps(summary, indent=2)
     if args.out:

@@ -76,6 +76,7 @@ from repro.sim import (
     compile_pi_iteration,
     CampaignResult,
     run_campaign,
+    run_campaign_batched,
 )
 
 __version__ = "0.1.0"
@@ -115,5 +116,6 @@ __all__ = [
     "compile_pi_iteration",
     "CampaignResult",
     "run_campaign",
+    "run_campaign_batched",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from repro.faults.injector import FaultInjector
 from repro.march.engine import run_march_interpreted
 from repro.march.model import MarchTest
 from repro.memory.ram import SinglePortRAM
+from repro.sim.batched import run_campaign_batched
 from repro.sim.campaign import run_campaign
 from repro.sim.compilers import (
     cached_march_stream,
@@ -151,9 +152,12 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     :func:`repro.sim.campaign.run_campaign` -- same per-fault verdicts,
     far less work per fault.  ``engine`` selects the path: ``"auto"``
     (compile when possible), ``"compiled"`` (require a compilable
-    runner), or ``"interpreted"`` (force the legacy per-fault loop).
-    ``workers > 0`` fans the compiled campaign out over that many
-    processes (requires a picklable ``ram_factory``).
+    runner), ``"batched"`` (require a compilable runner and resolve
+    vectorizable fault classes lane-parallel via
+    :func:`repro.sim.batched.run_campaign_batched` -- fastest on
+    single-cell-dominated universes), or ``"interpreted"`` (force the
+    legacy per-fault loop).  ``workers > 0`` fans the compiled campaign
+    out over that many processes (requires a picklable ``ram_factory``).
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -162,22 +166,25 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     >>> report.coverage_of("SAF")
     1.0
     """
-    if engine not in ("auto", "compiled", "interpreted"):
+    if engine not in ("auto", "compiled", "batched", "interpreted"):
         raise ValueError(
-            f"engine must be 'auto', 'compiled' or 'interpreted', got {engine!r}"
+            f"engine must be 'auto', 'compiled', 'batched' or "
+            f"'interpreted', got {engine!r}"
         )
     compile_fn = getattr(runner, "compile", None)
-    if engine == "compiled" and compile_fn is None:
+    if engine in ("compiled", "batched") and compile_fn is None:
         raise ValueError(
-            "engine='compiled' needs a compilable runner (one exposing "
+            f"engine={engine!r} needs a compilable runner (one exposing "
             "compile(n, m)); use march_runner/schedule_runner/"
             "iteration_runner or engine='auto'"
         )
     report = CoverageReport(test_name=test_name)
     if engine != "interpreted" and compile_fn is not None:
         stream = compile_fn(n, m)
-        campaign = run_campaign(stream, universe, ram_factory=ram_factory,
-                                workers=workers)
+        campaign_fn = run_campaign_batched if engine == "batched" \
+            else run_campaign
+        campaign = campaign_fn(stream, universe, ram_factory=ram_factory,
+                               workers=workers)
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report

@@ -146,9 +146,15 @@ def _cmd_coverage(args) -> int:
         by_name = {"mats+": MATS_PLUS, "march-c": MARCH_C_MINUS,
                    "march-b": MARCH_B}
         runner = march_runner(by_name[args.test])
+    if args.interpreted and args.engine not in ("auto", "interpreted"):
+        raise SystemExit(
+            "error: --interpreted conflicts with --engine "
+            f"{args.engine!r}; use --engine interpreted"
+        )
+    engine = "interpreted" if args.interpreted else args.engine
     report = run_coverage(runner, universe, args.n, m=args.m,
                           test_name=args.test, workers=args.workers,
-                          engine="interpreted" if args.interpreted else "auto")
+                          engine=engine)
     print(f"test    : {args.test}")
     print(f"universe: {universe!r}")
     print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
@@ -249,9 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pure", action="store_true")
     p.add_argument("--workers", type=int, default=0,
                    help="fan the campaign out over N processes (0 = serial)")
+    p.add_argument("--engine",
+                   choices=("auto", "interpreted", "compiled", "batched"),
+                   default="auto",
+                   help="campaign engine: auto (compile when possible), "
+                        "interpreted (legacy per-fault loop), compiled "
+                        "(per-fault stream replay), batched (bit-packed "
+                        "lane-parallel fault classes; fastest on "
+                        "single-cell-dominated universes)")
     p.add_argument("--interpreted", action="store_true",
-                   help="force the legacy per-fault interpreted loop "
-                        "(A/B baseline for the compiled campaign engine)")
+                   help="deprecated alias for --engine interpreted")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("compare", help="March vs PRT table (E9)")

@@ -37,7 +37,7 @@ sequences exactly as silicon defects would -- coupling faults fire on actual
 transitions, decoder faults rewire the address map, and so on.
 """
 
-from repro.faults.base import Fault, BitLocation
+from repro.faults.base import Fault, BitLocation, VectorSemantics
 from repro.faults.injector import FaultInjector
 from repro.faults.stuck_at import StuckAtFault
 from repro.faults.transition import TransitionFault
@@ -77,6 +77,7 @@ from repro.faults.universe import (
 __all__ = [
     "Fault",
     "BitLocation",
+    "VectorSemantics",
     "FaultInjector",
     "StuckAtFault",
     "TransitionFault",

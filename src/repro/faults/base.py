@@ -24,7 +24,47 @@ from dataclasses import dataclass
 
 from repro.memory.array import MemoryArray
 
-__all__ = ["Fault", "BitLocation"]
+__all__ = ["Fault", "BitLocation", "VectorSemantics"]
+
+
+@dataclass(frozen=True)
+class VectorSemantics:
+    """Lane-parallel description of a fault, for the bit-packed engine.
+
+    A fault whose effect can be expressed as a few mask operations on a
+    bit-plane memory (:class:`repro.memory.packed.PackedMemoryArray`)
+    returns one of these from :meth:`Fault.vector_semantics`; the batched
+    campaign engine (:func:`repro.sim.batched.run_campaign_batched`) then
+    replays one compiled stream against hundreds of such faults at once,
+    one lane per fault.  Faults with analogue state, timing behaviour or
+    decoder rewiring return ``None`` and take the per-fault path.
+
+    ``kind`` selects which other slots are meaningful:
+
+    ================  =======================================================
+    kind              semantics
+    ================  =======================================================
+    ``"stuck"``       bit ``(cell, bit)`` pinned to ``value``
+    ``"transition"``  bit ``(cell, bit)`` cannot rise (``rising=True``) or
+                      fall (``rising=False``) on a write
+    ``"coupling"``    a write moving aggressor bit ``(cell, bit)`` to 1
+                      (``rising=True``) or 0 (``rising=False``) corrupts
+                      victim bit ``(victim_cell, victim_bit)``: inverted
+                      when ``value`` is None (CFin), forced to ``value``
+                      otherwise (CFid)
+    ================  =======================================================
+
+    >>> VectorSemantics("stuck", cell=3, value=1)
+    VectorSemantics(kind='stuck', cell=3, bit=0, value=1, rising=None, victim_cell=None, victim_bit=None)
+    """
+
+    kind: str
+    cell: int
+    bit: int = 0
+    value: int | None = None
+    rising: bool | None = None
+    victim_cell: int | None = None
+    victim_bit: int | None = None
 
 
 @dataclass(frozen=True, order=True)
@@ -93,6 +133,12 @@ class Fault:
         """Address-decoder rewiring contributed by this fault.
         Default: none."""
         return {}
+
+    def vector_semantics(self) -> VectorSemantics | None:
+        """Lane-parallel (mask-operation) description of this fault, or
+        None when the fault cannot be vectorized (analogue state, timing,
+        decoder rewiring, multi-cell conditions).  Default: None."""
+        return None
 
     def reset(self) -> None:
         """Clear internal analogue state (latches, timers).  Default: none."""

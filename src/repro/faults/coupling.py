@@ -18,7 +18,7 @@ every cycle (the :meth:`settle` hook).
 
 from __future__ import annotations
 
-from repro.faults.base import BitLocation, Fault
+from repro.faults.base import BitLocation, Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["InversionCouplingFault", "IdempotentCouplingFault", "StateCouplingFault"]
@@ -109,6 +109,13 @@ class InversionCouplingFault(_TwoCellFault):
             current = self._victim.read(array)
             self._victim.write(array, current ^ 1)
 
+    def vector_semantics(self) -> VectorSemantics:
+        return VectorSemantics(
+            "coupling", cell=self._aggressor.cell, bit=self._aggressor.bit,
+            rising=self._rising, value=None,
+            victim_cell=self._victim.cell, victim_bit=self._victim.bit,
+        )
+
 
 class IdempotentCouplingFault(_TwoCellFault):
     """CFid: an aggressor transition forces the victim bit to ``force_to``.
@@ -147,6 +154,13 @@ class IdempotentCouplingFault(_TwoCellFault):
         _old_bit, new_bit = transition
         if new_bit == (1 if self._rising else 0):
             self._victim.write(array, self._force_to)
+
+    def vector_semantics(self) -> VectorSemantics:
+        return VectorSemantics(
+            "coupling", cell=self._aggressor.cell, bit=self._aggressor.bit,
+            rising=self._rising, value=self._force_to,
+            victim_cell=self._victim.cell, victim_bit=self._victim.bit,
+        )
 
 
 class StateCouplingFault(_TwoCellFault):

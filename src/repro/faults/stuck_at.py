@@ -9,7 +9,7 @@ bit is stuck).
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["StuckAtFault"]
@@ -69,6 +69,10 @@ class StuckAtFault(Fault):
         if cell != self._cell:
             return new
         return self._force(new)
+
+    def vector_semantics(self) -> VectorSemantics:
+        return VectorSemantics("stuck", cell=self._cell, bit=self._bit,
+                               value=self._value)
 
     def settle(self, array: MemoryArray, time: int) -> None:
         # The physical cell node is pinned, so the stored value is forced

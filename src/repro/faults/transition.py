@@ -9,7 +9,7 @@ is why March tests always pair ``w`` with a subsequent ``r``.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["TransitionFault"]
@@ -56,6 +56,10 @@ class TransitionFault(Fault):
     def rising(self) -> bool:
         """True when the rising (0->1) transition is the one that fails."""
         return self._rising
+
+    def vector_semantics(self) -> VectorSemantics:
+        return VectorSemantics("transition", cell=self._cell, bit=self._bit,
+                               rising=self._rising)
 
     def transform_write(self, array: MemoryArray, cell: int, old: int,
                         new: int, time: int) -> int:

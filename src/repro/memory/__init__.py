@@ -10,7 +10,11 @@ Models the memories the paper tests:
 * single-, dual- and quad-port RAM front-ends with per-cycle conflict
   semantics -- :mod:`repro.memory.ram` and :mod:`repro.memory.multiport`,
 * an operation trace and cycle/operation accounting used by the
-  time-complexity experiments (claim C4: 3n single-port vs 2n dual-port).
+  time-complexity experiments (claim C4: 3n single-port vs 2n dual-port),
+* a bit-plane backend -- :class:`repro.memory.packed.PackedMemoryArray` --
+  that replays one compiled stream against hundreds of faulty memory
+  copies at once (lane *k* of every word models fault-site *k*), used by
+  the batched campaign engine :mod:`repro.sim.batched`.
 
 Fault injection plugs in through the :class:`repro.memory.behavior
 .CellBehavior` interface; the perfect memory uses
@@ -22,6 +26,7 @@ without the test engines noticing.
 from repro.memory.array import MemoryArray
 from repro.memory.behavior import CellBehavior, TransparentBehavior
 from repro.memory.decoder import AddressDecoder
+from repro.memory.packed import LaneFaultModel, PackedMemoryArray
 from repro.memory.scrambler import AddressScrambler
 from repro.memory.stream_exec import apply_stream_generic
 from repro.memory.trace import Operation, OperationTrace
@@ -41,6 +46,8 @@ __all__ = [
     "AddressDecoder",
     "AddressScrambler",
     "apply_stream_generic",
+    "LaneFaultModel",
+    "PackedMemoryArray",
     "Operation",
     "OperationTrace",
     "SinglePortRAM",

@@ -1,0 +1,228 @@
+"""Bit-plane memory backend: one int word per address, one lane per fault.
+
+:class:`PackedMemoryArray` models ``lanes`` independent single-bit
+memories at once.  Word ``words[addr]`` is a plain Python int used as a
+bitmask: lane *k* (bit ``1 << k``) holds the value cell ``addr`` has in
+the *k*-th memory copy.  Because every copy replays the *same* compiled
+operation sequence (an :class:`~repro.sim.ir.OpStream`) and differs only
+in which fault is injected, a whole fault class -- same mask algebra,
+different fault site per lane -- executes in one pass over the stream:
+
+* a constant write broadcasts to all lanes (``0`` or the all-ones mask),
+* a checked read XORs the word with the broadcast expectation; any
+  non-zero bit is a *detection in that lane*,
+* π-test accumulator ops (``"ra"``/``"wa"``) keep one accumulator *bit
+  per lane*, so data corrupted by a fault propagates through the
+  pseudo-ring exactly as it would in that lane's dedicated replay.
+
+Per-lane fault semantics plug in through :class:`LaneFaultModel`: the
+executor calls ``transform_write`` / ``after_write`` with lane masks, and
+a model implements e.g. stuck-at-1 as ``new |= sa1_mask[addr]`` -- one
+big-int OR applies the fault to hundreds of lanes at once.  Models are
+built from :meth:`repro.faults.base.Fault.vector_semantics` descriptors
+by :mod:`repro.sim.batched`, which also owns universe partitioning and
+the per-fault fallback.
+
+The backend is exact only for bit-oriented geometries (``m == 1``); the
+batched engine enforces that and routes everything else to the scalar
+campaign path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PackedMemoryArray", "LaneFaultModel"]
+
+
+class LaneFaultModel:
+    """Per-lane fault semantics applied as mask operations.
+
+    The default implementation is a no-op (all lanes healthy).  Concrete
+    models (:mod:`repro.sim.batched`) override the hooks they need; each
+    hook receives and returns plain-int lane masks.
+    """
+
+    def install(self, memory: "PackedMemoryArray") -> None:
+        """Force the initial state (e.g. stuck-at-1 lanes start at 1).
+        Called once, before the first operation.  Default: nothing."""
+
+    def transform_write(self, addr: int, old: int, new: int) -> int:
+        """Lane mask actually stored when writing ``new`` over ``old`` at
+        ``addr``.  Default: faithful."""
+        return new
+
+    def after_write(self, addr: int, old: int, committed: int,
+                    memory: "PackedMemoryArray") -> None:
+        """React to the committed write ``old -> committed`` at ``addr``
+        (coupling models corrupt their victims here).  Default: nothing."""
+
+
+class PackedMemoryArray:
+    """``n`` addresses x ``lanes`` independent single-bit memory copies.
+
+    Parameters
+    ----------
+    n:
+        Number of addresses (cells) per memory copy.
+    lanes:
+        Number of parallel copies; each compiled-stream replay resolves
+        one fault per lane.
+
+    Examples
+    --------
+    >>> packed = PackedMemoryArray(4, lanes=8)
+    >>> packed.write_lanes(2, 0b1010_1010)
+    >>> packed.lane_value(2, 1)
+    1
+    >>> packed.lane_value(2, 2)
+    0
+    >>> bin(packed.ones)
+    '0b11111111'
+    """
+
+    __slots__ = ("_n", "_lanes", "_ones", "words")
+
+    def __init__(self, n: int, lanes: int):
+        if n < 1:
+            raise ValueError(f"memory needs at least one cell, got n={n}")
+        if lanes < 1:
+            raise ValueError(f"need at least one lane, got {lanes}")
+        self._n = n
+        self._lanes = lanes
+        self._ones = (1 << lanes) - 1
+        self.words: list[int] = [0] * n
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of addresses per memory copy."""
+        return self._n
+
+    @property
+    def lanes(self) -> int:
+        """Number of parallel memory copies."""
+        return self._lanes
+
+    @property
+    def ones(self) -> int:
+        """The all-lanes mask, ``(1 << lanes) - 1``."""
+        return self._ones
+
+    def __repr__(self) -> str:
+        return f"PackedMemoryArray(n={self._n}, lanes={self._lanes})"
+
+    # -- access ----------------------------------------------------------------
+
+    def read_lanes(self, addr: int) -> int:
+        """The lane mask stored at ``addr``."""
+        return self.words[addr]
+
+    def write_lanes(self, addr: int, mask: int) -> None:
+        """Replace the lane mask stored at ``addr``."""
+        self.words[addr] = mask & self._ones
+
+    def lane_value(self, addr: int, lane: int) -> int:
+        """The single-bit value cell ``addr`` holds in copy ``lane``."""
+        if not 0 <= lane < self._lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self._lanes})")
+        return (self.words[addr] >> lane) & 1
+
+    def dump_lane(self, lane: int) -> list[int]:
+        """Snapshot of one memory copy's cells (for debugging/tests)."""
+        if not 0 <= lane < self._lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self._lanes})")
+        bit = 1 << lane
+        return [1 if word & bit else 0 for word in self.words]
+
+    # -- bulk replay -----------------------------------------------------------
+
+    def apply_stream(self, ops, tables=(), model: LaneFaultModel | None = None,
+                     detected: int = 0,
+                     stop_when_all_detected: bool = True) -> tuple[int, int]:
+        """Replay compiled op records against every lane simultaneously.
+
+        Executes the :mod:`repro.sim` IR (records
+        ``(kind, port, addr, value, expected, idle)``, see
+        :mod:`repro.sim.ir`) with bit-oriented (``m == 1``) semantics.
+        Values and expectations broadcast to all lanes; ``model`` applies
+        per-lane fault semantics.  A checked read that mismatches its
+        expectation in lane *k* marks lane *k* detected; replay stops
+        early once *every* lane is detected (the batched analogue of the
+        scalar engine's first-mismatch abort -- later mismatches cannot
+        change any verdict because detection is monotone).
+
+        ``"ra"``/``"wa"`` accumulator ops keep one accumulator bit per
+        lane, so recurrence write data is recomputed from each lane's
+        actual (possibly corrupted) reads -- exactly the scalar replay
+        semantics, lane-parallel.  ``"i"`` idles are no-ops: every
+        vectorizable fault model is timing-independent (retention faults
+        take the per-fault path).
+
+        Parameters
+        ----------
+        ops:
+            Sequence of op records (usually ``OpStream.ops``).
+        tables:
+            ``OpStream.tables`` constant-multiplier tables; for ``m == 1``
+            (GF(2)) a table can only encode multiply-by-0 or -1.
+        model:
+            Per-lane fault semantics; None replays healthy lanes.
+        detected:
+            Initial detected-lane mask (continue a partial campaign).
+        stop_when_all_detected:
+            Disable to force a full replay even once every lane is
+            detected (e.g. to inspect final per-lane memory state).
+
+        Returns ``(detected, executed)``: the final detected-lane mask and
+        the number of read/write records executed (once per *pass*, not
+        per lane).
+
+        >>> packed = PackedMemoryArray(2, lanes=3)
+        >>> packed.apply_stream([("w", 0, 0, 1, None, 0),
+        ...                      ("r", 0, 0, None, 1, 0)])
+        (0, 2)
+        """
+        words = self.words
+        ones = self._ones
+        executed = 0
+        acc = 0
+        if model is None:
+            model = _NO_FAULTS
+        transform_write = model.transform_write
+        after_write = model.after_write
+        for kind, _port, addr, value, expected, _idle in ops:
+            if kind == "w" or kind == "wa":
+                if kind == "w":
+                    new = ones if value else 0
+                else:
+                    new = acc ^ (ones if value else 0)
+                    acc = 0
+                old = words[addr]
+                new = transform_write(addr, old, new)
+                words[addr] = new
+                after_write(addr, old, new, self)
+                executed += 1
+            elif kind == "r" or kind == "s":
+                executed += 1
+                diff = words[addr] ^ (ones if expected else 0)
+                if diff:
+                    detected |= diff
+                    if detected == ones and stop_when_all_detected:
+                        return detected, executed
+            elif kind == "ra":
+                executed += 1
+                # Decode the stored-data inversion, then add the lane's
+                # recurrence term into its accumulator bit.  In GF(2) the
+                # only non-zero multiplier is 1, so the table either
+                # passes the difference through or annihilates it.
+                diff = words[addr] ^ (ones if expected else 0)
+                if diff and (value is None or tables[value][1]):
+                    acc ^= diff
+            elif kind == "i":
+                pass
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+        return detected, executed
+
+
+_NO_FAULTS = LaneFaultModel()

@@ -36,6 +36,15 @@ subsystem splits that work into a *compile* phase and a *replay* phase:
    sweep), which is where the measured multi-x campaign speedup comes
    from.
 
+4. **Bit-packed engine** (:mod:`repro.sim.batched`) --
+   :func:`run_campaign_batched` goes one step further for the fault
+   classes whose effect is pure mask algebra (stuck-at, transition,
+   CFin/CFid): it packs one fault per lane of a
+   :class:`~repro.memory.packed.PackedMemoryArray` and replays the
+   stream **once per class**, so hundreds of single-cell faults cost one
+   pass.  Non-vectorizable faults fall back to :func:`run_campaign`
+   per fault; verdicts are identical on every path.
+
 The legacy entry points -- :func:`repro.march.engine.run_march`,
 :meth:`repro.prt.schedule.PiTestSchedule.run`,
 :func:`repro.analysis.coverage.run_coverage` and the CLI ``coverage`` /
@@ -65,7 +74,12 @@ from repro.sim.replay import (
     replay_march,
     replay_schedule,
 )
-from repro.sim.campaign import CampaignResult, run_campaign
+from repro.sim.campaign import CampaignResult, partition_universe, run_campaign
+from repro.sim.batched import (
+    build_lane_model,
+    register_lane_model,
+    run_campaign_batched,
+)
 
 __all__ = [
     "Op",
@@ -84,4 +98,8 @@ __all__ = [
     "replay_schedule",
     "CampaignResult",
     "run_campaign",
+    "run_campaign_batched",
+    "partition_universe",
+    "build_lane_model",
+    "register_lane_model",
 ]

@@ -1,0 +1,318 @@
+"""The bit-packed campaign engine: one replay pass per fault *class*.
+
+The scalar campaign engine (:func:`repro.sim.campaign.run_campaign`)
+replays a compiled :class:`~repro.sim.ir.OpStream` once per fault.  For
+the fault classes that dominate real universes -- stuck-at, transition,
+and inversion/idempotent coupling -- the *operations* of every one of
+those replays are identical; only the fault site differs.  This engine
+exploits that: it packs one fault per *lane* of a
+:class:`~repro.memory.packed.PackedMemoryArray` (plain Python ints as
+lane-parallel bitmasks) and replays the stream **once per class**,
+applying each lane's fault as a mask operation:
+
+* stuck-at:   ``new |= sa1_mask[addr]``, ``new &= ~sa0_mask[addr]``
+* transition: ``new &= ~(~old & new & tf_up_mask[addr])`` (blocked rise),
+  and the dual for blocked falls
+* coupling:   on an aggressor-bit transition, ``victim ^= fired`` (CFin)
+  or force the fired lanes (CFid)
+
+A checked read XORs the packed word with the broadcast expectation; every
+non-zero lane bit is a detection.  π-test recurrences stay exact through
+a per-lane accumulator bit (see
+:meth:`~repro.memory.packed.PackedMemoryArray.apply_stream`), so this is
+not an approximation: each lane computes bit-for-bit what its dedicated
+scalar replay would.
+
+Cost: ``O(classes * stream_length)`` big-int operations instead of
+``O(|universe| * detection_prefix)`` scalar ones -- on single-cell
+dominated universes an order of magnitude faster (see
+``benchmarks/bench_campaign_engine.py``).  Faults that cannot be
+expressed as mask algebra (NPSF, bridging, decoder, retention,
+stuck-open, state coupling, linked) fall back per fault to
+:func:`~repro.sim.campaign.run_campaign`, so
+:func:`run_campaign_batched` accepts *any* universe and returns verdicts
+identical to the scalar engines, in universe order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.faults.base import Fault, VectorSemantics
+from repro.memory.packed import LaneFaultModel, PackedMemoryArray
+from repro.sim.campaign import (
+    CampaignResult,
+    _reference_pass,
+    partition_universe,
+    run_campaign,
+)
+from repro.sim.ir import OpStream
+
+__all__ = ["run_campaign_batched", "build_lane_model", "register_lane_model"]
+
+
+class _StuckLanes(LaneFaultModel):
+    """SA0/SA1 lanes: per-address force masks.
+
+    The physical node is pinned, so the mask is applied to the initial
+    state and to every committed write -- with one fault per lane and no
+    other mutators in a stuck lane, the stored value is forced at every
+    observable point, matching the scalar model's read/write/settle hooks.
+    """
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        self._sa1: dict[int, int] = {}
+        self._sa0: dict[int, int] = {}
+        for lane, sem in enumerate(semantics):
+            target = self._sa1 if sem.value else self._sa0
+            target[sem.cell] = target.get(sem.cell, 0) | (1 << lane)
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        # Cells power up at 0; stuck-at-1 lanes are forced immediately.
+        for addr, mask in self._sa1.items():
+            memory.words[addr] |= mask
+
+    def transform_write(self, addr: int, old: int, new: int) -> int:
+        mask = self._sa1.get(addr)
+        if mask is not None:
+            new |= mask
+        mask = self._sa0.get(addr)
+        if mask is not None:
+            new &= ~mask
+        return new
+
+
+class _TransitionLanes(LaneFaultModel):
+    """TF-up/TF-down lanes: the blocked transition keeps the old bit.
+
+    The up and down masks address disjoint lanes (one fault per lane), so
+    applying them in sequence never double-transforms a lane.
+    """
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        self._up: dict[int, int] = {}
+        self._down: dict[int, int] = {}
+        for lane, sem in enumerate(semantics):
+            target = self._up if sem.rising else self._down
+            target[sem.cell] = target.get(sem.cell, 0) | (1 << lane)
+
+    def transform_write(self, addr: int, old: int, new: int) -> int:
+        mask = self._up.get(addr)
+        if mask is not None:
+            new &= ~(~old & new & mask)  # blocked rise: bit stays 0
+        mask = self._down.get(addr)
+        if mask is not None:
+            new |= old & ~new & mask  # blocked fall: bit stays 1
+        return new
+
+
+class _CouplingLanes(LaneFaultModel):
+    """CFin/CFid lanes: aggressor transitions corrupt per-lane victims.
+
+    Lanes are grouped by ``(aggressor, victim, edge, effect)`` so one
+    committed write touches each distinct victim word once, with a mask
+    covering every lane of that group that fired.
+    """
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        groups: dict[tuple[int, int, bool, int | None], int] = {}
+        for lane, sem in enumerate(semantics):
+            key = (sem.cell, sem.victim_cell, bool(sem.rising), sem.value)
+            groups[key] = groups.get(key, 0) | (1 << lane)
+        self._by_aggressor: dict[int, list[tuple[int, bool, int | None, int]]] = {}
+        for (aggr, victim, rising, force_to), mask in groups.items():
+            self._by_aggressor.setdefault(aggr, []).append(
+                (victim, rising, force_to, mask)
+            )
+
+    def after_write(self, addr: int, old: int, committed: int,
+                    memory: PackedMemoryArray) -> None:
+        groups = self._by_aggressor.get(addr)
+        if groups is None:
+            return
+        rise = ~old & committed  # lanes whose aggressor bit went 0 -> 1
+        fall = old & ~committed  # lanes whose aggressor bit went 1 -> 0
+        words = memory.words
+        for victim, rising, force_to, mask in groups:
+            fired = (rise if rising else fall) & mask
+            if not fired:
+                continue
+            if force_to is None:  # CFin: invert the victim bit
+                words[victim] ^= fired
+            elif force_to:  # CFid -> 1
+                words[victim] |= fired
+            else:  # CFid -> 0
+                words[victim] &= ~fired
+
+
+_MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
+    "stuck": _StuckLanes,
+    "transition": _TransitionLanes,
+    "coupling": _CouplingLanes,
+}
+
+
+def register_lane_model(
+    kind: str,
+    factory: Callable[[list[VectorSemantics]], LaneFaultModel],
+) -> None:
+    """Register a lane-model factory for a custom vector-semantics kind.
+
+    ``factory(semantics)`` receives the descriptors of one class (one per
+    lane, in lane order) and returns the
+    :class:`~repro.memory.packed.LaneFaultModel` that applies them.  Once
+    registered, :func:`run_campaign_batched` vectorizes faults whose
+    :meth:`~repro.faults.base.Fault.vector_semantics` returns that kind;
+    unregistered kinds take the scalar per-fault path.
+    """
+    if not kind:
+        raise ValueError("kind must be a non-empty string")
+    _MODELS[kind] = factory
+
+
+def build_lane_model(kind: str,
+                     semantics: list[VectorSemantics]) -> LaneFaultModel:
+    """Lane-fault model for one vectorizable class.
+
+    ``semantics[k]`` describes the fault lane *k* carries; ``kind`` is the
+    shared :attr:`~repro.faults.base.VectorSemantics.kind` of the class
+    (as produced by :func:`~repro.sim.campaign.partition_universe`).
+
+    >>> from repro.faults import StuckAtFault
+    >>> model = build_lane_model(
+    ...     "stuck", [StuckAtFault(2, 1).vector_semantics()])
+    >>> model.transform_write(2, 0, 0)   # lane 0 pinned to 1 at cell 2
+    1
+    """
+    try:
+        factory = _MODELS[kind]
+    except KeyError:
+        raise ValueError(
+            f"no lane model for vector-semantics kind {kind!r} "
+            f"(known: {sorted(_MODELS)})"
+        ) from None
+    return factory(semantics)
+
+
+def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
+                         ram_factory: Callable[[], object] | None = None,
+                         workers: int = 0, chunk_size: int = 128,
+                         progress: Callable[[int, int], None] | None = None,
+                         reference_check: bool = True,
+                         max_lanes: int = 4096) -> CampaignResult:
+    """Replay one compiled stream against a universe, one pass per class.
+
+    Same contract and verdicts as
+    :func:`~repro.sim.campaign.run_campaign` -- outcomes in universe
+    order, identical ``detected`` flags -- but vectorizable faults
+    (stuck-at, transition, CFin/CFid on a bit-oriented geometry) are
+    resolved lane-parallel on a
+    :class:`~repro.memory.packed.PackedMemoryArray`, and only the
+    remainder takes the scalar per-fault path.
+
+    Parameters
+    ----------
+    stream:
+        The compiled test.  The packed backend models the canonical
+        ``SinglePortRAM(n, m=1)``; streams compiled for ``m > 1`` are
+        delegated wholly to :func:`run_campaign`.
+    universe:
+        Iterable of faults; outcome order preserved.
+    ram_factory:
+        A custom front-end (scramblers, multi-port) changes replay
+        semantics the packed backend does not model, so a non-None
+        factory also delegates everything to :func:`run_campaign`.
+    workers, chunk_size:
+        Passed through to the scalar engine for the fallback faults
+        (the lane passes are single-process: they *are* the batch).
+    progress:
+        ``progress(done, total)`` with ``total`` the full universe size,
+        fired after each lane chunk and each fallback chunk.
+    reference_check:
+        Validate the stream on a fault-free memory first (shared cache
+        with the scalar engine).
+    max_lanes:
+        Lane-width cap per pass; a class with more faults is chunked.
+
+    ``CampaignResult.faults_batched`` reports how many faults the lane
+    passes resolved; ``operations_replayed`` counts lane-pass records
+    once per *pass* plus the scalar fallback's per-fault records (so it
+    measures work done, not work avoided).
+
+    >>> from repro.faults import single_cell_universe
+    >>> from repro.march.library import MARCH_C_MINUS
+    >>> from repro.sim.compilers import compile_march
+    >>> stream = compile_march(MARCH_C_MINUS, 16)
+    >>> result = run_campaign_batched(
+    ...     stream, single_cell_universe(16, classes=("SAF", "TF")))
+    >>> result.detection_ratio, result.faults_batched
+    (1.0, 64)
+    """
+    if max_lanes < 1:
+        raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
+    if stream.m != 1 or ram_factory is not None:
+        # Word-oriented lanes would need m bits per fault, and a custom
+        # front-end may remap addresses or ports -- both outside the
+        # packed backend's contract.  The scalar engine handles every
+        # case, so the batched entry point stays universally callable.
+        return run_campaign(stream, universe, ram_factory=ram_factory,
+                            workers=workers, chunk_size=chunk_size,
+                            progress=progress,
+                            reference_check=reference_check)
+    n = stream.n
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    if reference_check:
+        _reference_pass(stream, n, stream.m)
+    faults = list(universe)
+    total = len(faults)
+    classes, fallback = partition_universe(faults, n, stream.m)
+    # A custom fault may return a VectorSemantics kind nobody registered
+    # a lane model for; honour the any-universe contract by routing it to
+    # the scalar path instead of failing mid-campaign.
+    for kind in [k for k in classes if k not in _MODELS]:
+        fallback.extend((index, fault)
+                        for index, fault, _ in classes.pop(kind))
+    fallback.sort(key=lambda pair: pair[0])
+    result = CampaignResult(stream_name=stream.name, n=n, m=stream.m,
+                            reference_operations=stream.reference_operations
+                            or 0,
+                            faults_batched=total - len(fallback))
+    verdicts: list[bool] = [False] * total
+    done = 0
+    for kind in sorted(classes):
+        members = classes[kind]
+        for base in range(0, len(members), max_lanes):
+            chunk = members[base:base + max_lanes]
+            model = build_lane_model(kind, [sem for _, _, sem in chunk])
+            packed = PackedMemoryArray(n, lanes=len(chunk))
+            model.install(packed)
+            detected, executed = packed.apply_stream(
+                stream.ops, tables=stream.tables, model=model
+            )
+            result.operations_replayed += executed
+            for lane, (index, _fault, _sem) in enumerate(chunk):
+                verdicts[index] = bool((detected >> lane) & 1)
+            done += len(chunk)
+            if progress is not None:
+                progress(done, total)
+    if fallback:
+        batched_done = done
+
+        def _remap(sub_done: int, _sub_total: int) -> None:
+            if progress is not None:
+                progress(batched_done + sub_done, total)
+
+        scalar = run_campaign(stream, [fault for _, fault in fallback],
+                              workers=workers, chunk_size=chunk_size,
+                              progress=_remap if progress is not None
+                              else None,
+                              reference_check=False)
+        result.workers_used = scalar.workers_used
+        result.operations_replayed += scalar.operations_replayed
+        for (index, _fault), (_f, detected) in zip(fallback,
+                                                   scalar.outcomes):
+            verdicts[index] = detected
+    result.outcomes = [(fault, verdicts[index])
+                       for index, fault in enumerate(faults)]
+    return result

@@ -29,13 +29,13 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field as dataclass_field
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.faults.injector import FaultInjector
 from repro.memory.ram import SinglePortRAM
 from repro.memory.stream_exec import apply_stream_generic
 from repro.sim.ir import OpStream
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["CampaignResult", "run_campaign", "partition_universe"]
 
 
 @dataclass
@@ -45,6 +45,9 @@ class CampaignResult:
     ``outcomes`` preserves universe order: ``(fault, detected)`` pairs,
     which is what lets :func:`repro.analysis.coverage.run_coverage` build
     a report identical to the interpreted per-fault loop's.
+    ``faults_batched`` counts the faults the bit-packed engine resolved
+    lane-parallel (always 0 for :func:`run_campaign`; see
+    :func:`repro.sim.batched.run_campaign_batched`).
     """
 
     stream_name: str
@@ -54,6 +57,7 @@ class CampaignResult:
     operations_replayed: int = 0
     reference_operations: int = 0
     workers_used: int = 0
+    faults_batched: int = 0
 
     @property
     def faults_total(self) -> int:
@@ -117,9 +121,71 @@ def _run_one(stream: OpStream, fault: Fault, ram_factory, n: int,
     return bool(mismatches), executed
 
 
+def partition_universe(
+    universe: Iterable[Fault], n: int, m: int = 1,
+) -> tuple[dict[str, list[tuple[int, Fault, VectorSemantics]]],
+           list[tuple[int, Fault]]]:
+    """Split a universe into lane-vectorizable classes and a remainder.
+
+    A fault is vectorizable when it describes itself through
+    :meth:`~repro.faults.base.Fault.vector_semantics` *and* the geometry
+    is bit-oriented (``m == 1``, every referenced cell inside ``n``) --
+    the contract of :class:`~repro.memory.packed.PackedMemoryArray`.
+    Everything else lands in the scalar ``fallback`` list.
+
+    Returns ``(classes, fallback)``: ``classes`` maps the descriptor kind
+    (``"stuck"``, ``"transition"``, ``"coupling"``) to
+    ``(universe_index, fault, semantics)`` triples, ``fallback`` holds
+    ``(universe_index, fault)`` pairs; indices let the batched engine
+    reassemble outcomes in universe order.
+
+    >>> from repro.faults import single_cell_universe
+    >>> classes, fallback = partition_universe(
+    ...     single_cell_universe(8), n=8)
+    >>> sorted((kind, len(group)) for kind, group in classes.items())
+    [('stuck', 16), ('transition', 16)]
+    >>> len(fallback)   # SOF + DRF are not mask-expressible
+    16
+    """
+    classes: dict[str, list[tuple[int, Fault, VectorSemantics]]] = {}
+    fallback: list[tuple[int, Fault]] = []
+    for index, fault in enumerate(universe):
+        semantics = fault.vector_semantics() if m == 1 else None
+        if semantics is not None and _fits_bit_oriented(semantics, n):
+            classes.setdefault(semantics.kind, []).append(
+                (index, fault, semantics)
+            )
+        else:
+            fallback.append((index, fault))
+    return classes, fallback
+
+
+def _fits_bit_oriented(semantics: VectorSemantics, n: int) -> bool:
+    """True when every bit the descriptor touches exists in an n x 1 array."""
+    if semantics.bit != 0 or not 0 <= semantics.cell < n:
+        return False
+    if semantics.victim_cell is None:
+        return True
+    return semantics.victim_bit == 0 and 0 <= semantics.victim_cell < n
+
+
+# The compiled stream of the campaign a worker process serves; set once
+# per worker by the pool initializer (inherited through fork, or pickled
+# a single time on spawn platforms) instead of travelling with every
+# chunk of faults.
+_WORKER_STREAM: OpStream | None = None
+
+
+def _init_worker(stream: OpStream) -> None:
+    """Pool initializer: pin the campaign's stream in this worker."""
+    global _WORKER_STREAM
+    _WORKER_STREAM = stream
+
+
 def _run_chunk(args) -> list[tuple[bool, int]]:
     """Multiprocessing unit of work: one chunk of faults, one process."""
-    stream, faults, ram_factory, n, m = args
+    faults, ram_factory, n, m = args
+    stream = _WORKER_STREAM
     return [_run_one(stream, fault, ram_factory, n, m) for fault in faults]
 
 
@@ -231,10 +297,14 @@ def _run_parallel(stream, chunks, ram_factory, n, m, workers, result,
         context = multiprocessing.get_context("fork")
     except ValueError:  # platforms without fork
         context = multiprocessing.get_context()
-    tasks = [(stream, chunk, ram_factory, n, m) for chunk in chunks]
+    # The stream rides the pool initializer, not the task tuples: it is
+    # shipped once per worker (free under fork -- the child inherits the
+    # parent's objects) instead of re-pickled with every chunk.
+    tasks = [(chunk, ram_factory, n, m) for chunk in chunks]
     outcomes: list[tuple[bool, int]] = []
     try:
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(processes=workers, initializer=_init_worker,
+                          initargs=(stream,)) as pool:
             done = 0
             for index, chunk_result in enumerate(pool.imap(_run_chunk, tasks)):
                 outcomes.extend(chunk_result)

@@ -1,0 +1,26 @@
+"""Suite-wide test configuration.
+
+Hypothesis runs with a derandomized profile: property tests explore the
+same example sequence on every run, so the suite's verdict is
+reproducible (a one-off fuzzing win is not worth a flaky CI gate).
+Developers hunting for new counterexamples can opt back into fresh
+randomness with ``HYPOTHESIS_PROFILE=random``.
+
+The import is guarded so minimal environments (e.g. a docs-only CI job
+running ``tests/test_docs.py``) can collect the suite without hypothesis
+installed; the property-test modules themselves still require it.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    settings = None
+
+if settings is not None:
+    settings.register_profile("deterministic", derandomize=True)
+    settings.register_profile("random", derandomize=False)
+    settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "deterministic")
+    )

@@ -1,0 +1,360 @@
+"""Bit-packed campaign engine == scalar engines, verdict for verdict.
+
+The contract of ``repro.sim.batched``: resolving a fault lane-parallel on
+the ``PackedMemoryArray`` must produce exactly the verdict the scalar
+engines produce for that fault -- for every vectorizable class, on
+healthy and corrupted pseudo-ring data, with the non-vectorizable
+remainder routed through the proven per-fault path.  The headline check
+is the full ``standard_universe(256)`` sweep over every library March
+test and both π-test schedules.
+"""
+
+import pytest
+
+from repro.analysis import march_runner, run_coverage, schedule_runner
+from repro.faults import (
+    BitLocation,
+    FaultInjector,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+    single_cell_universe,
+    standard_universe,
+)
+from repro.faults.base import VectorSemantics
+from repro.march import ALL_MARCH_TESTS, MATS_PLUS_RETENTION
+from repro.march.library import MARCH_C_MINUS, MATS
+from repro.memory import PackedMemoryArray, SinglePortRAM
+from repro.prt import extended_schedule, standard_schedule
+from repro.sim import (
+    build_lane_model,
+    compile_march,
+    partition_universe,
+    register_lane_model,
+    run_campaign,
+    run_campaign_batched,
+)
+
+
+def _report_key(report):
+    return (report.detected, report.total, report.missed_faults)
+
+
+class TestPackedMemoryArray:
+    def test_lane_isolation(self):
+        packed = PackedMemoryArray(4, lanes=8)
+        packed.write_lanes(1, 0b0101_0001)
+        assert packed.lane_value(1, 0) == 1
+        assert packed.lane_value(1, 1) == 0
+        assert packed.lane_value(1, 4) == 1
+        assert packed.read_lanes(2) == 0
+        assert packed.dump_lane(0) == [0, 1, 0, 0]
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            PackedMemoryArray(0, lanes=4)
+        with pytest.raises(ValueError):
+            PackedMemoryArray(4, lanes=0)
+        with pytest.raises(IndexError):
+            PackedMemoryArray(4, lanes=2).lane_value(0, 2)
+        with pytest.raises(IndexError):
+            PackedMemoryArray(4, lanes=2).dump_lane(-1)
+
+    def test_healthy_stream_detects_nothing(self):
+        stream = compile_march(MARCH_C_MINUS, 8)
+        packed = PackedMemoryArray(8, lanes=16)
+        detected, executed = packed.apply_stream(stream.ops,
+                                                 tables=stream.tables)
+        assert detected == 0
+        assert executed == stream.operation_count
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            PackedMemoryArray(2, lanes=1).apply_stream(
+                [("x", 0, 0, None, None, 0)]
+            )
+
+    def test_early_abort_when_all_lanes_detected(self):
+        # Two checked reads both mismatching in the only lane: replay must
+        # stop at the first one.
+        ops = [("w", 0, 0, 0, None, 0),
+               ("r", 0, 0, None, 1, 0),
+               ("r", 0, 0, None, 1, 0)]
+        detected, executed = PackedMemoryArray(1, lanes=1).apply_stream(ops)
+        assert detected == 1
+        assert executed == 2  # write + first read only
+
+
+class TestVectorSemantics:
+    def test_vectorizable_fault_types(self):
+        assert StuckAtFault(3, 1).vector_semantics() == VectorSemantics(
+            "stuck", cell=3, value=1)
+        assert TransitionFault(2, rising=True).vector_semantics() == \
+            VectorSemantics("transition", cell=2, rising=True)
+        cfin = InversionCouplingFault(1, 3, rising=False).vector_semantics()
+        assert (cfin.kind, cfin.cell, cfin.victim_cell, cfin.rising,
+                cfin.value) == ("coupling", 1, 3, False, None)
+        cfid = IdempotentCouplingFault(0, 2, rising=True,
+                                       force_to=1).vector_semantics()
+        assert (cfid.kind, cfid.victim_cell, cfid.value) == ("coupling", 2, 1)
+
+    def test_non_vectorizable_fault_types(self):
+        from repro.faults import (
+            BridgingFault,
+            DataRetentionFault,
+            StateCouplingFault,
+            StuckOpenFault,
+        )
+
+        for fault in (StuckOpenFault(2), DataRetentionFault(2, retention=8),
+                      StateCouplingFault(0, 1, aggressor_state=1, force_to=0),
+                      BridgingFault(0, 1, kind="and")):
+            assert fault.vector_semantics() is None, fault.name
+
+    def test_word_oriented_bits_fall_back(self):
+        # A bit > 0 descriptor cannot live in a 1-bit-per-cell plane.
+        universe = [StuckAtFault(1, 1, bit=2),
+                    InversionCouplingFault(BitLocation(0, 1),
+                                           BitLocation(0, 2), rising=True)]
+        classes, fallback = partition_universe(universe, n=4, m=1)
+        assert classes == {}
+        assert [fault for _, fault in fallback] == universe
+
+
+class TestPartitionUniverse:
+    def test_standard_universe_split(self):
+        universe = standard_universe(16)
+        classes, fallback = partition_universe(universe, n=16)
+        counts = {kind: len(group) for kind, group in classes.items()}
+        # SAF -> stuck, TF -> transition, CFin+CFid -> coupling; the
+        # rest (SOF, CFst, BF, AF) is scalar work.
+        assert counts["stuck"] == 32
+        assert counts["transition"] == 32
+        assert counts["coupling"] == 30 * 2 + 30 * 4
+        vectorized = sum(counts.values())
+        assert vectorized + len(fallback) == len(universe)
+
+    def test_indices_reassemble_universe_order(self):
+        universe = standard_universe(8)
+        classes, fallback = partition_universe(universe, n=8)
+        indices = sorted(
+            [index for group in classes.values() for index, _, _ in group]
+            + [index for index, _ in fallback]
+        )
+        assert indices == list(range(len(universe)))
+
+    def test_word_oriented_geometry_all_fallback(self):
+        universe = single_cell_universe(8, m=4, classes=("SAF", "TF"))
+        classes, fallback = partition_universe(universe, n=8, m=4)
+        assert classes == {}
+        assert len(fallback) == len(universe)
+
+    def test_out_of_range_sites_fall_back(self):
+        classes, fallback = partition_universe([StuckAtFault(9, 1)], n=8)
+        assert classes == {}
+        assert len(fallback) == 1
+
+    def test_build_lane_model_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="no lane model"):
+            build_lane_model("bogus", [])
+
+
+class TestRunCampaignBatched:
+    def test_outcomes_preserve_universe_order(self):
+        stream = compile_march(MATS, 8)
+        universe = standard_universe(8)
+        result = run_campaign_batched(stream, universe)
+        assert [fault for fault, _ in result.outcomes] == list(universe)
+
+    def test_faults_batched_accounting(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        result = run_campaign_batched(stream, universe)
+        classes, fallback = partition_universe(universe, n=16)
+        assert result.faults_batched == sum(
+            len(group) for group in classes.values())
+        assert result.faults_batched + len(fallback) == result.faults_total
+
+    def test_fewer_operations_than_scalar_replay(self):
+        stream = compile_march(MARCH_C_MINUS, 64)
+        universe = single_cell_universe(64, classes=("SAF", "TF"))
+        batched = run_campaign_batched(stream, universe)
+        scalar = run_campaign(stream, universe)
+        assert batched.faults_batched == len(universe)
+        # One pass per class vs one (partial) replay per fault.
+        assert batched.operations_replayed < scalar.operations_replayed / 10
+
+    def test_progress_covers_whole_universe(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        seen = []
+        run_campaign_batched(stream, universe, chunk_size=64,
+                             progress=lambda done, total:
+                             seen.append((done, total)))
+        assert seen[-1] == (len(universe), len(universe))
+        assert [done for done, _ in seen] == sorted(d for d, _ in seen)
+        assert all(total == len(universe) for _, total in seen)
+
+    def test_max_lanes_chunking_matches_single_pass(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = single_cell_universe(16, classes=("SAF", "TF"))
+        wide = run_campaign_batched(stream, universe)
+        narrow = run_campaign_batched(stream, universe, max_lanes=5)
+        assert [d for _, d in wide.outcomes] == [d for _, d in narrow.outcomes]
+        with pytest.raises(ValueError):
+            run_campaign_batched(stream, universe, max_lanes=0)
+
+    def test_ram_factory_delegates_to_scalar_engine(self):
+        stream = compile_march(MARCH_C_MINUS, 8)
+        universe = single_cell_universe(8, classes=("SAF",))
+        result = run_campaign_batched(stream, universe,
+                                      ram_factory=lambda: SinglePortRAM(8))
+        assert result.faults_batched == 0
+        assert result.detection_ratio == 1.0
+
+    def test_word_oriented_stream_delegates(self):
+        stream = compile_march(MARCH_C_MINUS, 8, m=4)
+        universe = single_cell_universe(8, m=4, classes=("SAF",))
+        result = run_campaign_batched(stream, universe)
+        assert result.faults_batched == 0
+        assert result.detection_ratio == 1.0
+
+    def test_unknown_vector_kind_falls_back_to_scalar(self):
+        # A third-party fault may return a VectorSemantics kind nobody
+        # registered a lane model for: the campaign must take the scalar
+        # path for it, not crash (the any-universe contract).
+        class ExoticFault(StuckAtFault):
+            def vector_semantics(self):
+                return VectorSemantics("read-disturb", cell=3)
+
+        stream = compile_march(MARCH_C_MINUS, 8)
+        universe = [StuckAtFault(1, 1), ExoticFault(3, 1), StuckAtFault(5, 0)]
+        result = run_campaign_batched(stream, universe)
+        assert [fault for fault, _ in result.outcomes] == universe
+        assert result.detection_ratio == 1.0
+        assert result.faults_batched == 2  # the exotic one went scalar
+
+    def test_register_lane_model_extends_vectorization(self):
+        from repro.sim.batched import _MODELS, _StuckLanes
+
+        class PinnedHighFault(StuckAtFault):
+            """A stuck-at-1 under a custom vector-semantics kind."""
+
+            def __init__(self, cell):
+                super().__init__(cell, 1)
+
+            def vector_semantics(self):
+                base = super().vector_semantics()
+                return VectorSemantics("pinned-high", cell=base.cell,
+                                       value=1)
+
+        stream = compile_march(MARCH_C_MINUS, 8)
+        universe = [PinnedHighFault(2), StuckAtFault(4, 0)]
+        unregistered = run_campaign_batched(stream, universe)
+        assert unregistered.faults_batched == 1  # custom kind went scalar
+        register_lane_model("pinned-high", _StuckLanes)
+        try:
+            registered = run_campaign_batched(stream, universe)
+        finally:
+            _MODELS.pop("pinned-high")
+        assert registered.faults_batched == 2
+        assert [d for _, d in registered.outcomes] == \
+            [d for _, d in unregistered.outcomes]
+        with pytest.raises(ValueError):
+            register_lane_model("", _StuckLanes)
+
+    def test_reference_pass_shared_with_scalar_engine(self):
+        stream = compile_march(MATS, 8)
+        assert not stream.reference_verified
+        run_campaign_batched(stream, single_cell_universe(8, classes=("SAF",)))
+        assert stream.reference_verified
+        assert stream.reference_operations == stream.operation_count
+
+
+class TestBatchedEquivalenceInterpreted:
+    """Small-n ground truth: batched vs the *interpreted* engine."""
+
+    @pytest.mark.parametrize("test", [MARCH_C_MINUS, MATS_PLUS_RETENTION],
+                             ids=lambda t: t.name)
+    def test_march(self, test):
+        universe = standard_universe(14) + single_cell_universe(
+            14, classes=("DRF",), retention=64)
+        batched = run_coverage(march_runner(test), universe, 14,
+                               engine="batched")
+        interpreted = run_coverage(march_runner(test), universe, 14,
+                                   engine="interpreted")
+        assert _report_key(batched) == _report_key(interpreted)
+
+    @pytest.mark.parametrize("build", [standard_schedule, extended_schedule],
+                             ids=["standard-3", "extended-5"])
+    def test_schedule(self, build):
+        universe = standard_universe(14)
+        runner = schedule_runner(build(n=14))
+        batched = run_coverage(runner, universe, 14, engine="batched")
+        interpreted = run_coverage(runner, universe, 14, engine="interpreted")
+        assert _report_key(batched) == _report_key(interpreted)
+
+    def test_single_fault_state_trace(self):
+        # Per-lane state must equal the dedicated scalar replay's memory
+        # image, fault by fault (stronger than verdict equality).
+        stream = compile_march(MATS, 6)
+        universe = single_cell_universe(6, classes=("SAF", "TF"))
+        classes, fallback = partition_universe(universe, n=6)
+        assert not fallback
+        for kind, group in classes.items():
+            model = build_lane_model(kind, [sem for _, _, sem in group])
+            packed = PackedMemoryArray(6, lanes=len(group))
+            model.install(packed)
+            packed.apply_stream(stream.ops, tables=stream.tables, model=model,
+                                stop_when_all_detected=False)
+            for lane, (_, fault, _) in enumerate(group):
+                ram = SinglePortRAM(6)
+                injector = FaultInjector([fault])
+                injector.install(ram)
+                ram.apply_stream(stream.ops, tables=stream.tables)
+                injector.remove(ram)
+                assert packed.dump_lane(lane) == ram.dump(), fault.name
+
+
+@pytest.fixture(scope="module")
+def universe_256():
+    return standard_universe(256)
+
+
+class TestBatchedEquivalence256:
+    """The acceptance sweep: full standard_universe(256), every library
+    March test and both π-test schedules.  The per-fault replay engine is
+    the baseline (itself equivalence-proven against the interpreted
+    engines exhaustively at small n and cross-checked at n in {64..1024}
+    by ``benchmarks/bench_campaign_engine.py``); the batched engine must
+    reproduce its CoverageReport byte for byte."""
+
+    @pytest.mark.parametrize("test", ALL_MARCH_TESTS, ids=lambda t: t.name)
+    def test_march(self, test, universe_256):
+        runner = march_runner(test)
+        batched = run_coverage(runner, universe_256, 256, engine="batched")
+        compiled = run_coverage(runner, universe_256, 256, engine="compiled")
+        assert _report_key(batched) == _report_key(compiled)
+
+    @pytest.mark.parametrize("build", [standard_schedule, extended_schedule],
+                             ids=["standard-3", "extended-5"])
+    def test_schedule(self, build, universe_256):
+        runner = schedule_runner(build(n=256))
+        batched = run_coverage(runner, universe_256, 256, engine="batched")
+        compiled = run_coverage(runner, universe_256, 256, engine="compiled")
+        assert _report_key(batched) == _report_key(compiled)
+
+
+class TestRunCoverageBatchedRouting:
+    def test_engine_batched_requires_compilable(self):
+        with pytest.raises(ValueError, match="compilable"):
+            run_coverage(lambda ram: False,
+                         single_cell_universe(8, classes=("SAF",)), 8,
+                         engine="batched")
+
+    def test_engine_batched_report(self):
+        universe = single_cell_universe(16, classes=("SAF", "TF"))
+        report = run_coverage(march_runner(MARCH_C_MINUS), universe, 16,
+                              engine="batched")
+        assert report.overall == 1.0

@@ -113,6 +113,26 @@ class TestCoverageCommand:
         code = main(["coverage", "--n", "14", "--test", "march-c"])
         assert code == 0
 
+    def test_engine_selection_identical_tables(self, capsys):
+        outputs = {}
+        for engine in ("interpreted", "compiled", "batched"):
+            code = main(["coverage", "--n", "14", "--test", "march-c",
+                         "--engine", engine])
+            assert code == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["interpreted"] == outputs["compiled"]
+        assert outputs["interpreted"] == outputs["batched"]
+
+    def test_interpreted_alias(self, capsys):
+        code = main(["coverage", "--n", "14", "--test", "march-c",
+                     "--interpreted"])
+        assert code == 0
+
+    def test_interpreted_conflicts_with_engine(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["coverage", "--n", "14", "--test", "march-c",
+                  "--engine", "batched", "--interpreted"])
+
 
 class TestCompareOverhead:
     def test_compare(self, capsys):

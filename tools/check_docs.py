@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Docs smoke check: execute every ```python block in Markdown files.
+
+Documentation snippets rot silently; this keeps them honest the same way
+``tests/test_doctests.py`` keeps docstrings honest.  Every fenced code
+block tagged ``python`` is executed top to bottom, blocks of one file
+sharing a namespace (so a later block may build on an earlier one).
+Non-Python fences (```text, ```bash, bare ```) are ignored, and a block
+preceded by an HTML comment containing ``doc-check: skip`` is reported
+but not executed.
+
+Run standalone (the repository's ``src`` is put on ``sys.path``
+automatically)::
+
+    python tools/check_docs.py README.md docs/architecture.md
+
+or with no arguments to check the default documentation set.  Exit code
+is non-zero when any block fails; ``tests/test_docs.py`` runs the same
+check inside the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_FILES = ("README.md", os.path.join("docs", "architecture.md"))
+SKIP_MARK = "doc-check: skip"
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str, bool]]:
+    """``(first_code_line_number, code, skipped)`` for every python fence."""
+    blocks: list[tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped.startswith("```"):
+            tag = stripped[3:].strip().lower()
+            fence_start = index
+            index += 1
+            start = index
+            while index < len(lines) and lines[index].strip() != "```":
+                index += 1
+            if tag == "python":
+                skipped = any(
+                    SKIP_MARK in lines[k]
+                    for k in range(max(0, fence_start - 2), fence_start)
+                )
+                blocks.append(
+                    (start + 1, "\n".join(lines[start:index]), skipped)
+                )
+        index += 1
+    return blocks
+
+
+def check_file(path: str) -> list[str]:
+    """Execute one file's blocks; returns failure descriptions."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    failures: list[str] = []
+    namespace: dict = {"__name__": f"docsnippet:{os.path.basename(path)}"}
+    blocks = extract_python_blocks(text)
+    for lineno, code, skipped in blocks:
+        label = f"{path}:{lineno}"
+        if skipped:
+            print(f"SKIP {label}")
+            continue
+        try:
+            exec(compile(code, label, "exec"), namespace)
+        except Exception:
+            failures.append(f"{label}\n{traceback.format_exc()}")
+            print(f"FAIL {label}")
+        else:
+            print(f"OK   {label}")
+    if not blocks:
+        print(f"---- {path}: no python blocks")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = list(argv) if argv else [
+        os.path.join(REPO_ROOT, name) for name in DEFAULT_FILES
+    ]
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    failures: list[str] = []
+    for path in paths:
+        failures.extend(check_file(path))
+    if failures:
+        print(f"\n{len(failures)} documentation block(s) failed:")
+        for failure in failures:
+            print(f"\n{failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
