@@ -1,4 +1,4 @@
-"""BENCH -- campaign engines: interpreted vs compiled vs bit-packed.
+"""BENCH -- campaign engines: interpreted vs compiled vs bit-packed vs sharded.
 
 Times single-fault coverage campaigns for March C- and the standard
 3-iteration PRT schedule over ``standard_universe(n)`` samples at
@@ -15,15 +15,29 @@ n in {64, 256, 1024}, on four paths:
   class, scalar fallback for the rest.
 
 A second section times the batched engine on its home turf -- the full
-single-cell SAF/TF universe at n = 1024 (one lane per fault, zero scalar
-fallback) -- against the compiled single-process engine; that ratio is
-the headline ``single_cell_batched_speedup`` in the JSON summary.
+single-cell SAF/TF universe (one lane per fault, zero scalar fallback)
+-- against the compiled single-process engine; that ratio is the
+headline ``single_cell_batched_speedup`` in the JSON summary.
+
+A third section times *process sharding* on the batched engine's worst
+case: a scalar-fallback-heavy universe (NPSF + bridging + decoder
+faults, nothing lane-vectorizable), where ``workers=N`` shards the
+scalar remainder over the persistent pool of ``repro.sim.pool`` while
+the parent handles the (empty here) lane passes.  Rows record serial
+batched vs sharded wall clock; the ``cpus`` field in the summary says
+how much parallel headroom the host actually had (on a single-CPU
+host the sharded column measures pure overhead).
 
 Reports are cross-checked for equality on every path before a number is
 emitted.  Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_campaign_engine.py \
-        [--out benchmarks/out/bench_campaign_engine.json]
+        [--out benchmarks/out/bench_campaign_engine.json] [--quick]
+
+``--quick`` is the CI smoke mode: n=64 plus a small single-cell /
+sharded section, a couple of seconds total, emitting rows whose
+``(test, n, universe)`` identities match the full run so
+``tools/check_bench.py`` can diff them against the checked-in baseline.
 
 The JSON summary records per-(test, n) wall-clock seconds and speedups,
 so the benchmark trajectory can be tracked across PRs.
@@ -40,12 +54,24 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis import march_runner, run_coverage, schedule_runner  # noqa: E402
-from repro.faults import single_cell_universe, standard_universe  # noqa: E402
+from repro.faults import (  # noqa: E402
+    bridging_universe,
+    decoder_universe,
+    npsf_universe,
+    single_cell_universe,
+    standard_universe,
+)
 from repro.march.library import MARCH_C_MINUS  # noqa: E402
 from repro.prt import standard_schedule  # noqa: E402
+from repro.sim import shutdown_shared_pools  # noqa: E402
 
 SIZES = (64, 256, 1024)
 SAMPLE = {64: None, 256: 400, 1024: 200}  # None = full universe
+SHARDED_SAMPLE = 500  # scalar-fallback faults per sharded row
+TESTS = (
+    ("March C-", lambda n: march_runner(MARCH_C_MINUS)),
+    ("PRT-3", lambda n: schedule_runner(standard_schedule(n=n))),
+)
 
 
 def _report_key(report):
@@ -101,12 +127,9 @@ def bench_single_cell(n: int) -> list[dict]:
     (one lane per fault, zero scalar fallback) vs the compiled engine."""
     universe = single_cell_universe(n, classes=("SAF", "TF"))
     rows = []
-    for name, factory in (
-        ("March C-", lambda: march_runner(MARCH_C_MINUS)),
-        ("PRT-3", lambda: schedule_runner(standard_schedule(n=n))),
-    ):
-        t_cmp, r_cmp = _time_coverage(factory(), universe, n)
-        t_bat, r_bat = _time_coverage(factory(), universe, n,
+    for name, build in TESTS:
+        t_cmp, r_cmp = _time_coverage(build(n), universe, n)
+        t_bat, r_bat = _time_coverage(build(n), universe, n,
                                       engine="batched")
         if _report_key(r_cmp) != _report_key(r_bat):
             raise AssertionError(
@@ -130,26 +153,95 @@ def bench_single_cell(n: int) -> list[dict]:
     return rows
 
 
+def scalar_heavy_universe(n: int, sample: int | None = SHARDED_SAMPLE):
+    """A universe the lane passes cannot touch: NPSF + bridging + decoder.
+
+    This is the sharding benchmark's subject -- after batching, these
+    scalar-fallback classes are the only faults worth fanning out over
+    processes.  The universe carries a spec, so shards travel as
+    ``(spec, index range)``.
+    """
+    universe = npsf_universe(n, max_victims=32) \
+        + bridging_universe(n) + decoder_universe(n, max_addresses=16)
+    if sample is not None and len(universe) > sample:
+        universe = universe.sample(sample)
+    return universe
+
+
+def bench_sharded(name: str, make_runner, n: int, workers: int) -> dict:
+    """Serial batched vs process-sharded batched on pure scalar fallback."""
+    universe = scalar_heavy_universe(n)
+    t_int, r_int = _time_coverage(make_runner(), universe, n,
+                                  engine="interpreted")
+    t_bat, r_bat = _time_coverage(make_runner(), universe, n,
+                                  engine="batched")
+    if _report_key(r_int) != _report_key(r_bat):
+        raise AssertionError(
+            f"{name} n={n}: batched scalar-heavy campaign diverged "
+            f"from interpreted"
+        )
+    t_shd, r_shd = _time_coverage(make_runner(), universe, n,
+                                  engine="batched", workers=workers)
+    if _report_key(r_int) != _report_key(r_shd):
+        raise AssertionError(
+            f"{name} n={n}: sharded campaign diverged from interpreted"
+        )
+    row = {
+        "test": name,
+        "n": n,
+        "universe": "scalar-heavy NPSF/BF/AF",
+        "faults": len(universe),
+        "workers": workers,
+        "coverage": round(r_int.overall, 4),
+        "interpreted_s": round(t_int, 3),
+        "batched_s": round(t_bat, 3),
+        "sharded_s": round(t_shd, 3),
+        "speedup_sharded": round(t_int / t_shd, 2) if t_shd else float("inf"),
+        "sharded_vs_serial": round(t_bat / t_shd, 2) if t_shd
+        else float("inf"),
+    }
+    print(f"{name:>9} n={n:<5} scalar-heavy faults={row['faults']:<5} "
+          f"interpreted {t_int:>7.3f}s  batched {t_bat:>7.3f}s  "
+          f"sharded({workers}w) {t_shd:>7.3f}s  x{row['speedup_sharded']} "
+          f"(vs serial x{row['sharded_vs_serial']})")
+    return row
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=str, default=None,
                         help="write the JSON summary here (default: stdout)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="processes for the multiprocessing row "
-                             "(0 disables it)")
+                        help="processes for the multiprocessing and "
+                             "sharded rows (0 disables them)")
     parser.add_argument("--sizes", type=int, nargs="*", default=list(SIZES))
     parser.add_argument("--single-cell-n", type=int, default=1024,
                         help="memory size for the single-cell batched "
                              "headline row")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: n=64 rows plus small "
+                             "single-cell/sharded sections (seconds, not "
+                             "minutes), row identities matching the full "
+                             "run for baseline comparison")
     args = parser.parse_args(argv)
 
+    if args.quick and (args.sizes != list(SIZES) or args.single_cell_n != 1024):
+        parser.error("--quick selects its own sizes so its rows match the "
+                     "checked-in baseline; drop --sizes/--single-cell-n")
+    if args.quick:
+        sizes = [64]
+        single_cell_sizes = [256]
+        sharded_sizes = [64]
+    else:
+        sizes = list(args.sizes)
+        single_cell_sizes = sorted({256, args.single_cell_n})
+        sharded_sizes = [64, 1024]
+
     rows = []
-    for n in args.sizes:
-        for name, factory in (
-            ("March C-", lambda: march_runner(MARCH_C_MINUS)),
-            ("PRT-3", lambda n=n: schedule_runner(standard_schedule(n=n))),
-        ):
-            row = bench_one(name, factory, n, args.workers)
+    for n in sizes:
+        for name, build in TESTS:
+            row = bench_one(name, lambda n=n, build=build: build(n), n,
+                            args.workers)
             rows.append(row)
             speedup_mp = row.get("speedup_mp")
             mp_text = f"  mp x{speedup_mp}" if speedup_mp else ""
@@ -159,17 +251,33 @@ def main(argv: list[str] | None = None) -> int:
                   f"x{row['speedup']}{mp_text}  "
                   f"batched {row['batched_s']:>7.3f}s  "
                   f"x{row['speedup_batched']}")
-    single_cell_rows = bench_single_cell(args.single_cell_n)
+    single_cell_rows = []
+    for n in single_cell_sizes:
+        single_cell_rows.extend(bench_single_cell(n))
+    sharded_rows = []
+    if args.workers > 0:
+        for n in sharded_sizes:
+            for name, build in TESTS:
+                sharded_rows.append(bench_sharded(
+                    name, lambda n=n, build=build: build(n), n,
+                    args.workers))
     summary = {
         "benchmark": "campaign_engine",
         "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "quick": args.quick,
         "rows": rows,
         "min_single_process_speedup": min(r["speedup"] for r in rows),
         "single_cell_rows": single_cell_rows,
         "single_cell_batched_speedup": min(
             r["speedup_batched_vs_compiled"] for r in single_cell_rows
         ),
+        "sharded_rows": sharded_rows,
     }
+    if sharded_rows:
+        summary["min_sharded_speedup"] = min(
+            r["speedup_sharded"] for r in sharded_rows)
+    shutdown_shared_pools()
     text = json.dumps(summary, indent=2)
     if args.out:
         os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)

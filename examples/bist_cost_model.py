@@ -26,7 +26,7 @@ def main() -> None:
         print(f"  x -> {constant:X}*x : naive {naive.gate_count} XORs, "
               f"optimized {greedy.gate_count} XORs, depth {greedy.depth}")
 
-    print(f"\nBIST additions (2-port WOM, g = 1 + 2x + 2x^2):")
+    print("\nBIST additions (2-port WOM, g = 1 + 2x + 2x^2):")
     print(f"  multiplier XORs : {model.multiplier_xor_gates()}")
     print(f"  adder XORs      : {model.adder_xor_gates()}")
     print(f"  comparator gates: {model.comparator_gates()}")

@@ -14,7 +14,7 @@ Run:  python examples/fault_coverage_study.py
 
 import time
 
-from repro import SinglePortRAM, extended_schedule, standard_schedule
+from repro import extended_schedule, standard_schedule
 from repro.analysis import (
     compare_tests,
     march_operations,

@@ -10,7 +10,7 @@ coupling universe and compares the two wirings.
 Run:  python examples/wom_intra_word.py
 """
 
-from repro import BitSlicePiIteration, SinglePortRAM
+from repro import BitSlicePiIteration
 from repro.analysis import run_coverage
 from repro.faults import intra_word_universe
 

@@ -16,6 +16,7 @@ from repro.analysis.coverage import (
     run_coverage,
 )
 from repro.faults.universe import FaultUniverse
+from repro.sim.pool import WorkerPool
 
 __all__ = ["ComparisonRow", "compare_tests"]
 
@@ -45,14 +46,17 @@ class ComparisonRow:
 
 def compare_tests(entries: list[tuple[str, Runner, int]],
                   universe: FaultUniverse, n: int, m: int = 1,
-                  workers: int = 0) -> list[ComparisonRow]:
+                  workers: int = 0,
+                  pool: WorkerPool | None = None) -> list[ComparisonRow]:
     """Run each (name, runner, operation_count) entry over the universe.
 
     ``operation_count`` is the test's cost on the n-cell memory (exact
     counts from :mod:`repro.analysis.complexity` or the engines' own
     accounting).  Each compilable runner is lowered once and replayed by
     the batched campaign engine; ``workers`` fans each campaign out over
-    that many processes (0 = in-process).
+    that many processes (0 = in-process).  All rows share one persistent
+    worker pool (``pool``, or the process-wide shared pool), so pool
+    startup is paid once for the whole table, not per test.
 
     >>> from repro.analysis.coverage import march_runner
     >>> from repro.analysis.complexity import march_operations
@@ -68,7 +72,7 @@ def compare_tests(entries: list[tuple[str, Runner, int]],
     rows = []
     for name, runner, operations in entries:
         report = run_coverage(runner, universe, n, m=m, test_name=name,
-                              workers=workers)
+                              workers=workers, pool=pool)
         row = ComparisonRow(name=name, operations=operations, report=report)
         row._ops_per_cell = operations / n
         rows.append(row)

@@ -29,6 +29,7 @@ from repro.march.model import MarchTest
 from repro.memory.ram import SinglePortRAM
 from repro.sim.batched import run_campaign_batched
 from repro.sim.campaign import run_campaign
+from repro.sim.pool import WorkerPool
 from repro.sim.compilers import (
     cached_march_stream,
     cached_pi_iteration_stream,
@@ -138,7 +139,8 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
                  m: int = 1, test_name: str = "test",
                  ram_factory: Callable[[], object] | None = None,
                  workers: int = 0,
-                 engine: str = "auto") -> CoverageReport:
+                 engine: str = "auto",
+                 pool: WorkerPool | None = None) -> CoverageReport:
     """Inject each universe fault into a fresh RAM and run the test.
 
     ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
@@ -157,7 +159,11 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     :func:`repro.sim.batched.run_campaign_batched` -- fastest on
     single-cell-dominated universes), or ``"interpreted"`` (force the
     legacy per-fault loop).  ``workers > 0`` fans the compiled campaign
-    out over that many processes (requires a picklable ``ram_factory``).
+    out over that many processes (requires a picklable ``ram_factory``)
+    on the persistent shared pool of :mod:`repro.sim.pool` -- or on
+    ``pool``, an explicit :class:`~repro.sim.pool.WorkerPool` to reuse
+    across many campaigns.  With ``engine="batched"`` the lane passes
+    run concurrently with the pooled scalar remainder.
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -184,7 +190,7 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
         campaign_fn = run_campaign_batched if engine == "batched" \
             else run_campaign
         campaign = campaign_fn(stream, universe, ram_factory=ram_factory,
-                               workers=workers)
+                               workers=workers, pool=pool)
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report

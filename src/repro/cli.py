@@ -254,7 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="prt3")
     p.add_argument("--pure", action="store_true")
     p.add_argument("--workers", type=int, default=0,
-                   help="fan the campaign out over N processes (0 = serial)")
+                   help="shard the campaign over N worker processes "
+                        "(0 = serial); with --engine batched the lane "
+                        "passes overlap the scalar remainder")
     p.add_argument("--engine",
                    choices=("auto", "interpreted", "compiled", "batched"),
                    default="auto",
@@ -270,7 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="March vs PRT table (E9)")
     _add_memory_args(p, default_n=28)
     p.add_argument("--workers", type=int, default=0,
-                   help="fan each campaign out over N processes (0 = serial)")
+                   help="shard each campaign over N worker processes "
+                        "(0 = serial); all rows reuse one persistent pool")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("overhead", help="BIST overhead sweep (E5)")

@@ -65,6 +65,8 @@ from repro.faults.linked import (
 )
 from repro.faults.universe import (
     FaultUniverse,
+    UniverseSpec,
+    materialize_spec,
     single_cell_universe,
     coupling_universe,
     decoder_universe,
@@ -98,6 +100,8 @@ __all__ = [
     "linked_cfid_pair",
     "linked_universe",
     "FaultUniverse",
+    "UniverseSpec",
+    "materialize_spec",
     "single_cell_universe",
     "coupling_universe",
     "decoder_universe",

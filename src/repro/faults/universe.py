@@ -14,12 +14,22 @@ canonical universes for a memory of ``n`` cells by ``m`` bits:
 * :func:`bridging_universe` -- wired-AND/OR bridges between adjacent cells;
 * :func:`standard_universe` -- the union used by the headline experiments
   (E3, E9).
+
+Every generator is deterministic (seeded sampling), which is what makes
+process sharding cheap: a universe built here carries a
+:class:`UniverseSpec` -- a tiny picklable *recipe* naming the generator
+and its arguments -- and :func:`materialize_spec` re-enumerates the
+identical fault list anywhere (in particular inside the worker processes
+of :mod:`repro.sim.pool`), so shards travel as ``(spec, index range)``
+instead of pickled fault objects.
 """
 
 from __future__ import annotations
 
 import random
 from collections.abc import Iterator
+from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.faults.base import BitLocation, Fault
 from repro.faults.bridging import BridgingFault
@@ -42,6 +52,8 @@ from repro.faults.transition import TransitionFault
 
 __all__ = [
     "FaultUniverse",
+    "UniverseSpec",
+    "materialize_spec",
     "single_cell_universe",
     "coupling_universe",
     "decoder_universe",
@@ -52,8 +64,89 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class UniverseSpec:
+    """A picklable recipe that re-enumerates a fault universe anywhere.
+
+    ``generator`` names a registered universe generator (or one of the
+    combinators ``"union"`` / ``"sample"``), ``kwargs`` holds its
+    arguments as a sorted tuple of pairs (hashable, so specs key caches),
+    and ``parts`` holds the child specs of a combinator.  Because every
+    generator is seeded-deterministic, ``spec.build()`` produces the
+    *identical* fault sequence in any process -- the contract the
+    process-sharded campaign engines rely on when they ship a
+    ``(spec, index range)`` shard instead of pickled fault objects.
+
+    >>> spec = single_cell_universe(8, classes=("SAF",)).spec
+    >>> spec.generator, dict(spec.kwargs)["n"]
+    ('single_cell', 8)
+    >>> [f.name for f in spec.build()] == [
+    ...     f.name for f in single_cell_universe(8, classes=("SAF",))]
+    True
+    """
+
+    generator: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+    parts: tuple["UniverseSpec", ...] = ()
+
+    @classmethod
+    def call(cls, generator: str, **kwargs) -> "UniverseSpec":
+        """Spec for one generator call; kwargs are sorted for stable hashing."""
+        return cls(generator, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self) -> "FaultUniverse":
+        """Enumerate the universe this spec describes."""
+        if self.generator == "union":
+            faults: list[Fault] = []
+            for part in self.parts:
+                faults.extend(part.build())
+            return FaultUniverse(faults, spec=self)
+        if self.generator == "sample":
+            return self.parts[0].build().sample(**dict(self.kwargs))
+        try:
+            generate = _SPEC_GENERATORS[self.generator]
+        except KeyError:
+            raise ValueError(
+                f"unknown universe generator {self.generator!r} "
+                f"(known: {sorted(_SPEC_GENERATORS)})"
+            ) from None
+        return generate(**dict(self.kwargs))
+
+    def __repr__(self) -> str:
+        pieces = [f"{k}={v!r}" for k, v in self.kwargs]
+        if self.parts:
+            pieces.append("[" + ", ".join(repr(p) for p in self.parts) + "]")
+        return f"UniverseSpec({self.generator!r}, {', '.join(pieces)})"
+
+
+@lru_cache(maxsize=8)
+def materialize_spec(spec: UniverseSpec) -> tuple[Fault, ...]:
+    """Enumerate a spec's faults, cached per process.
+
+    This is the worker-side entry point of spec-based sharding: each pool
+    worker materializes a campaign's universe once and serves every shard
+    of it from the cache, so the faults never travel over the task pipe.
+    """
+    return tuple(spec.build())
+
+
+def _union_spec(left: UniverseSpec | None,
+                right: UniverseSpec | None) -> UniverseSpec | None:
+    """Spec of a concatenation -- None when either side is untracked."""
+    if left is None or right is None:
+        return None
+    parts = (left.parts if left.generator == "union" else (left,)) + \
+        (right.parts if right.generator == "union" else (right,))
+    return UniverseSpec("union", parts=parts)
+
+
 class FaultUniverse:
     """An ordered collection of faults with per-class queries.
+
+    ``spec``, when not None, is the :class:`UniverseSpec` that rebuilds
+    this exact universe in another process; universes assembled from
+    generator outputs (including via ``+`` and seeded :meth:`sample`)
+    keep their specs automatically.
 
     >>> universe = single_cell_universe(4, classes=("SAF",))
     >>> len(universe)
@@ -62,8 +155,9 @@ class FaultUniverse:
     ['SAF']
     """
 
-    def __init__(self, faults: list[Fault]):
+    def __init__(self, faults: list[Fault], spec: UniverseSpec | None = None):
         self._faults = list(faults)
+        self.spec = spec
 
     def __len__(self) -> int:
         return len(self._faults)
@@ -90,19 +184,41 @@ class FaultUniverse:
         return out
 
     def sample(self, k: int, rng: random.Random | None = None) -> FaultUniverse:
-        """A reproducible random subset of ``k`` faults."""
+        """A reproducible random subset of ``k`` faults.
+
+        With the default ``rng`` (seed 0) the subset is a pure function
+        of the universe, so a spec-carrying universe keeps a spec; a
+        caller-supplied ``rng`` has unknown state and drops it.
+        """
+        spec = None
         if rng is None:
             rng = random.Random(0)
+            if self.spec is not None:
+                spec = UniverseSpec("sample", kwargs=(("k", k),),
+                                    parts=(self.spec,))
         if k >= len(self._faults):
-            return FaultUniverse(self._faults)
-        return FaultUniverse(rng.sample(self._faults, k))
+            return FaultUniverse(self._faults, spec=spec)
+        return FaultUniverse(rng.sample(self._faults, k), spec=spec)
 
     def __add__(self, other: FaultUniverse) -> FaultUniverse:
-        return FaultUniverse(self._faults + other._faults)
+        return FaultUniverse(self._faults + other._faults,
+                             spec=_union_spec(self.spec, other.spec))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{c}:{k}" for c, k in sorted(self.counts().items()))
         return f"FaultUniverse({len(self._faults)} faults; {inner})"
+
+
+def _normalize_classes(classes) -> tuple[str, ...]:
+    """Class filters as a hashable tuple (the shape ``UniverseSpec`` keys).
+
+    A bare string would silently pass every membership test as a
+    substring probe and, tuple()'d, yield an empty universe -- wrap it
+    into the intended one-element filter instead.
+    """
+    if isinstance(classes, str):
+        return (classes,)
+    return tuple(classes)
 
 
 def single_cell_universe(
@@ -118,6 +234,7 @@ def single_cell_universe(
     >>> len(single_cell_universe(8, m=1))   # 16 SAF + 16 TF + 8 SOF + 8 DRF
     48
     """
+    classes = _normalize_classes(classes)
     faults: list[Fault] = []
     for cell in range(n):
         for bit in range(m):
@@ -131,7 +248,8 @@ def single_cell_universe(
             faults.append(StuckOpenFault(cell))
         if "DRF" in classes:
             faults.append(DataRetentionFault(cell, retention=retention))
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call(
+        "single_cell", n=n, m=m, classes=classes, retention=retention))
 
 
 def _cell_pairs(n: int, extra_random: int, rng: random.Random) -> list[tuple[int, int]]:
@@ -167,6 +285,7 @@ def coupling_universe(
     """
     if n < 2:
         raise ValueError("coupling faults need at least two cells")
+    classes = _normalize_classes(classes)
     rng = random.Random(seed)
     faults: list[Fault] = []
     for a_cell, v_cell in _cell_pairs(n, extra_random_pairs, rng):
@@ -189,7 +308,9 @@ def coupling_universe(
                     faults.append(
                         StateCouplingFault(aggressor, victim, state, force_to)
                     )
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call(
+        "coupling", n=n, m=m, classes=classes,
+        extra_random_pairs=extra_random_pairs, seed=seed))
 
 
 def decoder_universe(n: int, max_addresses: int = 8, seed: int = 0) -> FaultUniverse:
@@ -212,7 +333,8 @@ def decoder_universe(n: int, max_addresses: int = 8, seed: int = 0) -> FaultUniv
         faults.append(af_unreached_cell(addr, other))
         faults.append(af_multi_access(addr, (other,)))
         faults.append(af_shared_cell(addr, other))
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call(
+        "decoder", n=n, max_addresses=max_addresses, seed=seed))
 
 
 def intra_word_universe(
@@ -228,6 +350,7 @@ def intra_word_universe(
     """
     if m < 2:
         raise ValueError("intra-word faults need word width m >= 2")
+    classes = _normalize_classes(classes)
     rng = random.Random(seed)
     cells = list(range(n))
     if n > max_cells:
@@ -258,7 +381,9 @@ def intra_word_universe(
                         faults.append(
                             StateCouplingFault(aggressor, victim, state, force_to)
                         )
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call(
+        "intra_word", n=n, m=m, classes=classes, max_cells=max_cells,
+        seed=seed))
 
 
 def bridging_universe(n: int) -> FaultUniverse:
@@ -269,7 +394,7 @@ def bridging_universe(n: int) -> FaultUniverse:
     for i in range(n - 1):
         faults.append(BridgingFault(i, i + 1, kind="and"))
         faults.append(BridgingFault(i, i + 1, kind="or"))
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call("bridging", n=n))
 
 
 def npsf_universe(n: int, max_victims: int = 8, seed: int = 0) -> FaultUniverse:
@@ -299,7 +424,8 @@ def npsf_universe(n: int, max_victims: int = 8, seed: int = 0) -> FaultUniverse:
                         StaticNPSF(victim=victim, neighbors=neighbors,
                                    pattern=(p0, p1), force_to=force_to)
                     )
-    return FaultUniverse(faults)
+    return FaultUniverse(faults, spec=UniverseSpec.call(
+        "npsf", n=n, max_victims=max_victims, seed=seed))
 
 
 def standard_universe(n: int, m: int = 1, seed: int = 0) -> FaultUniverse:
@@ -317,3 +443,15 @@ def standard_universe(n: int, m: int = 1, seed: int = 0) -> FaultUniverse:
     if m > 1:
         universe += intra_word_universe(n, m, seed=seed)
     return universe
+
+
+# Spec-resolvable generators (see UniverseSpec).  standard_universe is
+# omitted on purpose: it already decomposes into a union spec of these.
+_SPEC_GENERATORS = {
+    "single_cell": single_cell_universe,
+    "coupling": coupling_universe,
+    "decoder": decoder_universe,
+    "intra_word": intra_word_universe,
+    "bridging": bridging_universe,
+    "npsf": npsf_universe,
+}

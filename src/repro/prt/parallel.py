@@ -146,8 +146,8 @@ class BitSlicePiIteration:
         for s in seed:
             if not 0 <= s <= self._mask:
                 raise ValueError(f"seed word {s:#x} does not fit {m} bits")
-        if any((seed[0] >> l) & 1 == 0 and (seed[1] >> l) & 1 == 0
-               for l in range(m)):
+        if any((seed[0] >> lane) & 1 == 0 and (seed[1] >> lane) & 1 == 0
+               for lane in range(m)):
             raise ValueError(
                 "every bit slice needs a non-zero seed pair; "
                 f"seeds {seed[0]:#x},{seed[1]:#x} leave a slice all-zero"
@@ -179,10 +179,11 @@ class BitSlicePiIteration:
 
     def _next_word(self, r_a: int, r_b: int) -> int:
         word = 0
-        for l in range(self._m):
-            bit = ((r_a >> self._sigma[l]) & 1) ^ ((r_b >> self._tau[l]) & 1)
+        for lane in range(self._m):
+            bit = ((r_a >> self._sigma[lane]) & 1) \
+                ^ ((r_b >> self._tau[lane]) & 1)
             if bit:
-                word |= 1 << l
+                word |= 1 << lane
         return word
 
     def expected_stream(self, n: int) -> list[int]:

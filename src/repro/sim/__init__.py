@@ -45,6 +45,16 @@ subsystem splits that work into a *compile* phase and a *replay* phase:
    pass.  Non-vectorizable faults fall back to :func:`run_campaign`
    per fault; verdicts are identical on every path.
 
+5. **Process sharding** (:mod:`repro.sim.pool`) -- both campaign
+   engines accept ``workers=N``: shards run on a persistent
+   :class:`WorkerPool` (reused across campaigns, stream broadcast once
+   per worker), and universes carrying a
+   :class:`~repro.faults.universe.UniverseSpec` travel as ``(spec,
+   index range)`` -- workers enumerate their faults locally.  The
+   batched engine overlaps its lane passes with the pooled scalar
+   remainder.  Environments that cannot fork degrade to single-process
+   execution with identical results.
+
 The legacy entry points -- :func:`repro.march.engine.run_march`,
 :meth:`repro.prt.schedule.PiTestSchedule.run`,
 :func:`repro.analysis.coverage.run_coverage` and the CLI ``coverage`` /
@@ -80,6 +90,12 @@ from repro.sim.batched import (
     register_lane_model,
     run_campaign_batched,
 )
+from repro.sim.pool import (
+    PoolUnavailable,
+    WorkerPool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 
 __all__ = [
     "Op",
@@ -102,4 +118,8 @@ __all__ = [
     "partition_universe",
     "build_lane_model",
     "register_lane_model",
+    "PoolUnavailable",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

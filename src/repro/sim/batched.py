@@ -41,12 +41,17 @@ from collections.abc import Callable, Iterable
 from repro.faults.base import Fault, VectorSemantics
 from repro.memory.packed import LaneFaultModel, PackedMemoryArray
 from repro.sim.campaign import (
+    POOL_FAILURES,
     CampaignResult,
+    _drain_shards,
+    _monotonic_progress,
     _reference_pass,
+    _submit_shards,
     partition_universe,
     run_campaign,
 )
 from repro.sim.ir import OpStream
+from repro.sim.pool import WorkerPool, shared_pool
 
 __all__ = ["run_campaign_batched", "build_lane_model", "register_lane_model"]
 
@@ -199,7 +204,8 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                          workers: int = 0, chunk_size: int = 128,
                          progress: Callable[[int, int], None] | None = None,
                          reference_check: bool = True,
-                         max_lanes: int = 4096) -> CampaignResult:
+                         max_lanes: int = 4096,
+                         pool: WorkerPool | None = None) -> CampaignResult:
     """Replay one compiled stream against a universe, one pass per class.
 
     Same contract and verdicts as
@@ -222,9 +228,18 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         A custom front-end (scramblers, multi-port) changes replay
         semantics the packed backend does not model, so a non-None
         factory also delegates everything to :func:`run_campaign`.
-    workers, chunk_size:
-        Passed through to the scalar engine for the fallback faults
-        (the lane passes are single-process: they *are* the batch).
+    workers:
+        ``N > 0`` runs the scalar-fallback remainder on the persistent
+        ``shared_pool(N)`` (or ``pool``) *concurrently* with the lane
+        passes: the remainder shards are queued first, the parent
+        resolves the vectorizable classes while workers replay scalar
+        faults, then both verdict sets are merged.  Universes carrying a
+        :class:`~repro.faults.universe.UniverseSpec` shard as ``(spec,
+        index range)`` -- workers re-derive the fallback list locally --
+        and anything else ships explicit fault chunks.  Falls back to
+        single-process execution when the platform cannot spawn workers.
+    chunk_size:
+        Faults per scalar unit of work (and per ``progress`` callback).
     progress:
         ``progress(done, total)`` with ``total`` the full universe size,
         fired after each lane chunk and each fallback chunk.
@@ -233,6 +248,9 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         with the scalar engine).
     max_lanes:
         Lane-width cap per pass; a class with more faults is chunked.
+    pool:
+        Explicit :class:`~repro.sim.pool.WorkerPool` for the fallback
+        shards; default is the process-wide shared pool for ``workers``.
 
     ``CampaignResult.faults_batched`` reports how many faults the lane
     passes resolved; ``operations_replayed`` counts lane-pass records
@@ -258,19 +276,23 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         return run_campaign(stream, universe, ram_factory=ram_factory,
                             workers=workers, chunk_size=chunk_size,
                             progress=progress,
-                            reference_check=reference_check)
+                            reference_check=reference_check, pool=pool)
     n = stream.n
     if chunk_size < 1:
         raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
     if reference_check:
         _reference_pass(stream, n, stream.m)
+    # Clamped once here: a pool failure mid-drain re-runs the remainder
+    # serially, and the hook must never see ``done`` go backwards.
+    progress = _monotonic_progress(progress)
     faults = list(universe)
     total = len(faults)
     classes, fallback = partition_universe(faults, n, stream.m)
     # A custom fault may return a VectorSemantics kind nobody registered
     # a lane model for; honour the any-universe contract by routing it to
     # the scalar path instead of failing mid-campaign.
-    for kind in [k for k in classes if k not in _MODELS]:
+    unknown_kinds = [k for k in classes if k not in _MODELS]
+    for kind in unknown_kinds:
         fallback.extend((index, fault)
                         for index, fault, _ in classes.pop(kind))
     fallback.sort(key=lambda pair: pair[0])
@@ -278,41 +300,102 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                             reference_operations=stream.reference_operations
                             or 0,
                             faults_batched=total - len(fallback))
+    # Queue the scalar remainder on the pool *before* the lane passes:
+    # workers chew on scalar faults while the parent resolves the
+    # vectorizable classes -- the two verdict sets are disjoint by
+    # construction, so they merge by universe index afterwards.  A
+    # runtime-registered lane kind may not exist in the workers, so spec
+    # sharding (workers re-derive the fallback list) is only sound when
+    # the partition used no such kind; otherwise ship explicit faults.
+    pending = None
+    if workers > 0 and fallback:
+        spec = getattr(universe, "spec", None) if not unknown_kinds else None
+        pending = _start_fallback_shards(stream, fallback, spec, workers,
+                                         pool, chunk_size)
     verdicts: list[bool] = [False] * total
     done = 0
-    for kind in sorted(classes):
-        members = classes[kind]
-        for base in range(0, len(members), max_lanes):
-            chunk = members[base:base + max_lanes]
-            model = build_lane_model(kind, [sem for _, _, sem in chunk])
-            packed = PackedMemoryArray(n, lanes=len(chunk))
-            model.install(packed)
-            detected, executed = packed.apply_stream(
-                stream.ops, tables=stream.tables, model=model
-            )
-            result.operations_replayed += executed
-            for lane, (index, _fault, _sem) in enumerate(chunk):
-                verdicts[index] = bool((detected >> lane) & 1)
-            done += len(chunk)
-            if progress is not None:
-                progress(done, total)
+    try:
+        for kind in sorted(classes):
+            members = classes[kind]
+            for base in range(0, len(members), max_lanes):
+                chunk = members[base:base + max_lanes]
+                model = build_lane_model(kind, [sem for _, _, sem in chunk])
+                packed = PackedMemoryArray(n, lanes=len(chunk))
+                model.install(packed)
+                detected, executed = packed.apply_stream(
+                    stream.ops, tables=stream.tables, model=model
+                )
+                result.operations_replayed += executed
+                for lane, (index, _fault, _sem) in enumerate(chunk):
+                    verdicts[index] = bool((detected >> lane) & 1)
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, total)
+    except BaseException:
+        # A lane pass blew up (buggy custom lane model, Ctrl-C) with
+        # fallback shards already queued: kill them with the pool so
+        # they cannot linger and tax the next campaign on a shared pool.
+        if pending is not None:
+            pending[0].mark_broken()
+        raise
     if fallback:
-        batched_done = done
+        outcomes = None
+        if pending is not None:
+            outcomes = _drain_fallback_shards(pending, progress, done, total,
+                                              len(fallback))
+        if outcomes is not None:
+            result.workers_used = workers
+            for (index, _fault), (detected, executed) in zip(fallback,
+                                                             outcomes):
+                verdicts[index] = detected
+                result.operations_replayed += executed
+        else:  # serial path, or process fan-out unavailable
+            batched_done = done
 
-        def _remap(sub_done: int, _sub_total: int) -> None:
-            if progress is not None:
+            def _remap(sub_done: int, _sub_total: int) -> None:
                 progress(batched_done + sub_done, total)
 
-        scalar = run_campaign(stream, [fault for _, fault in fallback],
-                              workers=workers, chunk_size=chunk_size,
-                              progress=_remap if progress is not None
-                              else None,
-                              reference_check=False)
-        result.workers_used = scalar.workers_used
-        result.operations_replayed += scalar.operations_replayed
-        for (index, _fault), (_f, detected) in zip(fallback,
-                                                   scalar.outcomes):
-            verdicts[index] = detected
+            scalar = run_campaign(stream, [fault for _, fault in fallback],
+                                  chunk_size=chunk_size,
+                                  progress=_remap if progress is not None
+                                  else None,
+                                  reference_check=False)
+            result.operations_replayed += scalar.operations_replayed
+            for (index, _fault), (_f, detected) in zip(fallback,
+                                                       scalar.outcomes):
+                verdicts[index] = detected
     result.outcomes = [(fault, verdicts[index])
                        for index, fault in enumerate(faults)]
     return result
+
+
+def _start_fallback_shards(stream, fallback, spec, workers, pool,
+                           chunk_size):
+    """Queue the scalar remainder on a persistent pool.
+
+    Returns ``(pool, tasks, result_iterator)`` with the shard tasks
+    already flowing to the workers, or ``None`` when no pool is
+    available (the caller then runs the remainder serially).
+    """
+    if pool is None:
+        pool = shared_pool(workers)
+    faults = [fault for _, fault in fallback]
+    try:
+        tasks, iterator = _submit_shards(pool, stream, faults, spec,
+                                         "fallback", None, stream.n,
+                                         stream.m, chunk_size)
+        return pool, tasks, iterator
+    except POOL_FAILURES:
+        pool.mark_broken()
+        return None
+
+
+def _drain_fallback_shards(pending, progress, done, total, expected):
+    """Collect the queued remainder; ``None`` if the pool broke mid-run."""
+    pool, tasks, iterator = pending
+    try:
+        return _drain_shards(tasks, iterator, progress, done, total,
+                             expected)
+    except POOL_FAILURES:
+        pool.mark_broken()
+        return None

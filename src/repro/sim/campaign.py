@@ -16,7 +16,15 @@ instead:
   stream, not the full test;
 * **chunked execution** -- faults are processed in chunks, giving a
   progress hook and the unit of work for the opt-in ``workers=N``
-  multiprocessing fan-out.
+  process fan-out.
+
+The ``workers=N`` path shards over the persistent pools of
+:mod:`repro.sim.pool`: the compiled stream is broadcast once per worker
+(not per chunk), and a universe carrying a
+:class:`~repro.faults.universe.UniverseSpec` travels as ``(spec, index
+range)`` shards that workers enumerate locally -- no fault pickling at
+all.  Pools outlive campaigns, so back-to-back campaigns (``compare``,
+benchmark sweeps, services) amortize pool startup.
 
 Replay cost is ``O(|universe| * detection_prefix)`` -- for strong tests
 the mean prefix is a small fraction of the test length, which is where
@@ -26,14 +34,23 @@ the engine's wall-clock win over the interpreted loop comes from (see
 
 from __future__ import annotations
 
+import multiprocessing
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field as dataclass_field
+from functools import lru_cache
 
 from repro.faults.base import Fault, VectorSemantics
 from repro.faults.injector import FaultInjector
+from repro.faults.universe import UniverseSpec, materialize_spec
 from repro.memory.ram import SinglePortRAM
 from repro.memory.stream_exec import apply_stream_generic
 from repro.sim.ir import OpStream
+from repro.sim.pool import (
+    PoolUnavailable,
+    WorkerPool,
+    shared_pool,
+    worker_stream,
+)
 
 __all__ = ["CampaignResult", "run_campaign", "partition_universe"]
 
@@ -169,24 +186,69 @@ def _fits_bit_oriented(semantics: VectorSemantics, n: int) -> bool:
     return semantics.victim_bit == 0 and 0 <= semantics.victim_cell < n
 
 
-# The compiled stream of the campaign a worker process serves; set once
-# per worker by the pool initializer (inherited through fork, or pickled
-# a single time on spawn platforms) instead of travelling with every
-# chunk of faults.
-_WORKER_STREAM: OpStream | None = None
+# -- process sharding -------------------------------------------------------
+#
+# A shard is a self-describing task tuple
+#
+#     (mode, token, spec, lo, hi, faults, ram_factory, n, m)
+#
+# replayed by ``_run_shard`` inside a pool worker.  ``token`` names the
+# stream a :class:`~repro.sim.pool.WorkerPool` broadcast pinned in the
+# worker.  ``mode`` selects how the shard's faults are obtained:
+#
+# ``"slice"``     ``materialize_spec(spec)[lo:hi]`` -- the universe is
+#                 re-enumerated locally (cached per worker), so the task
+#                 carries no fault objects at all;
+# ``"fallback"``  the ``[lo:hi]`` slice of the *scalar-fallback* portion
+#                 of the spec'd universe (the batched engine's remainder),
+#                 derived locally via ``partition_universe``;
+# ``"list"``      an explicit pickled fault list (universes without a
+#                 spec -- hand-built lists, custom iterables).
 
 
-def _init_worker(stream: OpStream) -> None:
-    """Pool initializer: pin the campaign's stream in this worker."""
-    global _WORKER_STREAM
-    _WORKER_STREAM = stream
+@lru_cache(maxsize=8)
+def _spec_fallback(spec: UniverseSpec, n: int, m: int) -> tuple[Fault, ...]:
+    """Worker-side cache: the scalar-fallback faults of a spec'd universe.
+
+    Deterministic mirror of the partition the parent computed -- same
+    spec, same geometry, same enumeration order.
+    """
+    _classes, fallback = partition_universe(materialize_spec(spec), n, m)
+    return tuple(fault for _index, fault in fallback)
 
 
-def _run_chunk(args) -> list[tuple[bool, int]]:
-    """Multiprocessing unit of work: one chunk of faults, one process."""
-    faults, ram_factory, n, m = args
-    stream = _WORKER_STREAM
-    return [_run_one(stream, fault, ram_factory, n, m) for fault in faults]
+def _shard_faults(mode, spec, lo, hi, faults, n, m):
+    if mode == "list":
+        return faults
+    if mode == "slice":
+        return materialize_spec(spec)[lo:hi]
+    if mode == "fallback":
+        return _spec_fallback(spec, n, m)[lo:hi]
+    raise ValueError(f"unknown shard mode {mode!r}")
+
+
+def _run_shard(task) -> list[tuple[bool, int]]:
+    """Pool unit of work: enumerate one shard locally and replay it."""
+    mode, token, spec, lo, hi, faults, ram_factory, n, m = task
+    stream = worker_stream(token)
+    return [_run_one(stream, fault, ram_factory, n, m)
+            for fault in _shard_faults(mode, spec, lo, hi, faults, n, m)]
+
+
+def _shard_tasks(faults: list[Fault], spec: UniverseSpec | None, mode: str,
+                 token: int, ram_factory, n: int, m: int,
+                 chunk_size: int) -> list[tuple]:
+    """Split a fault list into shard task tuples of ``chunk_size`` faults."""
+    tasks = []
+    for lo in range(0, len(faults), chunk_size):
+        hi = min(lo + chunk_size, len(faults))
+        if spec is None:
+            tasks.append(("list", token, None, lo, hi, faults[lo:hi],
+                          ram_factory, n, m))
+        else:
+            tasks.append((mode, token, spec, lo, hi, None,
+                          ram_factory, n, m))
+    return tasks
 
 
 def _reference_pass(stream: OpStream, n: int, m: int) -> None:
@@ -221,7 +283,8 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
                  ram_factory: Callable[[], object] | None = None,
                  workers: int = 0, chunk_size: int = 128,
                  progress: Callable[[int, int], None] | None = None,
-                 reference_check: bool = True) -> CampaignResult:
+                 reference_check: bool = True,
+                 pool: WorkerPool | None = None) -> CampaignResult:
     """Replay one compiled stream against every fault of a universe.
 
     Parameters
@@ -230,15 +293,20 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
         The compiled test (see :mod:`repro.sim.compilers`).
     universe:
         Iterable of faults; injected one at a time (single-fault
-        methodology), outcome order preserved.
+        methodology), outcome order preserved.  A universe carrying a
+        :class:`~repro.faults.universe.UniverseSpec` (everything the
+        :mod:`repro.faults.universe` generators produce) is sharded
+        *by spec*: workers re-enumerate their faults locally instead of
+        unpickling them per chunk.
     ram_factory:
         Overrides the default ``SinglePortRAM(stream.n, m=stream.m)``.
         With ``workers > 0`` it must be picklable (a module-level
         function or functools.partial, not a lambda).
     workers:
-        ``0`` (default) runs in-process.  ``N > 0`` fans chunks out to a
-        multiprocessing pool; falls back to in-process execution if the
-        platform cannot spawn workers (sandboxes, missing /dev/shm).
+        ``0`` (default) runs in-process.  ``N > 0`` fans shards out to
+        the persistent ``shared_pool(N)`` (or ``pool``); falls back to
+        in-process execution if the platform cannot spawn workers
+        (sandboxes, missing /dev/shm).
     chunk_size:
         Faults per unit of work (and per ``progress`` callback).
     progress:
@@ -248,6 +316,11 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
     reference_check:
         Validate the stream on a fault-free memory first (cached on the
         stream, so repeated campaigns pay it once).
+    pool:
+        An explicit :class:`~repro.sim.pool.WorkerPool` to shard on
+        (e.g. one ``with WorkerPool(4) as pool`` block around many
+        campaigns).  Default: the process-wide shared pool for
+        ``workers``.
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -262,17 +335,23 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
         raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
     if reference_check:
         _reference_pass(stream, n, m)
+    progress = _monotonic_progress(progress)
     result = CampaignResult(stream_name=stream.name, n=n, m=m,
                             reference_operations=stream.reference_operations or 0)
     faults = list(universe)
-    chunks = [faults[i:i + chunk_size] for i in range(0, len(faults), chunk_size)]
-    outcomes: list[tuple[bool, int]] = []
+    outcomes: list[tuple[bool, int]] | None = None
     if workers > 0 and len(faults) > 1:
-        outcomes = _run_parallel(stream, chunks, ram_factory, n, m,
-                                 workers, result, progress, len(faults))
-    if not outcomes:  # serial path, or parallel fan-out unavailable
+        outcomes = _run_sharded(stream, faults,
+                                getattr(universe, "spec", None), "slice",
+                                ram_factory, n, m, workers, pool,
+                                chunk_size, progress)
+        if outcomes is not None:
+            result.workers_used = workers
+    if outcomes is None:  # serial path, or process fan-out unavailable
+        outcomes = []
         done = 0
-        for chunk in chunks:
+        for lo in range(0, len(faults), chunk_size):
+            chunk = faults[lo:lo + chunk_size]
             for fault in chunk:
                 outcomes.append(_run_one(stream, fault, ram_factory, n, m))
             done += len(chunk)
@@ -284,36 +363,105 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
     return result
 
 
-def _run_parallel(stream, chunks, ram_factory, n, m, workers, result,
-                  progress, total) -> list[tuple[bool, int]]:
-    """Fan chunks out to a process pool; empty list when unavailable.
+#: Exceptions that mean "the pool cannot serve this campaign" -- callers
+#: mark the pool broken and degrade to single-process execution.
+POOL_FAILURES = (PoolUnavailable, OSError, PermissionError, ImportError)
 
-    Chunk results are consumed in order as workers finish them, so the
+#: Seconds to wait for any single shard result.  A worker killed
+#: mid-shard (OOM, segfault) loses its task: ``Pool.imap`` would block
+#: on it forever, so the drain polls with this timeout and declares the
+#: pool broken instead -- the campaign then re-runs serially.  Ordinary
+#: shards are chunk_size fault replays (well under a second each); only
+#: a dead worker plausibly exceeds this.
+SHARD_TIMEOUT = 300.0
+
+
+def _submit_shards(pool: WorkerPool, stream, faults, spec, mode,
+                   ram_factory, n, m, chunk_size):
+    """Broadcast the stream and queue one shard task per chunk.
+
+    Returns ``(tasks, result_iterator)`` with the tasks already flowing
+    to the workers.  Raises one of ``POOL_FAILURES`` when the pool
+    cannot take the work.
+    """
+    token = pool.broadcast_stream(stream)
+    tasks = _shard_tasks(faults, spec, mode, token, ram_factory, n, m,
+                         chunk_size)
+    return tasks, pool.imap(_run_shard, tasks)
+
+
+def _drain_shards(tasks, iterator, progress, done, total,
+                  expected: int) -> list[tuple[bool, int]]:
+    """Collect shard results in order, firing ``progress`` per chunk.
+
+    ``done``/``total`` let the batched engine account for lane passes
+    that already happened.  Raises :class:`PoolUnavailable` when a shard
+    result does not arrive within ``SHARD_TIMEOUT`` (a worker died with
+    the task in flight), and ``RuntimeError`` when the workers returned
+    a different outcome count than the parent expects (spec drift) --
+    silently-truncated verdicts must never merge.
+    """
+    outcomes: list[tuple[bool, int]] = []
+    for index in range(len(tasks)):
+        try:
+            shard = iterator.next(SHARD_TIMEOUT)
+        except StopIteration:
+            break
+        except multiprocessing.TimeoutError:
+            raise PoolUnavailable(
+                f"shard {index} produced no result within "
+                f"{SHARD_TIMEOUT:.0f}s -- worker lost mid-task?"
+            ) from None
+        outcomes.extend(shard)
+        done += tasks[index][4] - tasks[index][3]  # hi - lo
+        if progress is not None:
+            progress(done, total)
+    if len(outcomes) != expected:
+        raise RuntimeError(
+            f"sharded campaign returned {len(outcomes)} outcomes for "
+            f"{expected} faults -- the universe spec does not "
+            f"re-enumerate identically in the workers"
+        )
+    return outcomes
+
+
+def _monotonic_progress(progress):
+    """Wrap a progress hook so reported ``done`` never decreases.
+
+    When a pool breaks mid-drain the campaign re-runs the remainder
+    serially from zero; without the clamp the hook would observe
+    ``done`` jump backwards and the same faults counted twice.
+    """
+    if progress is None:
+        return None
+    best = 0
+
+    def hook(done: int, total: int) -> None:
+        nonlocal best
+        if done > best:
+            best = done
+            progress(done, total)
+
+    return hook
+
+
+def _run_sharded(stream, faults, spec, mode, ram_factory, n, m, workers,
+                 pool, chunk_size, progress) -> list[tuple[bool, int]] | None:
+    """Fan shards out to a persistent pool; ``None`` when unavailable.
+
+    Shard results are consumed in order as workers finish them, so the
     ``progress`` hook fires per chunk exactly like the serial path.
     """
-    import multiprocessing
-
+    if pool is None:
+        pool = shared_pool(workers)
     try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork
-        context = multiprocessing.get_context()
-    # The stream rides the pool initializer, not the task tuples: it is
-    # shipped once per worker (free under fork -- the child inherits the
-    # parent's objects) instead of re-pickled with every chunk.
-    tasks = [(chunk, ram_factory, n, m) for chunk in chunks]
-    outcomes: list[tuple[bool, int]] = []
-    try:
-        with context.Pool(processes=workers, initializer=_init_worker,
-                          initargs=(stream,)) as pool:
-            done = 0
-            for index, chunk_result in enumerate(pool.imap(_run_chunk, tasks)):
-                outcomes.extend(chunk_result)
-                done += len(chunks[index])
-                if progress is not None:
-                    progress(done, total)
-    except (OSError, PermissionError, ImportError):
-        # Restricted environments (no /dev/shm, seccomp'd fork): degrade
-        # to the serial path rather than failing the campaign.
-        return []
-    result.workers_used = workers
-    return outcomes
+        tasks, iterator = _submit_shards(pool, stream, faults, spec, mode,
+                                         ram_factory, n, m, chunk_size)
+        return _drain_shards(tasks, iterator, progress, 0, len(faults),
+                             len(faults))
+    except POOL_FAILURES:
+        # Could not start (sandbox) or lost a worker mid-run: a broken
+        # pool is closed so the next campaign gets a fresh one, and this
+        # campaign degrades to the serial path rather than failing.
+        pool.mark_broken()
+        return None

@@ -1,7 +1,5 @@
 """Tests for the coverage campaign harness."""
 
-import pytest
-
 from repro.analysis import (
     CoverageReport,
     iteration_runner,

@@ -146,3 +146,68 @@ class TestStandardUniverse:
 
     def test_union_repr(self):
         assert "SAF" in repr(standard_universe(4))
+
+
+class TestUniverseSpec:
+    """The picklable recipes process sharding ships instead of faults."""
+
+    def test_generators_attach_specs(self):
+        from repro.faults import npsf_universe
+
+        for universe in (single_cell_universe(8), coupling_universe(8),
+                         decoder_universe(8), bridging_universe(8),
+                         npsf_universe(8), intra_word_universe(4, 4),
+                         standard_universe(8)):
+            assert universe.spec is not None
+            rebuilt = universe.spec.build()
+            assert [f.name for f in rebuilt] == [f.name for f in universe]
+
+    def test_spec_survives_union_and_sample(self):
+        universe = (standard_universe(16) + bridging_universe(16)).sample(40)
+        assert universe.spec is not None
+        assert [f.name for f in universe.spec.build()] == \
+            [f.name for f in universe]
+
+    def test_caller_rng_drops_spec(self):
+        import random
+
+        universe = standard_universe(8).sample(5, rng=random.Random(7))
+        assert universe.spec is None
+
+    def test_hand_built_universe_has_no_spec(self):
+        from repro.faults import FaultUniverse, StuckAtFault
+
+        assert FaultUniverse([StuckAtFault(0, 1)]).spec is None
+
+    def test_spec_pickle_roundtrip(self):
+        import pickle
+
+        spec = standard_universe(16).spec
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert [f.name for f in clone.build()] == \
+            [f.name for f in standard_universe(16)]
+
+    def test_materialize_spec_cached(self):
+        from repro.faults import materialize_spec
+
+        spec = single_cell_universe(8).spec
+        assert materialize_spec(spec) is materialize_spec(spec)
+        assert [f.name for f in materialize_spec(spec)] == \
+            [f.name for f in single_cell_universe(8)]
+
+    def test_unknown_generator_rejected(self):
+        from repro.faults import UniverseSpec
+
+        with pytest.raises(ValueError, match="unknown universe generator"):
+            UniverseSpec.call("bogus", n=4).build()
+
+    def test_bare_string_classes_means_one_class(self):
+        # A bare string must behave as a one-element filter, not be
+        # tuple()'d into characters (which would yield an empty universe).
+        assert single_cell_universe(8, classes="SAF").counts() == \
+            single_cell_universe(8, classes=("SAF",)).counts()
+        assert coupling_universe(8, classes="CFin").counts() == \
+            coupling_universe(8, classes=("CFin",)).counts()
+        assert intra_word_universe(4, 4, classes="CFid").counts() == \
+            intra_word_universe(4, 4, classes=("CFid",)).counts()

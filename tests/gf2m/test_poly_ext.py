@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gf2 import poly_from_string, primitive_polynomial
+from repro.gf2 import poly_from_string
 from repro.gf2m import (
     GF2m,
     wpoly,

@@ -9,7 +9,6 @@ from repro.gf2m import (
     GF2m,
     XorGate,
     XorNetwork,
-    apply_matrix,
     constant_multiplier_matrix,
     network_cost_summary,
     synthesize,

@@ -47,9 +47,7 @@ class TestBitBM:
             assert length == m
             # The connection polynomial's taps are the recurrence taps:
             # s[t] = sum poly_i s[t-i] <-> reciprocal relation to `poly`.
-            check = BitLFSR(connection if connection & (1 << m) else
-                            connection | (1 << m), seed=0)
-            # Verify the recurrence directly instead:
+            # Verify the recurrence directly:
             for t in range(length, len(stream)):
                 acc = 0
                 for i in range(1, length + 1):

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.faults import FaultInjector, InversionCouplingFault, StuckAtFault
 from repro.memory import AddressScrambler, SinglePortRAM
-from repro.prt import PiIteration, standard_schedule
+from repro.prt import standard_schedule
 
 
 class TestScramblerBasics:

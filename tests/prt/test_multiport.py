@@ -76,7 +76,6 @@ class TestDualPort:
 
     def test_detects_fault(self):
         it = DualPortPiIteration(generator=(1, 1, 1), seed=(1, 1))
-        background = {}
         ram0 = DualPortRAM(9)
         it.run(ram0)
         cell = ram0.dump().index(1)

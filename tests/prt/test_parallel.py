@@ -55,8 +55,8 @@ class TestConstruction:
         for m in (1, 2, 3, 4, 8):
             it = BitSlicePiIteration(m=m)
             s0, s1 = it.seed
-            for l in range(m):
-                assert (s0 >> l) & 1 or (s1 >> l) & 1
+            for lane in range(m):
+                assert (s0 >> lane) & 1 or (s1 >> lane) & 1
 
     def test_seed_out_of_range(self):
         with pytest.raises(ValueError):

@@ -346,6 +346,30 @@ class TestBatchedEquivalence256:
         assert _report_key(batched) == _report_key(compiled)
 
 
+class TestBatchedSharded256:
+    """Acceptance sweep for process sharding: on the full
+    ``standard_universe(256)``, ``workers=2`` (persistent pool, lane
+    passes concurrent with the pooled scalar remainder) must reproduce
+    the single-process batched CoverageReport byte for byte."""
+
+    def test_march_workers_byte_identical(self, universe_256):
+        import pickle
+
+        runner = march_runner(MARCH_C_MINUS)
+        serial = run_coverage(runner, universe_256, 256, engine="batched")
+        sharded = run_coverage(runner, universe_256, 256, engine="batched",
+                               workers=2)
+        assert _report_key(sharded) == _report_key(serial)
+        assert pickle.dumps(sharded) == pickle.dumps(serial)
+
+    def test_schedule_workers_byte_identical(self, universe_256):
+        runner = schedule_runner(standard_schedule(n=256))
+        serial = run_coverage(runner, universe_256, 256, engine="batched")
+        sharded = run_coverage(runner, universe_256, 256, engine="batched",
+                               workers=2)
+        assert _report_key(sharded) == _report_key(serial)
+
+
 class TestRunCoverageBatchedRouting:
     def test_engine_batched_requires_compilable(self):
         with pytest.raises(ValueError, match="compilable"):

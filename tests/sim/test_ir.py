@@ -6,7 +6,7 @@ from repro.gf2 import poly_from_string
 from repro.gf2m import GF2m
 from repro.march import MATS_PLUS_RETENTION
 from repro.march.library import MARCH_C_MINUS, MATS_PLUS
-from repro.prt import PiIteration, PiTestSchedule, standard_schedule
+from repro.prt import PiIteration, standard_schedule
 from repro.sim import (
     OpStream,
     compile_march,

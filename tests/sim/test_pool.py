@@ -1,0 +1,260 @@
+"""Process sharding: persistent pools, spec shards, graceful fallback.
+
+The sharded paths must be *invisible* in the results: ``workers=N``
+produces byte-identical outcomes to single-process execution on both
+campaign engines, whether the universe ships as a spec or as pickled
+fault lists, and an environment that cannot spawn processes silently
+degrades to the serial path.
+"""
+
+import pytest
+
+from repro.analysis import march_runner, run_coverage
+from repro.faults import StuckAtFault, single_cell_universe, standard_universe
+from repro.faults.base import VectorSemantics
+from repro.faults.universe import FaultUniverse, UniverseSpec
+from repro.march.library import MARCH_C_MINUS, MATS
+from repro.sim import (
+    PoolUnavailable,
+    WorkerPool,
+    compile_march,
+    run_campaign,
+    run_campaign_batched,
+    shared_pool,
+)
+from repro.sim import pool as pool_module
+
+
+def _broken_pool(workers=2):
+    """A pool whose start always fails (invalid context name)."""
+    return WorkerPool(workers, context="no-such-start-method")
+
+
+def _verdicts(result):
+    return [detected for _, detected in result.outcomes]
+
+
+class ExoticKindFault(StuckAtFault):
+    """A stuck-at under a vector-semantics kind no lane model knows.
+
+    Module-level so the fault-list shard path can pickle it.
+    """
+
+    def vector_semantics(self):
+        base = StuckAtFault.vector_semantics(self)
+        return VectorSemantics("exotic-kind", cell=base.cell,
+                               value=base.value)
+
+
+class TestWorkerPool:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_lazy_start(self):
+        pool = WorkerPool(2)
+        assert not pool.started
+        assert "idle" in repr(pool)
+        pool.close()
+
+    def test_broadcast_deduplicates_streams(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        other = compile_march(MATS, 16)
+        universe = standard_universe(16)
+        with WorkerPool(2) as pool:
+            run_campaign(stream, universe, workers=2, pool=pool)
+            run_campaign(stream, universe, workers=2, pool=pool)
+            assert pool.streams_broadcast == 1
+            run_campaign(other, universe, workers=2, pool=pool)
+            assert pool.streams_broadcast == 2
+
+    def test_max_streams_recycles_the_pool(self):
+        def saf_universe(n):
+            return single_cell_universe(n, classes=("SAF",))
+
+        with WorkerPool(2, max_streams=2) as pool:
+            for n in (8, 12):
+                run_campaign(compile_march(MARCH_C_MINUS, n),
+                             saf_universe(n), workers=2, pool=pool)
+            assert pool.streams_broadcast == 2
+            # A third distinct stream exceeds the cap: the pool recycles
+            # (bounded stream memory) and keeps working.
+            result = run_campaign(compile_march(MARCH_C_MINUS, 16),
+                                  saf_universe(16), workers=2, pool=pool)
+            assert pool.streams_broadcast == 1
+            assert not pool.broken
+            assert result.workers_used == 2
+            assert result.detection_ratio == 1.0
+        with pytest.raises(ValueError):
+            WorkerPool(2, max_streams=0)
+
+    def test_unavailable_pool_raises(self):
+        pool = _broken_pool()
+        with pytest.raises(PoolUnavailable):
+            pool.broadcast_stream(compile_march(MATS, 8))
+        assert pool.broken
+
+    def test_shared_pool_reused_and_replaced_when_broken(self):
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        first.mark_broken()
+        replacement = shared_pool(2)
+        assert replacement is not first
+        assert not replacement.broken
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+
+
+class TestShardedRunCampaign:
+    def test_spec_sharded_matches_serial(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        assert universe.spec is not None
+        serial = run_campaign(stream, universe)
+        with WorkerPool(2) as pool:
+            sharded = run_campaign(stream, universe, workers=2, pool=pool)
+        assert sharded.workers_used == 2
+        assert _verdicts(sharded) == _verdicts(serial)
+        assert sharded.operations_replayed == serial.operations_replayed
+
+    def test_list_sharded_matches_serial(self):
+        # No spec: shards carry explicit pickled fault chunks.
+        stream = compile_march(MARCH_C_MINUS, 16)
+        faults = list(standard_universe(16))
+        serial = run_campaign(stream, faults)
+        with WorkerPool(2) as pool:
+            sharded = run_campaign(stream, faults, workers=2, pool=pool,
+                                   chunk_size=64)
+        assert sharded.workers_used == 2
+        assert _verdicts(sharded) == _verdicts(serial)
+
+    def test_pool_unavailable_degrades_to_serial(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        pool = _broken_pool()
+        result = run_campaign(stream, universe, workers=2, pool=pool)
+        assert result.workers_used == 0
+        assert _verdicts(result) == _verdicts(run_campaign(stream, universe))
+
+    def test_sandboxed_shared_pool_degrades(self, monkeypatch):
+        # Simulate a sandbox where no pool can ever start: the shared
+        # registry hands out broken pools, the campaign stays correct.
+        def refuse(self):
+            raise PoolUnavailable("sandboxed")
+
+        monkeypatch.setattr(pool_module.WorkerPool, "_ensure", refuse)
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        result = run_campaign(stream, universe, workers=2,
+                              pool=pool_module.WorkerPool(2))
+        assert result.workers_used == 0
+        assert result.detection_ratio > 0.9
+
+    def test_progress_monotonic_with_workers(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        seen = []
+        with WorkerPool(2) as pool:
+            run_campaign(stream, universe, workers=2, chunk_size=100,
+                         pool=pool,
+                         progress=lambda done, total:
+                         seen.append((done, total)))
+        assert seen[-1] == (len(universe), len(universe))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_lost_shard_result_raises_pool_unavailable(self):
+        # A worker killed mid-shard loses its task: Pool.imap would
+        # block forever, so the drain's per-shard timeout must surface
+        # PoolUnavailable (which callers turn into serial degradation).
+        import multiprocessing
+
+        from repro.sim.campaign import _drain_shards
+
+        class LostResult:
+            def next(self, timeout=None):
+                assert timeout is not None  # a bare next() would hang
+                raise multiprocessing.TimeoutError
+
+        task = ("slice", 0, None, 0, 5, None, None, 8, 1)
+        with pytest.raises(PoolUnavailable, match="no result"):
+            _drain_shards([task], LostResult(), None, 0, 5, 5)
+
+
+class TestShardedRunCampaignBatched:
+    def test_sharded_matches_serial(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        serial = run_campaign_batched(stream, universe)
+        with WorkerPool(2) as pool:
+            sharded = run_campaign_batched(stream, universe, workers=2,
+                                           pool=pool)
+        assert sharded.workers_used == 2
+        assert sharded.faults_batched == serial.faults_batched
+        assert _verdicts(sharded) == _verdicts(serial)
+        assert sharded.operations_replayed == serial.operations_replayed
+
+    def test_no_fallback_skips_the_pool(self):
+        # A fully vectorizable universe has nothing to shard; the lane
+        # passes are the batch, and no pool should ever start.
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = single_cell_universe(16, classes=("SAF", "TF"))
+        pool = WorkerPool(2)
+        result = run_campaign_batched(stream, universe, workers=2, pool=pool)
+        assert not pool.started
+        assert result.workers_used == 0
+        assert result.faults_batched == len(universe)
+        pool.close()
+
+    def test_pool_unavailable_degrades_to_serial(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        pool = _broken_pool()
+        result = run_campaign_batched(stream, universe, workers=2, pool=pool)
+        assert result.workers_used == 0
+        serial = run_campaign_batched(stream, universe)
+        assert _verdicts(result) == _verdicts(serial)
+
+    def test_progress_monotonic_with_workers(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = standard_universe(16)
+        seen = []
+        with WorkerPool(2) as pool:
+            run_campaign_batched(stream, universe, workers=2, chunk_size=64,
+                                 pool=pool,
+                                 progress=lambda done, total:
+                                 seen.append((done, total)))
+        assert seen[-1] == (len(universe), len(universe))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+        assert all(total == len(universe) for _, total in seen)
+
+    def test_unknown_lane_kind_ships_fault_lists(self):
+        # A runtime-registered vector kind may not exist in the workers,
+        # so spec sharding is unsound for that partition; explicit fault
+        # chunks must be shipped instead -- still with correct verdicts.
+        universe = FaultUniverse(
+            [StuckAtFault(1, 1), ExoticKindFault(3, 1), StuckAtFault(5, 0)],
+            # A lying spec: if a worker used it, it would enumerate the
+            # wrong faults and verdict counts would diverge.
+            spec=UniverseSpec.call("bridging", n=16),
+        )
+        stream = compile_march(MARCH_C_MINUS, 16)
+        with WorkerPool(2) as pool:
+            result = run_campaign_batched(stream, universe, workers=2,
+                                          pool=pool, chunk_size=1)
+        assert [f for f, _ in result.outcomes] == list(universe)
+        assert result.detection_ratio == 1.0
+
+
+class TestRunCoverageSharded:
+    def test_engine_batched_workers_matches_serial(self):
+        universe = standard_universe(16)
+        runner = march_runner(MARCH_C_MINUS)
+        serial = run_coverage(runner, universe, 16, engine="batched")
+        with WorkerPool(2) as pool:
+            sharded = run_coverage(runner, universe, 16, engine="batched",
+                                   workers=2, pool=pool)
+        assert (sharded.detected, sharded.total, sharded.missed_faults) == \
+            (serial.detected, serial.total, serial.missed_faults)

@@ -5,7 +5,6 @@ would script -- and pin cross-engine consistency properties that no
 single-package unit test can see.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

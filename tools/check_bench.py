@@ -1,0 +1,121 @@
+"""Guard benchmark timings against a checked-in baseline.
+
+Compares the JSON summary a fresh benchmark run produced (e.g. the CI
+``bench-smoke`` job's ``BENCH_ci.json``) with the committed baseline in
+``benchmarks/out/``.  Rows are matched by ``(section, test, n,
+universe)``; every wall-clock field (``*_s``) present in both rows is
+compared, and the check fails when any of them regressed by more than
+``--max-slowdown``.
+
+Rows or fields only one side has are skipped (quick mode runs a subset
+of the full benchmark), as are baseline timings below ``--min-seconds``
+(too noisy to gate on).  Speedup ratios are *not* compared -- CI runners
+have different core counts than the baseline host; absolute per-path
+wall clock with generous headroom is the stable signal.
+
+Usage::
+
+    python tools/check_bench.py \
+        --baseline benchmarks/out/bench_campaign_engine.json \
+        --current BENCH_ci.json --max-slowdown 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ROW_SECTIONS = ("rows", "single_cell_rows", "sharded_rows")
+
+
+def _row_key(section: str, row: dict) -> tuple:
+    return (section, row.get("test"), row.get("n"), row.get("universe"))
+
+
+def _index_rows(summary: dict) -> dict[tuple, dict]:
+    indexed: dict[tuple, dict] = {}
+    for section in ROW_SECTIONS:
+        for row in summary.get(section, ()):
+            indexed[_row_key(section, row)] = row
+    return indexed
+
+
+def compare(baseline: dict, current: dict, max_slowdown: float,
+            min_seconds: float) -> tuple[list[str], list[str]]:
+    """Returns (comparison lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    base_rows = _index_rows(baseline)
+    cur_rows = _index_rows(current)
+    shared_keys = [key for key in base_rows if key in cur_rows]
+    if not shared_keys:
+        regressions.append(
+            "no comparable rows between baseline and current summaries "
+            "(did the benchmark's row identities change?)"
+        )
+        return lines, regressions
+    for key in shared_keys:
+        base, cur = base_rows[key], cur_rows[key]
+        section, test, n, universe = key
+        label = f"{test} n={n}" + (f" [{universe}]" if universe else "")
+        for field in sorted(base):
+            if not field.endswith("_s") or field not in cur:
+                continue
+            base_t, cur_t = base[field], cur[field]
+            if not isinstance(base_t, (int, float)) or base_t < min_seconds:
+                continue
+            ratio = cur_t / base_t if base_t else float("inf")
+            verdict = "ok"
+            if ratio > max_slowdown:
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{label} {field}: {cur_t:.3f}s vs baseline "
+                    f"{base_t:.3f}s ({ratio:.2f}x > {max_slowdown}x)"
+                )
+            lines.append(f"{label:>40} {field:>14} "
+                         f"{base_t:>8.3f}s -> {cur_t:>8.3f}s "
+                         f"({ratio:>5.2f}x) {verdict}")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in benchmark summary JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced benchmark summary JSON")
+    parser.add_argument("--max-slowdown", type=float, default=3.0,
+                        help="fail when current/baseline exceeds this "
+                             "ratio (default: 3)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore baseline timings below this (noise "
+                             "floor, default: 0.05s)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+
+    lines, regressions = compare(baseline, current,
+                                 args.max_slowdown, args.min_seconds)
+    for line in lines:
+        print(line)
+    base_cpus, cur_cpus = baseline.get("cpus"), current.get("cpus")
+    if base_cpus != cur_cpus:
+        print(f"note: baseline host had {base_cpus} cpus, "
+              f"this host has {cur_cpus}")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark regression(s):",
+              file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark check passed ({len(lines)} timings compared, "
+          f"max slowdown allowed {args.max_slowdown}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
