@@ -19,7 +19,12 @@ single-cell SAF/TF universe (one lane per fault, zero scalar fallback)
 -- against the compiled single-process engine; that ratio is the
 headline ``single_cell_batched_speedup`` in the JSON summary.
 
-A third section times *process sharding* on the batched engine's worst
+A third section times the *port-parallel* π-schemes (dual-/quad-port,
+``repro.prt.dual_port``): the interpreted per-cycle engine vs the
+compiled cycle-grouped replay (``multiport_rows``; detection happens at
+the final signature, so the ratio isolates the grouped executor win).
+
+A fourth section times *process sharding* on the batched engine's worst
 case: a scalar-fallback-heavy universe (NPSF + bridging + decoder
 faults, nothing lane-vectorizable), where ``workers=N`` shards the
 scalar remainder over the persistent pool of ``repro.sim.pool`` while
@@ -53,7 +58,13 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.analysis import march_runner, run_coverage, schedule_runner  # noqa: E402
+from repro.analysis import (  # noqa: E402
+    dual_port_runner,
+    march_runner,
+    quad_port_runner,
+    run_coverage,
+    schedule_runner,
+)
 from repro.faults import (  # noqa: E402
     bridging_universe,
     decoder_universe,
@@ -62,7 +73,11 @@ from repro.faults import (  # noqa: E402
     standard_universe,
 )
 from repro.march.library import MARCH_C_MINUS  # noqa: E402
-from repro.prt import standard_schedule  # noqa: E402
+from repro.prt import (  # noqa: E402
+    DualPortPiIteration,
+    QuadPortPiIteration,
+    standard_schedule,
+)
 from repro.sim import shutdown_shared_pools  # noqa: E402
 
 SIZES = (64, 256, 1024)
@@ -71,6 +86,12 @@ SHARDED_SAMPLE = 500  # scalar-fallback faults per sharded row
 TESTS = (
     ("March C-", lambda n: march_runner(MARCH_C_MINUS)),
     ("PRT-3", lambda n: schedule_runner(standard_schedule(n=n))),
+)
+MULTIPORT_SCHEMES = (
+    ("PRT dual-port",
+     lambda: dual_port_runner(DualPortPiIteration(seed=(0, 1)))),
+    ("PRT quad-port",
+     lambda: quad_port_runner(QuadPortPiIteration(seed=(0, 1)))),
 )
 
 
@@ -149,6 +170,46 @@ def bench_single_cell(n: int) -> list[dict]:
         })
         print(f"{name:>9} n={n:<5} single-cell faults={len(universe):<5} "
               f"compiled {t_cmp:>7.3f}s  batched {t_bat:>7.3f}s  "
+              f"x{speedup}")
+    return rows
+
+
+def bench_multiport(n: int) -> list[dict]:
+    """The port-parallel π-schemes: interpreted cycle() loop vs compiled
+    cycle-grouped replay (``MultiPortRAM.apply_stream``).
+
+    Detection happens at the final signature window, so early abort buys
+    nothing here -- the whole ratio is the grouped executor vs the
+    per-cycle interpreted engine.  The acceptance bar is >= 3x at
+    n=1024.
+    """
+    universe = standard_universe(n)
+    sample = SAMPLE.get(n)
+    if sample is not None and len(universe) > sample:
+        universe = universe.sample(sample)
+    rows = []
+    for name, build in MULTIPORT_SCHEMES:
+        t_int, r_int = _time_coverage(build(), universe, n,
+                                      engine="interpreted")
+        t_cmp, r_cmp = _time_coverage(build(), universe, n)
+        if _report_key(r_int) != _report_key(r_cmp):
+            raise AssertionError(
+                f"{name} n={n}: compiled multi-port campaign diverged "
+                f"from interpreted"
+            )
+        speedup = round(t_int / t_cmp, 2) if t_cmp else float("inf")
+        rows.append({
+            "test": name,
+            "n": n,
+            "universe": "standard, port-parallel",
+            "faults": len(universe),
+            "coverage": round(r_int.overall, 4),
+            "interpreted_s": round(t_int, 3),
+            "compiled_s": round(t_cmp, 3),
+            "speedup_multiport": speedup,
+        })
+        print(f"{name:>14} n={n:<5} faults={len(universe):<5} "
+              f"interpreted {t_int:>7.3f}s  compiled {t_cmp:>7.3f}s  "
               f"x{speedup}")
     return rows
 
@@ -232,10 +293,12 @@ def main(argv: list[str] | None = None) -> int:
         sizes = [64]
         single_cell_sizes = [256]
         sharded_sizes = [64]
+        multiport_sizes = [64]
     else:
         sizes = list(args.sizes)
         single_cell_sizes = sorted({256, args.single_cell_n})
         sharded_sizes = [64, 1024]
+        multiport_sizes = [64, 1024]
 
     rows = []
     for n in sizes:
@@ -254,6 +317,9 @@ def main(argv: list[str] | None = None) -> int:
     single_cell_rows = []
     for n in single_cell_sizes:
         single_cell_rows.extend(bench_single_cell(n))
+    multiport_rows = []
+    for n in multiport_sizes:
+        multiport_rows.extend(bench_multiport(n))
     sharded_rows = []
     if args.workers > 0:
         for n in sharded_sizes:
@@ -271,6 +337,10 @@ def main(argv: list[str] | None = None) -> int:
         "single_cell_rows": single_cell_rows,
         "single_cell_batched_speedup": min(
             r["speedup_batched_vs_compiled"] for r in single_cell_rows
+        ),
+        "multiport_rows": multiport_rows,
+        "min_multiport_speedup": min(
+            r["speedup_multiport"] for r in multiport_rows
         ),
         "sharded_rows": sharded_rows,
     }

@@ -20,6 +20,8 @@ from repro.analysis.coverage import (
     march_runner,
     schedule_runner,
     iteration_runner,
+    dual_port_runner,
+    quad_port_runner,
 )
 from repro.analysis.markov import (
     DetectionMarkovChain,
@@ -42,6 +44,8 @@ __all__ = [
     "march_runner",
     "schedule_runner",
     "iteration_runner",
+    "dual_port_runner",
+    "quad_port_runner",
     "DetectionMarkovChain",
     "monte_carlo_detection",
     "fit_detection_chain",

@@ -26,13 +26,16 @@ from repro.faults.base import Fault
 from repro.faults.injector import FaultInjector
 from repro.march.engine import run_march_interpreted
 from repro.march.model import MarchTest
+from repro.memory.multiport import MultiPortRAM, PortConflictError
 from repro.memory.ram import SinglePortRAM
 from repro.sim.batched import run_campaign_batched
 from repro.sim.campaign import run_campaign
 from repro.sim.pool import WorkerPool
 from repro.sim.compilers import (
+    cached_dual_port_stream,
     cached_march_stream,
     cached_pi_iteration_stream,
+    cached_quad_port_stream,
     cached_schedule_stream,
 )
 
@@ -43,6 +46,8 @@ __all__ = [
     "march_runner",
     "schedule_runner",
     "iteration_runner",
+    "dual_port_runner",
+    "quad_port_runner",
 ]
 
 Runner = Callable[[SinglePortRAM], bool]
@@ -123,9 +128,15 @@ class CompilableRunner:
     32
     """
 
-    def __init__(self, run: Runner, compiler: Callable[[int, int], object]):
+    def __init__(self, run: Runner, compiler: Callable[[int, int], object],
+                 ports: int = 1):
         self._run = run
         self._compiler = compiler
+        #: Ports the wrapped test needs per memory cycle (1 =
+        #: single-port).  ``run_coverage`` uses it to build the right
+        #: default front-end for the interpreted per-fault loop; the
+        #: compiled engines read the same number off the stream itself.
+        self.ports = ports
 
     def __call__(self, ram) -> bool:
         return self._run(ram)
@@ -146,7 +157,10 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
     multi-port factory to evaluate the port schemes).  The factory's
     geometry must match ``(n, m)`` -- the universe is generated for it --
-    and every engine rejects a mismatch with ``ValueError``.
+    and every engine rejects a mismatch with ``ValueError``.  Runners
+    carrying a ``ports`` attribute > 1 (the :func:`dual_port_runner` /
+    :func:`quad_port_runner` adapters) get a perfect
+    ``MultiPortRAM(n, m, ports)`` by default instead, on every engine.
 
     When the runner is compilable (the :func:`march_runner` /
     :func:`schedule_runner` / :func:`iteration_runner` adapters are), the
@@ -194,8 +208,14 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report
+    ports = getattr(runner, "ports", 1)
     for fault in universe:
-        ram = ram_factory() if ram_factory is not None else SinglePortRAM(n, m=m)
+        if ram_factory is not None:
+            ram = ram_factory()
+        elif ports > 1:
+            ram = MultiPortRAM(n, m=m, ports=ports)
+        else:
+            ram = SinglePortRAM(n, m=m)
         if ram.n != n or ram.m != m:
             # Same guard the campaign engine applies: a universe generated
             # for (n, m) injected into a different geometry gives garbage
@@ -235,6 +255,50 @@ def schedule_runner(schedule) -> CompilableRunner:
     return CompilableRunner(
         runner, lambda n, m: cached_schedule_stream(schedule, n, m)
     )
+
+
+def _port_scheme_runner(iteration, cached_stream, ports) -> CompilableRunner:
+    """Shared adapter for the multi-port π-schemes.
+
+    One rule lives here for both schemes: a
+    :class:`~repro.memory.multiport.PortConflictError` raised mid-run --
+    an injected decoder fault aliasing two addresses onto one cell under
+    a simultaneous double-write -- counts as a *detection*, which is
+    exactly how the compiled campaign engine treats a replay-time
+    conflict.
+    """
+
+    def runner(ram) -> bool:
+        try:
+            return not iteration.run(ram).passed
+        except PortConflictError:
+            return True
+
+    return CompilableRunner(
+        runner, lambda n, m: cached_stream(iteration, n, m), ports=ports,
+    )
+
+
+def dual_port_runner(iteration) -> CompilableRunner:
+    """Runner adapter for a :class:`~repro.prt.dual_port
+    .DualPortPiIteration` (the paper's Figure 2 scheme).
+
+    Needs a >= 2-port memory: ``run_coverage`` builds a perfect
+    ``MultiPortRAM(n, m, ports=2)`` by default, or pass e.g.
+    ``ram_factory=functools.partial(DualPortRAM, n)``.  Compilable, so
+    the campaign engines replay the scheme through the cycle-grouped
+    fast path in the paper's 2n cycles; injected-conflict handling as in
+    :func:`_port_scheme_runner`.
+    """
+    return _port_scheme_runner(iteration, cached_dual_port_stream, 2)
+
+
+def quad_port_runner(iteration) -> CompilableRunner:
+    """Runner adapter for a :class:`~repro.prt.dual_port
+    .QuadPortPiIteration` (the "QuadPort DSE family": two concurrent
+    automata, n-cycle pass).  Same contract as
+    :func:`dual_port_runner`, with a 4-port default front-end."""
+    return _port_scheme_runner(iteration, cached_quad_port_stream, 4)
 
 
 def iteration_runner(iteration) -> Runner:

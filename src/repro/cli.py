@@ -17,6 +17,8 @@ Examples
     python -m repro selftest --n 28 --inject SAF:5:1
     python -m repro march --notation "{c(w0); u(r0,w1); d(r1,w0)}" --n 64
     python -m repro coverage --n 28 --test prt3
+    python -m repro coverage --n 64 --scheme dual-port
+    python -m repro coverage --n 64 --scheme quad-port --workers 2
     python -m repro compare --n 28
     python -m repro overhead --ports 2
 """
@@ -28,8 +30,10 @@ import sys
 
 from repro.analysis import (
     compare_tests,
+    dual_port_runner,
     march_operations,
     march_runner,
+    quad_port_runner,
     run_coverage,
     schedule_runner,
 )
@@ -46,7 +50,13 @@ from repro.gf2m import GF2m
 from repro.march import parse_march, run_march
 from repro.march.library import MARCH_B, MARCH_C_MINUS, MATS_PLUS
 from repro.memory import SinglePortRAM
-from repro.prt import BistOverheadModel, extended_schedule, standard_schedule
+from repro.prt import (
+    BistOverheadModel,
+    DualPortPiIteration,
+    QuadPortPiIteration,
+    extended_schedule,
+    standard_schedule,
+)
 
 __all__ = ["main"]
 
@@ -132,9 +142,36 @@ def _cmd_march(args) -> int:
     return 0 if result.passed == (args.inject is None) else 1
 
 
+def _port_scheme_runner(args):
+    """Runner + display name for a ``--scheme dual-port|quad-port`` run.
+
+    Both schemes are k = 2 π-iterations; the generator mirrors the
+    paper's recommendations (``1 + x + x^2`` on GF(2), ``1 + 2x + 2x^2``
+    on extension fields).  The campaign replays them port-parallel: 2n
+    cycles per dual-port pass, n per quad-port pass.
+    """
+    field = _build_field(args.m, args.poly)
+    generator = (1, 1, 1) if field is None or field.m == 1 else (1, 2, 2)
+    if args.scheme == "dual-port":
+        iteration = DualPortPiIteration(field=field, generator=generator,
+                                        seed=(0, 1))
+        return dual_port_runner(iteration), "dual-port π"
+    if args.n % 2 != 0 or args.n < 6:
+        raise SystemExit(
+            "error: --scheme quad-port needs an even --n >= 6 "
+            f"(two concurrent half-array automata), got {args.n}"
+        )
+    iteration = QuadPortPiIteration(field=field, generator=generator,
+                                    seed=(0, 1))
+    return quad_port_runner(iteration), "quad-port π"
+
+
 def _cmd_coverage(args) -> int:
     universe = standard_universe(args.n, args.m)
-    if args.test == "prt3":
+    scheme_name = None
+    if args.scheme != "single":
+        runner, scheme_name = _port_scheme_runner(args)
+    elif args.test == "prt3":
         schedule = standard_schedule(field=_build_field(args.m, args.poly),
                                      n=args.n, verify=not args.pure)
         runner = schedule_runner(schedule)
@@ -153,9 +190,14 @@ def _cmd_coverage(args) -> int:
         )
     engine = "interpreted" if args.interpreted else args.engine
     report = run_coverage(runner, universe, args.n, m=args.m,
-                          test_name=args.test, workers=args.workers,
-                          engine=engine)
-    print(f"test    : {args.test}")
+                          test_name=scheme_name or args.test,
+                          workers=args.workers, engine=engine)
+    print(f"test    : {scheme_name or args.test}")
+    if scheme_name is not None:
+        ports = runner.ports
+        cycles = 2 * args.n + 2 if ports == 2 else args.n + 2
+        print(f"scheme  : {args.scheme} ({ports} ports, "
+              f"{cycles} cycles per pass)")
     print(f"universe: {universe!r}")
     print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
     for fault_class, detected, total, ratio in report.rows():
@@ -252,6 +294,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test",
                    choices=("prt3", "prt5", "mats+", "march-c", "march-b"),
                    default="prt3")
+    p.add_argument("--scheme",
+                   choices=("single", "dual-port", "quad-port"),
+                   default="single",
+                   help="port scheme: single (default; runs --test on a "
+                        "single-port RAM), dual-port (Figure 2 π-iteration "
+                        "on a 2-port RAM, 2n cycles) or quad-port (the "
+                        "multi-LFSR DSE scheme on a 4-port RAM, n cycles); "
+                        "the port schemes replace --test and replay "
+                        "through the compiled cycle-grouped engine")
     p.add_argument("--pure", action="store_true")
     p.add_argument("--workers", type=int, default=0,
                    help="shard the campaign over N worker processes "

@@ -10,7 +10,7 @@ which ordinary single-read March elements can miss.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["StuckOpenFault"]
@@ -65,3 +65,15 @@ class StuckOpenFault(Fault):
         if cell != self._cell:
             return new
         return old  # write never reaches the cell
+
+    def vector_semantics(self) -> VectorSemantics | None:
+        """Lane description for the bit-packed engine: kind
+        ``"stuck-open"``, with ``value`` carrying the latch's power-up
+        bit.  The latch state itself lives in the lane model
+        (:class:`repro.sim.batched._StuckOpenLanes`, one sense bit per
+        lane), so the fault stays exact lane-parallel.  Word-oriented
+        power-up values cannot ride a 1-bit lane and fall back."""
+        if self._initial_sense not in (0, 1):
+            return None
+        return VectorSemantics("stuck-open", cell=self._cell,
+                               value=self._initial_sense)

@@ -24,7 +24,6 @@ from repro.memory.behavior import CellBehavior, TransparentBehavior
 from repro.memory.decoder import AddressDecoder
 from repro.memory.ram import RamStats
 from repro.memory.array import MemoryArray
-from repro.memory.stream_exec import apply_stream_generic
 from repro.memory.trace import Operation, OperationTrace
 
 __all__ = ["PortOp", "PortConflictError", "MultiPortRAM", "DualPortRAM", "QuadPortRAM"]
@@ -169,25 +168,31 @@ class MultiPortRAM:
         return results
 
     def _validate_cycle(self, ops: list[PortOp]) -> None:
+        time = self.stats.cycles
         if len(ops) > self._ports:
             raise PortConflictError(
-                f"{len(ops)} operations issued on a {self._ports}-port RAM"
+                f"cycle {time}: {len(ops)} operations issued on a "
+                f"{self._ports}-port RAM"
             )
         seen_ports: set[int] = set()
         write_cells: set[int] = set()
         for op in ops:
             if not 0 <= op.port < self._ports:
                 raise PortConflictError(
-                    f"port {op.port} out of range [0, {self._ports})"
+                    f"cycle {time}: port {op.port} out of range "
+                    f"[0, {self._ports})"
                 )
             if op.port in seen_ports:
-                raise PortConflictError(f"port {op.port} used twice in one cycle")
+                raise PortConflictError(
+                    f"cycle {time}: port {op.port} used twice in one cycle"
+                )
             seen_ports.add(op.port)
             if op.kind == "w":
                 for cell in self._decoder.map(op.addr):
                     if cell in write_cells:
                         raise PortConflictError(
-                            f"two simultaneous writes touch cell {cell}"
+                            f"cycle {time}: two simultaneous writes touch "
+                            f"cell {cell}"
                         )
                     write_cells.add(cell)
 
@@ -221,23 +226,366 @@ class MultiPortRAM:
                      end: int | None = None, stop_on_mismatch: bool = False,
                      mismatches: list | None = None,
                      captured: list | None = None) -> int:
-        """Bulk-execute compiled operation records, one op per cycle.
+        """Bulk-execute compiled operation records, grouped or flat.
 
         Same contract as :meth:`repro.memory.ram.SinglePortRAM
-        .apply_stream`; each record occupies a full cycle on its ``port``
-        (the sequential discipline the single-port test engines use on a
-        multi-port memory).  Delegates to :func:`repro.memory.stream_exec
-        .apply_stream_generic`, the shared portable executor.
+        .apply_stream`, extended with the cycle-group records of
+        :mod:`repro.sim.ir`: a ``"grp"`` marker followed by its member
+        records executes as *one* memory cycle -- reads sense the
+        pre-cycle state, writes commit afterwards, ``stats.cycles``
+        advances once -- exactly as if the equivalent :meth:`cycle` call
+        had been issued.  Flat records keep the sequential discipline
+        (one full cycle per record on the record's ``port``), which is
+        what the single-port test engines use on a multi-port memory.
+
+        Two writes of one group landing on the same physical cell raise
+        :class:`PortConflictError` naming the offending cycle index --
+        compile-time validation rejects same-*address* conflicts, so a
+        replay-time conflict means a faulty decoder aliased two
+        addresses (and the campaign engines count it as a detection).
+
+        ``"ra"``/``"wa"`` records select their accumulator with the
+        record's sixth slot (see :mod:`repro.sim.ir`); flat single-port
+        streams always use accumulator 0.
 
         >>> ram = DualPortRAM(4)
         >>> ram.apply_stream([("w", 1, 2, 1, None, 0), ("r", 1, 2, None, 1, 0)])
         2
+        >>> ram.stats.cycles
+        2
+        >>> grouped = DualPortRAM(4)
+        >>> grouped.apply_stream([("grp", 0, 0, 2, None, 0),
+        ...                       ("w", 0, 2, 1, None, 0),
+        ...                       ("w", 1, 3, 1, None, 0)])
+        2
+        >>> grouped.stats.cycles
+        1
         """
-        return apply_stream_generic(
-            self, ops, tables=tables, start=start, end=end,
-            stop_on_mismatch=stop_on_mismatch, mismatches=mismatches,
-            captured=captured,
-        )
+        if end is None:
+            end = len(ops)
+        # The loop below inlines cycle()/_read_internal/_write_internal
+        # with the per-op attribute traffic hoisted into locals -- the
+        # multi-port analogue of SinglePortRAM.apply_stream's hot loop.
+        # Any semantic change here must be mirrored in cycle() and in
+        # the portable grouped executor (repro.memory.stream_exec); the
+        # tests/sim equivalence suite compares all paths op for op.
+        stats = self.stats
+        trace = self._trace
+        behavior = self._behavior
+        array = self._array
+        sense = self._sense
+        decoder_map = self._decoder.map
+        # With no decoder overrides installed the mapping is the
+        # identity and two distinct addresses can never collide, so the
+        # per-cycle conflict re-check is elided: OpStream validation
+        # already rejected same-address write pairs at compile time, and
+        # the array's own cell check still rejects out-of-range
+        # addresses a hand-built record smuggles in.
+        overrides = self._decoder._overrides
+        ports = self._ports
+        wired_and = self._wired == "and"
+        read_cell = behavior.read_cell
+        write_cell = behavior.write_cell
+        settle = behavior.settle
+        check_value = array._check_value
+        accs: dict[int, int] = {}
+        reads = writes = executed = 0
+        cycles = stats.cycles
+        try:
+            index = start
+            while index < end:
+                record = ops[index]
+                kind = record[0]
+                if kind == "grp":
+                    count = record[3]
+                    stop = index + 1 + count
+                    if stop > end:
+                        raise ValueError(
+                            f"op {index}: group announces {count} members "
+                            f"but the stream slice ends at {end}"
+                        )
+                    if count == 1:
+                        # A one-member group is exactly one op in one
+                        # cycle -- the flat path below handles it.
+                        index += 1
+                        continue
+                    if count > ports:
+                        raise PortConflictError(
+                            f"cycle {cycles}: {count} operations issued "
+                            f"on a {ports}-port RAM"
+                        )
+                    if overrides:
+                        # Faulty decoding can alias two addresses onto
+                        # one cell: run the full physical conflict check
+                        # (raises PortConflictError naming this cycle).
+                        self._validate_group(ops[index + 1:stop], cycles)
+                    # Distinct-port discipline is enforced inline below
+                    # with a bitmask (phases A and B together visit each
+                    # member exactly once), so hand-built record lists
+                    # fail as loudly as they do through cycle().
+                    seen_ports = 0
+                    # Phase A: write values resolve against the
+                    # accumulators as of the cycle start ("wa" consumes
+                    # its accumulator before this cycle's "ra" reads
+                    # contribute).
+                    pending_writes = None
+                    trace_vals = {} if trace is not None else None
+                    for member in range(index + 1, stop):
+                        rec = ops[member]
+                        rkind = rec[0]
+                        if rkind == "w":
+                            stored = rec[3]
+                        elif rkind == "wa":
+                            acc_id = rec[5]
+                            stored = accs.get(acc_id, 0) ^ rec[3]
+                            accs[acc_id] = 0
+                        else:
+                            continue
+                        port = rec[1]
+                        if not 0 <= port < ports:
+                            raise PortConflictError(
+                                f"cycle {cycles}: port {port} out of "
+                                f"range [0, {ports})"
+                            )
+                        bit = 1 << port
+                        if seen_ports & bit:
+                            raise PortConflictError(
+                                f"cycle {cycles}: port {port} used twice "
+                                f"in one cycle"
+                            )
+                        seen_ports |= bit
+                        if pending_writes is None:
+                            pending_writes = [(rec[2], stored)]
+                        else:
+                            # Same-address double writes are rejected at
+                            # stream construction, but hand-built record
+                            # lists bypass that -- keep the undefined-
+                            # silicon contract loud.  (With overrides
+                            # installed _validate_group already did the
+                            # stronger physical-cell check.)
+                            if not overrides:
+                                for addr, _stored in pending_writes:
+                                    if addr == rec[2]:
+                                        raise PortConflictError(
+                                            f"cycle {cycles}: two "
+                                            f"simultaneous writes touch "
+                                            f"cell {addr}"
+                                        )
+                            pending_writes.append((rec[2], stored))
+                        if trace_vals is not None:
+                            trace_vals[member] = stored
+                    # Phase B: all reads sense the pre-cycle state;
+                    # recurrence reads accumulate, checked reads compare.
+                    # A memory cycle is atomic, so a detected mismatch
+                    # does not abandon it: the remaining reads still
+                    # sense and the writes still commit (exactly what
+                    # the cycle()-based generic executor does) -- only
+                    # *after* the cycle does the early abort fire.
+                    aborted = False
+                    for member in range(index + 1, stop):
+                        rec = ops[member]
+                        rkind = rec[0]
+                        if rkind == "w" or rkind == "wa":
+                            continue
+                        if rkind != "r" and rkind != "s" and rkind != "ra":
+                            raise ValueError(
+                                f"cycle {cycles}: {rkind!r} records cannot "
+                                f"appear inside a cycle group"
+                            )
+                        port = rec[1]
+                        if not 0 <= port < ports:
+                            raise PortConflictError(
+                                f"cycle {cycles}: port {port} out of "
+                                f"range [0, {ports})"
+                            )
+                        bit = 1 << port
+                        if seen_ports & bit:
+                            raise PortConflictError(
+                                f"cycle {cycles}: port {port} used twice "
+                                f"in one cycle"
+                            )
+                        seen_ports |= bit
+                        addr = rec[2]
+                        if not overrides:
+                            actual = read_cell(array, addr, cycles)
+                            sense[port] = actual
+                        else:
+                            cells = decoder_map(addr)
+                            if not cells:
+                                actual = sense[port]
+                            else:
+                                actual = read_cell(array, cells[0], cycles)
+                                for cell in cells[1:]:
+                                    other = read_cell(array, cell, cycles)
+                                    actual = (actual & other) if wired_and \
+                                        else (actual | other)
+                                sense[port] = actual
+                        reads += 1
+                        if trace_vals is not None:
+                            trace_vals[member] = actual
+                        if aborted:
+                            continue  # detection decided; senses only
+                        if rkind == "ra":
+                            actual ^= rec[4]  # decode the data inversion
+                            if actual:
+                                table = rec[3]
+                                acc_id = rec[5]
+                                accs[acc_id] = accs.get(acc_id, 0) ^ (
+                                    actual if table is None
+                                    else tables[table][actual]
+                                )
+                            continue
+                        if rkind == "s" and captured is not None:
+                            captured.append(actual)
+                        if actual != rec[4]:
+                            if mismatches is not None:
+                                mismatches.append((member, actual))
+                            if stop_on_mismatch:
+                                aborted = True
+                    # Phase C: writes commit.
+                    if pending_writes is not None:
+                        for addr, stored in pending_writes:
+                            check_value(stored)
+                            if not overrides:
+                                write_cell(array, addr, stored, cycles)
+                            else:
+                                for cell in decoder_map(addr):
+                                    write_cell(array, cell, stored, cycles)
+                            writes += 1
+                    if trace_vals is not None:
+                        for member in range(index + 1, stop):
+                            rec = ops[member]
+                            op_kind = "w" if rec[0] in ("w", "wa") else "r"
+                            trace.record(Operation(
+                                cycles, rec[1], op_kind, rec[2],
+                                trace_vals.get(member),
+                            ))
+                    cycles += 1
+                    settle(array, cycles)
+                    executed += count
+                    if aborted:
+                        return executed
+                    index = stop
+                    continue
+                # Flat record: one full cycle, same semantics as the
+                # read()/write()/idle() convenience calls.
+                port, addr, value, expected, idle = record[1:6]
+                if kind == "i":
+                    cycles += idle
+                    settle(array, cycles)
+                    index += 1
+                    continue
+                if not 0 <= port < ports:
+                    raise PortConflictError(
+                        f"cycle {cycles}: port {port} out of range "
+                        f"[0, {ports})"
+                    )
+                if kind == "w" or kind == "wa":
+                    if kind == "wa":
+                        value = accs.get(idle, 0) ^ value
+                        accs[idle] = 0
+                    check_value(value)
+                    if not overrides:
+                        write_cell(array, addr, value, cycles)
+                    else:
+                        for cell in decoder_map(addr):
+                            write_cell(array, cell, value, cycles)
+                    writes += 1
+                    cycles += 1
+                    if trace is not None:
+                        trace.record(Operation(cycles - 1, port, "w", addr,
+                                               value))
+                    settle(array, cycles)
+                    executed += 1
+                elif kind == "r" or kind == "s" or kind == "ra":
+                    if not overrides:
+                        actual = read_cell(array, addr, cycles)
+                        sense[port] = actual
+                    else:
+                        cells = decoder_map(addr)
+                        if not cells:
+                            actual = sense[port]
+                        else:
+                            actual = read_cell(array, cells[0], cycles)
+                            for cell in cells[1:]:
+                                other = read_cell(array, cell, cycles)
+                                actual = (actual & other) if wired_and \
+                                    else (actual | other)
+                            sense[port] = actual
+                    reads += 1
+                    cycles += 1
+                    if trace is not None:
+                        trace.record(Operation(cycles - 1, port, "r", addr,
+                                               actual))
+                    settle(array, cycles)
+                    executed += 1
+                    if kind == "ra":
+                        actual ^= expected  # decode the data inversion
+                        if actual:
+                            accs[idle] = accs.get(idle, 0) ^ (
+                                actual if value is None
+                                else tables[value][actual]
+                            )
+                    else:
+                        if kind == "s" and captured is not None:
+                            captured.append(actual)
+                        if actual != expected:
+                            if mismatches is not None:
+                                mismatches.append((index, actual))
+                            if stop_on_mismatch:
+                                return executed
+                else:
+                    raise ValueError(f"unknown op kind {kind!r}")
+                index += 1
+        finally:
+            stats.reads += reads
+            stats.writes += writes
+            stats.cycles = cycles
+        return executed
+
+    def _validate_group(self, group, time: int) -> None:
+        """Replay-time conflict checks for one cycle group's records.
+
+        Mirrors :meth:`_validate_cycle` over raw IR records; the message
+        names the offending memory cycle so campaign logs can point at
+        the exact step.  Structural rules (member kinds, count vs ports)
+        are enforced at stream construction by
+        :class:`repro.sim.ir.OpStream`; this re-checks the parts a
+        faulty decoder can change plus the cheap port rules, so
+        hand-built record lists fail loudly too.
+        """
+        if len(group) > self._ports:
+            raise PortConflictError(
+                f"cycle {time}: {len(group)} operations issued on a "
+                f"{self._ports}-port RAM"
+            )
+        seen_ports: set[int] = set()
+        write_cells: set[int] = set()
+        for rec in group:
+            kind, port = rec[0], rec[1]
+            if kind not in ("w", "r", "s", "ra", "wa"):
+                raise ValueError(
+                    f"cycle {time}: {kind!r} records cannot appear inside "
+                    f"a cycle group"
+                )
+            if not 0 <= port < self._ports:
+                raise PortConflictError(
+                    f"cycle {time}: port {port} out of range "
+                    f"[0, {self._ports})"
+                )
+            if port in seen_ports:
+                raise PortConflictError(
+                    f"cycle {time}: port {port} used twice in one cycle"
+                )
+            seen_ports.add(port)
+            if kind in ("w", "wa"):
+                for cell in self._decoder.map(rec[2]):
+                    if cell in write_cells:
+                        raise PortConflictError(
+                            f"cycle {time}: two simultaneous writes touch "
+                            f"cell {cell}"
+                        )
+                    write_cells.add(cell)
 
     # -- sequential convenience (each call = one full cycle) ---------------------
 

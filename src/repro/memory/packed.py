@@ -41,9 +41,22 @@ class LaneFaultModel:
     hook receives and returns plain-int lane masks.
     """
 
+    #: Set True by models that override :meth:`transform_read` (e.g. the
+    #: stuck-open sense-latch model).  The executor checks the flag once
+    #: per pass so the common read-transparent models pay nothing on the
+    #: read hot path.
+    transforms_reads = False
+
     def install(self, memory: "PackedMemoryArray") -> None:
         """Force the initial state (e.g. stuck-at-1 lanes start at 1).
         Called once, before the first operation.  Default: nothing."""
+
+    def transform_read(self, addr: int, sensed: int) -> int:
+        """Lane mask actually *observed* when reading ``addr`` whose
+        stored mask is ``sensed`` (read-side state such as a sense latch
+        lives in the model).  Only consulted when
+        :attr:`transforms_reads` is True.  Default: faithful."""
+        return sensed
 
     def transform_write(self, addr: int, old: int, new: int) -> int:
         """Lane mask actually stored when writing ``new`` over ``old`` at
@@ -190,6 +203,11 @@ class PackedMemoryArray:
             model = _NO_FAULTS
         transform_write = model.transform_write
         after_write = model.after_write
+        # Hoisted flag: read-transparent models (the common case) skip
+        # the read hook entirely, keeping the checked-read fast path to
+        # one XOR per record.
+        transform_read = model.transform_read if model.transforms_reads \
+            else None
         for kind, _port, addr, value, expected, _idle in ops:
             if kind == "w" or kind == "wa":
                 if kind == "w":
@@ -204,7 +222,9 @@ class PackedMemoryArray:
                 executed += 1
             elif kind == "r" or kind == "s":
                 executed += 1
-                diff = words[addr] ^ (ones if expected else 0)
+                observed = words[addr] if transform_read is None \
+                    else transform_read(addr, words[addr])
+                diff = observed ^ (ones if expected else 0)
                 if diff:
                     detected |= diff
                     if detected == ones and stop_when_all_detected:
@@ -215,11 +235,19 @@ class PackedMemoryArray:
                 # recurrence term into its accumulator bit.  In GF(2) the
                 # only non-zero multiplier is 1, so the table either
                 # passes the difference through or annihilates it.
-                diff = words[addr] ^ (ones if expected else 0)
+                observed = words[addr] if transform_read is None \
+                    else transform_read(addr, words[addr])
+                diff = observed ^ (ones if expected else 0)
                 if diff and (value is None or tables[value][1]):
                     acc ^= diff
             elif kind == "i":
                 pass
+            elif kind == "grp":
+                raise ValueError(
+                    "cycle-grouped streams are outside the packed "
+                    "backend's contract (the batched engine delegates "
+                    "multi-port campaigns to the scalar path)"
+                )
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
         return detected, executed

@@ -297,6 +297,12 @@ class SinglePortRAM:
                                 mismatches.append((index, actual))
                             if stop_on_mismatch:
                                 return executed
+                elif kind == "grp":
+                    raise ValueError(
+                        "cycle-grouped streams need a multi-port front-end "
+                        "(see MultiPortRAM.apply_stream); a single-port RAM "
+                        "cannot issue several operations in one cycle"
+                    )
                 else:
                     raise ValueError(f"unknown op kind {kind!r}")
         finally:

@@ -2,12 +2,22 @@
 
 One generic loop over the ``(kind, port, addr, value, expected, idle)``
 records, driving any RAM front-end through its public
-``read``/``write``/``idle`` API.  :class:`~repro.memory.multiport
-.MultiPortRAM` delegates its ``apply_stream`` here, and any duck-typed
-front-end can do the same; :class:`~repro.memory.ram.SinglePortRAM`
-carries its own inlined copy of these semantics purely for speed (the
-campaign hot loop) -- the two are kept in lock-step by the equivalence
-suite in ``tests/sim``.
+``read``/``write``/``idle`` API -- plus the cycle-group records of
+multi-port streams, executed through the front-end's ``cycle`` entry
+point when it has one.  :class:`~repro.memory.multiport.MultiPortRAM`
+carries its own inlined grouped executor purely for speed (the
+multi-port campaign hot loop), and
+:class:`~repro.memory.ram.SinglePortRAM` the flat-stream equivalent;
+all three are kept in lock-step by the equivalence suite in
+``tests/sim``.
+
+Grouped records on a front-end *without* a ``cycle`` method degrade to
+read-before-write sequential execution: all of the group's reads issue
+first, then its writes, so data semantics (old-value reads, accumulator
+contents, detections) are preserved exactly -- only ``stats.cycles``
+inflates to one cycle per operation, because the public per-op API
+cannot express simultaneity.  Cycle-accurate accounting needs a
+``cycle`` method (the multi-port front-ends have one).
 """
 
 from __future__ import annotations
@@ -24,6 +34,58 @@ def _accepts_port(method) -> bool:
         return False
 
 
+def _run_group(ram, cycle, group, ported, accs):
+    """Execute one cycle group; returns ``[(offset, rec, actual), ...]``
+    for the group's read records.
+
+    ``cycle`` is the front-end's cycle method or None.  Writes commit
+    after all reads either way; ``"wa"`` stored values are computed from
+    the accumulators as of the cycle start (and the consumed
+    accumulators reset), matching the native multi-port executor.
+    """
+    if cycle is not None:
+        from repro.memory.multiport import PortOp  # circular-safe: lazy
+
+        port_ops = []
+        for rec in group:
+            kind = rec[0]
+            if kind in ("r", "s", "ra"):
+                port_ops.append(PortOp(rec[1], "r", rec[2]))
+            elif kind == "w":
+                port_ops.append(PortOp(rec[1], "w", rec[2], rec[3]))
+            else:  # "wa"
+                acc_id = rec[5]
+                stored = accs.get(acc_id, 0) ^ rec[3]
+                accs[acc_id] = 0
+                port_ops.append(PortOp(rec[1], "w", rec[2], stored))
+        results = cycle(port_ops)
+        return [(offset, rec, results[rec[1]])
+                for offset, rec in enumerate(group)
+                if rec[0] in ("r", "s", "ra")]
+    # Portable fallback: reads first (pre-"cycle" state), then writes.
+    reads = []
+    for offset, rec in enumerate(group):
+        if rec[0] in ("r", "s", "ra"):
+            actual = ram.read(rec[2], port=rec[1]) if ported \
+                else ram.read(rec[2])
+            reads.append((offset, rec, actual))
+    for rec in group:
+        kind = rec[0]
+        if kind == "w":
+            stored = rec[3]
+        elif kind == "wa":
+            acc_id = rec[5]
+            stored = accs.get(acc_id, 0) ^ rec[3]
+            accs[acc_id] = 0
+        else:
+            continue
+        if ported:
+            ram.write(rec[2], stored, port=rec[1])
+        else:
+            ram.write(rec[2], stored)
+    return reads
+
+
 def apply_stream_generic(ram, ops, tables=(), start: int = 0,
                          end: int | None = None,
                          stop_on_mismatch: bool = False,
@@ -32,18 +94,57 @@ def apply_stream_generic(ram, ops, tables=(), start: int = 0,
     """Execute op records through ``ram``'s public access methods.
 
     Same contract as :meth:`repro.memory.ram.SinglePortRAM.apply_stream`
-    (see there for the parameters); each record costs one full
+    (see there for the parameters); each flat record costs one full
     ``read``/``write`` call -- correct for any front-end (with or
     without per-port access methods), just without the single-port fast
-    path.
+    path.  ``"grp"`` cycle groups execute through ``ram.cycle`` when the
+    front-end has one (cycle-accurate), or degrade to reads-then-writes
+    per-op calls (see module docstring).
     """
     if end is None:
         end = len(ops)
     ported = _accepts_port(ram.read)
+    cycle = getattr(ram, "cycle", None)
     executed = 0
-    acc = 0
-    for index in range(start, end):
+    accs: dict[int, int] = {}
+    index = start
+    while index < end:
         kind, port, addr, value, expected, idle = ops[index]
+        if kind == "grp":
+            stop = index + 1 + value
+            if stop > end:
+                raise ValueError(
+                    f"op {index}: group announces {value} members but "
+                    f"the stream slice ends at {end}"
+                )
+            if value == 1:
+                # A one-member group is exactly one op in one cycle --
+                # the flat handling below is equivalent and cheaper.
+                index += 1
+                continue
+            group = ops[index + 1:stop]
+            reads = _run_group(ram, cycle, group, ported, accs)
+            executed += len(group)
+            base = index + 1
+            for offset, rec, actual in reads:
+                rkind = rec[0]
+                if rkind == "ra":
+                    actual ^= rec[4]  # decode the stored-data inversion
+                    if actual:
+                        table = rec[3]
+                        accs[rec[5]] = accs.get(rec[5], 0) ^ (
+                            actual if table is None else tables[table][actual]
+                        )
+                    continue
+                if rkind == "s" and captured is not None:
+                    captured.append(actual)
+                if actual != rec[4]:
+                    if mismatches is not None:
+                        mismatches.append((base + offset, actual))
+                    if stop_on_mismatch:
+                        return executed
+            index = stop
+            continue
         if kind == "w":
             if ported:
                 ram.write(addr, value, port=port)
@@ -56,7 +157,10 @@ def apply_stream_generic(ram, ops, tables=(), start: int = 0,
             if kind == "ra":
                 actual ^= expected  # decode the stored-data inversion
                 if actual:
-                    acc ^= actual if value is None else tables[value][actual]
+                    accs[idle] = accs.get(idle, 0) ^ (
+                        actual if value is None else tables[value][actual]
+                    )
+                index += 1
                 continue
             if kind == "s" and captured is not None:
                 captured.append(actual)
@@ -66,15 +170,16 @@ def apply_stream_generic(ram, ops, tables=(), start: int = 0,
                 if stop_on_mismatch:
                     return executed
         elif kind == "wa":
-            stored = acc ^ value  # encode the stored-data inversion
+            stored = accs.get(idle, 0) ^ value  # encode the inversion
+            accs[idle] = 0
             if ported:
                 ram.write(addr, stored, port=port)
             else:
                 ram.write(addr, stored)
             executed += 1
-            acc = 0
         elif kind == "i":
             ram.idle(idle)
         else:
             raise ValueError(f"unknown op kind {kind!r}")
+        index += 1
     return executed

@@ -83,6 +83,28 @@ class DualPortPiIteration:
         """The initial window."""
         return self._seed
 
+    @property
+    def recurrence_multipliers(self) -> tuple[int, ...]:
+        """Per-window-slot multipliers ``a_0^{-1} a_{k-j}`` of the
+        recurrence (a zero entry means the port's read contributes
+        nothing -- the read still issues, the cycle pattern is fixed).
+        The :mod:`repro.sim` compiler bakes these into ``"ra"`` records."""
+        return self._reference.recurrence_multipliers
+
+    def expected_stream(self, n: int) -> list[int]:
+        """The fault-free written stream: the value of the j-th sweep
+        write (``s_{k+j}``), for result/debug cross-checks."""
+        reference = self._reference.copy()
+        reference.reset()
+        reference.run(2)
+        return list(reference.sequence(n))
+
+    def __repr__(self) -> str:
+        return (
+            f"DualPortPiIteration(GF(2^{self._field.m}), "
+            f"g={self._generator}, seed={self._seed})"
+        )
+
     def trajectory_for(self, n: int) -> Trajectory:
         """The trajectory used on an n-cell memory (default ascending)."""
         if self._trajectory is not None:
@@ -209,6 +231,48 @@ class QuadPortPiIteration:
         self._generator = generator
         self._seed = seed
 
+    @property
+    def field(self) -> GF2m:
+        """The coefficient field."""
+        return self._field
+
+    @property
+    def generator(self) -> tuple[int, ...]:
+        """Generator polynomial coefficients."""
+        return self._generator
+
+    @property
+    def seed(self) -> tuple[int, ...]:
+        """The initial window (shared by both automata)."""
+        return self._seed
+
+    @property
+    def recurrence_multipliers(self) -> tuple[int, ...]:
+        """Per-window-slot recurrence multipliers (see
+        :attr:`DualPortPiIteration.recurrence_multipliers`)."""
+        return self._reference.recurrence_multipliers
+
+    def expected_stream(self, n: int) -> list[int]:
+        """The fault-free written stream of *one* automaton over its
+        n/2-cell half (both automata run the same recurrence)."""
+        reference = self._reference.copy()
+        reference.reset()
+        reference.run(2)
+        return list(reference.sequence(n // 2))
+
+    def expected_final(self, n: int) -> tuple[int, ...]:
+        """``Fin*`` of each automaton after its n/2-step half-array pass."""
+        reference = self._reference.copy()
+        reference.reset()
+        reference.run(n // 2)
+        return reference.state
+
+    def __repr__(self) -> str:
+        return (
+            f"QuadPortPiIteration(GF(2^{self._field.m}), "
+            f"g={self._generator}, seed={self._seed})"
+        )
+
     def cycle_count(self, n: int) -> int:
         """Cycles per iteration: ``n + 2`` for an even n."""
         return n + 2
@@ -268,10 +332,7 @@ class QuadPortPiIteration:
             PortOp(2, "r", cell(1, half)),
             PortOp(3, "r", cell(1, half + 1)),
         ])
-        reference = self._reference.copy()
-        reference.reset()
-        reference.run(half)
-        expected = reference.state
+        expected = self.expected_final(n)
         halves = tuple(
             PiIterationResult(
                 init_state=seed,

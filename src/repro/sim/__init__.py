@@ -69,19 +69,25 @@ byte-identical results (equivalence-tested in ``tests/sim``).
 1.0
 """
 
-from repro.sim.ir import Op, OpStream, Segment, OP_KINDS
+from repro.sim.ir import Op, OpStream, Segment, OP_KINDS, GROUPABLE_KINDS
 from repro.sim.compilers import (
+    cached_dual_port_stream,
     cached_march_stream,
     cached_pi_iteration_stream,
+    cached_quad_port_stream,
     cached_schedule_stream,
+    compile_dual_port_pi,
     compile_march,
     compile_pi_iteration,
+    compile_quad_port_pi,
     compile_schedule,
 )
 from repro.sim.replay import (
     replay_detect,
+    replay_dual_port_iteration,
     replay_iteration,
     replay_march,
+    replay_quad_port_iteration,
     replay_schedule,
 )
 from repro.sim.campaign import CampaignResult, partition_universe, run_campaign
@@ -102,16 +108,23 @@ __all__ = [
     "OpStream",
     "Segment",
     "OP_KINDS",
+    "GROUPABLE_KINDS",
     "compile_march",
     "compile_pi_iteration",
     "compile_schedule",
+    "compile_dual_port_pi",
+    "compile_quad_port_pi",
     "cached_march_stream",
     "cached_pi_iteration_stream",
     "cached_schedule_stream",
+    "cached_dual_port_stream",
+    "cached_quad_port_stream",
     "replay_detect",
     "replay_iteration",
     "replay_march",
     "replay_schedule",
+    "replay_dual_port_iteration",
+    "replay_quad_port_iteration",
     "CampaignResult",
     "run_campaign",
     "run_campaign_batched",

@@ -3,9 +3,9 @@
 The scalar campaign engine (:func:`repro.sim.campaign.run_campaign`)
 replays a compiled :class:`~repro.sim.ir.OpStream` once per fault.  For
 the fault classes that dominate real universes -- stuck-at, transition,
-and inversion/idempotent coupling -- the *operations* of every one of
-those replays are identical; only the fault site differs.  This engine
-exploits that: it packs one fault per *lane* of a
+stuck-open, and inversion/idempotent coupling -- the *operations* of
+every one of those replays are identical; only the fault site differs.
+This engine exploits that: it packs one fault per *lane* of a
 :class:`~repro.memory.packed.PackedMemoryArray` (plain Python ints as
 lane-parallel bitmasks) and replays the stream **once per class**,
 applying each lane's fault as a mask operation:
@@ -13,6 +13,8 @@ applying each lane's fault as a mask operation:
 * stuck-at:   ``new |= sa1_mask[addr]``, ``new &= ~sa0_mask[addr]``
 * transition: ``new &= ~(~old & new & tf_up_mask[addr])`` (blocked rise),
   and the dual for blocked falls
+* stuck-open: writes to the open cell are masked off, and reads route
+  through a per-lane sense-latch bit (the classical two-read SOF model)
 * coupling:   on an aggressor-bit transition, ``victim ^= fired`` (CFin)
   or force the fired lanes (CFid)
 
@@ -28,7 +30,7 @@ Cost: ``O(classes * stream_length)`` big-int operations instead of
 dominated universes an order of magnitude faster (see
 ``benchmarks/bench_campaign_engine.py``).  Faults that cannot be
 expressed as mask algebra (NPSF, bridging, decoder, retention,
-stuck-open, state coupling, linked) fall back per fault to
+state coupling, linked) fall back per fault to
 :func:`~repro.sim.campaign.run_campaign`, so
 :func:`run_campaign_batched` accepts *any* universe and returns verdicts
 identical to the scalar engines, in universe order.
@@ -150,10 +152,53 @@ class _CouplingLanes(LaneFaultModel):
                 words[victim] &= ~fired
 
 
+class _StuckOpenLanes(LaneFaultModel):
+    """SOF lanes: per-lane sense-latch bit, open cell cut off.
+
+    The classical stuck-open model (see
+    :class:`~repro.faults.stuck_open.StuckOpenFault`): writes never
+    reach the open cell, and reading it returns whatever the sense
+    amplifier latched on the *previous* read.  Lane-parallel, the latch
+    is one bit per lane (``self._sense``): a read of any address
+    refreshes the latch bit of every lane whose open cell is elsewhere,
+    while lanes open *at* that address keep -- and observe -- their
+    latched bit.
+    """
+
+    transforms_reads = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        self._open: dict[int, int] = {}
+        self._sense = 0  # per-lane latch; powers up at initial_sense
+        for lane, sem in enumerate(semantics):
+            self._open[sem.cell] = self._open.get(sem.cell, 0) | (1 << lane)
+            if sem.value:
+                self._sense |= 1 << lane
+
+    def transform_read(self, addr: int, sensed: int) -> int:
+        open_here = self._open.get(addr)
+        if open_here is None:
+            # Healthy read in every lane: all latches refresh.
+            self._sense = sensed
+            return sensed
+        # Lanes open at this address observe (and keep) their latch;
+        # every other lane senses the stored bit and refreshes.
+        observed = (self._sense & open_here) | (sensed & ~open_here)
+        self._sense = observed
+        return observed
+
+    def transform_write(self, addr: int, old: int, new: int) -> int:
+        open_here = self._open.get(addr)
+        if open_here:
+            new = (new & ~open_here) | (old & open_here)  # write lost
+        return new
+
+
 _MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
     "stuck": _StuckLanes,
     "transition": _TransitionLanes,
     "coupling": _CouplingLanes,
+    "stuck-open": _StuckOpenLanes,
 }
 
 
@@ -268,11 +313,14 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     """
     if max_lanes < 1:
         raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
-    if stream.m != 1 or ram_factory is not None:
-        # Word-oriented lanes would need m bits per fault, and a custom
-        # front-end may remap addresses or ports -- both outside the
-        # packed backend's contract.  The scalar engine handles every
-        # case, so the batched entry point stays universally callable.
+    if stream.m != 1 or ram_factory is not None or stream.ports > 1:
+        # Word-oriented lanes would need m bits per fault, a custom
+        # front-end may remap addresses or ports, and cycle-grouped
+        # multi-port streams need per-cycle port semantics the bit-plane
+        # backend does not model -- all outside the packed contract.
+        # The scalar engine handles every case (multi-port campaigns
+        # still get compiled replay and process sharding there), so the
+        # batched entry point stays universally callable.
         return run_campaign(stream, universe, ram_factory=ram_factory,
                             workers=workers, chunk_size=chunk_size,
                             progress=progress,

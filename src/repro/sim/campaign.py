@@ -42,6 +42,7 @@ from functools import lru_cache
 from repro.faults.base import Fault, VectorSemantics
 from repro.faults.injector import FaultInjector
 from repro.faults.universe import UniverseSpec, materialize_spec
+from repro.memory.multiport import MultiPortRAM, PortConflictError
 from repro.memory.ram import SinglePortRAM
 from repro.memory.stream_exec import apply_stream_generic
 from repro.sim.ir import OpStream
@@ -110,10 +111,27 @@ def _default_ram_factory(n: int, m: int):
     return SinglePortRAM(n, m=m)
 
 
+def _stream_ram(n: int, m: int, ports: int):
+    """The canonical perfect memory for a stream: single-port for flat
+    streams, an N-port front-end for cycle-grouped ones."""
+    if ports > 1:
+        return MultiPortRAM(n, m=m, ports=ports)
+    return SinglePortRAM(n, m=m)
+
+
 def _run_one(stream: OpStream, fault: Fault, ram_factory, n: int,
              m: int) -> tuple[bool, int]:
-    """Inject one fault into a fresh RAM and replay with early abort."""
-    ram = ram_factory() if ram_factory is not None else SinglePortRAM(n, m=m)
+    """Inject one fault into a fresh RAM and replay with early abort.
+
+    A :class:`~repro.memory.multiport.PortConflictError` raised
+    mid-replay counts as a *detection*: healthy-logical streams never
+    conflict (validated at compile time), so a replay-time conflict
+    means the injected fault -- a decoder fault aliasing two addresses
+    onto one cell -- drove the test into undefined port behaviour, which
+    is exactly how the interpreted multi-port engines fail on it too.
+    """
+    ram = ram_factory() if ram_factory is not None \
+        else _stream_ram(n, m, stream.ports)
     if ram.n != n or ram.m != m:
         # A stream compiled for one geometry replayed on another would
         # silently test the wrong address space (or crash mid-replay).
@@ -121,19 +139,29 @@ def _run_one(stream: OpStream, fault: Fault, ram_factory, n: int,
             f"ram_factory built a {ram.n}x{ram.m}-bit RAM but the stream "
             f"{stream.name!r} was compiled for {n}x{m}"
         )
+    if getattr(ram, "ports", 1) < stream.ports:
+        raise ValueError(
+            f"ram_factory built a {getattr(ram, 'ports', 1)}-port RAM but "
+            f"the stream {stream.name!r} needs {stream.ports} ports"
+        )
     injector = FaultInjector([fault])
     injector.install(ram)
     mismatches: list[tuple[int, int]] = []
     apply = getattr(ram, "apply_stream", None)
-    if apply is not None:
-        executed = apply(stream.ops, tables=stream.tables,
-                         stop_on_mismatch=True, mismatches=mismatches)
-    else:
-        # Duck-typed front-end honouring only the read/write/idle
-        # contract: replay through the portable executor.
-        executed = apply_stream_generic(ram, stream.ops, tables=stream.tables,
-                                        stop_on_mismatch=True,
-                                        mismatches=mismatches)
+    try:
+        if apply is not None:
+            executed = apply(stream.ops, tables=stream.tables,
+                             stop_on_mismatch=True, mismatches=mismatches)
+        else:
+            # Duck-typed front-end honouring only the read/write/idle
+            # contract: replay through the portable executor.
+            executed = apply_stream_generic(ram, stream.ops,
+                                            tables=stream.tables,
+                                            stop_on_mismatch=True,
+                                            mismatches=mismatches)
+    except PortConflictError:
+        injector.remove(ram)
+        return True, 0
     injector.remove(ram)
     return bool(mismatches), executed
 
@@ -151,7 +179,7 @@ def partition_universe(
     Everything else lands in the scalar ``fallback`` list.
 
     Returns ``(classes, fallback)``: ``classes`` maps the descriptor kind
-    (``"stuck"``, ``"transition"``, ``"coupling"``) to
+    (``"stuck"``, ``"transition"``, ``"coupling"``, ``"stuck-open"``) to
     ``(universe_index, fault, semantics)`` triples, ``fallback`` holds
     ``(universe_index, fault)`` pairs; indices let the batched engine
     reassemble outcomes in universe order.
@@ -160,9 +188,9 @@ def partition_universe(
     >>> classes, fallback = partition_universe(
     ...     single_cell_universe(8), n=8)
     >>> sorted((kind, len(group)) for kind, group in classes.items())
-    [('stuck', 16), ('transition', 16)]
-    >>> len(fallback)   # SOF + DRF are not mask-expressible
-    16
+    [('stuck', 16), ('stuck-open', 8), ('transition', 16)]
+    >>> len(fallback)   # DRF needs real idle time: not mask-expressible
+    8
     """
     classes: dict[str, list[tuple[int, Fault, VectorSemantics]]] = {}
     fallback: list[tuple[int, Fault]] = []
@@ -255,14 +283,15 @@ def _reference_pass(stream: OpStream, n: int, m: int) -> None:
     """Fault-free replay on a canonical perfect memory; caches success
     (and the stream's operation count) on the stream.
 
-    Uses a default ``SinglePortRAM`` rather than ``ram_factory`` so the
-    factory is called exactly once per fault (the legacy campaign
-    contract) and so the check answers the right question: is the stream
-    self-consistent on a *perfect* memory?
+    Uses a canonical default front-end (``SinglePortRAM``, or a perfect
+    ``MultiPortRAM`` for cycle-grouped streams) rather than
+    ``ram_factory`` so the factory is called exactly once per fault (the
+    legacy campaign contract) and so the check answers the right
+    question: is the stream self-consistent on a *perfect* memory?
     """
     if stream.reference_verified:
         return
-    ram = SinglePortRAM(n, m=m)
+    ram = _stream_ram(n, m, stream.ports)
     mismatches: list[tuple[int, int]] = []
     executed = ram.apply_stream(stream.ops, tables=stream.tables,
                                 mismatches=mismatches)
@@ -299,9 +328,12 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
         *by spec*: workers re-enumerate their faults locally instead of
         unpickling them per chunk.
     ram_factory:
-        Overrides the default ``SinglePortRAM(stream.n, m=stream.m)``.
-        With ``workers > 0`` it must be picklable (a module-level
-        function or functools.partial, not a lambda).
+        Overrides the default ``SinglePortRAM(stream.n, m=stream.m)`` --
+        or, for a cycle-grouped stream, the default
+        ``MultiPortRAM(stream.n, m=stream.m, ports=stream.ports)``.  The
+        factory's RAM must offer at least ``stream.ports`` ports.  With
+        ``workers > 0`` it must be picklable (a module-level function or
+        functools.partial, not a lambda).
     workers:
         ``0`` (default) runs in-process.  ``N > 0`` fans shards out to
         the persistent ``shared_pool(N)`` (or ``pool``); falls back to

@@ -25,9 +25,13 @@ __all__ = [
     "compile_march",
     "compile_schedule",
     "compile_pi_iteration",
+    "compile_dual_port_pi",
+    "compile_quad_port_pi",
     "cached_march_stream",
     "cached_schedule_stream",
     "cached_pi_iteration_stream",
+    "cached_dual_port_stream",
+    "cached_quad_port_stream",
 ]
 
 
@@ -258,6 +262,170 @@ def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
                     segments=tuple(segments))
 
 
+# -- multi-port schemes: cycle-grouped lowering --------------------------------
+#
+# The dual-/quad-port π-tests (repro.prt.dual_port) issue several port
+# operations per memory cycle -- that simultaneity IS the paper's claim
+# (2n cycles for dual-port, n for quad-port), so the lowering must keep
+# it.  Cycle groups (the "grp" records of repro.sim.ir) encode it: each
+# interpreted ram.cycle([...]) call becomes one group, and replay through
+# MultiPortRAM.apply_stream reproduces the exact per-cycle read/write
+# phases, conflict checks and RamStats the interpreted engine produces.
+
+
+def compile_dual_port_pi(iteration, n: int, m: int = 1) -> OpStream:
+    """Lower a :class:`~repro.prt.dual_port.DualPortPiIteration`.
+
+    Mirrors its ``run`` cycle for cycle: one double-write init group,
+    then per sub-iteration a double-read group (both ports, both taps --
+    a null tap still reads, it just multiplies by zero) followed by a
+    single-write group, and a final double-read signature group.  The
+    stream replays in the paper's ``2n + 2`` cycles (claim C4 for 2P
+    RAM).
+
+    >>> from repro.prt import DualPortPiIteration
+    >>> it = DualPortPiIteration(seed=(0, 1))
+    >>> stream = compile_dual_port_pi(it, 14)
+    >>> stream.ports, stream.replay_cycles == it.cycle_count(14)
+    (2, True)
+    """
+    field = iteration.field
+    if m != field.m:
+        raise ValueError(
+            f"RAM cell width m={m} does not match field GF(2^{field.m})"
+        )
+    if n < 3:
+        raise ValueError(f"memory must have more than 2 cells, got {n}")
+    traj = iteration.trajectory_for(n)
+    seed = iteration.seed
+    mult = iteration.recurrence_multipliers
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    table_index: dict = {}
+
+    def group(count: int, role: str) -> None:
+        ops.append(("grp", 0, 0, count, None, 0))
+        info.append((0, role))
+
+    # 1. Init: both seed words in one cycle (two ports, two cells).
+    group(2, "seed")
+    ops.append(("w", 0, traj[0], seed[0], None, 0))
+    info.append((0, "seed"))
+    ops.append(("w", 1, traj[1], seed[1], None, 0))
+    info.append((0, "seed"))
+    # 2. Sweep: a double-read cycle then a write cycle per sub-iteration.
+    # Unlike the single-port compiler, a null tap is NOT skipped: the
+    # dual-port engine always issues both reads (the cycle pattern is
+    # fixed in hardware), so a zero multiplier lowers to an
+    # all-zero lookup table -- the read happens, contributes nothing.
+    taps = [
+        _multiplier_table(field, multiplier, table_index, tables)
+        for multiplier in mult
+    ]
+    expected_stream = iteration.expected_stream(n)
+    for j in range(n):
+        group(2, "sweep")
+        ops.append(("ra", 0, traj[j], taps[0], 0, 0))
+        info.append((0, "sweep"))
+        ops.append(("ra", 1, traj[j + 1], taps[1], 0, 0))
+        info.append((0, "sweep"))
+        # The write-back cycle carries a single op, so it stays a flat
+        # record: a one-member group is exactly one op in one cycle (the
+        # degenerate case), and eliding the marker keeps the replay hot
+        # loop shorter.
+        ops.append(("wa", 0, traj[j + 2], 0, expected_stream[j], 0))
+        info.append((0, "sweep"))
+    # 3. Signature: both final-window reads in one cycle.
+    expected_final = iteration.expected_final(n)
+    group(2, "sig")
+    ops.append(("s", 0, traj[n], None, expected_final[0], 0))
+    info.append((0, "sig"))
+    ops.append(("s", 1, traj[n + 1], None, expected_final[1], 0))
+    info.append((0, "sig"))
+    segment = Segment(label="iteration", index=0, start=0, stop=len(ops),
+                      init_state=tuple(seed), expected_final=expected_final)
+    return OpStream(source="dual-port", name=repr(iteration), n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=(segment,), ports=2)
+
+
+def compile_quad_port_pi(iteration, n: int, m: int = 1) -> OpStream:
+    """Lower a :class:`~repro.prt.dual_port.QuadPortPiIteration`.
+
+    Two virtual automata sweep the two array halves concurrently: per
+    sub-iteration one 4-read group (ports 0/1 serve automaton A, ports
+    2/3 automaton B) and one 2-write group.  Each automaton accumulates
+    its recurrence in its *own* accumulator (ids 0 and 1 in the records'
+    sixth slot), so corrupted data propagates per half exactly as in the
+    interpreted engine.  Replays in ``n + 2`` cycles.
+
+    >>> from repro.prt import QuadPortPiIteration
+    >>> it = QuadPortPiIteration(seed=(0, 1))
+    >>> stream = compile_quad_port_pi(it, 12)
+    >>> stream.ports, stream.replay_cycles == it.cycle_count(12)
+    (4, True)
+    """
+    field = iteration.field
+    if m != field.m:
+        raise ValueError(
+            f"RAM cell width m={m} does not match field GF(2^{field.m})"
+        )
+    if n % 2 != 0 or n < 6:
+        raise ValueError(
+            f"the two-automata scheme needs an even n >= 6, got {n}"
+        )
+    half = n // 2
+    seed = iteration.seed
+    mult = iteration.recurrence_multipliers
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    table_index: dict = {}
+
+    def cell(automaton: int, j: int) -> int:
+        return (half if automaton else 0) + (j % half)
+
+    def group(count: int, role: str) -> None:
+        ops.append(("grp", 0, 0, count, None, 0))
+        info.append((0, role))
+
+    # 1. Init: all four seed words in one cycle.
+    group(4, "seed")
+    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+        ops.append(("w", port, cell(automaton, i), seed[i], None, 0))
+        info.append((automaton, "seed"))
+    taps = [
+        _multiplier_table(field, multiplier, table_index, tables)
+        for multiplier in mult
+    ]
+    expected_stream = iteration.expected_stream(n)
+    # 2. Sweep: 4 reads then 2 writes per sub-iteration (j over n/2).
+    for j in range(half):
+        group(4, "sweep")
+        for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+            ops.append(("ra", port, cell(automaton, j + i), taps[i], 0,
+                        automaton))
+            info.append((automaton, "sweep"))
+        group(2, "sweep")
+        ops.append(("wa", 0, cell(0, j + 2), 0, expected_stream[j], 0))
+        info.append((0, "sweep"))
+        ops.append(("wa", 2, cell(1, j + 2), 0, expected_stream[j], 1))
+        info.append((1, "sweep"))
+    # 3. Signature: both automata's final windows in one cycle.
+    expected_final = iteration.expected_final(n)
+    group(4, "sig")
+    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+        ops.append(("s", port, cell(automaton, half + i), None,
+                    expected_final[i], 0))
+        info.append((automaton, "sig"))
+    segment = Segment(label="iteration", index=0, start=0, stop=len(ops),
+                      init_state=tuple(seed), expected_final=expected_final)
+    return OpStream(source="quad-port", name=repr(iteration), n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=(segment,), ports=4)
+
+
 # -- memoized entry points -----------------------------------------------------
 #
 # The thin adapters (run_march, PiTestSchedule.run, the run_coverage
@@ -308,3 +476,21 @@ def cached_pi_iteration_stream(iteration, n: int, m: int = 1) -> OpStream:
     """Memoized :func:`compile_pi_iteration` (keyed by iteration
     identity)."""
     return compile_pi_iteration(iteration, n, m)
+
+
+@lru_cache(maxsize=256)
+def cached_dual_port_stream(iteration, n: int, m: int = 1) -> OpStream:
+    """Memoized :func:`compile_dual_port_pi` (keyed by iteration
+    identity -- iterations are configured once and never mutated).
+
+    Object identity is what lets repeated campaigns over one scheme hit
+    the :class:`~repro.sim.pool.WorkerPool` broadcast cache too.
+    """
+    return compile_dual_port_pi(iteration, n, m)
+
+
+@lru_cache(maxsize=256)
+def cached_quad_port_stream(iteration, n: int, m: int = 1) -> OpStream:
+    """Memoized :func:`compile_quad_port_pi` (keyed by iteration
+    identity)."""
+    return compile_quad_port_pi(iteration, n, m)

@@ -28,6 +28,8 @@ kind       semantics
            ``value``, write it to ``addr``, reset the accumulator;
            ``expected`` records the fault-free stored value
 ``"i"``    idle for ``idle`` memory cycles (March ``Del`` / PRT pause)
+``"grp"``  cycle-group marker: the next ``value`` records all issue in
+           *one* memory cycle, one per port (see below)
 =========  =================================================================
 
 ``"ra"``/``"wa"`` keep compiled π-tests *exactly* equivalent to the
@@ -36,23 +38,62 @@ corrupted) reads, so fault effects propagate through the pseudo-ring the
 same way, while everything that is fault-independent -- addresses,
 multipliers, expected backgrounds, ``Fin*`` -- is precomputed once.
 
+Cycle groups
+------------
+
+Flat records model the single-port discipline: one operation, one memory
+cycle.  Multi-port schemes (the paper's Figure 2 dual-port π-test, the
+QuadPort DSE family) issue up to one operation *per port* per cycle, and
+the whole point of those schemes is the cycle count -- 2n instead of 3n
+for dual-port, n for quad-port.  A ``"grp"`` marker encodes that: the
+``value`` slot holds the member count k, and the k records that follow
+form one memory cycle with the standard multi-port semantics
+
+* every read (``"r"``/``"s"``/``"ra"``) senses the *pre-cycle* state
+  (read-before-write: a read racing a write of the same cell returns the
+  old value);
+* writes commit after all reads, and two writes landing on the same cell
+  are a :class:`~repro.memory.multiport.PortConflictError` -- rejected
+  at stream-construction time for same-address writes, and at replay
+  time when faulty decoding aliases two distinct addresses;
+* ``RamStats.cycles`` advances by **one** for the whole group.
+
+Group members use the ``port`` slot for their port and must name
+distinct ports within ``[0, ports)``.  ``"i"`` records and nested groups
+are not allowed inside a group.  Because several recurrence automata can
+run concurrently (the quad-port scheme sweeps two array halves at once),
+``"ra"``/``"wa"`` records select their accumulator with the otherwise
+unused ``idle`` slot: accumulator ``record[5]``, defaulting to 0 -- the
+single implicit accumulator of flat streams.  A ``"wa"`` consumes its
+accumulator as of the start of its cycle; ``"ra"`` contributions become
+visible to later cycles.
+
+A flat stream is exactly the degenerate one-op-per-group case (every
+group of size one, marker elided), which is why single-port streams --
+their encoding, their replay semantics, their pickle bytes -- are
+untouched by the grouped extension.
+
 Replay is performed by the RAM front-ends' bulk ``apply_stream`` entry
-point (:meth:`repro.memory.ram.SinglePortRAM.apply_stream`), which keeps
-stats/trace/settle semantics identical to issuing ``read``/``write``/
-``idle`` calls one at a time.
+point (:meth:`repro.memory.ram.SinglePortRAM.apply_stream` for flat
+streams, :meth:`repro.memory.multiport.MultiPortRAM.apply_stream` for
+grouped ones), which keeps stats/trace/settle semantics identical to
+issuing ``read``/``write``/``cycle``/``idle`` calls one at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 
-__all__ = ["Op", "OpStream", "Segment", "OP_KINDS"]
+__all__ = ["Op", "OpStream", "Segment", "OP_KINDS", "GROUPABLE_KINDS"]
 
 Op = tuple
 """One operation record: ``(kind, port, addr, value, expected, idle)``."""
 
-OP_KINDS = ("w", "r", "s", "ra", "wa", "i")
+OP_KINDS = ("w", "r", "s", "ra", "wa", "i", "grp")
 """All valid record tags (see module docstring)."""
+
+GROUPABLE_KINDS = ("w", "r", "s", "ra", "wa")
+"""Tags that may appear inside a ``"grp"`` cycle group."""
 
 
 @dataclass(frozen=True)
@@ -80,7 +121,8 @@ class OpStream:
     Attributes
     ----------
     source:
-        What was compiled: ``"march"``, ``"schedule"`` or ``"iteration"``.
+        What was compiled: ``"march"``, ``"schedule"``, ``"iteration"``,
+        ``"dual-port"`` or ``"quad-port"``.
     name:
         Human-readable test name (for reports).
     n, m:
@@ -91,13 +133,18 @@ class OpStream:
         Per-op metadata, parallel to ``ops``.  March streams carry
         ``(background, element_index)``; schedule/iteration streams carry
         ``(iteration_index, role)`` with role in ``{"seed", "sweep",
-        "verify", "sig", "pause", "readback"}``.
+        "verify", "sig", "pause", "readback"}``; grouped port streams
+        additionally use the role ``"grp"`` for the cycle markers.
     tables:
         Constant-multiplier lookup tables referenced by ``"ra"`` records
         (``tables[value][r] == field.mul(multiplier, r)``); empty for
         pure constant streams such as March tests.
     segments:
         Iteration boundaries (schedule streams only).
+    ports:
+        Ports the stream was compiled for (1 = single-port / flat).  A
+        replay target must offer at least this many ports; cycle groups
+        are validated against it at construction time.
     reference_verified:
         Set by the campaign engine once a fault-free reference replay of
         this stream has passed (cached so repeated campaigns skip it).
@@ -109,6 +156,8 @@ class OpStream:
     ...                   info=((0, 0), (0, 1), (0, 2)))
     >>> len(stream), stream.operation_count, stream.checked_reads
     (3, 2, 1)
+    >>> stream.grouped, stream.replay_cycles
+    (False, 10)
     """
 
     source: str
@@ -119,6 +168,7 @@ class OpStream:
     info: tuple[tuple, ...]
     tables: tuple[tuple[int, ...], ...] = ()
     segments: tuple[Segment, ...] = ()
+    ports: int = 1
     reference_verified: bool = dataclass_field(default=False, repr=False)
     reference_operations: int | None = dataclass_field(default=None, repr=False)
 
@@ -128,17 +178,83 @@ class OpStream:
                 f"ops and info must be parallel: {len(self.ops)} records "
                 f"vs {len(self.info)} metadata entries"
             )
-        for record in self.ops:
-            if record[0] not in OP_KINDS:
+        if self.ports < 1:
+            raise ValueError(f"streams need at least one port, got {self.ports}")
+        index, total = 0, len(self.ops)
+        while index < total:
+            record = self.ops[index]
+            kind = record[0]
+            if kind not in OP_KINDS:
                 raise ValueError(f"unknown op kind {record[0]!r}")
+            if kind != "grp":
+                index += 1
+                continue
+            index = self._validate_group(index, record, total)
+
+    def _validate_group(self, index: int, record: Op, total: int) -> int:
+        """Check one ``"grp"`` marker's members; returns the next index.
+
+        These are the *compile-time* conflict checks of the cycle-group
+        contract: member count vs ports, distinct ports, no nested
+        groups/idles, and no two writes to the same address.  Replay adds
+        the physical-cell check (a faulty decoder can alias distinct
+        addresses), raising ``PortConflictError`` with the cycle index.
+        """
+        count = record[3]
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(
+                f"op {index}: group member count must be a positive int, "
+                f"got {count!r}"
+            )
+        if count > self.ports:
+            raise ValueError(
+                f"op {index}: {count} operations grouped into one cycle of "
+                f"a {self.ports}-port stream"
+            )
+        stop = index + 1 + count
+        if stop > total:
+            raise ValueError(
+                f"op {index}: group announces {count} members but only "
+                f"{total - index - 1} records follow"
+            )
+        seen_ports: set[int] = set()
+        write_addrs: set[int] = set()
+        for member in range(index + 1, stop):
+            rec = self.ops[member]
+            kind = rec[0]
+            if kind not in GROUPABLE_KINDS:
+                raise ValueError(
+                    f"op {member}: {kind!r} records cannot appear inside "
+                    f"a cycle group"
+                )
+            port = rec[1]
+            if not 0 <= port < self.ports:
+                raise ValueError(
+                    f"op {member}: port {port} out of range "
+                    f"[0, {self.ports})"
+                )
+            if port in seen_ports:
+                raise ValueError(
+                    f"op {member}: port {port} used twice in one cycle group"
+                )
+            seen_ports.add(port)
+            if kind in ("w", "wa"):
+                if rec[2] in write_addrs:
+                    raise ValueError(
+                        f"op {member}: two simultaneous writes to address "
+                        f"{rec[2]} in one cycle group"
+                    )
+                write_addrs.add(rec[2])
+        return stop
 
     def __len__(self) -> int:
         return len(self.ops)
 
     @property
     def operation_count(self) -> int:
-        """Reads + writes in one replay (idles cost cycles, not operations)."""
-        return sum(1 for record in self.ops if record[0] != "i")
+        """Reads + writes in one replay (idles cost cycles, not operations;
+        group markers are free)."""
+        return sum(1 for record in self.ops if record[0] not in ("i", "grp"))
 
     @property
     def checked_reads(self) -> int:
@@ -150,6 +266,42 @@ class OpStream:
         """Total idle cycles contributed by ``"i"`` records."""
         return sum(record[5] for record in self.ops if record[0] == "i")
 
+    @property
+    def grouped(self) -> bool:
+        """True when the stream contains cycle groups (multi-port)."""
+        return any(record[0] == "grp" for record in self.ops)
+
+    @property
+    def replay_cycles(self) -> int:
+        """Memory cycles one replay costs: 1 per flat operation, 1 per
+        cycle group (however many members), plus all idle cycles --
+        the quantity the paper's 3n/2n/n claims are stated in.
+
+        >>> grouped = OpStream(source="dual-port", name="g", n=2, m=1,
+        ...                    ops=(("grp", 0, 0, 2, None, 0),
+        ...                         ("w", 0, 0, 1, None, 0),
+        ...                         ("w", 1, 1, 0, None, 0)),
+        ...                    info=((0, "grp"), (0, "seed"), (0, "seed")),
+        ...                    ports=2)
+        >>> grouped.replay_cycles
+        1
+        """
+        cycles = 0
+        index, total = 0, len(self.ops)
+        while index < total:
+            record = self.ops[index]
+            kind = record[0]
+            if kind == "grp":
+                cycles += 1
+                index += 1 + record[3]
+            elif kind == "i":
+                cycles += record[5]
+                index += 1
+            else:
+                cycles += 1
+                index += 1
+        return cycles
+
     def counts_by_kind(self) -> dict[str, int]:
         """``{kind: record_count}`` for diagnostics."""
         out: dict[str, int] = {}
@@ -159,7 +311,8 @@ class OpStream:
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}:{c}" for k, c in sorted(self.counts_by_kind().items()))
+        ports = f", ports={self.ports}" if self.ports > 1 else ""
         return (
-            f"OpStream({self.name!r}, {self.source}, n={self.n}, m={self.m}, "
-            f"{len(self.ops)} records [{inner}])"
+            f"OpStream({self.name!r}, {self.source}, n={self.n}, m={self.m}"
+            f"{ports}, {len(self.ops)} records [{inner}])"
         )

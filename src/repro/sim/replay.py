@@ -16,6 +16,7 @@ from repro.prt.pi_test import PiIterationResult
 from repro.sim.ir import OpStream
 
 __all__ = ["replay_march", "replay_schedule", "replay_iteration",
+           "replay_dual_port_iteration", "replay_quad_port_iteration",
            "replay_detect"]
 
 
@@ -79,6 +80,56 @@ def replay_iteration(stream: OpStream, ram) -> PiIterationResult:
         written_stream=None,
         verify_mismatches=verify_mismatches,
     )
+
+
+def replay_dual_port_iteration(stream: OpStream, ram) -> PiIterationResult:
+    """Replay a compiled dual-port π-iteration on a >= 2-port RAM.
+
+    The grouped stream executes through the RAM's cycle-aware
+    ``apply_stream``, so the result *and* the RAM statistics (the
+    paper's 2n + 2 cycles) match :meth:`repro.prt.dual_port
+    .DualPortPiIteration.run` exactly.
+    """
+    segment = stream.segments[0]
+    captured: list[int] = []
+    executed = ram.apply_stream(
+        stream.ops, tables=stream.tables, captured=captured,
+    )
+    return PiIterationResult(
+        init_state=segment.init_state,
+        final_state=tuple(captured),
+        expected_final=segment.expected_final,
+        operations=executed,
+        written_stream=None,
+        verify_mismatches=0,
+    )
+
+
+def replay_quad_port_iteration(stream: OpStream, ram):
+    """Replay a compiled quad-port π-iteration; returns a
+    :class:`~repro.prt.dual_port.QuadPortResult`.
+
+    The four signature captures arrive in port order -- automaton A's
+    final window first, then automaton B's -- which is exactly how the
+    interpreted engine splits its halves.  Per-half ``operations`` stay
+    0 (the interpreted contract: accounting lives on the shared RAM
+    stats).
+    """
+    from repro.prt.dual_port import QuadPortResult  # adapter imports us lazily
+
+    segment = stream.segments[0]
+    captured: list[int] = []
+    ram.apply_stream(stream.ops, tables=stream.tables, captured=captured)
+    halves = tuple(
+        PiIterationResult(
+            init_state=segment.init_state,
+            final_state=tuple(captured[2 * automaton:2 * automaton + 2]),
+            expected_final=segment.expected_final,
+            operations=0,
+        )
+        for automaton in (0, 1)
+    )
+    return QuadPortResult(halves=halves)
 
 
 def replay_schedule(stream: OpStream, ram, stop_on_failure: bool = False):

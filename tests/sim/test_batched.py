@@ -99,15 +99,24 @@ class TestVectorSemantics:
                                        force_to=1).vector_semantics()
         assert (cfid.kind, cfid.victim_cell, cfid.value) == ("coupling", 2, 1)
 
+    def test_stuck_open_vectorizes(self):
+        from repro.faults import StuckOpenFault
+
+        assert StuckOpenFault(2).vector_semantics() == VectorSemantics(
+            "stuck-open", cell=2, value=0)
+        assert StuckOpenFault(5, initial_sense=1).vector_semantics() == \
+            VectorSemantics("stuck-open", cell=5, value=1)
+        # A word-oriented power-up value cannot ride a 1-bit lane.
+        assert StuckOpenFault(1, initial_sense=3).vector_semantics() is None
+
     def test_non_vectorizable_fault_types(self):
         from repro.faults import (
             BridgingFault,
             DataRetentionFault,
             StateCouplingFault,
-            StuckOpenFault,
         )
 
-        for fault in (StuckOpenFault(2), DataRetentionFault(2, retention=8),
+        for fault in (DataRetentionFault(2, retention=8),
                       StateCouplingFault(0, 1, aggressor_state=1, force_to=0),
                       BridgingFault(0, 1, kind="and")):
             assert fault.vector_semantics() is None, fault.name
@@ -127,10 +136,11 @@ class TestPartitionUniverse:
         universe = standard_universe(16)
         classes, fallback = partition_universe(universe, n=16)
         counts = {kind: len(group) for kind, group in classes.items()}
-        # SAF -> stuck, TF -> transition, CFin+CFid -> coupling; the
-        # rest (SOF, CFst, BF, AF) is scalar work.
+        # SAF -> stuck, TF -> transition, SOF -> stuck-open,
+        # CFin+CFid -> coupling; the rest (CFst, BF, AF) is scalar work.
         assert counts["stuck"] == 32
         assert counts["transition"] == 32
+        assert counts["stuck-open"] == 16
         assert counts["coupling"] == 30 * 2 + 30 * 4
         vectorized = sum(counts.values())
         assert vectorized + len(fallback) == len(universe)
@@ -297,9 +307,11 @@ class TestBatchedEquivalenceInterpreted:
 
     def test_single_fault_state_trace(self):
         # Per-lane state must equal the dedicated scalar replay's memory
-        # image, fault by fault (stronger than verdict equality).
+        # image, fault by fault (stronger than verdict equality).  SOF is
+        # included: its sense latch lives in the lane model, but the
+        # array image (writes lost at the open cell) must still match.
         stream = compile_march(MATS, 6)
-        universe = single_cell_universe(6, classes=("SAF", "TF"))
+        universe = single_cell_universe(6, classes=("SAF", "TF", "SOF"))
         classes, fallback = partition_universe(universe, n=6)
         assert not fallback
         for kind, group in classes.items():
@@ -315,6 +327,51 @@ class TestBatchedEquivalenceInterpreted:
                 ram.apply_stream(stream.ops, tables=stream.tables)
                 injector.remove(ram)
                 assert packed.dump_lane(lane) == ram.dump(), fault.name
+
+
+class TestStuckOpenLanes:
+    """The SOF sense-latch lane model (the ROADMAP's 'remaining headroom'
+    vectorization): one lane pass must reproduce the scalar SOF replay
+    verdict for verdict, including the two-read detection subtlety."""
+
+    def test_sof_universe_fully_batched(self):
+        stream = compile_march(MARCH_C_MINUS, 16)
+        universe = single_cell_universe(16, classes=("SOF",))
+        result = run_campaign_batched(stream, universe)
+        assert result.faults_batched == len(universe)
+        scalar = run_campaign(stream, universe, reference_check=False)
+        assert [d for _, d in result.outcomes] == \
+            [d for _, d in scalar.outcomes]
+
+    @pytest.mark.parametrize("build", [standard_schedule, extended_schedule],
+                             ids=["standard-3", "extended-5"])
+    def test_sof_through_pi_schedules(self, build):
+        # π-test sweeps re-read cells constantly, so the latch state
+        # machine is exercised much harder than by March elements.
+        from repro.sim import compile_schedule
+
+        schedule = build(n=14)
+        stream = compile_schedule(schedule, 14)
+        universe = single_cell_universe(14, classes=("SOF",))
+        batched = run_campaign_batched(stream, universe)
+        assert batched.faults_batched == len(universe)
+        scalar = run_campaign(stream, universe, reference_check=False)
+        assert [d for _, d in batched.outcomes] == \
+            [d for _, d in scalar.outcomes]
+
+    def test_initial_sense_one_latch(self):
+        from repro.faults import StuckOpenFault
+
+        # First read of the open cell observes the power-up latch value.
+        stream_detects_1 = compile_march(MATS, 4)  # starts with w0 sweep
+        for initial in (0, 1):
+            universe = [StuckOpenFault(2, initial_sense=initial)]
+            batched = run_campaign_batched(stream_detects_1, universe)
+            scalar = run_campaign(stream_detects_1, universe,
+                                  reference_check=False)
+            assert [d for _, d in batched.outcomes] == \
+                [d for _, d in scalar.outcomes], f"initial_sense={initial}"
+            assert batched.faults_batched == 1
 
 
 @pytest.fixture(scope="module")

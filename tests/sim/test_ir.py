@@ -6,11 +6,20 @@ from repro.gf2 import poly_from_string
 from repro.gf2m import GF2m
 from repro.march import MATS_PLUS_RETENTION
 from repro.march.library import MARCH_C_MINUS, MATS_PLUS
-from repro.prt import PiIteration, standard_schedule
+from repro.prt import (
+    DualPortPiIteration,
+    PiIteration,
+    QuadPortPiIteration,
+    standard_schedule,
+)
 from repro.sim import (
     OpStream,
+    cached_dual_port_stream,
+    cached_quad_port_stream,
+    compile_dual_port_pi,
     compile_march,
     compile_pi_iteration,
+    compile_quad_port_pi,
     compile_schedule,
 )
 
@@ -40,6 +49,54 @@ class TestOpStream:
 
     def test_repr(self):
         assert "march" in repr(compile_march(MATS_PLUS, 8))
+
+    def test_flat_streams_are_the_degenerate_grouped_case(self):
+        # Single-port compilation is untouched by the cycle-group
+        # extension: no markers, one port, one cycle per operation.
+        stream = compile_march(MARCH_C_MINUS, 8)
+        assert not stream.grouped
+        assert stream.ports == 1
+        assert "grp" not in stream.counts_by_kind()
+        assert stream.replay_cycles == stream.operation_count
+
+    def test_ports_validated(self):
+        with pytest.raises(ValueError, match="at least one port"):
+            OpStream(source="march", name="bad", n=1, m=1, ops=(), info=(),
+                     ports=0)
+
+
+class TestCycleGroups:
+    def test_grouped_counters(self):
+        stream = compile_dual_port_pi(DualPortPiIteration(seed=(0, 1)), 10)
+        kinds = stream.counts_by_kind()
+        # init + n read groups + signature (write-backs are flat records)
+        assert kinds["grp"] == 1 + 10 + 1
+        assert stream.grouped
+        assert stream.ports == 2
+        # markers are not operations
+        assert stream.operation_count == 3 * 10 + 4
+        assert len(stream) == stream.operation_count + kinds["grp"]
+        assert stream.replay_cycles == 2 * 10 + 2
+
+    def test_quad_uses_two_accumulators(self):
+        stream = compile_quad_port_pi(QuadPortPiIteration(seed=(0, 1)), 12)
+        acc_ids = {record[5] for record in stream.ops
+                   if record[0] in ("ra", "wa")}
+        assert acc_ids == {0, 1}
+        assert stream.ports == 4
+        assert stream.replay_cycles == 12 + 2
+
+    def test_cached_streams_are_shared(self):
+        iteration = DualPortPiIteration(seed=(0, 1))
+        assert cached_dual_port_stream(iteration, 14) is \
+            cached_dual_port_stream(iteration, 14)
+        quad = QuadPortPiIteration(seed=(0, 1))
+        assert cached_quad_port_stream(quad, 12) is \
+            cached_quad_port_stream(quad, 12)
+
+    def test_grouped_repr_names_ports(self):
+        stream = compile_quad_port_pi(QuadPortPiIteration(seed=(0, 1)), 12)
+        assert "ports=4" in repr(stream)
 
 
 class TestCompileMarch:

@@ -1,0 +1,172 @@
+"""Render the benchmark trajectory from a series of JSON summaries.
+
+The CI ``bench-full`` job uploads one ``bench_campaign_engine`` summary
+per commit (and ``bench-smoke`` one quick summary per push).  Download a
+set of those artifacts, point this tool at the files, and it renders the
+wall-clock trend per ``(section, test, n, universe)`` row -- the
+"trajectory over time" view the per-push 3x gate of
+``tools/check_bench.py`` cannot give.
+
+Summaries are ordered by ``--order`` (``args``: the order given on the
+command line, e.g. oldest..newest SHAs; ``mtime``: file modification
+time).  Output is a plain-text table with one unicode sparkline per
+timing series -- no dependencies.  With ``--png PATH`` and matplotlib
+available (it is *not* a requirement of this repo), a line chart is
+written as well; without matplotlib the flag degrades to a notice.
+
+Usage::
+
+    python tools/plot_bench_trend.py run1.json run2.json run3.json
+    python tools/plot_bench_trend.py artifacts/*.json --order mtime \
+        --field compiled_s --png trend.png
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows", "sharded_rows")
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def row_key(section: str, row: dict) -> tuple:
+    return (section, row.get("test"), row.get("n"), row.get("universe"))
+
+
+def label_of(key: tuple) -> str:
+    section, test, n, universe = key
+    label = f"{test} n={n}"
+    if universe:
+        label += f" [{universe}]"
+    return label
+
+
+def load_series(paths: list[str]) -> tuple[list[str], dict]:
+    """Returns ``(run_names, {(key, field): [seconds-or-None per run]})``."""
+    series: dict[tuple, list] = {}
+    names: list[str] = []
+    for run, path in enumerate(paths):
+        with open(path) as handle:
+            summary = json.load(handle)
+        names.append(os.path.splitext(os.path.basename(path))[0])
+        for section in ROW_SECTIONS:
+            for row in summary.get(section, ()):
+                key = row_key(section, row)
+                for field, value in row.items():
+                    if not field.endswith("_s") or \
+                            not isinstance(value, (int, float)):
+                        continue
+                    track = series.setdefault((key, field), [None] * run)
+                    # Pad runs this series missed (quick-mode subsets).
+                    track.extend([None] * (run - len(track)))
+                    track.append(value)
+    total = len(paths)
+    for track in series.values():
+        track.extend([None] * (total - len(track)))
+    return names, series
+
+
+def sparkline(values: list) -> str:
+    present = [value for value in values if value is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(" ")
+            continue
+        level = 0 if span == 0 else round(
+            (value - lo) / span * (len(SPARK_LEVELS) - 1))
+        chars.append(SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def render_text(names: list[str], series: dict,
+                field_filter: str | None) -> list[str]:
+    lines = [f"{len(names)} runs: {names[0]} .. {names[-1]}"
+             if names else "no runs"]
+    for (key, field), values in sorted(series.items(),
+                                       key=lambda item: (item[0][0][0],
+                                                         str(item[0]))):
+        if field_filter is not None and field != field_filter:
+            continue
+        present = [value for value in values if value is not None]
+        if not present:
+            continue
+        first, last = present[0], present[-1]
+        delta = (last / first - 1.0) * 100 if first else float("inf")
+        lines.append(
+            f"{label_of(key):>44} {field:>14} "
+            f"{sparkline(values)}  {first:>7.3f}s -> {last:>7.3f}s "
+            f"({delta:+6.1f}%)"
+        )
+    return lines
+
+
+def render_png(names: list[str], series: dict, field_filter: str | None,
+               path: str) -> bool:
+    """Write a matplotlib line chart; False when matplotlib is absent."""
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+    figure, axis = plt.subplots(figsize=(11, 6))
+    x = range(len(names))
+    for (key, field), values in sorted(series.items(),
+                                       key=lambda item: str(item[0])):
+        if field_filter is not None and field != field_filter:
+            continue
+        if not any(value is not None for value in values):
+            continue
+        axis.plot(x, values, marker="o", linewidth=1,
+                  label=f"{label_of(key)} {field}")
+    axis.set_xticks(list(x))
+    axis.set_xticklabels(names, rotation=45, ha="right", fontsize=7)
+    axis.set_ylabel("seconds")
+    axis.set_title("bench_campaign_engine trajectory")
+    axis.legend(fontsize=6, ncol=2)
+    figure.tight_layout()
+    figure.savefig(path, dpi=120)
+    plt.close(figure)
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("summaries", nargs="+",
+                        help="benchmark summary JSON files, one per run")
+    parser.add_argument("--order", choices=("args", "mtime"), default="args",
+                        help="run order: as given (default) or by file "
+                             "modification time")
+    parser.add_argument("--field", default=None,
+                        help="only plot this timing field (e.g. "
+                             "compiled_s); default: all *_s fields")
+    parser.add_argument("--png", default=None,
+                        help="additionally write a line chart here "
+                             "(needs matplotlib; degrades to a notice)")
+    args = parser.parse_args(argv)
+
+    paths = list(args.summaries)
+    if args.order == "mtime":
+        paths.sort(key=os.path.getmtime)
+    names, series = load_series(paths)
+    for line in render_text(names, series, args.field):
+        print(line)
+    if args.png:
+        if render_png(names, series, args.field, args.png):
+            print(f"wrote {args.png}")
+        else:
+            print("matplotlib not available: skipped the PNG "
+                  "(text trend above is complete)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
