@@ -170,8 +170,9 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     (compile when possible), ``"compiled"`` (require a compilable
     runner), ``"batched"`` (require a compilable runner and resolve
     vectorizable fault classes lane-parallel via
-    :func:`repro.sim.batched.run_campaign_batched` -- fastest on
-    single-cell-dominated universes), or ``"interpreted"`` (force the
+    :func:`repro.sim.batched.run_campaign_batched`, on bit- and
+    word-oriented geometries alike -- fastest on universes dominated by
+    single-cell or coupling faults), or ``"interpreted"`` (force the
     legacy per-fault loop).  ``workers > 0`` fans the compiled campaign
     out over that many processes (requires a picklable ``ram_factory``)
     on the persistent shared pool of :mod:`repro.sim.pool` -- or on

@@ -314,8 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign engine: auto (compile when possible), "
                         "interpreted (legacy per-fault loop), compiled "
                         "(per-fault stream replay), batched (bit-packed "
-                        "lane-parallel fault classes; fastest on "
-                        "single-cell-dominated universes)")
+                        "lane-parallel fault classes, bit- and "
+                        "word-oriented alike; fastest on universes "
+                        "dominated by single-cell or coupling faults)")
     p.add_argument("--interpreted", action="store_true",
                    help="deprecated alias for --engine interpreted")
     p.set_defaults(func=_cmd_coverage)

@@ -52,6 +52,10 @@ class VectorSemantics:
                       victim bit ``(victim_cell, victim_bit)``: inverted
                       when ``value`` is None (CFin), forced to ``value``
                       otherwise (CFid)
+    ``"state"``       while aggressor bit ``(cell, bit)`` holds 1
+                      (``rising=True``) or 0 (``rising=False``), victim
+                      bit ``(victim_cell, victim_bit)`` is forced to
+                      ``value`` (CFst)
     ================  =======================================================
 
     >>> VectorSemantics("stuck", cell=3, value=1)

@@ -209,3 +209,16 @@ class StateCouplingFault(_TwoCellFault):
         # inside one port cycle already sees the forced value.
         if cell in (self._aggressor.cell, self._victim.cell):
             self._enforce(array)
+
+    def vector_semantics(self) -> VectorSemantics:
+        """Lane description for the bit-packed engine: kind ``"state"``,
+        with ``rising`` carrying the aggressor state (True = holds 1)
+        and ``value`` the forced victim value.  The lane model
+        (:class:`repro.sim.batched._StateCouplingLanes`) re-enforces the
+        condition through the executor's ``settle``/``after_write``
+        hooks, mirroring the scalar hooks above."""
+        return VectorSemantics(
+            "state", cell=self._aggressor.cell, bit=self._aggressor.bit,
+            rising=bool(self._aggressor_state), value=self._force_to,
+            victim_cell=self._victim.cell, victim_bit=self._victim.bit,
+        )

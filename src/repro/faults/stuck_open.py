@@ -70,9 +70,10 @@ class StuckOpenFault(Fault):
         """Lane description for the bit-packed engine: kind
         ``"stuck-open"``, with ``value`` carrying the latch's power-up
         bit.  The latch state itself lives in the lane model
-        (:class:`repro.sim.batched._StuckOpenLanes`, one sense bit per
-        lane), so the fault stays exact lane-parallel.  Word-oriented
-        power-up values cannot ride a 1-bit lane and fall back."""
+        (:class:`repro.sim.batched._StuckOpenLanes`, one sense latch per
+        lane), so the fault stays exact lane-parallel.  Multi-bit
+        power-up values (``initial_sense > 1``) have no single-descriptor
+        encoding and stay on the per-fault path."""
         if self._initial_sense not in (0, 1):
             return None
         return VectorSemantics("stuck-open", cell=self._cell,

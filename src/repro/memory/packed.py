@@ -1,31 +1,38 @@
-"""Bit-plane memory backend: one int word per address, one lane per fault.
+"""Plane-packed memory backend: one int word per address, one lane per fault.
 
-:class:`PackedMemoryArray` models ``lanes`` independent single-bit
-memories at once.  Word ``words[addr]`` is a plain Python int used as a
-bitmask: lane *k* (bit ``1 << k``) holds the value cell ``addr`` has in
-the *k*-th memory copy.  Because every copy replays the *same* compiled
-operation sequence (an :class:`~repro.sim.ir.OpStream`) and differs only
-in which fault is injected, a whole fault class -- same mask algebra,
-different fault site per lane -- executes in one pass over the stream:
+:class:`PackedMemoryArray` models ``lanes`` independent memory copies of
+``n`` cells by ``m`` bits at once.  Word ``words[addr]`` is a plain
+Python int used as a *plane-major column* of ``m * lanes`` bits: bit
+``b * lanes + k`` holds bit *b* of the value cell ``addr`` has in the
+*k*-th memory copy.  A bit-oriented geometry (``m == 1``) degenerates to
+the classic one-bit-per-lane mask layout.  Because every copy replays
+the *same* compiled operation sequence (an :class:`~repro.sim.ir
+.OpStream`) and differs only in which fault is injected, a whole fault
+class -- same mask algebra, different fault site per lane -- executes in
+one pass over the stream:
 
-* a constant write broadcasts to all lanes (``0`` or the all-ones mask),
-* a checked read XORs the word with the broadcast expectation; any
-  non-zero bit is a *detection in that lane*,
-* π-test accumulator ops (``"ra"``/``"wa"``) keep one accumulator *bit
-  per lane*, so data corrupted by a fault propagates through the
-  pseudo-ring exactly as it would in that lane's dedicated replay.
+* a constant write broadcasts its m-bit value to all lanes (the
+  :meth:`PackedMemoryArray.broadcast` column),
+* a checked read XORs the word with the broadcast expectation; any lane
+  with a non-zero bit in *any* plane is a *detection in that lane*,
+* pi-test accumulator ops (``"ra"``/``"wa"``) keep one m-bit accumulator
+  *column per accumulator id*, so data corrupted by a fault propagates
+  through the pseudo-ring exactly as it would in that lane's dedicated
+  replay.  GF(2^m) constant multiplication is linear over GF(2), so a
+  precompiled lookup table lowers to a per-plane shift/XOR plan -- a
+  handful of big-int operations per record, not per lane.
 
 Per-lane fault semantics plug in through :class:`LaneFaultModel`: the
-executor calls ``transform_write`` / ``after_write`` with lane masks, and
-a model implements e.g. stuck-at-1 as ``new |= sa1_mask[addr]`` -- one
+executor calls ``transform_write`` / ``after_write`` / ``settle`` with
+lane columns, and a model implements e.g. stuck-at-1 on bit *b* as
+``new |= sa1_mask[addr]`` with the mask positioned in plane *b* -- one
 big-int OR applies the fault to hundreds of lanes at once.  Models are
 built from :meth:`repro.faults.base.Fault.vector_semantics` descriptors
 by :mod:`repro.sim.batched`, which also owns universe partitioning and
 the per-fault fallback.
 
-The backend is exact only for bit-oriented geometries (``m == 1``); the
-batched engine enforces that and routes everything else to the scalar
-campaign path.
+Cycle-grouped (multi-port) streams remain outside the packed contract;
+the batched engine delegates those campaigns to the scalar path.
 """
 
 from __future__ import annotations
@@ -38,7 +45,9 @@ class LaneFaultModel:
 
     The default implementation is a no-op (all lanes healthy).  Concrete
     models (:mod:`repro.sim.batched`) override the hooks they need; each
-    hook receives and returns plain-int lane masks.
+    hook receives and returns plain-int lane columns (plane-major, see
+    the module docstring -- for ``m == 1`` a column is simply a lane
+    mask).
     """
 
     #: Set True by models that override :meth:`transform_read` (e.g. the
@@ -47,20 +56,27 @@ class LaneFaultModel:
     #: read hot path.
     transforms_reads = False
 
+    #: Set True by models that override :meth:`settle` (e.g. the state
+    #: coupling model).  Mirrors the scalar engine's settle fast path
+    #: (:class:`repro.faults.injector.FaultInjector` only visits faults
+    #: that override ``settle``): the executor checks the flag once per
+    #: pass and most models pay nothing per record.
+    settles = False
+
     def install(self, memory: "PackedMemoryArray") -> None:
         """Force the initial state (e.g. stuck-at-1 lanes start at 1).
         Called once, before the first operation.  Default: nothing."""
 
     def transform_read(self, addr: int, sensed: int) -> int:
-        """Lane mask actually *observed* when reading ``addr`` whose
-        stored mask is ``sensed`` (read-side state such as a sense latch
-        lives in the model).  Only consulted when
+        """Lane column actually *observed* when reading ``addr`` whose
+        stored column is ``sensed`` (read-side state such as a sense
+        latch lives in the model).  Only consulted when
         :attr:`transforms_reads` is True.  Default: faithful."""
         return sensed
 
     def transform_write(self, addr: int, old: int, new: int) -> int:
-        """Lane mask actually stored when writing ``new`` over ``old`` at
-        ``addr``.  Default: faithful."""
+        """Lane column actually stored when writing ``new`` over ``old``
+        at ``addr``.  Default: faithful."""
         return new
 
     def after_write(self, addr: int, old: int, committed: int,
@@ -68,9 +84,16 @@ class LaneFaultModel:
         """React to the committed write ``old -> committed`` at ``addr``
         (coupling models corrupt their victims here).  Default: nothing."""
 
+    def settle(self, memory: "PackedMemoryArray") -> None:
+        """Enforce steady-state conditions after each executed record --
+        the lane-parallel analogue of :meth:`repro.faults.base.Fault
+        .settle`, which the scalar engines run after every memory cycle
+        (state coupling enforces its condition here).  Only consulted
+        when :attr:`settles` is True.  Default: nothing."""
+
 
 class PackedMemoryArray:
-    """``n`` addresses x ``lanes`` independent single-bit memory copies.
+    """``n`` addresses x ``lanes`` independent ``m``-bit memory copies.
 
     Parameters
     ----------
@@ -79,6 +102,10 @@ class PackedMemoryArray:
     lanes:
         Number of parallel copies; each compiled-stream replay resolves
         one fault per lane.
+    m:
+        Bits per cell (1 = bit-oriented, the default).  Word-oriented
+        copies store bit *b* of a cell in plane *b* of the column
+        (bits ``[b * lanes, (b + 1) * lanes)``).
 
     Examples
     --------
@@ -90,18 +117,29 @@ class PackedMemoryArray:
     0
     >>> bin(packed.ones)
     '0b11111111'
+
+    A word-oriented geometry packs one plane per bit:
+
+    >>> wom = PackedMemoryArray(4, lanes=2, m=4)
+    >>> wom.write_lanes(0, wom.broadcast(0b1010))
+    >>> wom.lane_value(0, 0), wom.lane_value(0, 1)
+    (10, 10)
     """
 
-    __slots__ = ("_n", "_lanes", "_ones", "words")
+    __slots__ = ("_n", "_lanes", "_m", "_ones", "_full", "words")
 
-    def __init__(self, n: int, lanes: int):
+    def __init__(self, n: int, lanes: int, m: int = 1):
         if n < 1:
             raise ValueError(f"memory needs at least one cell, got n={n}")
         if lanes < 1:
             raise ValueError(f"need at least one lane, got {lanes}")
+        if m < 1:
+            raise ValueError(f"cells need at least one bit, got m={m}")
         self._n = n
         self._lanes = lanes
+        self._m = m
         self._ones = (1 << lanes) - 1
+        self._full = (1 << (m * lanes)) - 1
         self.words: list[int] = [0] * n
 
     # -- geometry --------------------------------------------------------------
@@ -117,59 +155,119 @@ class PackedMemoryArray:
         return self._lanes
 
     @property
+    def m(self) -> int:
+        """Bits per cell (planes per column)."""
+        return self._m
+
+    @property
     def ones(self) -> int:
-        """The all-lanes mask, ``(1 << lanes) - 1``."""
+        """The all-lanes *plane* mask, ``(1 << lanes) - 1``."""
         return self._ones
 
+    @property
+    def full(self) -> int:
+        """The all-planes all-lanes column mask, ``(1 << m*lanes) - 1``."""
+        return self._full
+
     def __repr__(self) -> str:
-        return f"PackedMemoryArray(n={self._n}, lanes={self._lanes})"
+        m = f", m={self._m}" if self._m != 1 else ""
+        return f"PackedMemoryArray(n={self._n}, lanes={self._lanes}{m})"
 
     # -- access ----------------------------------------------------------------
 
+    def broadcast(self, value: int) -> int:
+        """The column storing m-bit ``value`` in every lane.
+
+        >>> PackedMemoryArray(2, lanes=4, m=2).broadcast(0b10)
+        240
+        """
+        if not 0 <= value < (1 << self._m):
+            raise ValueError(
+                f"value {value!r} does not fit an m={self._m}-bit cell"
+            )
+        if self._m == 1:
+            return self._ones if value else 0
+        column = 0
+        shift = 0
+        lanes = self._lanes
+        ones = self._ones
+        while value:
+            if value & 1:
+                column |= ones << shift
+            value >>= 1
+            shift += lanes
+        return column
+
+    def lane_mask(self, column: int) -> int:
+        """Collapse a column to a lane mask: lane *k* is set when *any*
+        plane of lane *k* is set in ``column`` (the detection fold).
+
+        >>> PackedMemoryArray(2, lanes=4, m=2).lane_mask(0b0001_1000)
+        9
+        """
+        lanes = self._lanes
+        mask = column & self._ones
+        rest = column >> lanes
+        while rest:
+            mask |= rest & self._ones
+            rest >>= lanes
+        return mask
+
     def read_lanes(self, addr: int) -> int:
-        """The lane mask stored at ``addr``."""
+        """The lane column stored at ``addr``."""
         return self.words[addr]
 
     def write_lanes(self, addr: int, mask: int) -> None:
-        """Replace the lane mask stored at ``addr``."""
-        self.words[addr] = mask & self._ones
+        """Replace the lane column stored at ``addr``."""
+        self.words[addr] = mask & self._full
 
     def lane_value(self, addr: int, lane: int) -> int:
-        """The single-bit value cell ``addr`` holds in copy ``lane``."""
+        """The m-bit value cell ``addr`` holds in copy ``lane``."""
         if not 0 <= lane < self._lanes:
             raise IndexError(f"lane {lane} out of range [0, {self._lanes})")
-        return (self.words[addr] >> lane) & 1
+        column = self.words[addr] >> lane
+        if self._m == 1:
+            return column & 1
+        value = 0
+        for bit in range(self._m):
+            value |= ((column >> (bit * self._lanes)) & 1) << bit
+        return value
 
     def dump_lane(self, lane: int) -> list[int]:
         """Snapshot of one memory copy's cells (for debugging/tests)."""
         if not 0 <= lane < self._lanes:
             raise IndexError(f"lane {lane} out of range [0, {self._lanes})")
-        bit = 1 << lane
-        return [1 if word & bit else 0 for word in self.words]
+        return [self.lane_value(addr, lane) for addr in range(self._n)]
 
     # -- bulk replay -----------------------------------------------------------
 
     def apply_stream(self, ops, tables=(), model: LaneFaultModel | None = None,
                      detected: int = 0,
-                     stop_when_all_detected: bool = True) -> tuple[int, int]:
+                     stop_when_all_detected: bool = True,
+                     captured: list | None = None) -> tuple[int, int]:
         """Replay compiled op records against every lane simultaneously.
 
         Executes the :mod:`repro.sim` IR (records
         ``(kind, port, addr, value, expected, idle)``, see
-        :mod:`repro.sim.ir`) with bit-oriented (``m == 1``) semantics.
-        Values and expectations broadcast to all lanes; ``model`` applies
-        per-lane fault semantics.  A checked read that mismatches its
-        expectation in lane *k* marks lane *k* detected; replay stops
-        early once *every* lane is detected (the batched analogue of the
-        scalar engine's first-mismatch abort -- later mismatches cannot
-        change any verdict because detection is monotone).
+        :mod:`repro.sim.ir`) lane-parallel.  Values and expectations
+        broadcast to all lanes; ``model`` applies per-lane fault
+        semantics.  A checked read that mismatches its expectation in
+        lane *k* (in any bit plane) marks lane *k* detected; replay
+        stops early once *every* lane is detected (the batched analogue
+        of the scalar engine's first-mismatch abort -- later mismatches
+        cannot change any verdict because detection is monotone).
 
-        ``"ra"``/``"wa"`` accumulator ops keep one accumulator bit per
-        lane, so recurrence write data is recomputed from each lane's
-        actual (possibly corrupted) reads -- exactly the scalar replay
-        semantics, lane-parallel.  ``"i"`` idles are no-ops: every
-        vectorizable fault model is timing-independent (retention faults
-        take the per-fault path).
+        ``"ra"``/``"wa"`` accumulator ops keep one m-bit accumulator
+        column *per accumulator id* (the record's sixth slot, exactly
+        like the scalar executors' per-id dicts), so recurrence write
+        data is recomputed from each lane's actual (possibly corrupted)
+        reads -- the scalar replay semantics, lane-parallel.  GF(2^m)
+        constant multipliers lower each ``OpStream.tables`` entry to a
+        per-plane shift/XOR plan once per pass (multiplication by a
+        constant is GF(2)-linear), so a multiply costs a handful of
+        big-int ops per record.  ``"i"`` idles are no-ops apart from the
+        model's ``settle`` hook: every vectorizable fault model is
+        timing-independent (retention faults take the per-fault path).
 
         Parameters
         ----------
@@ -185,36 +283,55 @@ class PackedMemoryArray:
         stop_when_all_detected:
             Disable to force a full replay even once every lane is
             detected (e.g. to inspect final per-lane memory state).
+        captured:
+            Optional list collecting the *observed lane column* of every
+            ``"s"`` (signature) read, in order -- the lane-parallel
+            analogue of the scalar executors' per-value ``captured``
+            list (bit ``b * lanes + k`` is bit *b* of the value lane *k*
+            observed).  Pass ``stop_when_all_detected=False`` when the
+            capture list must cover the whole stream.
 
-        Returns ``(detected, executed)``: the final detected-lane mask and
-        the number of read/write records executed (once per *pass*, not
-        per lane).
+        Returns ``(detected, executed)``: the final detected-lane mask
+        and the number of operation records executed, once per *pass*,
+        not per lane.  Like the scalar executors, ``executed`` counts
+        every read and write record -- ``"w"``/``"r"``/``"s"`` and the
+        ``"ra"``/``"wa"`` recurrence ops -- while ``"i"`` idles are free.
 
         >>> packed = PackedMemoryArray(2, lanes=3)
         >>> packed.apply_stream([("w", 0, 0, 1, None, 0),
         ...                      ("r", 0, 0, None, 1, 0)])
         (0, 2)
         """
+        if model is None:
+            model = _NO_FAULTS
+        if self._m == 1:
+            return self._apply_stream_bit(ops, tables, model, detected,
+                                          stop_when_all_detected, captured)
+        return self._apply_stream_word(ops, tables, model, detected,
+                                       stop_when_all_detected, captured)
+
+    def _apply_stream_bit(self, ops, tables, model, detected,
+                          stop_when_all_detected, captured):
+        """The bit-oriented (m == 1) executor: one bit per lane."""
         words = self.words
         ones = self._ones
         executed = 0
-        acc = 0
-        if model is None:
-            model = _NO_FAULTS
+        accs: dict[int, int] = {}
         transform_write = model.transform_write
         after_write = model.after_write
-        # Hoisted flag: read-transparent models (the common case) skip
-        # the read hook entirely, keeping the checked-read fast path to
-        # one XOR per record.
+        # Hoisted flags: read-transparent / settle-free models (the
+        # common case) skip the hooks entirely, keeping the checked-read
+        # fast path to one XOR per record.
         transform_read = model.transform_read if model.transforms_reads \
             else None
-        for kind, _port, addr, value, expected, _idle in ops:
+        settle = model.settle if model.settles else None
+        for kind, _port, addr, value, expected, idle in ops:
             if kind == "w" or kind == "wa":
                 if kind == "w":
                     new = ones if value else 0
                 else:
-                    new = acc ^ (ones if value else 0)
-                    acc = 0
+                    new = accs.get(idle, 0) ^ (ones if value else 0)
+                    accs[idle] = 0
                 old = words[addr]
                 new = transform_write(addr, old, new)
                 words[addr] = new
@@ -224,6 +341,8 @@ class PackedMemoryArray:
                 executed += 1
                 observed = words[addr] if transform_read is None \
                     else transform_read(addr, words[addr])
+                if kind == "s" and captured is not None:
+                    captured.append(observed)
                 diff = observed ^ (ones if expected else 0)
                 if diff:
                     detected |= diff
@@ -239,7 +358,7 @@ class PackedMemoryArray:
                     else transform_read(addr, words[addr])
                 diff = observed ^ (ones if expected else 0)
                 if diff and (value is None or tables[value][1]):
-                    acc ^= diff
+                    accs[idle] = accs.get(idle, 0) ^ diff
             elif kind == "i":
                 pass
             elif kind == "grp":
@@ -250,7 +369,119 @@ class PackedMemoryArray:
                 )
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
+            if settle is not None:
+                settle(self)
         return detected, executed
+
+    def _apply_stream_word(self, ops, tables, model, detected,
+                           stop_when_all_detected, captured):
+        """The word-oriented (m > 1) executor: m planes per lane.
+
+        Same record semantics as the bit executor with three geometry
+        generalisations: write values and read expectations broadcast
+        through a per-value column cache, a checked-read mismatch folds
+        its column onto the lane mask (any plane differing detects the
+        lane), and ``"ra"`` multipliers run their lowered per-plane
+        shift/XOR plan (see :meth:`_lower_table`).
+        """
+        words = self.words
+        lanes = self._lanes
+        ones = self._ones
+        executed = 0
+        accs: dict[int, int] = {}
+        columns: dict[int, int] = {}  # m-bit value -> broadcast column
+        plans: dict[int, list] = {}  # table index -> shift/XOR plan
+        broadcast = self.broadcast
+        lane_mask = self.lane_mask
+        transform_write = model.transform_write
+        after_write = model.after_write
+        transform_read = model.transform_read if model.transforms_reads \
+            else None
+        settle = model.settle if model.settles else None
+        for kind, _port, addr, value, expected, idle in ops:
+            if kind == "w" or kind == "wa":
+                new = columns.get(value)
+                if new is None:
+                    new = columns[value] = broadcast(value)
+                if kind == "wa":
+                    new ^= accs.get(idle, 0)
+                    accs[idle] = 0
+                old = words[addr]
+                new = transform_write(addr, old, new)
+                words[addr] = new
+                after_write(addr, old, new, self)
+                executed += 1
+            elif kind == "r" or kind == "s":
+                executed += 1
+                observed = words[addr] if transform_read is None \
+                    else transform_read(addr, words[addr])
+                if kind == "s" and captured is not None:
+                    captured.append(observed)
+                expect = columns.get(expected)
+                if expect is None:
+                    expect = columns[expected] = broadcast(expected)
+                diff = observed ^ expect
+                if diff:
+                    detected |= lane_mask(diff)
+                    if detected == ones and stop_when_all_detected:
+                        return detected, executed
+            elif kind == "ra":
+                executed += 1
+                observed = words[addr] if transform_read is None \
+                    else transform_read(addr, words[addr])
+                expect = columns.get(expected)
+                if expect is None:
+                    expect = columns[expected] = broadcast(expected)
+                diff = observed ^ expect
+                if diff:
+                    if value is None:  # multiplier 1: add the raw diff
+                        accs[idle] = accs.get(idle, 0) ^ diff
+                    else:
+                        plan = plans.get(value)
+                        if plan is None:
+                            plan = plans[value] = \
+                                self._lower_table(tables[value])
+                        acc = accs.get(idle, 0)
+                        for src_shift, dst_shifts in plan:
+                            plane = (diff >> src_shift) & ones
+                            if plane:
+                                for dst_shift in dst_shifts:
+                                    acc ^= plane << dst_shift
+                        accs[idle] = acc
+            elif kind == "i":
+                pass
+            elif kind == "grp":
+                raise ValueError(
+                    "cycle-grouped streams are outside the packed "
+                    "backend's contract (the batched engine delegates "
+                    "multi-port campaigns to the scalar path)"
+                )
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+            if settle is not None:
+                settle(self)
+        return detected, executed
+
+    def _lower_table(self, table) -> list[tuple[int, list[int]]]:
+        """Per-plane shift/XOR plan of one constant-multiplier table.
+
+        GF(2^m) multiplication by a constant is linear over GF(2), so
+        ``table[x]`` is the XOR over the set bits *i* of ``x`` of the
+        basis images ``table[1 << i]``.  The plan lists, for every input
+        plane *i* that contributes at all, the output-plane shifts its
+        lanes XOR into -- applying a multiplier to a whole column is
+        then at most m x m big-int shift/XORs, independent of the lane
+        count.
+        """
+        lanes = self._lanes
+        plan: list[tuple[int, list[int]]] = []
+        for src in range(self._m):
+            column = table[1 << src]
+            dst_shifts = [dst * lanes for dst in range(self._m)
+                          if (column >> dst) & 1]
+            if dst_shifts:
+                plan.append((src * lanes, dst_shifts))
+        return plan
 
 
 _NO_FAULTS = LaneFaultModel()

@@ -238,7 +238,12 @@ class SinglePortRAM:
         write_cell = behavior.write_cell
         settle = behavior.settle
         check_value = array._check_value
-        reads = writes = executed = acc = 0
+        reads = writes = executed = 0
+        # Per-accumulator-id recurrence state, selected by the record's
+        # sixth slot exactly like the multi-port and generic executors
+        # (flat streams normally use the single implicit accumulator 0,
+        # but hand-built flat streams may run several automata).
+        accs: dict[int, int] = {}
         cycles = stats.cycles
         try:
             for index in range(start, end):
@@ -250,8 +255,9 @@ class SinglePortRAM:
                 physical = addr if scrambler is None else scrambler.map(addr)
                 if kind == "w" or kind == "wa":
                     if kind == "wa":
-                        value = acc ^ value  # encode the stored-data inversion
-                        acc = 0
+                        # Encode the stored-data inversion.
+                        value = accs.get(idle, 0) ^ value
+                        accs[idle] = 0
                     check_value(value)
                     if not overrides:
                         write_cell(array, physical, value, cycles)
@@ -287,8 +293,10 @@ class SinglePortRAM:
                     if kind == "ra":
                         actual ^= expected  # decode the stored-data inversion
                         if actual:
-                            acc ^= actual if value is None \
+                            accs[idle] = accs.get(idle, 0) ^ (
+                                actual if value is None
                                 else tables[value][actual]
+                            )
                     else:
                         if kind == "s" and captured is not None:
                             captured.append(actual)

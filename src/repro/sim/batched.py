@@ -3,24 +3,29 @@
 The scalar campaign engine (:func:`repro.sim.campaign.run_campaign`)
 replays a compiled :class:`~repro.sim.ir.OpStream` once per fault.  For
 the fault classes that dominate real universes -- stuck-at, transition,
-stuck-open, and inversion/idempotent coupling -- the *operations* of
-every one of those replays are identical; only the fault site differs.
-This engine exploits that: it packs one fault per *lane* of a
+stuck-open, and coupling -- the *operations* of every one of those
+replays are identical; only the fault site differs.  This engine
+exploits that: it packs one fault per *lane* of a
 :class:`~repro.memory.packed.PackedMemoryArray` (plain Python ints as
-lane-parallel bitmasks) and replays the stream **once per class**,
-applying each lane's fault as a mask operation:
+lane-parallel bit columns, ``m`` planes per lane for word-oriented
+geometries) and replays the stream **once per class**, applying each
+lane's fault as a mask operation positioned in the faulty bit's plane:
 
 * stuck-at:   ``new |= sa1_mask[addr]``, ``new &= ~sa0_mask[addr]``
 * transition: ``new &= ~(~old & new & tf_up_mask[addr])`` (blocked rise),
   and the dual for blocked falls
 * stuck-open: writes to the open cell are masked off, and reads route
-  through a per-lane sense-latch bit (the classical two-read SOF model)
+  through a per-lane sense latch (the classical two-read SOF model)
 * coupling:   on an aggressor-bit transition, ``victim ^= fired`` (CFin)
   or force the fired lanes (CFid)
+* state coupling (CFst): after every committed write, lanes whose
+  aggressor bit holds the coupling state force their victim bit -- the
+  lane-parallel analogue of the scalar ``settle`` hook
 
 A checked read XORs the packed word with the broadcast expectation; every
-non-zero lane bit is a detection.  π-test recurrences stay exact through
-a per-lane accumulator bit (see
+lane with a non-zero bit in any plane is a detection.  π-test recurrences
+stay exact through per-lane accumulator columns, with GF(2^m) constant
+multipliers lowered to per-plane shift/XOR plans (see
 :meth:`~repro.memory.packed.PackedMemoryArray.apply_stream`), so this is
 not an approximation: each lane computes bit-for-bit what its dedicated
 scalar replay would.
@@ -29,9 +34,8 @@ Cost: ``O(classes * stream_length)`` big-int operations instead of
 ``O(|universe| * detection_prefix)`` scalar ones -- on single-cell
 dominated universes an order of magnitude faster (see
 ``benchmarks/bench_campaign_engine.py``).  Faults that cannot be
-expressed as mask algebra (NPSF, bridging, decoder, retention,
-state coupling, linked) fall back per fault to
-:func:`~repro.sim.campaign.run_campaign`, so
+expressed as mask algebra (NPSF, bridging, decoder, retention, linked)
+fall back per fault to :func:`~repro.sim.campaign.run_campaign`, so
 :func:`run_campaign_batched` accepts *any* universe and returns verdicts
 identical to the scalar engines, in universe order.
 """
@@ -65,14 +69,18 @@ class _StuckLanes(LaneFaultModel):
     state and to every committed write -- with one fault per lane and no
     other mutators in a stuck lane, the stored value is forced at every
     observable point, matching the scalar model's read/write/settle hooks.
+    Word-oriented faults position their lane bit in the faulty bit's
+    plane (``sem.bit * lanes + lane``); the mask algebra is unchanged.
     """
 
     def __init__(self, semantics: list[VectorSemantics]):
+        stride = len(semantics)  # == the pass's lane count (plane stride)
         self._sa1: dict[int, int] = {}
         self._sa0: dict[int, int] = {}
         for lane, sem in enumerate(semantics):
             target = self._sa1 if sem.value else self._sa0
-            target[sem.cell] = target.get(sem.cell, 0) | (1 << lane)
+            bit = 1 << (sem.bit * stride + lane)
+            target[sem.cell] = target.get(sem.cell, 0) | bit
 
     def install(self, memory: PackedMemoryArray) -> None:
         # Cells power up at 0; stuck-at-1 lanes are forced immediately.
@@ -97,11 +105,13 @@ class _TransitionLanes(LaneFaultModel):
     """
 
     def __init__(self, semantics: list[VectorSemantics]):
+        stride = len(semantics)
         self._up: dict[int, int] = {}
         self._down: dict[int, int] = {}
         for lane, sem in enumerate(semantics):
             target = self._up if sem.rising else self._down
-            target[sem.cell] = target.get(sem.cell, 0) | (1 << lane)
+            bit = 1 << (sem.bit * stride + lane)
+            target[sem.cell] = target.get(sem.cell, 0) | bit
 
     def transform_write(self, addr: int, old: int, new: int) -> int:
         mask = self._up.get(addr)
@@ -116,20 +126,29 @@ class _TransitionLanes(LaneFaultModel):
 class _CouplingLanes(LaneFaultModel):
     """CFin/CFid lanes: aggressor transitions corrupt per-lane victims.
 
-    Lanes are grouped by ``(aggressor, victim, edge, effect)`` so one
-    committed write touches each distinct victim word once, with a mask
-    covering every lane of that group that fired.
+    Lanes are grouped by ``(aggressor bit, victim bit, edge, effect)`` so
+    one committed write touches each distinct victim word once, with a
+    mask covering every lane of that group that fired.  The aggressor
+    mask sits in the aggressor bit's plane; ``delta`` repositions the
+    fired lanes into the victim bit's plane (zero for bit-oriented and
+    same-bit word faults), which also covers the intra-word case where
+    aggressor and victim are bits of one cell.
     """
 
     def __init__(self, semantics: list[VectorSemantics]):
-        groups: dict[tuple[int, int, bool, int | None], int] = {}
+        stride = len(semantics)
+        groups: dict[tuple[int, int, int, int, bool, int | None], int] = {}
         for lane, sem in enumerate(semantics):
-            key = (sem.cell, sem.victim_cell, bool(sem.rising), sem.value)
+            key = (sem.cell, sem.bit, sem.victim_cell, sem.victim_bit,
+                   bool(sem.rising), sem.value)
             groups[key] = groups.get(key, 0) | (1 << lane)
-        self._by_aggressor: dict[int, list[tuple[int, bool, int | None, int]]] = {}
-        for (aggr, victim, rising, force_to), mask in groups.items():
+        self._by_aggressor: dict[
+            int, list[tuple[int, bool, int | None, int, int]]] = {}
+        for (aggr, a_bit, victim, v_bit, rising, force_to), mask in \
+                groups.items():
             self._by_aggressor.setdefault(aggr, []).append(
-                (victim, rising, force_to, mask)
+                (victim, rising, force_to, mask << (a_bit * stride),
+                 (v_bit - a_bit) * stride)
             )
 
     def after_write(self, addr: int, old: int, committed: int,
@@ -140,10 +159,12 @@ class _CouplingLanes(LaneFaultModel):
         rise = ~old & committed  # lanes whose aggressor bit went 0 -> 1
         fall = old & ~committed  # lanes whose aggressor bit went 1 -> 0
         words = memory.words
-        for victim, rising, force_to, mask in groups:
+        for victim, rising, force_to, mask, delta in groups:
             fired = (rise if rising else fall) & mask
             if not fired:
                 continue
+            if delta:  # move from the aggressor plane to the victim plane
+                fired = fired << delta if delta > 0 else fired >> -delta
             if force_to is None:  # CFin: invert the victim bit
                 words[victim] ^= fired
             elif force_to:  # CFid -> 1
@@ -175,6 +196,23 @@ class _StuckOpenLanes(LaneFaultModel):
             if sem.value:
                 self._sense |= 1 << lane
 
+    def install(self, memory: PackedMemoryArray) -> None:
+        # SOF is a whole-cell fault: on a word-oriented geometry the open
+        # mask must cut off *every* plane of the lane's cell, so the
+        # single-plane masks built in __init__ are replicated across the
+        # memory's m planes here (the first point the geometry is known).
+        # The latch keeps its compact power-up value: initial_sense is a
+        # 0/1 cell value, i.e. bit 0 -- plane 0 -- of the word.
+        if memory.m == 1:
+            return
+        stride = memory.lanes
+        replicate = sum(1 << (bit * stride) for bit in range(memory.m))
+        # Lane positions (< stride) and plane offsets (multiples of
+        # stride) never collide, so the product is a carry-free spread of
+        # every open lane bit across all planes.
+        self._open = {cell: mask * replicate
+                      for cell, mask in self._open.items()}
+
     def transform_read(self, addr: int, sensed: int) -> int:
         open_here = self._open.get(addr)
         if open_here is None:
@@ -194,11 +232,81 @@ class _StuckOpenLanes(LaneFaultModel):
         return new
 
 
+class _StateCouplingLanes(LaneFaultModel):
+    """CFst lanes: while the aggressor bit holds a state, the victim bit
+    is forced.
+
+    The scalar model enforces its condition in ``settle`` (after every
+    memory cycle) and in ``after_write`` (immediately, when the write
+    touches the aggressor or victim cell).  Lane-parallel that becomes:
+    the *first* ``settle`` of a pass enforces every group (the scalar
+    engines' first post-cycle settle -- cells power up un-forced, so a
+    read issued before any cycle completes still observes the raw
+    state), and afterwards only a committed write can change a group's
+    aggressor state or overwrite its victim, so ``after_write`` enforces
+    exactly the groups touching the written cell.  Lanes are disjoint
+    across groups (one fault per lane), so enforcement never cascades.
+    """
+
+    settles = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        stride = len(semantics)
+        grouped: dict[tuple[int, int, int, int, bool, int], int] = {}
+        for lane, sem in enumerate(semantics):
+            key = (sem.cell, sem.bit, sem.victim_cell, sem.victim_bit,
+                   bool(sem.rising), sem.value)
+            grouped[key] = grouped.get(key, 0) | (1 << lane)
+        #: (aggr_cell, aggr_shift, victim_cell, victim_shift, state,
+        #:  force_to, lane_mask) per distinct coupling condition.
+        self._groups = [
+            (a_cell, a_bit * stride, v_cell, v_bit * stride, state,
+             force_to, mask)
+            for (a_cell, a_bit, v_cell, v_bit, state, force_to), mask
+            in grouped.items()
+        ]
+        self._by_cell: dict[int, list[tuple]] = {}
+        for group in self._groups:
+            self._by_cell.setdefault(group[0], []).append(group)
+            if group[2] != group[0]:
+                self._by_cell.setdefault(group[2], []).append(group)
+        self._enforced = False
+
+    def _enforce(self, memory: PackedMemoryArray, groups) -> None:
+        words = memory.words
+        for a_cell, a_shift, v_cell, v_shift, state, force_to, mask in \
+                groups:
+            aggressor = (words[a_cell] >> a_shift) & mask
+            # Lanes (within this group) whose aggressor bit equals the
+            # coupling state; aggressor is a subset of mask, so the
+            # state-0 complement is just the XOR.
+            held = aggressor if state else aggressor ^ mask
+            if not held:
+                continue
+            if force_to:
+                words[v_cell] |= held << v_shift
+            else:
+                words[v_cell] &= ~(held << v_shift)
+
+    def after_write(self, addr: int, old: int, committed: int,
+                    memory: PackedMemoryArray) -> None:
+        groups = self._by_cell.get(addr)
+        if groups is not None:
+            self._enforce(memory, groups)
+
+    def settle(self, memory: PackedMemoryArray) -> None:
+        if self._enforced:
+            return
+        self._enforced = True
+        self._enforce(memory, self._groups)
+
+
 _MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
     "stuck": _StuckLanes,
     "transition": _TransitionLanes,
     "coupling": _CouplingLanes,
     "stuck-open": _StuckOpenLanes,
+    "state": _StateCouplingLanes,
 }
 
 
@@ -256,8 +364,8 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     Same contract and verdicts as
     :func:`~repro.sim.campaign.run_campaign` -- outcomes in universe
     order, identical ``detected`` flags -- but vectorizable faults
-    (stuck-at, transition, CFin/CFid on a bit-oriented geometry) are
-    resolved lane-parallel on a
+    (stuck-at, transition, stuck-open, CFin/CFid/CFst, on bit- and
+    word-oriented geometries alike) are resolved lane-parallel on a
     :class:`~repro.memory.packed.PackedMemoryArray`, and only the
     remainder takes the scalar per-fault path.
 
@@ -265,8 +373,9 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     ----------
     stream:
         The compiled test.  The packed backend models the canonical
-        ``SinglePortRAM(n, m=1)``; streams compiled for ``m > 1`` are
-        delegated wholly to :func:`run_campaign`.
+        ``SinglePortRAM(n, m)`` -- word-oriented streams get ``m``
+        bit planes per lane; only cycle-grouped (multi-port) streams
+        are delegated wholly to :func:`run_campaign`.
     universe:
         Iterable of faults; outcome order preserved.
     ram_factory:
@@ -313,14 +422,14 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     """
     if max_lanes < 1:
         raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
-    if stream.m != 1 or ram_factory is not None or stream.ports > 1:
-        # Word-oriented lanes would need m bits per fault, a custom
-        # front-end may remap addresses or ports, and cycle-grouped
-        # multi-port streams need per-cycle port semantics the bit-plane
-        # backend does not model -- all outside the packed contract.
-        # The scalar engine handles every case (multi-port campaigns
-        # still get compiled replay and process sharding there), so the
-        # batched entry point stays universally callable.
+    if ram_factory is not None or stream.ports > 1:
+        # A custom front-end may remap addresses or ports, and
+        # cycle-grouped multi-port streams need per-cycle port semantics
+        # the plane-packed backend does not model -- both outside the
+        # packed contract.  The scalar engine handles every case
+        # (multi-port campaigns still get compiled replay and process
+        # sharding there), so the batched entry point stays universally
+        # callable.
         return run_campaign(stream, universe, ram_factory=ram_factory,
                             workers=workers, chunk_size=chunk_size,
                             progress=progress,
@@ -368,7 +477,7 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
             for base in range(0, len(members), max_lanes):
                 chunk = members[base:base + max_lanes]
                 model = build_lane_model(kind, [sem for _, _, sem in chunk])
-                packed = PackedMemoryArray(n, lanes=len(chunk))
+                packed = PackedMemoryArray(n, lanes=len(chunk), m=stream.m)
                 model.install(packed)
                 detected, executed = packed.apply_stream(
                     stream.ops, tables=stream.tables, model=model

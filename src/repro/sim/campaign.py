@@ -173,16 +173,18 @@ def partition_universe(
     """Split a universe into lane-vectorizable classes and a remainder.
 
     A fault is vectorizable when it describes itself through
-    :meth:`~repro.faults.base.Fault.vector_semantics` *and* the geometry
-    is bit-oriented (``m == 1``, every referenced cell inside ``n``) --
-    the contract of :class:`~repro.memory.packed.PackedMemoryArray`.
-    Everything else lands in the scalar ``fallback`` list.
+    :meth:`~repro.faults.base.Fault.vector_semantics` *and* every bit the
+    descriptor touches exists in the ``n x m`` geometry -- the contract
+    of :class:`~repro.memory.packed.PackedMemoryArray` (word-oriented
+    geometries pack ``m`` bit planes per lane, so a descriptor may name
+    any ``bit < m``).  Everything else lands in the scalar ``fallback``
+    list.
 
     Returns ``(classes, fallback)``: ``classes`` maps the descriptor kind
-    (``"stuck"``, ``"transition"``, ``"coupling"``, ``"stuck-open"``) to
-    ``(universe_index, fault, semantics)`` triples, ``fallback`` holds
-    ``(universe_index, fault)`` pairs; indices let the batched engine
-    reassemble outcomes in universe order.
+    (``"stuck"``, ``"transition"``, ``"coupling"``, ``"stuck-open"``,
+    ``"state"``) to ``(universe_index, fault, semantics)`` triples,
+    ``fallback`` holds ``(universe_index, fault)`` pairs; indices let the
+    batched engine reassemble outcomes in universe order.
 
     >>> from repro.faults import single_cell_universe
     >>> classes, fallback = partition_universe(
@@ -195,8 +197,8 @@ def partition_universe(
     classes: dict[str, list[tuple[int, Fault, VectorSemantics]]] = {}
     fallback: list[tuple[int, Fault]] = []
     for index, fault in enumerate(universe):
-        semantics = fault.vector_semantics() if m == 1 else None
-        if semantics is not None and _fits_bit_oriented(semantics, n):
+        semantics = fault.vector_semantics()
+        if semantics is not None and _fits_geometry(semantics, n, m):
             classes.setdefault(semantics.kind, []).append(
                 (index, fault, semantics)
             )
@@ -205,13 +207,13 @@ def partition_universe(
     return classes, fallback
 
 
-def _fits_bit_oriented(semantics: VectorSemantics, n: int) -> bool:
-    """True when every bit the descriptor touches exists in an n x 1 array."""
-    if semantics.bit != 0 or not 0 <= semantics.cell < n:
+def _fits_geometry(semantics: VectorSemantics, n: int, m: int) -> bool:
+    """True when every bit the descriptor touches exists in an n x m array."""
+    if not 0 <= semantics.bit < m or not 0 <= semantics.cell < n:
         return False
     if semantics.victim_cell is None:
         return True
-    return semantics.victim_bit == 0 and 0 <= semantics.victim_cell < n
+    return 0 <= semantics.victim_bit < m and 0 <= semantics.victim_cell < n
 
 
 # -- process sharding -------------------------------------------------------

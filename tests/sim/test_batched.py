@@ -109,15 +109,21 @@ class TestVectorSemantics:
         # A word-oriented power-up value cannot ride a 1-bit lane.
         assert StuckOpenFault(1, initial_sense=3).vector_semantics() is None
 
+    def test_state_coupling_vectorizes(self):
+        from repro.faults import StateCouplingFault
+
+        cfst = StateCouplingFault(BitLocation(1, 2), BitLocation(4, 0),
+                                  aggressor_state=0,
+                                  force_to=1).vector_semantics()
+        assert (cfst.kind, cfst.cell, cfst.bit, cfst.victim_cell,
+                cfst.victim_bit) == ("state", 1, 2, 4, 0)
+        assert cfst.rising is False  # aggressor holds 0
+        assert cfst.value == 1  # victim forced to 1
+
     def test_non_vectorizable_fault_types(self):
-        from repro.faults import (
-            BridgingFault,
-            DataRetentionFault,
-            StateCouplingFault,
-        )
+        from repro.faults import BridgingFault, DataRetentionFault
 
         for fault in (DataRetentionFault(2, retention=8),
-                      StateCouplingFault(0, 1, aggressor_state=1, force_to=0),
                       BridgingFault(0, 1, kind="and")):
             assert fault.vector_semantics() is None, fault.name
 
@@ -137,13 +143,16 @@ class TestPartitionUniverse:
         classes, fallback = partition_universe(universe, n=16)
         counts = {kind: len(group) for kind, group in classes.items()}
         # SAF -> stuck, TF -> transition, SOF -> stuck-open,
-        # CFin+CFid -> coupling; the rest (CFst, BF, AF) is scalar work.
+        # CFin+CFid -> coupling, CFst -> state; the rest (BF, AF) is
+        # scalar work.
         assert counts["stuck"] == 32
         assert counts["transition"] == 32
         assert counts["stuck-open"] == 16
         assert counts["coupling"] == 30 * 2 + 30 * 4
+        assert counts["state"] == 30 * 4
         vectorized = sum(counts.values())
         assert vectorized + len(fallback) == len(universe)
+        assert {fault.fault_class for _, fault in fallback} == {"BF", "AF"}
 
     def test_indices_reassemble_universe_order(self):
         universe = standard_universe(8)
@@ -154,11 +163,20 @@ class TestPartitionUniverse:
         )
         assert indices == list(range(len(universe)))
 
-    def test_word_oriented_geometry_all_fallback(self):
+    def test_word_oriented_geometry_vectorizes(self):
         universe = single_cell_universe(8, m=4, classes=("SAF", "TF"))
         classes, fallback = partition_universe(universe, n=8, m=4)
-        assert classes == {}
-        assert len(fallback) == len(universe)
+        assert not fallback
+        counts = {kind: len(group) for kind, group in classes.items()}
+        assert counts == {"stuck": 64, "transition": 64}
+
+    def test_bits_beyond_m_fall_back(self):
+        # A descriptor naming bit 4 of a 4-bit word does not fit the
+        # geometry and must take the scalar path.
+        universe = [StuckAtFault(1, 1, bit=4), StuckAtFault(1, 1, bit=3)]
+        classes, fallback = partition_universe(universe, n=8, m=4)
+        assert [fault for _, fault in fallback] == [universe[0]]
+        assert len(classes["stuck"]) == 1
 
     def test_out_of_range_sites_fall_back(self):
         classes, fallback = partition_universe([StuckAtFault(9, 1)], n=8)
@@ -223,11 +241,11 @@ class TestRunCampaignBatched:
         assert result.faults_batched == 0
         assert result.detection_ratio == 1.0
 
-    def test_word_oriented_stream_delegates(self):
+    def test_word_oriented_stream_batches(self):
         stream = compile_march(MARCH_C_MINUS, 8, m=4)
         universe = single_cell_universe(8, m=4, classes=("SAF",))
         result = run_campaign_batched(stream, universe)
-        assert result.faults_batched == 0
+        assert result.faults_batched == len(universe)
         assert result.detection_ratio == 1.0
 
     def test_unknown_vector_kind_falls_back_to_scalar(self):

@@ -1,0 +1,198 @@
+"""Unit tests for the benchmark-guard and trend-plot tools.
+
+``tools/`` is not a package; the modules are loaded by file path.  The
+``--from-artifacts`` mode is tested against a fake ``gh`` runner -- no
+network, no GitHub CLI required.
+"""
+
+import importlib.util
+import io
+import json
+import os
+import zipfile
+
+import pytest
+
+_TOOLS = os.path.join(os.path.dirname(__file__), "..", "tools")
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(_TOOLS, f"{name}.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_bench = _load("check_bench")
+plot_bench_trend = _load("plot_bench_trend")
+
+
+def _zip_bytes(payload: dict, member: str = "BENCH_full.json") -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w") as archive:
+        archive.writestr(member, json.dumps(payload))
+    return buffer.getvalue()
+
+
+class _FakeGh:
+    """Canned `gh` responses keyed by the first two CLI words."""
+
+    def __init__(self, artifacts, zips):
+        self.artifacts = artifacts
+        self.zips = zips
+        self.calls = []
+
+    def __call__(self, args):
+        self.calls.append(args)
+        if args[0] == "repo":
+            return b"acme/repro\n"
+        if args[1].endswith("/actions/artifacts"):
+            lines = [json.dumps(entry) for entry in self.artifacts]
+            return ("\n".join(lines) + "\n").encode()
+        for artifact_id, payload in self.zips.items():
+            if args[1].endswith(f"/artifacts/{artifact_id}/zip"):
+                return payload
+        raise AssertionError(f"unexpected gh call: {args}")
+
+
+@pytest.fixture
+def fake_gh():
+    artifacts = [
+        {"id": 3, "name": "bench-full-cccc", "expired": False,
+         "created_at": "2026-07-03T00:00:00Z"},
+        {"id": 1, "name": "bench-full-aaaa", "expired": False,
+         "created_at": "2026-07-01T00:00:00Z"},
+        {"id": 2, "name": "bench-full-bbbb", "expired": True,
+         "created_at": "2026-07-02T00:00:00Z"},
+        {"id": 4, "name": "coverage-html", "expired": False,
+         "created_at": "2026-07-04T00:00:00Z"},
+    ]
+    zips = {
+        1: _zip_bytes({"rows": [{"test": "March C-", "n": 64,
+                                 "compiled_s": 0.4}]}),
+        3: _zip_bytes({"rows": [{"test": "March C-", "n": 64,
+                                 "compiled_s": 0.5}]}),
+    }
+    return _FakeGh(artifacts, zips)
+
+
+class TestFetchArtifactSeries:
+    def test_filters_sorts_and_extracts(self, fake_gh, tmp_path):
+        paths = plot_bench_trend.fetch_artifact_series(
+            "acme/repro", str(tmp_path), run=fake_gh)
+        # Expired and foreign artifacts dropped; oldest..newest order.
+        assert [os.path.basename(p) for p in paths] == \
+            ["bench-full-aaaa-1.json", "bench-full-cccc-3.json"]
+        with open(paths[0]) as handle:
+            assert json.load(handle)["rows"][0]["compiled_s"] == 0.4
+
+    def test_rerun_same_name_keeps_newest_once(self, fake_gh, tmp_path):
+        # A re-run workflow uploads a second bench-full-<sha> artifact:
+        # only the newest contributes, and it is actually downloaded
+        # (the cache keys on the artifact id, not the name).
+        fake_gh.artifacts.append(
+            {"id": 9, "name": "bench-full-cccc", "expired": False,
+             "created_at": "2026-07-05T00:00:00Z"})
+        fake_gh.zips[9] = _zip_bytes(
+            {"rows": [{"test": "March C-", "n": 64, "compiled_s": 0.6}]})
+        paths = plot_bench_trend.fetch_artifact_series(
+            "acme/repro", str(tmp_path), run=fake_gh)
+        assert [os.path.basename(p) for p in paths] == \
+            ["bench-full-aaaa-1.json", "bench-full-cccc-9.json"]
+        with open(paths[1]) as handle:
+            assert json.load(handle)["rows"][0]["compiled_s"] == 0.6
+
+    def test_cache_skips_downloaded_artifacts(self, fake_gh, tmp_path):
+        plot_bench_trend.fetch_artifact_series("acme/repro", str(tmp_path),
+                                               run=fake_gh)
+        downloads = sum(1 for call in fake_gh.calls
+                        if call[-1].endswith("/zip")
+                        or "/zip" in call[1])
+        plot_bench_trend.fetch_artifact_series("acme/repro", str(tmp_path),
+                                               run=fake_gh)
+        again = sum(1 for call in fake_gh.calls
+                    if call[-1].endswith("/zip") or "/zip" in call[1])
+        assert downloads == 2
+        assert again == downloads  # second fetch served from cache
+
+    def test_limit_keeps_newest(self, fake_gh, tmp_path):
+        paths = plot_bench_trend.fetch_artifact_series(
+            "acme/repro", str(tmp_path), limit=1, run=fake_gh)
+        assert [os.path.basename(p) for p in paths] == \
+            ["bench-full-cccc-3.json"]
+
+    def test_no_artifacts_is_a_pointed_error(self, tmp_path):
+        empty = _FakeGh([], {})
+        with pytest.raises(RuntimeError, match="no unexpired"):
+            plot_bench_trend.fetch_artifact_series(
+                "acme/repro", str(tmp_path), run=empty)
+
+    def test_zip_without_summary_is_a_pointed_error(self, tmp_path):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("README.txt", "nope")
+        gh = _FakeGh(
+            [{"id": 1, "name": "bench-full-aaaa", "expired": False,
+              "created_at": "2026-07-01T00:00:00Z"}],
+            {1: buffer.getvalue()},
+        )
+        with pytest.raises(RuntimeError, match="no JSON summary"):
+            plot_bench_trend.fetch_artifact_series(
+                "acme/repro", str(tmp_path), run=gh)
+
+    def test_missing_gh_cli_degrades(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise FileNotFoundError("gh")
+
+        monkeypatch.setattr(plot_bench_trend.subprocess, "run", boom)
+        with pytest.raises(RuntimeError, match="GitHub CLI"):
+            plot_bench_trend._run_gh(["api", "whatever"])
+
+    def test_main_from_artifacts_renders_trend(self, fake_gh, tmp_path,
+                                               monkeypatch, capsys):
+        monkeypatch.setattr(plot_bench_trend, "_run_gh", fake_gh)
+        code = plot_bench_trend.main([
+            "--from-artifacts", "--repo", "acme/repro",
+            "--artifacts-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fetched 2 summaries from acme/repro" in out
+        assert "March C- n=64" in out
+
+    def test_main_rejects_files_with_from_artifacts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            plot_bench_trend.main(["--from-artifacts", "x.json"])
+        with pytest.raises(SystemExit):
+            plot_bench_trend.main([])
+
+
+class TestCheckBenchWordlaneRows:
+    def test_wordlane_rows_are_gated(self):
+        base = {"wordlane_rows": [
+            {"test": "March C-", "n": 1024, "universe": "standard m=8",
+             "compiled_s": 10.0, "batched_s": 1.0},
+        ]}
+        current = {"wordlane_rows": [
+            {"test": "March C-", "n": 1024, "universe": "standard m=8",
+             "compiled_s": 10.0, "batched_s": 9.0},
+        ]}
+        lines, regressions = check_bench.compare(base, current,
+                                                 max_slowdown=3.0,
+                                                 min_seconds=0.05)
+        assert any("batched_s" in r for r in regressions)
+        assert any("standard m=8" in line for line in lines)
+
+    def test_wordlane_section_distinct_from_rows(self):
+        # Same (test, n) identity in two sections must not cross-match.
+        base = {"rows": [{"test": "March C-", "n": 64, "compiled_s": 1.0}],
+                "wordlane_rows": [{"test": "March C-", "n": 64,
+                                   "universe": "standard m=8",
+                                   "compiled_s": 8.0}]}
+        current = {"wordlane_rows": [{"test": "March C-", "n": 64,
+                                      "universe": "standard m=8",
+                                      "compiled_s": 8.5}]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+        assert len(lines) == 1

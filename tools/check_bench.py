@@ -26,7 +26,8 @@ import argparse
 import json
 import sys
 
-ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows", "sharded_rows")
+ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows",
+                "wordlane_rows", "sharded_rows")
 
 
 def _row_key(section: str, row: dict) -> tuple:

@@ -1,35 +1,155 @@
 """Render the benchmark trajectory from a series of JSON summaries.
 
 The CI ``bench-full`` job uploads one ``bench_campaign_engine`` summary
-per commit (and ``bench-smoke`` one quick summary per push).  Download a
-set of those artifacts, point this tool at the files, and it renders the
-wall-clock trend per ``(section, test, n, universe)`` row -- the
-"trajectory over time" view the per-push 3x gate of
-``tools/check_bench.py`` cannot give.
+per commit (and ``bench-smoke`` one quick summary per push).  Point this
+tool at a set of downloaded summaries -- or let ``--from-artifacts``
+pull the ``bench-full-*`` artifact series straight from GitHub via the
+``gh`` CLI -- and it renders the wall-clock trend per ``(section, test,
+n, universe)`` row: the "trajectory over time" view the per-push 3x gate
+of ``tools/check_bench.py`` cannot give.
 
 Summaries are ordered by ``--order`` (``args``: the order given on the
 command line, e.g. oldest..newest SHAs; ``mtime``: file modification
-time).  Output is a plain-text table with one unicode sparkline per
-timing series -- no dependencies.  With ``--png PATH`` and matplotlib
-available (it is *not* a requirement of this repo), a line chart is
-written as well; without matplotlib the flag degrades to a notice.
+time; ``--from-artifacts`` orders by artifact creation time).  Output is
+a plain-text table with one unicode sparkline per timing series -- no
+dependencies.  With ``--png PATH`` and matplotlib available (it is *not*
+a requirement of this repo), a line chart is written as well; without
+matplotlib the flag degrades to a notice.
+
+``--from-artifacts`` needs an authenticated GitHub CLI (``gh auth
+login``); artifacts are cached in ``--artifacts-dir`` (default
+``benchmarks/out/artifacts``), so re-plotting only downloads new
+commits.  Without ``gh`` the mode degrades to a pointed error, never a
+traceback.
 
 Usage::
 
     python tools/plot_bench_trend.py run1.json run2.json run3.json
     python tools/plot_bench_trend.py artifacts/*.json --order mtime \
         --field compiled_s --png trend.png
+    python tools/plot_bench_trend.py --from-artifacts --limit 20
+    python tools/plot_bench_trend.py --from-artifacts --repo owner/name
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
+import subprocess
 import sys
+import zipfile
 
-ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows", "sharded_rows")
+ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows",
+                "wordlane_rows", "sharded_rows")
 SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+ARTIFACT_PREFIX = "bench-full-"
+
+
+def _run_gh(args: list[str]) -> bytes:
+    """Run one ``gh`` command, returning stdout bytes.
+
+    Raises :class:`RuntimeError` with an actionable message when the
+    GitHub CLI is missing or the call fails (no tracebacks for the two
+    predictable failure modes: gh not installed, not authenticated).
+    """
+    try:
+        proc = subprocess.run(["gh", *args], capture_output=True)
+    except FileNotFoundError:
+        raise RuntimeError(
+            "--from-artifacts needs the GitHub CLI: install gh and run "
+            "'gh auth login' (or download the bench-full-* artifacts by "
+            "hand and pass the JSON files directly)"
+        ) from None
+    if proc.returncode != 0:
+        detail = proc.stderr.decode(errors="replace").strip()
+        raise RuntimeError(f"gh {' '.join(args)} failed: {detail}")
+    return proc.stdout
+
+
+def _detect_repo(run=None) -> str:
+    """The ``owner/name`` of the current directory's GitHub repo."""
+    run = run if run is not None else _run_gh
+    out = run(["repo", "view", "--json", "nameWithOwner",
+               "--jq", ".nameWithOwner"])
+    return out.decode().strip()
+
+
+def fetch_artifact_series(repo: str, out_dir: str, limit: int = 0,
+                          prefix: str = ARTIFACT_PREFIX,
+                          run=None) -> list[str]:
+    """Download the CI benchmark-summary artifact series via ``gh api``.
+
+    Lists the repository's workflow artifacts, keeps the unexpired ones
+    whose name starts with ``prefix`` (the ``bench-full-<sha>`` uploads
+    of ci.yml), downloads each zip, and extracts its JSON summary into
+    ``out_dir`` as ``<artifact-name>.json``.  Already-extracted
+    summaries are reused, so repeated plots only fetch new commits.
+
+    Returns the summary paths ordered oldest -> newest by artifact
+    creation time (the natural x-axis of the trend plot), newest
+    ``limit`` only when ``limit > 0``.
+    """
+    run = run if run is not None else _run_gh
+    listing = run(["api", f"repos/{repo}/actions/artifacts",
+                   "--paginate", "--jq",
+                   ".artifacts[] | {id, name, created_at, expired}"])
+    by_name: dict[str, dict] = {}
+    for line in listing.decode().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("expired") or \
+                not str(entry.get("name", "")).startswith(prefix):
+            continue
+        # A re-run workflow uploads a second artifact under the same
+        # bench-full-<sha> name; keep only the newest per name so one
+        # commit contributes one point to the trend.
+        known = by_name.get(entry["name"])
+        if known is None or (entry["created_at"], entry["id"]) > \
+                (known["created_at"], known["id"]):
+            by_name[entry["name"]] = entry
+    artifacts = sorted(by_name.values(),
+                       key=lambda entry: (entry["created_at"], entry["id"]))
+    if limit > 0:
+        artifacts = artifacts[-limit:]
+    if not artifacts:
+        raise RuntimeError(
+            f"no unexpired {prefix}* artifacts found in {repo} (the CI "
+            f"bench-full job uploads one per commit on the main branch)"
+        )
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for entry in artifacts:
+        # The artifact id keys the cache file, so a newer re-run of an
+        # already-downloaded commit is fetched, not served stale.
+        path = os.path.join(out_dir, f"{entry['name']}-{entry['id']}.json")
+        if not os.path.exists(path):
+            payload = run(["api",
+                           f"repos/{repo}/actions/artifacts/"
+                           f"{entry['id']}/zip"])
+            _extract_summary(payload, entry["name"], path)
+        paths.append(path)
+    return paths
+
+
+def _extract_summary(zip_bytes: bytes, name: str, path: str) -> None:
+    """Write the (single) JSON member of an artifact zip to ``path``.
+
+    The write goes through a temp file + ``os.replace`` so an
+    interrupted or failed extraction never leaves a partial file that
+    the ``os.path.exists`` cache check would treat as a valid summary.
+    """
+    with zipfile.ZipFile(io.BytesIO(zip_bytes)) as archive:
+        members = [m for m in archive.namelist() if m.endswith(".json")]
+        if not members:
+            raise RuntimeError(f"artifact {name} contains no JSON summary")
+        staging = f"{path}.tmp"
+        with archive.open(members[0]) as member, open(staging, "wb") as out:
+            out.write(member.read())
+        os.replace(staging, path)
 
 
 def row_key(section: str, row: dict) -> tuple:
@@ -140,8 +260,9 @@ def render_png(names: list[str], series: dict, field_filter: str | None,
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("summaries", nargs="+",
-                        help="benchmark summary JSON files, one per run")
+    parser.add_argument("summaries", nargs="*",
+                        help="benchmark summary JSON files, one per run "
+                             "(omit with --from-artifacts)")
     parser.add_argument("--order", choices=("args", "mtime"), default="args",
                         help="run order: as given (default) or by file "
                              "modification time")
@@ -151,11 +272,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--png", default=None,
                         help="additionally write a line chart here "
                              "(needs matplotlib; degrades to a notice)")
+    parser.add_argument("--from-artifacts", action="store_true",
+                        help="pull the bench-full-* artifact series via "
+                             "the gh CLI instead of passing files")
+    parser.add_argument("--repo", default=None,
+                        help="GitHub owner/name for --from-artifacts "
+                             "(default: the current directory's repo)")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="with --from-artifacts, only the newest N "
+                             "summaries (0 = all unexpired)")
+    parser.add_argument("--artifacts-dir", default="benchmarks/out/artifacts",
+                        help="cache directory for downloaded artifact "
+                             "summaries")
     args = parser.parse_args(argv)
 
-    paths = list(args.summaries)
-    if args.order == "mtime":
-        paths.sort(key=os.path.getmtime)
+    if args.from_artifacts:
+        if args.summaries:
+            parser.error("--from-artifacts builds its own summary list; "
+                         "drop the positional files")
+        try:
+            repo = args.repo or _detect_repo()
+            paths = fetch_artifact_series(repo, args.artifacts_dir,
+                                          limit=args.limit)
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"fetched {len(paths)} summaries from {repo} "
+              f"into {args.artifacts_dir}")
+    elif not args.summaries:
+        parser.error("pass summary JSON files or --from-artifacts")
+    else:
+        paths = list(args.summaries)
+        if args.order == "mtime":
+            paths.sort(key=os.path.getmtime)
     names, series = load_series(paths)
     for line in render_text(names, series, args.field):
         print(line)
