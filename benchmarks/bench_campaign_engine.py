@@ -12,7 +12,9 @@ n in {64, 256, 1024}, on four paths:
   platform cannot fork),
 * ``batched``     -- the bit-packed lane-parallel engine
   (``repro.sim.batched``): one replay pass per vectorizable fault
-  class, scalar fallback for the rest.
+  class, scalar fallback for anything without lane semantics (since
+  the uint64 column kernel PR that is the empty set for every built-in
+  class).
 
 A second section times the batched engine on its home turf -- the full
 single-cell SAF/TF universe (one lane per fault, zero scalar fallback)
@@ -24,22 +26,32 @@ A third section times the *port-parallel* π-schemes (dual-/quad-port,
 compiled cycle-grouped replay (``multiport_rows``; detection happens at
 the final signature, so the ratio isolates the grouped executor win).
 
-A fourth section times *process sharding* on the batched engine's worst
-case: a scalar-fallback-heavy universe (NPSF + bridging + decoder
-faults, nothing lane-vectorizable), where ``workers=N`` shards the
-scalar remainder over the persistent pool of ``repro.sim.pool`` while
-the parent handles the (empty here) lane passes.  Rows record serial
-batched vs sharded wall clock; the ``cpus`` field in the summary says
-how much parallel headroom the host actually had (on a single-CPU
-host the sharded column measures pure overhead).
+A fourth section keeps the historical *process sharding* rows: the
+NPSF + bridging + decoder universe that used to be the batched engine's
+worst case (pure scalar fallback, the sharding pool's whole reason to
+exist).  Since the uint64 column kernel PR these classes carry lane
+encodings, so the "scalar-heavy" rows now resolve entirely in lane
+passes and the pool is never started -- the rows are retained under
+their original identities precisely to pin that cliff: ``sharded_s``
+tracking ``batched_s`` (instead of interpreted/workers) *is* the win.
 
 A fifth section times the *word-lane* packed backend (``wordlane_rows``):
 the full word-oriented ``standard_universe(n, m=8)`` (per-bit single-cell
 faults, inter-cell and intra-word coupling) on March C- and a GF(2^8)
 PRT schedule, plus a CFst-only coupling universe (the last coupling
-class to join the lane passes) -- compiled per-fault replay vs the
+class to join the lane passes) and an NPSF-only universe (lane-encoded
+by the uint64 column kernel PR) -- compiled per-fault replay vs the
 batched engine.  The acceptance bar is >= 5x over the compiled engine
 at n=1024 (``min_wordlane_speedup``).
+
+A sixth section (``fallback_summary``) is the *vectorization census*:
+for the full ``standard_universe`` at each n and m in {1, 8}, the
+per-class lane/vs/fallback split from ``partition_universe`` plus a
+lane-vs-scalar wall-clock split on a sampled subset.  ``fallback_rows``
+lists the identities of census entries whose fallback set is non-empty
+-- the committed baseline keeps it ``[]``, and ``tools/check_bench.py``
+fails when a class that vectorized in the baseline regresses to the
+scalar fallback.
 
 Reports are cross-checked for equality on every path before a number is
 emitted.  Run as a script::
@@ -89,7 +101,7 @@ from repro.prt import (  # noqa: E402
     QuadPortPiIteration,
     standard_schedule,
 )
-from repro.sim import shutdown_shared_pools  # noqa: E402
+from repro.sim import partition_universe, shutdown_shared_pools  # noqa: E402
 
 SIZES = (64, 256, 1024)
 SAMPLE = {64: None, 256: 400, 1024: 200}  # None = full universe
@@ -251,6 +263,9 @@ def bench_wordlane(n: int) -> list[dict]:
     jobs.append(("March C-", WORDLANE_TESTS[0][1],
                  _capped(coupling_universe(n, classes=("CFst",))), 1,
                  "CFst coupling"))
+    jobs.append(("March C-", WORDLANE_TESTS[0][1],
+                 _capped(npsf_universe(n, max_victims=32)), 1,
+                 "NPSF lanes"))
     for name, build, faults, m, label in jobs:
         t_cmp, r_cmp = _time_coverage(build(n), faults, n, m=m)
         t_bat, r_bat = _time_coverage(build(n), faults, n, m=m,
@@ -278,12 +293,68 @@ def bench_wordlane(n: int) -> list[dict]:
     return rows
 
 
-def scalar_heavy_universe(n: int, sample: int | None = SHARDED_SAMPLE):
-    """A universe the lane passes cannot touch: NPSF + bridging + decoder.
+def bench_fallback_census(n: int, m: int) -> dict:
+    """The vectorization census for one ``standard_universe(n, m)``.
 
-    This is the sharding benchmark's subject -- after batching, these
-    scalar-fallback classes are the only faults worth fanning out over
-    processes.  The universe carries a spec, so shards travel as
+    Counts, per descriptor kind, how many faults the lane passes absorb
+    and which fault classes (if any) still take the per-fault scalar
+    path, then splits the March C- campaign wall clock into the lane
+    portion and the scalar-fallback portion on a sampled subset
+    (``timed_faults``).  The committed baseline pins ``fallback`` empty
+    at every geometry -- ``tools/check_bench.py`` fails the build when a
+    class regresses out of the lane passes.
+    """
+    universe = standard_universe(n, m=m)
+    classes, fallback = partition_universe(universe, n=n, m=m)
+    vectorized = {kind: len(group) for kind, group in sorted(classes.items())}
+    fallback_counts: dict[str, int] = {}
+    for _, fault in fallback:
+        cls = fault.fault_class
+        fallback_counts[cls] = fallback_counts.get(cls, 0) + 1
+    timed = universe
+    sample = SAMPLE.get(n)
+    if sample is not None and len(timed) > sample:
+        timed = timed.sample(sample)
+    timed_classes, timed_fallback = partition_universe(timed, n=n, m=m)
+    lane_faults = [fault for group in timed_classes.values()
+                   for _, fault, _ in group]
+    scalar_faults = [fault for _, fault in timed_fallback]
+    lane_s = 0.0
+    if lane_faults:
+        lane_s, _ = _time_coverage(march_runner(MARCH_C_MINUS), lane_faults,
+                                   n, m=m, engine="batched")
+    scalar_s = 0.0
+    if scalar_faults:
+        scalar_s, _ = _time_coverage(march_runner(MARCH_C_MINUS),
+                                     scalar_faults, n, m=m)
+    row = {
+        "test": "March C-",
+        "n": n,
+        "m": m,
+        "universe": f"standard census m={m}",
+        "faults": len(universe),
+        "vectorized": vectorized,
+        "fallback": fallback_counts,
+        "timed_faults": len(timed),
+        "lane_s": round(lane_s, 3),
+        "scalar_s": round(scalar_s, 3),
+    }
+    fallback_text = f"fallback={fallback_counts}" if fallback_counts \
+        else "fallback=none"
+    print(f" census   n={n:<5} m={m} faults={len(universe):<6} "
+          f"lanes {lane_s:>7.3f}s  scalar {scalar_s:>7.3f}s  "
+          f"{fallback_text}")
+    return row
+
+
+def scalar_heavy_universe(n: int, sample: int | None = SHARDED_SAMPLE):
+    """NPSF + bridging + decoder: the classes that *used* to be scalar.
+
+    Historically the sharding benchmark's subject (nothing here was
+    lane-vectorizable); since the uint64 column kernel PR all three
+    classes carry lane encodings, so these rows now measure the lane
+    passes absorbing the pool's former workload.  The universe carries a
+    spec, so any genuine remainder would still shard as
     ``(spec, index range)``.
     """
     universe = npsf_universe(n, max_victims=32) \
@@ -294,7 +365,13 @@ def scalar_heavy_universe(n: int, sample: int | None = SHARDED_SAMPLE):
 
 
 def bench_sharded(name: str, make_runner, n: int, workers: int) -> dict:
-    """Serial batched vs process-sharded batched on pure scalar fallback."""
+    """Serial vs ``workers=N`` batched on the ex-scalar-heavy universe.
+
+    Kept under the historical row identities: with NPSF/bridging/decoder
+    lane-encoded there is no scalar remainder to shard, so ``sharded_s``
+    should track ``batched_s`` (lane passes, pool never started), both
+    far below the interpreted column.
+    """
     universe = scalar_heavy_universe(n)
     t_int, r_int = _time_coverage(make_runner(), universe, n,
                                   engine="interpreted")
@@ -359,12 +436,14 @@ def main(argv: list[str] | None = None) -> int:
         sharded_sizes = [64]
         multiport_sizes = [64]
         wordlane_sizes = [64]
+        census_sizes = [64]
     else:
         sizes = list(args.sizes)
         single_cell_sizes = sorted({256, args.single_cell_n})
         sharded_sizes = [64, 1024]
         multiport_sizes = [64, 1024]
         wordlane_sizes = [64, 1024]
+        census_sizes = [64, 1024]
 
     rows = []
     for n in sizes:
@@ -389,6 +468,10 @@ def main(argv: list[str] | None = None) -> int:
     wordlane_rows = []
     for n in wordlane_sizes:
         wordlane_rows.extend(bench_wordlane(n))
+    fallback_summary = []
+    for n in census_sizes:
+        for m in (1, WORDLANE_M):
+            fallback_summary.append(bench_fallback_census(n, m))
     sharded_rows = []
     if args.workers > 0:
         for n in sharded_sizes:
@@ -420,6 +503,16 @@ def main(argv: list[str] | None = None) -> int:
             for r in ([r for r in wordlane_rows if r["n"] == 1024]
                       or wordlane_rows)
         ),
+        "fallback_summary": fallback_summary,
+        # Identities of census entries still carrying scalar-fallback
+        # faults.  The committed baseline keeps this empty: every
+        # built-in class of the standard universe resolves in lane
+        # passes at every benchmarked geometry.
+        "fallback_rows": [
+            {"test": row["test"], "n": row["n"], "m": row["m"],
+             "universe": row["universe"], "fallback": row["fallback"]}
+            for row in fallback_summary if row["fallback"]
+        ],
         "sharded_rows": sharded_rows,
     }
     if sharded_rows:

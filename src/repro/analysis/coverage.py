@@ -151,7 +151,8 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
                  ram_factory: Callable[[], object] | None = None,
                  workers: int = 0,
                  engine: str = "auto",
-                 pool: WorkerPool | None = None) -> CoverageReport:
+                 pool: WorkerPool | None = None,
+                 backend: str = "auto") -> CoverageReport:
     """Inject each universe fault into a fresh RAM and run the test.
 
     ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
@@ -178,7 +179,10 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     on the persistent shared pool of :mod:`repro.sim.pool` -- or on
     ``pool``, an explicit :class:`~repro.sim.pool.WorkerPool` to reuse
     across many campaigns.  With ``engine="batched"`` the lane passes
-    run concurrently with the pooled scalar remainder.
+    run concurrently with the pooled scalar remainder, and ``backend``
+    selects the packed-column storage (``"auto"``/``"int"``/``"numpy"``,
+    see :class:`~repro.memory.packed.PackedMemoryArray`); both backends
+    produce byte-identical reports.
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -202,10 +206,14 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     report = CoverageReport(test_name=test_name)
     if engine != "interpreted" and compile_fn is not None:
         stream = compile_fn(n, m)
-        campaign_fn = run_campaign_batched if engine == "batched" \
-            else run_campaign
-        campaign = campaign_fn(stream, universe, ram_factory=ram_factory,
-                               workers=workers, pool=pool)
+        if engine == "batched":
+            campaign = run_campaign_batched(
+                stream, universe, ram_factory=ram_factory,
+                workers=workers, pool=pool, backend=backend)
+        else:
+            campaign = run_campaign(stream, universe,
+                                    ram_factory=ram_factory,
+                                    workers=workers, pool=pool)
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report

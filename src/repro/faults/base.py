@@ -36,8 +36,9 @@ class VectorSemantics:
     returns one of these from :meth:`Fault.vector_semantics`; the batched
     campaign engine (:func:`repro.sim.batched.run_campaign_batched`) then
     replays one compiled stream against hundreds of such faults at once,
-    one lane per fault.  Faults with analogue state, timing behaviour or
-    decoder rewiring return ``None`` and take the per-fault path.
+    one lane per fault.  Faults whose behaviour no lane model can express
+    (custom analogue models, front-end-dependent semantics) return
+    ``None`` and take the per-fault path.
 
     ``kind`` selects which other slots are meaningful:
 
@@ -56,10 +57,24 @@ class VectorSemantics:
                       (``rising=True``) or 0 (``rising=False``), victim
                       bit ``(victim_cell, victim_bit)`` is forced to
                       ``value`` (CFst)
+    ``"npsf"``        while every neighbour cell holds its pattern value
+                      (``extra`` = ``(neighbour_cell, m_bit_value)``
+                      pairs), victim cell ``cell`` is forced to ``value``
+    ``"bridge"``      cells ``cell`` and ``victim_cell`` are shorted;
+                      ``value`` is 1 for a wired-OR short, 0 for
+                      wired-AND
+    ``"retention"``   cell ``cell`` decays to ``value`` after
+                      ``extra[0]`` idle cycles without an access
+    ``"linked"``      composite: ``extra`` holds the component
+                      descriptors (all ``"coupling"``), fired in order on
+                      every aggressor edge
+    ``"decoder"``     address-decoder rewiring; ``extra`` holds the
+                      sorted ``(address, activated_cells)`` override
+                      pairs
     ================  =======================================================
 
     >>> VectorSemantics("stuck", cell=3, value=1)
-    VectorSemantics(kind='stuck', cell=3, bit=0, value=1, rising=None, victim_cell=None, victim_bit=None)
+    VectorSemantics(kind='stuck', cell=3, bit=0, value=1, rising=None, victim_cell=None, victim_bit=None, extra=())
     """
 
     kind: str
@@ -69,6 +84,7 @@ class VectorSemantics:
     rising: bool | None = None
     victim_cell: int | None = None
     victim_bit: int | None = None
+    extra: tuple = ()
 
 
 @dataclass(frozen=True, order=True)
@@ -140,8 +156,8 @@ class Fault:
 
     def vector_semantics(self) -> VectorSemantics | None:
         """Lane-parallel (mask-operation) description of this fault, or
-        None when the fault cannot be vectorized (analogue state, timing,
-        decoder rewiring, multi-cell conditions).  Default: None."""
+        None when the fault cannot be vectorized (custom analogue state,
+        front-end-dependent behaviour).  Default: None."""
         return None
 
     def reset(self) -> None:

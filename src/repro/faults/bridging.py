@@ -9,7 +9,7 @@ full word.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["BridgingFault"]
@@ -71,3 +71,12 @@ class BridgingFault(Fault):
 
     def settle(self, array: MemoryArray, time: int) -> None:
         self._short(array)
+
+    def vector_semantics(self) -> VectorSemantics:
+        """Lane description for the bit-packed engine: kind ``"bridge"``,
+        the shorted pair in ``(cell, victim_cell)`` and the wired rule in
+        ``value`` (1 = wired-OR, 0 = wired-AND)."""
+        return VectorSemantics(
+            "bridge", cell=self._a, victim_cell=self._b,
+            value=1 if self._kind == "or" else 0,
+        )

@@ -20,7 +20,7 @@ composes realistic pairs.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 
 __all__ = [
     "AddressDecoderFault",
@@ -74,6 +74,17 @@ class AddressDecoderFault(Fault):
 
     def decoder_overrides(self) -> dict[int, tuple[int, ...]]:
         return dict(self._overrides)
+
+    def vector_semantics(self) -> VectorSemantics:
+        """Lane description for the bit-packed engine: kind
+        ``"decoder"``, with ``extra`` the sorted ``(address,
+        activated_cells)`` override pairs.  The lane model reproduces
+        the canonical single-port read path -- lost writes, redirected
+        writes, wired-AND multi-cell reads and the AF-A sense-amplifier
+        latch -- column-parallel."""
+        overrides = tuple(sorted(self._overrides.items()))
+        return VectorSemantics("decoder", cell=overrides[0][0],
+                               extra=overrides)
 
 
 def af_no_access(addr: int) -> AddressDecoderFault:

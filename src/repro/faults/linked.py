@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro.faults.base import BitLocation, Fault
+from repro.faults.base import BitLocation, Fault, VectorSemantics
 from repro.faults.coupling import (
     IdempotentCouplingFault,
     InversionCouplingFault,
@@ -100,6 +100,23 @@ class LinkedFault(Fault):
     def reset(self) -> None:
         for component in self._components:
             component.reset()
+
+    def vector_semantics(self) -> VectorSemantics | None:
+        """Lane description for the bit-packed engine: kind ``"linked"``,
+        composing the component descriptors in ``extra`` (firing order
+        preserved).  Only pure edge-coupling compositions vectorize --
+        any component that is not a ``"coupling"`` descriptor makes the
+        composite take the per-fault path, because other hook kinds do
+        not commute through a shared fired-mask."""
+        parts = []
+        for component in self._components:
+            semantics = component.vector_semantics()
+            if semantics is None or semantics.kind != "coupling":
+                return None
+            parts.append(semantics)
+        lead = parts[0]
+        return VectorSemantics("linked", cell=lead.cell, bit=lead.bit,
+                               extra=tuple(parts))
 
 
 def linked_cfin_pair(aggressor1: int, aggressor2: int, victim: int,

@@ -10,7 +10,7 @@ sweeps through.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["StaticNPSF"]
@@ -82,3 +82,13 @@ class StaticNPSF(Fault):
                     committed: int, time: int) -> None:
         if cell == self._victim or cell in self._neighbors:
             self._enforce(array)
+
+    def vector_semantics(self) -> VectorSemantics:
+        """Lane description for the bit-packed engine: kind ``"npsf"``,
+        with ``value`` the forced victim value and ``extra`` the
+        ``(neighbour_cell, pattern_value)`` pairs -- full m-bit cell
+        values, exactly what :meth:`_active` compares."""
+        return VectorSemantics(
+            "npsf", cell=self._victim, value=self._force_to,
+            extra=tuple(zip(self._neighbors, self._pattern)),
+        )

@@ -10,7 +10,7 @@ counter is passed into every behaviour hook).
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, VectorSemantics
 from repro.memory.array import MemoryArray
 
 __all__ = ["DataRetentionFault"]
@@ -81,3 +81,14 @@ class DataRetentionFault(Fault):
         if cell == self._cell:
             self._last_access = time
         return new
+
+    def vector_semantics(self) -> VectorSemantics:
+        """Lane description for the bit-packed engine: kind
+        ``"retention"``, with ``value`` the decay value and ``extra[0]``
+        the retention interval.  The lane model replays the stream's
+        cycle clock (operations and ``"i"`` idles alike), so decay
+        timing is exact per lane."""
+        return VectorSemantics(
+            "retention", cell=self._cell, value=self._decay_to,
+            extra=(self._retention,),
+        )

@@ -1,35 +1,60 @@
-"""Plane-packed memory backend: one int word per address, one lane per fault.
+"""Plane-packed memory backend: one column per address, one lane per fault.
 
 :class:`PackedMemoryArray` models ``lanes`` independent memory copies of
-``n`` cells by ``m`` bits at once.  Word ``words[addr]`` is a plain
-Python int used as a *plane-major column* of ``m * lanes`` bits: bit
-``b * lanes + k`` holds bit *b* of the value cell ``addr`` has in the
-*k*-th memory copy.  A bit-oriented geometry (``m == 1``) degenerates to
-the classic one-bit-per-lane mask layout.  Because every copy replays
-the *same* compiled operation sequence (an :class:`~repro.sim.ir
-.OpStream`) and differs only in which fault is injected, a whole fault
-class -- same mask algebra, different fault site per lane -- executes in
-one pass over the stream:
+``n`` cells by ``m`` bits at once.  The column stored at ``addr`` is a
+*plane-major* bit matrix of ``m * lanes`` bits: bit ``b * lanes + k``
+holds bit *b* of the value cell ``addr`` has in the *k*-th memory copy.
+A bit-oriented geometry (``m == 1``) degenerates to the classic
+one-bit-per-lane mask layout.  Because every copy replays the *same*
+compiled operation sequence (an :class:`~repro.sim.ir.OpStream`) and
+differs only in which fault is injected, a whole fault class -- same
+mask algebra, different fault site per lane -- executes in one pass over
+the stream:
 
 * a constant write broadcasts its m-bit value to all lanes (the
   :meth:`PackedMemoryArray.broadcast` column),
-* a checked read XORs the word with the broadcast expectation; any lane
-  with a non-zero bit in *any* plane is a *detection in that lane*,
+* a checked read XORs the column with the broadcast expectation; any
+  lane with a non-zero bit in *any* plane is a *detection in that lane*,
 * pi-test accumulator ops (``"ra"``/``"wa"``) keep one m-bit accumulator
   *column per accumulator id*, so data corrupted by a fault propagates
   through the pseudo-ring exactly as it would in that lane's dedicated
   replay.  GF(2^m) constant multiplication is linear over GF(2), so a
   precompiled lookup table lowers to a per-plane shift/XOR plan -- a
-  handful of big-int operations per record, not per lane.
+  handful of column operations per record, not per lane.
+
+Two storage **backends** implement the column algebra behind one API:
+
+``"int"``
+    One plain Python int per address -- arbitrary precision, no
+    dependencies.  CPython's bignum bitwise ops are word-packed C loops
+    with near-zero dispatch cost, and the executor's hot paths need
+    fewer memory passes per record on this representation (writes
+    rebind, zero diffs short-circuit), so this backend measures fastest
+    at every column width the campaign engine produces.
+``"numpy"``
+    A fixed-width uint64 block array of shape ``(n, m, ceil(lanes/64))``
+    -- every column operation is a vectorized word-array op over
+    preallocated storage, with bounded per-address memory independent
+    of fault state.
+``"auto"`` (the default)
+    ``"numpy"`` when the package is importable and the column is wider
+    than ``AUTO_NUMPY_MIN_BITS``, else ``"int"``.  The threshold is set
+    from ``benchmarks/bench_column_kernel.py`` measurements; see its
+    comment below.
 
 Per-lane fault semantics plug in through :class:`LaneFaultModel`: the
 executor calls ``transform_write`` / ``after_write`` / ``settle`` with
-lane columns, and a model implements e.g. stuck-at-1 on bit *b* as
-``new |= sa1_mask[addr]`` with the mask positioned in plane *b* -- one
-big-int OR applies the fault to hundreds of lanes at once.  Models are
-built from :meth:`repro.faults.base.Fault.vector_semantics` descriptors
-by :mod:`repro.sim.batched`, which also owns universe partitioning and
-the per-fault fallback.
+backend columns, and a model implements e.g. stuck-at-1 on bit *b* as
+``new | sa1_mask[addr]`` with the mask positioned in plane *b* -- one
+column OR applies the fault to hundreds of lanes at once.  Models stay
+backend-agnostic by building their masks through the column/row helper
+surface (:meth:`PackedMemoryArray.col_from_int`,
+:meth:`~PackedMemoryArray.spread`, :meth:`~PackedMemoryArray.fold`,
+:meth:`~PackedMemoryArray.shift_planes`, the ``*_lanes`` mutators, ...)
+instead of touching the storage directly.  Models are built from
+:meth:`repro.faults.base.Fault.vector_semantics` descriptors by
+:mod:`repro.sim.batched`, which also owns universe partitioning and the
+per-fault fallback.
 
 Cycle-grouped (multi-port) streams remain outside the packed contract;
 the batched engine delegates those campaigns to the scalar path.
@@ -37,17 +62,37 @@ the batched engine delegates those campaigns to the scalar path.
 
 from __future__ import annotations
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 __all__ = ["PackedMemoryArray", "LaneFaultModel"]
 
 
+#: Column width (``m * lanes`` bits) at which the ``"auto"`` backend
+#: switches to uint64 blocks.  ``benchmarks/bench_column_kernel.py``
+#: measures the big-int kernel faster on every geometry up to
+#: multi-megabit columns (CPython's word-packed bignum ops are
+#: memory-bound too, and the int executor's short-circuits save whole
+#: passes per record), so the threshold sits beyond any width the
+#: campaign engine produces (``max_lanes=4096`` at ``m=8`` is 2^15
+#: bits): ``"auto"`` resolves to ``"int"`` in practice and the numpy
+#: backend is an explicitly requested, contract-tested alternative.
+#: Retune against the bench before lowering.
+AUTO_NUMPY_MIN_BITS = 1 << 23
+
+
 class LaneFaultModel:
-    """Per-lane fault semantics applied as mask operations.
+    """Per-lane fault semantics applied as column operations.
 
     The default implementation is a no-op (all lanes healthy).  Concrete
     models (:mod:`repro.sim.batched`) override the hooks they need; each
-    hook receives and returns plain-int lane columns (plane-major, see
-    the module docstring -- for ``m == 1`` a column is simply a lane
-    mask).
+    hook receives and returns backend lane columns (plane-major, see the
+    module docstring -- for ``m == 1`` a column is simply a lane mask).
+    Hooks must treat their arguments as immutable (rebind, never mutate
+    in place): on the numpy backend an in-place op would corrupt the
+    executor's cached broadcast columns.
     """
 
     #: Set True by models that override :meth:`transform_read` (e.g. the
@@ -63,23 +108,36 @@ class LaneFaultModel:
     #: pass and most models pay nothing per record.
     settles = False
 
-    def install(self, memory: "PackedMemoryArray") -> None:
-        """Force the initial state (e.g. stuck-at-1 lanes start at 1).
-        Called once, before the first operation.  Default: nothing."""
+    #: Set True by models that need the stream's cycle clock (the
+    #: retention model's decay timing).  The executor then calls
+    #: :meth:`clock` once per record with the scalar engines' cycle
+    #: counter semantics: the time *at which the record executes*
+    #: (pre-increment), with reads and writes costing one cycle each and
+    #: ``"i"`` records adding their idle count.
+    timed = False
 
-    def transform_read(self, addr: int, sensed: int) -> int:
+    def install(self, memory: "PackedMemoryArray") -> None:
+        """Force the initial state (e.g. stuck-at-1 lanes start at 1)
+        and convert int masks to backend columns.  Called once, before
+        the first operation.  Default: nothing."""
+
+    def clock(self, cycle: int) -> None:
+        """Observe the stream clock before each record executes.  Only
+        consulted when :attr:`timed` is True.  Default: nothing."""
+
+    def transform_read(self, addr: int, sensed):
         """Lane column actually *observed* when reading ``addr`` whose
         stored column is ``sensed`` (read-side state such as a sense
         latch lives in the model).  Only consulted when
         :attr:`transforms_reads` is True.  Default: faithful."""
         return sensed
 
-    def transform_write(self, addr: int, old: int, new: int) -> int:
+    def transform_write(self, addr: int, old, new):
         """Lane column actually stored when writing ``new`` over ``old``
         at ``addr``.  Default: faithful."""
         return new
 
-    def after_write(self, addr: int, old: int, committed: int,
+    def after_write(self, addr: int, old, committed,
                     memory: "PackedMemoryArray") -> None:
         """React to the committed write ``old -> committed`` at ``addr``
         (coupling models corrupt their victims here).  Default: nothing."""
@@ -106,6 +164,12 @@ class PackedMemoryArray:
         Bits per cell (1 = bit-oriented, the default).  Word-oriented
         copies store bit *b* of a cell in plane *b* of the column
         (bits ``[b * lanes, (b + 1) * lanes)``).
+    backend:
+        ``"int"`` (big-int columns), ``"numpy"`` (uint64 block columns,
+        shape ``(n, m, ceil(lanes/64))``), or ``"auto"`` (numpy for wide
+        columns when available).  Both backends are observationally
+        identical -- same verdicts, same ``captured`` ints, same
+        ``dump_lane`` snapshots (pinned by the contract suite).
 
     Examples
     --------
@@ -126,21 +190,48 @@ class PackedMemoryArray:
     (10, 10)
     """
 
-    __slots__ = ("_n", "_lanes", "_m", "_ones", "_full", "words")
+    __slots__ = ("_n", "_lanes", "_m", "_ones", "_full", "_backend",
+                 "_w", "_row_ones", "_replicate", "_blocks", "words")
 
-    def __init__(self, n: int, lanes: int, m: int = 1):
+    def __init__(self, n: int, lanes: int, m: int = 1,
+                 backend: str = "auto"):
         if n < 1:
             raise ValueError(f"memory needs at least one cell, got n={n}")
         if lanes < 1:
             raise ValueError(f"need at least one lane, got {lanes}")
         if m < 1:
             raise ValueError(f"cells need at least one bit, got m={m}")
+        if backend not in ("auto", "int", "numpy"):
+            raise ValueError(
+                f"backend must be 'auto', 'int' or 'numpy', got {backend!r}"
+            )
+        if backend == "auto":
+            backend = "numpy" if (_np is not None
+                                  and m * lanes >= AUTO_NUMPY_MIN_BITS) \
+                else "int"
+        elif backend == "numpy" and _np is None:
+            raise ValueError("backend='numpy' requires numpy")
         self._n = n
         self._lanes = lanes
         self._m = m
         self._ones = (1 << lanes) - 1
         self._full = (1 << (m * lanes)) - 1
-        self.words: list[int] = [0] * n
+        self._backend = backend
+        #: plane-replication factor: lane rows (< 2**lanes) multiplied by
+        #: it spread carry-free into every plane (int backend).
+        self._replicate = sum(1 << (bit * lanes) for bit in range(m))
+        if backend == "numpy":
+            self._w = (lanes + 63) >> 6
+            self._row_ones = self._row_from_int_np(self._ones)
+            self._blocks = _np.zeros((n, m, self._w), dtype=_np.uint64)
+            # Kept pointing at the block array so ad-hoc inspection still
+            # has a ``words``; models go through the helper surface.
+            self.words = self._blocks
+        else:
+            self._w = 0
+            self._row_ones = None
+            self._blocks = None
+            self.words: list[int] = [0] * n
 
     # -- geometry --------------------------------------------------------------
 
@@ -169,13 +260,81 @@ class PackedMemoryArray:
         """The all-planes all-lanes column mask, ``(1 << m*lanes) - 1``."""
         return self._full
 
+    @property
+    def backend(self) -> str:
+        """The resolved storage backend: ``"int"`` or ``"numpy"``."""
+        return self._backend
+
     def __repr__(self) -> str:
         m = f", m={self._m}" if self._m != 1 else ""
-        return f"PackedMemoryArray(n={self._n}, lanes={self._lanes}{m})"
+        backend = ", backend='numpy'" if self._backend == "numpy" else ""
+        return f"PackedMemoryArray(n={self._n}, lanes={self._lanes}{m}{backend})"
 
-    # -- access ----------------------------------------------------------------
+    # -- int <-> backend conversions -------------------------------------------
+    #
+    # A *column* is one address's full plane-major bit matrix (``m *
+    # lanes`` bits); a *row* is one plane's lane mask (``lanes`` bits).
+    # On the int backend both are plain ints; on the numpy backend a
+    # column is a ``(m, W)`` uint64 array and a row a ``(W,)`` one.
+    # Models build their masks as ints at construction time (geometry
+    # permitting) and convert once at ``install``.
 
-    def broadcast(self, value: int) -> int:
+    def _row_from_int_np(self, row: int):
+        out = _np.empty(self._w, dtype=_np.uint64)
+        for word in range(self._w):
+            out[word] = (row >> (word << 6)) & 0xFFFFFFFFFFFFFFFF
+        return out
+
+    def _row_to_int_np(self, row) -> int:
+        out = 0
+        for word in range(self._w):
+            out |= int(row[word]) << (word << 6)
+        return out
+
+    def row_from_int(self, row: int):
+        """Backend row (one plane's lane mask) from an int lane mask."""
+        if self._backend == "int":
+            return row & self._ones
+        return self._row_from_int_np(row & self._ones)
+
+    def row_to_int(self, row) -> int:
+        """Int lane mask from a backend row."""
+        if self._backend == "int":
+            return row
+        return self._row_to_int_np(row)
+
+    def col_from_int(self, column: int):
+        """Backend column from a plane-major int column."""
+        if self._backend == "int":
+            return column & self._full
+        out = _np.empty((self._m, self._w), dtype=_np.uint64)
+        for plane in range(self._m):
+            out[plane] = self._row_from_int_np(
+                (column >> (plane * self._lanes)) & self._ones)
+        return out
+
+    def col_to_int(self, column) -> int:
+        """Plane-major int column from a backend column."""
+        if self._backend == "int":
+            return column
+        out = 0
+        for plane in range(self._m):
+            out |= self._row_to_int_np(column[plane]) \
+                << (plane * self._lanes)
+        return out
+
+    def copy_col(self, column):
+        """A detached copy of a backend column.  Int columns are
+        immutable, but numpy columns handed to model hooks may be live
+        views into the storage -- a model that *latches* a column (e.g.
+        a sense amplifier) must copy it or silently track later writes."""
+        if self._backend == "numpy":
+            return column.copy()
+        return column
+
+    # -- column/row algebra (the lane-model helper surface) --------------------
+
+    def broadcast(self, value: int):
         """The column storing m-bit ``value`` in every lane.
 
         >>> PackedMemoryArray(2, lanes=4, m=2).broadcast(0b10)
@@ -185,6 +344,12 @@ class PackedMemoryArray:
             raise ValueError(
                 f"value {value!r} does not fit an m={self._m}-bit cell"
             )
+        if self._backend == "numpy":
+            out = _np.zeros((self._m, self._w), dtype=_np.uint64)
+            for plane in range(self._m):
+                if (value >> plane) & 1:
+                    out[plane] = self._row_ones
+            return out
         if self._m == 1:
             return self._ones if value else 0
         column = 0
@@ -198,13 +363,17 @@ class PackedMemoryArray:
             shift += lanes
         return column
 
-    def lane_mask(self, column: int) -> int:
-        """Collapse a column to a lane mask: lane *k* is set when *any*
-        plane of lane *k* is set in ``column`` (the detection fold).
+    def lane_mask(self, column) -> int:
+        """Collapse a column to an *int* lane mask: lane *k* is set when
+        any plane of lane *k* is set in ``column`` (the detection fold).
 
         >>> PackedMemoryArray(2, lanes=4, m=2).lane_mask(0b0001_1000)
         9
         """
+        if self._backend == "numpy":
+            if isinstance(column, int):
+                column = self.col_from_int(column)
+            return self._row_to_int_np(_np.bitwise_or.reduce(column, axis=0))
         lanes = self._lanes
         mask = column & self._ones
         rest = column >> lanes
@@ -213,18 +382,127 @@ class PackedMemoryArray:
             rest >>= lanes
         return mask
 
-    def read_lanes(self, addr: int) -> int:
-        """The lane column stored at ``addr``."""
+    def fold(self, column):
+        """Collapse a column to a backend *row* (any plane set per lane)
+        -- :meth:`lane_mask` without leaving the backend domain."""
+        if self._backend == "numpy":
+            return _np.bitwise_or.reduce(column, axis=0)
+        return self.lane_mask(column)
+
+    def spread(self, row):
+        """The column with ``row`` replicated into every plane (the mask
+        that selects *whole cells* of the row's lanes).  On the numpy
+        backend the result is a read-only broadcast view."""
+        if self._backend == "numpy":
+            return _np.broadcast_to(row, (self._m, self._w))
+        return row * self._replicate
+
+    def row_to_plane(self, row, bit: int):
+        """The column with ``row`` positioned in plane ``bit`` only."""
+        if self._backend == "numpy":
+            out = _np.zeros((self._m, self._w), dtype=_np.uint64)
+            out[bit] = row
+            return out
+        return row << (bit * self._lanes)
+
+    def shift_planes(self, column, delta: int):
+        """``column`` moved ``delta`` planes up (negative: down); planes
+        shifted out of range are dropped.  This is the aggressor-plane ->
+        victim-plane repositioning coupling models use."""
+        if delta == 0:
+            return column
+        if self._backend == "numpy":
+            out = _np.zeros((self._m, self._w), dtype=_np.uint64)
+            if delta > 0:
+                out[delta:] = column[:self._m - delta]
+            else:
+                out[:self._m + delta] = column[-delta:]
+            return out
+        shifted = column << (delta * self._lanes) if delta > 0 \
+            else column >> (-delta * self._lanes)
+        return shifted & self._full
+
+    def plane(self, addr: int, bit: int):
+        """Plane ``bit`` of the column at ``addr``, as a backend row.
+        Treat the result as read-only (numpy returns a view)."""
+        if self._backend == "numpy":
+            return self._blocks[addr, bit]
+        return (self.words[addr] >> (bit * self._lanes)) & self._ones
+
+    def match_lanes(self, addr: int, value_column):
+        """Backend row of the lanes whose *whole m-bit cell* at ``addr``
+        equals the value ``value_column`` broadcasts."""
+        if self._backend == "numpy":
+            diff = self._blocks[addr] ^ value_column
+            return self._row_ones & ~_np.bitwise_or.reduce(diff, axis=0)
+        return self._ones & ~self.lane_mask(self.words[addr] ^ value_column)
+
+    def any(self, value) -> bool:
+        """True when any bit of a backend row or column is set."""
+        if self._backend == "numpy":
+            return bool(value.any())
+        return bool(value)
+
+    # -- access ----------------------------------------------------------------
+
+    def read_lanes(self, addr: int):
+        """The lane column stored at ``addr`` (numpy: a live view)."""
+        if self._backend == "numpy":
+            return self._blocks[addr]
         return self.words[addr]
 
-    def write_lanes(self, addr: int, mask: int) -> None:
-        """Replace the lane column stored at ``addr``."""
+    def write_lanes(self, addr: int, mask) -> None:
+        """Replace the lane column stored at ``addr``.  Accepts an int
+        column on either backend."""
+        if self._backend == "numpy":
+            if isinstance(mask, int):
+                mask = self.col_from_int(mask)
+            self._blocks[addr] = mask & self.spread(self._row_ones)
+            return
         self.words[addr] = mask & self._full
+
+    def or_lanes(self, addr: int, column) -> None:
+        """``column[addr] |= column`` in the backend domain."""
+        if self._backend == "numpy":
+            self._blocks[addr] |= column
+        else:
+            self.words[addr] |= column
+
+    def andnot_lanes(self, addr: int, column) -> None:
+        """Clear ``column``'s bits at ``addr``."""
+        if self._backend == "numpy":
+            self._blocks[addr] &= ~column
+        else:
+            self.words[addr] &= ~column
+
+    def xor_lanes(self, addr: int, column) -> None:
+        """Toggle ``column``'s bits at ``addr``."""
+        if self._backend == "numpy":
+            self._blocks[addr] ^= column
+        else:
+            self.words[addr] ^= column
+
+    def blend_lanes(self, addr: int, select, value_column) -> None:
+        """Replace the ``select``-masked bits at ``addr`` with
+        ``value_column``'s (the column analogue of a bit-select mux)."""
+        if self._backend == "numpy":
+            self._blocks[addr] = (self._blocks[addr] & ~select) \
+                | (value_column & select)
+        else:
+            self.words[addr] = (self.words[addr] & ~select) \
+                | (value_column & select)
 
     def lane_value(self, addr: int, lane: int) -> int:
         """The m-bit value cell ``addr`` holds in copy ``lane``."""
         if not 0 <= lane < self._lanes:
             raise IndexError(f"lane {lane} out of range [0, {self._lanes})")
+        if self._backend == "numpy":
+            word, offset = lane >> 6, lane & 63
+            value = 0
+            for bit in range(self._m):
+                value |= int((self._blocks[addr, bit, word] >> offset) & 1) \
+                    << bit
+            return value
         column = self.words[addr] >> lane
         if self._m == 1:
             return column & 1
@@ -265,9 +543,9 @@ class PackedMemoryArray:
         constant multipliers lower each ``OpStream.tables`` entry to a
         per-plane shift/XOR plan once per pass (multiplication by a
         constant is GF(2)-linear), so a multiply costs a handful of
-        big-int ops per record.  ``"i"`` idles are no-ops apart from the
-        model's ``settle`` hook: every vectorizable fault model is
-        timing-independent (retention faults take the per-fault path).
+        column ops per record.  ``"i"`` idles execute no operation but
+        advance the model clock (retention decay) and fire the model's
+        ``settle`` hook, mirroring the scalar engines.
 
         Parameters
         ----------
@@ -285,17 +563,19 @@ class PackedMemoryArray:
             detected (e.g. to inspect final per-lane memory state).
         captured:
             Optional list collecting the *observed lane column* of every
-            ``"s"`` (signature) read, in order -- the lane-parallel
-            analogue of the scalar executors' per-value ``captured``
-            list (bit ``b * lanes + k`` is bit *b* of the value lane *k*
-            observed).  Pass ``stop_when_all_detected=False`` when the
-            capture list must cover the whole stream.
+            ``"s"`` (signature) read as a plain int, in order -- the
+            lane-parallel analogue of the scalar executors' per-value
+            ``captured`` list (bit ``b * lanes + k`` is bit *b* of the
+            value lane *k* observed), identical across backends.  Pass
+            ``stop_when_all_detected=False`` when the capture list must
+            cover the whole stream.
 
         Returns ``(detected, executed)``: the final detected-lane mask
-        and the number of operation records executed, once per *pass*,
-        not per lane.  Like the scalar executors, ``executed`` counts
-        every read and write record -- ``"w"``/``"r"``/``"s"`` and the
-        ``"ra"``/``"wa"`` recurrence ops -- while ``"i"`` idles are free.
+        (a plain int on either backend) and the number of operation
+        records executed, once per *pass*, not per lane.  Like the
+        scalar executors, ``executed`` counts every read and write
+        record -- ``"w"``/``"r"``/``"s"`` and the ``"ra"``/``"wa"``
+        recurrence ops -- while ``"i"`` idles are free.
 
         >>> packed = PackedMemoryArray(2, lanes=3)
         >>> packed.apply_stream([("w", 0, 0, 1, None, 0),
@@ -304,6 +584,9 @@ class PackedMemoryArray:
         """
         if model is None:
             model = _NO_FAULTS
+        if self._backend == "numpy":
+            return self._apply_stream_np(ops, tables, model, detected,
+                                         stop_when_all_detected, captured)
         if self._m == 1:
             return self._apply_stream_bit(ops, tables, model, detected,
                                           stop_when_all_detected, captured)
@@ -312,7 +595,7 @@ class PackedMemoryArray:
 
     def _apply_stream_bit(self, ops, tables, model, detected,
                           stop_when_all_detected, captured):
-        """The bit-oriented (m == 1) executor: one bit per lane."""
+        """The bit-oriented (m == 1) int executor: one bit per lane."""
         words = self.words
         ones = self._ones
         executed = 0
@@ -325,7 +608,11 @@ class PackedMemoryArray:
         transform_read = model.transform_read if model.transforms_reads \
             else None
         settle = model.settle if model.settles else None
+        clock = model.clock if model.timed else None
+        cycle = 0
         for kind, _port, addr, value, expected, idle in ops:
+            if clock is not None:
+                clock(cycle)
             if kind == "w" or kind == "wa":
                 if kind == "w":
                     new = ones if value else 0
@@ -337,8 +624,10 @@ class PackedMemoryArray:
                 words[addr] = new
                 after_write(addr, old, new, self)
                 executed += 1
+                cycle += 1
             elif kind == "r" or kind == "s":
                 executed += 1
+                cycle += 1
                 observed = words[addr] if transform_read is None \
                     else transform_read(addr, words[addr])
                 if kind == "s" and captured is not None:
@@ -350,6 +639,7 @@ class PackedMemoryArray:
                         return detected, executed
             elif kind == "ra":
                 executed += 1
+                cycle += 1
                 # Decode the stored-data inversion, then add the lane's
                 # recurrence term into its accumulator bit.  In GF(2) the
                 # only non-zero multiplier is 1, so the table either
@@ -360,7 +650,7 @@ class PackedMemoryArray:
                 if diff and (value is None or tables[value][1]):
                     accs[idle] = accs.get(idle, 0) ^ diff
             elif kind == "i":
-                pass
+                cycle += idle
             elif kind == "grp":
                 raise ValueError(
                     "cycle-grouped streams are outside the packed "
@@ -375,7 +665,7 @@ class PackedMemoryArray:
 
     def _apply_stream_word(self, ops, tables, model, detected,
                            stop_when_all_detected, captured):
-        """The word-oriented (m > 1) executor: m planes per lane.
+        """The word-oriented (m > 1) int executor: m planes per lane.
 
         Same record semantics as the bit executor with three geometry
         generalisations: write values and read expectations broadcast
@@ -398,7 +688,11 @@ class PackedMemoryArray:
         transform_read = model.transform_read if model.transforms_reads \
             else None
         settle = model.settle if model.settles else None
+        clock = model.clock if model.timed else None
+        cycle = 0
         for kind, _port, addr, value, expected, idle in ops:
+            if clock is not None:
+                clock(cycle)
             if kind == "w" or kind == "wa":
                 new = columns.get(value)
                 if new is None:
@@ -411,8 +705,10 @@ class PackedMemoryArray:
                 words[addr] = new
                 after_write(addr, old, new, self)
                 executed += 1
+                cycle += 1
             elif kind == "r" or kind == "s":
                 executed += 1
+                cycle += 1
                 observed = words[addr] if transform_read is None \
                     else transform_read(addr, words[addr])
                 if kind == "s" and captured is not None:
@@ -427,6 +723,7 @@ class PackedMemoryArray:
                         return detected, executed
             elif kind == "ra":
                 executed += 1
+                cycle += 1
                 observed = words[addr] if transform_read is None \
                     else transform_read(addr, words[addr])
                 expect = columns.get(expected)
@@ -449,7 +746,7 @@ class PackedMemoryArray:
                                     acc ^= plane << dst_shift
                         accs[idle] = acc
             elif kind == "i":
-                pass
+                cycle += idle
             elif kind == "grp":
                 raise ValueError(
                     "cycle-grouped streams are outside the packed "
@@ -462,6 +759,112 @@ class PackedMemoryArray:
                 settle(self)
         return detected, executed
 
+    def _apply_stream_np(self, ops, tables, model, detected,
+                         stop_when_all_detected, captured):
+        """The uint64 block executor (any m): columns are ``(m, W)``
+        uint64 arrays, so every record costs a few fixed-width ufunc
+        calls regardless of the lane count.
+
+        Record semantics are identical to the int executors (pinned by
+        the backend-equality contract tests); the only representational
+        differences are that the detection fold is a ``bitwise_or``
+        reduction over the plane axis and GF(2^m) plans index planes as
+        array rows instead of bit shifts.
+        """
+        np = _np
+        blocks = self._blocks
+        m, w = self._m, self._w
+        row_ones = self._row_ones
+        executed = 0
+        accs: dict[int, object] = {}
+        columns: dict[int, object] = {}  # m-bit value -> broadcast column
+        plans: dict[int, list] = {}  # table index -> per-plane XOR plan
+        broadcast = self.broadcast
+        transform_write = model.transform_write
+        after_write = model.after_write
+        transform_read = model.transform_read if model.transforms_reads \
+            else None
+        settle = model.settle if model.settles else None
+        clock = model.clock if model.timed else None
+        cycle = 0
+        detected_row = self._row_from_int_np(detected & self._ones)
+        for kind, _port, addr, value, expected, idle in ops:
+            if clock is not None:
+                clock(cycle)
+            if kind == "w" or kind == "wa":
+                new = columns.get(value)
+                if new is None:
+                    new = columns[value] = broadcast(value)
+                if kind == "wa":
+                    acc = accs.get(idle)
+                    if acc is not None:
+                        new = new ^ acc
+                        acc[:] = 0  # the scalar executors' reset-to-0
+                # The write path needs the pre-write column after the
+                # store (after_write's ``old``): blocks[addr] is a view,
+                # so snapshot it before the assignment overwrites it.
+                old = blocks[addr].copy()
+                new = transform_write(addr, old, new)
+                blocks[addr] = new
+                after_write(addr, old, new, self)
+                executed += 1
+                cycle += 1
+            elif kind == "r" or kind == "s":
+                executed += 1
+                cycle += 1
+                observed = blocks[addr] if transform_read is None \
+                    else transform_read(addr, blocks[addr])
+                if kind == "s" and captured is not None:
+                    captured.append(self.col_to_int(observed))
+                expect = columns.get(expected)
+                if expect is None:
+                    expect = columns[expected] = broadcast(expected)
+                diff = np.bitwise_or.reduce(observed ^ expect, axis=0)
+                if diff.any():
+                    detected_row |= diff
+                    if stop_when_all_detected \
+                            and np.array_equal(detected_row, row_ones):
+                        return self._row_to_int_np(detected_row), executed
+            elif kind == "ra":
+                executed += 1
+                cycle += 1
+                observed = blocks[addr] if transform_read is None \
+                    else transform_read(addr, blocks[addr])
+                expect = columns.get(expected)
+                if expect is None:
+                    expect = columns[expected] = broadcast(expected)
+                diff = observed ^ expect
+                if diff.any():
+                    acc = accs.get(idle)
+                    if acc is None:
+                        acc = accs[idle] = np.zeros((m, w),
+                                                    dtype=np.uint64)
+                    if value is None:  # multiplier 1: add the raw diff
+                        acc ^= diff
+                    else:
+                        plan = plans.get(value)
+                        if plan is None:
+                            plan = plans[value] = \
+                                self._lower_table_planes(tables[value])
+                        for src, dst_planes in plan:
+                            plane = diff[src]
+                            if plane.any():
+                                for dst in dst_planes:
+                                    acc[dst] ^= plane
+            elif kind == "i":
+                cycle += idle
+            elif kind == "grp":
+                raise ValueError(
+                    "cycle-grouped streams are outside the packed "
+                    "backend's contract (the batched engine delegates "
+                    "multi-port campaigns to the scalar path)"
+                )
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+            if settle is not None:
+                settle(self)
+        return self._row_to_int_np(detected_row), executed
+
     def _lower_table(self, table) -> list[tuple[int, list[int]]]:
         """Per-plane shift/XOR plan of one constant-multiplier table.
 
@@ -470,8 +873,7 @@ class PackedMemoryArray:
         basis images ``table[1 << i]``.  The plan lists, for every input
         plane *i* that contributes at all, the output-plane shifts its
         lanes XOR into -- applying a multiplier to a whole column is
-        then at most m x m big-int shift/XORs, independent of the lane
-        count.
+        then at most m x m big-int ops, independent of the lane count.
         """
         lanes = self._lanes
         plan: list[tuple[int, list[int]]] = []
@@ -481,6 +883,18 @@ class PackedMemoryArray:
                           if (column >> dst) & 1]
             if dst_shifts:
                 plan.append((src * lanes, dst_shifts))
+        return plan
+
+    def _lower_table_planes(self, table) -> list[tuple[int, tuple[int, ...]]]:
+        """:meth:`_lower_table` with plane *indices* instead of bit
+        shifts -- the numpy executor addresses planes as array rows."""
+        plan: list[tuple[int, tuple[int, ...]]] = []
+        for src in range(self._m):
+            image = table[1 << src]
+            dst_planes = tuple(dst for dst in range(self._m)
+                               if (image >> dst) & 1)
+            if dst_planes:
+                plan.append((src, dst_planes))
         return plan
 
 

@@ -2,14 +2,14 @@
 
 The scalar campaign engine (:func:`repro.sim.campaign.run_campaign`)
 replays a compiled :class:`~repro.sim.ir.OpStream` once per fault.  For
-the fault classes that dominate real universes -- stuck-at, transition,
-stuck-open, and coupling -- the *operations* of every one of those
-replays are identical; only the fault site differs.  This engine
-exploits that: it packs one fault per *lane* of a
-:class:`~repro.memory.packed.PackedMemoryArray` (plain Python ints as
-lane-parallel bit columns, ``m`` planes per lane for word-oriented
-geometries) and replays the stream **once per class**, applying each
-lane's fault as a mask operation positioned in the faulty bit's plane:
+the fault classes that dominate real universes the *operations* of every
+one of those replays are identical; only the fault site differs.  This
+engine exploits that: it packs one fault per *lane* of a
+:class:`~repro.memory.packed.PackedMemoryArray` (lane-parallel bit
+columns -- plain Python ints or numpy uint64 blocks, ``m`` planes per
+lane for word-oriented geometries) and replays the stream **once per
+class**, applying each lane's fault as a mask operation positioned in
+the faulty bit's plane:
 
 * stuck-at:   ``new |= sa1_mask[addr]``, ``new &= ~sa0_mask[addr]``
 * transition: ``new &= ~(~old & new & tf_up_mask[addr])`` (blocked rise),
@@ -21,6 +21,18 @@ lane's fault as a mask operation positioned in the faulty bit's plane:
 * state coupling (CFst): after every committed write, lanes whose
   aggressor bit holds the coupling state force their victim bit -- the
   lane-parallel analogue of the scalar ``settle`` hook
+* NPSF / bridging: enforced conditions -- while every neighbour holds
+  the deleted pattern the victim is forced, and a shorted pair settles
+  to its wired-AND/OR -- evaluated as whole-cell match-and-blend column
+  ops after each relevant write (plus one initial settle)
+* retention (DRF): the executor's cycle clock drives idle-aware decay;
+  a cell unaccessed past its retention interval decays lazily at its
+  next read, exactly like the scalar model
+* linked faults: the coupling components fire in order under a shared
+  aggressor transition, one group pass per component rank
+* decoder (AF): per-lane address overrides -- lost writes, redirected
+  writes, wired-AND multi-cell reads and the AF-A sense-latch -- mapped
+  onto blend columns over the canonical single-port read path
 
 A checked read XORs the packed word with the broadcast expectation; every
 lane with a non-zero bit in any plane is a detection.  π-test recurrences
@@ -30,14 +42,24 @@ multipliers lowered to per-plane shift/XOR plans (see
 not an approximation: each lane computes bit-for-bit what its dedicated
 scalar replay would.
 
-Cost: ``O(classes * stream_length)`` big-int operations instead of
+Cost: ``O(classes * stream_length)`` column operations instead of
 ``O(|universe| * detection_prefix)`` scalar ones -- on single-cell
 dominated universes an order of magnitude faster (see
-``benchmarks/bench_campaign_engine.py``).  Faults that cannot be
-expressed as mask algebra (NPSF, bridging, decoder, retention, linked)
-fall back per fault to :func:`~repro.sim.campaign.run_campaign`, so
+``benchmarks/bench_campaign_engine.py``).  Every fault class the
+built-in universes generate now vectorizes; only faults whose
+:meth:`~repro.faults.base.Fault.vector_semantics` is ``None`` (custom
+models), names an unregistered kind, or does not fit the stream's
+geometry fall back per fault to
+:func:`~repro.sim.campaign.run_campaign`, so
 :func:`run_campaign_batched` accepts *any* universe and returns verdicts
 identical to the scalar engines, in universe order.
+
+Lane models build their masks as plain ints at construction time (the
+pass's lane count is the plane stride) and convert them to backend
+columns in ``install`` through the memory's helper surface
+(``col_from_int`` / ``spread`` / ``blend_lanes`` / ...), which is what
+lets one model implementation drive both the big-int and the numpy
+uint64 column kernels.
 """
 
 from __future__ import annotations
@@ -75,25 +97,29 @@ class _StuckLanes(LaneFaultModel):
 
     def __init__(self, semantics: list[VectorSemantics]):
         stride = len(semantics)  # == the pass's lane count (plane stride)
-        self._sa1: dict[int, int] = {}
-        self._sa0: dict[int, int] = {}
+        self._sa1: dict[int, object] = {}
+        self._sa0: dict[int, object] = {}
         for lane, sem in enumerate(semantics):
             target = self._sa1 if sem.value else self._sa0
             bit = 1 << (sem.bit * stride + lane)
             target[sem.cell] = target.get(sem.cell, 0) | bit
 
     def install(self, memory: PackedMemoryArray) -> None:
+        self._sa1 = {addr: memory.col_from_int(mask)
+                     for addr, mask in self._sa1.items()}
+        self._sa0 = {addr: memory.col_from_int(mask)
+                     for addr, mask in self._sa0.items()}
         # Cells power up at 0; stuck-at-1 lanes are forced immediately.
         for addr, mask in self._sa1.items():
-            memory.words[addr] |= mask
+            memory.or_lanes(addr, mask)
 
-    def transform_write(self, addr: int, old: int, new: int) -> int:
+    def transform_write(self, addr: int, old, new):
         mask = self._sa1.get(addr)
         if mask is not None:
-            new |= mask
+            new = new | mask
         mask = self._sa0.get(addr)
         if mask is not None:
-            new &= ~mask
+            new = new & ~mask
         return new
 
 
@@ -106,71 +132,146 @@ class _TransitionLanes(LaneFaultModel):
 
     def __init__(self, semantics: list[VectorSemantics]):
         stride = len(semantics)
-        self._up: dict[int, int] = {}
-        self._down: dict[int, int] = {}
+        self._up: dict[int, object] = {}
+        self._down: dict[int, object] = {}
         for lane, sem in enumerate(semantics):
             target = self._up if sem.rising else self._down
             bit = 1 << (sem.bit * stride + lane)
             target[sem.cell] = target.get(sem.cell, 0) | bit
 
-    def transform_write(self, addr: int, old: int, new: int) -> int:
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._up = {addr: memory.col_from_int(mask)
+                    for addr, mask in self._up.items()}
+        self._down = {addr: memory.col_from_int(mask)
+                      for addr, mask in self._down.items()}
+
+    def transform_write(self, addr: int, old, new):
         mask = self._up.get(addr)
         if mask is not None:
-            new &= ~(~old & new & mask)  # blocked rise: bit stays 0
+            new = new & ~(~old & new & mask)  # blocked rise: bit stays 0
         mask = self._down.get(addr)
         if mask is not None:
-            new |= old & ~new & mask  # blocked fall: bit stays 1
+            new = new | (old & ~new & mask)  # blocked fall: bit stays 1
         return new
+
+
+def _coupling_groups(pairs, stride):
+    """Group ``(lane, coupling semantics)`` pairs by condition.
+
+    Returns ``{aggressor_cell: [(victim, rising, force_to, mask, delta)]}``
+    with ``mask`` an int lane mask positioned in the aggressor bit's
+    plane and ``delta`` the aggressor->victim *plane* offset (zero for
+    bit-oriented and same-bit word faults; also covers the intra-word
+    case where aggressor and victim are bits of one cell).  One committed
+    write then touches each distinct victim word once, with a mask
+    covering every lane of that group that fired.
+    """
+    grouped: dict[tuple, int] = {}
+    for lane, sem in pairs:
+        key = (sem.cell, sem.bit, sem.victim_cell, sem.victim_bit,
+               bool(sem.rising), sem.value)
+        grouped[key] = grouped.get(key, 0) | (1 << lane)
+    by_aggressor: dict[int, list] = {}
+    for (aggr, a_bit, victim, v_bit, rising, force_to), mask in \
+            grouped.items():
+        by_aggressor.setdefault(aggr, []).append(
+            (victim, rising, force_to, mask << (a_bit * stride),
+             v_bit - a_bit)
+        )
+    return by_aggressor
+
+
+def _install_coupling_groups(by_aggressor, memory):
+    """Convert a :func:`_coupling_groups` table's int masks to backend
+    columns (called once, from a model's ``install``)."""
+    return {
+        aggr: [(victim, rising, force_to, memory.col_from_int(mask), delta)
+               for victim, rising, force_to, mask, delta in groups]
+        for aggr, groups in by_aggressor.items()
+    }
+
+
+def _fire_coupling_groups(memory, groups, rise, fall):
+    """Corrupt the victims of every group lane whose aggressor fired."""
+    for victim, rising, force_to, mask, delta in groups:
+        fired = (rise if rising else fall) & mask
+        if not memory.any(fired):
+            continue
+        if delta:  # move from the aggressor plane to the victim plane
+            fired = memory.shift_planes(fired, delta)
+        if force_to is None:  # CFin: invert the victim bit
+            memory.xor_lanes(victim, fired)
+        elif force_to:  # CFid -> 1
+            memory.or_lanes(victim, fired)
+        else:  # CFid -> 0
+            memory.andnot_lanes(victim, fired)
 
 
 class _CouplingLanes(LaneFaultModel):
     """CFin/CFid lanes: aggressor transitions corrupt per-lane victims.
 
-    Lanes are grouped by ``(aggressor bit, victim bit, edge, effect)`` so
-    one committed write touches each distinct victim word once, with a
-    mask covering every lane of that group that fired.  The aggressor
-    mask sits in the aggressor bit's plane; ``delta`` repositions the
-    fired lanes into the victim bit's plane (zero for bit-oriented and
-    same-bit word faults), which also covers the intra-word case where
-    aggressor and victim are bits of one cell.
+    Lanes are grouped by ``(aggressor bit, victim bit, edge, effect)``
+    (see :func:`_coupling_groups`); the aggressor mask sits in the
+    aggressor bit's plane and the fired lanes are repositioned into the
+    victim bit's plane before the corruption lands.
     """
 
     def __init__(self, semantics: list[VectorSemantics]):
-        stride = len(semantics)
-        groups: dict[tuple[int, int, int, int, bool, int | None], int] = {}
-        for lane, sem in enumerate(semantics):
-            key = (sem.cell, sem.bit, sem.victim_cell, sem.victim_bit,
-                   bool(sem.rising), sem.value)
-            groups[key] = groups.get(key, 0) | (1 << lane)
-        self._by_aggressor: dict[
-            int, list[tuple[int, bool, int | None, int, int]]] = {}
-        for (aggr, a_bit, victim, v_bit, rising, force_to), mask in \
-                groups.items():
-            self._by_aggressor.setdefault(aggr, []).append(
-                (victim, rising, force_to, mask << (a_bit * stride),
-                 (v_bit - a_bit) * stride)
-            )
+        self._by_aggressor = _coupling_groups(
+            list(enumerate(semantics)), len(semantics))
 
-    def after_write(self, addr: int, old: int, committed: int,
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._by_aggressor = _install_coupling_groups(self._by_aggressor,
+                                                      memory)
+
+    def after_write(self, addr: int, old, committed,
                     memory: PackedMemoryArray) -> None:
         groups = self._by_aggressor.get(addr)
         if groups is None:
             return
-        rise = ~old & committed  # lanes whose aggressor bit went 0 -> 1
-        fall = old & ~committed  # lanes whose aggressor bit went 1 -> 0
-        words = memory.words
-        for victim, rising, force_to, mask, delta in groups:
-            fired = (rise if rising else fall) & mask
-            if not fired:
+        # rise: lanes whose aggressor bit went 0 -> 1; fall: the dual.
+        _fire_coupling_groups(memory, groups, ~old & committed,
+                              old & ~committed)
+
+
+class _LinkedLanes(LaneFaultModel):
+    """Linked-fault lanes: coupling components fired in rank order.
+
+    A linked fault is several coupling faults installed together; the
+    scalar wrapper fires every component on each committed write with
+    the *same* ``(old, committed)`` pair, mutating the victims
+    sequentially.  Lane-parallel that becomes one
+    :func:`_coupling_groups` table per component *rank*: rank 0 of every
+    lane fires first (possibly flipping victims), then rank 1 reads the
+    already-corrupted state -- exactly the scalar masking order that
+    makes linked CFin pairs cancel.
+    """
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        stride = len(semantics)
+        depth = max(len(sem.extra) for sem in semantics)
+        self._steps = []
+        for rank in range(depth):
+            pairs = [(lane, sem.extra[rank])
+                     for lane, sem in enumerate(semantics)
+                     if len(sem.extra) > rank]
+            self._steps.append(_coupling_groups(pairs, stride))
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._steps = [_install_coupling_groups(step, memory)
+                       for step in self._steps]
+
+    def after_write(self, addr: int, old, committed,
+                    memory: PackedMemoryArray) -> None:
+        rise = fall = None
+        for step in self._steps:
+            groups = step.get(addr)
+            if groups is None:
                 continue
-            if delta:  # move from the aggressor plane to the victim plane
-                fired = fired << delta if delta > 0 else fired >> -delta
-            if force_to is None:  # CFin: invert the victim bit
-                words[victim] ^= fired
-            elif force_to:  # CFid -> 1
-                words[victim] |= fired
-            else:  # CFid -> 0
-                words[victim] &= ~fired
+            if rise is None:  # shared edge masks, computed on first use
+                rise = ~old & committed
+                fall = old & ~committed
+            _fire_coupling_groups(memory, groups, rise, fall)
 
 
 class _StuckOpenLanes(LaneFaultModel):
@@ -189,35 +290,32 @@ class _StuckOpenLanes(LaneFaultModel):
     transforms_reads = True
 
     def __init__(self, semantics: list[VectorSemantics]):
-        self._open: dict[int, int] = {}
+        self._open: dict[int, object] = {}
         self._sense = 0  # per-lane latch; powers up at initial_sense
+        self._memory: PackedMemoryArray | None = None
         for lane, sem in enumerate(semantics):
             self._open[sem.cell] = self._open.get(sem.cell, 0) | (1 << lane)
             if sem.value:
                 self._sense |= 1 << lane
 
     def install(self, memory: PackedMemoryArray) -> None:
-        # SOF is a whole-cell fault: on a word-oriented geometry the open
-        # mask must cut off *every* plane of the lane's cell, so the
-        # single-plane masks built in __init__ are replicated across the
-        # memory's m planes here (the first point the geometry is known).
-        # The latch keeps its compact power-up value: initial_sense is a
-        # 0/1 cell value, i.e. bit 0 -- plane 0 -- of the word.
-        if memory.m == 1:
-            return
-        stride = memory.lanes
-        replicate = sum(1 << (bit * stride) for bit in range(memory.m))
-        # Lane positions (< stride) and plane offsets (multiples of
-        # stride) never collide, so the product is a carry-free spread of
-        # every open lane bit across all planes.
-        self._open = {cell: mask * replicate
+        # SOF is a whole-cell fault: the open mask cuts off *every* plane
+        # of the lane's cell, so the single-plane lane masks built in
+        # __init__ are spread across the memory's m planes here (the
+        # first point the geometry is known).  The latch keeps its
+        # compact power-up value: initial_sense is a 0/1 cell value,
+        # i.e. bit 0 -- plane 0 -- of the word.
+        self._memory = memory
+        self._open = {cell: memory.spread(memory.row_from_int(mask))
                       for cell, mask in self._open.items()}
+        self._sense = memory.col_from_int(self._sense)
 
-    def transform_read(self, addr: int, sensed: int) -> int:
+    def transform_read(self, addr: int, sensed):
         open_here = self._open.get(addr)
         if open_here is None:
-            # Healthy read in every lane: all latches refresh.
-            self._sense = sensed
+            # Healthy read in every lane: all latches refresh.  The
+            # sensed column may be a live storage view, so latch a copy.
+            self._sense = self._memory.copy_col(sensed)
             return sensed
         # Lanes open at this address observe (and keep) their latch;
         # every other lane senses the stored bit and refreshes.
@@ -225,9 +323,9 @@ class _StuckOpenLanes(LaneFaultModel):
         self._sense = observed
         return observed
 
-    def transform_write(self, addr: int, old: int, new: int) -> int:
+    def transform_write(self, addr: int, old, new):
         open_here = self._open.get(addr)
-        if open_here:
+        if open_here is not None:
             new = (new & ~open_here) | (old & open_here)  # write lost
         return new
 
@@ -251,44 +349,50 @@ class _StateCouplingLanes(LaneFaultModel):
     settles = True
 
     def __init__(self, semantics: list[VectorSemantics]):
-        stride = len(semantics)
         grouped: dict[tuple[int, int, int, int, bool, int], int] = {}
         for lane, sem in enumerate(semantics):
             key = (sem.cell, sem.bit, sem.victim_cell, sem.victim_bit,
                    bool(sem.rising), sem.value)
             grouped[key] = grouped.get(key, 0) | (1 << lane)
-        #: (aggr_cell, aggr_shift, victim_cell, victim_shift, state,
-        #:  force_to, lane_mask) per distinct coupling condition.
+        #: (aggr_cell, aggr_bit, victim_cell, victim_bit, state,
+        #:  force_to, lane_row) per distinct coupling condition.
         self._groups = [
-            (a_cell, a_bit * stride, v_cell, v_bit * stride, state,
-             force_to, mask)
+            (a_cell, a_bit, v_cell, v_bit, state, force_to, mask)
             for (a_cell, a_bit, v_cell, v_bit, state, force_to), mask
             in grouped.items()
         ]
         self._by_cell: dict[int, list[tuple]] = {}
+        self._enforced = False
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._groups = [
+            (a_cell, a_bit, v_cell, v_bit, state, force_to,
+             memory.row_from_int(mask))
+            for a_cell, a_bit, v_cell, v_bit, state, force_to, mask
+            in self._groups
+        ]
+        self._by_cell = {}
         for group in self._groups:
             self._by_cell.setdefault(group[0], []).append(group)
             if group[2] != group[0]:
                 self._by_cell.setdefault(group[2], []).append(group)
-        self._enforced = False
 
     def _enforce(self, memory: PackedMemoryArray, groups) -> None:
-        words = memory.words
-        for a_cell, a_shift, v_cell, v_shift, state, force_to, mask in \
-                groups:
-            aggressor = (words[a_cell] >> a_shift) & mask
+        for a_cell, a_bit, v_cell, v_bit, state, force_to, mask in groups:
+            aggressor = memory.plane(a_cell, a_bit) & mask
             # Lanes (within this group) whose aggressor bit equals the
             # coupling state; aggressor is a subset of mask, so the
             # state-0 complement is just the XOR.
             held = aggressor if state else aggressor ^ mask
-            if not held:
+            if not memory.any(held):
                 continue
+            column = memory.row_to_plane(held, v_bit)
             if force_to:
-                words[v_cell] |= held << v_shift
+                memory.or_lanes(v_cell, column)
             else:
-                words[v_cell] &= ~(held << v_shift)
+                memory.andnot_lanes(v_cell, column)
 
-    def after_write(self, addr: int, old: int, committed: int,
+    def after_write(self, addr: int, old, committed,
                     memory: PackedMemoryArray) -> None:
         groups = self._by_cell.get(addr)
         if groups is not None:
@@ -301,12 +405,298 @@ class _StateCouplingLanes(LaneFaultModel):
         self._enforce(memory, self._groups)
 
 
+class _NpsfLanes(LaneFaultModel):
+    """NPSF lanes: while every neighbour holds its pattern value, the
+    victim cell is forced.
+
+    Pattern match is a whole-cell equality per neighbour
+    (:meth:`~repro.memory.packed.PackedMemoryArray.match_lanes`), ANDed
+    across the neighbourhood; matching lanes blend the forced value into
+    their victim cell.  Enforcement timing follows the CFst argument: in
+    an NPSF-only pass reads never mutate state and lanes are disjoint
+    across groups (an enforcement writes only its own lanes' victim,
+    which is never one of its neighbours), so the first ``settle``
+    enforces every group once and afterwards only a committed write to a
+    group's victim or neighbour can change its condition --
+    ``after_write`` enforces exactly those groups.
+    """
+
+    settles = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        grouped: dict[tuple, int] = {}
+        for lane, sem in enumerate(semantics):
+            key = (sem.cell, tuple(sem.extra), sem.value)
+            grouped[key] = grouped.get(key, 0) | (1 << lane)
+        self._groups = [
+            (victim, neighbors, force_to, mask)
+            for (victim, neighbors, force_to), mask in grouped.items()
+        ]
+        self._by_cell: dict[int, list[tuple]] = {}
+        self._enforced = False
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._groups = [
+            (victim,
+             tuple((cell, memory.broadcast(pattern))
+                   for cell, pattern in neighbors),
+             memory.broadcast(force_to),
+             memory.row_from_int(mask))
+            for victim, neighbors, force_to, mask in self._groups
+        ]
+        self._by_cell = {}
+        for group in self._groups:
+            for cell in {group[0], *(cell for cell, _ in group[1])}:
+                self._by_cell.setdefault(cell, []).append(group)
+
+    def _enforce(self, memory: PackedMemoryArray, groups) -> None:
+        for victim, neighbors, force_column, row in groups:
+            held = row
+            for cell, pattern_column in neighbors:
+                held = held & memory.match_lanes(cell, pattern_column)
+                if not memory.any(held):
+                    break
+            else:
+                memory.blend_lanes(victim, memory.spread(held),
+                                   force_column)
+
+    def after_write(self, addr: int, old, committed,
+                    memory: PackedMemoryArray) -> None:
+        groups = self._by_cell.get(addr)
+        if groups is not None:
+            self._enforce(memory, groups)
+
+    def settle(self, memory: PackedMemoryArray) -> None:
+        if self._enforced:
+            return
+        self._enforced = True
+        self._enforce(memory, self._groups)
+
+
+class _BridgeLanes(LaneFaultModel):
+    """BF lanes: a shorted pair settles to its wired-AND/OR.
+
+    Each lane's pair merges bit-wise and both cells take the merged
+    value (in the lane's planes only, via a whole-cell blend).  The
+    merged value is a fixed point of the short, so the CFst enforcement
+    argument applies unchanged: one initial settle, then re-short after
+    every committed write touching either end.
+    """
+
+    settles = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        grouped: dict[tuple[int, int, int], int] = {}
+        for lane, sem in enumerate(semantics):
+            key = (sem.cell, sem.victim_cell, sem.value)
+            grouped[key] = grouped.get(key, 0) | (1 << lane)
+        self._groups = [
+            (cell_a, cell_b, wired_or, mask)
+            for (cell_a, cell_b, wired_or), mask in grouped.items()
+        ]
+        self._by_cell: dict[int, list[tuple]] = {}
+        self._enforced = False
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._groups = [
+            (cell_a, cell_b, wired_or,
+             memory.spread(memory.row_from_int(mask)))
+            for cell_a, cell_b, wired_or, mask in self._groups
+        ]
+        self._by_cell = {}
+        for group in self._groups:
+            self._by_cell.setdefault(group[0], []).append(group)
+            self._by_cell.setdefault(group[1], []).append(group)
+
+    def _enforce(self, memory: PackedMemoryArray, groups) -> None:
+        for cell_a, cell_b, wired_or, select in groups:
+            value_a = memory.read_lanes(cell_a)
+            value_b = memory.read_lanes(cell_b)
+            merged = (value_a | value_b) if wired_or \
+                else (value_a & value_b)
+            memory.blend_lanes(cell_a, select, merged)
+            memory.blend_lanes(cell_b, select, merged)
+
+    def after_write(self, addr: int, old, committed,
+                    memory: PackedMemoryArray) -> None:
+        groups = self._by_cell.get(addr)
+        if groups is not None:
+            self._enforce(memory, groups)
+
+    def settle(self, memory: PackedMemoryArray) -> None:
+        if self._enforced:
+            return
+        self._enforced = True
+        self._enforce(memory, self._groups)
+
+
+class _RetentionLanes(LaneFaultModel):
+    """DRF lanes: idle-aware decay driven by the executor's cycle clock.
+
+    The scalar model (:class:`~repro.faults.retention.DataRetentionFault`)
+    tracks the cell's last access time and applies the decay *lazily at
+    the next read* (writing the decayed value back -- it is now the real
+    content), while a write refreshes the timestamp without decaying.
+    Every lane replays the identical access sequence, so the last-access
+    time of a cell is a pure function of the stream -- one shared
+    timestamp per cell serves all lanes, and only the (retention, decay
+    value) grouping is per-lane.
+    """
+
+    transforms_reads = True
+    timed = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        grouped: dict[int, dict[tuple[int, int], int]] = {}
+        for lane, sem in enumerate(semantics):
+            per_cell = grouped.setdefault(sem.cell, {})
+            key = (sem.extra[0], sem.value)
+            per_cell[key] = per_cell.get(key, 0) | (1 << lane)
+        self._groups: dict[int, object] = grouped
+        self._last: dict[int, int] = {}
+        self._now = 0
+        self._memory: PackedMemoryArray | None = None
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._memory = memory
+        self._groups = {
+            cell: [(retention, memory.broadcast(decay_to),
+                    memory.spread(memory.row_from_int(mask)))
+                   for (retention, decay_to), mask in per_cell.items()]
+            for cell, per_cell in self._groups.items()
+        }
+
+    def clock(self, cycle: int) -> None:
+        self._now = cycle
+
+    def transform_read(self, addr: int, sensed):
+        groups = self._groups.get(addr)
+        if groups is None:
+            return sensed
+        last = self._last.get(addr)
+        if last is not None:  # never-accessed cells do not decay
+            memory = self._memory
+            elapsed = self._now - last
+            for retention, decay_column, select in groups:
+                if elapsed > retention:
+                    # The decayed value is now the real cell content.
+                    memory.blend_lanes(addr, select, decay_column)
+                    sensed = memory.read_lanes(addr)
+        self._last[addr] = self._now
+        return sensed
+
+    def transform_write(self, addr: int, old, new):
+        if addr in self._groups:
+            self._last[addr] = self._now
+        return new
+
+
+class _DecoderLanes(LaneFaultModel):
+    """AF lanes: per-lane address-mapping overrides.
+
+    Reproduces the canonical single-port read path
+    (:class:`~repro.memory.ram.SinglePortRAM`, wired-AND) column-parallel:
+
+    * a write to an address whose lane mapping *excludes* the address
+      keeps the old stored value there (lost / redirected write), and
+      the intended value lands on every redirect target;
+    * a read observes, per lane group, the wired-AND of the mapped
+      cells; an empty mapping (AF-A) observes the lane's sense latch --
+      which every non-empty read refreshes, exactly like the scalar
+      sense amplifier (AF-A lanes observe their own latch, so the
+      blanket refresh is a no-op for them, as in the scalar path).
+    """
+
+    transforms_reads = True
+
+    def __init__(self, semantics: list[VectorSemantics]):
+        lost: dict[int, int] = {}
+        redirects: dict[int, dict[int, int]] = {}
+        read_groups: dict[int, dict[tuple[int, ...], int]] = {}
+        for lane, sem in enumerate(semantics):
+            bit = 1 << lane
+            for addr, cells in sem.extra:
+                if addr not in cells:
+                    lost[addr] = lost.get(addr, 0) | bit
+                for target in cells:
+                    if target != addr:
+                        targets = redirects.setdefault(addr, {})
+                        targets[target] = targets.get(target, 0) | bit
+                group = read_groups.setdefault(addr, {})
+                group[cells] = group.get(cells, 0) | bit
+        self._lost: dict[int, object] = lost
+        self._redirects: dict[int, object] = redirects
+        self._read_groups: dict[int, object] = read_groups
+        self._sense = 0  # per-lane latch, powers up at 0 like the RAM's
+        self._pending = None  # intended value of the in-flight write
+        self._memory: PackedMemoryArray | None = None
+
+    def install(self, memory: PackedMemoryArray) -> None:
+        self._memory = memory
+        spread, row = memory.spread, memory.row_from_int
+        self._lost = {addr: spread(row(mask))
+                      for addr, mask in self._lost.items()}
+        self._redirects = {
+            addr: [(target, spread(row(mask)))
+                   for target, mask in targets.items()]
+            for addr, targets in self._redirects.items()
+        }
+        self._read_groups = {
+            addr: [(cells, spread(row(mask)))
+                   for cells, mask in groups.items()]
+            for addr, groups in self._read_groups.items()
+        }
+        self._sense = memory.col_from_int(self._sense)
+
+    def transform_write(self, addr: int, old, new):
+        # The redirect targets need the *intended* value (per-lane for
+        # "wa" records), not the post-substitution column: stash it for
+        # after_write before the lost lanes keep their old content.
+        self._pending = new
+        lost = self._lost.get(addr)
+        if lost is not None:
+            new = (new & ~lost) | (old & lost)
+        return new
+
+    def after_write(self, addr: int, old, committed,
+                    memory: PackedMemoryArray) -> None:
+        targets = self._redirects.get(addr)
+        if targets is not None:
+            pending = self._pending
+            for target, select in targets:
+                memory.blend_lanes(target, select, pending)
+
+    def transform_read(self, addr: int, sensed):
+        memory = self._memory
+        groups = self._read_groups.get(addr)
+        if groups is None:
+            # Default mapping in every lane; all latches refresh.
+            self._sense = memory.copy_col(sensed)
+            return sensed
+        observed = sensed
+        for cells, select in groups:
+            if not cells:
+                part = self._sense  # AF-A: sense amp keeps last value
+            else:
+                part = memory.read_lanes(cells[0])
+                for cell in cells[1:]:
+                    part = part & memory.read_lanes(cell)
+            observed = (observed & ~select) | (part & select)
+        self._sense = memory.copy_col(observed)
+        return observed
+
+
 _MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
     "stuck": _StuckLanes,
     "transition": _TransitionLanes,
     "coupling": _CouplingLanes,
     "stuck-open": _StuckOpenLanes,
     "state": _StateCouplingLanes,
+    "npsf": _NpsfLanes,
+    "bridge": _BridgeLanes,
+    "retention": _RetentionLanes,
+    "linked": _LinkedLanes,
+    "decoder": _DecoderLanes,
 }
 
 
@@ -358,14 +748,16 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                          progress: Callable[[int, int], None] | None = None,
                          reference_check: bool = True,
                          max_lanes: int = 4096,
-                         pool: WorkerPool | None = None) -> CampaignResult:
+                         pool: WorkerPool | None = None,
+                         backend: str = "auto") -> CampaignResult:
     """Replay one compiled stream against a universe, one pass per class.
 
     Same contract and verdicts as
     :func:`~repro.sim.campaign.run_campaign` -- outcomes in universe
     order, identical ``detected`` flags -- but vectorizable faults
-    (stuck-at, transition, stuck-open, CFin/CFid/CFst, on bit- and
-    word-oriented geometries alike) are resolved lane-parallel on a
+    (stuck-at, transition, stuck-open, CFin/CFid/CFst, NPSF, bridging,
+    retention, linked and decoder faults, on bit- and word-oriented
+    geometries alike) are resolved lane-parallel on a
     :class:`~repro.memory.packed.PackedMemoryArray`, and only the
     remainder takes the scalar per-fault path.
 
@@ -392,6 +784,8 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         index range)`` -- workers re-derive the fallback list locally --
         and anything else ships explicit fault chunks.  Falls back to
         single-process execution when the platform cannot spawn workers.
+        With every built-in class vectorized the remainder is typically
+        empty, in which case no pool is touched at all.
     chunk_size:
         Faults per scalar unit of work (and per ``progress`` callback).
     progress:
@@ -405,6 +799,12 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     pool:
         Explicit :class:`~repro.sim.pool.WorkerPool` for the fallback
         shards; default is the process-wide shared pool for ``workers``.
+    backend:
+        Column-storage backend for the lane passes -- ``"int"``,
+        ``"numpy"`` or ``"auto"`` (see
+        :class:`~repro.memory.packed.PackedMemoryArray`).  Both backends
+        produce byte-identical verdicts; the switch exists for
+        environments without numpy and for equivalence testing.
 
     ``CampaignResult.faults_batched`` reports how many faults the lane
     passes resolved; ``operations_replayed`` counts lane-pass records
@@ -477,7 +877,8 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
             for base in range(0, len(members), max_lanes):
                 chunk = members[base:base + max_lanes]
                 model = build_lane_model(kind, [sem for _, _, sem in chunk])
-                packed = PackedMemoryArray(n, lanes=len(chunk), m=stream.m)
+                packed = PackedMemoryArray(n, lanes=len(chunk), m=stream.m,
+                                           backend=backend)
                 model.install(packed)
                 detected, executed = packed.apply_stream(
                     stream.ops, tables=stream.tables, model=model

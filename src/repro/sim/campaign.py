@@ -182,7 +182,8 @@ def partition_universe(
 
     Returns ``(classes, fallback)``: ``classes`` maps the descriptor kind
     (``"stuck"``, ``"transition"``, ``"coupling"``, ``"stuck-open"``,
-    ``"state"``) to ``(universe_index, fault, semantics)`` triples,
+    ``"state"``, ``"npsf"``, ``"bridge"``, ``"retention"``, ``"linked"``,
+    ``"decoder"``) to ``(universe_index, fault, semantics)`` triples,
     ``fallback`` holds ``(universe_index, fault)`` pairs; indices let the
     batched engine reassemble outcomes in universe order.
 
@@ -190,9 +191,9 @@ def partition_universe(
     >>> classes, fallback = partition_universe(
     ...     single_cell_universe(8), n=8)
     >>> sorted((kind, len(group)) for kind, group in classes.items())
-    [('stuck', 16), ('stuck-open', 8), ('transition', 16)]
-    >>> len(fallback)   # DRF needs real idle time: not mask-expressible
-    8
+    [('retention', 8), ('stuck', 16), ('stuck-open', 8), ('transition', 16)]
+    >>> len(fallback)   # every built-in class carries lane semantics
+    0
     """
     classes: dict[str, list[tuple[int, Fault, VectorSemantics]]] = {}
     fallback: list[tuple[int, Fault]] = []
@@ -208,9 +209,46 @@ def partition_universe(
 
 
 def _fits_geometry(semantics: VectorSemantics, n: int, m: int) -> bool:
-    """True when every bit the descriptor touches exists in an n x m array."""
+    """True when every bit the descriptor touches exists in an n x m array.
+
+    Kind-aware: the structural kinds carry their sites in ``extra``
+    (decoder override pairs, NPSF neighbourhood patterns, linked
+    component descriptors), so the generic cell/bit/victim check alone
+    would accept descriptors the lane models cannot place.
+    """
+    kind = semantics.kind
+    if kind == "linked":
+        # Only pure edge-coupling compositions have a lane model; each
+        # component must individually fit.
+        return bool(semantics.extra) and all(
+            part.kind == "coupling" and _fits_geometry(part, n, m)
+            for part in semantics.extra
+        )
+    if kind == "decoder":
+        if not semantics.extra:
+            return False
+        for addr, cells in semantics.extra:
+            if not 0 <= addr < n:
+                return False
+            if any(not 0 <= cell < n for cell in cells):
+                return False
+        return True
     if not 0 <= semantics.bit < m or not 0 <= semantics.cell < n:
         return False
+    if kind == "npsf":
+        if semantics.value is None or not 0 <= semantics.value < (1 << m):
+            return False
+        return bool(semantics.extra) and all(
+            0 <= cell < n and 0 <= pattern < (1 << m)
+            for cell, pattern in semantics.extra
+        )
+    if kind == "retention":
+        return semantics.value is not None \
+            and 0 <= semantics.value < (1 << m)
+    if kind == "bridge":
+        # A bridge shorts whole cells: victim_bit stays None.
+        return semantics.victim_cell is not None \
+            and 0 <= semantics.victim_cell < n
     if semantics.victim_cell is None:
         return True
     return 0 <= semantics.victim_bit < m and 0 <= semantics.victim_cell < n

@@ -120,12 +120,53 @@ class TestVectorSemantics:
         assert cfst.rising is False  # aggressor holds 0
         assert cfst.value == 1  # victim forced to 1
 
-    def test_non_vectorizable_fault_types(self):
+    def test_structural_fault_types_vectorize(self):
         from repro.faults import BridgingFault, DataRetentionFault
 
-        for fault in (DataRetentionFault(2, retention=8),
-                      BridgingFault(0, 1, kind="and")):
-            assert fault.vector_semantics() is None, fault.name
+        drf = DataRetentionFault(2, retention=8).vector_semantics()
+        assert (drf.kind, drf.cell, drf.value, drf.extra) == \
+            ("retention", 2, 0, (8,))
+        bf = BridgingFault(0, 1, kind="or").vector_semantics()
+        assert (bf.kind, bf.cell, bf.victim_cell, bf.value) == \
+            ("bridge", 0, 1, 1)
+        assert BridgingFault(0, 1, kind="and").vector_semantics().value == 0
+
+    def test_npsf_and_decoder_vectorize(self):
+        from repro.faults import af_multi_access
+        from repro.faults.npsf import StaticNPSF
+
+        npsf = StaticNPSF(4, neighbors=(3, 5), pattern=(1, 0),
+                          force_to=1).vector_semantics()
+        assert (npsf.kind, npsf.cell, npsf.value) == ("npsf", 4, 1)
+        assert npsf.extra == ((3, 1), (5, 0))
+        af = af_multi_access(1, (4,)).vector_semantics()
+        assert (af.kind, af.extra) == ("decoder", ((1, (1, 4)),))
+
+    def test_linked_vectorizes_only_pure_coupling(self):
+        from repro.faults import StuckAtFault
+        from repro.faults.linked import LinkedFault, linked_cfin_pair
+
+        linked = linked_cfin_pair(0, 4, 2).vector_semantics()
+        assert linked.kind == "linked"
+        assert [part.kind for part in linked.extra] == \
+            ["coupling", "coupling"]
+        # A composite with a non-coupling member has no shared-edge lane
+        # form and must take the per-fault path.
+        mixed = LinkedFault([InversionCouplingFault(0, 2, rising=True),
+                             StuckAtFault(2, 1)])
+        assert mixed.vector_semantics() is None
+
+    def test_default_fault_is_not_vectorizable(self):
+        from repro.faults.base import Fault
+
+        class AnalogueFault(Fault):
+            fault_class = "X"
+            name = "analogue"
+
+            def cells(self):
+                return (0,)
+
+        assert AnalogueFault().vector_semantics() is None
 
     def test_word_oriented_bits_fall_back(self):
         # A bit > 0 descriptor cannot live in a 1-bit-per-cell plane.
@@ -143,16 +184,17 @@ class TestPartitionUniverse:
         classes, fallback = partition_universe(universe, n=16)
         counts = {kind: len(group) for kind, group in classes.items()}
         # SAF -> stuck, TF -> transition, SOF -> stuck-open,
-        # CFin+CFid -> coupling, CFst -> state; the rest (BF, AF) is
-        # scalar work.
+        # CFin+CFid -> coupling, CFst -> state, BF -> bridge,
+        # AF -> decoder: the whole standard universe vectorizes.
         assert counts["stuck"] == 32
         assert counts["transition"] == 32
         assert counts["stuck-open"] == 16
         assert counts["coupling"] == 30 * 2 + 30 * 4
         assert counts["state"] == 30 * 4
-        vectorized = sum(counts.values())
-        assert vectorized + len(fallback) == len(universe)
-        assert {fault.fault_class for _, fault in fallback} == {"BF", "AF"}
+        assert counts["bridge"] == 30
+        assert counts["decoder"] == 32
+        assert sum(counts.values()) == len(universe)
+        assert fallback == []
 
     def test_indices_reassemble_universe_order(self):
         universe = standard_universe(8)

@@ -185,22 +185,29 @@ class TestShardedRunCampaign:
 
 class TestShardedRunCampaignBatched:
     def test_sharded_matches_serial(self):
+        # Every built-in class vectorizes now, so a genuine scalar
+        # remainder (what the pool exists for) needs faults with an
+        # unregistered lane kind mixed into the universe.
         stream = compile_march(MARCH_C_MINUS, 16)
-        universe = standard_universe(16)
+        universe = list(standard_universe(16)) + \
+            [ExoticKindFault(cell, 1) for cell in range(16)]
         serial = run_campaign_batched(stream, universe)
         with WorkerPool(2) as pool:
             sharded = run_campaign_batched(stream, universe, workers=2,
-                                           pool=pool)
+                                           pool=pool, chunk_size=4)
         assert sharded.workers_used == 2
         assert sharded.faults_batched == serial.faults_batched
+        assert sharded.faults_batched == len(universe) - 16
         assert _verdicts(sharded) == _verdicts(serial)
         assert sharded.operations_replayed == serial.operations_replayed
 
     def test_no_fallback_skips_the_pool(self):
         # A fully vectorizable universe has nothing to shard; the lane
-        # passes are the batch, and no pool should ever start.
+        # passes are the batch, and no pool should ever start.  The
+        # full standard universe qualifies now that bridging and decoder
+        # faults carry lane semantics.
         stream = compile_march(MARCH_C_MINUS, 16)
-        universe = single_cell_universe(16, classes=("SAF", "TF"))
+        universe = standard_universe(16)
         pool = WorkerPool(2)
         result = run_campaign_batched(stream, universe, workers=2, pool=pool)
         assert not pool.started

@@ -19,14 +19,17 @@ from repro.faults import (
     BitLocation,
     FaultInjector,
     StateCouplingFault,
+    bridging_universe,
     coupling_universe,
     intra_word_universe,
+    linked_universe,
+    npsf_universe,
     single_cell_universe,
     standard_universe,
 )
 from repro.gf2 import primitive_polynomial
 from repro.gf2m import GF2m
-from repro.march.library import MARCH_C_MINUS, MATS
+from repro.march.library import MARCH_C_MINUS, MATS, MATS_PLUS_RETENTION
 from repro.memory import PackedMemoryArray, SinglePortRAM
 from repro.prt import standard_schedule
 from repro.sim import (
@@ -267,16 +270,37 @@ class TestWordLaneEquivalence:
         assert pickle.dumps(batched) == pickle.dumps(compiled)
 
     def test_m8_campaign_batches_word_faults(self, universe_m8):
-        # The acceptance criterion: an m=8 word-oriented campaign gets
-        # real lane passes (CFst included), not the scalar delegation.
+        # The acceptance criterion: an m=8 word-oriented campaign is
+        # resolved *entirely* in lane passes (CFst, bridging and decoder
+        # faults included) -- no scalar delegation, no fallback rows.
         stream = compile_march(MARCH_C_MINUS, 32, m=8)
         result = run_campaign_batched(stream, universe_m8)
         classes, fallback = partition_universe(universe_m8, n=32, m=8)
-        assert result.faults_batched == \
-            sum(len(group) for group in classes.values())
-        assert result.faults_batched > 0
+        assert fallback == []
+        assert result.faults_batched == len(list(universe_m8))
         assert "state" in classes  # CFst resolved in lane passes
-        assert {fault.fault_class for _, fault in fallback} == {"BF", "AF"}
+        assert "bridge" in classes and "decoder" in classes
+
+    def test_m8_new_lane_classes_sweep(self):
+        # The classes this PR moved off the scalar fallback -- NPSF,
+        # bridging, DRF (real idle decay) and linked faults -- swept on
+        # an m=8 geometry under a retention-pause march: batched vs
+        # compiled byte-identical, fully lane-resolved, and stable under
+        # workers=2 (pickled reports equal; nothing left to shard).
+        n = 20
+        universe = npsf_universe(n) + bridging_universe(n) + \
+            linked_universe(n) + \
+            single_cell_universe(n, m=8, classes=("DRF",), retention=64)
+        _classes, fallback = partition_universe(universe, n=n, m=8)
+        assert fallback == []
+        runner = march_runner(MATS_PLUS_RETENTION)
+        batched = run_coverage(runner, universe, n, m=8, engine="batched")
+        compiled = run_coverage(runner, universe, n, m=8,
+                                engine="compiled")
+        assert pickle.dumps(batched) == pickle.dumps(compiled)
+        sharded = run_coverage(runner, universe, n, m=8, engine="batched",
+                               workers=2)
+        assert pickle.dumps(sharded) == pickle.dumps(batched)
 
     def test_sharded_word_campaign_byte_identical(self, universe_m4):
         runner = march_runner(MARCH_C_MINUS)

@@ -13,6 +13,13 @@ of the full benchmark), as are baseline timings below ``--min-seconds``
 have different core counts than the baseline host; absolute per-path
 wall clock with generous headroom is the stable signal.
 
+``fallback_summary`` rows additionally gate *vectorization*: any fault
+class appearing in a current row's ``fallback`` census that was
+lane-vectorized in the matching baseline row (absent from its
+``fallback``) fails the check outright, slowdown budget notwithstanding
+-- a class silently dropping out of the lane passes is an engine
+regression even when the smoke timings still fit.
+
 Usage::
 
     python tools/check_bench.py \
@@ -27,7 +34,7 @@ import json
 import sys
 
 ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows",
-                "wordlane_rows", "sharded_rows")
+                "wordlane_rows", "sharded_rows", "fallback_summary")
 
 
 def _row_key(section: str, row: dict) -> tuple:
@@ -77,6 +84,21 @@ def compare(baseline: dict, current: dict, max_slowdown: float,
             lines.append(f"{label:>40} {field:>14} "
                          f"{base_t:>8.3f}s -> {cur_t:>8.3f}s "
                          f"({ratio:>5.2f}x) {verdict}")
+        if section == "fallback_summary":
+            # Vectorization gate: a fault class that resolved in lane
+            # passes in the baseline must never reappear in the scalar
+            # fallback -- that is a silent engine regression even when
+            # the wall clock stays inside the slowdown budget.
+            base_fallback = base.get("fallback", {})
+            for cls, count in sorted(cur.get("fallback", {}).items()):
+                if cls not in base_fallback:
+                    regressions.append(
+                        f"{label}: fault class {cls!r} regressed to the "
+                        f"scalar fallback ({count} faults were "
+                        f"lane-vectorized in the baseline)"
+                    )
+                    lines.append(f"{label:>40} {'fallback':>14} "
+                                 f"{cls}: lanes -> scalar REGRESSION")
     return lines, regressions
 
 
