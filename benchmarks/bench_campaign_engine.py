@@ -23,8 +23,11 @@ headline ``single_cell_batched_speedup`` in the JSON summary.
 
 A third section times the *port-parallel* π-schemes (dual-/quad-port,
 ``repro.prt.dual_port``): the interpreted per-cycle engine vs the
-compiled cycle-grouped replay (``multiport_rows``; detection happens at
-the final signature, so the ratio isolates the grouped executor win).
+compiled cycle-grouped replay vs the batched lane-parallel engine
+(``multiport_rows``; the packed backends execute cycle groups natively,
+so the batched column is lane passes, not scalar delegation; detection
+happens at the final signature, so the compiled ratio isolates the
+grouped executor win and the batched ratio the lane-vs-scalar win).
 
 A fourth section keeps the historical *process sharding* rows: the
 NPSF + bridging + decoder universe that used to be the batched engine's
@@ -47,11 +50,16 @@ at n=1024 (``min_wordlane_speedup``).
 A sixth section (``fallback_summary``) is the *vectorization census*:
 for the full ``standard_universe`` at each n and m in {1, 8}, the
 per-class lane/vs/fallback split from ``partition_universe`` plus a
-lane-vs-scalar wall-clock split on a sampled subset.  ``fallback_rows``
-lists the identities of census entries whose fallback set is non-empty
--- the committed baseline keeps it ``[]``, and ``tools/check_bench.py``
-fails when a class that vectorized in the baseline regresses to the
-scalar fallback.
+lane-vs-scalar wall-clock split on a sampled subset -- and, per
+geometry, one census row per cycle-grouped multi-port campaign
+(dual-/quad-port streams through ``run_campaign_batched``), whose
+``fallback`` records any faults the engine handed back to the scalar
+path (a ``delegated`` entry there means the grouped packed executor
+regressed to scalar delegation).  ``fallback_rows`` lists the
+identities of census entries whose fallback set is non-empty -- the
+committed baseline keeps it ``[]``, and ``tools/check_bench.py`` fails
+when a class that vectorized in the baseline regresses to the scalar
+fallback.
 
 Reports are cross-checked for equality on every path before a number is
 emitted.  Run as a script::
@@ -101,7 +109,13 @@ from repro.prt import (  # noqa: E402
     QuadPortPiIteration,
     standard_schedule,
 )
-from repro.sim import partition_universe, shutdown_shared_pools  # noqa: E402
+from repro.sim import (  # noqa: E402
+    cached_dual_port_stream,
+    cached_quad_port_stream,
+    partition_universe,
+    run_campaign_batched,
+    shutdown_shared_pools,
+)
 
 SIZES = (64, 256, 1024)
 SAMPLE = {64: None, 256: 400, 1024: 200}  # None = full universe
@@ -199,12 +213,17 @@ def bench_single_cell(n: int) -> list[dict]:
 
 def bench_multiport(n: int) -> list[dict]:
     """The port-parallel π-schemes: interpreted cycle() loop vs compiled
-    cycle-grouped replay (``MultiPortRAM.apply_stream``).
+    cycle-grouped replay (``MultiPortRAM.apply_stream``) vs the batched
+    lane-parallel engine (the packed backends execute cycle groups
+    natively -- pre-cycle reads, in-order write commit, one clock tick
+    per group -- so the batched column is lane passes, not scalar
+    delegation).
 
     Detection happens at the final signature window, so early abort buys
-    nothing here -- the whole ratio is the grouped executor vs the
-    per-cycle interpreted engine.  The acceptance bar is >= 3x at
-    n=1024.
+    nothing here -- the compiled ratio is the grouped executor vs the
+    per-cycle interpreted engine (acceptance bar >= 3x at n=1024), and
+    the batched ratio is lane-vs-scalar replay of the same grouped
+    stream.
     """
     universe = standard_universe(n)
     sample = SAMPLE.get(n)
@@ -220,7 +239,15 @@ def bench_multiport(n: int) -> list[dict]:
                 f"{name} n={n}: compiled multi-port campaign diverged "
                 f"from interpreted"
             )
+        t_bat, r_bat = _time_coverage(build(), universe, n,
+                                      engine="batched")
+        if _report_key(r_int) != _report_key(r_bat):
+            raise AssertionError(
+                f"{name} n={n}: batched multi-port campaign diverged "
+                f"from interpreted"
+            )
         speedup = round(t_int / t_cmp, 2) if t_cmp else float("inf")
+        speedup_bat = round(t_cmp / t_bat, 2) if t_bat else float("inf")
         rows.append({
             "test": name,
             "n": n,
@@ -230,10 +257,64 @@ def bench_multiport(n: int) -> list[dict]:
             "interpreted_s": round(t_int, 3),
             "compiled_s": round(t_cmp, 3),
             "speedup_multiport": speedup,
+            "batched_s": round(t_bat, 3),
+            "speedup_batched_vs_compiled": speedup_bat,
         })
         print(f"{name:>14} n={n:<5} faults={len(universe):<5} "
               f"interpreted {t_int:>7.3f}s  compiled {t_cmp:>7.3f}s  "
-              f"x{speedup}")
+              f"x{speedup}  batched {t_bat:>7.3f}s  x{speedup_bat}")
+    return rows
+
+
+MULTIPORT_CENSUS = (
+    ("PRT dual-port",
+     lambda n: cached_dual_port_stream(DualPortPiIteration(seed=(0, 1)), n)),
+    ("PRT quad-port",
+     lambda n: cached_quad_port_stream(QuadPortPiIteration(seed=(0, 1)), n)),
+)
+
+
+def bench_multiport_census(n: int) -> list[dict]:
+    """Lane-resolution census for the cycle-grouped multi-port campaigns.
+
+    Feeds the compiled dual-/quad-port streams straight to
+    ``run_campaign_batched`` and records how many faults rode lane
+    passes (``faults_batched``) vs the per-fault scalar path.  The
+    committed baseline keeps ``fallback`` empty: every standard-universe
+    fault lane-resolves through the grouped packed executor.  A
+    ``delegated`` entry appearing here means grouped streams regressed
+    to scalar delegation -- ``tools/check_bench.py`` fails on it exactly
+    like a fault class dropping out of the lane passes.
+    """
+    universe = standard_universe(n)
+    sample = SAMPLE.get(n)
+    if sample is not None and len(universe) > sample:
+        universe = universe.sample(sample)
+    rows = []
+    for name, stream_of in MULTIPORT_CENSUS:
+        stream = stream_of(n)
+        start = time.perf_counter()
+        result = run_campaign_batched(stream, universe)
+        lane_s = time.perf_counter() - start
+        fallback_counts: dict[str, int] = {}
+        if result.faults_batched != len(universe):
+            fallback_counts["delegated"] = \
+                len(universe) - result.faults_batched
+        row = {
+            "test": name,
+            "n": n,
+            "m": 1,
+            "universe": "standard multi-port census",
+            "faults": len(universe),
+            "faults_batched": result.faults_batched,
+            "fallback": fallback_counts,
+            "lane_s": round(lane_s, 3),
+        }
+        rows.append(row)
+        fallback_text = f"fallback={fallback_counts}" if fallback_counts \
+            else "fallback=none"
+        print(f" census   n={n:<5} [{name}] faults={len(universe):<6} "
+              f"lanes {lane_s:>7.3f}s  {fallback_text}")
     return rows
 
 
@@ -472,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
     for n in census_sizes:
         for m in (1, WORDLANE_M):
             fallback_summary.append(bench_fallback_census(n, m))
+        fallback_summary.extend(bench_multiport_census(n))
     sharded_rows = []
     if args.workers > 0:
         for n in sharded_sizes:
@@ -493,6 +575,9 @@ def main(argv: list[str] | None = None) -> int:
         "multiport_rows": multiport_rows,
         "min_multiport_speedup": min(
             r["speedup_multiport"] for r in multiport_rows
+        ),
+        "min_multiport_lane_speedup": min(
+            r["speedup_batched_vs_compiled"] for r in multiport_rows
         ),
         "wordlane_rows": wordlane_rows,
         # The documented >= 5x acceptance bar is stated at n=1024; the

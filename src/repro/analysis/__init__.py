@@ -22,6 +22,7 @@ from repro.analysis.coverage import (
     iteration_runner,
     dual_port_runner,
     quad_port_runner,
+    multi_schedule_runner,
 )
 from repro.analysis.markov import (
     DetectionMarkovChain,
@@ -46,6 +47,7 @@ __all__ = [
     "iteration_runner",
     "dual_port_runner",
     "quad_port_runner",
+    "multi_schedule_runner",
     "DetectionMarkovChain",
     "monte_carlo_detection",
     "fit_detection_chain",

@@ -34,6 +34,7 @@ from repro.sim.pool import WorkerPool
 from repro.sim.compilers import (
     cached_dual_port_stream,
     cached_march_stream,
+    cached_multi_schedule_stream,
     cached_pi_iteration_stream,
     cached_quad_port_stream,
     cached_schedule_stream,
@@ -48,6 +49,7 @@ __all__ = [
     "iteration_runner",
     "dual_port_runner",
     "quad_port_runner",
+    "multi_schedule_runner",
 ]
 
 Runner = Callable[[SinglePortRAM], bool]
@@ -300,6 +302,30 @@ def dual_port_runner(iteration) -> CompilableRunner:
     :func:`_port_scheme_runner`.
     """
     return _port_scheme_runner(iteration, cached_dual_port_stream, 2)
+
+
+def multi_schedule_runner(schedule) -> CompilableRunner:
+    """Runner adapter for a :class:`~repro.prt.multi_schedule
+    .MultiPortSchedule` (verifying dual-/quad-port iteration chains).
+
+    Same contract as :func:`schedule_runner` plus the multi-port rule of
+    :func:`_port_scheme_runner`: a :class:`~repro.memory.multiport
+    .PortConflictError` raised mid-run counts as a detection.  The
+    default front-end is a perfect ``MultiPortRAM(n, m,
+    schedule.ports)``; the compiled engines replay the whole schedule as
+    one cycle-grouped stream.
+    """
+
+    def runner(ram) -> bool:
+        try:
+            return schedule.run_interpreted(ram).detected
+        except PortConflictError:
+            return True
+
+    return CompilableRunner(
+        runner, lambda n, m: cached_multi_schedule_stream(schedule, n, m),
+        ports=schedule.ports,
+    )
 
 
 def quad_port_runner(iteration) -> CompilableRunner:

@@ -19,6 +19,7 @@ Examples
     python -m repro coverage --n 28 --test prt3
     python -m repro coverage --n 64 --scheme dual-port
     python -m repro coverage --n 64 --scheme quad-port --workers 2
+    python -m repro coverage --n 64 --scheme dual-schedule
     python -m repro compare --n 28
     python -m repro overhead --ports 2
 """
@@ -33,6 +34,7 @@ from repro.analysis import (
     dual_port_runner,
     march_operations,
     march_runner,
+    multi_schedule_runner,
     quad_port_runner,
     run_coverage,
     schedule_runner,
@@ -55,6 +57,7 @@ from repro.prt import (
     DualPortPiIteration,
     QuadPortPiIteration,
     extended_schedule,
+    standard_multi_schedule,
     standard_schedule,
 )
 
@@ -143,24 +146,36 @@ def _cmd_march(args) -> int:
 
 
 def _port_scheme_runner(args):
-    """Runner + display name for a ``--scheme dual-port|quad-port`` run.
+    """Runner + display name for a ``--scheme dual-port|quad-port|
+    dual-schedule|quad-schedule`` run.
 
-    Both schemes are k = 2 π-iterations; the generator mirrors the
+    All schemes are k = 2 π-iterations; the generator mirrors the
     paper's recommendations (``1 + x + x^2`` on GF(2), ``1 + 2x + 2x^2``
     on extension fields).  The campaign replays them port-parallel: 2n
-    cycles per dual-port pass, n per quad-port pass.
+    cycles per dual-port pass, n per quad-port pass.  The ``*-schedule``
+    variants chain three iterations with transparent verification and a
+    port-parallel read-back (the multi-port analogue of ``--test
+    prt3``); ``--pure`` drops the verification there too.
     """
     field = _build_field(args.m, args.poly)
     generator = (1, 1, 1) if field is None or field.m == 1 else (1, 2, 2)
+    quad = args.scheme in ("quad-port", "quad-schedule")
+    if quad and (args.n % 2 != 0 or args.n < 6):
+        raise SystemExit(
+            f"error: --scheme {args.scheme} needs an even --n >= 6 "
+            f"(two concurrent half-array automata), got {args.n}"
+        )
+    if args.scheme in ("dual-schedule", "quad-schedule"):
+        schedule = standard_multi_schedule(
+            ports=4 if quad else 2, field=field, generator=generator,
+            verify=not args.pure,
+        )
+        return (multi_schedule_runner(schedule),
+                f"{'quad' if quad else 'dual'}-port π schedule")
     if args.scheme == "dual-port":
         iteration = DualPortPiIteration(field=field, generator=generator,
                                         seed=(0, 1))
         return dual_port_runner(iteration), "dual-port π"
-    if args.n % 2 != 0 or args.n < 6:
-        raise SystemExit(
-            "error: --scheme quad-port needs an even --n >= 6 "
-            f"(two concurrent half-array automata), got {args.n}"
-        )
     iteration = QuadPortPiIteration(field=field, generator=generator,
                                     seed=(0, 1))
     return quad_port_runner(iteration), "quad-port π"
@@ -195,9 +210,14 @@ def _cmd_coverage(args) -> int:
     print(f"test    : {scheme_name or args.test}")
     if scheme_name is not None:
         ports = runner.ports
-        cycles = 2 * args.n + 2 if ports == 2 else args.n + 2
-        print(f"scheme  : {args.scheme} ({ports} ports, "
-              f"{cycles} cycles per pass)")
+        if args.scheme.endswith("-schedule"):
+            cycles = runner.compile(args.n, args.m).replay_cycles
+            print(f"scheme  : {args.scheme} ({ports} ports, "
+                  f"{cycles} cycles per schedule)")
+        else:
+            cycles = 2 * args.n + 2 if ports == 2 else args.n + 2
+            print(f"scheme  : {args.scheme} ({ports} ports, "
+                  f"{cycles} cycles per pass)")
     print(f"universe: {universe!r}")
     print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
     for fault_class, detected, total, ratio in report.rows():
@@ -295,14 +315,19 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("prt3", "prt5", "mats+", "march-c", "march-b"),
                    default="prt3")
     p.add_argument("--scheme",
-                   choices=("single", "dual-port", "quad-port"),
+                   choices=("single", "dual-port", "quad-port",
+                            "dual-schedule", "quad-schedule"),
                    default="single",
                    help="port scheme: single (default; runs --test on a "
                         "single-port RAM), dual-port (Figure 2 π-iteration "
-                        "on a 2-port RAM, 2n cycles) or quad-port (the "
-                        "multi-LFSR DSE scheme on a 4-port RAM, n cycles); "
-                        "the port schemes replace --test and replay "
-                        "through the compiled cycle-grouped engine")
+                        "on a 2-port RAM, 2n cycles), quad-port (the "
+                        "multi-LFSR DSE scheme on a 4-port RAM, n cycles), "
+                        "or dual-schedule/quad-schedule (three chained "
+                        "iterations with transparent verification riding "
+                        "the write cycles' idle ports and a port-parallel "
+                        "read-back; --pure drops the verification); the "
+                        "port schemes replace --test and replay through "
+                        "the compiled cycle-grouped engine")
     p.add_argument("--pure", action="store_true")
     p.add_argument("--workers", type=int, default=0,
                    help="shard the campaign over N worker processes "

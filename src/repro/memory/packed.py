@@ -56,8 +56,15 @@ instead of touching the storage directly.  Models are built from
 :mod:`repro.sim.batched`, which also owns universe partitioning and the
 per-fault fallback.
 
-Cycle-grouped (multi-port) streams remain outside the packed contract;
-the batched engine delegates those campaigns to the scalar path.
+Cycle-grouped (multi-port) streams execute natively: a ``"grp"`` marker
+runs its k member records as *one memory cycle* -- every read senses the
+pre-cycle columns, then the writes commit in member order -- with the
+model's ``clock``/``settle`` hooks firing once per group and decoder
+write-write conflicts folded into the detection mask through
+:meth:`LaneFaultModel.group_write_conflicts`.  The only ``"grp"`` shapes
+the executor still rejects are structurally invalid ones (a truncated
+group, or a member kind outside ``w/r/s/ra/wa``); port-level validation
+is :class:`~repro.sim.ir.OpStream`'s compile-time job.
 """
 
 from __future__ import annotations
@@ -112,9 +119,19 @@ class LaneFaultModel:
     #: retention model's decay timing).  The executor then calls
     #: :meth:`clock` once per record with the scalar engines' cycle
     #: counter semantics: the time *at which the record executes*
-    #: (pre-increment), with reads and writes costing one cycle each and
-    #: ``"i"`` records adding their idle count.
+    #: (pre-increment), with reads and writes costing one cycle each,
+    #: a whole cycle group costing one cycle, and ``"i"`` records
+    #: adding their idle count.
     timed = False
+
+    #: Set True by models that remap addresses to physical cells (the
+    #: decoder model).  The executor then asks
+    #: :meth:`group_write_conflicts` once per cycle group with the
+    #: group's write addresses, so lanes whose mappings make two
+    #: simultaneous writes land on one physical cell are detected --
+    #: the lane-parallel analogue of the scalar executor's
+    #: ``PortConflictError``-counts-as-detection contract.
+    maps_addresses = False
 
     def install(self, memory: "PackedMemoryArray") -> None:
         """Force the initial state (e.g. stuck-at-1 lanes start at 1)
@@ -125,12 +142,21 @@ class LaneFaultModel:
         """Observe the stream clock before each record executes.  Only
         consulted when :attr:`timed` is True.  Default: nothing."""
 
-    def transform_read(self, addr: int, sensed):
-        """Lane column actually *observed* when reading ``addr`` whose
-        stored column is ``sensed`` (read-side state such as a sense
-        latch lives in the model).  Only consulted when
-        :attr:`transforms_reads` is True.  Default: faithful."""
+    def transform_read(self, addr: int, sensed, port: int = 0):
+        """Lane column actually *observed* when ``port`` reads ``addr``
+        whose stored column is ``sensed`` (read-side state such as a
+        sense latch lives in the model; per-port latches key on
+        ``port``, which flat single-port streams always pass as 0).
+        Only consulted when :attr:`transforms_reads` is True.
+        Default: faithful."""
         return sensed
+
+    def group_write_conflicts(self, addrs: tuple[int, ...]) -> int:
+        """Int lane mask of the lanes where a cycle group writing
+        ``addrs`` simultaneously drives one physical cell twice (through
+        this model's per-lane address mapping).  Only consulted when
+        :attr:`maps_addresses` is True.  Default: no lane conflicts."""
+        return 0
 
     def transform_write(self, addr: int, old, new):
         """Lane column actually stored when writing ``new`` over ``old``
@@ -146,8 +172,10 @@ class LaneFaultModel:
         """Enforce steady-state conditions after each executed record --
         the lane-parallel analogue of :meth:`repro.faults.base.Fault
         .settle`, which the scalar engines run after every memory cycle
-        (state coupling enforces its condition here).  Only consulted
-        when :attr:`settles` is True.  Default: nothing."""
+        (state coupling enforces its condition here).  A cycle group is
+        one memory cycle: the hook fires once after the whole group's
+        writes commit.  Only consulted when :attr:`settles` is True.
+        Default: nothing."""
 
 
 class PackedMemoryArray:
@@ -547,6 +575,19 @@ class PackedMemoryArray:
         advance the model clock (retention decay) and fire the model's
         ``settle`` hook, mirroring the scalar engines.
 
+        ``"grp"`` cycle groups execute as one memory cycle: all of the
+        group's reads (``"r"``/``"s"``/``"ra"``) sense the *pre-cycle*
+        columns, then the writes commit in member order, with the
+        model's ``clock``/``settle`` hooks firing once per group and
+        per-lane decoder write-write conflicts folded into the detection
+        mask (:meth:`LaneFaultModel.group_write_conflicts`) -- exactly
+        the scalar :meth:`repro.memory.multiport.MultiPortRAM
+        .apply_stream` cycle semantics, lane-parallel.  Structural
+        validation (member count vs ports, distinct ports, one write
+        per address) is :class:`~repro.sim.ir.OpStream`'s compile-time
+        job; the executor re-checks only truncated groups and member
+        kinds outside ``w/r/s/ra/wa``.
+
         Parameters
         ----------
         ops:
@@ -609,8 +650,13 @@ class PackedMemoryArray:
             else None
         settle = model.settle if model.settles else None
         clock = model.clock if model.timed else None
+        conflicts = model.group_write_conflicts if model.maps_addresses \
+            else None
         cycle = 0
-        for kind, _port, addr, value, expected, idle in ops:
+        index = 0
+        end = len(ops)
+        while index < end:
+            kind, _port, addr, value, expected, idle = ops[index]
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -629,7 +675,7 @@ class PackedMemoryArray:
                 executed += 1
                 cycle += 1
                 observed = words[addr] if transform_read is None \
-                    else transform_read(addr, words[addr])
+                    else transform_read(addr, words[addr], _port)
                 if kind == "s" and captured is not None:
                     captured.append(observed)
                 diff = observed ^ (ones if expected else 0)
@@ -645,22 +691,96 @@ class PackedMemoryArray:
                 # only non-zero multiplier is 1, so the table either
                 # passes the difference through or annihilates it.
                 observed = words[addr] if transform_read is None \
-                    else transform_read(addr, words[addr])
+                    else transform_read(addr, words[addr], _port)
                 diff = observed ^ (ones if expected else 0)
                 if diff and (value is None or tables[value][1]):
                     accs[idle] = accs.get(idle, 0) ^ diff
             elif kind == "i":
                 cycle += idle
             elif kind == "grp":
-                raise ValueError(
-                    "cycle-grouped streams are outside the packed "
-                    "backend's contract (the batched engine delegates "
-                    "multi-port campaigns to the scalar path)"
-                )
+                count = value
+                stop = index + 1 + count
+                if stop > end:
+                    raise ValueError(
+                        f"op {index}: group announces {count} members "
+                        f"but the stream slice ends at {end}"
+                    )
+                if count == 1:
+                    # One op in one cycle: the flat handling above is
+                    # equivalent and cheaper.
+                    index += 1
+                    continue
+                # Phase A: resolve the stored values ("wa" consumes its
+                # accumulator as of the cycle start) and collect the
+                # pending writes in member order.
+                pending = None
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w":
+                        stored = ones if rec[3] else 0
+                    elif rkind == "wa":
+                        acc_id = rec[5]
+                        stored = accs.get(acc_id, 0) ^ (ones if rec[3]
+                                                        else 0)
+                        accs[acc_id] = 0
+                    elif rkind in ("r", "s", "ra"):
+                        continue
+                    else:
+                        raise ValueError(
+                            f"cycle {cycle}: {rkind!r} records cannot "
+                            "appear inside a cycle group"
+                        )
+                    if pending is None:
+                        pending = []
+                    pending.append((rec[2], stored))
+                # Decoder write-write conflicts detect the lane -- the
+                # scalar executor raises PortConflictError, which the
+                # campaign counts as a detection.
+                if pending is not None and conflicts is not None:
+                    detected |= conflicts(
+                        tuple(waddr for waddr, _ in pending)) & ones
+                # Phase B: every read senses the pre-cycle columns.
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w" or rkind == "wa":
+                        continue
+                    raddr = rec[2]
+                    observed = words[raddr] if transform_read is None \
+                        else transform_read(raddr, words[raddr], rec[1])
+                    diff = observed ^ (ones if rec[4] else 0)
+                    if rkind == "ra":
+                        if diff and (rec[3] is None or tables[rec[3]][1]):
+                            accs[rec[5]] = accs.get(rec[5], 0) ^ diff
+                        continue
+                    if rkind == "s" and captured is not None:
+                        captured.append(observed)
+                    if diff:
+                        detected |= diff
+                # Phase C: commit the writes in member order.  The cycle
+                # is atomic, so the all-detected early abort waits until
+                # after the commits (matching the scalar executor, whose
+                # aborting cycle still completes).
+                if pending is not None:
+                    for waddr, stored in pending:
+                        old = words[waddr]
+                        stored = transform_write(waddr, old, stored)
+                        words[waddr] = stored
+                        after_write(waddr, old, stored, self)
+                executed += count
+                cycle += 1
+                if settle is not None:
+                    settle(self)
+                if detected == ones and stop_when_all_detected:
+                    return detected, executed
+                index = stop
+                continue
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
+            index += 1
         return detected, executed
 
     def _apply_stream_word(self, ops, tables, model, detected,
@@ -689,8 +809,13 @@ class PackedMemoryArray:
             else None
         settle = model.settle if model.settles else None
         clock = model.clock if model.timed else None
+        conflicts = model.group_write_conflicts if model.maps_addresses \
+            else None
         cycle = 0
-        for kind, _port, addr, value, expected, idle in ops:
+        index = 0
+        end = len(ops)
+        while index < end:
+            kind, _port, addr, value, expected, idle = ops[index]
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -710,7 +835,7 @@ class PackedMemoryArray:
                 executed += 1
                 cycle += 1
                 observed = words[addr] if transform_read is None \
-                    else transform_read(addr, words[addr])
+                    else transform_read(addr, words[addr], _port)
                 if kind == "s" and captured is not None:
                     captured.append(observed)
                 expect = columns.get(expected)
@@ -725,7 +850,7 @@ class PackedMemoryArray:
                 executed += 1
                 cycle += 1
                 observed = words[addr] if transform_read is None \
-                    else transform_read(addr, words[addr])
+                    else transform_read(addr, words[addr], _port)
                 expect = columns.get(expected)
                 if expect is None:
                     expect = columns[expected] = broadcast(expected)
@@ -748,15 +873,97 @@ class PackedMemoryArray:
             elif kind == "i":
                 cycle += idle
             elif kind == "grp":
-                raise ValueError(
-                    "cycle-grouped streams are outside the packed "
-                    "backend's contract (the batched engine delegates "
-                    "multi-port campaigns to the scalar path)"
-                )
+                count = value
+                stop = index + 1 + count
+                if stop > end:
+                    raise ValueError(
+                        f"op {index}: group announces {count} members "
+                        f"but the stream slice ends at {end}"
+                    )
+                if count == 1:
+                    index += 1
+                    continue
+                # Phase A: resolve stored values, collect pending writes.
+                pending = None
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w" or rkind == "wa":
+                        stored = columns.get(rec[3])
+                        if stored is None:
+                            stored = columns[rec[3]] = broadcast(rec[3])
+                        if rkind == "wa":
+                            acc_id = rec[5]
+                            stored ^= accs.get(acc_id, 0)
+                            accs[acc_id] = 0
+                    elif rkind in ("r", "s", "ra"):
+                        continue
+                    else:
+                        raise ValueError(
+                            f"cycle {cycle}: {rkind!r} records cannot "
+                            "appear inside a cycle group"
+                        )
+                    if pending is None:
+                        pending = []
+                    pending.append((rec[2], stored))
+                if pending is not None and conflicts is not None:
+                    detected |= conflicts(
+                        tuple(waddr for waddr, _ in pending)) & ones
+                # Phase B: reads sense the pre-cycle columns.
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w" or rkind == "wa":
+                        continue
+                    raddr = rec[2]
+                    observed = words[raddr] if transform_read is None \
+                        else transform_read(raddr, words[raddr], rec[1])
+                    expect = columns.get(rec[4])
+                    if expect is None:
+                        expect = columns[rec[4]] = broadcast(rec[4])
+                    diff = observed ^ expect
+                    if rkind == "ra":
+                        if diff:
+                            if rec[3] is None:
+                                accs[rec[5]] = accs.get(rec[5], 0) ^ diff
+                            else:
+                                plan = plans.get(rec[3])
+                                if plan is None:
+                                    plan = plans[rec[3]] = \
+                                        self._lower_table(tables[rec[3]])
+                                acc = accs.get(rec[5], 0)
+                                for src_shift, dst_shifts in plan:
+                                    plane = (diff >> src_shift) & ones
+                                    if plane:
+                                        for dst_shift in dst_shifts:
+                                            acc ^= plane << dst_shift
+                                accs[rec[5]] = acc
+                        continue
+                    if rkind == "s" and captured is not None:
+                        captured.append(observed)
+                    if diff:
+                        detected |= lane_mask(diff)
+                # Phase C: commit in member order; the cycle is atomic,
+                # so the all-detected abort waits for the commits.
+                if pending is not None:
+                    for waddr, stored in pending:
+                        old = words[waddr]
+                        stored = transform_write(waddr, old, stored)
+                        words[waddr] = stored
+                        after_write(waddr, old, stored, self)
+                executed += count
+                cycle += 1
+                if settle is not None:
+                    settle(self)
+                if detected == ones and stop_when_all_detected:
+                    return detected, executed
+                index = stop
+                continue
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
+            index += 1
         return detected, executed
 
     def _apply_stream_np(self, ops, tables, model, detected,
@@ -786,9 +993,14 @@ class PackedMemoryArray:
             else None
         settle = model.settle if model.settles else None
         clock = model.clock if model.timed else None
+        conflicts = model.group_write_conflicts if model.maps_addresses \
+            else None
         cycle = 0
+        index = 0
+        end = len(ops)
         detected_row = self._row_from_int_np(detected & self._ones)
-        for kind, _port, addr, value, expected, idle in ops:
+        while index < end:
+            kind, _port, addr, value, expected, idle = ops[index]
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -813,7 +1025,7 @@ class PackedMemoryArray:
                 executed += 1
                 cycle += 1
                 observed = blocks[addr] if transform_read is None \
-                    else transform_read(addr, blocks[addr])
+                    else transform_read(addr, blocks[addr], _port)
                 if kind == "s" and captured is not None:
                     captured.append(self.col_to_int(observed))
                 expect = columns.get(expected)
@@ -829,7 +1041,7 @@ class PackedMemoryArray:
                 executed += 1
                 cycle += 1
                 observed = blocks[addr] if transform_read is None \
-                    else transform_read(addr, blocks[addr])
+                    else transform_read(addr, blocks[addr], _port)
                 expect = columns.get(expected)
                 if expect is None:
                     expect = columns[expected] = broadcast(expected)
@@ -854,15 +1066,105 @@ class PackedMemoryArray:
             elif kind == "i":
                 cycle += idle
             elif kind == "grp":
-                raise ValueError(
-                    "cycle-grouped streams are outside the packed "
-                    "backend's contract (the batched engine delegates "
-                    "multi-port campaigns to the scalar path)"
-                )
+                count = value
+                stop = index + 1 + count
+                if stop > end:
+                    raise ValueError(
+                        f"op {index}: group announces {count} members "
+                        f"but the stream slice ends at {end}"
+                    )
+                if count == 1:
+                    index += 1
+                    continue
+                # Phase A: resolve stored values, collect pending writes.
+                pending = None
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w" or rkind == "wa":
+                        stored = columns.get(rec[3])
+                        if stored is None:
+                            stored = columns[rec[3]] = broadcast(rec[3])
+                        if rkind == "wa":
+                            acc = accs.get(rec[5])
+                            if acc is not None:
+                                stored = stored ^ acc
+                                acc[:] = 0
+                    elif rkind in ("r", "s", "ra"):
+                        continue
+                    else:
+                        raise ValueError(
+                            f"cycle {cycle}: {rkind!r} records cannot "
+                            "appear inside a cycle group"
+                        )
+                    if pending is None:
+                        pending = []
+                    pending.append((rec[2], stored))
+                if pending is not None and conflicts is not None:
+                    row = conflicts(
+                        tuple(waddr for waddr, _ in pending)) & self._ones
+                    if row:
+                        detected_row |= self._row_from_int_np(row)
+                # Phase B: reads sense the pre-cycle columns.
+                for member in range(index + 1, stop):
+                    rec = ops[member]
+                    rkind = rec[0]
+                    if rkind == "w" or rkind == "wa":
+                        continue
+                    raddr = rec[2]
+                    observed = blocks[raddr] if transform_read is None \
+                        else transform_read(raddr, blocks[raddr], rec[1])
+                    expect = columns.get(rec[4])
+                    if expect is None:
+                        expect = columns[rec[4]] = broadcast(rec[4])
+                    diff = observed ^ expect
+                    if rkind == "ra":
+                        if diff.any():
+                            acc = accs.get(rec[5])
+                            if acc is None:
+                                acc = accs[rec[5]] = np.zeros(
+                                    (m, w), dtype=np.uint64)
+                            if rec[3] is None:
+                                acc ^= diff
+                            else:
+                                plan = plans.get(rec[3])
+                                if plan is None:
+                                    plan = plans[rec[3]] = \
+                                        self._lower_table_planes(
+                                            tables[rec[3]])
+                                for src, dst_planes in plan:
+                                    plane = diff[src]
+                                    if plane.any():
+                                        for dst in dst_planes:
+                                            acc[dst] ^= plane
+                        continue
+                    if rkind == "s" and captured is not None:
+                        captured.append(self.col_to_int(observed))
+                    fold = np.bitwise_or.reduce(diff, axis=0)
+                    if fold.any():
+                        detected_row |= fold
+                # Phase C: commit in member order; the cycle is atomic,
+                # so the all-detected abort waits for the commits.
+                if pending is not None:
+                    for waddr, stored in pending:
+                        old = blocks[waddr].copy()
+                        stored = transform_write(waddr, old, stored)
+                        blocks[waddr] = stored
+                        after_write(waddr, old, stored, self)
+                executed += count
+                cycle += 1
+                if settle is not None:
+                    settle(self)
+                if stop_when_all_detected \
+                        and np.array_equal(detected_row, row_ones):
+                    return self._row_to_int_np(detected_row), executed
+                index = stop
+                continue
             else:
                 raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
+            index += 1
         return self._row_to_int_np(detected_row), executed
 
     def _lower_table(self, table) -> list[tuple[int, list[int]]]:

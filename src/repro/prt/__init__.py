@@ -19,6 +19,9 @@ Modules:
   3-iteration schedule behind claim C3,
 * :mod:`repro.prt.dual_port` -- the two-port scheme of Figure 2 (2n
   cycles) and the quad-port multi-LFSR scheme (n + O(1) cycles),
+* :mod:`repro.prt.multi_schedule` -- verifying schedules chaining the
+  multi-port iterations (transparent verification rides the write
+  cycles' idle ports at zero cycle cost),
 * :mod:`repro.prt.parallel` -- parallel bit-slice WOM testing with
   identity or permuted lane wiring (intra-word faults, claim C7),
 * :mod:`repro.prt.misr` -- an optional MISR response compactor used by the
@@ -40,7 +43,16 @@ from repro.prt.schedule import (
     standard_schedule,
     extended_schedule,
 )
-from repro.prt.dual_port import DualPortPiIteration, QuadPortPiIteration
+from repro.prt.dual_port import (
+    DualPortPiIteration,
+    QuadPortPiIteration,
+    QuadPortResult,
+)
+from repro.prt.multi_schedule import (
+    MultiPortSchedule,
+    MultiScheduleResult,
+    standard_multi_schedule,
+)
 from repro.prt.parallel import BitSlicePiIteration, lane_permutations
 from repro.prt.misr import MISR
 from repro.prt.bist import BistOverheadModel
@@ -64,6 +76,10 @@ __all__ = [
     "extended_schedule",
     "DualPortPiIteration",
     "QuadPortPiIteration",
+    "QuadPortResult",
+    "MultiPortSchedule",
+    "MultiScheduleResult",
+    "standard_multi_schedule",
     "BitSlicePiIteration",
     "lane_permutations",
     "MISR",

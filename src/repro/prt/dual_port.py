@@ -49,6 +49,9 @@ class DualPortPiIteration:
     512
     """
 
+    #: Ports one memory cycle of this scheme occupies.
+    ports = 2
+
     def __init__(self, field: GF2m | None = None,
                  generator: tuple[int, ...] = (1, 1, 1),
                  seed: tuple[int, ...] = (0, 1),
@@ -118,8 +121,37 @@ class DualPortPiIteration:
 
     def cycle_count(self, n: int) -> int:
         """Cycles per iteration: ``2n + 2`` (init + 2-per-sub-iteration +
-        signature) -- the paper's 2n (claim C4 for 2P RAM)."""
+        signature) -- the paper's 2n (claim C4 for 2P RAM).  Transparent
+        verification (``previous_background``) adds exactly one cycle:
+        the sweep's verify reads ride the otherwise-idle port of each
+        write cycle, only the two seed cells need a leading read cycle."""
         return 2 * n + 2
+
+    def operation_count(self, n: int) -> int:
+        """Exact operations per iteration: ``3n + 4`` -- two seed
+        writes, 2 reads + 1 write per sub-iteration (a null tap still
+        reads, the cycle pattern is fixed in hardware) and the two
+        signature reads.  Verification adds ``n + 2`` reads."""
+        return 3 * n + 4
+
+    def background_after(self, n: int) -> list[int]:
+        """Fault-free cell contents (indexed by *cell*) after one pass.
+
+        Cell ``traj[p]`` holds stream value ``s_p`` for ``p = 2 .. n-1``;
+        the first two trajectory cells were rewritten by the cyclic wrap
+        and hold ``s_n`` / ``s_{n+1}``.  A follow-up *verifying*
+        iteration checks exactly these values before overwriting (see
+        :meth:`run`)."""
+        traj = self.trajectory_for(n)
+        reference = self._reference.copy()
+        reference.reset()
+        stream = list(reference.sequence(n + 2))
+        background = [0] * n
+        for p in range(2, n):
+            background[traj[p]] = stream[p]
+        for i in range(2):
+            background[traj[n + i]] = stream[n + i]
+        return background
 
     def expected_final(self, n: int) -> tuple[int, ...]:
         """``Fin*`` after the n-step pass."""
@@ -128,8 +160,18 @@ class DualPortPiIteration:
         reference.run(n)
         return reference.state
 
-    def run(self, ram: MultiPortRAM) -> PiIterationResult:
-        """Execute on a RAM with at least two ports."""
+    def run(self, ram: MultiPortRAM,
+            previous_background: list[int] | None = None) -> PiIterationResult:
+        """Execute on a RAM with at least two ports.
+
+        With ``previous_background`` (a full per-cell snapshot, normally
+        the preceding iteration's :meth:`background_after`) the pass
+        verifies transparently: one leading double-read cycle checks the
+        two seed cells, and every write cycle's idle second port reads
+        the cell being overwritten -- the read senses the pre-write
+        value, so verification costs **zero extra cycles** during the
+        sweep.  Mismatches land in the result's ``verify_mismatches``.
+        """
         if getattr(ram, "ports", 1) < 2:
             raise ValueError("the dual-port scheme needs >= 2 ports")
         if ram.m != self._field.m:
@@ -140,10 +182,28 @@ class DualPortPiIteration:
         n = ram.n
         if n < 3:
             raise ValueError(f"memory must have more than 2 cells, got {n}")
+        if previous_background is not None and len(previous_background) != n:
+            raise ValueError(
+                f"previous background must list all {n} cells, "
+                f"got {len(previous_background)}"
+            )
         traj = self.trajectory_for(n)
         field = self._field
         mult = self._reference.recurrence_multipliers
         operations = 0
+        verify_mismatches = 0
+        if previous_background is not None:
+            # Both seed cells are written in the init cycle with both
+            # ports busy, so their old contents need one dedicated
+            # double-read cycle up front.
+            checks = ram.cycle([
+                PortOp(0, "r", traj[0]),
+                PortOp(1, "r", traj[1]),
+            ])
+            operations += 2
+            for i in range(2):
+                if checks[i] != previous_background[traj[i]]:
+                    verify_mismatches += 1
         # Init: both seed words in one cycle (two ports, two cells).
         ram.cycle([
             PortOp(0, "w", traj[0], self._seed[0]),
@@ -161,8 +221,26 @@ class DualPortPiIteration:
             for i, r in enumerate((reads[0], reads[1])):
                 if mult[i] and r:
                     acc = field.add(acc, field.mul(mult[i], r))
-            ram.cycle([PortOp(0, "w", traj[j + 2], acc)])
-            operations += 1
+            if previous_background is None:
+                ram.cycle([PortOp(0, "w", traj[j + 2], acc)])
+                operations += 1
+            else:
+                # Port 1 idles during the write cycle; spend it on a
+                # transparent verify read of the cell being overwritten
+                # (reads sense the pre-write value).
+                target = traj[j + 2]
+                if j < n - 2:
+                    expected = previous_background[target]
+                else:
+                    # Wrap writes overwrite this iteration's own seeds.
+                    expected = self._seed[j + 2 - n]
+                checks = ram.cycle([
+                    PortOp(0, "w", target, acc),
+                    PortOp(1, "r", target),
+                ])
+                operations += 2
+                if checks[1] != expected:
+                    verify_mismatches += 1
         # Signature: both final-window reads in one cycle.
         final = ram.cycle([
             PortOp(0, "r", traj[n]),
@@ -174,20 +252,27 @@ class DualPortPiIteration:
             final_state=(final[0], final[1]),
             expected_final=self.expected_final(n),
             operations=operations,
+            verify_mismatches=verify_mismatches,
         )
 
 
 @dataclass
 class QuadPortResult:
     """Outcome of the quad-port multi-LFSR iteration: one
-    :class:`PiIterationResult` per concurrent automaton."""
+    :class:`PiIterationResult` per concurrent automaton.
+
+    ``verify_mismatches`` counts failed *schedule-level* checks charged
+    to the iteration as a whole (a multi-port schedule's final read-back
+    pass); per-automaton verify reads land on the halves instead."""
 
     halves: tuple[PiIterationResult, PiIterationResult]
+    verify_mismatches: int = 0
 
     @property
     def passed(self) -> bool:
-        """True when both automata matched their expected final states."""
-        return all(r.passed for r in self.halves)
+        """True when both automata matched their expected final states
+        and every verified background read (if any) matched."""
+        return all(r.passed for r in self.halves) and self.verify_mismatches == 0
 
     def __repr__(self) -> str:
         status = "PASS" if self.passed else "FAIL"
@@ -214,6 +299,9 @@ class QuadPortPiIteration:
     >>> ram.stats.cycles
     14
     """
+
+    #: Ports one memory cycle of this scheme occupies.
+    ports = 4
 
     def __init__(self, field: GF2m | None = None,
                  generator: tuple[int, ...] = (1, 1, 1),
@@ -274,11 +362,43 @@ class QuadPortPiIteration:
         )
 
     def cycle_count(self, n: int) -> int:
-        """Cycles per iteration: ``n + 2`` for an even n."""
+        """Cycles per iteration: ``n + 2`` for an even n.  Transparent
+        verification adds one leading read cycle (see
+        :meth:`DualPortPiIteration.cycle_count`)."""
         return n + 2
 
-    def run(self, ram: MultiPortRAM) -> QuadPortResult:
-        """Execute on a 4-port RAM with an even number of cells."""
+    def operation_count(self, n: int) -> int:
+        """Exact operations per iteration: ``3n + 8`` -- four seed
+        writes, 4 reads + 2 writes per sub-iteration (j over n/2) and
+        the four signature reads.  Verification adds ``n + 4`` reads."""
+        return 3 * n + 8
+
+    def background_after(self, n: int) -> list[int]:
+        """Fault-free cell contents after one pass: both halves carry
+        the same stream, each relative to its own base (see
+        :meth:`DualPortPiIteration.background_after`)."""
+        half = n // 2
+        reference = self._reference.copy()
+        reference.reset()
+        stream = list(reference.sequence(half + 2))
+        background = [0] * n
+        for base in (0, half):
+            for p in range(2, half):
+                background[base + p] = stream[p]
+            for i in range(2):
+                background[base + ((half + i) % half)] = stream[half + i]
+        return background
+
+    def run(self, ram: MultiPortRAM,
+            previous_background: list[int] | None = None) -> QuadPortResult:
+        """Execute on a 4-port RAM with an even number of cells.
+
+        ``previous_background`` enables transparent verification exactly
+        as in :meth:`DualPortPiIteration.run`: a leading 4-read cycle
+        checks the seed cells of both automata, and ports 1/3 verify the
+        cells ports 0/2 overwrite during each write cycle.  Mismatches
+        are charged to the owning automaton's half result.
+        """
         if getattr(ram, "ports", 1) < 4:
             raise ValueError("the quad-port scheme needs >= 4 ports")
         if ram.m != self._field.m:
@@ -291,16 +411,36 @@ class QuadPortPiIteration:
             raise ValueError(
                 f"the two-automata scheme needs an even n >= 6, got {n}"
             )
+        if previous_background is not None and len(previous_background) != n:
+            raise ValueError(
+                f"previous background must list all {n} cells, "
+                f"got {len(previous_background)}"
+            )
         half = n // 2
         # Automaton A sweeps cells [0, half), B sweeps [half, n).
         base = {0: 0, 1: half}
         field = self._field
         mult = self._reference.recurrence_multipliers
         seed = self._seed
+        verify_mismatches = [0, 0]
 
         def cell(automaton: int, j: int) -> int:
             return base[automaton] + (j % half)
 
+        if previous_background is not None:
+            # All four ports write in the init cycle; the seed cells'
+            # old contents need one dedicated 4-read cycle up front.
+            checks = ram.cycle([
+                PortOp(0, "r", cell(0, 0)),
+                PortOp(1, "r", cell(0, 1)),
+                PortOp(2, "r", cell(1, 0)),
+                PortOp(3, "r", cell(1, 1)),
+            ])
+            for automaton in (0, 1):
+                for i in range(2):
+                    addr = cell(automaton, i)
+                    if checks[2 * automaton + i] != previous_background[addr]:
+                        verify_mismatches[automaton] += 1
         ram.cycle([
             PortOp(0, "w", cell(0, 0), seed[0]),
             PortOp(1, "w", cell(0, 1), seed[1]),
@@ -322,10 +462,29 @@ class QuadPortPiIteration:
                     if mult[i] and r:
                         acc = field.add(acc, field.mul(mult[i], r))
                 values.append(acc)
-            ram.cycle([
-                PortOp(0, "w", cell(0, j + 2), values[0]),
-                PortOp(2, "w", cell(1, j + 2), values[1]),
-            ])
+            if previous_background is None:
+                ram.cycle([
+                    PortOp(0, "w", cell(0, j + 2), values[0]),
+                    PortOp(2, "w", cell(1, j + 2), values[1]),
+                ])
+            else:
+                # Ports 1/3 idle during the write cycle; they verify the
+                # cells ports 0/2 overwrite (reads sense pre-write).
+                targets = (cell(0, j + 2), cell(1, j + 2))
+                checks = ram.cycle([
+                    PortOp(0, "w", targets[0], values[0]),
+                    PortOp(1, "r", targets[0]),
+                    PortOp(2, "w", targets[1], values[1]),
+                    PortOp(3, "r", targets[1]),
+                ])
+                for automaton in (0, 1):
+                    if j < half - 2:
+                        expected = previous_background[targets[automaton]]
+                    else:
+                        # Wrap writes overwrite this iteration's seeds.
+                        expected = seed[j + 2 - half]
+                    if checks[2 * automaton + 1] != expected:
+                        verify_mismatches[automaton] += 1
         final = ram.cycle([
             PortOp(0, "r", cell(0, half)),
             PortOp(1, "r", cell(0, half + 1)),
@@ -339,6 +498,7 @@ class QuadPortPiIteration:
                 final_state=(final[2 * automaton], final[2 * automaton + 1]),
                 expected_final=expected,
                 operations=0,  # accounted on the shared RAM stats
+                verify_mismatches=verify_mismatches[automaton],
             )
             for automaton in (0, 1)
         )

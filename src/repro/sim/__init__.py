@@ -73,11 +73,13 @@ from repro.sim.ir import Op, OpStream, Segment, OP_KINDS, GROUPABLE_KINDS
 from repro.sim.compilers import (
     cached_dual_port_stream,
     cached_march_stream,
+    cached_multi_schedule_stream,
     cached_pi_iteration_stream,
     cached_quad_port_stream,
     cached_schedule_stream,
     compile_dual_port_pi,
     compile_march,
+    compile_multi_schedule,
     compile_pi_iteration,
     compile_quad_port_pi,
     compile_schedule,
@@ -87,6 +89,7 @@ from repro.sim.replay import (
     replay_dual_port_iteration,
     replay_iteration,
     replay_march,
+    replay_multi_schedule,
     replay_quad_port_iteration,
     replay_schedule,
 )
@@ -114,17 +117,20 @@ __all__ = [
     "compile_schedule",
     "compile_dual_port_pi",
     "compile_quad_port_pi",
+    "compile_multi_schedule",
     "cached_march_stream",
     "cached_pi_iteration_stream",
     "cached_schedule_stream",
     "cached_dual_port_stream",
     "cached_quad_port_stream",
+    "cached_multi_schedule_stream",
     "replay_detect",
     "replay_iteration",
     "replay_march",
     "replay_schedule",
     "replay_dual_port_iteration",
     "replay_quad_port_iteration",
+    "replay_multi_schedule",
     "CampaignResult",
     "run_campaign",
     "run_campaign_batched",

@@ -310,7 +310,9 @@ class _StuckOpenLanes(LaneFaultModel):
                       for cell, mask in self._open.items()}
         self._sense = memory.col_from_int(self._sense)
 
-    def transform_read(self, addr: int, sensed):
+    def transform_read(self, addr: int, sensed, port: int = 0):
+        # The latch lives in the fault's sense amplifier, which the
+        # scalar model shares across ports -- the port is irrelevant.
         open_here = self._open.get(addr)
         if open_here is None:
             # Healthy read in every lane: all latches refresh.  The
@@ -569,7 +571,8 @@ class _RetentionLanes(LaneFaultModel):
     def clock(self, cycle: int) -> None:
         self._now = cycle
 
-    def transform_read(self, addr: int, sensed):
+    def transform_read(self, addr: int, sensed, port: int = 0):
+        # Decay is a property of the cell, not of the reading port.
         groups = self._groups.get(addr)
         if groups is None:
             return sensed
@@ -601,13 +604,22 @@ class _DecoderLanes(LaneFaultModel):
       keeps the old stored value there (lost / redirected write), and
       the intended value lands on every redirect target;
     * a read observes, per lane group, the wired-AND of the mapped
-      cells; an empty mapping (AF-A) observes the lane's sense latch --
-      which every non-empty read refreshes, exactly like the scalar
-      sense amplifier (AF-A lanes observe their own latch, so the
-      blanket refresh is a no-op for them, as in the scalar path).
+      cells; an empty mapping (AF-A) observes the reading *port's* lane
+      sense latch -- which every non-empty read on that port refreshes,
+      exactly like the scalar sense amplifiers (one per port; flat
+      single-port streams only ever touch latch 0, and AF-A lanes
+      observe their own latch, so the blanket refresh is a no-op for
+      them, as in the scalar path);
+    * a cycle group whose writes land on one physical cell in some
+      lane's mapping marks that lane detected
+      (:meth:`~repro.memory.packed.LaneFaultModel
+      .group_write_conflicts`) -- the scalar executor raises
+      ``PortConflictError`` there, which the campaign counts as a
+      detection.
     """
 
     transforms_reads = True
+    maps_addresses = True
 
     def __init__(self, semantics: list[VectorSemantics]):
         lost: dict[int, int] = {}
@@ -627,7 +639,14 @@ class _DecoderLanes(LaneFaultModel):
         self._lost: dict[int, object] = lost
         self._redirects: dict[int, object] = redirects
         self._read_groups: dict[int, object] = read_groups
-        self._sense = 0  # per-lane latch, powers up at 0 like the RAM's
+        #: per-lane address -> physical cells mapping, for the group
+        #: write-conflict check (lane order matches the pass).
+        self._overrides = [dict(sem.extra) for sem in semantics]
+        self._conflict_cache: dict[tuple[int, ...], int] = {}
+        #: per-port lane latches; missing ports power up at 0 like the
+        #: RAM's sense amps (``self._zero`` after install).
+        self._sense: dict[int, object] = {}
+        self._zero = 0
         self._pending = None  # intended value of the in-flight write
         self._memory: PackedMemoryArray | None = None
 
@@ -646,7 +665,8 @@ class _DecoderLanes(LaneFaultModel):
                    for cells, mask in groups.items()]
             for addr, groups in self._read_groups.items()
         }
-        self._sense = memory.col_from_int(self._sense)
+        self._sense = {}
+        self._zero = memory.col_from_int(0)
 
     def transform_write(self, addr: int, old, new):
         # The redirect targets need the *intended* value (per-lane for
@@ -666,24 +686,39 @@ class _DecoderLanes(LaneFaultModel):
             for target, select in targets:
                 memory.blend_lanes(target, select, pending)
 
-    def transform_read(self, addr: int, sensed):
+    def transform_read(self, addr: int, sensed, port: int = 0):
         memory = self._memory
         groups = self._read_groups.get(addr)
         if groups is None:
-            # Default mapping in every lane; all latches refresh.
-            self._sense = memory.copy_col(sensed)
+            # Default mapping in every lane; the port's latches refresh.
+            self._sense[port] = memory.copy_col(sensed)
             return sensed
         observed = sensed
         for cells, select in groups:
             if not cells:
-                part = self._sense  # AF-A: sense amp keeps last value
+                # AF-A: the port's sense amp keeps its last value.
+                part = self._sense.get(port, self._zero)
             else:
                 part = memory.read_lanes(cells[0])
                 for cell in cells[1:]:
                     part = part & memory.read_lanes(cell)
             observed = (observed & ~select) | (part & select)
-        self._sense = memory.copy_col(observed)
+        self._sense[port] = memory.copy_col(observed)
         return observed
+
+    def group_write_conflicts(self, addrs: tuple[int, ...]) -> int:
+        # The stream repeats its write-address groups, so the per-lane
+        # mapping walk (static per pass) is cached on the addr tuple.
+        mask = self._conflict_cache.get(addrs)
+        if mask is None:
+            mask = 0
+            for lane, overrides in enumerate(self._overrides):
+                cells = [cell for addr in addrs
+                         for cell in overrides.get(addr, (addr,))]
+                if len(set(cells)) != len(cells):
+                    mask |= 1 << lane
+            self._conflict_cache[addrs] = mask
+        return mask
 
 
 _MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
@@ -765,15 +800,18 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     ----------
     stream:
         The compiled test.  The packed backend models the canonical
-        ``SinglePortRAM(n, m)`` -- word-oriented streams get ``m``
-        bit planes per lane; only cycle-grouped (multi-port) streams
-        are delegated wholly to :func:`run_campaign`.
+        front-ends -- ``SinglePortRAM(n, m)`` for flat streams and
+        ``MultiPortRAM(n, m, ports)`` for cycle-grouped (multi-port)
+        ones, whose groups execute as single lane-parallel memory
+        cycles (reads sense pre-cycle columns, then writes commit;
+        decoder port conflicts count as detections).  Word-oriented
+        streams get ``m`` bit planes per lane.
     universe:
         Iterable of faults; outcome order preserved.
     ram_factory:
-        A custom front-end (scramblers, multi-port) changes replay
+        A custom front-end (scramblers, exotic decoders) changes replay
         semantics the packed backend does not model, so a non-None
-        factory also delegates everything to :func:`run_campaign`.
+        factory delegates everything to :func:`run_campaign`.
     workers:
         ``N > 0`` runs the scalar-fallback remainder on the persistent
         ``shared_pool(N)`` (or ``pool``) *concurrently* with the lane
@@ -822,14 +860,12 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     """
     if max_lanes < 1:
         raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
-    if ram_factory is not None or stream.ports > 1:
-        # A custom front-end may remap addresses or ports, and
-        # cycle-grouped multi-port streams need per-cycle port semantics
-        # the plane-packed backend does not model -- both outside the
-        # packed contract.  The scalar engine handles every case
-        # (multi-port campaigns still get compiled replay and process
-        # sharding there), so the batched entry point stays universally
-        # callable.
+    if ram_factory is not None:
+        # A custom front-end may remap addresses or ports in ways the
+        # plane-packed backend does not model, so a non-None factory
+        # delegates everything to the scalar engine (which still gets
+        # compiled replay and process sharding), keeping the batched
+        # entry point universally callable.
         return run_campaign(stream, universe, ram_factory=ram_factory,
                             workers=workers, chunk_size=chunk_size,
                             progress=progress,

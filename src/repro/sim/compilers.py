@@ -27,11 +27,13 @@ __all__ = [
     "compile_pi_iteration",
     "compile_dual_port_pi",
     "compile_quad_port_pi",
+    "compile_multi_schedule",
     "cached_march_stream",
     "cached_schedule_stream",
     "cached_pi_iteration_stream",
     "cached_dual_port_stream",
     "cached_quad_port_stream",
+    "cached_multi_schedule_stream",
 ]
 
 
@@ -273,6 +275,104 @@ def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
 # phases, conflict checks and RamStats the interpreted engine produces.
 
 
+def _compile_dual_iteration(iteration, n: int, m: int,
+                            previous_background: list[int] | None,
+                            iteration_index: int,
+                            ops: list[tuple], info: list[tuple],
+                            table_index: dict,
+                            tables: list[tuple[int, ...]]) -> Segment:
+    """Emit one dual-port π-iteration's records; returns its Segment.
+
+    Replicates :meth:`repro.prt.dual_port.DualPortPiIteration.run` cycle
+    for cycle, including the transparent-verification layout: one
+    leading double-read group for the seed cells, then a verify read on
+    the write cycle's idle second port (zero extra cycles -- the group's
+    read phase senses the pre-write value).
+    """
+    field = iteration.field
+    if m != field.m:
+        raise ValueError(
+            f"RAM cell width m={m} does not match field GF(2^{field.m})"
+        )
+    if n < 3:
+        raise ValueError(f"memory must have more than 2 cells, got {n}")
+    if previous_background is not None and len(previous_background) != n:
+        raise ValueError(
+            f"previous background must list all {n} cells, "
+            f"got {len(previous_background)}"
+        )
+    traj = iteration.trajectory_for(n)
+    seed = iteration.seed
+    mult = iteration.recurrence_multipliers
+    start = len(ops)
+
+    def group(count: int, role: str) -> None:
+        ops.append(("grp", 0, 0, count, None, 0))
+        info.append((iteration_index, role))
+
+    if previous_background is not None:
+        # Both ports write in the init cycle, so the seed cells' old
+        # contents get a dedicated leading double-read cycle.
+        group(2, "verify")
+        for i in range(2):
+            cell = traj[i]
+            ops.append(("r", i, cell, None, previous_background[cell], 0))
+            info.append((iteration_index, "verify"))
+    # 1. Init: both seed words in one cycle (two ports, two cells).
+    group(2, "seed")
+    ops.append(("w", 0, traj[0], seed[0], None, 0))
+    info.append((iteration_index, "seed"))
+    ops.append(("w", 1, traj[1], seed[1], None, 0))
+    info.append((iteration_index, "seed"))
+    # 2. Sweep: a double-read cycle then a write cycle per sub-iteration.
+    # Unlike the single-port compiler, a null tap is NOT skipped: the
+    # dual-port engine always issues both reads (the cycle pattern is
+    # fixed in hardware), so a zero multiplier lowers to an
+    # all-zero lookup table -- the read happens, contributes nothing.
+    taps = [
+        _multiplier_table(field, multiplier, table_index, tables)
+        for multiplier in mult
+    ]
+    expected_stream = iteration.expected_stream(n)
+    for j in range(n):
+        group(2, "sweep")
+        ops.append(("ra", 0, traj[j], taps[0], 0, 0))
+        info.append((iteration_index, "sweep"))
+        ops.append(("ra", 1, traj[j + 1], taps[1], 0, 0))
+        info.append((iteration_index, "sweep"))
+        if previous_background is None:
+            # The write-back cycle carries a single op, so it stays a
+            # flat record: a one-member group is exactly one op in one
+            # cycle (the degenerate case), and eliding the marker keeps
+            # the replay hot loop shorter.
+            ops.append(("wa", 0, traj[j + 2], 0, expected_stream[j], 0))
+            info.append((iteration_index, "sweep"))
+        else:
+            # Verifying mode: port 1 reads the cell port 0 overwrites,
+            # in the same cycle (the group's read phase is pre-write).
+            cell = traj[j + 2]
+            if j < n - 2:
+                expected = previous_background[cell]
+            else:
+                # Wrap writes overwrite this iteration's own seeds.
+                expected = seed[j + 2 - n]
+            group(2, "sweep")
+            ops.append(("wa", 0, cell, 0, expected_stream[j], 0))
+            info.append((iteration_index, "sweep"))
+            ops.append(("r", 1, cell, None, expected, 0))
+            info.append((iteration_index, "verify"))
+    # 3. Signature: both final-window reads in one cycle.
+    expected_final = iteration.expected_final(n)
+    group(2, "sig")
+    ops.append(("s", 0, traj[n], None, expected_final[0], 0))
+    info.append((iteration_index, "sig"))
+    ops.append(("s", 1, traj[n + 1], None, expected_final[1], 0))
+    info.append((iteration_index, "sig"))
+    return Segment(label="iteration", index=iteration_index,
+                   start=start, stop=len(ops),
+                   init_state=tuple(seed), expected_final=expected_final)
+
+
 def compile_dual_port_pi(iteration, n: int, m: int = 1) -> OpStream:
     """Lower a :class:`~repro.prt.dual_port.DualPortPiIteration`.
 
@@ -289,65 +389,112 @@ def compile_dual_port_pi(iteration, n: int, m: int = 1) -> OpStream:
     >>> stream.ports, stream.replay_cycles == it.cycle_count(14)
     (2, True)
     """
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    segment = _compile_dual_iteration(iteration, n, m, None, 0, ops, info,
+                                      {}, tables)
+    return OpStream(source="dual-port", name=repr(iteration), n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=(segment,), ports=2)
+
+
+def _compile_quad_iteration(iteration, n: int, m: int,
+                            previous_background: list[int] | None,
+                            iteration_index: int,
+                            ops: list[tuple], info: list[tuple],
+                            table_index: dict,
+                            tables: list[tuple[int, ...]]) -> Segment:
+    """Emit one quad-port π-iteration's records; returns its Segment.
+
+    Member infos carry ``(automaton, role)`` (replay splits captures and
+    verify mismatches per half); group markers carry the iteration
+    index.  Verifying mode adds a leading 4-read group for the seed
+    cells and folds ports 1/3 verify reads into the 2-write groups.
+    """
     field = iteration.field
     if m != field.m:
         raise ValueError(
             f"RAM cell width m={m} does not match field GF(2^{field.m})"
         )
-    if n < 3:
-        raise ValueError(f"memory must have more than 2 cells, got {n}")
-    traj = iteration.trajectory_for(n)
+    if n % 2 != 0 or n < 6:
+        raise ValueError(
+            f"the two-automata scheme needs an even n >= 6, got {n}"
+        )
+    if previous_background is not None and len(previous_background) != n:
+        raise ValueError(
+            f"previous background must list all {n} cells, "
+            f"got {len(previous_background)}"
+        )
+    half = n // 2
     seed = iteration.seed
     mult = iteration.recurrence_multipliers
-    ops: list[tuple] = []
-    info: list[tuple] = []
-    tables: list[tuple[int, ...]] = []
-    table_index: dict = {}
+    start = len(ops)
+
+    def cell(automaton: int, j: int) -> int:
+        return (half if automaton else 0) + (j % half)
 
     def group(count: int, role: str) -> None:
         ops.append(("grp", 0, 0, count, None, 0))
-        info.append((0, role))
+        info.append((iteration_index, role))
 
-    # 1. Init: both seed words in one cycle (two ports, two cells).
-    group(2, "seed")
-    ops.append(("w", 0, traj[0], seed[0], None, 0))
-    info.append((0, "seed"))
-    ops.append(("w", 1, traj[1], seed[1], None, 0))
-    info.append((0, "seed"))
-    # 2. Sweep: a double-read cycle then a write cycle per sub-iteration.
-    # Unlike the single-port compiler, a null tap is NOT skipped: the
-    # dual-port engine always issues both reads (the cycle pattern is
-    # fixed in hardware), so a zero multiplier lowers to an
-    # all-zero lookup table -- the read happens, contributes nothing.
+    if previous_background is not None:
+        # All four ports write in the init cycle; one leading 4-read
+        # cycle checks both automata's seed cells.
+        group(4, "verify")
+        for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+            addr = cell(automaton, i)
+            ops.append(("r", port, addr, None, previous_background[addr], 0))
+            info.append((automaton, "verify"))
+    # 1. Init: all four seed words in one cycle.
+    group(4, "seed")
+    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+        ops.append(("w", port, cell(automaton, i), seed[i], None, 0))
+        info.append((automaton, "seed"))
     taps = [
         _multiplier_table(field, multiplier, table_index, tables)
         for multiplier in mult
     ]
     expected_stream = iteration.expected_stream(n)
-    for j in range(n):
-        group(2, "sweep")
-        ops.append(("ra", 0, traj[j], taps[0], 0, 0))
-        info.append((0, "sweep"))
-        ops.append(("ra", 1, traj[j + 1], taps[1], 0, 0))
-        info.append((0, "sweep"))
-        # The write-back cycle carries a single op, so it stays a flat
-        # record: a one-member group is exactly one op in one cycle (the
-        # degenerate case), and eliding the marker keeps the replay hot
-        # loop shorter.
-        ops.append(("wa", 0, traj[j + 2], 0, expected_stream[j], 0))
-        info.append((0, "sweep"))
-    # 3. Signature: both final-window reads in one cycle.
+    # 2. Sweep: 4 reads then 2 writes per sub-iteration (j over n/2).
+    for j in range(half):
+        group(4, "sweep")
+        for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+            ops.append(("ra", port, cell(automaton, j + i), taps[i], 0,
+                        automaton))
+            info.append((automaton, "sweep"))
+        if previous_background is None:
+            group(2, "sweep")
+            ops.append(("wa", 0, cell(0, j + 2), 0, expected_stream[j], 0))
+            info.append((0, "sweep"))
+            ops.append(("wa", 2, cell(1, j + 2), 0, expected_stream[j], 1))
+            info.append((1, "sweep"))
+        else:
+            # Verifying mode: ports 1/3 read the cells ports 0/2
+            # overwrite, in the same cycle (read phase is pre-write).
+            group(4, "sweep")
+            for automaton, (wport, rport) in enumerate([(0, 1), (2, 3)]):
+                target = cell(automaton, j + 2)
+                if j < half - 2:
+                    expected = previous_background[target]
+                else:
+                    # Wrap writes overwrite this iteration's own seeds.
+                    expected = seed[j + 2 - half]
+                ops.append(("wa", wport, target, 0, expected_stream[j],
+                            automaton))
+                info.append((automaton, "sweep"))
+                ops.append(("r", rport, target, None, expected, 0))
+                info.append((automaton, "verify"))
+    # 3. Signature: both automata's final windows in one cycle.
     expected_final = iteration.expected_final(n)
-    group(2, "sig")
-    ops.append(("s", 0, traj[n], None, expected_final[0], 0))
-    info.append((0, "sig"))
-    ops.append(("s", 1, traj[n + 1], None, expected_final[1], 0))
-    info.append((0, "sig"))
-    segment = Segment(label="iteration", index=0, start=0, stop=len(ops),
-                      init_state=tuple(seed), expected_final=expected_final)
-    return OpStream(source="dual-port", name=repr(iteration), n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=(segment,), ports=2)
+    group(4, "sig")
+    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+        ops.append(("s", port, cell(automaton, half + i), None,
+                    expected_final[i], 0))
+        info.append((automaton, "sig"))
+    return Segment(label="iteration", index=iteration_index,
+                   start=start, stop=len(ops),
+                   init_state=tuple(seed), expected_final=expected_final)
 
 
 def compile_quad_port_pi(iteration, n: int, m: int = 1) -> OpStream:
@@ -366,64 +513,96 @@ def compile_quad_port_pi(iteration, n: int, m: int = 1) -> OpStream:
     >>> stream.ports, stream.replay_cycles == it.cycle_count(12)
     (4, True)
     """
-    field = iteration.field
-    if m != field.m:
-        raise ValueError(
-            f"RAM cell width m={m} does not match field GF(2^{field.m})"
-        )
-    if n % 2 != 0 or n < 6:
-        raise ValueError(
-            f"the two-automata scheme needs an even n >= 6, got {n}"
-        )
-    half = n // 2
-    seed = iteration.seed
-    mult = iteration.recurrence_multipliers
+    ops: list[tuple] = []
+    info: list[tuple] = []
+    tables: list[tuple[int, ...]] = []
+    segment = _compile_quad_iteration(iteration, n, m, None, 0, ops, info,
+                                      {}, tables)
+    return OpStream(source="quad-port", name=repr(iteration), n=n, m=m,
+                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                    segments=(segment,), ports=4)
+
+
+def compile_multi_schedule(schedule, n: int, m: int = 1) -> OpStream:
+    """Lower a :class:`~repro.prt.multi_schedule.MultiPortSchedule`.
+
+    Emits every multi-port iteration (dual- or quad-port, dispatched on
+    the iteration's ``ports`` attribute and chained through
+    ``background_after`` when the schedule verifies transparently),
+    inter-iteration pauses, and the final stride-2 read-back pass --
+    exactly as :meth:`~repro.prt.multi_schedule.MultiPortSchedule
+    .run_interpreted` executes them.  The read-back is itself
+    port-parallel: the stride-2 address order is chunked into
+    ``schedule.ports``-wide read groups (one cycle each), so the pass
+    costs ``ceil(n / ports)`` cycles instead of ``n``.
+
+    >>> from repro.prt import standard_multi_schedule
+    >>> schedule = standard_multi_schedule(ports=2)
+    >>> stream = compile_multi_schedule(schedule, 14)
+    >>> stream.ports, stream.operation_count == schedule.operation_count(14)
+    (2, True)
+    """
+    iterations = schedule.iterations
+    verify = schedule.verify
+    pause = schedule.pause_between
+    ports = schedule.ports
     ops: list[tuple] = []
     info: list[tuple] = []
     tables: list[tuple[int, ...]] = []
     table_index: dict = {}
-
-    def cell(automaton: int, j: int) -> int:
-        return (half if automaton else 0) + (j % half)
-
-    def group(count: int, role: str) -> None:
-        ops.append(("grp", 0, 0, count, None, 0))
-        info.append((0, role))
-
-    # 1. Init: all four seed words in one cycle.
-    group(4, "seed")
-    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
-        ops.append(("w", port, cell(automaton, i), seed[i], None, 0))
-        info.append((automaton, "seed"))
-    taps = [
-        _multiplier_table(field, multiplier, table_index, tables)
-        for multiplier in mult
-    ]
-    expected_stream = iteration.expected_stream(n)
-    # 2. Sweep: 4 reads then 2 writes per sub-iteration (j over n/2).
-    for j in range(half):
-        group(4, "sweep")
-        for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
-            ops.append(("ra", port, cell(automaton, j + i), taps[i], 0,
-                        automaton))
-            info.append((automaton, "sweep"))
-        group(2, "sweep")
-        ops.append(("wa", 0, cell(0, j + 2), 0, expected_stream[j], 0))
-        info.append((0, "sweep"))
-        ops.append(("wa", 2, cell(1, j + 2), 0, expected_stream[j], 1))
-        info.append((1, "sweep"))
-    # 3. Signature: both automata's final windows in one cycle.
-    expected_final = iteration.expected_final(n)
-    group(4, "sig")
-    for port, (automaton, i) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
-        ops.append(("s", port, cell(automaton, half + i), None,
-                    expected_final[i], 0))
-        info.append((automaton, "sig"))
-    segment = Segment(label="iteration", index=0, start=0, stop=len(ops),
-                      init_state=tuple(seed), expected_final=expected_final)
-    return OpStream(source="quad-port", name=repr(iteration), n=n, m=m,
+    segments: list[Segment] = []
+    previous_background: list[int] | None = None
+    for index, iteration in enumerate(iterations):
+        start = len(ops)
+        if index and pause:
+            ops.append(("i", 0, 0, 0, None, pause))
+            info.append((index, "pause"))
+        compile_one = (_compile_quad_iteration
+                       if getattr(iteration, "ports", 2) == 4
+                       else _compile_dual_iteration)
+        segment = compile_one(iteration, n, m, previous_background, index,
+                              ops, info, table_index, tables)
+        # Fold the leading pause into the iteration's segment so a
+        # segment-wise replay issues it at the same point in time.
+        segments.append(Segment(
+            label="iteration", index=index, start=start, stop=segment.stop,
+            init_state=segment.init_state,
+            expected_final=segment.expected_final,
+        ))
+        if verify:
+            previous_background = iteration.background_after(n)
+    if verify and previous_background is not None:
+        last = len(iterations) - 1
+        start = len(ops)
+        if pause:
+            ops.append(("i", 0, 0, 0, None, pause))
+            info.append((last, "pause"))
+        # Stride-2 order (evens, then odds) -- see PiTestSchedule.run --
+        # issued ports-at-a-time: all ports of the RAM read in parallel.
+        order = list(range(0, n, 2)) + list(range(1, n, 2))
+        for chunk_start in range(0, n, ports):
+            chunk = order[chunk_start:chunk_start + ports]
+            if len(chunk) > 1:
+                ops.append(("grp", 0, 0, len(chunk), None, 0))
+                info.append((last, "readback"))
+            for port, addr in enumerate(chunk):
+                ops.append(("r", port, addr, None,
+                            previous_background[addr], 0))
+                info.append((last, "readback"))
+        segments.append(Segment(label="readback", index=last,
+                                start=start, stop=len(ops)))
+    elif pause:
+        # Pure mode still idles after the last iteration when a pause is
+        # configured, mirroring the single-port schedule compiler.
+        last = len(iterations) - 1
+        start = len(ops)
+        ops.append(("i", 0, 0, 0, None, pause))
+        info.append((last, "pause"))
+        segments.append(Segment(label="readback", index=last,
+                                start=start, stop=len(ops)))
+    return OpStream(source="multi-schedule", name=schedule.name, n=n, m=m,
                     ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=(segment,), ports=4)
+                    segments=tuple(segments), ports=ports)
 
 
 # -- memoized entry points -----------------------------------------------------
@@ -494,3 +673,10 @@ def cached_quad_port_stream(iteration, n: int, m: int = 1) -> OpStream:
     """Memoized :func:`compile_quad_port_pi` (keyed by iteration
     identity)."""
     return compile_quad_port_pi(iteration, n, m)
+
+
+@lru_cache(maxsize=256)
+def cached_multi_schedule_stream(schedule, n: int, m: int = 1) -> OpStream:
+    """Memoized :func:`compile_multi_schedule` (keyed by schedule
+    identity -- schedules are configured once and never mutated)."""
+    return compile_multi_schedule(schedule, n, m)

@@ -17,7 +17,7 @@ from repro.sim.ir import OpStream
 
 __all__ = ["replay_march", "replay_schedule", "replay_iteration",
            "replay_dual_port_iteration", "replay_quad_port_iteration",
-           "replay_detect"]
+           "replay_multi_schedule", "replay_detect"]
 
 
 def replay_detect(stream: OpStream, ram) -> bool:
@@ -130,6 +130,75 @@ def replay_quad_port_iteration(stream: OpStream, ram):
         for automaton in (0, 1)
     )
     return QuadPortResult(halves=halves)
+
+
+def replay_multi_schedule(stream: OpStream, ram, stop_on_failure: bool = False):
+    """Replay a compiled multi-port schedule stream; returns a
+    :class:`~repro.prt.multi_schedule.MultiScheduleResult`.
+
+    Segment protocol as in :func:`replay_schedule`; each iteration
+    segment rebuilds the interpreted result type its scheme produces --
+    four captures mean a quad-port iteration (a
+    :class:`~repro.prt.dual_port.QuadPortResult` whose halves split the
+    captures and the per-automaton verify mismatches via the records'
+    ``(automaton, role)`` metadata), two captures a dual-port
+    :class:`PiIterationResult`.  Read-back mismatches land on the last
+    iteration's ``verify_mismatches``, as in the interpreted path.
+    """
+    from repro.prt.dual_port import QuadPortResult  # adapter imports us lazily
+    from repro.prt.multi_schedule import MultiScheduleResult
+
+    result = MultiScheduleResult()
+    info = stream.info
+    for segment in stream.segments:
+        mismatches: list[tuple[int, int]] = []
+        if segment.label == "readback":
+            executed = ram.apply_stream(
+                stream.ops, tables=stream.tables,
+                start=segment.start, end=segment.stop, mismatches=mismatches,
+            )
+            result.operations += executed
+            if mismatches and result.iteration_results:
+                result.iteration_results[-1].verify_mismatches += len(mismatches)
+            continue
+        captured: list[int] = []
+        executed = ram.apply_stream(
+            stream.ops, tables=stream.tables,
+            start=segment.start, end=segment.stop,
+            mismatches=mismatches, captured=captured,
+        )
+        result.operations += executed
+        if len(captured) == 4:
+            halves = tuple(
+                PiIterationResult(
+                    init_state=segment.init_state,
+                    final_state=tuple(captured[2 * automaton:2 * automaton + 2]),
+                    expected_final=segment.expected_final,
+                    operations=0,
+                    verify_mismatches=sum(
+                        1 for op_index, _ in mismatches
+                        if info[op_index] == (automaton, "verify")
+                    ),
+                )
+                for automaton in (0, 1)
+            )
+            iteration_result = QuadPortResult(halves=halves)
+        else:
+            iteration_result = PiIterationResult(
+                init_state=segment.init_state,
+                final_state=tuple(captured),
+                expected_final=segment.expected_final,
+                operations=executed,
+                written_stream=None,
+                verify_mismatches=sum(
+                    1 for op_index, _ in mismatches
+                    if info[op_index][1] == "verify"
+                ),
+            )
+        result.iteration_results.append(iteration_result)
+        if stop_on_failure and not iteration_result.passed:
+            return result
+    return result
 
 
 def replay_schedule(stream: OpStream, ram, stop_on_failure: bool = False):

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the campaign-engine sweep suites.
+
+The acceptance sweeps in ``test_batched.py``, ``test_wordlane.py`` and
+``test_multiport_campaign.py`` all revolve around the same two pieces of
+boilerplate: a full ``standard_universe`` at the acceptance geometry,
+and a byte-identical ``CoverageReport`` comparison (tally equality plus
+pickled-bytes equality, so serialization-visible drift -- float
+representation, missed-fault ordering, extra attributes -- fails too).
+They live here once; the suites import the helpers as
+``from tests.sim.conftest import assert_reports_identical, report_key``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.faults import standard_universe
+
+
+@pytest.fixture(scope="module")
+def universe_256():
+    """The bit-oriented acceptance universe: ``standard_universe(256)``."""
+    return standard_universe(256)
+
+
+@pytest.fixture(scope="module")
+def universe_m4():
+    """Word-oriented acceptance universe at m=4."""
+    return standard_universe(48, m=4)
+
+
+@pytest.fixture(scope="module")
+def universe_m8():
+    """Word-oriented acceptance universe at m=8."""
+    return standard_universe(32, m=8)
+
+
+def report_key(report):
+    """The identity of a ``CoverageReport`` for equivalence checks."""
+    return (report.detected, report.total, report.missed_faults)
+
+
+def assert_reports_identical(baseline, *others):
+    """Assert every report equals ``baseline`` byte for byte.
+
+    Checks the tally key first (for a readable diff on mismatch), then
+    pickled-bytes equality -- the representation campaigns actually ship
+    across worker processes, so anything serialization-visible is pinned.
+    """
+    for other in others:
+        assert report_key(other) == report_key(baseline)
+        assert pickle.dumps(other) == pickle.dumps(baseline)

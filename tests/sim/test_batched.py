@@ -35,10 +35,7 @@ from repro.sim import (
     run_campaign,
     run_campaign_batched,
 )
-
-
-def _report_key(report):
-    return (report.detected, report.total, report.missed_faults)
+from tests.sim.conftest import assert_reports_identical, report_key
 
 
 class TestPackedMemoryArray:
@@ -354,7 +351,7 @@ class TestBatchedEquivalenceInterpreted:
                                engine="batched")
         interpreted = run_coverage(march_runner(test), universe, 14,
                                    engine="interpreted")
-        assert _report_key(batched) == _report_key(interpreted)
+        assert report_key(batched) == report_key(interpreted)
 
     @pytest.mark.parametrize("build", [standard_schedule, extended_schedule],
                              ids=["standard-3", "extended-5"])
@@ -363,7 +360,7 @@ class TestBatchedEquivalenceInterpreted:
         runner = schedule_runner(build(n=14))
         batched = run_coverage(runner, universe, 14, engine="batched")
         interpreted = run_coverage(runner, universe, 14, engine="interpreted")
-        assert _report_key(batched) == _report_key(interpreted)
+        assert report_key(batched) == report_key(interpreted)
 
     def test_single_fault_state_trace(self):
         # Per-lane state must equal the dedicated scalar replay's memory
@@ -434,11 +431,6 @@ class TestStuckOpenLanes:
             assert batched.faults_batched == 1
 
 
-@pytest.fixture(scope="module")
-def universe_256():
-    return standard_universe(256)
-
-
 class TestBatchedEquivalence256:
     """The acceptance sweep: full standard_universe(256), every library
     March test and both π-test schedules.  The per-fault replay engine is
@@ -452,7 +444,7 @@ class TestBatchedEquivalence256:
         runner = march_runner(test)
         batched = run_coverage(runner, universe_256, 256, engine="batched")
         compiled = run_coverage(runner, universe_256, 256, engine="compiled")
-        assert _report_key(batched) == _report_key(compiled)
+        assert report_key(batched) == report_key(compiled)
 
     @pytest.mark.parametrize("build", [standard_schedule, extended_schedule],
                              ids=["standard-3", "extended-5"])
@@ -460,7 +452,7 @@ class TestBatchedEquivalence256:
         runner = schedule_runner(build(n=256))
         batched = run_coverage(runner, universe_256, 256, engine="batched")
         compiled = run_coverage(runner, universe_256, 256, engine="compiled")
-        assert _report_key(batched) == _report_key(compiled)
+        assert report_key(batched) == report_key(compiled)
 
 
 class TestBatchedSharded256:
@@ -470,21 +462,18 @@ class TestBatchedSharded256:
     the single-process batched CoverageReport byte for byte."""
 
     def test_march_workers_byte_identical(self, universe_256):
-        import pickle
-
         runner = march_runner(MARCH_C_MINUS)
         serial = run_coverage(runner, universe_256, 256, engine="batched")
         sharded = run_coverage(runner, universe_256, 256, engine="batched",
                                workers=2)
-        assert _report_key(sharded) == _report_key(serial)
-        assert pickle.dumps(sharded) == pickle.dumps(serial)
+        assert_reports_identical(serial, sharded)
 
     def test_schedule_workers_byte_identical(self, universe_256):
         runner = schedule_runner(standard_schedule(n=256))
         serial = run_coverage(runner, universe_256, 256, engine="batched")
         sharded = run_coverage(runner, universe_256, 256, engine="batched",
                                workers=2)
-        assert _report_key(sharded) == _report_key(serial)
+        assert report_key(sharded) == report_key(serial)
 
 
 class TestRunCoverageBatchedRouting:

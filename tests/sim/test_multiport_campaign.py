@@ -7,7 +7,8 @@ to the interpreted engines -- same ``PiIterationResult`` /
 ``QuadPortResult`` objects, same memory images, same ``RamStats``
 (including the paper's 2n and n cycle claims, which the old
 one-op-per-record executor inflated to ~3n) -- on healthy and faulted
-memories, and the campaign engines built on top must reproduce the
+memories, and the campaign engines built on top -- the per-fault scalar
+replay *and* the lane-parallel batched engine -- must reproduce the
 interpreted ``CoverageReport`` byte for byte over the full
 ``standard_universe(256)``.
 """
@@ -16,41 +17,53 @@ import pickle
 
 import pytest
 
-from repro.analysis import dual_port_runner, quad_port_runner, run_coverage
+from repro.analysis import (
+    dual_port_runner,
+    multi_schedule_runner,
+    quad_port_runner,
+    run_coverage,
+)
 from repro.faults import FaultInjector, standard_universe
-from repro.gf2 import poly_from_string
+from repro.gf2 import poly_from_string, primitive_polynomial
 from repro.gf2m import GF2m
 from repro.memory import (
     DualPortRAM,
     MultiPortRAM,
+    PackedMemoryArray,
     PortConflictError,
     QuadPortRAM,
     SinglePortRAM,
     apply_stream_generic,
 )
 from repro.memory.decoder import AddressDecoder
-from repro.prt import DualPortPiIteration, QuadPortPiIteration
+from repro.prt import (
+    DualPortPiIteration,
+    QuadPortPiIteration,
+    standard_multi_schedule,
+)
 from repro.sim import (
     OpStream,
+    build_lane_model,
     cached_dual_port_stream,
+    cached_multi_schedule_stream,
     cached_quad_port_stream,
     compile_dual_port_pi,
+    compile_multi_schedule,
     compile_quad_port_pi,
     replay_dual_port_iteration,
+    replay_multi_schedule,
     replay_quad_port_iteration,
     run_campaign,
     run_campaign_batched,
 )
+from tests.sim.conftest import assert_reports_identical, report_key
 
 F16 = GF2m(poly_from_string("1+z+z^4"))
+F256 = GF2m(primitive_polynomial(8))
 
 
 def _stats_tuple(ram):
     return (ram.stats.reads, ram.stats.writes, ram.stats.cycles)
-
-
-def _report_key(report):
-    return (report.detected, report.total, report.missed_faults)
 
 
 def _run_both(iteration, stream, replay, ram_a, ram_b, fault=None):
@@ -402,16 +415,83 @@ class TestGenericGroupedExecutor:
         assert bare._inner.dump() == native.dump()
 
 
-@pytest.fixture(scope="module")
-def universe_256():
-    return standard_universe(256)
+class TestGroupedRetentionClock:
+    """The DRF ``clock(cycle)`` pre-increment contract under grouped
+    streams: one cycle group advances the clock by exactly one tick,
+    ``"i"`` idles advance retention by their full count, and decay fires
+    at ``elapsed > retention`` -- identically on the native multi-port
+    executor, the generic executor and both packed backends.  Off-by-one
+    cycle accounting in any executor shifts the decay boundary and fails
+    the sweep."""
+
+    RETENTION = 8
+
+    @staticmethod
+    def _stream(pause):
+        # clock 0: seed cell 2; clock 1: one grouped cycle not touching
+        # cell 2; clock 2: pause; clock 2+pause: grouped read-back.
+        # Decay iff (2 + pause) - 0 > retention, i.e. pause >= 7.
+        return (
+            ("w", 0, 2, 1, None, 0),
+            ("grp", 0, 0, 2, None, 0),
+            ("r", 0, 3, None, 0, 0),
+            ("r", 1, 4, None, 0, 0),
+            ("i", 0, 0, 0, None, pause),
+            ("grp", 0, 0, 2, None, 0),
+            ("r", 0, 2, None, 1, 0),
+            ("r", 1, 3, None, 0, 0),
+        )
+
+    def _scalar(self, ops, apply):
+        from repro.faults import DataRetentionFault
+
+        ram = MultiPortRAM(8, ports=2)
+        injector = FaultInjector(
+            [DataRetentionFault(2, retention=self.RETENTION)])
+        injector.install(ram)
+        mismatches = []
+        apply(ram, ops, mismatches)
+        injector.remove(ram)
+        return bool(mismatches), ram.dump()
+
+    def test_decay_boundary_identical_across_executors(self):
+        from repro.faults import DataRetentionFault
+
+        verdicts = []
+        for pause in range(4, 10):
+            ops = self._stream(pause)
+            detected, dump = self._scalar(
+                ops,
+                lambda ram, ops, mm: ram.apply_stream(ops, mismatches=mm))
+            # Pin the scalar contract itself, not just cross-engine
+            # agreement: the read-back executes at clock 2 + pause.
+            assert detected == (2 + pause > self.RETENTION), pause
+            verdicts.append(detected)
+            generic = self._scalar(
+                ops,
+                lambda ram, ops, mm: apply_stream_generic(ram, ops,
+                                                          mismatches=mm))
+            assert generic == (detected, dump), pause
+            fault = DataRetentionFault(2, retention=self.RETENTION)
+            for backend in ("int", "numpy"):
+                model = build_lane_model("retention",
+                                         [fault.vector_semantics()])
+                packed = PackedMemoryArray(8, lanes=1, backend=backend)
+                model.install(packed)
+                lanes, _ = packed.apply_stream(
+                    ops, model=model, stop_when_all_detected=False)
+                assert bool(lanes) == detected, (backend, pause)
+                assert packed.dump_lane(0) == dump, (backend, pause)
+        assert verdicts == [False, False, False, True, True, True]
 
 
 class TestMultiPortCampaign256:
     """The acceptance sweep: CoverageReport byte-identical between the
-    interpreted and compiled dual-/quad-port campaigns over the *full*
-    ``standard_universe(256)`` (the batched engine delegates multi-port
-    streams to the compiled path, so it is pinned too)."""
+    interpreted, compiled and *batched* dual-/quad-port campaigns over
+    the full ``standard_universe(256)``.  The batched engine resolves
+    grouped multi-port streams in lane passes on the packed backend --
+    no scalar delegation -- so its report is pinned against the proven
+    per-fault path too."""
 
     def test_dual_port_byte_identical(self, universe_256):
         iteration = DualPortPiIteration(seed=(0, 1))
@@ -419,8 +499,9 @@ class TestMultiPortCampaign256:
                                 256, engine="compiled")
         interpreted = run_coverage(dual_port_runner(iteration), universe_256,
                                    256, engine="interpreted")
-        assert _report_key(compiled) == _report_key(interpreted)
-        assert pickle.dumps(compiled) == pickle.dumps(interpreted)
+        batched = run_coverage(dual_port_runner(iteration), universe_256,
+                               256, engine="batched")
+        assert_reports_identical(compiled, interpreted, batched)
 
     def test_quad_port_byte_identical(self, universe_256):
         iteration = QuadPortPiIteration(seed=(0, 1))
@@ -428,25 +509,152 @@ class TestMultiPortCampaign256:
                                 256, engine="compiled")
         interpreted = run_coverage(quad_port_runner(iteration), universe_256,
                                    256, engine="interpreted")
-        assert _report_key(compiled) == _report_key(interpreted)
-        assert pickle.dumps(compiled) == pickle.dumps(interpreted)
+        batched = run_coverage(quad_port_runner(iteration), universe_256,
+                               256, engine="batched")
+        assert_reports_identical(compiled, interpreted, batched)
 
-    def test_batched_engine_delegates_identically(self, universe_256):
+    def test_batched_engine_lane_resolves_identically(self, universe_256):
+        # The tentpole acceptance: the whole standard universe rides
+        # lane passes through the grouped packed executor -- zero
+        # faults delegated to the per-fault scalar path.
         iteration = DualPortPiIteration(seed=(0, 1))
         stream = cached_dual_port_stream(iteration, 256)
         batched = run_campaign_batched(stream, universe_256)
-        assert batched.faults_batched == 0  # delegated: no lane passes
+        assert batched.faults_batched == len(universe_256)
         compiled = run_campaign(stream, universe_256)
         assert [d for _, d in batched.outcomes] == \
             [d for _, d in compiled.outcomes]
+
+    def test_word_oriented_dual_port_byte_identical(self, universe_m8):
+        # m=8 acceptance: the word-lane packed backend executes the
+        # grouped dual-port stream over GF(2^8) bit planes.
+        iteration = DualPortPiIteration(field=F256, generator=(1, 2, 2),
+                                        seed=(0, 1))
+        runner = dual_port_runner(iteration)
+        compiled = run_coverage(runner, universe_m8, 32, m=8,
+                                engine="compiled")
+        batched = run_coverage(runner, universe_m8, 32, m=8,
+                               engine="batched")
+        assert_reports_identical(compiled, batched)
 
     def test_sharded_workers_byte_identical(self, universe_256):
         iteration = QuadPortPiIteration(seed=(0, 1))
         runner = quad_port_runner(iteration)
         serial = run_coverage(runner, universe_256, 256)
         sharded = run_coverage(runner, universe_256, 256, workers=2)
-        assert _report_key(sharded) == _report_key(serial)
-        assert pickle.dumps(sharded) == pickle.dumps(serial)
+        assert_reports_identical(serial, sharded)
+
+    def test_batched_sharded_workers_byte_identical(self, universe_256):
+        iteration = DualPortPiIteration(seed=(0, 1))
+        runner = dual_port_runner(iteration)
+        serial = run_coverage(runner, universe_256, 256, engine="batched")
+        sharded = run_coverage(runner, universe_256, 256, engine="batched",
+                               workers=2)
+        assert_reports_identical(serial, sharded)
+
+
+class TestMultiScheduleEquivalence:
+    """Verifying multi-port schedules (``repro.prt.multi_schedule``):
+    the interpreted chain of dual-/quad-port iterations and its compiled
+    grouped-stream lowering must agree result for result, stat for stat,
+    and the coverage harness must reach the schedules on every engine."""
+
+    @pytest.mark.parametrize("ports,n", [(2, 14), (4, 12)])
+    def test_healthy_interpreted_vs_compiled(self, ports, n):
+        schedule = standard_multi_schedule(ports=ports)
+        ram_i = MultiPortRAM(n, ports=ports)
+        ram_c = MultiPortRAM(n, ports=ports)
+        interpreted = schedule.run_interpreted(ram_i)
+        stream = cached_multi_schedule_stream(schedule, n)
+        compiled = replay_multi_schedule(stream, ram_c)
+        assert compiled == interpreted
+        assert compiled.passed
+        assert _stats_tuple(ram_c) == _stats_tuple(ram_i)
+        assert ram_c.dump() == ram_i.dump()
+        assert stream.operation_count == schedule.operation_count(n)
+        assert stream.replay_cycles == ram_c.stats.cycles
+
+    def test_run_dispatches_to_compiled_path(self):
+        n = 14
+        schedule = standard_multi_schedule(ports=2)
+        via_run = schedule.run(MultiPortRAM(n, ports=2))
+        interpreted = schedule.run_interpreted(MultiPortRAM(n, ports=2))
+        assert via_run == interpreted
+
+    @pytest.mark.parametrize("ports", [2, 4])
+    def test_faulted_equivalence(self, ports):
+        n = 12
+        schedule = standard_multi_schedule(ports=ports)
+        stream = cached_multi_schedule_stream(schedule, n)
+        for fault in standard_universe(n):
+            results = []
+            for run in (lambda r: replay_multi_schedule(stream, r),
+                        schedule.run_interpreted):
+                ram = MultiPortRAM(n, ports=ports)
+                injector = FaultInjector([fault])
+                injector.install(ram)
+                try:
+                    result = run(ram)
+                except PortConflictError:
+                    result = "conflict"
+                injector.remove(ram)
+                results.append(result)
+            assert results[0] == results[1], fault.name
+
+    @pytest.mark.parametrize("ports", [2, 4])
+    def test_coverage_engines_byte_identical(self, ports):
+        n = 24
+        runner = multi_schedule_runner(standard_multi_schedule(ports=ports))
+        universe = standard_universe(n)
+        interpreted = run_coverage(runner, universe, n, engine="interpreted")
+        compiled = run_coverage(runner, universe, n, engine="compiled")
+        batched = run_coverage(runner, universe, n, engine="batched")
+        assert_reports_identical(compiled, interpreted, batched)
+
+    def test_word_schedule_byte_identical(self):
+        n, m = 16, 8
+        runner = multi_schedule_runner(
+            standard_multi_schedule(ports=2, field=F256))
+        universe = standard_universe(n, m=m)
+        compiled = run_coverage(runner, universe, n, m=m, engine="compiled")
+        batched = run_coverage(runner, universe, n, m=m, engine="batched")
+        assert_reports_identical(compiled, batched)
+
+    def test_readback_mismatch_lands_on_last_iteration(self):
+        # Flip one read-back expectation in an otherwise healthy stream:
+        # the mismatch must be charged to the *last* iteration's
+        # verify_mismatches, matching the interpreted attribution.
+        n = 12
+        schedule = standard_multi_schedule(ports=2)
+        stream = compile_multi_schedule(schedule, n)
+        readback = next(s for s in stream.segments if s.label == "readback")
+        ops = list(stream.ops)
+        index = next(i for i in range(readback.start, readback.stop)
+                     if ops[i][0] == "r")
+        kind, port, addr, value, expected, idle = ops[index]
+        ops[index] = (kind, port, addr, value, expected ^ 1, idle)
+        poisoned = OpStream(source=stream.source, name="poisoned",
+                            n=n, m=1, ops=tuple(ops), info=stream.info,
+                            tables=stream.tables, segments=stream.segments,
+                            ports=stream.ports)
+        result = replay_multi_schedule(poisoned, MultiPortRAM(n, ports=2))
+        assert not result.passed
+        assert result.iteration_results[-1].verify_mismatches == 1
+        assert all(r.passed for r in result.iteration_results[:-1])
+
+    def test_standard_multi_schedule_factory(self):
+        schedule = standard_multi_schedule(ports=2)
+        assert len(schedule) == 3
+        assert schedule.ports == 2
+        assert schedule.verify
+        assert schedule.name == "multi-2p-3"
+        quad = standard_multi_schedule(ports=4, verify=False,
+                                       pause_between=3)
+        assert quad.ports == 4
+        assert not quad.verify
+        assert quad.pause_between == 3
+        with pytest.raises(ValueError):
+            standard_multi_schedule(ports=3)
 
 
 class TestCampaignFrontEndGuards:
@@ -471,7 +679,7 @@ class TestCampaignFrontEndGuards:
         compiled = run_coverage(dual_port_runner(iteration), universe, 14)
         interpreted = run_coverage(dual_port_runner(iteration), universe, 14,
                                    engine="interpreted")
-        assert _report_key(compiled) == _report_key(interpreted)
+        assert report_key(compiled) == report_key(interpreted)
 
     def test_reference_pass_uses_multiport_ram(self):
         stream = compile_dual_port_pi(DualPortPiIteration(seed=(0, 1)), 9)

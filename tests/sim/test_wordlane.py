@@ -10,8 +10,6 @@ sweeps at m in {4, 8} pinned byte-identical (pickled
 interpreted engine as ground truth at small n.
 """
 
-import pickle
-
 import pytest
 
 from repro.analysis import march_runner, run_coverage, schedule_runner
@@ -40,10 +38,7 @@ from repro.sim import (
     run_campaign,
     run_campaign_batched,
 )
-
-
-def _report_key(report):
-    return (report.detected, report.total, report.missed_faults)
+from tests.sim.conftest import assert_reports_identical, report_key
 
 
 def _word_schedule(n, m):
@@ -221,16 +216,6 @@ class TestStateCouplingLanes:
         assert (detected, executed) == (1, 4)
 
 
-@pytest.fixture(scope="module")
-def universe_m4():
-    return standard_universe(48, m=4)
-
-
-@pytest.fixture(scope="module")
-def universe_m8():
-    return standard_universe(32, m=8)
-
-
 class TestWordLaneEquivalence:
     """The acceptance sweeps: full word-oriented ``standard_universe``
     (single-cell per bit, inter-cell and intra-word coupling, bridges,
@@ -243,7 +228,7 @@ class TestWordLaneEquivalence:
         batched = run_coverage(runner, universe, 10, m=4, engine="batched")
         interpreted = run_coverage(runner, universe, 10, m=4,
                                    engine="interpreted")
-        assert _report_key(batched) == _report_key(interpreted)
+        assert report_key(batched) == report_key(interpreted)
 
     @pytest.mark.parametrize("make_runner", [
         lambda n: march_runner(MARCH_C_MINUS),
@@ -255,7 +240,7 @@ class TestWordLaneEquivalence:
                                engine="batched")
         compiled = run_coverage(runner, universe_m4, 48, m=4,
                                 engine="compiled")
-        assert pickle.dumps(batched) == pickle.dumps(compiled)
+        assert_reports_identical(compiled, batched)
 
     @pytest.mark.parametrize("make_runner", [
         lambda n: march_runner(MARCH_C_MINUS),
@@ -267,7 +252,7 @@ class TestWordLaneEquivalence:
                                engine="batched")
         compiled = run_coverage(runner, universe_m8, 32, m=8,
                                 engine="compiled")
-        assert pickle.dumps(batched) == pickle.dumps(compiled)
+        assert_reports_identical(compiled, batched)
 
     def test_m8_campaign_batches_word_faults(self, universe_m8):
         # The acceptance criterion: an m=8 word-oriented campaign is
@@ -297,10 +282,9 @@ class TestWordLaneEquivalence:
         batched = run_coverage(runner, universe, n, m=8, engine="batched")
         compiled = run_coverage(runner, universe, n, m=8,
                                 engine="compiled")
-        assert pickle.dumps(batched) == pickle.dumps(compiled)
         sharded = run_coverage(runner, universe, n, m=8, engine="batched",
                                workers=2)
-        assert pickle.dumps(sharded) == pickle.dumps(batched)
+        assert_reports_identical(compiled, batched, sharded)
 
     def test_sharded_word_campaign_byte_identical(self, universe_m4):
         runner = march_runner(MARCH_C_MINUS)
@@ -308,4 +292,4 @@ class TestWordLaneEquivalence:
                               engine="batched")
         sharded = run_coverage(runner, universe_m4, 48, m=4,
                                engine="batched", workers=2)
-        assert pickle.dumps(sharded) == pickle.dumps(serial)
+        assert_reports_identical(serial, sharded)

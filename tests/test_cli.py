@@ -123,6 +123,20 @@ class TestCoverageCommand:
         assert outputs["interpreted"] == outputs["compiled"]
         assert outputs["interpreted"] == outputs["batched"]
 
+    @pytest.mark.parametrize("scheme,cycles", [
+        ("dual-schedule", "86 cycles"), ("quad-schedule", "47 cycles"),
+    ])
+    def test_multi_port_schedule_schemes(self, capsys, scheme, cycles):
+        code = main(["coverage", "--n", "12", "--scheme", scheme])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overall" in out
+        assert cycles in out  # 2n + O(1) / n + O(1) per verifying pass
+
+    def test_schedule_scheme_odd_n_rejected(self):
+        with pytest.raises(SystemExit, match="even --n"):
+            main(["coverage", "--n", "13", "--scheme", "quad-schedule"])
+
     def test_interpreted_alias(self, capsys):
         code = main(["coverage", "--n", "14", "--test", "march-c",
                      "--interpreted"])
