@@ -11,7 +11,12 @@ These are the instruments behind the experiment suite (EXPERIMENTS.md):
   against (E6),
 * :mod:`repro.analysis.complexity` -- operation/cycle accounting for the
   3n / 2n / n port-scheme claims (E4) and March cost comparison,
-* :mod:`repro.analysis.compare` -- PRT vs March head-to-head tables (E9).
+* :mod:`repro.analysis.compare` -- PRT vs March head-to-head tables (E9),
+* :mod:`repro.analysis.request` -- the canonical
+  :class:`~repro.analysis.request.CampaignRequest` surface: one frozen,
+  hashable, content-addressable object per campaign, resolved by one
+  shared validator for the API, the CLI and the :mod:`repro.server`
+  endpoints alike.
 """
 
 from repro.analysis.coverage import (
@@ -38,8 +43,26 @@ from repro.analysis.complexity import (
     port_scheme_table,
 )
 from repro.analysis.compare import ComparisonRow, compare_tests
+from repro.analysis.request import (
+    CampaignRequest,
+    RequestError,
+    RequestOutcome,
+    ResolvedCampaign,
+    execute_request,
+    known_tests,
+    resolve_campaign,
+    run_request,
+)
 
 __all__ = [
+    "CampaignRequest",
+    "RequestError",
+    "RequestOutcome",
+    "ResolvedCampaign",
+    "execute_request",
+    "known_tests",
+    "resolve_campaign",
+    "run_request",
     "CoverageReport",
     "run_coverage",
     "march_runner",

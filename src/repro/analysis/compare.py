@@ -45,10 +45,25 @@ class ComparisonRow:
 
 
 def compare_tests(entries: list[tuple[str, Runner, int]],
-                  universe: FaultUniverse, n: int, m: int = 1,
+                  universe: FaultUniverse | None = None,
+                  n: int | None = None, m: int = 1,
                   workers: int = 0,
-                  pool: WorkerPool | None = None) -> list[ComparisonRow]:
+                  pool: WorkerPool | None = None,
+                  cache=None) -> list[ComparisonRow]:
     """Run each (name, runner, operation_count) entry over the universe.
+
+    Two call forms.  The canonical one takes a list of
+    :class:`~repro.analysis.request.CampaignRequest` objects::
+
+        compare_tests([CampaignRequest(test="prt3", n=28),
+                       CampaignRequest(test="march-c", n=28)])
+
+    Row names and operation counts then come from the shared resolver
+    (the display names and complexity accounting the CLI table has
+    always printed), reports route through the content-addressed result
+    cache (``cache`` as in :func:`run_coverage`), and ``universe``/``n``
+    must be left at their defaults.  The legacy entry form below keeps
+    working byte-identically.
 
     ``operation_count`` is the test's cost on the n-cell memory (exact
     counts from :mod:`repro.analysis.complexity` or the engines' own
@@ -69,6 +84,35 @@ def compare_tests(entries: list[tuple[str, Runner, int]],
     >>> rows[0].coverage("SAF")
     1.0
     """
+    from repro.analysis.request import (
+        CampaignRequest,
+        execute_request,
+        resolve_campaign,
+    )
+
+    entries = list(entries)
+    if entries and all(isinstance(e, CampaignRequest) for e in entries):
+        if universe is not None or n is not None:
+            raise ValueError(
+                "compare_tests(requests) takes no universe/n -- each "
+                "CampaignRequest already carries them"
+            )
+        rows = []
+        for request in entries:
+            resolved = resolve_campaign(request)
+            outcome = execute_request(request, cache=cache, pool=pool,
+                                      test_name=resolved.display_name)
+            row = ComparisonRow(name=resolved.display_name,
+                                operations=resolved.operations,
+                                report=outcome.report)
+            row._ops_per_cell = resolved.operations / request.n
+            rows.append(row)
+        return rows
+    if universe is None or n is None:
+        raise TypeError(
+            "compare_tests needs (entries, universe, n) -- or a list of "
+            "CampaignRequest objects"
+        )
     rows = []
     for name, runner, operations in entries:
         report = run_coverage(runner, universe, n, m=m, test_name=name,

@@ -148,14 +148,31 @@ class CompilableRunner:
         return self._compiler(n, m)
 
 
-def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
+def run_coverage(runner: Runner, universe: Iterable[Fault] | None = None,
+                 n: int | None = None,
                  m: int = 1, test_name: str = "test",
                  ram_factory: Callable[[], object] | None = None,
                  workers: int = 0,
                  engine: str = "auto",
                  pool: WorkerPool | None = None,
-                 backend: str = "auto") -> CoverageReport:
+                 backend: str = "auto",
+                 progress: Callable[[int, int], None] | None = None,
+                 cache=None) -> CoverageReport:
     """Inject each universe fault into a fresh RAM and run the test.
+
+    Two call forms share this entry point.  The canonical one takes a
+    single :class:`~repro.analysis.request.CampaignRequest`::
+
+        run_coverage(CampaignRequest(test="march-c", n=64))
+
+    which routes through the shared resolver
+    (:func:`~repro.analysis.request.resolve_campaign`) and the
+    content-addressed result cache (``cache=None`` uses the process
+    default, ``False`` disables it, or pass an explicit
+    :class:`~repro.server.cache.ResultCache`); ``universe``/``n`` and
+    the per-option kwargs must then be left at their defaults -- the
+    request already carries them.  The legacy kwarg form below keeps
+    working byte-identically.
 
     ``ram_factory`` overrides the default ``SinglePortRAM(n, m)`` (pass a
     multi-port factory to evaluate the port schemes).  The factory's
@@ -193,6 +210,21 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
     >>> report.coverage_of("SAF")
     1.0
     """
+    from repro.analysis.request import CampaignRequest, run_request
+
+    if isinstance(runner, CampaignRequest):
+        if universe is not None or n is not None:
+            raise ValueError(
+                "run_coverage(request) takes no universe/n -- the "
+                "CampaignRequest already carries them"
+            )
+        return run_request(runner, cache=cache, pool=pool,
+                           progress=progress)
+    if universe is None or n is None:
+        raise TypeError(
+            "run_coverage needs (runner, universe, n) -- or a single "
+            "CampaignRequest"
+        )
     if engine not in ("auto", "compiled", "batched", "interpreted"):
         raise ValueError(
             f"engine must be 'auto', 'compiled', 'batched' or "
@@ -211,16 +243,19 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
         if engine == "batched":
             campaign = run_campaign_batched(
                 stream, universe, ram_factory=ram_factory,
-                workers=workers, pool=pool, backend=backend)
+                workers=workers, pool=pool, backend=backend,
+                progress=progress)
         else:
             campaign = run_campaign(stream, universe,
                                     ram_factory=ram_factory,
-                                    workers=workers, pool=pool)
+                                    workers=workers, pool=pool,
+                                    progress=progress)
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report
     ports = getattr(runner, "ports", 1)
-    for fault in universe:
+    faults = list(universe)
+    for done, fault in enumerate(faults, start=1):
         if ram_factory is not None:
             ram = ram_factory()
         elif ports > 1:
@@ -240,6 +275,8 @@ def run_coverage(runner: Runner, universe: Iterable[Fault], n: int,
         detected = runner(ram)
         injector.remove(ram)
         report.record(fault.fault_class, fault.name, detected)
+        if progress is not None:
+            progress(done, len(faults))
     return report
 
 

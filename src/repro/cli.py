@@ -27,49 +27,34 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import (
+    CampaignRequest,
+    RequestError,
     compare_tests,
-    dual_port_runner,
-    march_operations,
-    march_runner,
-    multi_schedule_runner,
-    quad_port_runner,
-    run_coverage,
-    schedule_runner,
+    execute_request,
+    resolve_campaign,
 )
+from repro.analysis.request import build_field as _build_field
 from repro.faults import (
     DataRetentionFault,
     FaultInjector,
     StuckAtFault,
     StuckOpenFault,
     TransitionFault,
-    standard_universe,
 )
-from repro.gf2 import poly_from_string, primitive_polynomial
 from repro.gf2m import GF2m
 from repro.march import parse_march, run_march
-from repro.march.library import MARCH_B, MARCH_C_MINUS, MATS_PLUS
 from repro.memory import SinglePortRAM
 from repro.prt import (
     BistOverheadModel,
-    DualPortPiIteration,
-    QuadPortPiIteration,
     extended_schedule,
-    standard_multi_schedule,
     standard_schedule,
 )
 
 __all__ = ["main"]
-
-
-def _build_field(m: int, poly_text: str | None) -> GF2m | None:
-    if m == 1 and poly_text is None:
-        return None  # PiIteration defaults to GF(2)
-    if poly_text is not None:
-        return GF2m(poly_from_string(poly_text))
-    return GF2m(primitive_polynomial(m))
 
 
 def _parse_fault(spec: str):
@@ -145,80 +130,69 @@ def _cmd_march(args) -> int:
     return 0 if result.passed == (args.inject is None) else 1
 
 
-def _port_scheme_runner(args):
-    """Runner + display name for a ``--scheme dual-port|quad-port|
-    dual-schedule|quad-schedule`` run.
+def _coverage_request(args) -> CampaignRequest:
+    """The canonical request for a ``coverage`` invocation.
 
-    All schemes are k = 2 π-iterations; the generator mirrors the
-    paper's recommendations (``1 + x + x^2`` on GF(2), ``1 + 2x + 2x^2``
-    on extension fields).  The campaign replays them port-parallel: 2n
-    cycles per dual-port pass, n per quad-port pass.  The ``*-schedule``
-    variants chain three iterations with transparent verification and a
-    port-parallel read-back (the multi-port analogue of ``--test
-    prt3``); ``--pure`` drops the verification there too.
+    ``--scheme`` (when not ``single``) and ``--test`` are both just
+    selectors on the shared request surface; all further validation --
+    odd-``n`` quad schemes, bad polynomials -- happens in
+    :func:`~repro.analysis.request.resolve_campaign`, the same resolver
+    behind ``run_coverage(request)`` and the :mod:`repro.server` API.
     """
-    field = _build_field(args.m, args.poly)
-    generator = (1, 1, 1) if field is None or field.m == 1 else (1, 2, 2)
-    quad = args.scheme in ("quad-port", "quad-schedule")
-    if quad and (args.n % 2 != 0 or args.n < 6):
-        raise SystemExit(
-            f"error: --scheme {args.scheme} needs an even --n >= 6 "
-            f"(two concurrent half-array automata), got {args.n}"
-        )
-    if args.scheme in ("dual-schedule", "quad-schedule"):
-        schedule = standard_multi_schedule(
-            ports=4 if quad else 2, field=field, generator=generator,
-            verify=not args.pure,
-        )
-        return (multi_schedule_runner(schedule),
-                f"{'quad' if quad else 'dual'}-port π schedule")
-    if args.scheme == "dual-port":
-        iteration = DualPortPiIteration(field=field, generator=generator,
-                                        seed=(0, 1))
-        return dual_port_runner(iteration), "dual-port π"
-    iteration = QuadPortPiIteration(field=field, generator=generator,
-                                    seed=(0, 1))
-    return quad_port_runner(iteration), "quad-port π"
-
-
-def _cmd_coverage(args) -> int:
-    universe = standard_universe(args.n, args.m)
-    scheme_name = None
-    if args.scheme != "single":
-        runner, scheme_name = _port_scheme_runner(args)
-    elif args.test == "prt3":
-        schedule = standard_schedule(field=_build_field(args.m, args.poly),
-                                     n=args.n, verify=not args.pure)
-        runner = schedule_runner(schedule)
-    elif args.test == "prt5":
-        schedule = extended_schedule(field=_build_field(args.m, args.poly),
-                                     n=args.n, verify=not args.pure)
-        runner = schedule_runner(schedule)
-    else:
-        by_name = {"mats+": MATS_PLUS, "march-c": MARCH_C_MINUS,
-                   "march-b": MARCH_B}
-        runner = march_runner(by_name[args.test])
     if args.interpreted and args.engine not in ("auto", "interpreted"):
         raise SystemExit(
             "error: --interpreted conflicts with --engine "
             f"{args.engine!r}; use --engine interpreted"
         )
     engine = "interpreted" if args.interpreted else args.engine
-    report = run_coverage(runner, universe, args.n, m=args.m,
-                          test_name=scheme_name or args.test,
-                          workers=args.workers, engine=engine)
-    print(f"test    : {scheme_name or args.test}")
-    if scheme_name is not None:
-        ports = runner.ports
+    selector = args.test if args.scheme == "single" else args.scheme
+    return CampaignRequest(
+        test=selector, n=args.n, m=args.m, engine=engine,
+        workers=args.workers, pure=args.pure, poly=args.poly,
+    )
+
+
+def _resolve_or_exit(request: CampaignRequest):
+    """Resolve, translating :class:`RequestError` to CLI conventions.
+
+    The quad-scheme geometry error keeps its historical ``--n`` wording
+    and ``SystemExit``; everything else prints ``error: ...`` to stderr
+    and exits 2 (the same code argparse uses for bad flag values).
+    """
+    try:
+        return resolve_campaign(request)
+    except RequestError as exc:
+        if "even n >= 6" in str(exc):
+            raise SystemExit(
+                f"error: --scheme {request.test} needs an even --n >= 6 "
+                f"(two concurrent half-array automata), got {request.n}"
+            ) from None
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _cmd_coverage(args) -> int:
+    request = _coverage_request(args)
+    resolved = _resolve_or_exit(request)
+    outcome = execute_request(request)
+    if args.json:
+        from repro.server.schemas import coverage_response
+
+        print(json.dumps(coverage_response(request, outcome), indent=2))
+        return 0
+    report = outcome.report
+    print(f"test    : {resolved.test_name}")
+    if args.scheme != "single":
+        ports = resolved.runner.ports
         if args.scheme.endswith("-schedule"):
-            cycles = runner.compile(args.n, args.m).replay_cycles
+            cycles = resolved.compile().replay_cycles
             print(f"scheme  : {args.scheme} ({ports} ports, "
                   f"{cycles} cycles per schedule)")
         else:
             cycles = 2 * args.n + 2 if ports == 2 else args.n + 2
             print(f"scheme  : {args.scheme} ({ports} ports, "
                   f"{cycles} cycles per pass)")
-    print(f"universe: {universe!r}")
+    print(f"universe: {resolved.build_universe()!r}")
     print(f"{'class':>6} {'detected':>9} {'total':>6} {'coverage':>9}")
     for fault_class, detected, total, ratio in report.rows():
         print(f"{fault_class:>6} {detected:>9} {total:>6} {ratio:>9.1%}")
@@ -226,25 +200,23 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+_COMPARE_TESTS = ("prt3", "prt5", "mats+", "march-c", "march-b")
+
+
 def _cmd_compare(args) -> int:
-    n = args.n
-    universe = standard_universe(n, args.m)
-    field = _build_field(args.m, args.poly)
-    verifying = standard_schedule(field=field, n=n, verify=True)
-    extended = extended_schedule(field=field, n=n, verify=True)
-    rows = compare_tests(
-        [
-            ("PRT-3", schedule_runner(verifying), verifying.operation_count(n)),
-            ("PRT-5", schedule_runner(extended), extended.operation_count(n)),
-            ("MATS+", march_runner(MATS_PLUS),
-             march_operations(MATS_PLUS, n, m=args.m)),
-            ("March C-", march_runner(MARCH_C_MINUS),
-             march_operations(MARCH_C_MINUS, n, m=args.m)),
-            ("March B", march_runner(MARCH_B),
-             march_operations(MARCH_B, n, m=args.m)),
-        ],
-        universe, n, m=args.m, workers=args.workers,
-    )
+    requests = [
+        CampaignRequest(test=test, n=args.n, m=args.m,
+                        workers=args.workers, poly=args.poly)
+        for test in _COMPARE_TESTS
+    ]
+    for request in requests:
+        _resolve_or_exit(request)
+    rows = compare_tests(requests)
+    if args.json:
+        from repro.server.schemas import compare_response
+
+        print(json.dumps(compare_response(requests, rows), indent=2))
+        return 0
     classes = rows[0].report.classes
     header = f"{'test':>10} {'ops/cell':>9} {'overall':>8}"
     for c in classes:
@@ -344,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "dominated by single-cell or coupling faults)")
     p.add_argument("--interpreted", action="store_true",
                    help="deprecated alias for --engine interpreted")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable result (same schema "
+                        "as the repro.server POST /coverage response)")
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("compare", help="March vs PRT table (E9)")
@@ -351,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="shard each campaign over N worker processes "
                         "(0 = serial); all rows reuse one persistent pool")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable table (same schema "
+                        "as the repro.server POST /compare response)")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("overhead", help="BIST overhead sweep (E5)")

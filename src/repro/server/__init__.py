@@ -1,0 +1,43 @@
+"""Campaign-as-a-service: a framework-free async serving layer.
+
+The campaign engines (:mod:`repro.sim`) resolve full fault universes in
+milliseconds; this package puts a request surface on top of them so they
+can sit behind an HTTP API:
+
+* :mod:`repro.server.cache` -- :class:`ResultCache`, a content-addressed
+  store (in-process LRU + optional on-disk pickle directory) keyed on
+  :meth:`~repro.analysis.request.CampaignRequest.cache_key`, so a
+  repeated campaign is a dict lookup and the persistent
+  :func:`~repro.sim.pool.shared_pool` stays warm across requests;
+* :mod:`repro.server.jobs` -- thread-offloaded job submission with
+  polling and live ``(done, total)`` progress for big campaigns;
+* :mod:`repro.server.schemas` -- the JSON request/response schemas and
+  their validation (shared with the CLI's ``--json`` mode);
+* :mod:`repro.server.app` -- a pure ASGI callable (``POST /coverage``,
+  ``POST /compare``, ``GET /schemes``, ``POST /jobs``,
+  ``GET /jobs/{id}``, ``GET /jobs/{id}/stream``) with **no framework
+  dependency**: it runs under any ASGI server, under the in-repo
+  :class:`~repro.server.testing.TestClient`, or under the bundled
+  asyncio HTTP bridge (:mod:`repro.server.http`) via
+  ``python -m repro.server``.
+
+>>> from repro.server import TestClient, create_app
+>>> client = TestClient(create_app())
+>>> client.get("/schemes").status
+200
+"""
+
+from repro.server.app import ReproApp, create_app
+from repro.server.cache import ResultCache, default_cache
+from repro.server.jobs import Job, JobManager
+from repro.server.testing import TestClient
+
+__all__ = [
+    "ReproApp",
+    "create_app",
+    "ResultCache",
+    "default_cache",
+    "Job",
+    "JobManager",
+    "TestClient",
+]

@@ -1,0 +1,45 @@
+"""``python -m repro.server`` -- serve the campaign API over HTTP.
+
+Runs the pure-asyncio bridge from :mod:`repro.server.http`; no external
+server package needed.  Example::
+
+    python -m repro.server --port 8714 --cache-dir /tmp/repro-cache &
+    curl -s localhost:8714/schemes | python -m json.tool
+    curl -s -X POST localhost:8714/coverage \\
+         -d '{"test": "march-c", "n": 64}'
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.server.app import create_app
+from repro.server.cache import ResultCache
+from repro.server.http import run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the repro campaign API (coverage, compare, jobs).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8714,
+                        help="bind port (default: %(default)s)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the on-disk result cache tier here")
+    parser.add_argument("--cache-size", type=int, default=128,
+                        help="in-memory cache entries (default: %(default)s)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = ResultCache(maxsize=args.cache_size, disk_dir=args.cache_dir)
+    run(create_app(cache=cache), host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

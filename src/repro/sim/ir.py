@@ -82,6 +82,7 @@ issuing ``read``/``write``/``cycle``/``idle`` calls one at a time.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field as dataclass_field
 
 __all__ = ["Op", "OpStream", "Segment", "OP_KINDS", "GROUPABLE_KINDS"]
@@ -301,6 +302,50 @@ class OpStream:
                 cycles += 1
                 index += 1
         return cycles
+
+    def digest(self) -> str:
+        """Content digest: SHA-256 over everything that defines a replay.
+
+        Two streams with equal ``digest()`` issue the identical operation
+        sequence against the identical geometry -- regardless of which
+        process, Python run or compiler invocation produced them.  That
+        stability is what makes streams *content-addressable*: the
+        :class:`~repro.sim.pool.WorkerPool` broadcast dedups recompiled
+        streams by digest, and the campaign result cache of
+        :mod:`repro.server.cache` keys requests on it.
+
+        The digest covers ``source``, ``name``, geometry (``n``, ``m``,
+        ``ports``), the op records, the per-op ``info`` metadata, the
+        recurrence ``tables`` and the ``segments`` -- and deliberately
+        excludes the mutable replay bookkeeping (``reference_verified``,
+        ``reference_operations``), which is cache state, not identity.
+        Records hold only ints, strings and ``None``, whose ``repr`` is
+        bit-stable across processes and runs (no hash randomization),
+        so the serialization needs no custom packing.
+
+        >>> a = OpStream(source="march", name="d", n=2, m=1,
+        ...              ops=(("w", 0, 0, 1, None, 0),), info=((0, 0),))
+        >>> b = OpStream(source="march", name="d", n=2, m=1,
+        ...              ops=(("w", 0, 0, 1, None, 0),), info=((0, 0),))
+        >>> a is b, a.digest() == b.digest(), len(a.digest())
+        (False, True, 64)
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            hasher = hashlib.sha256()
+            segments = tuple(
+                (s.label, s.index, s.start, s.stop, s.init_state,
+                 s.expected_final)
+                for s in self.segments
+            )
+            for piece in ((self.source, self.name, self.n, self.m,
+                           self.ports), self.ops, self.info, self.tables,
+                          segments):
+                hasher.update(repr(piece).encode("utf-8"))
+                hasher.update(b"\x00")
+            cached = hasher.hexdigest()
+            self.__dict__["_digest"] = cached
+        return cached
 
     def counts_by_kind(self) -> dict[str, int]:
         """``{kind: record_count}`` for diagnostics."""

@@ -13,7 +13,10 @@ therefore outlives individual campaigns:
   shipped to each worker exactly once (a barrier-synchronised broadcast
   task per worker) and pinned in the worker under a small integer token;
   every subsequent shard of every campaign references the token, so the
-  stream never rides the task queue again;
+  stream never rides the task queue again.  Broadcasts dedup by
+  :meth:`~repro.sim.ir.OpStream.digest` -- structurally identical
+  streams share one token even when they are distinct objects (a test
+  recompiled per request, a stream unpickled from a job queue);
 * **spec shards** -- combined with
   :class:`repro.faults.universe.UniverseSpec`, a unit of work is just
   ``(token, spec, index range)``: workers enumerate their faults locally
@@ -149,8 +152,7 @@ class WorkerPool:
         self._pool = None
         self._barrier = None
         self._broken = False
-        self._tokens: dict[int, int] = {}  # id(stream) -> token
-        self._retained: list[OpStream] = []  # keep ids stable while cached
+        self._tokens: dict[str, int] = {}  # stream.digest() -> token
         self._next_token = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -203,7 +205,6 @@ class WorkerPool:
             pool.join()
         self._barrier = None
         self._tokens.clear()
-        self._retained.clear()
 
     def mark_broken(self) -> None:
         """Record a mid-run failure; the pool refuses further work."""
@@ -221,13 +222,17 @@ class WorkerPool:
     def broadcast_stream(self, stream: OpStream) -> int:
         """Pin ``stream`` in every worker; returns its token.
 
-        Idempotent per stream object: repeated campaigns over the same
-        compiled stream (the :mod:`repro.sim.compilers` ``cached_*``
-        adapters guarantee object identity) broadcast only once.  Once
-        ``max_streams`` distinct streams have accumulated, the pool is
-        recycled first so stream memory stays bounded.
+        Idempotent per stream *content*: broadcasts dedup on
+        :meth:`~repro.sim.ir.OpStream.digest`, so repeated campaigns
+        over the same compiled stream -- whether the literal object the
+        :mod:`repro.sim.compilers` ``cached_*`` adapters memoize, or a
+        structurally identical recompilation from another request --
+        broadcast only once.  Once ``max_streams`` distinct streams have
+        accumulated, the pool is recycled first so stream memory stays
+        bounded.
         """
-        token = self._tokens.get(id(stream))
+        digest = stream.digest()
+        token = self._tokens.get(digest)
         if token is not None:
             return token
         if len(self._tokens) >= self.max_streams:
@@ -255,8 +260,7 @@ class WorkerPool:
             self.mark_broken()
             raise PoolUnavailable("stream broadcast barrier broke")
         self._next_token += 1
-        self._tokens[id(stream)] = token
-        self._retained.append(stream)
+        self._tokens[digest] = token
         return token
 
     def imap(self, fn: Callable, tasks: Iterable) -> Iterator:

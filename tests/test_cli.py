@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_fault, build_parser, main
@@ -147,6 +149,29 @@ class TestCoverageCommand:
             main(["coverage", "--n", "14", "--test", "march-c",
                   "--engine", "batched", "--interpreted"])
 
+    def test_json_output_matches_server_schema(self, capsys):
+        code = main(["coverage", "--n", "14", "--test", "march-c",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"request", "report", "cached",
+                                "cache_key", "elapsed_s"}
+        assert payload["request"]["test"] == "march-c"
+        assert payload["report"]["test_name"] == "march-c"
+        assert 0.0 < payload["report"]["overall"] <= 1.0
+
+    def test_bad_engine_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["coverage", "--n", "14", "--engine", "warp"])
+        assert excinfo.value.code == 2  # argparse choices
+
+    def test_bad_polynomial_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["coverage", "--n", "14", "--m", "4",
+                  "--poly", "garbage"])
+        assert excinfo.value.code == 2  # resolver validation
+        assert "bad field polynomial" in capsys.readouterr().err
+
 
 class TestCompareOverhead:
     def test_compare(self, capsys):
@@ -155,6 +180,14 @@ class TestCompareOverhead:
         assert code == 0
         assert "March B" in out
         assert "PRT-3" in out
+
+    def test_compare_json(self, capsys):
+        code = main(["compare", "--n", "8", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in payload["rows"]] == [
+            "PRT-3", "PRT-5", "MATS+", "March C-", "March B"]
+        assert len(payload["requests"]) == 5
 
     def test_overhead(self, capsys):
         code = main(["overhead", "--m", "4", "--ports", "2"])

@@ -36,7 +36,7 @@ def test_module_list_covers_packages():
     """Sanity: the walker found every subpackage."""
     found = {name.split(".")[1] for name in MODULES if "." in name}
     assert {"gf2", "gf2m", "lfsr", "memory", "faults",
-            "march", "prt", "analysis", "sim"} <= found
+            "march", "prt", "analysis", "sim", "server"} <= found
 
 
 def test_module_list_covers_batched_subsystem():

@@ -7,7 +7,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ("gf2", "gf2m", "lfsr", "memory", "faults", "march", "prt",
-               "analysis")
+               "analysis", "server")
 
 
 class TestTopLevel:

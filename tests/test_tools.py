@@ -196,3 +196,55 @@ class TestCheckBenchWordlaneRows:
         lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
         assert not regressions
         assert len(lines) == 1
+
+
+class TestCheckBenchCacheRows:
+    @staticmethod
+    def _cache_row(**overrides):
+        row = {"test": "March C-", "n": 1024,
+               "universe": "standard (result cache)",
+               "cold_s": 0.5, "warm_s": 0.0001, "speedup_warm": 5000.0}
+        row.update(overrides)
+        return row
+
+    def test_slow_warm_hit_is_a_regression(self):
+        # The speedup floor gates the *current* run alone: a baseline
+        # predating cache_rows must not disable the gate.
+        base = {"rows": [{"test": "March C-", "n": 64, "compiled_s": 1.0}]}
+        current = {"rows": [{"test": "March C-", "n": 64,
+                             "compiled_s": 1.0}],
+                   "cache_rows": [self._cache_row(speedup_warm=12.0)]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert any("warm cache hit only 12.0x" in r for r in regressions)
+
+    def test_fast_warm_hit_passes(self):
+        base = {"cache_rows": [self._cache_row()]}
+        current = {"cache_rows": [self._cache_row(speedup_warm=2300.0)]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+        assert any("speedup_warm" in line and "ok" in line
+                   for line in lines)
+
+    def test_cold_campaign_timing_is_gated(self):
+        base = {"cache_rows": [self._cache_row(cold_s=0.5)]}
+        current = {"cache_rows": [self._cache_row(cold_s=5.0)]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert any("cold_s" in r for r in regressions)
+
+    def test_warm_timing_below_noise_floor_not_gated(self):
+        # warm_s (~1e-4s) sits far below --min-seconds; only the ratio
+        # and the cold path carry the signal.
+        base = {"cache_rows": [self._cache_row(warm_s=0.0001)]}
+        current = {"cache_rows": [self._cache_row(warm_s=0.01)]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+
+    def test_custom_speedup_floor(self):
+        base = {"cache_rows": [self._cache_row()]}
+        current = {"cache_rows": [self._cache_row(speedup_warm=150.0)]}
+        _, ok = check_bench.compare(base, current, 3.0, 0.05,
+                                    min_cache_speedup=100.0)
+        _, bad = check_bench.compare(base, current, 3.0, 0.05,
+                                     min_cache_speedup=500.0)
+        assert not ok
+        assert any("floor 500x" in r for r in bad)

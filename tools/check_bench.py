@@ -20,6 +20,13 @@ lane-vectorized in the matching baseline row (absent from its
 -- a class silently dropping out of the lane passes is an engine
 regression even when the smoke timings still fit.
 
+``cache_rows`` rows additionally gate the *result cache*: each row's
+``speedup_warm`` (cold campaign wall clock over warm cache-hit wall
+clock, measured on the same host in the same process) must stay at or
+above ``--min-cache-speedup``.  Unlike cross-host absolute timings this
+ratio is host-independent, so it is compared directly against the
+current run rather than the baseline.
+
 Usage::
 
     python tools/check_bench.py \
@@ -34,7 +41,8 @@ import json
 import sys
 
 ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows",
-                "wordlane_rows", "sharded_rows", "fallback_summary")
+                "wordlane_rows", "sharded_rows", "cache_rows",
+                "fallback_summary")
 
 
 def _row_key(section: str, row: dict) -> tuple:
@@ -50,12 +58,31 @@ def _index_rows(summary: dict) -> dict[tuple, dict]:
 
 
 def compare(baseline: dict, current: dict, max_slowdown: float,
-            min_seconds: float) -> tuple[list[str], list[str]]:
+            min_seconds: float,
+            min_cache_speedup: float = 100.0) -> tuple[list[str], list[str]]:
     """Returns (comparison lines, regression lines)."""
     lines: list[str] = []
     regressions: list[str] = []
     base_rows = _index_rows(baseline)
     cur_rows = _index_rows(current)
+    # Result-cache gate: same-host cold/warm ratio, checked against the
+    # current run alone (an older baseline without cache_rows still
+    # gates a fresh run that has them).
+    for row in current.get("cache_rows", ()):
+        label = f"{row.get('test')} n={row.get('n')} [result cache]"
+        speedup = row.get("speedup_warm")
+        if not isinstance(speedup, (int, float)):
+            continue
+        verdict = "ok"
+        if speedup < min_cache_speedup:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{label}: warm cache hit only {speedup:.1f}x faster than "
+                f"the cold campaign (floor {min_cache_speedup:.0f}x)"
+            )
+        lines.append(f"{label:>40} {'speedup_warm':>14} "
+                     f"{speedup:>10.1f}x (floor "
+                     f"{min_cache_speedup:.0f}x) {verdict}")
     shared_keys = [key for key in base_rows if key in cur_rows]
     if not shared_keys:
         regressions.append(
@@ -114,6 +141,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore baseline timings below this (noise "
                              "floor, default: 0.05s)")
+    parser.add_argument("--min-cache-speedup", type=float, default=100.0,
+                        help="fail when a cache_rows warm hit is less than "
+                             "this many times faster than its cold campaign "
+                             "(default: 100)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -122,7 +153,8 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(handle)
 
     lines, regressions = compare(baseline, current,
-                                 args.max_slowdown, args.min_seconds)
+                                 args.max_slowdown, args.min_seconds,
+                                 args.min_cache_speedup)
     for line in lines:
         print(line)
     base_cpus, cur_cpus = baseline.get("cpus"), current.get("cpus")
