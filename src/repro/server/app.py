@@ -10,6 +10,7 @@ HTTP bridge (``python -m repro.server``).  Endpoints:
 Method Path                  Meaning
 ====== ===================== ============================================
 GET    ``/schemes``          selectable tests/schemes + option vocabulary
+GET    ``/stats``            cache + job-queue telemetry counters
 POST   ``/coverage``         run (or cache-serve) one campaign, wait
 POST   ``/compare``          comparison table over several requests
 POST   ``/jobs``             submit a campaign job, return immediately
@@ -117,6 +118,12 @@ class ReproApp:
         if path == "/schemes":
             self._require(method, "GET")
             await self._send_json(send, 200, self._schemes())
+        elif path == "/stats":
+            self._require(method, "GET")
+            await self._send_json(send, 200, {
+                "cache": self.cache.stats(),
+                "jobs": self.jobs.stats(),
+            })
         elif path == "/coverage":
             self._require(method, "POST")
             body = await self._json_body(receive)

@@ -69,6 +69,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_promotions = 0
 
     # -- internals ----------------------------------------------------------
 
@@ -115,6 +116,7 @@ class ResultCache:
                 with self._lock:
                     self._remember(key, blob)
                     self._hits += 1
+                    self._disk_promotions += 1
         if blob is None:
             with self._lock:
                 self._misses += 1
@@ -174,12 +176,18 @@ class ResultCache:
                 and os.path.exists(self._disk_path(self._check_key(key))))
 
     def stats(self) -> dict:
-        """Hit/miss/eviction counters plus current sizes."""
+        """Hit/miss/eviction/disk-promotion counters plus current sizes.
+
+        ``disk_promotions`` counts hits served from the disk tier and
+        re-pinned in memory -- high values against a small ``maxsize``
+        mean the memory LRU is thrashing over the working set.
+        """
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "disk_promotions": self._disk_promotions,
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,
                 "disk_dir": self.disk_dir,
@@ -190,6 +198,7 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._evictions = 0
+            self._disk_promotions = 0
 
     def __repr__(self) -> str:
         disk = f", disk={self.disk_dir!r}" if self.disk_dir else ""

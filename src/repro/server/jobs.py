@@ -185,6 +185,16 @@ class JobManager:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def stats(self) -> dict:
+        """Queue-depth snapshot for ``GET /stats``: jobs per status plus
+        the number tracked (bounded by ``history``)."""
+        with self._lock:
+            counts = dict.fromkeys(_STATUSES, 0)
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            counts["tracked"] = len(self._jobs)
+            return counts
+
     def wait(self, job_id: str, timeout: float | None = None) -> Job | None:
         """Block until the job finishes (tests and the NDJSON stream)."""
         with self._lock:

@@ -70,14 +70,19 @@ from repro.faults.base import Fault, VectorSemantics
 from repro.memory.packed import LaneFaultModel, PackedMemoryArray
 from repro.sim.campaign import (
     POOL_FAILURES,
+    STEAL_BUDGET_S,
     CampaignResult,
-    _drain_shards,
+    _check_chunk_size,
+    _check_scheduler,
+    _drain_flow,
     _monotonic_progress,
     _reference_pass,
-    _submit_shards,
+    _run_task,
+    _scalar_task,
     partition_universe,
     run_campaign,
 )
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.ir import OpStream
 from repro.sim.pool import WorkerPool, shared_pool
 
@@ -734,6 +739,25 @@ _MODELS: dict[str, Callable[[list[VectorSemantics]], LaneFaultModel]] = {
     "decoder": _DecoderLanes,
 }
 
+#: Kinds whose lane models ship with the library.  Only these may run
+#: as worker-side lane shards: a *runtime*-registered model exists in
+#: this process but not necessarily in a pool worker (forked before the
+#: registration) or a remote daemon, so those kinds always lane-resolve
+#: in the parent.
+_BUILTIN_KINDS = frozenset(_MODELS)
+
+#: Minimum vectorizable fault count before the batched engine fans lane
+#: passes out to workers.  Below it the passes finish faster in the
+#: parent than the pool's dispatch round-trip; in particular small
+#: fully-vectorizable campaigns never touch (or start) a pool.
+LANE_SHARD_MIN_FAULTS = 4096
+
+#: Floor for worker-side lane-chunk widths.  A lane pass costs one
+#: stream replay regardless of width, so thin chunks multiply total
+#: work; chunks only shrink below ``max_lanes`` to give each worker a
+#: few per class.
+LANE_SHARD_MIN_CHUNK = 256
+
 
 def register_lane_model(
     kind: str,
@@ -779,12 +803,15 @@ def build_lane_model(kind: str,
 
 def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                          ram_factory: Callable[[], object] | None = None,
-                         workers: int = 0, chunk_size: int = 128,
+                         workers: int = 0, chunk_size: int | None = None,
                          progress: Callable[[int, int], None] | None = None,
                          reference_check: bool = True,
                          max_lanes: int = 4096,
                          pool: WorkerPool | None = None,
-                         backend: str = "auto") -> CampaignResult:
+                         backend: str = "auto",
+                         scheduler: str = "stealing",
+                         cost_model: CostModel | None = None
+                         ) -> CampaignResult:
     """Replay one compiled stream against a universe, one pass per class.
 
     Same contract and verdicts as
@@ -813,19 +840,22 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         semantics the packed backend does not model, so a non-None
         factory delegates everything to :func:`run_campaign`.
     workers:
-        ``N > 0`` runs the scalar-fallback remainder on the persistent
-        ``shared_pool(N)`` (or ``pool``) *concurrently* with the lane
-        passes: the remainder shards are queued first, the parent
-        resolves the vectorizable classes while workers replay scalar
-        faults, then both verdict sets are merged.  Universes carrying a
-        :class:`~repro.faults.universe.UniverseSpec` shard as ``(spec,
-        index range)`` -- workers re-derive the fallback list locally --
-        and anything else ships explicit fault chunks.  Falls back to
-        single-process execution when the platform cannot spawn workers.
-        With every built-in class vectorized the remainder is typically
-        empty, in which case no pool is touched at all.
+        ``N > 0`` (or an explicit ``pool``) runs pool work
+        *concurrently* with the parent's lane passes: the scalar
+        remainder -- and, for universes past ``LANE_SHARD_MIN_FAULTS``
+        vectorizable faults, whole lane-pass chunks -- is queued first,
+        the parent resolves its share of the classes while workers chew,
+        then every verdict set merges by universe index.  Universes
+        carrying a :class:`~repro.faults.universe.UniverseSpec` shard as
+        ``(spec, index range)`` -- workers re-derive their faults
+        locally -- and anything else ships explicit fault chunks.  Falls
+        back to single-process execution when the platform cannot spawn
+        workers.  Small fully-vectorizable universes never touch (or
+        start) a pool at all.
     chunk_size:
-        Faults per scalar unit of work (and per ``progress`` callback).
+        ``None`` (default) sizes scalar shards by the per-class
+        :class:`~repro.sim.costs.CostModel`; a positive int forces the
+        legacy fixed-size shards.
     progress:
         ``progress(done, total)`` with ``total`` the full universe size,
         fired after each lane chunk and each fallback chunk.
@@ -835,8 +865,18 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     max_lanes:
         Lane-width cap per pass; a class with more faults is chunked.
     pool:
-        Explicit :class:`~repro.sim.pool.WorkerPool` for the fallback
-        shards; default is the process-wide shared pool for ``workers``.
+        Explicit pool for the shards -- a
+        :class:`~repro.sim.pool.WorkerPool` or a
+        :class:`~repro.sim.remote.RemotePool` of worker daemons;
+        default is the process-wide shared pool for ``workers``.
+    scheduler:
+        ``"stealing"`` (default) lets workers return the remainder of
+        an over-budget scalar shard to the shared queue; ``"static"``
+        runs the planned shards as cut.  Verdicts are byte-identical
+        either way.
+    cost_model:
+        Overrides the default :class:`~repro.sim.costs.CostModel` for
+        scalar shard planning.
     backend:
         Column-storage backend for the lane passes -- ``"int"``,
         ``"numpy"`` or ``"auto"`` (see
@@ -869,10 +909,11 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         return run_campaign(stream, universe, ram_factory=ram_factory,
                             workers=workers, chunk_size=chunk_size,
                             progress=progress,
-                            reference_check=reference_check, pool=pool)
+                            reference_check=reference_check, pool=pool,
+                            scheduler=scheduler, cost_model=cost_model)
     n = stream.n
-    if chunk_size < 1:
-        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    chunk_size = _check_chunk_size(chunk_size)
+    _check_scheduler(scheduler)
     if reference_check:
         _reference_pass(stream, n, stream.m)
     # Clamped once here: a pool failure mid-drain re-runs the remainder
@@ -893,57 +934,104 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                             reference_operations=stream.reference_operations
                             or 0,
                             faults_batched=total - len(fallback))
-    # Queue the scalar remainder on the pool *before* the lane passes:
-    # workers chew on scalar faults while the parent resolves the
-    # vectorizable classes -- the two verdict sets are disjoint by
+    # Queue pool work *before* the parent's lane passes: workers chew on
+    # scalar-fallback shards -- and, past LANE_SHARD_MIN_FAULTS, whole
+    # lane-pass chunks -- while the parent resolves its share of the
+    # vectorizable classes; the verdict sets are disjoint by
     # construction, so they merge by universe index afterwards.  A
     # runtime-registered lane kind may not exist in the workers, so spec
-    # sharding (workers re-derive the fallback list) is only sound when
-    # the partition used no such kind; otherwise ship explicit faults.
+    # sharding (workers re-derive their faults locally) is only sound
+    # when the partition used no such kind, and only built-in kinds ever
+    # ship as lane shards; otherwise explicit faults travel.
+    spec = getattr(universe, "spec", None) if not unknown_kinds else None
+    use_pool = (workers > 0 or pool is not None) and total > 1
+    effective = workers or (getattr(pool, "workers", 0) if pool is not None
+                            else 0)
+    shipped: dict[str, list] = {}
+    local_classes = classes
+    if use_pool and total - len(fallback) >= LANE_SHARD_MIN_FAULTS:
+        shipped = {kind: members for kind, members in classes.items()
+                   if kind in _BUILTIN_KINDS}
+        local_classes = {kind: members for kind, members in classes.items()
+                         if kind not in shipped}
     pending = None
-    if workers > 0 and fallback:
-        spec = getattr(universe, "spec", None) if not unknown_kinds else None
-        pending = _start_fallback_shards(stream, fallback, spec, workers,
-                                         pool, chunk_size)
+    if use_pool and (fallback or shipped):
+        pending = _start_shard_flow(stream, fallback, shipped, spec,
+                                    effective, pool, chunk_size, scheduler,
+                                    cost_model, max_lanes, backend)
+    if pending is None and shipped:
+        # No pool after all: the parent runs every lane pass itself.
+        local_classes, shipped = classes, {}
     verdicts: list[bool] = [False] * total
     done = 0
+
+    def run_lane_pass(kind: str, members: list) -> None:
+        nonlocal done
+        for base in range(0, len(members), max_lanes):
+            chunk = members[base:base + max_lanes]
+            model = build_lane_model(kind, [sem for _, _, sem in chunk])
+            packed = PackedMemoryArray(n, lanes=len(chunk), m=stream.m,
+                                       backend=backend)
+            model.install(packed)
+            detected, executed = packed.apply_stream(
+                stream.ops, tables=stream.tables, model=model
+            )
+            result.operations_replayed += executed
+            for lane, (index, _fault, _sem) in enumerate(chunk):
+                verdicts[index] = bool((detected >> lane) & 1)
+            done += len(chunk)
+            if progress is not None:
+                progress(done, total)
+
     try:
-        for kind in sorted(classes):
-            members = classes[kind]
-            for base in range(0, len(members), max_lanes):
-                chunk = members[base:base + max_lanes]
-                model = build_lane_model(kind, [sem for _, _, sem in chunk])
-                packed = PackedMemoryArray(n, lanes=len(chunk), m=stream.m,
-                                           backend=backend)
-                model.install(packed)
-                detected, executed = packed.apply_stream(
-                    stream.ops, tables=stream.tables, model=model
-                )
-                result.operations_replayed += executed
-                for lane, (index, _fault, _sem) in enumerate(chunk):
-                    verdicts[index] = bool((detected >> lane) & 1)
-                done += len(chunk)
-                if progress is not None:
-                    progress(done, total)
+        for kind in sorted(local_classes):
+            run_lane_pass(kind, local_classes[kind])
     except BaseException:
         # A lane pass blew up (buggy custom lane model, Ctrl-C) with
-        # fallback shards already queued: kill them with the pool so
-        # they cannot linger and tax the next campaign on a shared pool.
+        # shards already queued: kill them with the pool so they cannot
+        # linger and tax the next campaign on a shared pool.
         if pending is not None:
             pending[0].mark_broken()
         raise
-    if fallback:
-        outcomes = None
-        if pending is not None:
-            outcomes = _drain_fallback_shards(pending, progress, done, total,
-                                              len(fallback))
-        if outcomes is not None:
-            result.workers_used = workers
-            for (index, _fault), (detected, executed) in zip(fallback,
-                                                             outcomes):
-                verdicts[index] = detected
-                result.operations_replayed += executed
-        else:  # serial path, or process fan-out unavailable
+
+    flow_ops = 0
+
+    def merge(tag, lo, hi, data) -> int:
+        # Position-keyed, so completion/steal order cannot change the
+        # result.  Ops accumulate separately and are committed only on a
+        # successful drain -- a mid-drain pool failure re-runs the
+        # remainder serially and must not double-count.
+        nonlocal flow_ops
+        if tag == "scalar":
+            for (index, _fault), (det, executed) in zip(fallback[lo:hi],
+                                                        data):
+                verdicts[index] = det
+                flow_ops += executed
+        else:  # "lane": one worker-side pass over class members [lo:hi)
+            kind, detected, executed = data
+            for lane, (index, _fault, _sem) in enumerate(
+                    classes[kind][lo:hi]):
+                verdicts[index] = bool((detected >> lane) & 1)
+            flow_ops += executed
+        return hi - lo
+
+    finished = False
+    if pending is not None:
+        expected = len(fallback) + sum(len(m) for m in shipped.values())
+        final = _drain_shard_flow(pending, merge, progress, done, total,
+                                  expected)
+        if final is not None:
+            result.workers_used = effective
+            result.operations_replayed += flow_ops
+            done = final
+            finished = True
+    if not finished and (fallback or shipped):
+        # Serial path, or process fan-out unavailable / broken mid-run:
+        # re-run everything the pool owed (partial merges are simply
+        # overwritten; the monotonic progress clamp hides the rewind).
+        for kind in sorted(shipped):
+            run_lane_pass(kind, shipped[kind])
+        if fallback:
             batched_done = done
 
             def _remap(sub_done: int, _sub_total: int) -> None:
@@ -963,33 +1051,65 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
     return result
 
 
-def _start_fallback_shards(stream, fallback, spec, workers, pool,
-                           chunk_size):
-    """Queue the scalar remainder on a persistent pool.
+def _start_shard_flow(stream, fallback, shipped, spec, workers, pool,
+                      chunk_size, scheduler, cost_model, max_lanes,
+                      backend):
+    """Broadcast the stream and queue scalar + lane shards on one flow.
 
-    Returns ``(pool, tasks, result_iterator)`` with the shard tasks
-    already flowing to the workers, or ``None`` when no pool is
-    available (the caller then runs the remainder serially).
+    Scalar shards follow the cost-model plan (budgeted when stealing);
+    lane chunks are cut so every worker gets a few per class without
+    multiplying pass count (a pass costs one replay regardless of
+    width).  Returns ``(pool, flow, outstanding)`` with tasks already
+    flowing, or ``None`` when no pool is available (the caller then runs
+    everything serially).
     """
     if pool is None:
         pool = shared_pool(workers)
-    faults = [fault for _, fault in fallback]
+    model = cost_model or DEFAULT_COST_MODEL
+    budget = STEAL_BUDGET_S if scheduler == "stealing" else None
+    n, m = stream.n, stream.m
     try:
-        tasks, iterator = _submit_shards(pool, stream, faults, spec,
-                                         "fallback", None, stream.n,
-                                         stream.m, chunk_size)
-        return pool, tasks, iterator
+        token = pool.broadcast_stream(stream)
+        flow = pool.flow(_run_task)
     except POOL_FAILURES:
         pool.mark_broken()
         return None
+    outstanding = 0
+    scalar_faults = [fault for _, fault in fallback]
+    for lo, hi in model.plan(scalar_faults,
+                             workers=getattr(pool, "workers", workers),
+                             chunk_size=chunk_size):
+        flow.put(_scalar_task("fallback", token, spec, lo, hi, scalar_faults,
+                              None, n, m, budget))
+        outstanding += 1
+    pool_workers = getattr(pool, "workers", workers) or workers or 1
+    for kind in sorted(shipped):
+        members = shipped[kind]
+        width = min(max_lanes,
+                    max(LANE_SHARD_MIN_CHUNK,
+                        -(-len(members) // (pool_workers * 2))))
+        for base in range(0, len(members), width):
+            hi = min(base + width, len(members))
+            if spec is not None:
+                flow.put(("lane", token, spec, kind, base, hi, None,
+                          n, m, backend))
+            else:
+                chunk_faults = [fault for _i, fault, _s in members[base:hi]]
+                flow.put(("lane-list", token, None, kind, base, hi,
+                          chunk_faults, n, m, backend))
+            outstanding += 1
+    return pool, flow, outstanding
 
 
-def _drain_fallback_shards(pending, progress, done, total, expected):
-    """Collect the queued remainder; ``None`` if the pool broke mid-run."""
-    pool, tasks, iterator = pending
+def _drain_shard_flow(pending, merge, progress, done, total, expected):
+    """Drain the campaign's flow; ``None`` if the pool broke mid-run."""
+    pool, flow, outstanding = pending
     try:
-        return _drain_shards(tasks, iterator, progress, done, total,
-                             expected)
+        try:
+            return _drain_flow(flow, outstanding, expected, progress, done,
+                               total, merge)
+        finally:
+            flow.close()
     except POOL_FAILURES:
         pool.mark_broken()
         return None

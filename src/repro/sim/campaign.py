@@ -14,17 +14,27 @@ instead:
 * **early abort** -- a fault is *detected* at the first mismatching
   checked read, so the typical detected fault costs a short prefix of the
   stream, not the full test;
-* **chunked execution** -- faults are processed in chunks, giving a
-  progress hook and the unit of work for the opt-in ``workers=N``
-  process fan-out.
+* **cost-model shards** -- faults are processed in chunks sized by a
+  per-class :class:`~repro.sim.costs.CostModel` (an NPSF replay costs
+  ~3x a bridging one), giving a progress hook and the unit of work for
+  the ``workers=N`` process fan-out.
 
 The ``workers=N`` path shards over the persistent pools of
-:mod:`repro.sim.pool`: the compiled stream is broadcast once per worker
-(not per chunk), and a universe carrying a
-:class:`~repro.faults.universe.UniverseSpec` travels as ``(spec, index
-range)`` shards that workers enumerate locally -- no fault pickling at
-all.  Pools outlive campaigns, so back-to-back campaigns (``compare``,
-benchmark sweeps, services) amortize pool startup.
+:mod:`repro.sim.pool`: the compiled stream is broadcast once per host
+(shared memory for large streams, never per chunk), and a universe
+carrying a :class:`~repro.faults.universe.UniverseSpec` travels as
+``(spec, index range)`` shards that workers enumerate locally -- no
+fault pickling at all.  Scheduling is *work stealing* by default:
+shards flow through a shared task queue
+(:meth:`~repro.sim.pool.WorkerPool.flow`), and a worker whose shard
+exceeds its time budget returns the remainder to the queue for an idle
+sibling -- a skewed tail no longer serializes behind one worker.  The
+verdict merge is keyed by universe index, so results are byte-identical
+regardless of steal order.  Pools outlive campaigns, so back-to-back
+campaigns (``compare``, benchmark sweeps, services) amortize pool
+startup.  A :class:`~repro.sim.remote.RemotePool` plugs into the same
+``pool=`` seam to fan the identical shard tasks out to worker daemons
+on other hosts.
 
 Replay cost is ``O(|universe| * detection_prefix)`` -- for strong tests
 the mean prefix is a small fraction of the test length, which is where
@@ -38,6 +48,7 @@ import multiprocessing
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field as dataclass_field
 from functools import lru_cache
+from time import perf_counter
 
 from repro.faults.base import Fault, VectorSemantics
 from repro.faults.injector import FaultInjector
@@ -45,6 +56,7 @@ from repro.faults.universe import UniverseSpec, materialize_spec
 from repro.memory.multiport import MultiPortRAM, PortConflictError
 from repro.memory.ram import SinglePortRAM
 from repro.memory.stream_exec import apply_stream_generic
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.ir import OpStream
 from repro.sim.pool import (
     PoolUnavailable,
@@ -54,6 +66,21 @@ from repro.sim.pool import (
 )
 
 __all__ = ["CampaignResult", "run_campaign", "partition_universe"]
+
+#: Schedulers the sharded path understands.  ``"stealing"`` (default)
+#: lets a worker return the unfinished remainder of an oversized shard
+#: to the task queue; ``"static"`` executes the planned shards as cut.
+SCHEDULERS = ("stealing", "static")
+
+#: Wall-clock seconds a stealing worker spends on one shard before
+#: returning the remainder to the queue.  Small enough that a skewed
+#: tail redistributes within a fraction of a second; large enough that
+#: a shard amortizes its dispatch overhead many times over.
+STEAL_BUDGET_S = 0.1
+
+#: Serial-path chunk length (progress cadence) when ``chunk_size`` is
+#: left to the engine.
+SERIAL_CHUNK = 128
 
 
 @dataclass
@@ -256,13 +283,14 @@ def _fits_geometry(semantics: VectorSemantics, n: int, m: int) -> bool:
 
 # -- process sharding -------------------------------------------------------
 #
-# A shard is a self-describing task tuple
+# A shard is a self-describing task tuple executed by ``_run_task``
+# inside a pool worker (or a remote daemon -- the task format is the
+# wire format of :mod:`repro.sim.remote`).  ``token`` names the stream a
+# broadcast pinned in the worker.  Scalar shards are
 #
-#     (mode, token, spec, lo, hi, faults, ram_factory, n, m)
+#     (mode, token, spec, lo, hi, faults, ram_factory, n, m, budget)
 #
-# replayed by ``_run_shard`` inside a pool worker.  ``token`` names the
-# stream a :class:`~repro.sim.pool.WorkerPool` broadcast pinned in the
-# worker.  ``mode`` selects how the shard's faults are obtained:
+# where ``mode`` selects how the shard's faults are obtained:
 #
 # ``"slice"``     ``materialize_spec(spec)[lo:hi]`` -- the universe is
 #                 re-enumerated locally (cached per worker), so the task
@@ -272,16 +300,38 @@ def _fits_geometry(semantics: VectorSemantics, n: int, m: int) -> bool:
 #                 derived locally via ``partition_universe``;
 # ``"list"``      an explicit pickled fault list (universes without a
 #                 spec -- hand-built lists, custom iterables).
+#
+# ``budget`` (seconds, or None) arms work stealing: a worker exceeding
+# it returns ``(done_so_far, remainder_task)`` and the scheduler
+# re-queues the remainder for an idle sibling.  Lane shards
+# (:mod:`repro.sim.batched` fans whole lane passes out the same flow)
+# are
+#
+#     ("lane"|"lane-list", token, spec, kind, lo, hi, faults, n, m,
+#      backend)
+#
+# covering members ``[lo:hi]`` of the partition class ``kind``.
+# Every completed task yields one payload
+#
+#     (tag, lo, hi, data, remainder, elapsed_s)
+#
+# merged into position-keyed arrays, which is why verdicts are
+# byte-identical regardless of completion or steal order.
 
 
 @lru_cache(maxsize=8)
-def _spec_fallback(spec: UniverseSpec, n: int, m: int) -> tuple[Fault, ...]:
-    """Worker-side cache: the scalar-fallback faults of a spec'd universe.
+def _spec_partition(spec: UniverseSpec, n: int, m: int):
+    """Worker-side cache: the partition of a spec'd universe.
 
     Deterministic mirror of the partition the parent computed -- same
     spec, same geometry, same enumeration order.
     """
-    _classes, fallback = partition_universe(materialize_spec(spec), n, m)
+    return partition_universe(materialize_spec(spec), n, m)
+
+
+def _spec_fallback(spec: UniverseSpec, n: int, m: int) -> tuple[Fault, ...]:
+    """The scalar-fallback faults of a spec'd universe (worker side)."""
+    _classes, fallback = _spec_partition(spec, n, m)
     return tuple(fault for _index, fault in fallback)
 
 
@@ -295,28 +345,80 @@ def _shard_faults(mode, spec, lo, hi, faults, n, m):
     raise ValueError(f"unknown shard mode {mode!r}")
 
 
-def _run_shard(task) -> list[tuple[bool, int]]:
-    """Pool unit of work: enumerate one shard locally and replay it."""
-    mode, token, spec, lo, hi, faults, ram_factory, n, m = task
+def _run_scalar_task(task) -> tuple:
+    """Replay one scalar shard, honouring the work-stealing budget.
+
+    Returns the flow payload ``("scalar", lo, done, outcomes, remainder,
+    elapsed)``: with no budget (static scheduling) ``done == hi`` and
+    ``remainder`` is None; a budgeted shard that ran out of time covers
+    a prefix and hands the rest back as a ready-to-queue task.
+    """
+    mode, token, spec, lo, hi, faults, ram_factory, n, m, budget = task
     stream = worker_stream(token)
-    return [_run_one(stream, fault, ram_factory, n, m)
-            for fault in _shard_faults(mode, spec, lo, hi, faults, n, m)]
+    shard = _shard_faults(mode, spec, lo, hi, faults, n, m)
+    outcomes: list[tuple[bool, int]] = []
+    start = perf_counter()
+    for index, fault in enumerate(shard):
+        outcomes.append(_run_one(stream, fault, ram_factory, n, m))
+        if budget is not None and index + 1 < len(shard) \
+                and perf_counter() - start >= budget:
+            done = lo + index + 1
+            rest = list(shard[index + 1:]) if mode == "list" else None
+            remainder = (mode, token, spec, done, hi, rest,
+                         ram_factory, n, m, budget)
+            return ("scalar", lo, done, outcomes, remainder,
+                    perf_counter() - start)
+    return ("scalar", lo, hi, outcomes, None, perf_counter() - start)
 
 
-def _shard_tasks(faults: list[Fault], spec: UniverseSpec | None, mode: str,
-                 token: int, ram_factory, n: int, m: int,
-                 chunk_size: int) -> list[tuple]:
-    """Split a fault list into shard task tuples of ``chunk_size`` faults."""
-    tasks = []
-    for lo in range(0, len(faults), chunk_size):
-        hi = min(lo + chunk_size, len(faults))
-        if spec is None:
-            tasks.append(("list", token, None, lo, hi, faults[lo:hi],
-                          ram_factory, n, m))
-        else:
-            tasks.append((mode, token, spec, lo, hi, None,
-                          ram_factory, n, m))
-    return tasks
+def _run_lane_task(task) -> tuple:
+    """Execute one lane pass (a chunk of one fault class) worker-side.
+
+    The pass is indivisible -- it replays the stream once over packed
+    columns -- so lane tasks never split; the parent sizes the chunks.
+    Returns ``("lane", lo, hi, (kind, detected_mask, executed), None,
+    elapsed)`` with lane ``i`` of the mask holding the verdict of class
+    member ``lo + i``.
+    """
+    # Late imports: batched.py imports this module, and under fork the
+    # worker has everything loaded anyway.
+    from repro.memory.packed import PackedMemoryArray
+    from repro.sim.batched import build_lane_model
+
+    tag, token, spec, kind, lo, hi, faults, n, m, backend = task
+    stream = worker_stream(token)
+    start = perf_counter()
+    if tag == "lane":
+        classes, _fallback = _spec_partition(spec, n, m)
+        semantics = [sem for _i, _f, sem in classes[kind][lo:hi]]
+    else:  # "lane-list": explicit faults (universes without a spec)
+        semantics = [fault.vector_semantics() for fault in faults]
+    model = build_lane_model(kind, semantics)
+    packed = PackedMemoryArray(n, lanes=len(semantics), m=m, backend=backend)
+    model.install(packed)
+    detected, executed = packed.apply_stream(stream.ops, tables=stream.tables,
+                                             model=model)
+    return ("lane", lo, hi, (kind, detected, executed), None,
+            perf_counter() - start)
+
+
+def _run_task(task) -> tuple:
+    """Pool/daemon unit of work: dispatch one shard task by its tag."""
+    tag = task[0]
+    if tag in ("slice", "fallback", "list"):
+        return _run_scalar_task(task)
+    if tag in ("lane", "lane-list"):
+        return _run_lane_task(task)
+    raise ValueError(f"unknown shard task tag {tag!r}")
+
+
+def _scalar_task(mode, token, spec, lo, hi, faults, ram_factory, n, m,
+                 budget) -> tuple:
+    """Build one scalar shard task for the ``[lo:hi)`` fault range."""
+    if spec is None:
+        return ("list", token, None, lo, hi, faults[lo:hi],
+                ram_factory, n, m, budget)
+    return (mode, token, spec, lo, hi, None, ram_factory, n, m, budget)
 
 
 def _reference_pass(stream: OpStream, n: int, m: int) -> None:
@@ -348,12 +450,35 @@ def _reference_pass(stream: OpStream, n: int, m: int) -> None:
     stream.reference_operations = executed
 
 
+def _check_chunk_size(chunk_size) -> int | None:
+    """Validate the ``chunk_size`` override (None = cost-model sizing)."""
+    if chunk_size is None:
+        return None
+    if isinstance(chunk_size, bool) or not isinstance(chunk_size, int) \
+            or chunk_size < 1:
+        raise ValueError(
+            f"chunk_size must be None (shards sized by the per-class cost "
+            f"model) or a positive int (fixed shards of that many faults), "
+            f"got {chunk_size!r}"
+        )
+    return chunk_size
+
+
+def _check_scheduler(scheduler: str) -> str:
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}")
+    return scheduler
+
+
 def run_campaign(stream: OpStream, universe: Iterable[Fault],
                  ram_factory: Callable[[], object] | None = None,
-                 workers: int = 0, chunk_size: int = 128,
+                 workers: int = 0, chunk_size: int | None = None,
                  progress: Callable[[int, int], None] | None = None,
                  reference_check: bool = True,
-                 pool: WorkerPool | None = None) -> CampaignResult:
+                 pool: WorkerPool | None = None,
+                 scheduler: str = "stealing",
+                 cost_model: CostModel | None = None) -> CampaignResult:
     """Replay one compiled stream against every fault of a universe.
 
     Parameters
@@ -375,12 +500,17 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
         ``workers > 0`` it must be picklable (a module-level function or
         functools.partial, not a lambda).
     workers:
-        ``0`` (default) runs in-process.  ``N > 0`` fans shards out to
-        the persistent ``shared_pool(N)`` (or ``pool``); falls back to
-        in-process execution if the platform cannot spawn workers
+        ``0`` (default) runs in-process -- unless ``pool`` is given, in
+        which case its worker count applies.  ``N > 0`` fans shards out
+        to the persistent ``shared_pool(N)`` (or ``pool``); falls back
+        to in-process execution if the platform cannot spawn workers
         (sandboxes, missing /dev/shm).
     chunk_size:
-        Faults per unit of work (and per ``progress`` callback).
+        ``None`` (default) sizes shards by the per-class
+        :class:`~repro.sim.costs.CostModel` -- roughly equal predicted
+        *work* per shard, so an NPSF-heavy tail is cut finer than a
+        stuck-at head.  A positive int forces the legacy fixed-size
+        shards (also the serial progress cadence).
     progress:
         Optional ``progress(done, total)`` hook called after each chunk
         (the universe is materialized up front, so ``total`` is always
@@ -389,10 +519,21 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
         Validate the stream on a fault-free memory first (cached on the
         stream, so repeated campaigns pay it once).
     pool:
-        An explicit :class:`~repro.sim.pool.WorkerPool` to shard on
-        (e.g. one ``with WorkerPool(4) as pool`` block around many
-        campaigns).  Default: the process-wide shared pool for
+        An explicit pool to shard on: a
+        :class:`~repro.sim.pool.WorkerPool` (e.g. one ``with
+        WorkerPool(4) as pool`` block around many campaigns) or a
+        :class:`~repro.sim.remote.RemotePool` of worker daemons on
+        other hosts.  Default: the process-wide shared pool for
         ``workers``.
+    scheduler:
+        ``"stealing"`` (default): workers return the remainder of a
+        shard that exceeds its time budget to the shared queue, so a
+        mispredicted or skewed shard redistributes instead of idling
+        the siblings.  ``"static"``: run the planned shards as cut.
+        Verdicts are byte-identical either way.
+    cost_model:
+        Overrides the default :class:`~repro.sim.costs.CostModel` used
+        for shard planning.
 
     >>> from repro.faults import single_cell_universe
     >>> from repro.march.library import MARCH_C_MINUS
@@ -403,8 +544,8 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
     1.0
     """
     n, m = stream.n, stream.m
-    if chunk_size < 1:
-        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    chunk_size = _check_chunk_size(chunk_size)
+    _check_scheduler(scheduler)
     if reference_check:
         _reference_pass(stream, n, m)
     progress = _monotonic_progress(progress)
@@ -412,18 +553,20 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
                             reference_operations=stream.reference_operations or 0)
     faults = list(universe)
     outcomes: list[tuple[bool, int]] | None = None
-    if workers > 0 and len(faults) > 1:
+    if (workers > 0 or pool is not None) and len(faults) > 1:
+        effective = workers or getattr(pool, "workers", 0)
         outcomes = _run_sharded(stream, faults,
                                 getattr(universe, "spec", None), "slice",
-                                ram_factory, n, m, workers, pool,
-                                chunk_size, progress)
+                                ram_factory, n, m, effective, pool,
+                                chunk_size, progress, scheduler, cost_model)
         if outcomes is not None:
-            result.workers_used = workers
+            result.workers_used = effective
     if outcomes is None:  # serial path, or process fan-out unavailable
         outcomes = []
         done = 0
-        for lo in range(0, len(faults), chunk_size):
-            chunk = faults[lo:lo + chunk_size]
+        serial_chunk = chunk_size or SERIAL_CHUNK
+        for lo in range(0, len(faults), serial_chunk):
+            chunk = faults[lo:lo + serial_chunk]
             for fault in chunk:
                 outcomes.append(_run_one(stream, fault, ram_factory, n, m))
             done += len(chunk)
@@ -440,61 +583,55 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
 POOL_FAILURES = (PoolUnavailable, OSError, PermissionError, ImportError)
 
 #: Seconds to wait for any single shard result.  A worker killed
-#: mid-shard (OOM, segfault) loses its task: ``Pool.imap`` would block
-#: on it forever, so the drain polls with this timeout and declares the
-#: pool broken instead -- the campaign then re-runs serially.  Ordinary
-#: shards are chunk_size fault replays (well under a second each); only
-#: a dead worker plausibly exceeds this.
+#: mid-shard (OOM, segfault) loses its task: the flow would block on it
+#: forever, so the drain polls with this timeout and declares the pool
+#: broken instead -- the campaign then re-runs serially.  Ordinary
+#: shards finish in well under a second (budgeted shards by
+#: construction); only a dead worker plausibly exceeds this.
 SHARD_TIMEOUT = 300.0
 
 
-def _submit_shards(pool: WorkerPool, stream, faults, spec, mode,
-                   ram_factory, n, m, chunk_size):
-    """Broadcast the stream and queue one shard task per chunk.
+def _drain_flow(flow, outstanding: int, expected: int, progress, done: int,
+                total: int, on_payload) -> int:
+    """Drain a task flow, re-queueing stolen remainders as they surface.
 
-    Returns ``(tasks, result_iterator)`` with the tasks already flowing
-    to the workers.  Raises one of ``POOL_FAILURES`` when the pool
-    cannot take the work.
-    """
-    token = pool.broadcast_stream(stream)
-    tasks = _shard_tasks(faults, spec, mode, token, ram_factory, n, m,
-                         chunk_size)
-    return tasks, pool.imap(_run_shard, tasks)
-
-
-def _drain_shards(tasks, iterator, progress, done, total,
-                  expected: int) -> list[tuple[bool, int]]:
-    """Collect shard results in order, firing ``progress`` per chunk.
-
-    ``done``/``total`` let the batched engine account for lane passes
-    that already happened.  Raises :class:`PoolUnavailable` when a shard
-    result does not arrive within ``SHARD_TIMEOUT`` (a worker died with
-    the task in flight), and ``RuntimeError`` when the workers returned
-    a different outcome count than the parent expects (spec drift) --
+    ``on_payload(tag, lo, hi, data)`` merges one completed task into the
+    caller's position-keyed arrays and returns the number of faults it
+    covered; ``done``/``total`` let the batched engine account for lane
+    passes that already happened.  Raises :class:`PoolUnavailable` when
+    no result arrives within ``SHARD_TIMEOUT`` (a worker died with tasks
+    in flight), and ``RuntimeError`` when the workers covered a
+    different fault count than the parent expects (spec drift) --
     silently-truncated verdicts must never merge.
     """
-    outcomes: list[tuple[bool, int]] = []
-    for index in range(len(tasks)):
+    covered = 0
+    while outstanding:
         try:
-            shard = iterator.next(SHARD_TIMEOUT)
+            payload = flow.next(SHARD_TIMEOUT)
         except StopIteration:
             break
         except multiprocessing.TimeoutError:
             raise PoolUnavailable(
-                f"shard {index} produced no result within "
-                f"{SHARD_TIMEOUT:.0f}s -- worker lost mid-task?"
+                f"no shard result within {SHARD_TIMEOUT:.0f}s with "
+                f"{outstanding} task(s) outstanding -- worker lost mid-task?"
             ) from None
-        outcomes.extend(shard)
-        done += tasks[index][4] - tasks[index][3]  # hi - lo
+        outstanding -= 1
+        tag, lo, hi, data, remainder, _elapsed = payload
+        if remainder is not None:
+            flow.put(remainder)
+            outstanding += 1
+        step = on_payload(tag, lo, hi, data)
+        covered += step
+        done += step
         if progress is not None:
             progress(done, total)
-    if len(outcomes) != expected:
+    if covered != expected:
         raise RuntimeError(
-            f"sharded campaign returned {len(outcomes)} outcomes for "
+            f"sharded campaign covered {covered} outcomes for "
             f"{expected} faults -- the universe spec does not "
             f"re-enumerate identically in the workers"
         )
-    return outcomes
+    return done
 
 
 def _monotonic_progress(progress):
@@ -518,19 +655,39 @@ def _monotonic_progress(progress):
 
 
 def _run_sharded(stream, faults, spec, mode, ram_factory, n, m, workers,
-                 pool, chunk_size, progress) -> list[tuple[bool, int]] | None:
-    """Fan shards out to a persistent pool; ``None`` when unavailable.
+                 pool, chunk_size, progress, scheduler="stealing",
+                 cost_model=None) -> list[tuple[bool, int]] | None:
+    """Fan shards out over a task flow; ``None`` when unavailable.
 
-    Shard results are consumed in order as workers finish them, so the
-    ``progress`` hook fires per chunk exactly like the serial path.
+    The cost model cuts the plan, the flow schedules it (stolen
+    remainders re-queue through :func:`_drain_flow`), and completed
+    payloads merge into a position-keyed array -- identical verdicts to
+    the serial path regardless of which worker ran what.
     """
     if pool is None:
         pool = shared_pool(workers)
+    model = cost_model or DEFAULT_COST_MODEL
+    budget = STEAL_BUDGET_S if scheduler == "stealing" else None
+    plan = model.plan(faults, workers=getattr(pool, "workers", workers),
+                      chunk_size=chunk_size)
+    outcomes: list = [None] * len(faults)
+
+    def merge(tag, lo, hi, data):
+        outcomes[lo:hi] = data
+        return hi - lo
+
     try:
-        tasks, iterator = _submit_shards(pool, stream, faults, spec, mode,
-                                         ram_factory, n, m, chunk_size)
-        return _drain_shards(tasks, iterator, progress, 0, len(faults),
-                             len(faults))
+        token = pool.broadcast_stream(stream)
+        flow = pool.flow(_run_task)
+        try:
+            for lo, hi in plan:
+                flow.put(_scalar_task(mode, token, spec, lo, hi, faults,
+                                      ram_factory, n, m, budget))
+            _drain_flow(flow, len(plan), len(faults), progress, 0,
+                        len(faults), merge)
+        finally:
+            flow.close()
+        return outcomes
     except POOL_FAILURES:
         # Could not start (sandbox) or lost a worker mid-run: a broken
         # pool is closed so the next campaign gets a fresh one, and this

@@ -1,0 +1,185 @@
+"""Per-fault-class cost model for adaptive campaign shard sizing.
+
+The scalar campaign engine replays one compiled stream per fault, but
+the replay cost is far from uniform across fault classes: an NPSF
+injection evaluates a five-cell neighbourhood condition after every
+relevant write (~3x the wall clock of a bridging replay, which in turn
+settles a single shorted pair), while a stuck-at fault usually aborts on
+a short detection prefix.  Fixed ``chunk_size=128`` shards therefore
+carry wildly different amounts of work on mixed universes -- the shard
+that drew the NPSF tail runs for multiples of the mean while its
+siblings idle (see the ``shard_balance_rows`` section of
+``benchmarks/bench_campaign_engine.py`` for the measured skew).
+
+:class:`CostModel` fixes the *planning* half of that problem: it maps
+``fault.fault_class`` to a relative per-replay cost and cuts a fault
+list into contiguous shards of roughly equal *predicted* work.  The
+work-stealing scheduler (see :mod:`repro.sim.campaign`) fixes the
+residual -- predictions are heuristics, so oversized shards additionally
+split on the fly at run time.
+
+The default table is calibrated from the committed benchmark baseline
+(``benchmarks/out/bench_campaign_engine.json``, ``class_cost_rows``);
+:meth:`CostModel.from_benchmark` re-derives it from any fresh summary,
+and the ``class_costs`` constructor argument overrides single classes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+__all__ = ["CostModel", "DEFAULT_CLASS_COSTS"]
+
+#: Relative scalar-replay cost per ``fault.fault_class``, normalized to
+#: a stuck-at replay (1.0).  Calibrated against the benchmark's
+#: ``class_cost_rows`` on the baseline host: NPSF pays the per-write
+#: neighbourhood settle (~3x a bridging replay), decoder faults (AF)
+#: re-route every access, DRF adds idle-clock bookkeeping, the coupling
+#: family fires per aggressor transition, and SAF/TF detect on short
+#: prefixes.  Unknown classes fall back to ``CostModel.default_cost``.
+DEFAULT_CLASS_COSTS: dict[str, float] = {
+    "SAF": 1.0,
+    "TF": 1.0,
+    "SOF": 1.1,
+    "DRF": 1.3,
+    "CFin": 1.2,
+    "CFid": 1.2,
+    "CFst": 1.4,
+    "BF": 1.1,
+    "AF": 2.0,
+    "NPSF": 3.3,
+}
+
+#: Shards cut per worker when the planner sizes by cost: enough slack
+#: that the drain can overlap stragglers, few enough that per-shard
+#: dispatch overhead stays noise.
+OVERSUBSCRIBE = 4
+
+
+class CostModel:
+    """Predicted relative replay cost per fault class, plus shard plans.
+
+    Parameters
+    ----------
+    class_costs:
+        Overrides merged over :data:`DEFAULT_CLASS_COSTS` (pass a full
+        replacement dict with ``replace=True``).
+    default_cost:
+        Cost assumed for classes the table does not name (custom fault
+        models); the stuck-at baseline by default.
+
+    >>> model = CostModel()
+    >>> model.cost("NPSF") > 3 * model.cost("SAF")
+    True
+    >>> CostModel({"NPSF": 10.0}).cost("NPSF")
+    10.0
+    """
+
+    def __init__(self, class_costs: dict[str, float] | None = None,
+                 default_cost: float = 1.0, *, replace: bool = False):
+        table = {} if replace else dict(DEFAULT_CLASS_COSTS)
+        table.update(class_costs or {})
+        for cls, cost in table.items():
+            if not cost > 0:
+                raise ValueError(
+                    f"class cost must be > 0, got {cls!r}: {cost!r}")
+        if not default_cost > 0:
+            raise ValueError(f"default_cost must be > 0, got {default_cost!r}")
+        self.class_costs = table
+        self.default_cost = default_cost
+
+    # -- calibration ---------------------------------------------------------
+
+    @classmethod
+    def from_benchmark(cls, summary: dict | str) -> "CostModel":
+        """A model calibrated from a benchmark summary (dict or JSON path).
+
+        Reads the ``class_cost_rows`` section the campaign benchmark
+        emits (``{"fault_class": ..., "per_fault_us": ...}`` rows,
+        measured scalar replays on the recording host) and normalizes to
+        the cheapest class.  Falls back to the built-in table when the
+        summary predates that section.
+        """
+        if isinstance(summary, str):
+            with open(summary) as handle:
+                summary = json.load(handle)
+        rows = summary.get("class_cost_rows") or []
+        costs = {row["fault_class"]: float(row["per_fault_us"])
+                 for row in rows
+                 if isinstance(row.get("per_fault_us"), (int, float))
+                 and row["per_fault_us"] > 0}
+        if not costs:
+            return cls()
+        floor = min(costs.values())
+        return cls({fc: us / floor for fc, us in costs.items()}, replace=True)
+
+    # -- prediction ----------------------------------------------------------
+
+    def cost(self, fault_class: str) -> float:
+        """Relative cost of one scalar replay for ``fault_class``."""
+        return self.class_costs.get(fault_class, self.default_cost)
+
+    def cost_of(self, fault) -> float:
+        """Relative cost of one scalar replay of ``fault``."""
+        return self.cost(getattr(fault, "fault_class", ""))
+
+    def total_cost(self, faults: Iterable) -> float:
+        """Predicted cost of replaying every fault once."""
+        return sum(self.cost_of(fault) for fault in faults)
+
+    # -- shard planning ------------------------------------------------------
+
+    def plan(self, faults: Sequence, workers: int,
+             chunk_size: int | None = None,
+             max_chunk: int = 2048) -> list[tuple[int, int]]:
+        """Cut ``faults`` into contiguous ``(lo, hi)`` shard ranges.
+
+        With ``chunk_size`` set the plan is the legacy fixed-size one
+        (the explicit override the campaign engines still accept).
+        Otherwise shards are sized so each carries roughly
+        ``total_cost / (workers * OVERSUBSCRIBE)`` predicted work --
+        equal *work* per shard, not equal fault counts, so an NPSF tail
+        is cut finer than a stuck-at head.  Contiguity is what lets a
+        shard travel as a bare ``(spec, lo, hi)`` index range.
+
+        >>> class F:
+        ...     def __init__(self, fc): self.fault_class = fc
+        >>> cheap, dear = [F("SAF")] * 60, [F("NPSF")] * 60
+        >>> plan = CostModel().plan(cheap + dear, workers=2)
+        >>> plan[0] == (0, plan[0][1]) and plan[-1][1] == 120
+        True
+        >>> sizes = [hi - lo for lo, hi in plan]
+        >>> max(sizes[:1]) > max(sizes[-2:])   # NPSF shards are smaller
+        True
+        """
+        total = len(faults)
+        if total == 0:
+            return []
+        if chunk_size is not None:
+            return [(lo, min(lo + chunk_size, total))
+                    for lo in range(0, total, chunk_size)]
+        workers = max(1, workers)
+        costs = [self.cost_of(fault) for fault in faults]
+        target = sum(costs) / (workers * OVERSUBSCRIBE)
+        # Never plan shards so small that dispatch overhead dominates a
+        # tiny universe, nor so large that one shard outlives the rest.
+        target = max(target, min(costs))
+        ranges: list[tuple[int, int]] = []
+        lo, acc = 0, 0.0
+        for index, cost in enumerate(costs):
+            acc += cost
+            if (acc >= target or index - lo + 1 >= max_chunk) \
+                    and index + 1 < total:
+                ranges.append((lo, index + 1))
+                lo, acc = index + 1, 0.0
+        ranges.append((lo, total))
+        return ranges
+
+    def __repr__(self) -> str:
+        return (f"CostModel({len(self.class_costs)} classes, "
+                f"default={self.default_cost})")
+
+
+#: Process-wide default used when callers do not pass ``cost_model=``.
+DEFAULT_COST_MODEL = CostModel()

@@ -10,13 +10,24 @@ therefore outlives individual campaigns:
   threading ``workers=N`` through an API costs nothing until a campaign
   actually shards;
 * **stream broadcast** -- a compiled :class:`~repro.sim.ir.OpStream` is
-  shipped to each worker exactly once (a barrier-synchronised broadcast
-  task per worker) and pinned in the worker under a small integer token;
-  every subsequent shard of every campaign references the token, so the
-  stream never rides the task queue again.  Broadcasts dedup by
-  :meth:`~repro.sim.ir.OpStream.digest` -- structurally identical
-  streams share one token even when they are distinct objects (a test
-  recompiled per request, a stream unpickled from a job queue);
+  shipped to this host exactly once and pinned in every worker under a
+  small integer token; every subsequent shard of every campaign
+  references the token, so the stream never rides the task queue again.
+  Large streams travel through one :mod:`multiprocessing.shared_memory`
+  segment (written once, attached by each worker) instead of being
+  re-pickled onto the task queue per worker; small streams and
+  environments without shared memory take the pickle path.  Broadcasts
+  dedup by :meth:`~repro.sim.ir.OpStream.digest` -- structurally
+  identical streams share one token even when they are distinct objects
+  (a test recompiled per request, a stream unpickled from a job queue)
+  -- and :meth:`WorkerPool.broadcast_stats` counts exactly how many
+  distinct digests were shipped which way;
+* **task-queue scheduling** -- :meth:`WorkerPool.flow` opens a
+  :class:`TaskFlow`, a shared queue the parent feeds and the workers
+  drain: results surface in completion order, the parent may keep
+  queueing (re-queued remainders of shards that split on the fly are
+  how the campaign scheduler steals work), and one flow serves
+  heterogeneous task kinds;
 * **spec shards** -- combined with
   :class:`repro.faults.universe.UniverseSpec`, a unit of work is just
   ``(token, spec, index range)``: workers enumerate their faults locally
@@ -35,13 +46,17 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import pickle
+import queue
 import threading
+import weakref
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.sim.ir import OpStream
 
 __all__ = [
     "PoolUnavailable",
+    "TaskFlow",
     "WorkerPool",
     "shared_pool",
     "shutdown_shared_pools",
@@ -51,6 +66,11 @@ __all__ = [
 #: pool broken.  Broadcasts happen before campaign shards are queued, so
 #: the barrier only ever waits on pool startup latency, never on work.
 BROADCAST_TIMEOUT = 60.0
+
+#: Streams whose pickle is at least this large broadcast through one
+#: shared-memory segment instead of riding the task queue once per
+#: worker.  Below it the copy is cheaper than the segment setup.
+SHM_MIN_BYTES = 1 << 16
 
 
 class PoolUnavailable(RuntimeError):
@@ -81,15 +101,50 @@ def _init_worker(barrier) -> None:
     _WORKER_STREAMS.clear()
 
 
-def _load_stream(args: tuple[int, OpStream]) -> bool:
+def _attach_shared_blob(name: str, size: int) -> bytes:
+    """Copy ``size`` bytes out of a named shared-memory segment."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:size])
+    finally:
+        shm.close()
+        try:
+            # On CPython < 3.13 merely *attaching* registers the segment
+            # with this process's resource tracker, which would unlink it
+            # when the worker exits (bpo-39959).  The parent owns the
+            # segment's lifetime; this process must only detach.
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+
+
+def _load_stream(args: tuple) -> bool:
     """Broadcast unit of work: cache one stream under its token.
 
-    The barrier holds this worker until every sibling has its copy --
-    with exactly one broadcast task per worker on the queue, no worker
-    can take a second task before all of them have loaded the stream.
+    ``payload`` is ``("pickle", stream)`` -- the stream rode the task
+    queue -- or ``("shm", name, size)`` -- unpickle it out of the named
+    shared-memory segment.  The barrier holds this worker until every
+    sibling has its copy -- with exactly one broadcast task per worker
+    on the queue, no worker can take a second task before all of them
+    have loaded the stream.
     """
-    token, stream = args
-    _WORKER_STREAMS[token] = stream
+    token, payload = args
+    try:
+        if payload[0] == "shm":
+            stream = pickle.loads(_attach_shared_blob(payload[1], payload[2]))
+        else:
+            stream = payload[1]
+        _WORKER_STREAMS[token] = stream
+    except Exception:
+        # Attach failed (segment gone, /dev/shm policy): fail the
+        # broadcast cleanly so the parent can degrade.
+        try:
+            _WORKER_BARRIER.wait(BROADCAST_TIMEOUT)
+        except threading.BrokenBarrierError:
+            pass
+        return False
     try:
         _WORKER_BARRIER.wait(BROADCAST_TIMEOUT)
     except threading.BrokenBarrierError:
@@ -108,6 +163,51 @@ def worker_stream(token: int) -> OpStream:
             f"worker holds no stream for token {token} "
             "(worker respawned after a broadcast?)"
         ) from None
+
+
+# -- the task flow ----------------------------------------------------------
+
+#: Queue sentinel ending a flow's task feed (compared by identity).
+_FLOW_DONE = object()
+
+
+class TaskFlow:
+    """A dynamic task queue over a pool: feed tasks, drain completions.
+
+    ``Pool.imap`` wants the full task list up front, which forbids the
+    one thing a work-stealing scheduler needs: queueing *more* work (the
+    remainder of a shard that split itself mid-run) after results
+    started coming back.  A flow is ``imap_unordered`` over a live
+    queue instead -- :meth:`put` feeds tasks at any time, :meth:`next`
+    yields results in completion order, and :meth:`close` ends the feed.
+
+    Always close (the campaign drivers do so in a ``finally``): the
+    pool's task-feeder thread blocks on the queue until the sentinel
+    arrives.  :meth:`WorkerPool.close` closes every open flow for the
+    same reason.
+    """
+
+    def __init__(self, pool: "WorkerPool", fn: Callable):
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._results = pool._ensure().imap_unordered(
+            fn, iter(self._queue.get, _FLOW_DONE))
+
+    def put(self, task) -> None:
+        """Queue one task (allowed while results are draining)."""
+        self._queue.put(task)
+
+    def next(self, timeout: float):
+        """The next completed result; raises
+        ``multiprocessing.TimeoutError`` when none arrives in time and
+        ``StopIteration`` once a closed flow has drained."""
+        return self._results.next(timeout)
+
+    def close(self) -> None:
+        """End the task feed (idempotent; queued tasks still complete)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_FLOW_DONE)
 
 
 class WorkerPool:
@@ -154,6 +254,9 @@ class WorkerPool:
         self._broken = False
         self._tokens: dict[str, int] = {}  # stream.digest() -> token
         self._next_token = 0
+        self._flows: weakref.WeakSet = weakref.WeakSet()
+        self._broadcasts = {"streams": 0, "shm": 0, "pickle": 0,
+                            "dedup_hits": 0, "shm_bytes": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -171,6 +274,17 @@ class WorkerPool:
     def streams_broadcast(self) -> int:
         """Number of distinct streams pinned in the workers."""
         return len(self._tokens)
+
+    def broadcast_stats(self) -> dict:
+        """Transport counters for the broadcasts this pool performed.
+
+        ``streams`` counts distinct digests actually shipped to this
+        host (each at most once per pool generation), split into
+        ``shm``/``pickle`` by transport; ``dedup_hits`` counts
+        broadcasts satisfied by an already-pinned digest without any
+        shipping; ``shm_bytes`` totals the shared-memory payload.
+        """
+        return dict(self._broadcasts)
 
     def _ensure(self):
         if self._broken:
@@ -199,6 +313,9 @@ class WorkerPool:
 
     def close(self) -> None:
         """Terminate the workers and drop the broadcast bookkeeping."""
+        for flow in list(self._flows):
+            flow.close()
+        self._flows.clear()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.terminate()
@@ -227,13 +344,16 @@ class WorkerPool:
         over the same compiled stream -- whether the literal object the
         :mod:`repro.sim.compilers` ``cached_*`` adapters memoize, or a
         structurally identical recompilation from another request --
-        broadcast only once.  Once ``max_streams`` distinct streams have
-        accumulated, the pool is recycled first so stream memory stays
-        bounded.
+        ship to this host only once (:meth:`broadcast_stats` proves it).
+        Large streams travel via one shared-memory segment; small ones
+        and shm-less environments ride the task queue pickled.  Once
+        ``max_streams`` distinct streams have accumulated, the pool is
+        recycled first so stream memory stays bounded.
         """
         digest = stream.digest()
         token = self._tokens.get(digest)
         if token is not None:
+            self._broadcasts["dedup_hits"] += 1
             return token
         if len(self._tokens) >= self.max_streams:
             # Recycle: drop the workers (and with them every pinned
@@ -242,6 +362,7 @@ class WorkerPool:
             self.close()
         pool = self._ensure()
         token = self._next_token
+        payload, shm = self._broadcast_payload(stream)
         try:
             # chunksize=1 puts one broadcast task per queue entry; each
             # worker blocks in the barrier until all have loaded, so no
@@ -251,17 +372,51 @@ class WorkerPool:
             # barrier breaks after BROADCAST_TIMEOUT, but the parent
             # must not hang with them).
             loaded = pool.map_async(
-                _load_stream, [(token, stream)] * self.workers, chunksize=1,
+                _load_stream, [(token, payload)] * self.workers, chunksize=1,
             ).get(BROADCAST_TIMEOUT + 30.0)
         except Exception as exc:
             self.mark_broken()
             raise PoolUnavailable(f"stream broadcast failed: {exc}") from exc
+        finally:
+            if shm is not None:
+                # Workers copied the blob out; the segment's job is done
+                # either way.
+                shm.close()
+                shm.unlink()
         if not all(loaded):
             self.mark_broken()
             raise PoolUnavailable("stream broadcast barrier broke")
         self._next_token += 1
         self._tokens[digest] = token
+        self._broadcasts["streams"] += 1
+        self._broadcasts["shm" if payload[0] == "shm" else "pickle"] += 1
         return token
+
+    def _broadcast_payload(self, stream: OpStream):
+        """``(payload, shm_segment_or_None)`` for one stream broadcast.
+
+        Prefers a single shared-memory segment for large streams; any
+        failure to create or fill one (sandboxes without /dev/shm,
+        size limits) falls back to the per-worker pickle payload.
+        """
+        try:
+            blob = pickle.dumps(stream, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) >= SHM_MIN_BYTES:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(create=True, size=len(blob))
+                shm.buf[:len(blob)] = blob
+                self._broadcasts["shm_bytes"] += len(blob)
+                return ("shm", shm.name, len(blob)), shm
+        except Exception:
+            pass
+        return ("pickle", stream), None
+
+    def flow(self, fn: Callable) -> TaskFlow:
+        """Open a :class:`TaskFlow` running ``fn`` over queued tasks."""
+        flow = TaskFlow(self, fn)
+        self._flows.add(flow)
+        return flow
 
     def imap(self, fn: Callable, tasks: Iterable) -> Iterator:
         """Ordered lazy fan-out (thin wrapper over ``Pool.imap``).

@@ -1,0 +1,584 @@
+"""Multi-host campaign dispatch: worker daemons and :class:`RemotePool`.
+
+The process pools of :mod:`repro.sim.pool` stop at one machine.  This
+module fans the *same* shard tasks out over sockets instead: a worker
+daemon (``python -m repro.sim.remote --listen HOST:PORT``) executes
+shard tuples exactly as a pool worker would (they share
+:func:`repro.sim.campaign._run_task`), and :class:`RemotePool` exposes
+the ``pool=`` surface the campaign engines already speak -- so
+
+    run_coverage(march_runner(test, n),
+                 standard_universe(n),
+                 pool=RemotePool(["host-a:9009", "host-b:9009"]))
+
+shards one campaign across hosts with no other code change.
+
+Protocol (version 1) -- length-prefixed pickle frames, 8-byte big-endian
+size header, one request/reply pair at a time per connection:
+
+``("hello", version)``          -> ``("ok", version)``; mismatch refuses.
+``("has-stream", digest)``      -> ``("has", bool)``.
+``("stream", digest, stream)``  -> ``("ok",)``; pins the stream.
+``("shard", task)``             -> ``("result", payload)`` or
+                                   ``("error", message)``.
+``("stop",)``                   -> ``("ok",)``; ends the connection.
+
+Streams are content-addressed by :meth:`~repro.sim.ir.OpStream.digest`
+-- the digest string *is* the task token -- and ship to a host at most
+once (``has-stream`` makes the dedup robust across reconnects), the
+socket twin of the shared-memory broadcast.  Scheduling mirrors the
+in-process flow: one feeder thread per daemon pulls tasks from a shared
+queue, so hosts steal from each other naturally, and a task in flight on
+a connection that dies is *re-queued* for the survivors -- the reply
+died with the socket, so re-running it cannot duplicate verdicts.  When
+the last daemon is lost the flow surfaces :class:`PoolUnavailable` and
+the campaign degrades to single-process execution, same as a broken
+local pool.
+
+A daemon executes shards in the connection thread: one daemon saturates
+one core (the replay loop holds the GIL), so run one daemon per core and
+list each ``host:port`` in the pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+
+from repro.sim.ir import OpStream
+from repro.sim.pool import PoolUnavailable, _WORKER_STREAMS
+
+__all__ = ["RemotePool", "ReproDaemon", "PROTOCOL_VERSION"]
+
+#: Wire-protocol version; hello frames carry it and mismatches refuse
+#: the connection (a daemon from another release must not silently
+#: mis-execute shard tuples).
+PROTOCOL_VERSION = 1
+
+#: Seconds a feeder waits on one shard reply before declaring the
+#: daemon lost (matches the local drain's SHARD_TIMEOUT rationale).
+REPLY_TIMEOUT = 300.0
+
+#: Seconds to wait for a daemon to accept a connection.
+CONNECT_TIMEOUT = 10.0
+
+#: Queue sentinel ending a remote flow's feed (compared by identity).
+_REMOTE_DONE = object()
+
+
+# -- framing ----------------------------------------------------------------
+
+def _send_frame(sock: socket.socket, message) -> None:
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(struct.pack(">Q", len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < size:
+        chunk = sock.recv(size - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket):
+    (size,) = struct.unpack(">Q", _recv_exact(sock, 8))
+    return pickle.loads(_recv_exact(sock, size))
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"remote worker address must be 'host:port', got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+# -- the daemon --------------------------------------------------------------
+
+class ReproDaemon:
+    """A shard-executing worker daemon (one per core of a remote host).
+
+    Normally run via ``python -m repro.sim.remote --listen HOST:PORT``;
+    tests embed one in-process with :meth:`start` / :meth:`close` (a
+    close with connections open looks exactly like a killed daemon to
+    the pool, which is how the re-queue path is exercised).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    delay_s:
+        Test hook: sleep this long before *executing* each shard, so a
+        test can deterministically kill the daemon mid-task.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 delay_s: float = 0.0):
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self.delay_s = delay_s
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._connections: list[socket.socket] = []
+        self._lock = threading.Lock()
+        # This daemon's pinned streams.  A daemon normally owns its
+        # process, but tests embed several in one -- a per-instance
+        # store keeps "has-stream" answering for *this* daemon only,
+        # exactly as separate processes would.
+        self._streams: dict[str, OpStream] = {}
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string a :class:`RemotePool` dials."""
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`close` (one thread each)."""
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._server.accept()
+            except OSError:
+                break  # server socket closed by close()
+            with self._lock:
+                self._connections.append(conn)
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True).start()
+
+    def start(self) -> "ReproDaemon":
+        """Serve on a background thread (in-process use, tests)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting and drop every live connection (idempotent).
+
+        Connections are severed mid-whatever-they-were-doing -- to a
+        connected pool this is indistinguishable from the daemon being
+        killed, which is the point.
+        """
+        self._stopping.set()
+        # shutdown() wakes the thread blocked in accept(); a bare
+        # close() would not -- CPython defers releasing the fd while
+        # accept holds a reference, leaving the port bound forever.
+        try:
+            self._server.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- per-connection request loop ----------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        # Late import: campaign imports nothing from this module, so the
+        # daemon side can reuse its task dispatcher directly.
+        from repro.sim.campaign import _run_task
+
+        try:
+            while not self._stopping.is_set():
+                message = _recv_frame(conn)
+                kind = message[0]
+                if kind == "hello":
+                    if message[1] != PROTOCOL_VERSION:
+                        _send_frame(conn, ("error",
+                                           f"protocol {message[1]} != "
+                                           f"{PROTOCOL_VERSION}"))
+                        return
+                    _send_frame(conn, ("ok", PROTOCOL_VERSION))
+                elif kind == "has-stream":
+                    _send_frame(conn, ("has", message[1] in self._streams))
+                elif kind == "stream":
+                    digest, stream = message[1], message[2]
+                    # The digest string is the task token: pinning under
+                    # it makes worker_stream()/_run_task work unchanged.
+                    self._streams[digest] = stream
+                    _WORKER_STREAMS[digest] = stream
+                    _send_frame(conn, ("ok",))
+                elif kind == "shard":
+                    if self.delay_s:
+                        time.sleep(self.delay_s)
+                    try:
+                        task = message[1]
+                        if task[1] not in self._streams:
+                            raise PoolUnavailable(
+                                f"daemon holds no stream for token "
+                                f"{task[1]!r}")
+                        payload = _run_task(task)
+                    except Exception as exc:
+                        _send_frame(conn, ("error",
+                                           f"{type(exc).__name__}: {exc}"))
+                    else:
+                        _send_frame(conn, ("result", payload))
+                elif kind == "stop":
+                    _send_frame(conn, ("ok",))
+                    return
+                else:
+                    _send_frame(conn, ("error",
+                                       f"unknown message {kind!r}"))
+        except (ConnectionError, EOFError, OSError, pickle.PickleError):
+            pass  # peer gone (or we are closing): nothing to answer to
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+
+# -- the client pool ---------------------------------------------------------
+
+class _RemoteHost:
+    """One daemon connection: socket, liveness, per-host shipped digests."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self.sock: socket.socket | None = None
+        self.lock = threading.Lock()  # one request/reply pair at a time
+        self.shipped: set[str] = set()
+
+    @property
+    def alive(self) -> bool:
+        return self.sock is not None
+
+    def connect(self) -> bool:
+        """(Re)dial and handshake; False when unreachable."""
+        self.drop()
+        try:
+            sock = socket.create_connection(_parse_address(self.address),
+                                            timeout=CONNECT_TIMEOUT)
+            sock.settimeout(REPLY_TIMEOUT)
+            _send_frame(sock, ("hello", PROTOCOL_VERSION))
+            reply = _recv_frame(sock)
+            if reply[0] != "ok":
+                sock.close()
+                return False
+        except (OSError, ConnectionError, EOFError, pickle.PickleError):
+            return False
+        self.sock = sock
+        self.shipped = set()  # a fresh daemon process has no streams
+        return True
+
+    def request(self, message):
+        """One framed request/reply exchange (drops the host on error)."""
+        with self.lock:
+            if self.sock is None:
+                raise ConnectionError(f"{self.address} is not connected")
+            try:
+                _send_frame(self.sock, message)
+                return _recv_frame(self.sock)
+            except (OSError, ConnectionError, EOFError,
+                    pickle.PickleError, socket.timeout):
+                self.drop()
+                raise ConnectionError(f"lost daemon {self.address}") from None
+
+    def ensure_stream(self, digest: str, stream: OpStream,
+                      probe: bool = False) -> bool:
+        """Ship ``stream`` unless this host already holds its digest.
+
+        Returns True when stream bytes actually crossed the wire.  With
+        ``probe`` the local ``shipped`` shortcut is skipped, forcing a
+        ``has-stream`` round trip -- how a broadcast notices a stale
+        connection (daemon killed or restarted since the last exchange)
+        while a still-running daemon answers "has" and ships nothing.
+        """
+        if not probe and digest in self.shipped:
+            return False
+        reply = self.request(("has-stream", digest))
+        if reply[0] == "has" and reply[1]:
+            self.shipped.add(digest)
+            return False
+        reply = self.request(("stream", digest, stream))
+        if reply[0] != "ok":
+            raise ConnectionError(
+                f"{self.address} refused stream: {reply!r}")
+        self.shipped.add(digest)
+        return True
+
+    def drop(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class _RemoteFlow:
+    """The remote twin of :class:`~repro.sim.pool.TaskFlow`.
+
+    One feeder thread per live daemon pulls tasks off a shared queue --
+    a fast host simply pulls more often, which is cross-host work
+    stealing for free -- and pushes payloads onto a results queue the
+    campaign drain consumes.  A feeder whose connection dies re-queues
+    its in-flight task for the survivors and exits; the last feeder to
+    die posts a failure marker so the drain degrades promptly instead of
+    waiting out its shard timeout.
+    """
+
+    def __init__(self, pool: "RemotePool", hosts: list[_RemoteHost]):
+        self._pool = pool
+        self._tasks: queue.Queue = queue.Queue()
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._live = len(hosts)
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._feed, args=(host,), daemon=True)
+            for host in hosts
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def put(self, task) -> None:
+        self._tasks.put(task)
+
+    def next(self, timeout: float):
+        import multiprocessing
+
+        try:
+            item = self._results.get(timeout=timeout)
+        except queue.Empty:
+            raise multiprocessing.TimeoutError from None
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tasks.put(_REMOTE_DONE)
+
+    def _feed(self, host: _RemoteHost) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is _REMOTE_DONE:
+                self._tasks.put(_REMOTE_DONE)  # release sibling feeders
+                return
+            try:
+                digest = task[1]  # the token field is the stream digest
+                host.ensure_stream(digest, self._pool._streams[digest])
+                reply = host.request(("shard", task))
+            except (ConnectionError, KeyError):
+                # Daemon lost with the task in flight: its reply died
+                # with the socket, so re-running the task elsewhere
+                # cannot double-merge.  The last feeder out turns the
+                # loss into a prompt PoolUnavailable for the drain.
+                self._tasks.put(task)
+                with self._lock:
+                    self._live -= 1
+                    if self._live == 0:
+                        self._results.put(PoolUnavailable(
+                            "all remote worker daemons lost"))
+                return
+            if reply[0] == "result":
+                self._results.put(reply[1])
+            else:  # daemon-side exception: poison the campaign's drain
+                self._results.put(PoolUnavailable(
+                    f"{host.address}: {reply[1] if len(reply) > 1 else reply!r}"
+                ))
+
+
+class RemotePool:
+    """A pool of worker daemons behind the standard ``pool=`` surface.
+
+    >>> pool = RemotePool(["host-a:9009", "host-a:9010", "host-b:9009"])
+    ... # doctest: +SKIP
+
+    Connections dial lazily on first use and re-dial dead daemons at
+    every broadcast, so a daemon restarted between campaigns is picked
+    back up.  During a campaign a lost daemon's shards re-queue to the
+    survivors; only when *every* daemon is gone does the campaign see
+    :class:`PoolUnavailable` and degrade to single-process execution --
+    identical semantics to a broken local :class:`WorkerPool`.
+
+    ``workers`` mirrors the daemon count, so campaign heuristics (cost
+    plans cut per worker) scale with the cluster.
+    """
+
+    def __init__(self, addresses: list[str] | tuple[str, ...]):
+        if not addresses:
+            raise ValueError("RemotePool needs at least one 'host:port'")
+        self._hosts = [_RemoteHost(address) for address in addresses]
+        for host in self._hosts:
+            _parse_address(host.address)  # fail fast on typos
+        self.workers = len(self._hosts)
+        self._broken = False
+        self._streams: dict[str, OpStream] = {}
+        self._broadcasts = {"streams": 0, "sent": 0, "dedup_hits": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def broken(self) -> bool:
+        """True after :meth:`mark_broken` (campaigns stop using it)."""
+        return self._broken
+
+    @property
+    def streams_broadcast(self) -> int:
+        """Number of distinct stream digests this pool has shipped."""
+        return len(self._streams)
+
+    def broadcast_stats(self) -> dict:
+        """``streams`` distinct digests, ``sent`` host-ships performed
+        (at most one per digest per daemon process), ``dedup_hits``
+        broadcasts satisfied without shipping anything."""
+        return dict(self._broadcasts)
+
+    def mark_broken(self) -> None:
+        """Record a failure; drop every connection."""
+        self._broken = True
+        for host in self._hosts:
+            host.drop()
+
+    def close(self) -> None:
+        """Say goodbye to reachable daemons and drop the connections."""
+        for host in self._hosts:
+            if host.alive:
+                try:
+                    host.request(("stop",))
+                except ConnectionError:
+                    pass
+            host.drop()
+
+    def __enter__(self) -> "RemotePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- work ----------------------------------------------------------------
+
+    def _live_hosts(self, reconnect: bool = False) -> list[_RemoteHost]:
+        live = []
+        for host in self._hosts:
+            if host.alive or (reconnect and host.connect()):
+                live.append(host)
+        return live
+
+    def broadcast_stream(self, stream: OpStream) -> str:
+        """Ship ``stream`` to every reachable daemon; returns its token.
+
+        The token *is* the content digest, so a shard task is portable
+        across hosts and daemon restarts.  Per-host dedup means a digest
+        crosses the wire to a given daemon at most once
+        (``has-stream`` re-checks after reconnects, so even that is
+        skipped when the daemon process survived).
+        """
+        if self._broken:
+            raise PoolUnavailable("remote pool is broken")
+        digest = stream.digest()
+        known = digest in self._streams
+        self._streams[digest] = stream
+        live, sent = [], 0
+        for host in self._hosts:
+            if not host.alive and not host.connect():
+                continue
+            try:
+                sent += host.ensure_stream(digest, stream, probe=True)
+            except ConnectionError:
+                # Stale connection (daemon killed or restarted since the
+                # last campaign): one redial, then give the host up.
+                if not host.connect():
+                    continue
+                try:
+                    sent += host.ensure_stream(digest, stream, probe=True)
+                except ConnectionError:
+                    continue
+            live.append(host)
+        if not live:
+            self.mark_broken()
+            raise PoolUnavailable(
+                "no remote worker daemon reachable: "
+                + ", ".join(host.address for host in self._hosts)
+            )
+        if known and sent == 0:
+            self._broadcasts["dedup_hits"] += 1
+        if not known:
+            self._broadcasts["streams"] += 1
+        self._broadcasts["sent"] += sent
+        return digest
+
+    def flow(self, fn=None) -> _RemoteFlow:
+        """Open a task flow over the live daemons.
+
+        ``fn`` is accepted for signature parity with
+        :meth:`~repro.sim.pool.WorkerPool.flow` and ignored: daemons
+        always execute the shared shard-task dispatcher.
+        """
+        if self._broken:
+            raise PoolUnavailable("remote pool is broken")
+        hosts = self._live_hosts(reconnect=True)
+        if not hosts:
+            raise PoolUnavailable(
+                "no remote worker daemon reachable: "
+                + ", ".join(host.address for host in self._hosts)
+            )
+        return _RemoteFlow(self, hosts)
+
+    def __repr__(self) -> str:
+        state = "broken" if self._broken else (
+            f"{len(self._live_hosts())}/{self.workers} connected")
+        return f"RemotePool({state}, {self.streams_broadcast} streams)"
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.remote",
+        description="Run a fault-campaign worker daemon. One daemon "
+                    "saturates one core; start one per core and list "
+                    "each host:port in RemotePool.",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT", required=True,
+                        help="bind address (port 0 picks a free port)")
+    options = parser.parse_args(argv)
+    host, port = _parse_address(options.listen)
+    daemon = ReproDaemon(host=host, port=port)
+    print(f"repro worker daemon listening on {daemon.host}:{daemon.port}",
+          flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,45 @@ class TestSchemes:
         assert client.post("/schemes", {}).status == 405
 
 
+class TestStatsEndpoint:
+    def test_cache_and_job_telemetry(self, client):
+        cold = client.get("/stats").json()
+        assert cold["cache"]["hits"] == 0
+        assert cold["cache"]["evictions"] == 0
+        assert cold["cache"]["disk_promotions"] == 0
+        assert cold["jobs"] == {"queued": 0, "running": 0, "done": 0,
+                                "error": 0, "tracked": 0}
+
+        body = {"test": "mats", "n": 8}
+        client.post("/coverage", body)
+        client.post("/coverage", body)  # cache hit
+        job = client.post("/jobs", {"kind": "coverage",
+                                    "request": body}).json()
+        client.app.jobs.wait(job["id"])
+        warm = client.get("/stats").json()
+        assert warm["cache"]["hits"] >= 2  # repeat POST + the job
+        assert warm["cache"]["misses"] >= 1
+        assert warm["jobs"]["done"] == 1
+        assert warm["jobs"]["tracked"] == 1
+
+    def test_disk_promotions_surface(self, tmp_path):
+        cache = ResultCache(maxsize=1, disk_dir=str(tmp_path / "store"))
+        app = create_app(cache=cache)
+        client = TestClient(app)
+        try:
+            client.post("/coverage", {"test": "mats", "n": 8})
+            client.post("/coverage", {"test": "mats", "n": 12})  # evicts
+            client.post("/coverage", {"test": "mats", "n": 8})   # disk hit
+            stats = client.get("/stats").json()["cache"]
+            assert stats["evictions"] >= 1
+            assert stats["disk_promotions"] >= 1
+        finally:
+            app.close()
+
+    def test_post_is_405(self, client):
+        assert client.post("/stats", {}).status == 405
+
+
 class TestCoverageEndpoint:
     def test_cold_then_cached(self, client):
         body = {"test": "march-c", "n": 24}

@@ -1,0 +1,124 @@
+"""The per-class cost model and the shard plans it cuts.
+
+Shard plans are the parallel scheduler's foundation: they must tile the
+fault range exactly (every index once, contiguous, in order), respect
+the explicit ``chunk_size`` override, and -- the whole point -- cut a
+skewed universe into shards of roughly equal predicted *work*, not equal
+fault counts.
+"""
+
+import pytest
+
+from repro.sim.campaign import run_campaign
+from repro.sim.costs import (
+    DEFAULT_CLASS_COSTS,
+    DEFAULT_COST_MODEL,
+    CostModel,
+)
+
+
+class _Fault:
+    def __init__(self, fault_class):
+        self.fault_class = fault_class
+
+
+def _tiles_exactly(plan, total):
+    if total == 0:
+        return plan == []
+    if plan[0][0] != 0 or plan[-1][1] != total:
+        return False
+    return all(plan[i][1] == plan[i + 1][0] for i in range(len(plan) - 1)) \
+        and all(lo < hi for lo, hi in plan)
+
+
+class TestCostModel:
+    def test_default_table_orders_classes_sensibly(self):
+        model = CostModel()
+        assert model.cost("NPSF") > 3 * model.cost("SAF")
+        assert model.cost("NPSF") > 2.5 * model.cost("BF")
+        assert model.cost("SAF") == 1.0
+        assert model.cost("no-such-class") == model.default_cost
+
+    def test_overrides_merge_and_replace(self):
+        assert CostModel({"NPSF": 10.0}).cost("NPSF") == 10.0
+        assert CostModel({"NPSF": 10.0}).cost("SAF") == 1.0
+        bare = CostModel({"X": 2.0}, replace=True)
+        assert bare.cost("SAF") == bare.default_cost
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ValueError, match="class cost"):
+            CostModel({"SAF": 0.0})
+        with pytest.raises(ValueError, match="default_cost"):
+            CostModel(default_cost=-1.0)
+
+    def test_cost_of_unknown_fault_object(self):
+        class Odd:
+            pass
+
+        assert DEFAULT_COST_MODEL.cost_of(Odd()) == \
+            DEFAULT_COST_MODEL.default_cost
+
+    def test_from_benchmark_normalizes_to_cheapest(self):
+        summary = {"class_cost_rows": [
+            {"fault_class": "SAF", "per_fault_us": 5.0},
+            {"fault_class": "NPSF", "per_fault_us": 20.0},
+            {"fault_class": "bogus", "per_fault_us": -1.0},
+        ]}
+        model = CostModel.from_benchmark(summary)
+        assert model.cost("SAF") == 1.0
+        assert model.cost("NPSF") == 4.0
+        assert "bogus" not in model.class_costs
+
+    def test_from_benchmark_without_rows_falls_back(self):
+        model = CostModel.from_benchmark({})
+        assert model.class_costs == DEFAULT_CLASS_COSTS
+
+
+class TestPlan:
+    def test_plan_tiles_the_range_exactly(self):
+        for total in (0, 1, 2, 7, 100, 1000):
+            faults = [_Fault("SAF")] * total
+            for chunk_size in (None, 1, 3, 128, 10_000):
+                plan = DEFAULT_COST_MODEL.plan(faults, workers=3,
+                                               chunk_size=chunk_size)
+                assert _tiles_exactly(plan, total), (total, chunk_size)
+
+    def test_explicit_chunk_size_is_honoured(self):
+        plan = DEFAULT_COST_MODEL.plan([_Fault("SAF")] * 10, workers=4,
+                                       chunk_size=4)
+        assert plan == [(0, 4), (4, 8), (8, 10)]
+
+    def test_cost_sizing_cuts_the_expensive_tail_finer(self):
+        faults = [_Fault("SAF")] * 300 + [_Fault("NPSF")] * 300
+        plan = CostModel().plan(faults, workers=2)
+        boundary = 300
+        head = [hi - lo for lo, hi in plan if hi <= boundary]
+        tail = [hi - lo for lo, hi in plan if lo >= boundary]
+        assert head and tail
+        assert max(tail) < max(head)
+        # ... and the predicted work per shard is much more even than
+        # the fault count spread suggests.
+        model = CostModel()
+        works = [sum(model.cost_of(f) for f in faults[lo:hi])
+                 for lo, hi in plan]
+        assert max(works) <= 3 * (sum(works) / len(works))
+
+    def test_plan_oversubscribes_the_workers(self):
+        plan = DEFAULT_COST_MODEL.plan([_Fault("SAF")] * 4096, workers=4)
+        assert len(plan) >= 8  # several shards per worker
+
+    def test_tiny_universe_never_yields_empty_shards(self):
+        plan = DEFAULT_COST_MODEL.plan([_Fault("SAF")], workers=16)
+        assert plan == [(0, 1)]
+
+
+class TestChunkSizeValidation:
+    def test_bad_chunk_size_names_both_modes(self):
+        from repro.march.library import MATS
+        from repro.sim.compilers import compile_march
+
+        stream = compile_march(MATS, 4)
+        for bad in (0, -3, 2.5, "128", True):
+            with pytest.raises(ValueError,
+                               match="cost model.*positive int"):
+                run_campaign(stream, [], chunk_size=bad)

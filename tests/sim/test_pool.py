@@ -67,6 +67,55 @@ class TestWorkerPool:
             assert pool.streams_broadcast == 1
             run_campaign(other, universe, workers=2, pool=pool)
             assert pool.streams_broadcast == 2
+            # The transport counters prove each distinct digest shipped
+            # to this host exactly once, whichever path it took.
+            stats = pool.broadcast_stats()
+            assert stats["streams"] == 2
+            assert stats["shm"] + stats["pickle"] == 2
+            assert stats["dedup_hits"] >= 1
+
+    def test_large_stream_broadcasts_via_shared_memory(self):
+        # Far past SHM_MIN_BYTES: must ship through one shared-memory
+        # segment, not once per worker over the task queue.  (Skipped
+        # implicitly in environments without shared memory -- the
+        # fallback counter test below covers those.)
+        try:
+            from multiprocessing import shared_memory
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+        except Exception:
+            pytest.skip("no shared memory in this environment")
+        stream = compile_march(MARCH_C_MINUS, 512)
+        universe = single_cell_universe(16, classes=("SAF",))
+        serial = run_campaign(stream, universe)
+        with WorkerPool(2) as pool:
+            sharded = run_campaign(stream, universe, workers=2, pool=pool)
+            stats = pool.broadcast_stats()
+        assert stats["shm"] == 1
+        assert stats["pickle"] == 0
+        assert stats["shm_bytes"] >= pool_module.SHM_MIN_BYTES
+        assert _verdicts(sharded) == _verdicts(serial)
+
+    def test_shm_failure_falls_back_to_pickle(self, monkeypatch):
+        # Shared memory denied (sandbox): the broadcast must degrade to
+        # the per-worker pickle payload with identical results.
+        import multiprocessing.shared_memory as shm_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(shm_module.SharedMemory, "__init__", refuse)
+        stream = compile_march(MARCH_C_MINUS, 512)
+        universe = single_cell_universe(16, classes=("SAF",))
+        serial = run_campaign(stream, universe)
+        with WorkerPool(2) as pool:
+            sharded = run_campaign(stream, universe, workers=2, pool=pool)
+            stats = pool.broadcast_stats()
+        assert stats["pickle"] == 1
+        assert stats["shm"] == 0
+        assert sharded.workers_used == 2
+        assert _verdicts(sharded) == _verdicts(serial)
 
     def test_max_streams_recycles_the_pool(self):
         def saf_universe(n):
@@ -166,21 +215,23 @@ class TestShardedRunCampaign:
         assert [d for d, _ in seen] == sorted(d for d, _ in seen)
 
     def test_lost_shard_result_raises_pool_unavailable(self):
-        # A worker killed mid-shard loses its task: Pool.imap would
-        # block forever, so the drain's per-shard timeout must surface
+        # A worker killed mid-shard loses its task: the flow's next()
+        # would block forever, so the drain's timeout must surface
         # PoolUnavailable (which callers turn into serial degradation).
         import multiprocessing
 
-        from repro.sim.campaign import _drain_shards
+        from repro.sim.campaign import _drain_flow
 
-        class LostResult:
+        class LostFlow:
             def next(self, timeout=None):
                 assert timeout is not None  # a bare next() would hang
                 raise multiprocessing.TimeoutError
 
-        task = ("slice", 0, None, 0, 5, None, None, 8, 1)
-        with pytest.raises(PoolUnavailable, match="no result"):
-            _drain_shards([task], LostResult(), None, 0, 5, 5)
+            def put(self, task):  # pragma: no cover - nothing re-queues
+                raise AssertionError("no remainders expected")
+
+        with pytest.raises(PoolUnavailable, match="worker lost"):
+            _drain_flow(LostFlow(), 1, 5, None, 0, 5, lambda *a: 0)
 
 
 class TestShardedRunCampaignBatched:

@@ -248,3 +248,94 @@ class TestCheckBenchCacheRows:
                                      min_cache_speedup=500.0)
         assert not ok
         assert any("floor 500x" in r for r in bad)
+
+
+class TestCheckBenchSchedulerGates:
+    """The current-run-only parallel-scheduler gates."""
+
+    @staticmethod
+    def _shared():
+        return [{"test": "March C-", "n": 64, "compiled_s": 1.0}]
+
+    @staticmethod
+    def _balance_row(strategy, imbalance):
+        return {"test": "March C-", "n": 256,
+                "universe": f"skewed NPSF tail [{strategy}]",
+                "strategy": strategy, "faults": 2048, "shards": 8,
+                "max_shard_s": 0.1, "mean_shard_s": 0.05,
+                "imbalance": imbalance}
+
+    @staticmethod
+    def _lane_row(**overrides):
+        row = {"test": "March C-", "n": 1024,
+               "universe": "standard lane-sharded", "faults": 27000,
+               "workers": 2, "batched_s": 0.6, "sharded_s": 0.3,
+               "sharded_vs_serial": 2.0}
+        row.update(overrides)
+        return row
+
+    def test_stealing_losing_to_fixed_is_a_regression(self):
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(),
+                   "shard_balance_rows": [
+                       self._balance_row("fixed-128", 1.4),
+                       self._balance_row("cost-model", 1.2),
+                       self._balance_row("stealing", 1.4)]}
+        _, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert any("stealing imbalance" in r for r in regressions)
+
+    def test_stealing_beating_fixed_passes(self):
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(),
+                   "shard_balance_rows": [
+                       self._balance_row("fixed-128", 3.1),
+                       self._balance_row("stealing", 1.2)]}
+        lines, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+        assert any("shard balance" in line and "ok" in line
+                   for line in lines)
+
+    def test_balance_shard_timings_diff_against_baseline(self):
+        # shard_balance_rows are also ordinary *_s rows for the
+        # slowdown diff, keyed by their strategy-qualified universe.
+        base = {"shard_balance_rows": [self._balance_row("fixed-128", 3.0)]}
+        current = {"shard_balance_rows": [
+            {**self._balance_row("fixed-128", 3.0), "max_shard_s": 0.9}]}
+        _, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert any("max_shard_s" in r for r in regressions)
+
+    def test_lane_sharded_slowdown_gated_on_multicore(self):
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(), "cpus": 4,
+                   "sharded_rows": [self._lane_row(sharded_vs_serial=0.8)]}
+        _, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert any("0.80x the serial batched engine" in r
+                   for r in regressions)
+
+    def test_lane_sharded_gate_skipped_on_one_cpu(self):
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(), "cpus": 1,
+                   "sharded_rows": [self._lane_row(sharded_vs_serial=0.8)]}
+        _, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+
+    def test_sub_threshold_lane_row_is_exempt(self):
+        # Quick mode's n=64 row never engages the pool (below the
+        # lane-shard fault threshold): overhead by design, not gated.
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(), "cpus": 4,
+                   "sharded_rows": [self._lane_row(
+                       n=64, faults=1738, sharded_vs_serial=0.5)]}
+        _, regressions = check_bench.compare(base, current, 3.0, 0.05)
+        assert not regressions
+
+    def test_custom_sharded_floor(self):
+        base = {"rows": self._shared()}
+        current = {"rows": self._shared(), "cpus": 4,
+                   "sharded_rows": [self._lane_row(sharded_vs_serial=2.0)]}
+        _, ok = check_bench.compare(base, current, 3.0, 0.05,
+                                    min_sharded_speedup=1.5)
+        _, bad = check_bench.compare(base, current, 3.0, 0.05,
+                                     min_sharded_speedup=3.0)
+        assert not ok
+        assert any("floor 3.0x" in r for r in bad)

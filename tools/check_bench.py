@@ -27,6 +27,20 @@ above ``--min-cache-speedup``.  Unlike cross-host absolute timings this
 ratio is host-independent, so it is compared directly against the
 current run rather than the baseline.
 
+Two more current-run-only ratio gates guard the parallel scheduler:
+
+* ``shard_balance_rows``: for every ``(test, n)`` the work-stealing
+  plan's imbalance ratio (max/mean shard wall time) must be strictly
+  lower than the fixed ``chunk_size=128`` plan's -- the stealing
+  scheduler losing to dumb fixed shards on the skewed universe it was
+  built for is a regression regardless of absolute timings.
+* ``sharded_rows``: on a multi-core host (``cpus >= 2`` in the current
+  summary), every ``standard lane-sharded`` row big enough to engage
+  the pool (``faults >= 4096``, the lane-shard threshold) must show
+  ``sharded_vs_serial >= --min-sharded-speedup``.  Single-core hosts
+  (and quick-mode's sub-threshold rows) skip the gate -- there the row
+  measures pure dispatch overhead by design.
+
 Usage::
 
     python tools/check_bench.py \
@@ -42,7 +56,13 @@ import sys
 
 ROW_SECTIONS = ("rows", "single_cell_rows", "multiport_rows",
                 "wordlane_rows", "sharded_rows", "cache_rows",
-                "fallback_summary")
+                "shard_balance_rows", "fallback_summary")
+
+#: run_campaign_batched ships whole lane-pass chunks to the pool only
+#: past this many vectorizable faults (repro.sim.batched
+#: LANE_SHARD_MIN_FAULTS); smaller lane-sharded rows measure pure
+#: dispatch overhead and are exempt from the speedup gate.
+LANE_SHARD_MIN_FAULTS = 4096
 
 
 def _row_key(section: str, row: dict) -> tuple:
@@ -59,12 +79,60 @@ def _index_rows(summary: dict) -> dict[tuple, dict]:
 
 def compare(baseline: dict, current: dict, max_slowdown: float,
             min_seconds: float,
-            min_cache_speedup: float = 100.0) -> tuple[list[str], list[str]]:
+            min_cache_speedup: float = 100.0,
+            min_sharded_speedup: float = 1.5) -> tuple[list[str], list[str]]:
     """Returns (comparison lines, regression lines)."""
     lines: list[str] = []
     regressions: list[str] = []
     base_rows = _index_rows(baseline)
     cur_rows = _index_rows(current)
+    # Shard-balance gate: the stealing plan must beat fixed chunk_size=128
+    # on the skewed universe's imbalance ratio (max/mean shard wall time).
+    # A same-host, same-process ratio, so it gates the current run alone.
+    balance: dict[tuple, dict[str, float]] = {}
+    for row in current.get("shard_balance_rows", ()):
+        imbalance = row.get("imbalance")
+        if isinstance(imbalance, (int, float)):
+            balance.setdefault((row.get("test"), row.get("n")),
+                               {})[row.get("strategy")] = imbalance
+    for (test, n), plans in sorted(balance.items(), key=str):
+        fixed, stealing = plans.get("fixed-128"), plans.get("stealing")
+        if fixed is None or stealing is None:
+            continue
+        label = f"{test} n={n} [shard balance]"
+        verdict = "ok"
+        if stealing >= fixed:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{label}: stealing imbalance x{stealing:.2f} is not below "
+                f"fixed-128's x{fixed:.2f} (the stealing plan must beat "
+                f"fixed shards on the skewed universe)"
+            )
+        lines.append(f"{label:>40} {'imbalance':>14} "
+                     f"fixed x{fixed:.2f} vs stealing x{stealing:.2f} "
+                     f"{verdict}")
+    # Lane-sharded speedup gate: multi-core hosts must show workers=N
+    # beating the serial batched engine on rows that actually engage the
+    # pool.  Ratio of two same-host timings, so current-run-only.
+    if (current.get("cpus") or 0) >= 2:
+        for row in current.get("sharded_rows", ()):
+            ratio = row.get("sharded_vs_serial")
+            if row.get("universe") != "standard lane-sharded" \
+                    or not isinstance(ratio, (int, float)) \
+                    or row.get("faults", 0) < LANE_SHARD_MIN_FAULTS:
+                continue
+            label = f"{row.get('test')} n={row.get('n')} [lane-sharded]"
+            verdict = "ok"
+            if ratio < min_sharded_speedup:
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{label}: workers={row.get('workers')} only {ratio:.2f}x "
+                    f"the serial batched engine on {current.get('cpus')} cpus "
+                    f"(floor {min_sharded_speedup:.1f}x)"
+                )
+            lines.append(f"{label:>40} {'vs_serial':>14} "
+                         f"{ratio:>10.2f}x (floor "
+                         f"{min_sharded_speedup:.1f}x) {verdict}")
     # Result-cache gate: same-host cold/warm ratio, checked against the
     # current run alone (an older baseline without cache_rows still
     # gates a fresh run that has them).
@@ -145,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail when a cache_rows warm hit is less than "
                              "this many times faster than its cold campaign "
                              "(default: 100)")
+    parser.add_argument("--min-sharded-speedup", type=float, default=1.5,
+                        help="on a >=2-cpu host, fail when a lane-sharded "
+                             "row's workers=N run is less than this many "
+                             "times faster than serial batched (default: 1.5)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -154,7 +226,8 @@ def main(argv: list[str] | None = None) -> int:
 
     lines, regressions = compare(baseline, current,
                                  args.max_slowdown, args.min_seconds,
-                                 args.min_cache_speedup)
+                                 args.min_cache_speedup,
+                                 args.min_sharded_speedup)
     for line in lines:
         print(line)
     base_cpus, cur_cpus = baseline.get("cpus"), current.get("cpus")
