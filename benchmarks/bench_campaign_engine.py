@@ -895,7 +895,8 @@ def main(argv: list[str] | None = None) -> int:
         # below 1.
         summary["min_balance_gain"] = round(
             min(fixed / steal for fixed, steal
-                in zip(by_plan["fixed-128"], by_plan["stealing"])), 2)
+                in zip(by_plan["fixed-128"], by_plan["stealing"],
+                       strict=True)), 2)
     shutdown_shared_pools()
     text = json.dumps(summary, indent=2)
     if args.out:

@@ -22,8 +22,7 @@ N = 255
 def run_iteration():
     ram = SinglePortRAM(N, m=4)
     iteration = PiIteration(field=FIELD, generator=G, seed=(0, 1))
-    result = iteration.run(ram, record=True)
-    return result
+    return iteration.run(ram, record=True)
 
 
 def test_fig1b_generator_algebra(benchmark):

@@ -40,7 +40,7 @@ def test_markov_model_tracks_simulation(benchmark):
 
     # Same shape: monotone growth toward 1, tracking within tolerance.
     assert empirical == sorted(empirical)
-    for emp, mod in zip(empirical, model):
+    for emp, mod in zip(empirical, model, strict=False):
         assert abs(emp - mod) < 0.25
     # "High resolution": most random SAFs fall within a few iterations.
     assert empirical[2] > 0.7

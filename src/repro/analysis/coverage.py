@@ -240,16 +240,14 @@ def run_coverage(runner: Runner, universe: Iterable[Fault] | None = None,
     report = CoverageReport(test_name=test_name)
     if engine != "interpreted" and compile_fn is not None:
         stream = compile_fn(n, m)
-        if engine == "batched":
-            campaign = run_campaign_batched(
-                stream, universe, ram_factory=ram_factory,
-                workers=workers, pool=pool, backend=backend,
-                progress=progress)
-        else:
-            campaign = run_campaign(stream, universe,
-                                    ram_factory=ram_factory,
-                                    workers=workers, pool=pool,
-                                    progress=progress)
+        campaign = (run_campaign_batched(
+            stream, universe, ram_factory=ram_factory,
+            workers=workers, pool=pool, backend=backend,
+            progress=progress)
+            if engine == "batched"
+            else run_campaign(stream, universe, ram_factory=ram_factory,
+                              workers=workers, pool=pool,
+                              progress=progress))
         for fault, detected in campaign.outcomes:
             report.record(fault.fault_class, fault.name, detected)
         return report

@@ -46,6 +46,14 @@ import hashlib
 import time
 from dataclasses import dataclass, field as dataclass_field
 from functools import lru_cache
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from collections.abc import Callable
+
+    from repro.server.cache import ResultCache
+    from repro.sim.ir import OpStream
+    from repro.sim.pool import WorkerPool
 
 from repro.analysis.complexity import march_operations
 from repro.analysis.coverage import (
@@ -226,7 +234,7 @@ class CampaignRequest:
         """
         return resolve_campaign(self).cache_key
 
-    def replace(self, **changes) -> "CampaignRequest":
+    def replace(self, **changes: object) -> "CampaignRequest":
         """A copy with ``changes`` applied (convenience over
         ``dataclasses.replace``)."""
         import dataclasses
@@ -253,7 +261,7 @@ class ResolvedCampaign:
     operations: int  #: test cost on the n-cell memory (comparison rows)
     _cache_key: str | None = dataclass_field(default=None, repr=False)
 
-    def compile(self):
+    def compile(self) -> OpStream:
         """The compiled :class:`~repro.sim.ir.OpStream` (memoized by the
         ``cached_*`` compiler adapters)."""
         return self.runner.compile(self.request.n, self.request.m)
@@ -416,7 +424,7 @@ class RequestOutcome:
     cache_key: str
 
 
-def _resolve_cache(cache):
+def _resolve_cache(cache: ResultCache | bool | None) -> ResultCache | None:
     """``None`` -> process default, ``False`` -> disabled, else as-is."""
     if cache is None:
         from repro.server.cache import default_cache
@@ -424,12 +432,40 @@ def _resolve_cache(cache):
         return default_cache()
     if cache is False:
         return None
+    assert not isinstance(cache, bool)
     return cache
 
 
-def execute_request(request: CampaignRequest, cache=None, pool=None,
-                    progress=None, test_name: str | None = None
-                    ) -> RequestOutcome:
+def _ensure_stream_verified(resolved: ResolvedCampaign) -> None:
+    """Static-verification gate: no malformed stream reaches the cache.
+
+    Runs the error-only pass of :func:`repro.sim.verify.verify` on the
+    compiled stream before any result is computed *or cached* -- a
+    stream that fails verification must never mint a cache entry.  The
+    verdict is memoized on the stream object (compiled streams are
+    shared via the ``cached_*`` adapters), mirroring the
+    ``reference_verified`` replay bookkeeping.
+    """
+    stream = resolved.compile()
+    if stream.__dict__.get("_static_verified", False):
+        return
+    from repro.sim.verify import verify
+
+    report = verify(stream, dataflow=False)
+    if not report.ok:
+        first = report.errors[0]
+        raise RequestError(
+            f"compiled stream for test {resolved.request.test!r} failed "
+            f"static verification: {first}"
+        )
+    stream.__dict__["_static_verified"] = True
+
+
+def execute_request(request: CampaignRequest,
+                    cache: ResultCache | bool | None = None,
+                    pool: WorkerPool | None = None,
+                    progress: Callable[[int, int], None] | None = None,
+                    test_name: str | None = None) -> RequestOutcome:
     """Run (or cache-serve) one campaign request, with provenance.
 
     Parameters
@@ -452,6 +488,7 @@ def execute_request(request: CampaignRequest, cache=None, pool=None,
     """
     start = time.perf_counter()
     resolved = resolve_campaign(request)
+    _ensure_stream_verified(resolved)
     name = test_name if test_name is not None else resolved.test_name
     key = resolved.cache_key
     store = _resolve_cache(cache)
@@ -463,7 +500,7 @@ def execute_request(request: CampaignRequest, cache=None, pool=None,
                                   elapsed_s=time.perf_counter() - start,
                                   cache_key=key)
 
-        def compute():
+        def compute() -> CoverageReport:
             return _run_resolved(resolved, name, pool, progress)
 
         report, fresh = store.get_or_compute(key, compute)
@@ -477,7 +514,9 @@ def execute_request(request: CampaignRequest, cache=None, pool=None,
                           cache_key=key)
 
 
-def _run_resolved(resolved: ResolvedCampaign, name: str, pool, progress
+def _run_resolved(resolved: ResolvedCampaign, name: str,
+                  pool: WorkerPool | None,
+                  progress: Callable[[int, int], None] | None
                   ) -> CoverageReport:
     """The cold path: materialize the universe, run the legacy engine."""
     request = resolved.request
@@ -488,8 +527,11 @@ def _run_resolved(resolved: ResolvedCampaign, name: str, pool, progress
     )
 
 
-def run_request(request: CampaignRequest, cache=None, pool=None,
-                progress=None) -> CoverageReport:
+def run_request(request: CampaignRequest,
+                cache: ResultCache | bool | None = None,
+                pool: WorkerPool | None = None,
+                progress: Callable[[int, int], None] | None = None
+                ) -> CoverageReport:
     """:func:`execute_request` without the provenance wrapper.
 
     This is what ``run_coverage(request)`` delegates to.

@@ -6,6 +6,7 @@ Commands
                an injected fault) and report the verdict,
 ``march``      run a March test given in formal notation,
 ``coverage``   single-fault-injection coverage campaign for one test,
+``verify``     statically verify a test's compiled stream (no execution),
 ``compare``    the March-vs-PRT comparison table (experiment E9),
 ``overhead``   the BIST hardware-overhead sweep (experiment E5).
 
@@ -18,6 +19,8 @@ Examples
     python -m repro march --notation "{c(w0); u(r0,w1); d(r1,w0)}" --n 64
     python -m repro coverage --n 28 --test prt3
     python -m repro coverage --n 64 --scheme dual-port
+    python -m repro verify --n 64 --test march-c
+    python -m repro verify --n 64 --scheme quad-port --json
     python -m repro coverage --n 64 --scheme quad-port --workers 2
     python -m repro coverage --n 64 --scheme dual-schedule
     python -m repro compare --n 28
@@ -72,7 +75,8 @@ def _parse_fault(spec: str):
         if kind == "DRF":
             return DataRetentionFault(int(parts[1]), retention=int(parts[2]))
     except (IndexError, ValueError) as exc:
-        raise argparse.ArgumentTypeError(f"bad fault spec {spec!r}: {exc}")
+        raise argparse.ArgumentTypeError(
+            f"bad fault spec {spec!r}: {exc}") from exc
     raise argparse.ArgumentTypeError(
         f"unknown fault class {kind!r} (use SAF/TF/SOF/DRF)"
     )
@@ -200,6 +204,38 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    """Statically verify the compiled stream of one test selector.
+
+    Exit code 0 when the stream carries no error-severity diagnostic
+    (warnings -- dataflow dead weight -- are reported but never fail),
+    1 otherwise.
+    """
+    from repro.sim.verify import verify
+
+    selector = args.test if args.scheme == "single" else args.scheme
+    request = CampaignRequest(test=selector, n=args.n, m=args.m,
+                              pure=args.pure, poly=args.poly)
+    resolved = _resolve_or_exit(request)
+    stream = resolved.compile()
+    report = verify(stream, dataflow=not args.no_dataflow)
+    if args.json:
+        from repro.server.schemas import verify_response
+
+        print(json.dumps(verify_response(request, stream, report), indent=2))
+        return 0 if report.ok else 1
+    errors, warnings = report.errors, report.warnings
+    print(f"stream  : {stream.name} ({stream.source}, n={stream.n}, "
+          f"m={stream.m}, ports={stream.ports}, {len(stream)} records)")
+    print(f"digest  : {stream.digest()}")
+    verdict = "OK" if report.ok else "REJECTED"
+    print(f"verdict : {verdict} ({len(errors)} error(s), "
+          f"{len(warnings)} warning(s))")
+    for diagnostic in report.diagnostics:
+        print(f"  {diagnostic.severity:>7} {diagnostic}")
+    return 0 if report.ok else 1
+
+
 _COMPARE_TESTS = ("prt3", "prt5", "mats+", "march-c", "march-b")
 
 
@@ -320,6 +356,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the machine-readable result (same schema "
                         "as the repro.server POST /coverage response)")
     p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("verify", help="statically verify a compiled stream")
+    _add_memory_args(p, default_n=28)
+    p.add_argument("--test",
+                   choices=("prt3", "prt5", "mats+", "march-c", "march-b"),
+                   default="prt3")
+    p.add_argument("--scheme",
+                   choices=("single", "dual-port", "quad-port",
+                            "dual-schedule", "quad-schedule"),
+                   default="single",
+                   help="port scheme selector (same surface as coverage)")
+    p.add_argument("--pure", action="store_true")
+    p.add_argument("--no-dataflow", action="store_true",
+                   help="skip the dataflow warnings (errors only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (same schema "
+                        "as the repro.server POST /verify response)")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("compare", help="March vs PRT table (E9)")
     _add_memory_args(p, default_n=28)

@@ -158,7 +158,6 @@ class Fault:
         """Lane-parallel (mask-operation) description of this fault, or
         None when the fault cannot be vectorized (custom analogue state,
         front-end-dependent behaviour).  Default: None."""
-        return None
 
     def reset(self) -> None:
         """Clear internal analogue state (latches, timers).  Default: none."""

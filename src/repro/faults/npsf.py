@@ -68,7 +68,8 @@ class StaticNPSF(Fault):
     def _active(self, array: MemoryArray) -> bool:
         return all(
             array.read(cell) == value
-            for cell, value in zip(self._neighbors, self._pattern)
+            for cell, value in zip(self._neighbors, self._pattern,
+                                   strict=True)
         )
 
     def _enforce(self, array: MemoryArray) -> None:
@@ -90,5 +91,5 @@ class StaticNPSF(Fault):
         values, exactly what :meth:`_active` compares."""
         return VectorSemantics(
             "npsf", cell=self._victim, value=self._force_to,
-            extra=tuple(zip(self._neighbors, self._pattern)),
+            extra=tuple(zip(self._neighbors, self._pattern, strict=True)),
         )

@@ -133,7 +133,7 @@ class WordLFSR:
         """The recurrence value ``s[t+k]`` for the current window (no step)."""
         field = self._field
         acc = 0
-        for mult, s in zip(self._mult, self._state):
+        for mult, s in zip(self._mult, self._state, strict=True):
             if mult and s:
                 acc = field.add(acc, field.mul(mult, s))
         return acc

@@ -657,6 +657,8 @@ class PackedMemoryArray:
         end = len(ops)
         while index < end:
             kind, _port, addr, value, expected, idle = ops[index]
+            if kind not in ("w", "wa", "r", "s", "ra", "i", "grp"):
+                raise ValueError(f"unknown op kind {kind!r}")
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -717,20 +719,20 @@ class PackedMemoryArray:
                 for member in range(index + 1, stop):
                     rec = ops[member]
                     rkind = rec[0]
-                    if rkind == "w":
-                        stored = ones if rec[3] else 0
-                    elif rkind == "wa":
-                        acc_id = rec[5]
-                        stored = accs.get(acc_id, 0) ^ (ones if rec[3]
-                                                        else 0)
-                        accs[acc_id] = 0
-                    elif rkind in ("r", "s", "ra"):
+                    if rkind in ("r", "s", "ra"):
                         continue
-                    else:
+                    if rkind not in ("w", "wa"):
                         raise ValueError(
                             f"cycle {cycle}: {rkind!r} records cannot "
                             "appear inside a cycle group"
                         )
+                    if rkind == "w":
+                        stored = ones if rec[3] else 0
+                    else:
+                        acc_id = rec[5]
+                        stored = accs.get(acc_id, 0) ^ (ones if rec[3]
+                                                        else 0)
+                        accs[acc_id] = 0
                     if pending is None:
                         pending = []
                     pending.append((rec[2], stored))
@@ -776,8 +778,6 @@ class PackedMemoryArray:
                     return detected, executed
                 index = stop
                 continue
-            else:
-                raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
             index += 1
@@ -816,6 +816,8 @@ class PackedMemoryArray:
         end = len(ops)
         while index < end:
             kind, _port, addr, value, expected, idle = ops[index]
+            if kind not in ("w", "wa", "r", "s", "ra", "i", "grp"):
+                raise ValueError(f"unknown op kind {kind!r}")
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -888,21 +890,20 @@ class PackedMemoryArray:
                 for member in range(index + 1, stop):
                     rec = ops[member]
                     rkind = rec[0]
-                    if rkind == "w" or rkind == "wa":
-                        stored = columns.get(rec[3])
-                        if stored is None:
-                            stored = columns[rec[3]] = broadcast(rec[3])
-                        if rkind == "wa":
-                            acc_id = rec[5]
-                            stored ^= accs.get(acc_id, 0)
-                            accs[acc_id] = 0
-                    elif rkind in ("r", "s", "ra"):
+                    if rkind in ("r", "s", "ra"):
                         continue
-                    else:
+                    if rkind not in ("w", "wa"):
                         raise ValueError(
                             f"cycle {cycle}: {rkind!r} records cannot "
                             "appear inside a cycle group"
                         )
+                    stored = columns.get(rec[3])
+                    if stored is None:
+                        stored = columns[rec[3]] = broadcast(rec[3])
+                    if rkind == "wa":
+                        acc_id = rec[5]
+                        stored ^= accs.get(acc_id, 0)
+                        accs[acc_id] = 0
                     if pending is None:
                         pending = []
                     pending.append((rec[2], stored))
@@ -959,8 +960,6 @@ class PackedMemoryArray:
                     return detected, executed
                 index = stop
                 continue
-            else:
-                raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
             index += 1
@@ -1001,6 +1000,8 @@ class PackedMemoryArray:
         detected_row = self._row_from_int_np(detected & self._ones)
         while index < end:
             kind, _port, addr, value, expected, idle = ops[index]
+            if kind not in ("w", "wa", "r", "s", "ra", "i", "grp"):
+                raise ValueError(f"unknown op kind {kind!r}")
             if clock is not None:
                 clock(cycle)
             if kind == "w" or kind == "wa":
@@ -1081,22 +1082,21 @@ class PackedMemoryArray:
                 for member in range(index + 1, stop):
                     rec = ops[member]
                     rkind = rec[0]
-                    if rkind == "w" or rkind == "wa":
-                        stored = columns.get(rec[3])
-                        if stored is None:
-                            stored = columns[rec[3]] = broadcast(rec[3])
-                        if rkind == "wa":
-                            acc = accs.get(rec[5])
-                            if acc is not None:
-                                stored = stored ^ acc
-                                acc[:] = 0
-                    elif rkind in ("r", "s", "ra"):
+                    if rkind in ("r", "s", "ra"):
                         continue
-                    else:
+                    if rkind not in ("w", "wa"):
                         raise ValueError(
                             f"cycle {cycle}: {rkind!r} records cannot "
                             "appear inside a cycle group"
                         )
+                    stored = columns.get(rec[3])
+                    if stored is None:
+                        stored = columns[rec[3]] = broadcast(rec[3])
+                    if rkind == "wa":
+                        acc = accs.get(rec[5])
+                        if acc is not None:
+                            stored = stored ^ acc
+                            acc[:] = 0
                     if pending is None:
                         pending = []
                     pending.append((rec[2], stored))
@@ -1160,8 +1160,6 @@ class PackedMemoryArray:
                     return self._row_to_int_np(detected_row), executed
                 index = stop
                 continue
-            else:
-                raise ValueError(f"unknown op kind {kind!r}")
             if settle is not None:
                 settle(self)
             index += 1

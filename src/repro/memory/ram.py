@@ -305,13 +305,14 @@ class SinglePortRAM:
                                 mismatches.append((index, actual))
                             if stop_on_mismatch:
                                 return executed
-                elif kind == "grp":
-                    raise ValueError(
-                        "cycle-grouped streams need a multi-port front-end "
-                        "(see MultiPortRAM.apply_stream); a single-port RAM "
-                        "cannot issue several operations in one cycle"
-                    )
                 else:
+                    if kind == "grp":
+                        raise ValueError(
+                            "cycle-grouped streams need a multi-port "
+                            "front-end (see MultiPortRAM.apply_stream); a "
+                            "single-port RAM cannot issue several "
+                            "operations in one cycle"
+                        )
                     raise ValueError(f"unknown op kind {kind!r}")
         finally:
             stats.reads += reads

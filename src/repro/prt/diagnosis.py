@@ -79,7 +79,8 @@ def diagnose_iteration(iteration: PiIteration, ram) -> DiagnosisReport:
     traj = iteration.trajectory_for(n)
     k = iteration.k
     assert result.written_stream is not None
-    for j, (observed, want) in enumerate(zip(result.written_stream, expected)):
+    for j, (observed, want) in enumerate(zip(result.written_stream, expected,
+                                            strict=False)):
         if observed != want:
             read_cells = {traj[j + i] for i in range(k)}
             suspects = tuple(sorted(read_cells | {traj[j + k]}))

@@ -229,11 +229,9 @@ class DualPortPiIteration:
                 # transparent verify read of the cell being overwritten
                 # (reads sense the pre-write value).
                 target = traj[j + 2]
-                if j < n - 2:
-                    expected = previous_background[target]
-                else:
-                    # Wrap writes overwrite this iteration's own seeds.
-                    expected = self._seed[j + 2 - n]
+                # Wrap writes overwrite this iteration's own seeds.
+                expected = (previous_background[target] if j < n - 2
+                            else self._seed[j + 2 - n])
                 checks = ram.cycle([
                     PortOp(0, "w", target, acc),
                     PortOp(1, "r", target),
@@ -478,11 +476,9 @@ class QuadPortPiIteration:
                     PortOp(3, "r", targets[1]),
                 ])
                 for automaton in (0, 1):
-                    if j < half - 2:
-                        expected = previous_background[targets[automaton]]
-                    else:
-                        # Wrap writes overwrite this iteration's seeds.
-                        expected = seed[j + 2 - half]
+                    # Wrap writes overwrite this iteration's seeds.
+                    expected = (previous_background[targets[automaton]]
+                                if j < half - 2 else seed[j + 2 - half])
                     if checks[2 * automaton + 1] != expected:
                         verify_mismatches[automaton] += 1
         final = ram.cycle([

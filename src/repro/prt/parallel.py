@@ -83,7 +83,8 @@ class BitSliceResult:
             default=0,
         )
         for bit in range(width):
-            for got, want in zip(self.final_state, self.expected_final):
+            for got, want in zip(self.final_state, self.expected_final,
+                                 strict=True):
                 if ((got >> bit) & 1) != ((want >> bit) & 1):
                     out.append(bit)
                     break

@@ -244,11 +244,9 @@ def standard_schedule(field: GF2m | None = None,
         k = len(generator) - 1
         seed = (0,) * (k - 1) + (1,)
     seed = tuple(seed)
-    trajectories: list[Trajectory | None]
-    if n is not None:
-        trajectories = [ascending(n), ascending(n), ascending(n)]
-    else:
-        trajectories = [None, None, None]
+    trajectories: list[Trajectory | None] = (
+        [ascending(n), ascending(n), ascending(n)] if n is not None
+        else [None, None, None])
     # The "specific TDB" (claim C3) this library validates -- the triple
     # (B, ~B, B) over one trajectory:
     #   1. base iteration lays background B;

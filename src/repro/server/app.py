@@ -13,6 +13,8 @@ GET    ``/schemes``          selectable tests/schemes + option vocabulary
 GET    ``/stats``            cache + job-queue telemetry counters
 POST   ``/coverage``         run (or cache-serve) one campaign, wait
 POST   ``/compare``          comparison table over several requests
+POST   ``/verify``           statically verify a compiled stream
+
 POST   ``/jobs``             submit a campaign job, return immediately
 GET    ``/jobs/{id}``        poll job status/progress/result
 GET    ``/jobs/{id}/stream`` NDJSON live progress until the job settles
@@ -48,6 +50,7 @@ from repro.analysis.request import (
     RequestError,
     execute_request,
     known_tests,
+    resolve_campaign,
 )
 from repro.server.cache import ResultCache, default_cache
 from repro.server.jobs import JobManager
@@ -57,6 +60,7 @@ from repro.server.schemas import (
     compare_response,
     coverage_response,
     request_from_dict,
+    verify_response,
 )
 
 __all__ = ["ReproApp", "create_app"]
@@ -132,6 +136,10 @@ class ReproApp:
             self._require(method, "POST")
             body = await self._json_body(receive)
             await self._send_json(send, 200, await self._compare(body))
+        elif path == "/verify":
+            self._require(method, "POST")
+            body = await self._json_body(receive)
+            await self._send_json(send, 200, await self._verify(body))
         elif path == "/jobs":
             self._require(method, "POST")
             body = await self._json_body(receive)
@@ -194,6 +202,20 @@ class ReproApp:
         outcome = await self._offload(
             lambda: execute_request(request, cache=self.cache))
         return coverage_response(request, outcome)
+
+    async def _verify(self, body: dict) -> dict:
+        # The request surface is the coverage body (engine/backend/
+        # workers are accepted and ignored -- verification is static).
+        request = self._parse(request_from_dict, body)
+
+        def run() -> dict:
+            from repro.sim.verify import verify
+
+            resolved = resolve_campaign(request)
+            stream = resolved.compile()
+            return verify_response(request, stream, verify(stream))
+
+        return await self._offload(run)
 
     async def _compare(self, body: dict) -> dict:
         requests = self._parse(compare_from_dict, body)

@@ -20,6 +20,7 @@ b'HTTP/1.1 200 OK\\r\\n'
 from __future__ import annotations
 
 import asyncio
+import contextlib
 
 __all__ = ["REASONS", "serve", "run"]
 
@@ -47,8 +48,9 @@ async def _read_request(reader: asyncio.StreamReader):
         return None
     try:
         method, target, _version = request_line.decode("ascii").split()
-    except ValueError:
-        raise ValueError(f"malformed request line {request_line!r}")
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed request line {request_line!r}") from exc
     headers: dict[str, str] = {}
     while True:
         line = await reader.readline()
@@ -142,11 +144,9 @@ async def _handle(app, reader: asyncio.StreamReader,
                              b"connection: close\r\n\r\n")
             await writer.drain()
     finally:
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             writer.close()
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
 
 
 async def serve(app, host: str = "127.0.0.1", port: int = 8714):
@@ -168,7 +168,5 @@ def run(app, host: str = "127.0.0.1", port: int = 8714) -> None:
         async with server:
             await server.serve_forever()
 
-    try:
+    with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(main())
-    except KeyboardInterrupt:
-        pass

@@ -57,7 +57,13 @@ __all__ = [
     "coverage_response",
     "compare_response",
     "comparison_row_to_dict",
+    "diagnostic_to_dict",
+    "verify_response",
 ]
+
+#: Diagnostics listed per verify response; the rest is summarized in the
+#: per-code counts (a pathological stream can carry one finding per op).
+_MAX_DIAGNOSTICS = 200
 
 
 class SchemaError(ValueError):
@@ -242,6 +248,47 @@ def coverage_response(request: CampaignRequest,
         "cached": outcome.cached,
         "cache_key": outcome.cache_key,
         "elapsed_s": round(outcome.elapsed_s, 6),
+    }
+
+
+def diagnostic_to_dict(diagnostic) -> dict:
+    """One :class:`~repro.sim.diagnostics.Diagnostic` as JSON."""
+    return {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity,
+        "index": diagnostic.index,
+        "message": diagnostic.message,
+    }
+
+
+def verify_response(request: CampaignRequest, stream, report) -> dict:
+    """The ``POST /verify`` response body (also ``repro verify --json``).
+
+    ``diagnostics`` is truncated to the first ``200`` findings
+    (``truncated`` says so); ``counts`` always covers every finding.
+    """
+    diagnostics = report.diagnostics
+    counts: dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    return {
+        "request": request_to_dict(request),
+        "stream": {
+            "name": stream.name,
+            "source": stream.source,
+            "n": stream.n,
+            "m": stream.m,
+            "ports": stream.ports,
+            "records": len(stream.ops),
+            "digest": stream.digest(),
+        },
+        "ok": report.ok,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "counts": counts,
+        "diagnostics": [diagnostic_to_dict(d)
+                        for d in diagnostics[:_MAX_DIAGNOSTICS]],
+        "truncated": len(diagnostics) > _MAX_DIAGNOSTICS,
     }
 
 

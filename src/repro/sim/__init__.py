@@ -76,6 +76,8 @@ byte-identical results (equivalence-tested in ``tests/sim``).
 """
 
 from repro.sim.ir import Op, OpStream, Segment, OP_KINDS, GROUPABLE_KINDS
+from repro.sim.diagnostics import CODES, Diagnostic, StreamError
+from repro.sim.verify import StreamReport, verify, verify_or_raise
 from repro.sim.compilers import (
     cached_dual_port_stream,
     cached_march_stream,
@@ -132,6 +134,12 @@ __all__ = [
     "Segment",
     "OP_KINDS",
     "GROUPABLE_KINDS",
+    "CODES",
+    "Diagnostic",
+    "StreamError",
+    "StreamReport",
+    "verify",
+    "verify_or_raise",
     "compile_march",
     "compile_pi_iteration",
     "compile_schedule",

@@ -1004,7 +1004,7 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
         nonlocal flow_ops
         if tag == "scalar":
             for (index, _fault), (det, executed) in zip(fallback[lo:hi],
-                                                        data):
+                                                        data, strict=True):
                 verdicts[index] = det
                 flow_ops += executed
         else:  # "lane": one worker-side pass over class members [lo:hi)
@@ -1044,7 +1044,8 @@ def run_campaign_batched(stream: OpStream, universe: Iterable[Fault],
                                   reference_check=False)
             result.operations_replayed += scalar.operations_replayed
             for (index, _fault), (_f, detected) in zip(fallback,
-                                                       scalar.outcomes):
+                                                       scalar.outcomes,
+                                                       strict=True):
                 verdicts[index] = detected
     result.outcomes = [(fault, verdicts[index])
                        for index, fault in enumerate(faults)]

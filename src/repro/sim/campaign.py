@@ -176,16 +176,15 @@ def _run_one(stream: OpStream, fault: Fault, ram_factory, n: int,
     mismatches: list[tuple[int, int]] = []
     apply = getattr(ram, "apply_stream", None)
     try:
-        if apply is not None:
-            executed = apply(stream.ops, tables=stream.tables,
-                             stop_on_mismatch=True, mismatches=mismatches)
-        else:
-            # Duck-typed front-end honouring only the read/write/idle
-            # contract: replay through the portable executor.
-            executed = apply_stream_generic(ram, stream.ops,
-                                            tables=stream.tables,
-                                            stop_on_mismatch=True,
-                                            mismatches=mismatches)
+        # Duck-typed front-ends honour only the read/write/idle
+        # contract: replay those through the portable executor.
+        executed = (apply(stream.ops, tables=stream.tables,
+                          stop_on_mismatch=True, mismatches=mismatches)
+                    if apply is not None
+                    else apply_stream_generic(ram, stream.ops,
+                                              tables=stream.tables,
+                                              stop_on_mismatch=True,
+                                              mismatches=mismatches))
     except PortConflictError:
         injector.remove(ram)
         return True, 0
@@ -572,7 +571,7 @@ def run_campaign(stream: OpStream, universe: Iterable[Fault],
             done += len(chunk)
             if progress is not None:
                 progress(done, len(faults))
-    for fault, (detected, executed) in zip(faults, outcomes):
+    for fault, (detected, executed) in zip(faults, outcomes, strict=True):
         result.outcomes.append((fault, detected))
         result.operations_replayed += executed
     return result

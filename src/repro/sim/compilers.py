@@ -20,6 +20,20 @@ from functools import lru_cache
 from repro.march.engine import word_backgrounds
 from repro.march.model import MarchDelay, MarchTest
 from repro.sim.ir import OpStream, Segment
+from repro.sim.verify import verify_or_raise
+
+
+def _finish(stream: OpStream, verify: bool) -> OpStream:
+    """Opt-in deep pass: every compiler's ``verify=True`` funnels here.
+
+    Construction already enforced the fast structural contract; the deep
+    pass adds the operand-domain, accumulator-discipline and segment
+    checks of :func:`repro.sim.verify.verify` and raises
+    :class:`~repro.sim.diagnostics.StreamError` on any error finding.
+    """
+    if verify:
+        verify_or_raise(stream)
+    return stream
 
 __all__ = [
     "compile_march",
@@ -38,7 +52,8 @@ __all__ = [
 
 
 def compile_march(test: MarchTest, n: int, m: int = 1,
-                  backgrounds: list[int] | None = None) -> OpStream:
+                  backgrounds: list[int] | None = None,
+                  verify: bool = False) -> OpStream:
     """Lower a March test to an :class:`OpStream`.
 
     Mirrors :func:`repro.march.engine.run_march`: for every data
@@ -76,8 +91,8 @@ def compile_march(test: MarchTest, n: int, m: int = 1,
                     else:
                         ops.append(("r", 0, addr, None, value, 0))
                     info.append((background, element_index))
-    return OpStream(source="march", name=test.name, n=n, m=m,
-                    ops=tuple(ops), info=tuple(info))
+    return _finish(OpStream(source="march", name=test.name, n=n, m=m,
+                            ops=tuple(ops), info=tuple(info)), verify)
 
 
 def _multiplier_table(field, multiplier: int, table_index: dict,
@@ -156,11 +171,9 @@ def _compile_iteration(iteration, n: int, m: int,
             info.append((iteration_index, "sweep"))
         if previous_background is not None:
             cell = traj[j + k]
-            if j < n - k:
-                expected = previous_background[cell]
-            else:
-                # Wrap writes overwrite this iteration's own seeds.
-                expected = iteration.seed[j + k - n] ^ enc
+            # Wrap writes overwrite this iteration's own seeds.
+            expected = (previous_background[cell] if j < n - k
+                        else iteration.seed[j + k - n] ^ enc)
             ops.append(("r", 0, cell, None, expected, 0))
             info.append((iteration_index, "verify"))
         ops.append(("wa", 0, traj[j + k], enc, expected_stream[j], 0))
@@ -177,7 +190,8 @@ def _compile_iteration(iteration, n: int, m: int,
     )
 
 
-def compile_pi_iteration(iteration, n: int, m: int = 1) -> OpStream:
+def compile_pi_iteration(iteration, n: int, m: int = 1,
+                         verify: bool = False) -> OpStream:
     """Lower one standalone :class:`~repro.prt.pi_test.PiIteration`.
 
     >>> from repro.prt import PiIteration
@@ -191,12 +205,14 @@ def compile_pi_iteration(iteration, n: int, m: int = 1) -> OpStream:
     tables: list[tuple[int, ...]] = []
     segment = _compile_iteration(iteration, n, m, None, 0, ops, info,
                                  {}, tables)
-    return OpStream(source="iteration", name=repr(iteration), n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=(segment,))
+    return _finish(
+        OpStream(source="iteration", name=repr(iteration), n=n, m=m,
+                 ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                 segments=(segment,)), verify)
 
 
-def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
+def compile_schedule(schedule, n: int, m: int = 1,
+                     verify: bool = False) -> OpStream:
     """Lower a :class:`~repro.prt.schedule.PiTestSchedule`.
 
     Emits every iteration (chained through ``background_after`` when the
@@ -211,7 +227,7 @@ def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
     True
     """
     iterations = schedule.iterations
-    verify = schedule.verify
+    transparent = schedule.verify
     pause = schedule.pause_between
     ops: list[tuple] = []
     info: list[tuple] = []
@@ -235,9 +251,9 @@ def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
             init_state=segment.init_state,
             expected_final=segment.expected_final,
         ))
-        if verify:
+        if transparent:
             previous_background = iteration.background_after(n)
-    if verify and previous_background is not None:
+    if transparent and previous_background is not None:
         last = len(iterations) - 1
         start = len(ops)
         if pause:
@@ -259,9 +275,10 @@ def compile_schedule(schedule, n: int, m: int = 1) -> OpStream:
         info.append((last, "pause"))
         segments.append(Segment(label="readback", index=last,
                                 start=start, stop=len(ops)))
-    return OpStream(source="schedule", name=schedule.name, n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=tuple(segments))
+    return _finish(
+        OpStream(source="schedule", name=schedule.name, n=n, m=m,
+                 ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                 segments=tuple(segments)), verify)
 
 
 # -- multi-port schemes: cycle-grouped lowering --------------------------------
@@ -351,11 +368,9 @@ def _compile_dual_iteration(iteration, n: int, m: int,
             # Verifying mode: port 1 reads the cell port 0 overwrites,
             # in the same cycle (the group's read phase is pre-write).
             cell = traj[j + 2]
-            if j < n - 2:
-                expected = previous_background[cell]
-            else:
-                # Wrap writes overwrite this iteration's own seeds.
-                expected = seed[j + 2 - n]
+            # Wrap writes overwrite this iteration's own seeds.
+            expected = (previous_background[cell] if j < n - 2
+                        else seed[j + 2 - n])
             group(2, "sweep")
             ops.append(("wa", 0, cell, 0, expected_stream[j], 0))
             info.append((iteration_index, "sweep"))
@@ -373,7 +388,8 @@ def _compile_dual_iteration(iteration, n: int, m: int,
                    init_state=tuple(seed), expected_final=expected_final)
 
 
-def compile_dual_port_pi(iteration, n: int, m: int = 1) -> OpStream:
+def compile_dual_port_pi(iteration, n: int, m: int = 1,
+                         verify: bool = False) -> OpStream:
     """Lower a :class:`~repro.prt.dual_port.DualPortPiIteration`.
 
     Mirrors its ``run`` cycle for cycle: one double-write init group,
@@ -394,9 +410,10 @@ def compile_dual_port_pi(iteration, n: int, m: int = 1) -> OpStream:
     tables: list[tuple[int, ...]] = []
     segment = _compile_dual_iteration(iteration, n, m, None, 0, ops, info,
                                       {}, tables)
-    return OpStream(source="dual-port", name=repr(iteration), n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=(segment,), ports=2)
+    return _finish(
+        OpStream(source="dual-port", name=repr(iteration), n=n, m=m,
+                 ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                 segments=(segment,), ports=2), verify)
 
 
 def _compile_quad_iteration(iteration, n: int, m: int,
@@ -475,11 +492,9 @@ def _compile_quad_iteration(iteration, n: int, m: int,
             group(4, "sweep")
             for automaton, (wport, rport) in enumerate([(0, 1), (2, 3)]):
                 target = cell(automaton, j + 2)
-                if j < half - 2:
-                    expected = previous_background[target]
-                else:
-                    # Wrap writes overwrite this iteration's own seeds.
-                    expected = seed[j + 2 - half]
+                # Wrap writes overwrite this iteration's own seeds.
+                expected = (previous_background[target] if j < half - 2
+                            else seed[j + 2 - half])
                 ops.append(("wa", wport, target, 0, expected_stream[j],
                             automaton))
                 info.append((automaton, "sweep"))
@@ -497,7 +512,8 @@ def _compile_quad_iteration(iteration, n: int, m: int,
                    init_state=tuple(seed), expected_final=expected_final)
 
 
-def compile_quad_port_pi(iteration, n: int, m: int = 1) -> OpStream:
+def compile_quad_port_pi(iteration, n: int, m: int = 1,
+                         verify: bool = False) -> OpStream:
     """Lower a :class:`~repro.prt.dual_port.QuadPortPiIteration`.
 
     Two virtual automata sweep the two array halves concurrently: per
@@ -518,12 +534,14 @@ def compile_quad_port_pi(iteration, n: int, m: int = 1) -> OpStream:
     tables: list[tuple[int, ...]] = []
     segment = _compile_quad_iteration(iteration, n, m, None, 0, ops, info,
                                       {}, tables)
-    return OpStream(source="quad-port", name=repr(iteration), n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=(segment,), ports=4)
+    return _finish(
+        OpStream(source="quad-port", name=repr(iteration), n=n, m=m,
+                 ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                 segments=(segment,), ports=4), verify)
 
 
-def compile_multi_schedule(schedule, n: int, m: int = 1) -> OpStream:
+def compile_multi_schedule(schedule, n: int, m: int = 1,
+                           verify: bool = False) -> OpStream:
     """Lower a :class:`~repro.prt.multi_schedule.MultiPortSchedule`.
 
     Emits every multi-port iteration (dual- or quad-port, dispatched on
@@ -543,7 +561,7 @@ def compile_multi_schedule(schedule, n: int, m: int = 1) -> OpStream:
     (2, True)
     """
     iterations = schedule.iterations
-    verify = schedule.verify
+    transparent = schedule.verify
     pause = schedule.pause_between
     ports = schedule.ports
     ops: list[tuple] = []
@@ -569,9 +587,9 @@ def compile_multi_schedule(schedule, n: int, m: int = 1) -> OpStream:
             init_state=segment.init_state,
             expected_final=segment.expected_final,
         ))
-        if verify:
+        if transparent:
             previous_background = iteration.background_after(n)
-    if verify and previous_background is not None:
+    if transparent and previous_background is not None:
         last = len(iterations) - 1
         start = len(ops)
         if pause:
@@ -600,9 +618,10 @@ def compile_multi_schedule(schedule, n: int, m: int = 1) -> OpStream:
         info.append((last, "pause"))
         segments.append(Segment(label="readback", index=last,
                                 start=start, stop=len(ops)))
-    return OpStream(source="multi-schedule", name=schedule.name, n=n, m=m,
-                    ops=tuple(ops), info=tuple(info), tables=tuple(tables),
-                    segments=tuple(segments), ports=ports)
+    return _finish(
+        OpStream(source="multi-schedule", name=schedule.name, n=n, m=m,
+                 ops=tuple(ops), info=tuple(info), tables=tuple(tables),
+                 segments=tuple(segments), ports=ports), verify)
 
 
 # -- memoized entry points -----------------------------------------------------

@@ -1,0 +1,135 @@
+"""Machine-readable stream diagnostics: codes, records and the error type.
+
+Every problem the static machinery can name -- construction-time
+contract violations in :class:`~repro.sim.ir.OpStream` and the deeper
+findings of :mod:`repro.sim.verify` -- is described by one
+:class:`Diagnostic` record ``(code, severity, index, message)`` instead
+of an ad-hoc ``ValueError`` string.  The codes are stable API: clients
+(the CLI ``repro verify`` command, the server's ``POST /verify``
+endpoint, the CI mutation-corpus gate) match on ``code``, never on
+message text.
+
+Code space
+----------
+
+======  ========================================================
+range   meaning
+======  ========================================================
+E0xx    stream-level shape (ops/info parallelism, ports, kinds)
+E1xx    cycle-group contract (the multi-port conflict rules)
+E2xx    operand domains (addresses, data, tables, accumulators)
+E3xx    segment bookkeeping
+W4xx    dataflow findings (dead weight -- legal but pointless)
+======  ========================================================
+
+``E``-codes are :data:`ERROR` severity -- the stream cannot mean what it
+says and replay behaviour is undefined; :class:`OpStream` construction
+rejects the E0xx/E1xx subset outright by raising :class:`StreamError`.
+``W``-codes are :data:`WARNING` severity -- the stream replays fine but
+provably wastes cycles or can never observe what it computes, which is
+exactly what a test-synthesis search loop wants to prune early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "StreamError",
+]
+
+#: Severity of a diagnostic whose stream must be rejected.
+ERROR = "error"
+
+#: Severity of a diagnostic that flags semantic dead weight only.
+WARNING = "warning"
+
+#: Every diagnostic code the analyzers emit: ``code -> (severity,
+#: one-line description)``.  The docs table in ``docs/architecture.md``
+#: and the unit tests pinning the codes both derive from this registry.
+CODES: dict[str, tuple[str, str]] = {
+    "E001": (ERROR, "ops and info records are not parallel"),
+    "E002": (ERROR, "stream declares fewer than one port"),
+    "E003": (ERROR, "unknown op kind tag"),
+    "E101": (ERROR, "group member count is not a positive int"),
+    "E102": (ERROR, "group is larger than the stream's port count"),
+    "E103": (ERROR, "group announces more members than records follow"),
+    "E104": (ERROR, "non-groupable record inside a cycle group"),
+    "E105": (ERROR, "port out of range for the stream's port count"),
+    "E106": (ERROR, "port used twice in one cycle group"),
+    "E107": (ERROR, "two simultaneous writes to one address"),
+    "E201": (ERROR, "address outside the n-cell array"),
+    "E202": (ERROR, "data slot does not fit the m-bit word"),
+    "E203": (ERROR, "recurrence table reference out of range"),
+    "E204": (ERROR, "lookup table malformed for GF(2^m)"),
+    "E205": (ERROR, "accumulator id is not a non-negative int"),
+    "E206": (ERROR, "idle cycle count is not a non-negative int"),
+    "E207": (ERROR, "accumulator contribution never flushed by a 'wa'"),
+    "E301": (ERROR, "segment bounds outside the op records"),
+    "W401": (WARNING, "dead write: overwritten before any read"),
+    "W402": (WARNING, "read of a never-written cell"),
+    "W403": (WARNING, "idle cannot satisfy any retention window"),
+    "W404": (WARNING, "accumulator flush with no contributions (constant)"),
+    "W405": (WARNING, "lookup table never referenced by any 'ra'"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, its severity, and the op it names.
+
+    ``index`` is the offending record's position in ``stream.ops`` (or
+    ``None`` for stream-level findings such as a bad port count);
+    ``message`` is human-readable and embeds the same cycle-indexed
+    wording the historical ``ValueError`` strings carried.
+
+    >>> d = Diagnostic("E201", "error", 3, "op 3: address 9 out of range")
+    >>> str(d)
+    '[E201] op 3: address 9 out of range'
+    """
+
+    code: str
+    severity: str
+    index: int | None
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+
+def _diagnostic(code: str, index: int | None, message: str) -> Diagnostic:
+    """Build a :class:`Diagnostic` with the registry's severity."""
+    severity, _ = CODES[code]
+    return Diagnostic(code=code, severity=severity, index=index,
+                      message=message)
+
+
+class StreamError(ValueError):
+    """A stream violates its structural contract.
+
+    Subclasses :class:`ValueError` so historical ``except ValueError``
+    call sites (and ``pytest.raises(ValueError, match=...)`` tests) keep
+    working; ``str()`` is the first diagnostic's message *verbatim*.
+    The full machine-readable findings ride on :attr:`diagnostics`.
+
+    >>> err = StreamError([_diagnostic("E002", None,
+    ...                                "streams need at least one port, got 0")])
+    >>> isinstance(err, ValueError), str(err)
+    (True, 'streams need at least one port, got 0')
+    >>> err.diagnostics[0].code
+    'E002'
+    """
+
+    def __init__(self, diagnostics: "list[Diagnostic] | tuple[Diagnostic, ...]"):
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+        message = self.diagnostics[0].message if self.diagnostics \
+            else "invalid operation stream"
+        super().__init__(message)

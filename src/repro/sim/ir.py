@@ -83,9 +83,19 @@ issuing ``read``/``write``/``cycle``/``idle`` calls one at a time.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Generator, Iterator
 from dataclasses import dataclass, field as dataclass_field
 
-__all__ = ["Op", "OpStream", "Segment", "OP_KINDS", "GROUPABLE_KINDS"]
+from repro.sim.diagnostics import Diagnostic, StreamError, _diagnostic
+
+__all__ = [
+    "Op",
+    "OpStream",
+    "Segment",
+    "OP_KINDS",
+    "GROUPABLE_KINDS",
+    "iter_construction_diagnostics",
+]
 
 Op = tuple
 """One operation record: ``(kind, port, addr, value, expected, idle)``."""
@@ -95,6 +105,103 @@ OP_KINDS = ("w", "r", "s", "ra", "wa", "i", "grp")
 
 GROUPABLE_KINDS = ("w", "r", "s", "ra", "wa")
 """Tags that may appear inside a ``"grp"`` cycle group."""
+
+
+def iter_construction_diagnostics(
+    ops: tuple[Op, ...], info: tuple[tuple, ...], ports: int
+) -> Iterator[Diagnostic]:
+    """Yield every construction-contract violation in raw record data.
+
+    This is the single source of truth for the checks
+    :class:`OpStream.__post_init__` enforces (E001/E002/E003 stream
+    shape, E101..E107 cycle-group contract), shared with the collect-all
+    static analyzer :func:`repro.sim.verify.verify`.  Construction stays
+    fail-fast (first diagnostic raises); the analyzer drains the
+    generator, recovering past each finding -- a malformed group marker
+    is skipped as if flat, a truncated group is clamped to the records
+    that do follow -- so one pass reports *all* violations.
+    """
+    if len(ops) != len(info):
+        yield _diagnostic(
+            "E001", None,
+            f"ops and info must be parallel: {len(ops)} records "
+            f"vs {len(info)} metadata entries")
+    if ports < 1:
+        yield _diagnostic(
+            "E002", None, f"streams need at least one port, got {ports}")
+    index, total = 0, len(ops)
+    while index < total:
+        kind = ops[index][0]
+        if kind not in OP_KINDS:
+            yield _diagnostic(
+                "E003", index, f"unknown op kind {ops[index][0]!r}")
+            index += 1
+        elif kind == "grp":
+            index = yield from _group_diagnostics(ops, index, ports, total)
+        else:
+            index += 1
+
+
+def _group_diagnostics(
+    ops: tuple[Op, ...], index: int, ports: int, total: int
+) -> Generator[Diagnostic, None, int]:
+    """Check one ``"grp"`` marker's members; returns the next index.
+
+    These are the *compile-time* conflict checks of the cycle-group
+    contract: member count vs ports, distinct ports, no nested
+    groups/idles, and no two writes to the same address.  Replay adds
+    the physical-cell check (a faulty decoder can alias distinct
+    addresses), raising ``PortConflictError`` with the cycle index.
+    """
+    count = ops[index][3]
+    if not isinstance(count, int) or count < 1:
+        yield _diagnostic(
+            "E101", index,
+            f"op {index}: group member count must be a positive int, "
+            f"got {count!r}")
+        return index + 1
+    if count > ports:
+        yield _diagnostic(
+            "E102", index,
+            f"op {index}: {count} operations grouped into one cycle of "
+            f"a {ports}-port stream")
+    stop = index + 1 + count
+    if stop > total:
+        yield _diagnostic(
+            "E103", index,
+            f"op {index}: group announces {count} members but only "
+            f"{total - index - 1} records follow")
+        stop = total
+    seen_ports: set[int] = set()
+    write_addrs: set[int] = set()
+    for member in range(index + 1, stop):
+        rec = ops[member]
+        kind = rec[0]
+        if kind not in GROUPABLE_KINDS:
+            yield _diagnostic(
+                "E104", member,
+                f"op {member}: {kind!r} records cannot appear inside "
+                f"a cycle group")
+            continue
+        port = rec[1]
+        if not isinstance(port, int) or not 0 <= port < ports:
+            yield _diagnostic(
+                "E105", member,
+                f"op {member}: port {port} out of range [0, {ports})")
+        elif port in seen_ports:
+            yield _diagnostic(
+                "E106", member,
+                f"op {member}: port {port} used twice in one cycle group")
+        else:
+            seen_ports.add(port)
+        if kind in ("w", "wa"):
+            if rec[2] in write_addrs:
+                yield _diagnostic(
+                    "E107", member,
+                    f"op {member}: two simultaneous writes to address "
+                    f"{rec[2]} in one cycle group")
+            write_addrs.add(rec[2])
+    return stop
 
 
 @dataclass(frozen=True)
@@ -174,79 +281,15 @@ class OpStream:
     reference_operations: int | None = dataclass_field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if len(self.ops) != len(self.info):
-            raise ValueError(
-                f"ops and info must be parallel: {len(self.ops)} records "
-                f"vs {len(self.info)} metadata entries"
-            )
-        if self.ports < 1:
-            raise ValueError(f"streams need at least one port, got {self.ports}")
-        index, total = 0, len(self.ops)
-        while index < total:
-            record = self.ops[index]
-            kind = record[0]
-            if kind not in OP_KINDS:
-                raise ValueError(f"unknown op kind {record[0]!r}")
-            if kind != "grp":
-                index += 1
-                continue
-            index = self._validate_group(index, record, total)
-
-    def _validate_group(self, index: int, record: Op, total: int) -> int:
-        """Check one ``"grp"`` marker's members; returns the next index.
-
-        These are the *compile-time* conflict checks of the cycle-group
-        contract: member count vs ports, distinct ports, no nested
-        groups/idles, and no two writes to the same address.  Replay adds
-        the physical-cell check (a faulty decoder can alias distinct
-        addresses), raising ``PortConflictError`` with the cycle index.
-        """
-        count = record[3]
-        if not isinstance(count, int) or count < 1:
-            raise ValueError(
-                f"op {index}: group member count must be a positive int, "
-                f"got {count!r}"
-            )
-        if count > self.ports:
-            raise ValueError(
-                f"op {index}: {count} operations grouped into one cycle of "
-                f"a {self.ports}-port stream"
-            )
-        stop = index + 1 + count
-        if stop > total:
-            raise ValueError(
-                f"op {index}: group announces {count} members but only "
-                f"{total - index - 1} records follow"
-            )
-        seen_ports: set[int] = set()
-        write_addrs: set[int] = set()
-        for member in range(index + 1, stop):
-            rec = self.ops[member]
-            kind = rec[0]
-            if kind not in GROUPABLE_KINDS:
-                raise ValueError(
-                    f"op {member}: {kind!r} records cannot appear inside "
-                    f"a cycle group"
-                )
-            port = rec[1]
-            if not 0 <= port < self.ports:
-                raise ValueError(
-                    f"op {member}: port {port} out of range "
-                    f"[0, {self.ports})"
-                )
-            if port in seen_ports:
-                raise ValueError(
-                    f"op {member}: port {port} used twice in one cycle group"
-                )
-            seen_ports.add(port)
-            if kind in ("w", "wa"):
-                if rec[2] in write_addrs:
-                    raise ValueError(
-                        f"op {member}: two simultaneous writes to address "
-                        f"{rec[2]} in one cycle group"
-                    )
-                write_addrs.add(rec[2])
-        return stop
+        # Fail-fast construction gate: the first contract violation
+        # raises StreamError (a ValueError subclass carrying the
+        # machine-readable Diagnostic); repro.sim.verify drains the same
+        # generator in collect-all mode.
+        first = next(
+            iter_construction_diagnostics(self.ops, self.info, self.ports),
+            None)
+        if first is not None:
+            raise StreamError((first,))
 
     def __len__(self) -> int:
         return len(self.ops)

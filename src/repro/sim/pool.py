@@ -45,6 +45,7 @@ registered with :mod:`atexit`.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
 import pickle
 import queue
@@ -110,14 +111,12 @@ def _attach_shared_blob(name: str, size: int) -> bytes:
         return bytes(shm.buf[:size])
     finally:
         shm.close()
-        try:
-            # On CPython < 3.13 merely *attaching* registers the segment
-            # with this process's resource tracker, which would unlink it
-            # when the worker exits (bpo-39959).  The parent owns the
-            # segment's lifetime; this process must only detach.
+        # On CPython < 3.13 merely *attaching* registers the segment
+        # with this process's resource tracker, which would unlink it
+        # when the worker exits (bpo-39959).  The parent owns the
+        # segment's lifetime; this process must only detach.
+        with contextlib.suppress(Exception):
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
 
 
 def _load_stream(args: tuple) -> bool:
@@ -132,18 +131,14 @@ def _load_stream(args: tuple) -> bool:
     """
     token, payload = args
     try:
-        if payload[0] == "shm":
-            stream = pickle.loads(_attach_shared_blob(payload[1], payload[2]))
-        else:
-            stream = payload[1]
+        stream = (pickle.loads(_attach_shared_blob(payload[1], payload[2]))
+                  if payload[0] == "shm" else payload[1])
         _WORKER_STREAMS[token] = stream
     except Exception:
         # Attach failed (segment gone, /dev/shm policy): fail the
         # broadcast cleanly so the parent can degrade.
-        try:
+        with contextlib.suppress(threading.BrokenBarrierError):
             _WORKER_BARRIER.wait(BROADCAST_TIMEOUT)
-        except threading.BrokenBarrierError:
-            pass
         return False
     try:
         _WORKER_BARRIER.wait(BROADCAST_TIMEOUT)
@@ -399,7 +394,7 @@ class WorkerPool:
         failure to create or fill one (sandboxes without /dev/shm,
         size limits) falls back to the per-worker pickle payload.
         """
-        try:
+        with contextlib.suppress(Exception):
             blob = pickle.dumps(stream, protocol=pickle.HIGHEST_PROTOCOL)
             if len(blob) >= SHM_MIN_BYTES:
                 from multiprocessing import shared_memory
@@ -408,8 +403,6 @@ class WorkerPool:
                 shm.buf[:len(blob)] = blob
                 self._broadcasts["shm_bytes"] += len(blob)
                 return ("shm", shm.name, len(blob)), shm
-        except Exception:
-            pass
         return ("pickle", stream), None
 
     def flow(self, fn: Callable) -> TaskFlow:

@@ -43,6 +43,7 @@ list each ``host:port`` in the pool.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pickle
 import queue
 import socket
@@ -170,25 +171,17 @@ class ReproDaemon:
         # shutdown() wakes the thread blocked in accept(); a bare
         # close() would not -- CPython defers releasing the fd while
         # accept holds a reference, leaving the port bound forever.
-        try:
+        with contextlib.suppress(OSError):
             self._server.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
+        with contextlib.suppress(OSError):
             self._server.close()
-        except OSError:
-            pass
         with self._lock:
             connections, self._connections = self._connections, []
         for conn in connections:
-            try:
+            with contextlib.suppress(OSError):
                 conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
+            with contextlib.suppress(OSError):
                 conn.close()
-            except OSError:
-                pass
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -241,19 +234,17 @@ class ReproDaemon:
                                            f"{type(exc).__name__}: {exc}"))
                     else:
                         _send_frame(conn, ("result", payload))
-                elif kind == "stop":
-                    _send_frame(conn, ("ok",))
-                    return
-                else:
+                elif kind != "stop":
                     _send_frame(conn, ("error",
                                        f"unknown message {kind!r}"))
+                else:
+                    _send_frame(conn, ("ok",))
+                    return
         except (ConnectionError, EOFError, OSError, pickle.PickleError):
             pass  # peer gone (or we are closing): nothing to answer to
         finally:
-            try:
+            with contextlib.suppress(OSError):
                 conn.close()
-            except OSError:
-                pass
             with self._lock:
                 if conn in self._connections:
                     self._connections.remove(conn)
@@ -331,10 +322,8 @@ class _RemoteHost:
     def drop(self) -> None:
         sock, self.sock = self.sock, None
         if sock is not None:
-            try:
+            with contextlib.suppress(OSError):
                 sock.close()
-            except OSError:
-                pass
 
 
 class _RemoteFlow:
@@ -468,10 +457,8 @@ class RemotePool:
         """Say goodbye to reachable daemons and drop the connections."""
         for host in self._hosts:
             if host.alive:
-                try:
+                with contextlib.suppress(ConnectionError):
                     host.request(("stop",))
-                except ConnectionError:
-                    pass
             host.drop()
 
     def __enter__(self) -> "RemotePool":

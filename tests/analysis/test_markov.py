@@ -96,7 +96,7 @@ class TestMonteCarlo:
         chain = DetectionMarkovChain(p_activation=0.5, p_propagation=1.0)
         model = chain.detection_curve(6)
         # Same shape: within a generous tolerance at each point.
-        for emp, mod in zip(curve, model):
+        for emp, mod in zip(curve, model, strict=False):
             assert abs(emp - mod) < 0.25
 
     def test_trials_validation(self):

@@ -163,7 +163,7 @@ class TestLegacyEquivalence:
         assert [r.operations for r in modern] == [r.operations for r in legacy]
         assert [r.ops_per_cell for r in modern] == [
             r.ops_per_cell for r in legacy]
-        for old, new in zip(legacy, modern):
+        for old, new in zip(legacy, modern, strict=True):
             assert_reports_identical(old.report, new.report)
 
 

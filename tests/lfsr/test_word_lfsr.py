@@ -105,7 +105,7 @@ class TestRecurrence:
         sa = WordLFSR(F, PAPER_G, seed=(a, 1)).sequence(20)
         sb = WordLFSR(F, PAPER_G, seed=(b, 1)).sequence(20)
         sxor = WordLFSR(F, PAPER_G, seed=(a ^ b, 0)).sequence(20)
-        assert [x ^ y for x, y in zip(sa, sb)] == sxor
+        assert [x ^ y for x, y in zip(sa, sb, strict=True)] == sxor
 
     def test_zero_seed_fixed(self):
         lfsr = WordLFSR(F, PAPER_G, seed=(0, 0))

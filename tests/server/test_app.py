@@ -132,6 +132,30 @@ class TestCompareEndpoint:
         assert stats["hits"] >= 1  # compare served from coverage's entry
 
 
+class TestVerifyEndpoint:
+    def test_clean_stream(self, client):
+        response = client.post("/verify", {"test": "march-c", "n": 16})
+        assert response.status == 200
+        payload = response.json()
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["stream"]["records"] > 0
+        assert payload["stream"]["digest"]
+        assert set(payload["counts"]) == set(
+            d["code"] for d in payload["diagnostics"]) or payload["truncated"]
+
+    def test_validation_errors_are_400(self, client):
+        response = client.post("/verify", {"test": "nope", "n": 8})
+        assert response.status == 400
+        assert "unknown test" in response.json()["error"]
+        response = client.post("/verify", {"test": "mats"})
+        assert response.status == 400
+        assert response.json()["field"] == "n"
+
+    def test_get_is_405(self, client):
+        assert client.get("/verify").status == 405
+
+
 class TestJobs:
     def _finish(self, client, job_id):
         job = client.app.jobs.wait(job_id, timeout=30.0)

@@ -91,7 +91,7 @@ class TestDiskTier:
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(disk_dir=str(tmp_path))
         (tmp_path / "dead.pickle").write_bytes(b"")
-        with pytest.raises(Exception):
+        with pytest.raises(EOFError):
             cache.get("dead")  # unpickling garbage fails loudly...
         assert ResultCache(disk_dir=str(tmp_path)).get("beef") is None
 

@@ -135,7 +135,8 @@ class TestCompileSchedule:
         labels = [segment.label for segment in stream.segments]
         assert labels == ["iteration"] * 3 + ["readback"]
         assert stream.segments[0].start == 0
-        for previous, current in zip(stream.segments, stream.segments[1:]):
+        for previous, current in zip(stream.segments, stream.segments[1:],
+                                     strict=False):
             assert current.start == previous.stop
         assert stream.segments[-1].stop == len(stream)
 

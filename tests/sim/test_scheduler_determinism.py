@@ -43,9 +43,9 @@ def local_pool():
 
 @pytest.fixture(scope="module")
 def remote_pool():
-    with ReproDaemon().start() as one, ReproDaemon().start() as two:
-        with RemotePool([one.address, two.address]) as pool:
-            yield pool
+    with ReproDaemon().start() as one, ReproDaemon().start() as two, \
+            RemotePool([one.address, two.address]) as pool:
+        yield pool
 
 
 def _verdicts(result):

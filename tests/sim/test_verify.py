@@ -1,0 +1,337 @@
+"""The static verifier: round-trips, mutation operators, per-code pins.
+
+Three layers of assurance for :mod:`repro.sim.verify`:
+
+* **round-trip** -- every stream the fuzz strategy of
+  :mod:`tests.sim.test_stream_fuzz` generates (the same population the
+  differential executor suite replays) verifies with zero
+  error-severity diagnostics: the analyzer never cries wolf on a
+  stream the executors demonstrably agree on.
+
+* **mutation operators** -- structured corruptions of compiled streams
+  (drop a group member, collapse group ports, orphan an accumulator,
+  stretch a segment) always produce at least one error diagnostic.
+
+* **per-code pins** -- each diagnostic code is pinned to a minimal
+  hand-built stream so a regression in one rule fails one test, by
+  name.  Post-construction corruptions bypass ``__post_init__`` via
+  ``object.__new__`` so the deep pass (not the constructor) is what is
+  exercised.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.march import library
+from repro.sim import (
+    CODES,
+    Diagnostic,
+    OpStream,
+    Segment,
+    StreamError,
+    compile_dual_port_pi,
+    compile_march,
+    compile_quad_port_pi,
+    verify,
+    verify_or_raise,
+)
+from repro.prt import DualPortPiIteration, QuadPortPiIteration
+from tests.sim.test_stream_fuzz import op_streams
+
+
+def raw_stream(**overrides):
+    """An :class:`OpStream` built *without* construction validation.
+
+    ``object.__new__`` bypasses ``__post_init__`` so deliberately
+    malformed streams reach :func:`verify`'s deep pass instead of
+    raising at construction time.
+    """
+    fields = dict(source="test", name="test", n=4, m=1, ops=(),
+                  info=(), tables=(), segments=(), ports=1,
+                  reference_verified=False)
+    ops = overrides.get("ops", ())
+    fields["info"] = tuple((0, i) for i in range(len(ops)))
+    fields.update(overrides)
+    stream = object.__new__(OpStream)
+    stream.__dict__.update(fields)
+    return stream
+
+
+def codes_of(stream, *, dataflow=True):
+    return [d.code for d in verify(stream, dataflow=dataflow)]
+
+
+# -- round-trip: fuzzed valid streams verify clean ---------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(op_streams())
+def test_fuzzed_streams_verify_without_errors(stream):
+    report = verify(stream)
+    assert report.errors == (), [str(d) for d in report.errors]
+    assert report.ok == (not report.errors)
+    verify_or_raise(stream)  # must not raise either
+
+
+# -- mutation operators: structured corruption is always caught --------------
+
+
+def _dual():
+    return compile_dual_port_pi(DualPortPiIteration(seed=(0, 1)), 9)
+
+
+def _diagnose(build):
+    """Error codes whichever pass (construction or deep) rejects with."""
+    try:
+        stream = build()
+    except StreamError as exc:
+        return [d.code for d in exc.diagnostics]
+    return [d.code for d in verify(stream).errors]
+
+
+def test_mutation_drop_group_member():
+    stream = _dual()
+    marker = max(i for i, r in enumerate(stream.ops) if r[0] == "grp")
+    mutated = raw_stream(
+        n=stream.n, m=stream.m, ports=stream.ports,
+        ops=stream.ops[:marker + 1], info=stream.info[:marker + 1])
+    assert "E103" in codes_of(mutated)
+
+
+def test_mutation_swap_group_ports():
+    stream = _dual()
+    marker = next(i for i, r in enumerate(stream.ops)
+                  if r[0] == "grp" and r[3] == 2)
+    ops = list(stream.ops)
+    for member in (marker + 1, marker + 2):
+        ops[member] = (ops[member][0], 0) + ops[member][2:]
+
+    def build():
+        return OpStream(source=stream.source, name=stream.name,
+                        n=stream.n, m=stream.m, ops=tuple(ops),
+                        info=stream.info, tables=stream.tables,
+                        segments=stream.segments, ports=stream.ports)
+
+    assert "E106" in _diagnose(build)
+
+
+def test_mutation_orphan_accumulator():
+    stream = compile_quad_port_pi(QuadPortPiIteration(), 12)
+    index = next(i for i, r in enumerate(stream.ops) if r[0] == "ra")
+    ops = list(stream.ops)
+    ops[index] = ops[index][:5] + (9,)
+    mutated = raw_stream(n=stream.n, m=stream.m, ports=stream.ports,
+                         ops=tuple(ops), info=stream.info,
+                         tables=stream.tables, segments=stream.segments)
+    assert "E207" in codes_of(mutated)
+
+
+def test_mutation_stretch_segment():
+    stream = _dual()
+    assert stream.segments
+    bad = Segment(label="iteration", index=0, start=0,
+                  stop=len(stream.ops) + 3)
+    mutated = raw_stream(n=stream.n, m=stream.m, ports=stream.ports,
+                         ops=stream.ops, info=stream.info,
+                         tables=stream.tables, segments=(bad,))
+    assert "E301" in codes_of(mutated)
+
+
+# -- per-code pins: one minimal stream per diagnostic code -------------------
+
+
+def test_e001_ops_info_mismatch():
+    mutated = raw_stream(ops=(("w", 0, 0, 1, None, 0),), info=((0, 0),) * 2)
+    assert "E001" in codes_of(mutated)
+
+
+def test_e002_zero_ports():
+    mutated = raw_stream(ops=(("w", 0, 0, 1, None, 0),), ports=0)
+    assert "E002" in codes_of(mutated)
+
+
+def test_e003_unknown_kind():
+    mutated = raw_stream(ops=(("z", 0, 0, 1, None, 0),))
+    assert "E003" in codes_of(mutated)
+
+
+def test_e101_bad_group_count():
+    for count in (0, -1, "2", None):
+        mutated = raw_stream(ops=(("grp", 0, 0, count, None, 0),), ports=2)
+        assert "E101" in codes_of(mutated), count
+
+
+def test_e102_group_wider_than_ports():
+    mutated = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 0, 1, None, 0),
+                              ("w", 1, 1, 1, None, 0)), ports=1)
+    assert "E102" in codes_of(mutated)
+
+
+def test_e103_truncated_group():
+    mutated = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 0, 1, None, 0)), ports=2)
+    assert "E103" in codes_of(mutated)
+
+
+def test_e104_non_groupable_member():
+    mutated = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 0, 1, None, 0),
+                              ("i", 1, 0, 0, None, 3)), ports=2)
+    assert "E104" in codes_of(mutated)
+
+
+def test_e105_port_out_of_range():
+    grouped = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 0, 1, None, 0),
+                              ("w", 7, 1, 1, None, 0)), ports=2)
+    assert "E105" in codes_of(grouped)
+    flat = raw_stream(ops=(("w", 3, 0, 1, None, 0),))
+    assert "E105" in codes_of(flat)
+
+
+def test_e106_duplicate_port():
+    mutated = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 0, 1, None, 0),
+                              ("w", 0, 1, 1, None, 0)), ports=2)
+    assert "E106" in codes_of(mutated)
+
+
+def test_e107_double_write_same_address():
+    mutated = raw_stream(ops=(("grp", 0, 0, 2, None, 0),
+                              ("w", 0, 2, 1, None, 0),
+                              ("w", 1, 2, 0, None, 0)), ports=2)
+    assert "E107" in codes_of(mutated)
+
+
+def test_e201_address_out_of_range():
+    for addr in (-1, 4, "0"):
+        mutated = raw_stream(ops=(("w", 0, addr, 1, None, 0),))
+        assert "E201" in codes_of(mutated), addr
+
+
+def test_e202_value_overflow():
+    write = raw_stream(ops=(("w", 0, 0, 2, None, 0),))
+    assert "E202" in codes_of(write)
+    read = raw_stream(ops=(("r", 0, 0, None, 2, 0),))
+    assert "E202" in codes_of(read)
+
+
+def test_e203_table_ref_out_of_range():
+    mutated = raw_stream(ops=(("ra", 0, 0, 3, 0, 0),), tables=((0, 1),))
+    assert "E203" in codes_of(mutated)
+
+
+def test_e204_malformed_table():
+    short = raw_stream(ops=(("ra", 0, 0, 0, 0, 0),), tables=((0,),))
+    assert "E204" in codes_of(short)
+    overflow = raw_stream(ops=(("ra", 0, 0, 0, 0, 0),), tables=((0, 2),))
+    assert "E204" in codes_of(overflow)
+
+
+def test_e205_bad_accumulator_id():
+    mutated = raw_stream(ops=(("ra", 0, 0, None, 0, -1),))
+    assert "E205" in codes_of(mutated)
+
+
+def test_e206_negative_idle():
+    mutated = raw_stream(ops=(("i", 0, 0, 0, None, -2),))
+    assert "E206" in codes_of(mutated)
+
+
+def test_e207_unflushed_accumulator():
+    mutated = raw_stream(ops=(("ra", 0, 0, None, 0, 0),))
+    assert "E207" in codes_of(mutated)
+    flushed = raw_stream(ops=(("ra", 0, 0, None, 0, 0),
+                              ("wa", 0, 1, None, None, 0)))
+    assert "E207" not in codes_of(flushed)
+
+
+def test_e301_segment_out_of_bounds():
+    mutated = raw_stream(
+        ops=(("w", 0, 0, 1, None, 0),),
+        segments=(Segment(label="iteration", index=0, start=0, stop=5),))
+    assert "E301" in codes_of(mutated)
+
+
+def test_w401_dead_write():
+    stream = raw_stream(ops=(("w", 0, 0, 1, None, 0),
+                             ("w", 0, 0, 0, None, 0),
+                             ("r", 0, 0, None, 0, 0)))
+    assert "W401" in codes_of(stream)
+    assert "W401" not in codes_of(stream, dataflow=False)
+
+
+def test_w402_uninitialized_read():
+    stream = raw_stream(ops=(("r", 0, 0, None, 0, 0),))
+    assert "W402" in codes_of(stream)
+
+
+def test_w403_dead_idle():
+    stream = raw_stream(ops=(("w", 0, 0, 1, None, 0),
+                             ("r", 0, 0, None, 1, 0),
+                             ("i", 0, 0, 0, None, 5)))
+    assert "W403" in codes_of(stream)
+    live = raw_stream(ops=(("w", 0, 0, 1, None, 0),
+                           ("i", 0, 0, 0, None, 5),
+                           ("r", 0, 0, None, 1, 0)))
+    assert "W403" not in codes_of(live)
+
+
+def test_w404_constant_accumulator():
+    stream = raw_stream(ops=(("wa", 0, 0, None, None, 0),))
+    assert "W404" in codes_of(stream)
+    fed = raw_stream(ops=(("ra", 0, 0, None, 0, 0),
+                          ("wa", 0, 1, None, None, 0)))
+    assert "W404" not in codes_of(fed)
+
+
+def test_w405_unused_table():
+    stream = raw_stream(ops=(("w", 0, 0, 1, None, 0),), tables=((0, 1),))
+    assert "W405" in codes_of(stream)
+
+
+# -- the machinery itself ----------------------------------------------------
+
+
+def test_every_code_is_registered():
+    report = verify(compile_march(library.MARCH_C_MINUS, 8))
+    assert set(report.codes()) <= set(CODES)
+
+
+def test_diagnostic_str_and_severity():
+    diagnostic = Diagnostic(code="E201", severity="error", index=3,
+                            message="op 3: address 9 outside the 4-cell array")
+    assert str(diagnostic) == "[E201] op 3: address 9 outside the 4-cell array"
+    assert diagnostic.is_error
+
+
+def test_stream_error_is_value_error_with_verbatim_message():
+    with pytest.raises(ValueError) as excinfo:
+        OpStream(source="t", name="t", n=4, m=1,
+                 ops=(("w", 0, 0, 1, None, 0),), info=((0, 0), (0, 1)))
+    assert isinstance(excinfo.value, StreamError)
+    diagnostics = excinfo.value.diagnostics
+    assert diagnostics and diagnostics[0].code == "E001"
+    assert str(excinfo.value) == diagnostics[0].message
+
+
+def test_verify_or_raise_raises_stream_error():
+    mutated = raw_stream(ops=(("w", 3, 0, 1, None, 0),))
+    with pytest.raises(StreamError) as excinfo:
+        verify_or_raise(mutated)
+    assert any(d.code == "E105" for d in excinfo.value.diagnostics)
+
+
+def test_report_is_sorted_and_sized():
+    mutated = raw_stream(ops=(("w", 3, 0, 1, None, 0),
+                              ("r", 0, 9, None, 0, 0)))
+    report = verify(mutated)
+    assert len(report) == len(tuple(report))
+    indices = [d.index for d in report if d.index is not None]
+    assert indices == sorted(indices)
+
+
+def test_compiler_verify_flag_passes_clean_streams():
+    stream = compile_march(library.MARCH_C_MINUS, 8, verify=True)
+    assert stream.operation_count > 0

@@ -196,6 +196,40 @@ class TestCompareOverhead:
         assert "crossover" in out
 
 
+class TestVerifyCommand:
+    def test_clean_stream_exits_zero(self, capsys):
+        code = main(["verify", "--n", "28", "--test", "march-c"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict : OK" in out
+
+    def test_multiport_scheme(self, capsys):
+        code = main(["verify", "--n", "16", "--scheme", "dual-schedule"])
+        assert code == 0
+        assert "verdict : OK" in capsys.readouterr().out
+
+    def test_json_matches_server_schema(self, capsys):
+        code = main(["verify", "--n", "28", "--test", "march-c", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["stream"]["records"] > 0
+        assert payload["request"]["test"] == "march-c"
+
+    def test_no_dataflow_suppresses_warnings(self, capsys):
+        main(["verify", "--n", "16", "--test", "march-c",
+              "--no-dataflow", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warnings"] == 0
+
+    def test_unknown_test_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--n", "16", "--test", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -339,3 +339,102 @@ class TestCheckBenchSchedulerGates:
                                      min_sharded_speedup=3.0)
         assert not ok
         assert any("floor 3.0x" in r for r in bad)
+
+
+class TestLintContracts:
+    """The repo-wide invariant linter runs clean on the real tree and
+    still has teeth on synthetic violations."""
+
+    def setup_method(self):
+        self.lint = _load("lint_contracts")
+
+    def test_repo_is_clean(self):
+        assert self.lint.run() == []
+
+    def test_main_exit_code(self, capsys):
+        assert self.lint.main([]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def _tree(self, tmp_path, batched="", pool="", remote="",
+              campaign="def _fits_geometry(d, n, m, p):\n    return True\n",
+              fault=""):
+        src = tmp_path / "src" / "repro"
+        (src / "sim").mkdir(parents=True)
+        (src / "faults").mkdir()
+        (src / "sim" / "batched.py").write_text(
+            batched or "_MODELS = {}\n")
+        (src / "sim" / "pool.py").write_text(pool)
+        (src / "sim" / "remote.py").write_text(remote)
+        (src / "sim" / "campaign.py").write_text(campaign)
+        (src / "faults" / "demo.py").write_text(fault)
+        return str(tmp_path)
+
+    def test_flags_private_attribute_access(self, tmp_path):
+        root = self._tree(tmp_path, batched=(
+            "_MODELS = {}\n"
+            "def f(memory):\n    return memory._backend\n"))
+        assert any("packed-surface" in f for f in self.lint.run(root))
+
+    def test_flags_lambda_in_pool(self, tmp_path):
+        root = self._tree(tmp_path, pool="f = lambda x: x\n")
+        assert any("picklable-payloads" in f for f in self.lint.run(root))
+
+    def test_flags_nested_def_in_remote(self, tmp_path):
+        root = self._tree(tmp_path, remote=(
+            "def outer():\n    def inner():\n        pass\n    return inner\n"))
+        assert any("picklable-payloads" in f for f in self.lint.run(root))
+
+    def test_flags_hook_without_flag(self, tmp_path):
+        root = self._tree(tmp_path, batched=(
+            "_MODELS = {}\n"
+            "class LaneFaultModel:\n    pass\n"
+            "class Broken(LaneFaultModel):\n"
+            "    def settle(self):\n        pass\n"))
+        assert any("hook-flags" in f for f in self.lint.run(root))
+
+    def test_flag_via_base_class_is_fine(self, tmp_path):
+        root = self._tree(tmp_path, batched=(
+            "_MODELS = {}\n"
+            "class LaneFaultModel:\n    pass\n"
+            "class Base(LaneFaultModel):\n    settles = True\n"
+            "class Ok(Base):\n"
+            "    def settle(self):\n        pass\n"))
+        assert not any("hook-flags" in f for f in self.lint.run(root))
+
+    def test_flags_unregistered_kind(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            batched="_MODELS = {'stuck': object}\n",
+            fault="s = VectorSemantics('mystery', ())\n")
+        findings = self.lint.run(root)
+        assert any("kind-registry" in f and "mystery" in f
+                   for f in findings)
+
+    def test_flags_stale_fits_geometry_branch(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            batched="_MODELS = {'stuck': object}\n",
+            campaign=("def _fits_geometry(d, n, m, p):\n"
+                      "    return d.kind == 'ghost'\n"),
+            fault="s = VectorSemantics('stuck', ())\n")
+        assert any("ghost" in f for f in self.lint.run(root))
+
+
+class TestVerifyCorpus:
+    """The verifier's acceptance gate: compilers in, mutations out."""
+
+    def setup_method(self):
+        self.corpus = _load("check_verify_corpus")
+
+    def test_corpus_is_large_enough(self):
+        assert len(self.corpus.MUTATIONS) >= 20
+
+    def test_compiler_streams_accepted(self):
+        assert self.corpus.accept_failures() == []
+
+    def test_all_mutations_rejected(self):
+        assert self.corpus.reject_failures() == []
+
+    def test_main_exit_code(self, capsys):
+        assert self.corpus.main() == 0
+        assert "0 failure(s)" in capsys.readouterr().out

@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""The verifier's acceptance gate: compilers pass, seeded mutations fail.
+
+Two directions, both required for :mod:`repro.sim.verify` to be a
+trustworthy pre-campaign filter:
+
+* **accept** -- every stream the six built-in compilers emit over the
+  standard schemes (March library, PRT schedules, dual/quad-port
+  iterations, multi-port schedules) must verify with *zero
+  error-severity* diagnostics.  Warnings are allowed: multi-background
+  March streams legitimately carry dead writes between backgrounds.
+
+* **reject** -- every mutation in the committed corpus below (>= 20
+  seeded structural/semantic corruptions) must be rejected, either by
+  :class:`~repro.sim.ir.OpStream` construction raising
+  :class:`~repro.sim.diagnostics.StreamError` or by :func:`verify`
+  reporting an error diagnostic -- and the reported codes must include
+  the mutation's expected code, so a rule silently weakening fails the
+  gate even if some *other* rule still trips.
+
+Run standalone (exit 0 clean / 1 failures)::
+
+    python tools/check_verify_corpus.py
+
+or import :func:`accept_failures` / :func:`reject_failures` (the tests
+do).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.gf2 import poly_from_string  # noqa: E402
+from repro.gf2m import GF2m  # noqa: E402
+from repro.march import library  # noqa: E402
+from repro.prt import (  # noqa: E402
+    DualPortPiIteration,
+    PiIteration,
+    QuadPortPiIteration,
+    extended_schedule,
+    standard_multi_schedule,
+    standard_schedule,
+)
+from repro.sim import (  # noqa: E402
+    OpStream,
+    Segment,
+    StreamError,
+    compile_dual_port_pi,
+    compile_march,
+    compile_multi_schedule,
+    compile_pi_iteration,
+    compile_quad_port_pi,
+    compile_schedule,
+    verify,
+)
+
+
+def _field16() -> GF2m:
+    return GF2m(poly_from_string("1+z+z^4"))
+
+
+def compiler_streams() -> list[OpStream]:
+    """The acceptance set: all six compilers over the standard schemes."""
+    streams = []
+    for test in library.ALL_MARCH_TESTS:
+        for m in (1, 4):
+            streams.append(compile_march(test, 16, m=m))
+    field = _field16()
+    streams.append(compile_schedule(standard_schedule(), 16))
+    streams.append(compile_schedule(extended_schedule(), 16))
+    streams.append(compile_schedule(standard_schedule(field), 16, m=4))
+    streams.append(compile_pi_iteration(
+        PiIteration(generator=(1, 0, 1, 1), seed=(0, 0, 1)), 14))
+    streams.append(compile_pi_iteration(
+        PiIteration(field=field, generator=(1, 2, 2), seed=(0, 1)), 15, m=4))
+    streams.append(compile_dual_port_pi(DualPortPiIteration(seed=(0, 1)), 9))
+    streams.append(compile_dual_port_pi(
+        DualPortPiIteration(field=field, generator=(1, 2, 2), seed=(0, 1)),
+        14, m=4))
+    streams.append(compile_quad_port_pi(QuadPortPiIteration(), 12))
+    streams.append(compile_multi_schedule(
+        standard_multi_schedule(ports=2), 12))
+    streams.append(compile_multi_schedule(
+        standard_multi_schedule(ports=4), 12))
+    return streams
+
+
+# -- the mutation corpus -----------------------------------------------------
+
+
+def _remake(stream: OpStream, **overrides) -> OpStream:
+    kwargs = dict(source=stream.source, name=stream.name, n=stream.n,
+                  m=stream.m, ops=stream.ops, info=stream.info,
+                  tables=stream.tables, segments=stream.segments,
+                  ports=stream.ports)
+    kwargs.update(overrides)
+    return OpStream(**kwargs)
+
+
+def _mutate_op(stream: OpStream, index: int, slot: int, value) -> OpStream:
+    ops = list(stream.ops)
+    record = list(ops[index])
+    record[slot] = value
+    ops[index] = tuple(record)
+    return _remake(stream, ops=tuple(ops))
+
+
+def _first(stream: OpStream, kind: str) -> int:
+    return next(i for i, record in enumerate(stream.ops)
+                if record[0] == kind)
+
+
+def _march(m: int = 1) -> OpStream:
+    return compile_march(library.MARCH_C_MINUS, 8, m=m)
+
+
+def _retention_march() -> OpStream:
+    return compile_march(library.MATS_PLUS_RETENTION, 8)
+
+
+def _schedule16() -> OpStream:
+    return compile_schedule(standard_schedule(_field16()), 16, m=4)
+
+
+def _dual() -> OpStream:
+    return compile_dual_port_pi(DualPortPiIteration(seed=(0, 1)), 9)
+
+
+def _quad() -> OpStream:
+    return compile_quad_port_pi(QuadPortPiIteration(), 12)
+
+
+def _raw(ops, ports: int = 1, info=None, **overrides) -> OpStream:
+    kwargs = dict(source="corpus", name="corpus", n=4, m=1, ops=tuple(ops),
+                  info=tuple(info) if info is not None
+                  else tuple((0, i) for i in range(len(ops))),
+                  ports=ports)
+    kwargs.update(overrides)
+    return OpStream(**kwargs)
+
+
+def _drop_group_member(stream: OpStream) -> OpStream:
+    # Truncate right after the *last* group marker: it announces k
+    # members but none follow -- the canonical dropped-member shape.
+    marker = max(i for i, record in enumerate(stream.ops)
+                 if record[0] == "grp")
+    return _remake(stream, ops=stream.ops[:marker + 1],
+                   info=stream.info[:marker + 1],
+                   segments=())
+
+
+def _swap_group_ports(stream: OpStream) -> OpStream:
+    # Both members of the first 2-member group onto one port.
+    marker = next(i for i, record in enumerate(stream.ops)
+                  if record[0] == "grp" and record[3] == 2)
+    ops = list(stream.ops)
+    for member in (marker + 1, marker + 2):
+        record = list(ops[member])
+        record[1] = 0
+        ops[member] = tuple(record)
+    return _remake(stream, ops=tuple(ops))
+
+
+def _orphan_accumulator(stream: OpStream) -> OpStream:
+    # Re-home one "ra" contribution onto an accumulator no "wa" flushes.
+    return _mutate_op(stream, _first(stream, "ra"), 5, 9)
+
+
+def _shrink_segment(stream: OpStream) -> OpStream:
+    segment = stream.segments[0]
+    return _remake(stream, segments=(
+        Segment(label=segment.label, index=segment.index,
+                start=segment.start, stop=len(stream.ops) + 5),))
+
+
+#: name -> (expected diagnostic code, builder of the mutated stream).
+MUTATIONS: dict[str, tuple[str, object]] = {
+    # construction-contract corruptions (raw minimal streams)
+    "ops-info-mismatch": ("E001", lambda: _raw(
+        [("w", 0, 0, 1, None, 0)], info=[(0, 0), (0, 1)])),
+    "zero-ports": ("E002", lambda: _raw(
+        [("w", 0, 0, 1, None, 0)], ports=0)),
+    "unknown-kind": ("E003", lambda: _raw([("x", 0, 0, 1, None, 0)])),
+    "group-count-zero": ("E101", lambda: _raw(
+        [("grp", 0, 0, 0, None, 0)], ports=2)),
+    "group-count-string": ("E101", lambda: _raw(
+        [("grp", 0, 0, "2", None, 0)], ports=2)),
+    "group-wider-than-ports": ("E102", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("w", 0, 0, 1, None, 0),
+         ("w", 1, 1, 1, None, 0)], ports=1)),
+    "group-truncated": ("E103", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("w", 0, 0, 1, None, 0)], ports=2)),
+    "idle-inside-group": ("E104", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("w", 0, 0, 1, None, 0),
+         ("i", 1, 0, 0, None, 4)], ports=2)),
+    "nested-group": ("E104", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("grp", 0, 0, 1, None, 0),
+         ("w", 1, 1, 1, None, 0)], ports=2)),
+    "group-port-out-of-range": ("E105", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("w", 0, 0, 1, None, 0),
+         ("w", 5, 1, 1, None, 0)], ports=2)),
+    "group-port-duplicated": ("E106", lambda: _swap_group_ports(_dual())),
+    "group-double-write": ("E107", lambda: _raw(
+        [("grp", 0, 0, 2, None, 0), ("w", 0, 2, 1, None, 0),
+         ("w", 1, 2, 0, None, 0)], ports=2)),
+    "dropped-group-member": ("E103", lambda: _drop_group_member(_dual())),
+    # operand-domain corruptions (deep pass on compiled streams)
+    "address-past-n": ("E201", lambda: _mutate_op(
+        _march(), _first(_march(), "w"), 2, 8)),
+    "address-negative": ("E201", lambda: _mutate_op(
+        _march(), _first(_march(), "r"), 2, -1)),
+    "write-value-overflow": ("E202", lambda: _mutate_op(
+        _march(4), _first(_march(4), "w"), 3, 1 << 4)),
+    "expected-read-overflow": ("E202", lambda: _mutate_op(
+        _march(4), _first(_march(4), "r"), 4, (1 << 4) + 1)),
+    "table-ref-out-of-range": ("E203", lambda: _mutate_op(
+        _schedule16(), _first(_schedule16(), "ra"), 3, 99)),
+    "table-truncated": ("E204", lambda: _remake(
+        _schedule16(), tables=(_schedule16().tables[0][:3],)
+        + _schedule16().tables[1:])),
+    "table-entry-overflow": ("E204", lambda: _remake(
+        _schedule16(),
+        tables=((1 << 4,) + _schedule16().tables[0][1:],)
+        + _schedule16().tables[1:])),
+    "accumulator-id-negative": ("E205", lambda: _mutate_op(
+        _quad(), _first(_quad(), "ra"), 5, -1)),
+    "idle-count-negative": ("E206", lambda: _mutate_op(
+        _retention_march(), _first(_retention_march(), "i"), 5, -3)),
+    "orphan-accumulator": ("E207", lambda: _orphan_accumulator(_quad())),
+    "segment-past-stream": ("E301", lambda: _shrink_segment(_schedule16())),
+    "flat-port-out-of-range": ("E105", lambda: _mutate_op(
+        _march(), _first(_march(), "w"), 1, 3)),
+    "flat-port-non-int": ("E105", lambda: _mutate_op(
+        _march(), _first(_march(), "r"), 1, None)),
+}
+
+
+def rejection_codes(build) -> list[str]:
+    """Error codes a mutation produces (construction or deep pass)."""
+    try:
+        stream = build()
+    except StreamError as exc:
+        return [diagnostic.code for diagnostic in exc.diagnostics]
+    return [diagnostic.code for diagnostic in verify(stream).errors]
+
+
+def accept_failures() -> list[str]:
+    """Compiler streams carrying error diagnostics (must be empty)."""
+    failures = []
+    for stream in compiler_streams():
+        errors = verify(stream).errors
+        if errors:
+            failures.append(
+                f"{stream.name} ({stream.source}, n={stream.n}, "
+                f"m={stream.m}): {[str(d) for d in errors[:3]]}")
+    return failures
+
+
+def reject_failures() -> list[str]:
+    """Corpus mutations that slipped through (must be empty)."""
+    failures = []
+    for name, (expected, build) in MUTATIONS.items():
+        codes = rejection_codes(build)
+        if not codes:
+            failures.append(f"{name}: accepted (expected {expected})")
+        elif expected not in codes:
+            failures.append(f"{name}: rejected with {codes}, "
+                            f"expected {expected}")
+    return failures
+
+
+def main() -> int:
+    accepted = compiler_streams()
+    accept_bad = accept_failures()
+    reject_bad = reject_failures()
+    for failure in accept_bad:
+        print(f"ACCEPT-FAIL {failure}")
+    for failure in reject_bad:
+        print(f"REJECT-FAIL {failure}")
+    print(f"check_verify_corpus: {len(accepted)} compiler streams accepted, "
+          f"{len(MUTATIONS)} mutations rejected, "
+          f"{len(accept_bad) + len(reject_bad)} failure(s)")
+    return 1 if accept_bad or reject_bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
